@@ -1,0 +1,301 @@
+package fpgasched
+
+// One benchmark per evaluation artefact of the paper (Tables 1-3,
+// Figures 3a/3b/4a/4b) plus micro-benchmarks for the analysis, simulator
+// and generator hot paths. The figure benchmarks run reduced-sample
+// sweeps (the full 500-per-bin runs live in cmd/experiments); they exist
+// so `go test -bench` exercises every reproduction pipeline end to end
+// and tracks its cost.
+
+import (
+	"fmt"
+	"testing"
+
+	"fpgasched/internal/admission"
+	"fpgasched/internal/core"
+	"fpgasched/internal/experiments"
+	"fpgasched/internal/fpga"
+	"fpgasched/internal/partition"
+	"fpgasched/internal/sched"
+	"fpgasched/internal/sim"
+	"fpgasched/internal/task"
+	"fpgasched/internal/timeunit"
+	"fpgasched/internal/trace"
+	"fpgasched/internal/twod"
+	"fpgasched/internal/workload"
+)
+
+// benchTable runs all three tests on a fixed table taskset.
+func benchTable(b *testing.B, set *task.Set) {
+	dev := core.NewDevice(workload.TableDeviceColumns)
+	tests := []core.Test{core.DPTest{}, core.GN1Test{}, core.GN2Test{}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, t := range tests {
+			_ = t.Analyze(dev, set)
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B) { benchTable(b, workload.Table1()) }
+func BenchmarkTable2(b *testing.B) { benchTable(b, workload.Table2()) }
+func BenchmarkTable3(b *testing.B) { benchTable(b, workload.Table3()) }
+
+// benchFigure runs a miniature acceptance-ratio sweep of the figure's
+// exact pipeline: stratified generation, DP+GN1+GN2, and both
+// simulation series.
+func benchFigure(b *testing.B, profile workload.Profile) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.SweepConfig{
+			Name:          profile.Name,
+			Columns:       workload.FigureDeviceColumns,
+			Profile:       profile,
+			Bins:          []float64{20, 50, 80},
+			SamplesPerBin: 5,
+			Tests:         []core.Test{core.DPTest{}, core.GN1Test{}, core.GN2Test{}},
+			Policies: []experiments.PolicyFactory{
+				{Name: "sim-NF", New: func(*task.Set, int) (sim.Policy, error) { return sched.NextFit{}, nil }},
+				{Name: "sim-FkF", New: func(*task.Set, int) (sim.Policy, error) { return sched.FirstKFit{}, nil }},
+			},
+			Seed:          uint64(i + 1),
+			SimHorizonCap: timeunit.FromUnits(100),
+		}
+		if _, err := cfg.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3a(b *testing.B) { benchFigure(b, workload.Unconstrained(4)) }
+func BenchmarkFig3b(b *testing.B) { benchFigure(b, workload.Unconstrained(10)) }
+func BenchmarkFig4a(b *testing.B) { benchFigure(b, workload.SpatiallyHeavyTemporallyLight(10)) }
+func BenchmarkFig4b(b *testing.B) { benchFigure(b, workload.SpatiallyLightTemporallyHeavy(10)) }
+
+// BenchmarkAnalysisScaling measures each test's cost against taskset
+// size (GN2 is the O(N³) one).
+func BenchmarkAnalysisScaling(b *testing.B) {
+	dev := core.NewDevice(100)
+	for _, n := range []int{4, 10, 20, 40} {
+		r := workload.Rand(uint64(n))
+		set := workload.Unconstrained(n).Generate(r)
+		for _, test := range []core.Test{core.DPTest{}, core.GN1Test{}, core.GN2Test{}} {
+			b.Run(fmt.Sprintf("%s/N=%d", test.Name(), n), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					_ = test.Analyze(dev, set)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkSimulator measures engine throughput on a contended workload
+// under both schedulers and both execution models.
+func BenchmarkSimulator(b *testing.B) {
+	r := workload.Rand(5)
+	set, _ := workload.Unconstrained(10).GenerateWithTargetUS(r, 60)
+	cases := []struct {
+		name string
+		pol  sim.Policy
+		opts sim.Options
+	}{
+		{"NF-capacity", sched.NextFit{}, sim.Options{HorizonCap: timeunit.FromUnits(200), ContinueAfterMiss: true}},
+		{"FkF-capacity", sched.FirstKFit{}, sim.Options{HorizonCap: timeunit.FromUnits(200), ContinueAfterMiss: true}},
+		{"NF-placement-firstfit", sched.NextFit{}, sim.Options{
+			HorizonCap: timeunit.FromUnits(200), ContinueAfterMiss: true,
+			Placement: &sim.PlacementOptions{},
+		}},
+		{"NF-placement-defrag", sched.NextFit{}, sim.Options{
+			HorizonCap: timeunit.FromUnits(200), ContinueAfterMiss: true,
+			Placement: &sim.PlacementOptions{DefragEveryEvent: true},
+		}},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			events := 0
+			for i := 0; i < b.N; i++ {
+				res, err := sim.Simulate(100, set, tc.pol, tc.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				events += res.Events
+			}
+			b.ReportMetric(float64(events)/float64(b.N), "events/run")
+		})
+	}
+}
+
+// BenchmarkWorkloadGeneration measures raw and stratified draws.
+func BenchmarkWorkloadGeneration(b *testing.B) {
+	p := workload.Unconstrained(10)
+	b.Run("raw", func(b *testing.B) {
+		r := workload.Rand(1)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = p.Generate(r)
+		}
+	})
+	b.Run("stratified", func(b *testing.B) {
+		r := workload.Rand(1)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_, _ = p.GenerateWithTargetUS(r, 50)
+		}
+	})
+}
+
+// BenchmarkCompositeVsSingle quantifies the cost of the paper's
+// "apply all tests together" recommendation.
+func BenchmarkCompositeVsSingle(b *testing.B) {
+	dev := core.NewDevice(100)
+	r := workload.Rand(9)
+	set, _ := workload.Unconstrained(10).GenerateWithTargetUS(r, 40)
+	b.Run("DP-only", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = (core.DPTest{}).Analyze(dev, set)
+		}
+	})
+	b.Run("composite-NF", func(b *testing.B) {
+		comp := core.ForNF()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = comp.Analyze(dev, set)
+		}
+	})
+}
+
+// BenchmarkPartitioning measures FFD allocation with the exact
+// uniprocessor demand test.
+func BenchmarkPartitioning(b *testing.B) {
+	r := workload.Rand(21)
+	profile := workload.Profile{Name: "part", N: 12, AreaMin: 5, AreaMax: 40,
+		PeriodMin: 5, PeriodMax: 20, UtilMin: 0.05, UtilMax: 0.4}
+	sets := make([]*task.Set, 32)
+	for i := range sets {
+		sets[i] = profile.Generate(r)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = partition.FirstFitDecreasing(100, sets[i%len(sets)])
+	}
+}
+
+// BenchmarkLayout1D measures the column-layout hot path used by the
+// placement-mode simulator.
+func BenchmarkLayout1D(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l := fpga.NewLayout(100)
+		for id := int64(0); id < 12; id++ {
+			l.Place(id, 5+int(id%3)*7, fpga.Strategy(id%3))
+		}
+		for id := int64(0); id < 12; id += 2 {
+			l.Remove(id)
+		}
+		l.Defragment()
+	}
+}
+
+// BenchmarkLayout2D measures MAXRECTS place/remove cycles.
+func BenchmarkLayout2D(b *testing.B) {
+	for _, heur := range []twod.Heuristic{twod.BottomLeft, twod.BestShortSideFit, twod.BestAreaFit} {
+		b.Run(heur.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				l := twod.NewLayout(32, 32)
+				for id := int64(0); id < 20; id++ {
+					l.Place(id, 3+int(id%5), 3+int(id%4), heur)
+				}
+				for id := int64(0); id < 20; id += 2 {
+					l.Remove(id)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSimulator2D measures the 2-D engine on a contended workload.
+func BenchmarkSimulator2D(b *testing.B) {
+	p := twod.Profile{Name: "b2d", N: 10, SideMin: 2, SideMax: 6,
+		PeriodMin: 5, PeriodMax: 20, UtilMin: 0.2, UtilMax: 0.8}
+	s := p.Generate(workload.Rand(31))
+	for _, mode := range []struct {
+		name string
+		opts twod.Options
+	}{
+		{"placement", twod.Options{}},
+		{"capacity", twod.Options{Mode: twod.ModeCapacity}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			opts := mode.opts
+			opts.Horizon = timeunit.FromUnits(100)
+			opts.ContinueAfterMiss = true
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := twod.Simulate(10, 10, s, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAdmission measures the per-request cost of the online
+// admission controller at a realistic resident population.
+func BenchmarkAdmission(b *testing.B) {
+	ctrl, err := admission.NewNFController(100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Preload residents.
+	for i := 0; i < 8; i++ {
+		ctrl.Request(task.Task{
+			Name: fmt.Sprintf("res%d", i),
+			C:    timeunit.FromUnits(1), D: timeunit.FromUnits(10), T: timeunit.FromUnits(10),
+			A: 5,
+		})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		name := fmt.Sprintf("bench%d", i)
+		d := ctrl.Request(task.Task{
+			Name: name,
+			C:    timeunit.FromUnits(1), D: timeunit.FromUnits(10), T: timeunit.FromUnits(10),
+			A: 4,
+		})
+		if d.Admitted {
+			ctrl.Release(name)
+		}
+	}
+}
+
+// BenchmarkTraceChecker measures the Lemma-1/2 checker overhead on a
+// busy schedule.
+func BenchmarkTraceChecker(b *testing.B) {
+	r := workload.Rand(41)
+	s, _ := workload.Unconstrained(10).GenerateWithTargetUS(r, 70)
+	opts := sim.Options{HorizonCap: timeunit.FromUnits(150), ContinueAfterMiss: true}
+	b.Run("bare", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.Simulate(100, s, sched.NextFit{}, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("checked", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			o := opts
+			o.Recorder = trace.NewChecker(100, s.AMax(), trace.ModeNF)
+			if _, err := sim.Simulate(100, s, sched.NextFit{}, o); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	if got := run([]string{"list"}); got != 0 {
+		t.Errorf("list exit = %d", got)
+	}
+}
+
+func TestRunSingleTableExperiment(t *testing.T) {
+	if got := run([]string{"-samples", "3", "-sim-horizon", "40", "table1"}); got != 0 {
+		t.Errorf("table1 exit = %d", got)
+	}
+}
+
+func TestRunFigureWritesCSV(t *testing.T) {
+	dir := t.TempDir()
+	if got := run([]string{"-samples", "3", "-sim-horizon", "40", "-out", dir, "-plot", "fig3a"}); got != 0 {
+		t.Fatalf("fig3a exit = %d", got)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "fig3a.csv")); err != nil {
+		t.Errorf("missing CSV: %v", err)
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{},                     // no experiment
+		{"a", "b"},             // too many
+		{"unknown-experiment"}, // bad ID
+		{"-badflag", "fig3a"},  // flag error
+	}
+	for _, args := range cases {
+		if got := run(args); got != 2 {
+			t.Errorf("run(%v) = %d, want 2", args, got)
+		}
+	}
+}
+
+func TestRunOutDirCreationFailure(t *testing.T) {
+	// A file where the out dir should be forces MkdirAll to fail.
+	dir := t.TempDir()
+	blocker := filepath.Join(dir, "blocked")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := run([]string{"-out", blocker, "table1"}); got != 2 {
+		t.Errorf("exit = %d, want 2", got)
+	}
+}

@@ -1,0 +1,167 @@
+// Command fpgasched analyses a hardware taskset file against the paper's
+// schedulability tests and optionally simulates it.
+//
+// Usage:
+//
+//	fpgasched -columns 100 -file taskset.json [-tests DP,GN1,GN2]
+//	          [-scheduler nf|fkf] [-simulate] [-horizon 200] [-v]
+//
+// The file may be JSON ({"tasks":[{"name":...,"c":"1.26","d":"7","t":"7",
+// "a":9},...]}) or CSV (header name,c,d,t,a), chosen by extension.
+// Exit status: 0 if every requested test accepts, 1 if any rejects,
+// 2 on usage or input errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"fpgasched/internal/core"
+	"fpgasched/internal/sched"
+	"fpgasched/internal/sim"
+	"fpgasched/internal/task"
+	"fpgasched/internal/timeunit"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("fpgasched", flag.ContinueOnError)
+	columns := fs.Int("columns", 100, "device area A(H) in columns")
+	file := fs.String("file", "", "taskset file (.json or .csv)")
+	testsArg := fs.String("tests", "DP,GN1,GN2", "comma-separated tests: DP, DP-real, GN1, GN1-Dk, GN2, GN2x (extended λ search), any-nf, any-fkf")
+	scheduler := fs.String("scheduler", "nf", "simulated scheduler: nf or fkf")
+	simulate := fs.Bool("simulate", false, "also run a synchronous-release simulation")
+	horizon := fs.Int64("horizon", 0, "simulation release horizon in time units (0: auto)")
+	verbose := fs.Bool("v", false, "print per-task bound details")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *file == "" {
+		fmt.Fprintln(os.Stderr, "fpgasched: -file is required")
+		fs.Usage()
+		return 2
+	}
+	s, err := loadSet(*file)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fpgasched: %v\n", err)
+		return 2
+	}
+	tests, err := parseTests(*testsArg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fpgasched: %v\n", err)
+		return 2
+	}
+
+	fmt.Printf("device: %d columns; taskset: %d tasks, UT=%s US=%s\n",
+		*columns, s.Len(), s.UtilizationT().FloatString(4), s.UtilizationS().FloatString(4))
+	dev := core.NewDevice(*columns)
+	allAccept := true
+	for _, t := range tests {
+		v := t.Analyze(dev, s)
+		fmt.Println(" ", v.String())
+		if *verbose {
+			for _, c := range v.Checks {
+				status := "ok"
+				if !c.Satisfied {
+					status = "FAIL"
+				}
+				extra := ""
+				if c.Lambda != nil {
+					extra = fmt.Sprintf(" λ=%s cond=%d", c.Lambda.FloatString(4), c.Condition)
+				}
+				fmt.Printf("    task %d: LHS=%s RHS=%s %s%s\n",
+					c.TaskIndex, c.LHS.FloatString(4), c.RHS.FloatString(4), status, extra)
+			}
+		}
+		if !v.Schedulable {
+			allAccept = false
+		}
+	}
+
+	if *simulate {
+		var pol sim.Policy
+		switch strings.ToLower(*scheduler) {
+		case "nf":
+			pol = sched.NextFit{}
+		case "fkf":
+			pol = sched.FirstKFit{}
+		default:
+			fmt.Fprintf(os.Stderr, "fpgasched: unknown scheduler %q\n", *scheduler)
+			return 2
+		}
+		opts := sim.Options{}
+		if *horizon > 0 {
+			opts.Horizon = timeunit.FromUnits(*horizon)
+		}
+		res, err := sim.Simulate(*columns, s, pol, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fpgasched: simulation: %v\n", err)
+			return 2
+		}
+		if res.Missed {
+			fmt.Printf("  %s simulation (horizon %v): MISS at %v (task %d job %d)\n",
+				res.Policy, res.Horizon, res.FirstMissTime, res.FirstMissTask, res.FirstMissJob)
+		} else {
+			fmt.Printf("  %s simulation (horizon %v): no deadline miss (%d jobs, %d preemptions)\n",
+				res.Policy, res.Horizon, res.Completed, res.Preemptions)
+		}
+	}
+
+	if allAccept {
+		return 0
+	}
+	return 1
+}
+
+// loadSet reads a taskset from a JSON or CSV file by extension.
+func loadSet(path string) (*task.Set, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".csv":
+		return task.ReadCSV(f)
+	default:
+		return task.ReadJSON(f)
+	}
+}
+
+// parseTests resolves the -tests argument.
+func parseTests(arg string) ([]core.Test, error) {
+	var out []core.Test
+	for _, name := range strings.Split(arg, ",") {
+		switch strings.ToLower(strings.TrimSpace(name)) {
+		case "dp":
+			out = append(out, core.DPTest{})
+		case "dp-real":
+			out = append(out, core.DPTest{RealValuedAlpha: true})
+		case "gn1":
+			out = append(out, core.GN1Test{})
+		case "gn1-dk":
+			out = append(out, core.GN1Test{Variant: core.GN1VariantBCL})
+		case "gn2":
+			out = append(out, core.GN2Test{})
+		case "gn2x":
+			out = append(out, core.GN2Test{Options: core.GN2Options{ExtendedLambdaSearch: true}})
+		case "any-nf":
+			out = append(out, core.ForNF())
+		case "any-fkf":
+			out = append(out, core.ForFkF())
+		case "":
+		default:
+			return nil, fmt.Errorf("unknown test %q", name)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no tests selected")
+	}
+	return out, nil
+}

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTable3(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t3.json")
+	data := `{"tasks":[
+		{"name":"t1","c":"2.10","d":"5","t":"5","a":7},
+		{"name":"t2","c":"2.00","d":"7","t":"7","a":7}
+	]}`
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunAllTestsOnTable3(t *testing.T) {
+	path := writeTable3(t)
+	// All three tests: DP and GN1 reject table 3 -> exit 1.
+	if got := run([]string{"-columns", "10", "-file", path}); got != 1 {
+		t.Errorf("exit = %d, want 1 (DP and GN1 reject)", got)
+	}
+	// GN2 alone accepts -> exit 0.
+	if got := run([]string{"-columns", "10", "-file", path, "-tests", "GN2"}); got != 0 {
+		t.Errorf("exit = %d, want 0 (GN2 accepts)", got)
+	}
+	// Composite accepts -> exit 0, with verbose details and simulation.
+	if got := run([]string{"-columns", "10", "-file", path, "-tests", "any-nf", "-v", "-simulate"}); got != 0 {
+		t.Errorf("exit = %d, want 0 (composite accepts)", got)
+	}
+}
+
+func TestRunCSVInput(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "set.csv")
+	csv := "name,c,d,t,a\nx,1,10,10,3\n"
+	if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := run([]string{"-columns", "10", "-file", path, "-tests", "DP"}); got != 0 {
+		t.Errorf("exit = %d, want 0", got)
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	path := writeTable3(t)
+	cases := [][]string{
+		{},                                 // missing -file
+		{"-file", "/nonexistent.json"},     // unreadable
+		{"-file", path, "-tests", "BOGUS"}, // unknown test
+		{"-file", path, "-tests", ""},      // empty test list
+		{"-file", path, "-simulate", "-scheduler", "xyz"}, // bad scheduler
+		{"-badflag"}, // flag error
+	}
+	for _, args := range cases {
+		if got := run(args); got != 2 {
+			t.Errorf("run(%v) = %d, want 2", args, got)
+		}
+	}
+}
+
+func TestRunSimulationFkF(t *testing.T) {
+	path := writeTable3(t)
+	if got := run([]string{"-columns", "10", "-file", path, "-tests", "GN2", "-simulate", "-scheduler", "fkf", "-horizon", "35"}); got != 0 {
+		t.Errorf("exit = %d, want 0", got)
+	}
+}
+
+func TestParseTests(t *testing.T) {
+	tests, err := parseTests("DP, gn1 ,GN2,dp-real,gn1-dk,any-fkf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tests) != 6 {
+		t.Errorf("parsed %d tests, want 6", len(tests))
+	}
+}
+
+func TestRunExtendedGN2Flag(t *testing.T) {
+	path := writeTable3(t)
+	// GN2x accepts everything GN2 accepts (table 3 included).
+	if got := run([]string{"-columns", "10", "-file", path, "-tests", "GN2x"}); got != 0 {
+		t.Errorf("exit = %d, want 0 (GN2x accepts table 3)", got)
+	}
+}

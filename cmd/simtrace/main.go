@@ -1,0 +1,135 @@
+// Command simtrace simulates one taskset and renders the schedule as an
+// ASCII Gantt chart, optionally verifying the work-conserving invariants
+// of the paper's Lemmas 1 and 2 on the produced trace.
+//
+// Usage:
+//
+//	simtrace -columns 10 -file set.json [-scheduler nf|fkf]
+//	         [-horizon 50] [-check] [-quantum 1] [-continue]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"fpgasched/internal/sched"
+	"fpgasched/internal/sim"
+	"fpgasched/internal/task"
+	"fpgasched/internal/timeunit"
+	"fpgasched/internal/trace"
+)
+
+// multiRecorder fans interval/miss callbacks out to several recorders.
+type multiRecorder []sim.Recorder
+
+func (m multiRecorder) Interval(from, to timeunit.Time, running, waiting []*sim.Job) {
+	for _, r := range m {
+		r.Interval(from, to, running, waiting)
+	}
+}
+
+func (m multiRecorder) Miss(at timeunit.Time, job *sim.Job) {
+	for _, r := range m {
+		r.Miss(at, job)
+	}
+}
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("simtrace", flag.ContinueOnError)
+	columns := fs.Int("columns", 10, "device area in columns")
+	file := fs.String("file", "", "taskset file (.json or .csv)")
+	scheduler := fs.String("scheduler", "nf", "nf or fkf")
+	horizon := fs.Int64("horizon", 0, "release horizon in time units (0: auto)")
+	check := fs.Bool("check", false, "verify Lemma 1/2 invariants on the trace")
+	quantum := fs.Int64("quantum", 1, "gantt cell width in time units")
+	contAfterMiss := fs.Bool("continue", false, "keep simulating after a miss")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *file == "" {
+		fmt.Fprintln(os.Stderr, "simtrace: -file is required")
+		return 2
+	}
+	f, err := os.Open(*file)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simtrace: %v\n", err)
+		return 2
+	}
+	var s *task.Set
+	if strings.EqualFold(filepath.Ext(*file), ".csv") {
+		s, err = task.ReadCSV(f)
+	} else {
+		s, err = task.ReadJSON(f)
+	}
+	f.Close()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simtrace: %v\n", err)
+		return 2
+	}
+
+	var pol sim.Policy
+	var mode trace.Mode
+	switch strings.ToLower(*scheduler) {
+	case "nf":
+		pol, mode = sched.NextFit{}, trace.ModeNF
+	case "fkf":
+		pol, mode = sched.FirstKFit{}, trace.ModeFkF
+	default:
+		fmt.Fprintf(os.Stderr, "simtrace: unknown scheduler %q\n", *scheduler)
+		return 2
+	}
+
+	gantt := trace.NewGantt(timeunit.FromUnits(*quantum))
+	recorders := multiRecorder{gantt}
+	var checker *trace.Checker
+	if *check {
+		checker = trace.NewChecker(*columns, s.AMax(), mode)
+		recorders = append(recorders, checker)
+	}
+	opts := sim.Options{ContinueAfterMiss: *contAfterMiss, Recorder: recorders}
+	if *horizon > 0 {
+		opts.Horizon = timeunit.FromUnits(*horizon)
+	}
+	res, err := sim.Simulate(*columns, s, pol, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simtrace: %v\n", err)
+		return 2
+	}
+
+	fmt.Printf("%s on %d columns, horizon %v\n", res.Policy, *columns, res.Horizon)
+	for i, tk := range s.Tasks {
+		fmt.Printf("  task %2d: %v\n", i, tk)
+	}
+	fmt.Println()
+	fmt.Print(gantt.String())
+	fmt.Printf("\njobs: %d released, %d completed, %d preemptions\n",
+		res.Released, res.Completed, res.Preemptions)
+	if res.Missed {
+		fmt.Printf("MISS: first at %v (task %d job %d); %d total\n",
+			res.FirstMissTime, res.FirstMissTask, res.FirstMissJob, res.Misses)
+	} else {
+		fmt.Println("all deadlines met")
+	}
+	if checker != nil {
+		if checker.Ok() {
+			fmt.Printf("invariants (%s): %d intervals checked, no violations\n", mode, checker.Intervals())
+		} else {
+			fmt.Printf("invariants (%s): VIOLATIONS:\n", mode)
+			for _, v := range checker.Violations() {
+				fmt.Println("  ", v)
+			}
+			return 1
+		}
+	}
+	if res.Missed {
+		return 1
+	}
+	return 0
+}

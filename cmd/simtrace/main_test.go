@@ -1,0 +1,66 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeSet(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestSimtraceCleanRun(t *testing.T) {
+	path := writeSet(t, "ok.json", `{"tasks":[
+		{"name":"a","c":"2","d":"5","t":"5","a":4},
+		{"name":"b","c":"2","d":"5","t":"5","a":4}
+	]}`)
+	if got := run([]string{"-columns", "10", "-file", path, "-check", "-horizon", "20"}); got != 0 {
+		t.Errorf("exit = %d, want 0", got)
+	}
+	if got := run([]string{"-columns", "10", "-file", path, "-scheduler", "fkf", "-check", "-horizon", "20"}); got != 0 {
+		t.Errorf("fkf exit = %d, want 0", got)
+	}
+}
+
+func TestSimtraceMissExitsOne(t *testing.T) {
+	path := writeSet(t, "miss.json", `{"tasks":[
+		{"name":"a","c":"3","d":"5","t":"5","a":10},
+		{"name":"b","c":"3","d":"5","t":"5","a":10}
+	]}`)
+	if got := run([]string{"-columns", "10", "-file", path, "-horizon", "5"}); got != 1 {
+		t.Errorf("exit = %d, want 1 on miss", got)
+	}
+	if got := run([]string{"-columns", "10", "-file", path, "-horizon", "10", "-continue", "-check"}); got != 1 {
+		t.Errorf("continue exit = %d, want 1", got)
+	}
+}
+
+func TestSimtraceUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{},
+		{"-file", "/nonexistent.json"},
+		{"-file", writeSet(t, "bad.json", "not json"), "-columns", "10"},
+	}
+	for _, args := range cases {
+		if got := run(args); got != 2 {
+			t.Errorf("run(%v) = %d, want 2", args, got)
+		}
+	}
+	path := writeSet(t, "ok2.json", `{"tasks":[{"name":"a","c":"1","d":"5","t":"5","a":2}]}`)
+	if got := run([]string{"-file", path, "-scheduler", "nope"}); got != 2 {
+		t.Error("bad scheduler must exit 2")
+	}
+}
+
+func TestSimtraceCSV(t *testing.T) {
+	path := writeSet(t, "set.csv", "name,c,d,t,a\nx,1,6,6,3\n")
+	if got := run([]string{"-columns", "10", "-file", path, "-horizon", "12"}); got != 0 {
+		t.Errorf("csv exit = %d, want 0", got)
+	}
+}

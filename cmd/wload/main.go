@@ -1,0 +1,104 @@
+// Command wload generates random hardware tasksets from the paper's
+// evaluation distributions, for use with the other tools.
+//
+// Usage:
+//
+//	wload -profile fig3a|fig3b|fig4a|fig4b [-n 10] [-seed 1]
+//	      [-target-us 40] [-format json|csv] [-o out.json]
+//	wload -profile table1|table2|table3 [-o out.json]
+//
+// -profile fig* draws from the corresponding figure distribution (use -n
+// to override the task count); -target-us rescales execution times to hit
+// a total system utilization. table* emit the paper's fixed tasksets.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"fpgasched/internal/task"
+	"fpgasched/internal/workload"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout))
+}
+
+func run(args []string, stdout io.Writer) int {
+	fs := flag.NewFlagSet("wload", flag.ContinueOnError)
+	profileName := fs.String("profile", "fig3b", "fig3a, fig3b, fig4a, fig4b, table1, table2, table3")
+	n := fs.Int("n", 0, "override task count (figure profiles only)")
+	seed := fs.Uint64("seed", 1, "RNG seed")
+	targetUS := fs.Float64("target-us", 0, "rescale to this total system utilization (0: raw draw)")
+	format := fs.String("format", "json", "json or csv")
+	outPath := fs.String("o", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	s, err := buildSet(*profileName, *n, *seed, *targetUS)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wload: %v\n", err)
+		return 2
+	}
+
+	out := stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wload: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		out = f
+	}
+	switch strings.ToLower(*format) {
+	case "json":
+		err = s.WriteJSON(out)
+	case "csv":
+		err = s.WriteCSV(out)
+	default:
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wload: %v\n", err)
+		return 2
+	}
+	return 0
+}
+
+func buildSet(profileName string, n int, seed uint64, targetUS float64) (*task.Set, error) {
+	switch strings.ToLower(profileName) {
+	case "table1":
+		return workload.Table1(), nil
+	case "table2":
+		return workload.Table2(), nil
+	case "table3":
+		return workload.Table3(), nil
+	}
+	var p workload.Profile
+	switch strings.ToLower(profileName) {
+	case "fig3a":
+		p = workload.Unconstrained(4)
+	case "fig3b":
+		p = workload.Unconstrained(10)
+	case "fig4a":
+		p = workload.SpatiallyHeavyTemporallyLight(10)
+	case "fig4b":
+		p = workload.SpatiallyLightTemporallyHeavy(10)
+	default:
+		return nil, fmt.Errorf("unknown profile %q", profileName)
+	}
+	if n > 0 {
+		p.N = n
+	}
+	r := workload.Rand(seed)
+	if targetUS > 0 {
+		s, _ := p.GenerateWithTargetUS(r, targetUS)
+		return s, nil
+	}
+	return p.Generate(r), nil
+}

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fpgasched/internal/task"
+)
+
+func TestBuildSetProfiles(t *testing.T) {
+	for _, name := range []string{"fig3a", "fig3b", "fig4a", "fig4b", "table1", "table2", "table3"} {
+		s, err := buildSet(name, 0, 1, 0)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if s.Len() == 0 {
+			t.Errorf("%s: empty set", name)
+		}
+	}
+	if _, err := buildSet("nope", 0, 1, 0); err == nil {
+		t.Error("unknown profile must fail")
+	}
+}
+
+func TestBuildSetOverrides(t *testing.T) {
+	s, err := buildSet("fig3b", 7, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 7 {
+		t.Errorf("n override: got %d tasks", s.Len())
+	}
+	s2, err := buildSet("fig3a", 0, 1, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	us, _ := s2.UtilizationS().Float64()
+	if us < 20 || us > 60 {
+		t.Errorf("target-us 40: achieved %g", us)
+	}
+}
+
+func TestRunWritesJSONAndCSV(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "out.json")
+	if got := run([]string{"-profile", "table1", "-o", jsonPath}, &bytes.Buffer{}); got != 0 {
+		t.Fatalf("exit %d", got)
+	}
+	f, err := os.Open(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	s, err := task.ReadJSON(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 {
+		t.Errorf("table1 has %d tasks", s.Len())
+	}
+
+	var csvBuf bytes.Buffer
+	if got := run([]string{"-profile", "fig3a", "-format", "csv", "-seed", "3"}, &csvBuf); got != 0 {
+		t.Fatal("csv run failed")
+	}
+	if !strings.HasPrefix(csvBuf.String(), "name,c,d,t,a") {
+		t.Errorf("csv output malformed: %q", csvBuf.String()[:40])
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if got := run([]string{"-profile", "bogus"}, &bytes.Buffer{}); got != 2 {
+		t.Error("bogus profile must exit 2")
+	}
+	if got := run([]string{"-profile", "fig3a", "-format", "xml"}, &bytes.Buffer{}); got != 2 {
+		t.Error("bad format must exit 2")
+	}
+	if got := run([]string{"-badflag"}, &bytes.Buffer{}); got != 2 {
+		t.Error("bad flag must exit 2")
+	}
+}
+
+func TestDeterministicOutput(t *testing.T) {
+	var a, b bytes.Buffer
+	run([]string{"-profile", "fig3b", "-seed", "5"}, &a)
+	run([]string{"-profile", "fig3b", "-seed", "5"}, &b)
+	if a.String() != b.String() {
+		t.Error("same seed must produce identical output")
+	}
+}

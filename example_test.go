@@ -1,0 +1,133 @@
+package fpgasched_test
+
+// Testable godoc examples for the public façade. Each doubles as an
+// integration test: `go test` verifies the printed output.
+
+import (
+	"fmt"
+
+	"fpgasched"
+)
+
+// ExampleDP analyses the paper's Table 1 taskset, which DP accepts with
+// its bound met at exact equality.
+func ExampleDP() {
+	device := fpgasched.NewDevice(10)
+	set := fpgasched.PaperTable1()
+	fmt.Println(fpgasched.DP().Analyze(device, set))
+	fmt.Println(fpgasched.GN1().Analyze(device, set).Schedulable)
+	fmt.Println(fpgasched.GN2().Analyze(device, set).Schedulable)
+	// Output:
+	// DP: schedulable
+	// false
+	// false
+}
+
+// ExampleCompositeNF shows the paper's recommended usage: a taskset is
+// declared unschedulable only if every test fails.
+func ExampleCompositeNF() {
+	device := fpgasched.NewDevice(10)
+	for _, set := range []*fpgasched.TaskSet{
+		fpgasched.PaperTable1(), fpgasched.PaperTable2(), fpgasched.PaperTable3(),
+	} {
+		v := fpgasched.CompositeNF().Analyze(device, set)
+		fmt.Println(v.Schedulable)
+	}
+	// Output:
+	// true
+	// true
+	// true
+}
+
+// ExampleSimulate runs the Table 3 taskset under EDF-NF with synchronous
+// release over one hyperperiod.
+func ExampleSimulate() {
+	set := fpgasched.PaperTable3()
+	res, err := fpgasched.Simulate(10, set, fpgasched.EDFNextFit(), fpgasched.SimOptions{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("horizon=%v missed=%v completed=%d\n", res.Horizon, res.Missed, res.Completed)
+	// Output:
+	// horizon=35 missed=false completed=12
+}
+
+// ExampleNewTask builds a task from exact decimal strings.
+func ExampleNewTask() {
+	t := fpgasched.NewTask("fft", "1.26", "7", "7", 9)
+	fmt.Println(t)
+	fmt.Println(t.UtilizationS().FloatString(2))
+	// Output:
+	// fft(C=1.26, D=7, T=7, A=9)
+	// 1.62
+}
+
+// ExampleEDFFirstKFit demonstrates the blocking weakness of EDF-FkF that
+// motivates EDF-NF (paper Section 1): the same taskset meets all
+// deadlines under NF but misses under FkF.
+func ExampleEDFFirstKFit() {
+	set := fpgasched.NewTaskSet(
+		fpgasched.NewTask("first", "3", "3", "10", 6),
+		fpgasched.NewTask("blocked", "1", "4", "10", 6),
+		fpgasched.NewTask("fits", "3", "5", "10", 4),
+	)
+	opts := fpgasched.SimOptions{Horizon: fpgasched.UnitsTime(10)}
+	nf, _ := fpgasched.Simulate(10, set, fpgasched.EDFNextFit(), opts)
+	fkf, _ := fpgasched.Simulate(10, set, fpgasched.EDFFirstKFit(), opts)
+	fmt.Printf("EDF-NF missed: %v\n", nf.Missed)
+	fmt.Printf("EDF-FkF missed: %v (at %v)\n", fkf.Missed, fkf.FirstMissTime)
+	// Output:
+	// EDF-NF missed: false
+	// EDF-FkF missed: true (at 5)
+}
+
+// ExampleNewAdmissionController gates arriving tasks behind the
+// composite test.
+func ExampleNewAdmissionController() {
+	ctrl, _ := fpgasched.NewAdmissionController(10)
+	d1 := ctrl.Request(fpgasched.NewTask("a", "2", "5", "5", 5))
+	d2 := ctrl.Request(fpgasched.NewTask("b", "5", "5", "5", 10))
+	fmt.Println(d1.Admitted, d1.ProvedBy)
+	fmt.Println(d2.Admitted)
+	// Output:
+	// true DP
+	// false
+}
+
+// ExampleSimulate2D shows the 2-D geometry trap: two 6x6 cores fit
+// area-wise on a 10x10 fabric but can never coexist.
+func ExampleSimulate2D() {
+	u := fpgasched.UnitsTime
+	set := &fpgasched.TaskSet2D{Tasks: []fpgasched.Task2D{
+		{Name: "a", C: u(3), D: u(5), T: u(10), W: 6, H: 6},
+		{Name: "b", C: u(3), D: u(5), T: u(10), W: 6, H: 6},
+	}}
+	capacity, _ := fpgasched.Simulate2D(10, 10, set, fpgasched.Sim2DOptions{
+		Mode: fpgasched.ModeCapacity2D, Horizon: u(10),
+	})
+	placed, _ := fpgasched.Simulate2D(10, 10, set, fpgasched.Sim2DOptions{
+		Mode: fpgasched.ModePlacement2D, Horizon: u(10),
+	})
+	fmt.Printf("area-capacity missed: %v\n", capacity.Missed)
+	fmt.Printf("true placement missed: %v\n", placed.Missed)
+	// Output:
+	// area-capacity missed: false
+	// true placement missed: true
+}
+
+// ExamplePlanPartitions builds a static partitioned-scheduling plan.
+func ExamplePlanPartitions() {
+	set := fpgasched.NewTaskSet(
+		fpgasched.NewTask("a", "3", "4", "4", 4),
+		fpgasched.NewTask("b", "3", "4", "4", 5),
+	)
+	plan, err := fpgasched.PlanPartitions(10, set)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("%d partitions, %d columns used\n", len(plan.Partitions), plan.UsedColumns())
+	// Output:
+	// 2 partitions, 9 columns used
+}

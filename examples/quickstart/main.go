@@ -1,0 +1,49 @@
+// Quickstart: define a hardware taskset, run the paper's three
+// schedulability tests, and double-check with a simulation.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fpgasched"
+)
+
+func main() {
+	// A 100-column PRTR FPGA.
+	device := fpgasched.NewDevice(100)
+
+	// Three hardware accelerators: (name, C, D, T, area).
+	// An FFT core needing 30 columns for 2ms every 10ms, etc.
+	set := fpgasched.NewTaskSet(
+		fpgasched.NewTask("fft", "2", "10", "10", 30),
+		fpgasched.NewTask("fir", "3", "12", "12", 25),
+		fpgasched.NewTask("crc", "1.5", "6", "6", 40),
+	)
+	fmt.Printf("taskset (UT=%s, US=%s):\n%v\n\n",
+		set.UtilizationT().FloatString(3), set.UtilizationS().FloatString(3), set)
+
+	// Run each sufficient test. Any single "schedulable" verdict proves
+	// the set feasible under the corresponding scheduler.
+	for _, test := range []fpgasched.Test{fpgasched.DP(), fpgasched.GN1(), fpgasched.GN2()} {
+		fmt.Println(test.Analyze(device, set))
+	}
+
+	// The composite applies the paper's advice: reject only if all fail.
+	verdict := fpgasched.CompositeNF().Analyze(device, set)
+	fmt.Println(verdict)
+
+	// Simulation is the necessary-side check: a miss would prove the
+	// taskset unschedulable for this release pattern.
+	res, err := fpgasched.Simulate(100, set, fpgasched.EDFNextFit(), fpgasched.SimOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if res.Missed {
+		fmt.Printf("simulation: missed at %v (task %d)\n", res.FirstMissTime, res.FirstMissTask)
+	} else {
+		fmt.Printf("simulation over %v: all %d jobs met their deadlines\n", res.Horizon, res.Completed)
+	}
+}

@@ -1,0 +1,84 @@
+package fpgasched
+
+// Façade for the extension subsystems: online admission control, the 2-D
+// reconfigurable model, and partitioned scheduling. These implement the
+// paper's Section 7 future-work list; the core 1-D analysis API lives in
+// fpgasched.go.
+
+import (
+	"fpgasched/internal/admission"
+	"fpgasched/internal/partition"
+	"fpgasched/internal/twod"
+)
+
+// AdmissionController gates a dynamically changing taskset behind the
+// schedulability tests: every arrival must be proven before it is hosted.
+type AdmissionController = admission.Controller
+
+// AdmissionDecision is the outcome of one admission request.
+type AdmissionDecision = admission.Decision
+
+// NewAdmissionController returns a controller for a device using the
+// standard EDF-NF composite (DP, GN1, GN2).
+func NewAdmissionController(columns int) (*AdmissionController, error) {
+	return admission.NewNFController(columns)
+}
+
+// PartitionPlan is a static partitioned-scheduling assignment
+// (Danne & Platzner RAW'06): disjoint column regions, serialized
+// execution within each, exact uniprocessor EDF analysis per partition.
+type PartitionPlan = partition.Plan
+
+// PlanPartitions builds a partitioned plan by first-fit-decreasing
+// allocation, or fails if no partitioning is found.
+func PlanPartitions(columns int, s *TaskSet) (*PartitionPlan, error) {
+	return partition.FirstFitDecreasing(columns, s)
+}
+
+// PartitionedSchedulable reports whether a partitioned plan exists.
+func PartitionedSchedulable(columns int, s *TaskSet) bool {
+	return partition.Schedulable(columns, s)
+}
+
+// Task2D is a hardware task occupying a W×H cell rectangle on a 2-D
+// reconfigurable device.
+type Task2D = twod.Task
+
+// TaskSet2D is a 2-D taskset.
+type TaskSet2D = twod.Set
+
+// Sim2DOptions configures a 2-D simulation run.
+type Sim2DOptions = twod.Options
+
+// Sim2DResult summarises a 2-D run.
+type Sim2DResult = twod.Result
+
+// Heuristic2D selects the free-rectangle placement heuristic.
+type Heuristic2D = twod.Heuristic
+
+// The 2-D placement heuristics.
+const (
+	BottomLeft2D       = twod.BottomLeft
+	BestShortSideFit2D = twod.BestShortSideFit
+	BestAreaFit2D      = twod.BestAreaFit
+)
+
+// SimMode2D selects the 2-D execution model.
+type SimMode2D = twod.Mode
+
+// The 2-D execution models: true rectangle placement (physical) and the
+// area-capacity relaxation (the paper's 1-D assumption lifted to 2-D,
+// an upper bound).
+const (
+	ModePlacement2D = twod.ModePlacement
+	ModeCapacity2D  = twod.ModeCapacity
+)
+
+// Simulate2D runs a 2-D taskset on a w×h device under EDF-NF/EDF-FkF
+// with true rectangle placement (or the area-capacity relaxation). There
+// is no 2-D utilization bound test — that is exactly the open problem
+// the paper's Section 7 leaves — so simulation and the capacity screen
+// are the available instruments.
+func Simulate2D(w, h int, s *TaskSet2D, opts Sim2DOptions) (Sim2DResult, error) {
+	return twod.Simulate(w, h, s, opts)
+}

@@ -1,0 +1,157 @@
+// Package fpgasched is a library for schedulability analysis and
+// simulation of global EDF scheduling of hardware tasks on 1-D partially
+// runtime-reconfigurable FPGAs, reproducing
+//
+//	Guan, Gu, Deng, Liu, Yu: "Improved Schedulability Analysis of EDF
+//	Scheduling on Reconfigurable Hardware Devices", IPPS 2007.
+//
+// A hardware task (C, D, T, A) needs C time units on A contiguous FPGA
+// columns every period T, finishing within deadline D. Any set of jobs
+// whose areas sum to at most the device width runs in parallel. The
+// package offers:
+//
+//   - Three sufficient schedulability tests with exact rational
+//     arithmetic: DP (Theorem 1, corrected Danne–Platzner bound), GN1
+//     (Theorem 2, EDF-NF only) and GN2 (Theorem 3), plus an any-of
+//     composite per scheduler.
+//   - A discrete-event simulator of the EDF-NF and EDF-FkF schedulers
+//     (and an EDF-US hybrid), with optional pinned contiguous placement
+//     and reconfiguration-overhead modelling.
+//   - Workload generators for the paper's evaluation distributions and
+//     the fixed tasksets of its Tables 1–3.
+//
+// This root package is a façade re-exporting the stable API from the
+// internal packages; see the example programs under examples/ for usage,
+// and DESIGN.md/EXPERIMENTS.md for the reproduction methodology.
+package fpgasched
+
+import (
+	"fpgasched/internal/core"
+	"fpgasched/internal/sched"
+	"fpgasched/internal/sim"
+	"fpgasched/internal/task"
+	"fpgasched/internal/timeunit"
+	"fpgasched/internal/workload"
+)
+
+// Time is an exact fixed-point duration or instant; see ParseTime.
+type Time = timeunit.Time
+
+// TicksPerUnit is the tick resolution of Time (10⁻⁴ time units).
+const TicksPerUnit = timeunit.TicksPerUnit
+
+// ParseTime converts a decimal string such as "1.26" to exact ticks.
+func ParseTime(s string) (Time, error) { return timeunit.Parse(s) }
+
+// MustParseTime is ParseTime, panicking on error (for fixtures).
+func MustParseTime(s string) Time { return timeunit.MustParse(s) }
+
+// UnitsTime converts whole time units to Time.
+func UnitsTime(u int64) Time { return timeunit.FromUnits(u) }
+
+// Task is a periodic/sporadic hardware task (C, D, T, A).
+type Task = task.Task
+
+// TaskSet is an ordered collection of tasks.
+type TaskSet = task.Set
+
+// NewTask builds a task from decimal strings; it panics on bad syntax.
+func NewTask(name, c, d, t string, area int) Task { return task.New(name, c, d, t, area) }
+
+// NewTaskSet builds a set from tasks.
+func NewTaskSet(tasks ...Task) *TaskSet { return task.NewSet(tasks...) }
+
+// Device is a 1-D reconfigurable FPGA with a column count A(H).
+type Device = core.Device
+
+// NewDevice returns a device with the given number of columns.
+func NewDevice(columns int) Device { return core.NewDevice(columns) }
+
+// Verdict is a schedulability test outcome with per-task detail.
+type Verdict = core.Verdict
+
+// Test is a schedulability test.
+type Test = core.Test
+
+// DP returns the paper's Theorem 1 test (valid for EDF-FkF and EDF-NF).
+func DP() Test { return core.DPTest{} }
+
+// GN1 returns the paper's Theorem 2 test (valid for EDF-NF only).
+func GN1() Test { return core.GN1Test{} }
+
+// GN2 returns the paper's Theorem 3 test (valid for EDF-FkF and EDF-NF).
+func GN2() Test { return core.GN2Test{} }
+
+// GN2Extended returns GN2 with the extended λ search: the candidate set
+// additionally includes the min-crossing breakpoints of the test's
+// piecewise-linear conditions, which the paper's O(N³) remark omits. It
+// accepts a strict superset of GN2's tasksets and remains sound (each
+// acceptance is certified by an explicit λ; see DESIGN.md item T3-CANDS).
+func GN2Extended() Test {
+	return core.GN2Test{Options: core.GN2Options{ExtendedLambdaSearch: true}}
+}
+
+// CompositeNF returns the any-of composite of all tests valid under
+// EDF-NF — the paper's recommended usage ("determine that a taskset is
+// unschedulable only if all tests fail").
+func CompositeNF() Test { return core.ForNF() }
+
+// CompositeFkF returns the any-of composite valid under EDF-FkF (DP and
+// GN2; GN1 does not apply).
+func CompositeFkF() Test { return core.ForFkF() }
+
+// Policy is a runtime scheduling policy for the simulator.
+type Policy = sim.Policy
+
+// EDFNextFit returns the EDF-NF scheduler (Definition 2).
+func EDFNextFit() Policy { return sched.NextFit{} }
+
+// EDFFirstKFit returns the EDF-FkF scheduler (Definition 1).
+func EDFFirstKFit() Policy { return sched.FirstKFit{} }
+
+// SimOptions configures a simulation run; the zero value reproduces the
+// paper's setup (synchronous release, capacity model, stop at first
+// miss).
+type SimOptions = sim.Options
+
+// SimResult summarises a simulation run.
+type SimResult = sim.Result
+
+// PlacementOptions enables pinned contiguous placement in the simulator.
+type PlacementOptions = sim.PlacementOptions
+
+// Simulate runs the taskset under the policy on a device with the given
+// columns. A Missed result proves unschedulability for that release
+// pattern; a clean run is only evidence, not proof (the paper's
+// Section 6 caveat).
+func Simulate(columns int, s *TaskSet, p Policy, opts SimOptions) (SimResult, error) {
+	return sim.Simulate(columns, s, p, opts)
+}
+
+// WorkloadProfile describes a random taskset distribution.
+type WorkloadProfile = workload.Profile
+
+// UnconstrainedWorkload is the paper's Figure 3 distribution with n
+// tasks.
+func UnconstrainedWorkload(n int) WorkloadProfile { return workload.Unconstrained(n) }
+
+// SpatiallyHeavyWorkload is the paper's Figure 4(a) distribution.
+func SpatiallyHeavyWorkload(n int) WorkloadProfile {
+	return workload.SpatiallyHeavyTemporallyLight(n)
+}
+
+// TemporallyHeavyWorkload is the paper's Figure 4(b) distribution.
+func TemporallyHeavyWorkload(n int) WorkloadProfile {
+	return workload.SpatiallyLightTemporallyHeavy(n)
+}
+
+// PaperTable1, PaperTable2 and PaperTable3 return the fixed tasksets of
+// the paper's Tables 1–3 (each accepted by exactly one of DP/GN1/GN2 on
+// a 10-column device).
+func PaperTable1() *TaskSet { return workload.Table1() }
+
+// PaperTable2 returns the Table 2 taskset; see PaperTable1.
+func PaperTable2() *TaskSet { return workload.Table2() }
+
+// PaperTable3 returns the Table 3 taskset; see PaperTable1.
+func PaperTable3() *TaskSet { return workload.Table3() }

@@ -1,0 +1,206 @@
+package fpgasched
+
+// Integration tests on the public façade, including the library's most
+// important end-to-end property: SOUNDNESS. The paper's tests are
+// sufficient conditions, so any taskset a test accepts must survive
+// simulation under the scheduler the test is proven for — with
+// synchronous release (the paper's critical-ish pattern) and with random
+// offsets. A single counterexample here would falsify the implementation
+// (or the theorem).
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"fpgasched/internal/workload"
+)
+
+// randomImplicitSet mirrors the paper's generation on a small device for
+// fast simulation.
+func randomImplicitSet(r *rand.Rand, n, columns int) *TaskSet {
+	s := &TaskSet{}
+	for i := 0; i < n; i++ {
+		period := UnitsTime(int64(4 + r.IntN(16)))
+		c := Time(1 + r.Int64N(int64(period)))
+		s.Tasks = append(s.Tasks, Task{C: c, D: period, T: period, A: 1 + r.IntN(columns)})
+	}
+	return s
+}
+
+func TestSoundnessSynchronousRelease(t *testing.T) {
+	// Accepted by a test ⇒ no miss in synchronous-release simulation
+	// under every scheduler the test covers.
+	const columns = 12
+	schedulersFor := func(testName string) []Policy {
+		if testName == "GN1" {
+			return []Policy{EDFNextFit()} // GN1 is NF-only
+		}
+		return []Policy{EDFNextFit(), EDFFirstKFit()}
+	}
+	f := func(seed uint64, nRaw uint8) bool {
+		r := rand.New(rand.NewPCG(seed, 77))
+		s := randomImplicitSet(r, 1+int(nRaw)%7, columns)
+		dev := NewDevice(columns)
+		for _, test := range []Test{DP(), GN1(), GN2(), GN2Extended()} {
+			if !test.Analyze(dev, s).Schedulable {
+				continue
+			}
+			for _, pol := range schedulersFor(test.Name()) {
+				res, err := Simulate(columns, s, pol, SimOptions{HorizonCap: UnitsTime(400)})
+				if err != nil {
+					t.Logf("sim error: %v", err)
+					return false
+				}
+				if res.Missed {
+					t.Logf("SOUNDNESS VIOLATION: %s accepted but %s missed at %v\n%v",
+						test.Name(), res.Policy, res.FirstMissTime, s)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSoundnessRandomOffsets(t *testing.T) {
+	// The tests quantify over all release patterns; spot-check random
+	// offset assignments too, not just synchronous release.
+	const columns = 12
+	f := func(seed uint64, nRaw uint8) bool {
+		r := rand.New(rand.NewPCG(seed, 79))
+		n := 1 + int(nRaw)%6
+		s := randomImplicitSet(r, n, columns)
+		dev := NewDevice(columns)
+		accepted := CompositeNF().Analyze(dev, s).Schedulable
+		if !accepted {
+			return true
+		}
+		for trial := 0; trial < 3; trial++ {
+			offsets := make([]Time, n)
+			for i := range offsets {
+				offsets[i] = Time(r.Int64N(int64(s.Tasks[i].T)))
+			}
+			res, err := Simulate(columns, s, EDFNextFit(), SimOptions{
+				HorizonCap: UnitsTime(400),
+				Offsets:    offsets,
+			})
+			if err != nil {
+				t.Logf("sim error: %v", err)
+				return false
+			}
+			if res.Missed {
+				t.Logf("SOUNDNESS VIOLATION with offsets %v:\n%v", offsets, s)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNFDominanceEndToEnd(t *testing.T) {
+	// Danne's dominance theorem through the public API: if EDF-FkF
+	// survives the simulation, EDF-NF survives it too.
+	const columns = 12
+	f := func(seed uint64, nRaw uint8) bool {
+		r := rand.New(rand.NewPCG(seed, 83))
+		s := randomImplicitSet(r, 2+int(nRaw)%6, columns)
+		fkf, err := Simulate(columns, s, EDFFirstKFit(), SimOptions{HorizonCap: UnitsTime(300)})
+		if err != nil {
+			return false
+		}
+		if fkf.Missed {
+			return true
+		}
+		nf, err := Simulate(columns, s, EDFNextFit(), SimOptions{HorizonCap: UnitsTime(300)})
+		if err != nil {
+			return false
+		}
+		if nf.Missed {
+			t.Logf("DOMINANCE VIOLATION: FkF met, NF missed\n%v", s)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFacadePaperTables(t *testing.T) {
+	dev := NewDevice(10)
+	type row struct {
+		set          *TaskSet
+		dp, gn1, gn2 bool
+	}
+	rows := map[string]row{
+		"table1": {PaperTable1(), true, false, false},
+		"table2": {PaperTable2(), false, true, false},
+		"table3": {PaperTable3(), false, false, true},
+	}
+	for name, want := range rows {
+		if got := DP().Analyze(dev, want.set).Schedulable; got != want.dp {
+			t.Errorf("%s: DP=%v", name, got)
+		}
+		if got := GN1().Analyze(dev, want.set).Schedulable; got != want.gn1 {
+			t.Errorf("%s: GN1=%v", name, got)
+		}
+		if got := GN2().Analyze(dev, want.set).Schedulable; got != want.gn2 {
+			t.Errorf("%s: GN2=%v", name, got)
+		}
+		// Composite accepts all three under NF.
+		if !CompositeNF().Analyze(dev, want.set).Schedulable {
+			t.Errorf("%s: composite rejected", name)
+		}
+		// And the accepted sets simulate cleanly under NF.
+		res, err := Simulate(10, want.set, EDFNextFit(), SimOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Missed {
+			t.Errorf("%s: NF simulation missed a test-accepted set", name)
+		}
+	}
+}
+
+func TestFacadeTimeHelpers(t *testing.T) {
+	if MustParseTime("1.26") != Time(12600) {
+		t.Error("MustParseTime broken")
+	}
+	if _, err := ParseTime("zzz"); err == nil {
+		t.Error("ParseTime should fail on garbage")
+	}
+	if UnitsTime(7) != Time(7*TicksPerUnit) {
+		t.Error("UnitsTime broken")
+	}
+}
+
+func TestFacadeWorkloads(t *testing.T) {
+	r := workload.Rand(1)
+	for _, p := range []WorkloadProfile{
+		UnconstrainedWorkload(4),
+		SpatiallyHeavyWorkload(10),
+		TemporallyHeavyWorkload(10),
+	} {
+		s := p.Generate(r)
+		if err := s.ValidateFor(100); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestFacadeNewTaskAndSet(t *testing.T) {
+	s := NewTaskSet(NewTask("x", "1.5", "4", "4", 3))
+	if s.Len() != 1 || s.Tasks[0].C != MustParseTime("1.5") {
+		t.Error("NewTaskSet/NewTask broken")
+	}
+	if NewDevice(10).Columns != 10 {
+		t.Error("NewDevice broken")
+	}
+}

@@ -1,0 +1,139 @@
+// Package admission provides an online admission controller for hardware
+// tasks, turning the paper's offline schedulability tests into a runtime
+// gatekeeper: tasks arrive and depart dynamically, and each arrival is
+// admitted only if the resident set plus the newcomer remains provably
+// schedulable under the configured composite test (the paper's Section 6
+// recommendation: "determine that a taskset is unschedulable only if all
+// tests fail").
+//
+// Admission is conservative by construction: the controller never hosts
+// a set it cannot prove, so — by the soundness of the underlying tests —
+// the running system never misses a deadline regardless of arrival
+// order. The controller is safe for concurrent use.
+package admission
+
+import (
+	"fmt"
+	"sync"
+
+	"fpgasched/internal/core"
+	"fpgasched/internal/task"
+)
+
+// Decision records the outcome of one admission request.
+type Decision struct {
+	// Admitted reports whether the task was accepted.
+	Admitted bool
+	// ProvedBy names the member test that proved the new set (empty on
+	// rejection).
+	ProvedBy string
+	// Reason explains a rejection.
+	Reason string
+}
+
+// Controller hosts a mutable resident taskset behind a schedulability
+// gate.
+type Controller struct {
+	mu       sync.Mutex
+	device   core.Device
+	tests    []core.Test
+	resident *task.Set
+	byName   map[string]int // name -> index in resident
+}
+
+// NewController returns an empty controller for a device. The tests are
+// tried in order; the first acceptance admits. Passing no tests is an
+// error (everything would be rejected silently).
+func NewController(columns int, tests ...core.Test) (*Controller, error) {
+	if columns < 1 {
+		return nil, fmt.Errorf("admission: device area %d", columns)
+	}
+	if len(tests) == 0 {
+		return nil, fmt.Errorf("admission: no tests configured")
+	}
+	return &Controller{
+		device:   core.NewDevice(columns),
+		tests:    tests,
+		resident: task.NewSet(),
+		byName:   make(map[string]int),
+	}, nil
+}
+
+// NewNFController is the standard configuration: the EDF-NF composite
+// (DP, GN1, GN2 in the paper's order).
+func NewNFController(columns int) (*Controller, error) {
+	return NewController(columns, core.DPTest{}, core.GN1Test{}, core.GN2Test{})
+}
+
+// Resident returns a copy of the currently admitted set.
+func (c *Controller) Resident() *task.Set {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.resident.Clone()
+}
+
+// Len returns the number of admitted tasks.
+func (c *Controller) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.resident.Len()
+}
+
+// Request asks to admit t. Task names must be unique and non-empty (they
+// are the departure handle).
+func (c *Controller) Request(t task.Task) Decision {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t.Name == "" {
+		return Decision{Reason: "task must be named"}
+	}
+	if _, dup := c.byName[t.Name]; dup {
+		return Decision{Reason: fmt.Sprintf("task %q already resident", t.Name)}
+	}
+	if err := t.Validate(); err != nil {
+		return Decision{Reason: err.Error()}
+	}
+	trial := c.resident.Clone()
+	trial.Tasks = append(trial.Tasks, t)
+	for _, test := range c.tests {
+		if v := test.Analyze(c.device, trial); v.Schedulable {
+			c.resident = trial
+			c.byName[t.Name] = c.resident.Len() - 1
+			return Decision{Admitted: true, ProvedBy: test.Name()}
+		}
+	}
+	return Decision{Reason: "no configured test proves the resulting set schedulable"}
+}
+
+// Release removes a resident task by name, returning false if absent.
+// No re-analysis is needed for safety: removing a task only removes work
+// from a work-conserving EDF schedule (predictability in the sense of
+// Ha & Liu), so the remaining set stays feasible even if the shrunken
+// set happens to fall outside what the configured tests can re-prove.
+func (c *Controller) Release(name string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	idx, ok := c.byName[name]
+	if !ok {
+		return false
+	}
+	next := task.NewSet()
+	next.Tasks = append(next.Tasks, c.resident.Tasks[:idx]...)
+	next.Tasks = append(next.Tasks, c.resident.Tasks[idx+1:]...)
+	c.resident = next
+	delete(c.byName, name)
+	for n, i := range c.byName {
+		if i > idx {
+			c.byName[n] = i - 1
+		}
+	}
+	return true
+}
+
+// Utilization returns the resident system utilization as a formatted
+// decimal string (for dashboards/logs).
+func (c *Controller) Utilization() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.resident.UtilizationS().FloatString(3)
+}

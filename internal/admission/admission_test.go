@@ -1,0 +1,197 @@
+package admission
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"fpgasched/internal/core"
+	"fpgasched/internal/sched"
+	"fpgasched/internal/sim"
+	"fpgasched/internal/task"
+	"fpgasched/internal/timeunit"
+	"fpgasched/internal/workload"
+)
+
+func TestConstructorValidation(t *testing.T) {
+	if _, err := NewController(0, core.DPTest{}); err == nil {
+		t.Error("zero columns must fail")
+	}
+	if _, err := NewController(10); err == nil {
+		t.Error("no tests must fail")
+	}
+	if _, err := NewNFController(10); err != nil {
+		t.Errorf("standard controller: %v", err)
+	}
+}
+
+func TestAdmitAndReject(t *testing.T) {
+	c, err := NewNFController(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := c.Request(task.New("light", "1", "10", "10", 3))
+	if !d.Admitted || d.ProvedBy == "" {
+		t.Fatalf("light task rejected: %+v", d)
+	}
+	// An obviously impossible addition (saturating the whole device on
+	// top of the resident task).
+	d = c.Request(task.New("hog", "10", "10", "10", 10))
+	if d.Admitted {
+		t.Fatal("hog must be rejected")
+	}
+	if d.Reason == "" {
+		t.Error("rejection must carry a reason")
+	}
+	if c.Len() != 1 {
+		t.Errorf("resident count = %d, want 1", c.Len())
+	}
+}
+
+func TestRequestValidation(t *testing.T) {
+	c, _ := NewNFController(10)
+	if d := c.Request(task.Task{C: 1, D: 1, T: 1, A: 1}); d.Admitted {
+		t.Error("unnamed task must be rejected")
+	}
+	c.Request(task.New("x", "1", "10", "10", 2))
+	if d := c.Request(task.New("x", "1", "10", "10", 2)); d.Admitted {
+		t.Error("duplicate name must be rejected")
+	}
+	if d := c.Request(task.New("bad", "5", "4", "4", 2)); d.Admitted {
+		t.Error("C > D must be rejected")
+	}
+}
+
+func TestReleaseMakesRoom(t *testing.T) {
+	c, _ := NewNFController(10)
+	// Two 40%-utilization half-device tasks are provable (DP); a third
+	// pushes US past every bound.
+	if d := c.Request(task.New("a", "2", "5", "5", 5)); !d.Admitted {
+		t.Fatalf("a: %+v", d)
+	}
+	if d := c.Request(task.New("b", "2", "5", "5", 5)); !d.Admitted {
+		t.Fatalf("b: %+v", d)
+	}
+	if d := c.Request(task.New("c", "2", "5", "5", 5)); d.Admitted {
+		t.Fatal("c must not be provable (US 6 beyond all bounds)")
+	}
+	if !c.Release("a") {
+		t.Fatal("release failed")
+	}
+	if c.Release("a") {
+		t.Error("double release returned true")
+	}
+	if d := c.Request(task.New("c", "2", "5", "5", 5)); !d.Admitted {
+		t.Fatalf("c must fit after release: %+v", d)
+	}
+}
+
+func TestReleaseReindexes(t *testing.T) {
+	c, _ := NewNFController(100)
+	for i := 0; i < 5; i++ {
+		name := fmt.Sprintf("t%d", i)
+		if d := c.Request(task.New(name, "1", "10", "10", 5)); !d.Admitted {
+			t.Fatalf("%s: %+v", name, d)
+		}
+	}
+	c.Release("t1")
+	c.Release("t3")
+	// Remaining tasks must still be individually releasable.
+	for _, name := range []string{"t0", "t2", "t4"} {
+		if !c.Release(name) {
+			t.Errorf("release %s failed after reindexing", name)
+		}
+	}
+	if c.Len() != 0 {
+		t.Errorf("resident = %d, want 0", c.Len())
+	}
+}
+
+func TestResidentIsACopy(t *testing.T) {
+	c, _ := NewNFController(10)
+	c.Request(task.New("a", "1", "10", "10", 2))
+	snap := c.Resident()
+	snap.Tasks[0].A = 99
+	if c.Resident().Tasks[0].A == 99 {
+		t.Error("Resident must return a copy")
+	}
+}
+
+func TestAdmittedSetAlwaysSimulatesCleanly(t *testing.T) {
+	// Stress: stream random requests and departures; after every change
+	// the resident set must survive synchronous-release simulation —
+	// the soundness guarantee the controller exists to provide.
+	c, err := NewNFController(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := workload.Rand(17)
+	names := []string{}
+	for step := 0; step < 120; step++ {
+		if r.IntN(3) == 0 && len(names) > 0 {
+			i := r.IntN(len(names))
+			c.Release(names[i])
+			names = append(names[:i], names[i+1:]...)
+		} else {
+			period := timeunit.FromUnits(int64(4 + r.IntN(12)))
+			tk := task.Task{
+				Name: fmt.Sprintf("s%d", step),
+				C:    timeunit.Time(1 + r.Int64N(int64(period))),
+				D:    period,
+				T:    period,
+				A:    1 + r.IntN(12),
+			}
+			if d := c.Request(tk); d.Admitted {
+				names = append(names, tk.Name)
+			}
+		}
+		resident := c.Resident()
+		if resident.Len() == 0 {
+			continue
+		}
+		res, err := sim.Simulate(20, resident, sched.NextFit{}, sim.Options{
+			HorizonCap: timeunit.FromUnits(150),
+		})
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		if res.Missed {
+			t.Fatalf("step %d: admitted set missed a deadline\n%v", step, resident)
+		}
+	}
+}
+
+func TestConcurrentRequests(t *testing.T) {
+	c, _ := NewNFController(100)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				name := fmt.Sprintf("g%d-%d", g, i)
+				d := c.Request(task.New(name, "1", "20", "20", 2))
+				if d.Admitted && i%2 == 0 {
+					c.Release(name)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Final state must be self-consistent and provable.
+	resident := c.Resident()
+	if resident.Len() > 0 {
+		v := core.ForNF().Analyze(core.NewDevice(100), resident)
+		if !v.Schedulable {
+			t.Errorf("final resident set not provable: %v", v)
+		}
+	}
+}
+
+func TestUtilizationString(t *testing.T) {
+	c, _ := NewNFController(10)
+	c.Request(task.New("a", "1", "10", "10", 5)) // US = 0.5
+	if got := c.Utilization(); got != "0.500" {
+		t.Errorf("Utilization = %q, want 0.500", got)
+	}
+}

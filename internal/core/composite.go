@@ -1,0 +1,60 @@
+package core
+
+import (
+	"strings"
+
+	"fpgasched/internal/task"
+)
+
+// Composite combines several sufficient tests with any-of semantics: the
+// taskset is accepted as soon as one member accepts it. This realises the
+// paper's Section 6 recommendation: "different schedulability bounds
+// should be applied together, i.e., determine that a taskset is
+// unschedulable only if all tests fail."
+//
+// Callers must only combine tests valid for the scheduler they intend to
+// use: GN1 is valid for EDF-NF but not EDF-FkF, so ForNF/ForFkF are the
+// recommended constructors.
+type Composite struct {
+	Tests []Test
+}
+
+// ForNF returns the composite of all three tests, valid for EDF-NF.
+func ForNF() Composite {
+	return Composite{Tests: []Test{DPTest{}, GN1Test{}, GN2Test{}}}
+}
+
+// ForFkF returns the composite of the tests valid for EDF-FkF (DP and
+// GN2; GN1's per-task area slack does not hold under First-k-Fit).
+func ForFkF() Composite {
+	return Composite{Tests: []Test{DPTest{}, GN2Test{}}}
+}
+
+// Name implements Test.
+func (c Composite) Name() string {
+	names := make([]string, len(c.Tests))
+	for i, t := range c.Tests {
+		names[i] = t.Name()
+	}
+	return "any(" + strings.Join(names, "|") + ")"
+}
+
+// Analyze implements Test. The returned verdict is the first accepting
+// member's verdict (with the composite name), or, if all reject, the last
+// member's verdict annotated with all member reasons.
+func (c Composite) Analyze(dev Device, s *task.Set) Verdict {
+	var reasons []string
+	var last Verdict
+	for _, t := range c.Tests {
+		v := t.Analyze(dev, s)
+		if v.Schedulable {
+			v.Test = c.Name() + " via " + t.Name()
+			return v
+		}
+		reasons = append(reasons, t.Name()+": "+v.Reason)
+		last = v
+	}
+	last.Test = c.Name()
+	last.Reason = strings.Join(reasons, "; ")
+	return last
+}

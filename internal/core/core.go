@@ -1,0 +1,148 @@
+// Package core implements the paper's primary contribution: utilization
+// bound schedulability tests for global EDF scheduling of hardware tasks
+// on a 1-D partially-runtime-reconfigurable FPGA.
+//
+// Three tests are provided:
+//
+//   - DP (Theorem 1): the Danne–Platzner test corrected for integer task
+//     areas, valid for EDF-FkF (and therefore also for EDF-NF, which
+//     dominates it).
+//   - GN1 (Theorem 2): a BCL-style interference test valid for EDF-NF
+//     only, exploiting the per-task area slack A(H)−Ak+1 of Lemma 2.
+//   - GN2 (Theorem 3): a BAK2-style busy-interval test valid for EDF-FkF
+//     (and EDF-NF), with a λ-parameterised workload bound.
+//
+// All arithmetic is exact (math/big.Rat over integer ticks), so knife-edge
+// tasksets such as the paper's Table 1 — constructed to meet the DP bound
+// with equality — are decided deterministically. The published theorem
+// statements contain several typos that are contradicted by the paper's
+// own worked examples; see DESIGN.md Section 2 for the catalogue
+// (T2-BOUND, T2-NORM, T3-STRICT, L7-GUARD, L7-CASE2) and the doc comments
+// on GN1Variant and GN2Options for how each is resolved here.
+package core
+
+import (
+	"fmt"
+	"math/big"
+
+	"fpgasched/internal/task"
+)
+
+// Device is a 1-D reconfigurable FPGA with a given number of columns,
+// written A(H) in the paper. The device is assumed homogeneous (no
+// pre-configured columns) with zero reconfiguration overhead and
+// unrestricted job migration, matching the paper's Section 1 assumptions.
+type Device struct {
+	// Columns is the total area A(H) in columns.
+	Columns int
+}
+
+// NewDevice returns a Device with the given column count.
+func NewDevice(columns int) Device { return Device{Columns: columns} }
+
+// BoundCheck records the per-task inequality evaluated by a test, for
+// inspection and for pinning the paper's worked examples in tests.
+type BoundCheck struct {
+	// TaskIndex is the index k of the analysed task within the set.
+	TaskIndex int
+	// LHS and RHS are the two sides of the test's inequality for task k.
+	// For GN2 they correspond to the winning (or last-tried) λ and
+	// condition.
+	LHS, RHS *big.Rat
+	// Satisfied reports whether the inequality held for task k.
+	Satisfied bool
+	// Lambda is the λ value that satisfied GN2 for this task (nil for DP
+	// and GN1, and for unsatisfied GN2 checks).
+	Lambda *big.Rat
+	// Condition is the GN2 condition (1 or 2) that was satisfied, or 0.
+	Condition int
+}
+
+// Verdict is the outcome of a schedulability test on a taskset.
+type Verdict struct {
+	// Test is the name of the test that produced the verdict.
+	Test string
+	// Schedulable reports whether the test accepts the taskset. These
+	// are sufficient tests: false means "not proven schedulable", not
+	// "unschedulable".
+	Schedulable bool
+	// Reason is a human-readable explanation, filled on rejection and on
+	// precondition failures.
+	Reason string
+	// FailingTask is the index of the first task whose bound failed, or
+	// -1 when Schedulable or when rejection was not attributable to one
+	// task (e.g. validation failure).
+	FailingTask int
+	// Checks holds the per-task bound evaluations, in task order. Empty
+	// if a precondition failed before any bound was evaluated.
+	Checks []BoundCheck
+}
+
+// String renders the verdict compactly.
+func (v Verdict) String() string {
+	if v.Schedulable {
+		return fmt.Sprintf("%s: schedulable", v.Test)
+	}
+	if v.FailingTask >= 0 {
+		return fmt.Sprintf("%s: not proven schedulable (task %d: %s)", v.Test, v.FailingTask, v.Reason)
+	}
+	return fmt.Sprintf("%s: not proven schedulable (%s)", v.Test, v.Reason)
+}
+
+// Test is a schedulability test for hardware tasksets on a device.
+type Test interface {
+	// Name returns the short test identifier (e.g. "DP", "GN1", "GN2").
+	Name() string
+	// Analyze runs the test. It never mutates the set.
+	Analyze(dev Device, s *task.Set) Verdict
+}
+
+// precheck validates the set against the device and returns a rejection
+// verdict if the taskset cannot possibly be handled (empty set, C > D,
+// task wider than the device). All three tests share these preconditions.
+func precheck(name string, dev Device, s *task.Set) (Verdict, bool) {
+	if err := s.ValidateFor(dev.Columns); err != nil {
+		return Verdict{
+			Test:        name,
+			Schedulable: false,
+			Reason:      err.Error(),
+			FailingTask: -1,
+		}, false
+	}
+	return Verdict{}, true
+}
+
+// Rational helpers over ticks. Ratios of tick-valued quantities are
+// scale-invariant, so all time arithmetic below is done directly in ticks.
+
+func ratFromTicks(t int64) *big.Rat { return new(big.Rat).SetInt64(t) }
+
+func ratInt(v int) *big.Rat { return new(big.Rat).SetInt64(int64(v)) }
+
+var (
+	ratZero = new(big.Rat)
+	ratOne  = big.NewRat(1, 1)
+)
+
+func ratMin(a, b *big.Rat) *big.Rat {
+	if a.Cmp(b) <= 0 {
+		return a
+	}
+	return b
+}
+
+func ratMax(a, b *big.Rat) *big.Rat {
+	if a.Cmp(b) >= 0 {
+		return a
+	}
+	return b
+}
+
+// floorDiv returns floor(a/b) for b != 0.
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}

@@ -1,0 +1,244 @@
+package core
+
+// Edge-case and precondition tests for the three schedulability tests.
+
+import (
+	"math/big"
+	"testing"
+
+	"fpgasched/internal/task"
+)
+
+func TestPreconditionRejections(t *testing.T) {
+	dev := NewDevice(10)
+	cases := []struct {
+		name string
+		set  *task.Set
+	}{
+		{"empty", task.NewSet()},
+		{"too wide", task.NewSet(task.New("w", "1", "5", "5", 11))},
+		{"C beyond D", task.NewSet(task.Task{C: 60000, D: 50000, T: 50000, A: 1})},
+		{"zero period", task.NewSet(task.Task{C: 1, D: 1, T: 0, A: 1})},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, test := range allTests {
+				v := test.Analyze(dev, tc.set)
+				if v.Schedulable {
+					t.Errorf("%s accepted invalid set", test.Name())
+				}
+				if v.Reason == "" {
+					t.Errorf("%s gave no reason", test.Name())
+				}
+				if v.FailingTask != -1 {
+					t.Errorf("%s: precondition failure must not blame a task, got %d", test.Name(), v.FailingTask)
+				}
+			}
+		})
+	}
+}
+
+func TestZeroWidthDevice(t *testing.T) {
+	s := task.NewSet(task.New("x", "1", "5", "5", 1))
+	for _, test := range allTests {
+		if test.Analyze(NewDevice(0), s).Schedulable {
+			t.Errorf("%s accepted on zero-area device", test.Name())
+		}
+	}
+}
+
+func TestSingleLightTaskAccepted(t *testing.T) {
+	// One task, half utilization, narrow: every test should accept.
+	s := task.NewSet(task.New("solo", "2", "4", "4", 3))
+	dev := NewDevice(10)
+	for _, test := range allTests {
+		if v := test.Analyze(dev, s); !v.Schedulable {
+			t.Errorf("%s rejected a trivially feasible single task: %v", test.Name(), v)
+		}
+	}
+}
+
+func TestSingleSaturatedTaskKnifeEdges(t *testing.T) {
+	// A single task with C = D = T (utilization exactly 1) is feasible on
+	// the device but sits on the boundary of every bound. Document the
+	// per-test behaviour: DP accepts (US(τk) term restores the bound);
+	// GN1 and GN2's strict inequalities reject — inherent pessimism of
+	// the published theorems, not an implementation artefact.
+	s := task.NewSet(task.New("solo", "4", "4", "4", 3))
+	dev := NewDevice(10)
+	if !(DPTest{}).Analyze(dev, s).Schedulable {
+		t.Error("DP must accept single saturated task")
+	}
+	if (GN1Test{}).Analyze(dev, s).Schedulable {
+		t.Error("GN1's strict bound rejects a saturated task (documented pessimism)")
+	}
+	if (GN2Test{}).Analyze(dev, s).Schedulable {
+		t.Error("GN2's bounds reject a saturated task (documented pessimism)")
+	}
+}
+
+func TestDeviceFullWidthTask(t *testing.T) {
+	// A task as wide as the device: Abnd = 1 for DP/GN2, per-task slack
+	// A(H)−Ak+1 = 1 for GN1. Low utilization should still be accepted.
+	s := task.NewSet(task.New("wide", "1", "10", "10", 10))
+	dev := NewDevice(10)
+	for _, test := range allTests {
+		if v := test.Analyze(dev, s); !v.Schedulable {
+			t.Errorf("%s rejected a 10%%-utilization full-width task: %v", test.Name(), v)
+		}
+	}
+}
+
+func TestDPRequiresImplicitDeadlines(t *testing.T) {
+	s := task.NewSet(task.New("x", "1", "4", "5", 2))
+	v := (DPTest{}).Analyze(NewDevice(10), s)
+	if v.Schedulable {
+		t.Error("DP must refuse constrained-deadline sets (theorem scope)")
+	}
+	if v.Reason == "" || v.FailingTask != -1 {
+		t.Error("DP scope rejection must carry a reason and no task blame")
+	}
+}
+
+func TestGN1RequiresConstrainedDeadlines(t *testing.T) {
+	post := task.NewSet(task.New("x", "1", "9", "5", 2))
+	v := (GN1Test{}).Analyze(NewDevice(10), post)
+	if v.Schedulable {
+		t.Error("GN1 must refuse post-period-deadline sets (theorem scope)")
+	}
+	constrained := task.NewSet(task.New("x", "1", "4", "5", 2))
+	if v := (GN1Test{}).Analyze(NewDevice(10), constrained); !v.Schedulable {
+		t.Errorf("GN1 handles D < T and should accept a light task: %v", v)
+	}
+}
+
+func TestGN2HandlesPostPeriodDeadlines(t *testing.T) {
+	// GN2 (like BAK2) supports D > T; a light task should be accepted.
+	s := task.NewSet(task.New("x", "1", "8", "5", 2))
+	if v := (GN2Test{}).Analyze(NewDevice(10), s); !v.Schedulable {
+		t.Errorf("GN2 should accept a light post-period-deadline task: %v", v)
+	}
+}
+
+func TestGN2LambdaKWithConstrainedDeadline(t *testing.T) {
+	// With Tk > Dk, λk = λ·Tk/Dk > λ: the analysed task's own density
+	// matters. A task with C close to D but D << T exercises the branch.
+	s := task.NewSet(
+		task.New("dense", "3", "4", "16", 2),
+		task.New("bg", "1", "16", "16", 2),
+	)
+	v := (GN2Test{}).Analyze(NewDevice(10), s)
+	// λ for "dense" starts at C/T = 3/16 but λk = λ·4 = 3/4; sanity: the
+	// test must run (no panic) and return a definite verdict.
+	if len(v.Checks) != 2 {
+		t.Fatalf("expected 2 checks, got %d", len(v.Checks))
+	}
+}
+
+func TestGN2BetaCases(t *testing.T) {
+	g := GN2Test{}
+	dk := task.Task{Name: "k", C: 20000, D: 100000, T: 100000, A: 1} // Dk = 10
+	// Case 1: ui ≤ λ, implicit deadline: β = ui.
+	ti := task.Task{C: 20000, D: 100000, T: 100000, A: 1} // u = 0.2
+	if got := g.beta(ti, dk, big.NewRat(1, 2)); got.Cmp(big.NewRat(1, 5)) != 0 {
+		t.Errorf("case1 implicit: β = %s, want 1/5", got.RatString())
+	}
+	// Case 1 with Ti > Di: β = ui·(1 + (Ti−Di)/Dk).
+	tiCon := task.Task{C: 20000, D: 50000, T: 100000, A: 1} // u=0.2, D=5, T=10
+	// β = 0.2·(1 + 5/10) = 0.3.
+	if got := g.beta(tiCon, dk, big.NewRat(1, 2)); got.Cmp(big.NewRat(3, 10)) != 0 {
+		t.Errorf("case1 constrained: β = %s, want 3/10", got.RatString())
+	}
+	// Case 3: ui > λ and λ < Ci/Di: β = ui + (Ci − λ·Di)/Dk.
+	tiHeavy := task.Task{C: 60000, D: 100000, T: 100000, A: 1} // u = 0.6
+	lambda := big.NewRat(1, 4)
+	// β = 0.6 + (6 − 0.25·10)/10 = 0.6 + 0.35 = 0.95.
+	if got := g.beta(tiHeavy, dk, lambda); got.Cmp(big.NewRat(19, 20)) != 0 {
+		t.Errorf("case3: β = %s, want 19/20", got.RatString())
+	}
+	// Case 2 (middle): needs Di > Ti so that Ci/Di < λ < Ci/Ti.
+	tiPost := task.Task{C: 60000, D: 200000, T: 100000, A: 1} // u=0.6, dens=0.3
+	lambda2 := big.NewRat(2, 5)                               // 0.3 ≤ 0.4 < 0.6
+	// Printed value: Ck/Tk = 2/10 = 1/5.
+	if got := g.beta(tiPost, dk, lambda2); got.Cmp(big.NewRat(1, 5)) != 0 {
+		t.Errorf("case2 printed: β = %s, want 1/5 (Ck/Tk)", got.RatString())
+	}
+	gBaker := GN2Test{Options: GN2Options{CaseTwoBaker: true}}
+	// Baker-consistent alternative: Ci/Di = 6/20 = 3/10.
+	if got := gBaker.beta(tiPost, dk, lambda2); got.Cmp(big.NewRat(3, 10)) != 0 {
+		t.Errorf("case2 baker: β = %s, want 3/10 (Ci/Di)", got.RatString())
+	}
+}
+
+func TestLambdaCandidates(t *testing.T) {
+	s := task.NewSet(
+		task.Task{C: 20000, D: 100000, T: 100000, A: 1}, // u = 1/5
+		task.Task{C: 30000, D: 200000, T: 100000, A: 1}, // u = 3/10, dens = 3/20 (D>T)
+		task.Task{C: 20000, D: 100000, T: 100000, A: 1}, // duplicate u = 1/5
+	)
+	uk := big.NewRat(1, 10)
+	got := lambdaCandidates(s, uk)
+	want := []*big.Rat{big.NewRat(1, 10), big.NewRat(3, 20), big.NewRat(1, 5), big.NewRat(3, 10)}
+	if len(got) != len(want) {
+		t.Fatalf("candidates = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i].Cmp(want[i]) != 0 {
+			t.Errorf("candidate %d = %s, want %s", i, got[i].RatString(), want[i].RatString())
+		}
+	}
+	// With a floor above some candidates, they are excluded.
+	got2 := lambdaCandidates(s, big.NewRat(1, 4))
+	if len(got2) != 2 { // {1/4, 3/10}
+		t.Errorf("floored candidates = %v, want [1/4, 3/10]", got2)
+	}
+}
+
+func TestDPRealValuedAlphaStrictlyWeaker(t *testing.T) {
+	// The integer-area correction strictly dominates the original DP
+	// bound: the original can never accept a set the corrected rejects.
+	// Table 1 separates them: corrected DP accepts (equality), the
+	// real-valued-α original rejects.
+	s := table1()
+	if !(DPTest{}).Analyze(tableDevice, s).Schedulable {
+		t.Error("corrected DP must accept table 1")
+	}
+	if (DPTest{RealValuedAlpha: true}).Analyze(tableDevice, s).Schedulable {
+		t.Error("real-valued-α DP must reject table 1 (bound drops by 1−UT)")
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	ok := Verdict{Test: "DP", Schedulable: true}
+	if ok.String() != "DP: schedulable" {
+		t.Errorf("got %q", ok.String())
+	}
+	bad := Verdict{Test: "GN1", Schedulable: false, FailingTask: 2, Reason: "bound"}
+	if bad.String() == "" || bad.String() == ok.String() {
+		t.Errorf("got %q", bad.String())
+	}
+	noTask := Verdict{Test: "GN2", Schedulable: false, FailingTask: -1, Reason: "invalid"}
+	if noTask.String() == "" {
+		t.Error("empty string for precondition verdict")
+	}
+}
+
+func TestNameStability(t *testing.T) {
+	// Experiment CSV columns key on these names; keep them stable.
+	wants := map[string]Test{
+		"DP":      DPTest{},
+		"DP-real": DPTest{RealValuedAlpha: true},
+		"GN1":     GN1Test{},
+		"GN1-Dk":  GN1Test{Variant: GN1VariantBCL},
+		"GN2":     GN2Test{},
+	}
+	for want, test := range wants {
+		if test.Name() != want {
+			t.Errorf("Name() = %q, want %q", test.Name(), want)
+		}
+	}
+	comp := ForNF()
+	if comp.Name() != "any(DP|GN1|GN2)" {
+		t.Errorf("composite name = %q", comp.Name())
+	}
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+	"math/big"
+
+	"fpgasched/internal/task"
+)
+
+// GN1Variant selects the normalisation of the interference ratio βi in
+// GN1 (DESIGN.md item T2-NORM).
+type GN1Variant int
+
+const (
+	// GN1VariantPaper normalises the interference workload by the
+	// interfering task's own deadline, βi = Wi/Di, exactly as printed in
+	// Theorem 2 and as used in the paper's own Table-3 walkthrough
+	// (β1 = 4.1/5 with D1 = 5, Dk = 7).
+	GN1VariantPaper GN1Variant = iota
+	// GN1VariantBCL normalises by the analysed window length, βi = Wi/Dk,
+	// as in the Bertogna–Cirinei–Lipari multiprocessor test that Theorem 2
+	// is derived from. With unit areas this variant degenerates exactly to
+	// BCL, which the cross-validation property tests rely on.
+	GN1VariantBCL
+)
+
+// String returns the variant name.
+func (v GN1Variant) String() string {
+	if v == GN1VariantBCL {
+		return "GN1-Dk"
+	}
+	return "GN1"
+}
+
+// GN1Test is the paper's Theorem 2: a BCL-style interference-bound test
+// for EDF-NF. A taskset Γ is schedulable under EDF-NF if, for each τk,
+//
+//	Σ_{i≠k} Ai·min(βi, 1 − Ck/Dk)  <  (A(H) − Ak + 1)·(1 − Ck/Dk)
+//
+// with βi = Wi/Di (paper variant; see GN1Variant) and the window workload
+// bound of Lemma 4:
+//
+//	Wi = Ni·Ci + min(Ci, max(Dk − Ni·Ti, 0)),  Ni = max(0, ⌊(Dk−Di)/Ti⌋+1).
+//
+// The area slack A(H) − Ak + 1 comes from Lemma 2: while a job of τk
+// waits, EDF-NF keeps at least that much area busy (interval-α-work-
+// conserving). The printed theorem says A(H) − Ak, but Lemma 3 and the
+// paper's worked example use A(H) − Ak + 1 (DESIGN.md item T2-BOUND);
+// the latter is implemented.
+//
+// GN1 is NOT valid for EDF-FkF: the per-task slack relies on EDF-NF's
+// ability to skip a blocked wide job. The test requires constrained
+// deadlines (D ≤ T), as does the BCL analysis it derives from; sets with
+// post-period deadlines are rejected with a reason.
+type GN1Test struct {
+	// Variant selects the βi normalisation; the zero value is the
+	// paper-faithful Wi/Di.
+	Variant GN1Variant
+}
+
+// Name implements Test.
+func (g GN1Test) Name() string { return g.Variant.String() }
+
+// Analyze implements Test.
+func (g GN1Test) Analyze(dev Device, s *task.Set) Verdict {
+	name := g.Name()
+	if v, ok := precheck(name, dev, s); !ok {
+		return v
+	}
+	if !s.ConstrainedDeadlines() {
+		return Verdict{
+			Test:        name,
+			Schedulable: false,
+			Reason:      "GN1 requires constrained deadlines (D ≤ T)",
+			FailingTask: -1,
+		}
+	}
+	v := Verdict{Test: name, Schedulable: true, FailingTask: -1}
+	for k, tk := range s.Tasks {
+		lhs, rhs, ok := g.checkTask(dev, s, k)
+		v.Checks = append(v.Checks, BoundCheck{TaskIndex: k, LHS: lhs, RHS: rhs, Satisfied: ok})
+		if !ok && v.Schedulable {
+			v.Schedulable = false
+			v.FailingTask = k
+			v.Reason = fmt.Sprintf("interference bound %s not below slack bound %s for task %d (%s)",
+				lhs.RatString(), rhs.RatString(), k, tk.Name)
+		}
+	}
+	return v
+}
+
+// checkTask evaluates Theorem 2's inequality for task index k, returning
+// the two sides and whether the strict inequality holds.
+func (g GN1Test) checkTask(dev Device, s *task.Set, k int) (lhs, rhs *big.Rat, ok bool) {
+	tk := s.Tasks[k]
+	// slack = 1 − Ck/Dk, the normalised slack of τk.
+	slack := new(big.Rat).Sub(ratOne, new(big.Rat).SetFrac64(int64(tk.C), int64(tk.D)))
+	// RHS = (A(H) − Ak + 1)·slack.
+	rhs = new(big.Rat).Mul(ratInt(dev.Columns-tk.A+1), slack)
+	lhs = new(big.Rat)
+	for i, ti := range s.Tasks {
+		if i == k {
+			continue
+		}
+		beta := gn1Beta(ti, tk, g.Variant)
+		term := new(big.Rat).Mul(ratInt(ti.A), ratMin(beta, slack))
+		lhs.Add(lhs, term)
+	}
+	return lhs, rhs, lhs.Cmp(rhs) < 0
+}
+
+// gn1Beta computes βi, the normalised worst-case interference ratio that
+// task ti can contribute inside τk's scheduling window (Lemma 4): the
+// deadlines of ti and τk are aligned, Ni full jobs of ti fit in the window
+// and at most one carry-in job contributes min(Ci, max(Dk − Ni·Ti, 0)).
+func gn1Beta(ti, tk task.Task, variant GN1Variant) *big.Rat {
+	ni := floorDiv(int64(tk.D)-int64(ti.D), int64(ti.T)) + 1
+	if ni < 0 {
+		ni = 0
+	}
+	carryCap := int64(tk.D) - ni*int64(ti.T)
+	if carryCap < 0 {
+		carryCap = 0
+	}
+	carry := int64(ti.C)
+	if carryCap < carry {
+		carry = carryCap
+	}
+	w := ratFromTicks(ni*int64(ti.C) + carry)
+	den := int64(ti.D)
+	if variant == GN1VariantBCL {
+		den = int64(tk.D)
+	}
+	return w.Quo(w, ratFromTicks(den))
+}

@@ -1,0 +1,279 @@
+package core
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+
+	"fpgasched/internal/task"
+)
+
+// GN2Options configures the GN2 test's resolution of two published
+// ambiguities (DESIGN.md items T3-STRICT and L7-CASE2). The zero value is
+// the configuration that reproduces the paper's reported verdicts for
+// Tables 1–3.
+type GN2Options struct {
+	// CondTwoNonStrict evaluates Theorem 3's condition 2 with the printed
+	// "≤" instead of the strict "<" needed to reproduce the paper's
+	// Table-1 rejection (the Table-1 taskset meets condition 2 with exact
+	// equality at λ = 0.19 yet is reported rejected). The default
+	// (false) uses the strict comparison.
+	CondTwoNonStrict bool
+	// CaseTwoBaker replaces the printed middle-case value Ck/Tk of
+	// Lemma 7's βλk(i) with the Baker-consistent Ci/Di. The case fires
+	// only for tasks with post-period deadlines (Di > Ti), which the
+	// paper's evaluation never exercises. The default (false) implements
+	// the printed value.
+	CaseTwoBaker bool
+	// ExtendedLambdaSearch adds the min-crossing breakpoints to the λ
+	// candidate set. Theorem 3's remark claims only λ ∈ {Ci/Ti} ∪
+	// {Ci/Di : Di > Ti} matter, but condition 1's test function
+	// Σ Ai·min(βλk(i), 1−λk) − Abnd·(1−λk) is piecewise linear with
+	// additional breakpoints where βλk(i) crosses 1−λk (and condition
+	// 2's where βλk(i) crosses 1); its minimum can sit at such a
+	// crossing. Evaluating at more λ values is sound — any single λ with
+	// λk ≤ 1 certifies schedulability per the proof — so the extended
+	// search accepts a superset of the published test (property-tested).
+	// Default off to match the paper.
+	ExtendedLambdaSearch bool
+}
+
+// GN2Test is the paper's Theorem 3: a busy-interval (problem-window
+// extension) test in the style of Baker's BAK2, valid for EDF-FkF and —
+// since EDF-NF dominates EDF-FkF — for EDF-NF as well.
+//
+// A taskset Γ is schedulable if for every task τk there exists
+// λ ≥ Ck/Tk such that, with λk = λ·max(1, Tk/Dk) and
+// Abnd = A(H) − Amax + 1, at least one of
+//
+//	(1)  Σ_i Ai·min(βλk(i), 1 − λk)  <  Abnd·(1 − λk)
+//	(2)  Σ_i Ai·min(βλk(i), 1)      <  (Abnd − Amin)·(1 − λk) + Amin
+//
+// holds, where βλk(i) is Lemma 7's bound on the fraction of a maximal
+// τλk-busy interval during which τi can execute:
+//
+//	βλk(i) = max(Ci/Ti, Ci/Ti·(1 − Di/Dk) + Ci/Dk)   if Ci/Ti ≤ λ
+//	       = Ck/Tk (printed; Ci/Di under CaseTwoBaker) if Ci/Ti > λ ∧ λ ≥ Ci/Di
+//	       = Ci/Ti + (Ci − λ·Di)/Dk                    if Ci/Ti > λ ∧ λ < Ci/Di
+//
+// Only finitely many λ need be considered (the theorem's O(N³) claim):
+// the minimum point Ck/Tk and the discontinuities of βλk, i.e. every
+// Ci/Ti, and Ci/Di for tasks with Di > Ti (the only tasks for which the
+// middle case is reachable).
+//
+// The sums run over all tasks including i = k, as in the theorem
+// statement and its proof (the busy interval contains τk's own
+// execution).
+type GN2Test struct {
+	Options GN2Options
+}
+
+// Name implements Test.
+func (g GN2Test) Name() string { return "GN2" }
+
+// Analyze implements Test.
+func (g GN2Test) Analyze(dev Device, s *task.Set) Verdict {
+	const name = "GN2"
+	if v, ok := precheck(name, dev, s); !ok {
+		return v
+	}
+	abnd := ratInt(dev.Columns - s.AMax() + 1)
+	amin := ratInt(s.AMin())
+	v := Verdict{Test: name, Schedulable: true, FailingTask: -1}
+	for k := range s.Tasks {
+		check := g.checkTask(s, k, abnd, amin)
+		check.TaskIndex = k
+		v.Checks = append(v.Checks, check)
+		if !check.Satisfied && v.Schedulable {
+			v.Schedulable = false
+			v.FailingTask = k
+			v.Reason = fmt.Sprintf("no λ ≥ C/T satisfies condition 1 or 2 for task %d (%s)",
+				k, s.Tasks[k].Name)
+		}
+	}
+	return v
+}
+
+// checkTask searches the finite λ candidate set for one that satisfies
+// condition 1 or condition 2 for task k.
+func (g GN2Test) checkTask(s *task.Set, k int, abnd, amin *big.Rat) BoundCheck {
+	tk := s.Tasks[k]
+	uk := new(big.Rat).SetFrac64(int64(tk.C), int64(tk.T))
+	cands := lambdaCandidates(s, uk)
+	if g.Options.ExtendedLambdaSearch {
+		cands = g.addCrossingCandidates(s, tk, uk, cands)
+	}
+	var last BoundCheck
+	for _, lambda := range cands {
+		// λk = λ·max(1, Tk/Dk).
+		lambdaK := new(big.Rat).Set(lambda)
+		if tk.T > tk.D {
+			lambdaK.Mul(lambdaK, new(big.Rat).SetFrac64(int64(tk.T), int64(tk.D)))
+		}
+		oneMinus := new(big.Rat).Sub(ratOne, lambdaK)
+		if oneMinus.Sign() < 0 {
+			// λk > 1 makes the proof's Lemma-9 instantiation (x =
+			// (1−λk)δ > 0) vacuous: condition 1 would degenerate to the
+			// meaningless "ΣAi > Abnd" and certify nothing. Such λ are
+			// outside the theorem's effective range (DESIGN.md item
+			// T3-RANGE, found by the dense-λ completeness test).
+			continue
+		}
+
+		betas := make([]*big.Rat, len(s.Tasks))
+		for i, ti := range s.Tasks {
+			betas[i] = g.beta(ti, tk, lambda)
+		}
+
+		// Condition 1: Σ Ai·min(β, 1−λk) < Abnd·(1−λk), strict.
+		sum1 := new(big.Rat)
+		for i, ti := range s.Tasks {
+			sum1.Add(sum1, new(big.Rat).Mul(ratInt(ti.A), ratMin(betas[i], oneMinus)))
+		}
+		rhs1 := new(big.Rat).Mul(abnd, oneMinus)
+		if sum1.Cmp(rhs1) < 0 {
+			return BoundCheck{LHS: sum1, RHS: rhs1, Satisfied: true, Lambda: lambda, Condition: 1}
+		}
+
+		// Condition 2: Σ Ai·min(β, 1) vs (Abnd−Amin)·(1−λk) + Amin.
+		sum2 := new(big.Rat)
+		for i, ti := range s.Tasks {
+			sum2.Add(sum2, new(big.Rat).Mul(ratInt(ti.A), ratMin(betas[i], ratOne)))
+		}
+		rhs2 := new(big.Rat).Sub(abnd, amin)
+		rhs2.Mul(rhs2, oneMinus)
+		rhs2.Add(rhs2, amin)
+		cmp := sum2.Cmp(rhs2)
+		if cmp < 0 || (g.Options.CondTwoNonStrict && cmp == 0) {
+			return BoundCheck{LHS: sum2, RHS: rhs2, Satisfied: true, Lambda: lambda, Condition: 2}
+		}
+		last = BoundCheck{LHS: sum2, RHS: rhs2, Satisfied: false}
+	}
+	return last
+}
+
+// beta evaluates Lemma 7's βλk(i).
+func (g GN2Test) beta(ti, tk task.Task, lambda *big.Rat) *big.Rat {
+	ui := new(big.Rat).SetFrac64(int64(ti.C), int64(ti.T))
+	if ui.Cmp(lambda) <= 0 {
+		// max(Ci/Ti, Ci/Ti·(1 − Di/Dk) + Ci/Dk)
+		// = Ci/Ti·(1 + max(0, (Ti−Di)/Dk)).
+		alt := new(big.Rat).Sub(ratOne, new(big.Rat).SetFrac64(int64(ti.D), int64(tk.D)))
+		alt.Mul(alt, ui)
+		alt.Add(alt, new(big.Rat).SetFrac64(int64(ti.C), int64(tk.D)))
+		return ratMax(ui, alt)
+	}
+	densI := new(big.Rat).SetFrac64(int64(ti.C), int64(ti.D))
+	if lambda.Cmp(densI) >= 0 {
+		// Middle case: reachable only when Ci/Di < λ < Ci/Ti, i.e.
+		// Di > Ti. Printed value is Ck/Tk (L7-CASE2); Baker's TR uses a
+		// task-i quantity, approximated here by Ci/Di when selected.
+		if g.Options.CaseTwoBaker {
+			return densI
+		}
+		return new(big.Rat).SetFrac64(int64(tk.C), int64(tk.T))
+	}
+	// Ci/Ti + (Ci − λ·Di)/Dk.
+	carry := new(big.Rat).Mul(lambda, ratFromTicks(int64(ti.D)))
+	carry.Sub(ratFromTicks(int64(ti.C)), carry)
+	carry.Quo(carry, ratFromTicks(int64(tk.D)))
+	return new(big.Rat).Add(ui, carry)
+}
+
+// lambdaCandidates returns the sorted, deduplicated set of λ values that
+// need to be tried for a task with utilization uk: the minimum point uk
+// itself, every task utilization Ci/Ti ≥ uk, and every density Ci/Di ≥ uk
+// of tasks with post-period deadlines (where βλk is discontinuous).
+func lambdaCandidates(s *task.Set, uk *big.Rat) []*big.Rat {
+	cands := []*big.Rat{new(big.Rat).Set(uk)}
+	add := func(r *big.Rat) {
+		if r.Cmp(uk) >= 0 {
+			cands = append(cands, r)
+		}
+	}
+	for _, ti := range s.Tasks {
+		add(new(big.Rat).SetFrac64(int64(ti.C), int64(ti.T)))
+		if ti.D > ti.T {
+			add(new(big.Rat).SetFrac64(int64(ti.C), int64(ti.D)))
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].Cmp(cands[j]) < 0 })
+	uniq := cands[:1]
+	for _, c := range cands[1:] {
+		if c.Cmp(uniq[len(uniq)-1]) != 0 {
+			uniq = append(uniq, c)
+		}
+	}
+	return uniq
+}
+
+// addCrossingCandidates appends, for the analysed task tk, every λ at
+// which some βλk(i) crosses 1−λk (condition 1's cap) or the constant 1
+// (condition 2's cap) — the breakpoints of the piecewise-linear test
+// functions that the paper's candidate set omits. Only values in
+// [uk, 1/m] (so that λk ≤ 1) are kept. The result is re-sorted and
+// deduplicated.
+func (g GN2Test) addCrossingCandidates(s *task.Set, tk task.Task, uk *big.Rat, cands []*big.Rat) []*big.Rat {
+	// m = max(1, Tk/Dk); λk = m·λ.
+	m := ratOne
+	if tk.T > tk.D {
+		m = new(big.Rat).SetFrac64(int64(tk.T), int64(tk.D))
+	}
+	// λ must satisfy λk ≤ 1, i.e. λ ≤ 1/m.
+	lambdaMax := new(big.Rat).Inv(new(big.Rat).Set(m))
+	add := func(r *big.Rat) {
+		if r != nil && r.Cmp(uk) >= 0 && r.Cmp(lambdaMax) <= 0 {
+			cands = append(cands, r)
+		}
+	}
+	for _, ti := range s.Tasks {
+		ui := new(big.Rat).SetFrac64(int64(ti.C), int64(ti.T))
+		// Case-1 region (λ ≥ ui): βi is the constant
+		// b = max(ui, ui·(1−Di/Dk) + Ci/Dk). Crossing with 1−mλ at
+		// λ* = (1−b)/m, valid when λ* lies in the region.
+		b := caseOneBeta(ti, tk)
+		lam := new(big.Rat).Sub(ratOne, b)
+		lam.Quo(lam, m)
+		if lam.Cmp(ui) >= 0 {
+			add(lam)
+		}
+		// Case-3 region (λ < min(ui, Ci/Di)): βi(λ) = ui + (Ci−λDi)/Dk.
+		// Crossing with 1−mλ: λ·(m − Di/Dk) = 1 − ui − Ci/Dk.
+		dRatio := new(big.Rat).SetFrac64(int64(ti.D), int64(tk.D))
+		den := new(big.Rat).Sub(m, dRatio)
+		if den.Sign() != 0 {
+			num := new(big.Rat).Sub(ratOne, ui)
+			num.Sub(num, new(big.Rat).SetFrac64(int64(ti.C), int64(tk.D)))
+			lam3 := new(big.Rat).Quo(num, den)
+			if lam3.Cmp(ui) < 0 && lam3.Cmp(new(big.Rat).SetFrac64(int64(ti.C), int64(ti.D))) < 0 {
+				add(lam3)
+			}
+		}
+		// Case-3 crossing with the constant 1 (condition 2's cap):
+		// ui + (Ci−λDi)/Dk = 1 → λ = (Ci − (1−ui)·Dk)/Di.
+		lam1 := new(big.Rat).Sub(ratOne, ui)
+		lam1.Mul(lam1, ratFromTicks(int64(tk.D)))
+		lam1.Sub(ratFromTicks(int64(ti.C)), lam1)
+		lam1.Quo(lam1, ratFromTicks(int64(ti.D)))
+		if lam1.Cmp(ui) < 0 && lam1.Cmp(new(big.Rat).SetFrac64(int64(ti.C), int64(ti.D))) < 0 {
+			add(lam1)
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].Cmp(cands[j]) < 0 })
+	uniq := cands[:1]
+	for _, c := range cands[1:] {
+		if c.Cmp(uniq[len(uniq)-1]) != 0 {
+			uniq = append(uniq, c)
+		}
+	}
+	return uniq
+}
+
+// caseOneBeta is βλk(i) in the ui ≤ λ case, which is independent of λ.
+func caseOneBeta(ti, tk task.Task) *big.Rat {
+	ui := new(big.Rat).SetFrac64(int64(ti.C), int64(ti.T))
+	alt := new(big.Rat).Sub(ratOne, new(big.Rat).SetFrac64(int64(ti.D), int64(tk.D)))
+	alt.Mul(alt, ui)
+	alt.Add(alt, new(big.Rat).SetFrac64(int64(ti.C), int64(tk.D)))
+	return ratMax(ui, alt)
+}

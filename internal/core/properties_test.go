@@ -1,0 +1,235 @@
+package core
+
+// Algebraic property tests (testing/quick) over randomly generated
+// tasksets: order invariance, device-growth monotonicity, time-scale
+// invariance and DP's load monotonicity. These hold for all three tests
+// by construction of the bounds and guard against regressions in the
+// rational plumbing.
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"fpgasched/internal/task"
+	"fpgasched/internal/timeunit"
+)
+
+// genSet draws a small random implicit-deadline taskset valid for a
+// device of the given width. Parameters mirror the paper's evaluation
+// ranges, scaled down for speed.
+func genSet(r *rand.Rand, n, maxArea int) *task.Set {
+	s := &task.Set{}
+	for i := 0; i < n; i++ {
+		period := timeunit.FromUnits(int64(5 + r.IntN(15)))
+		// C = T·factor with factor in (0, 1]; keep at least one tick.
+		c := timeunit.Time(1 + r.Int64N(int64(period)))
+		s.Tasks = append(s.Tasks, task.Task{
+			C: c, D: period, T: period, A: 1 + r.IntN(maxArea),
+		})
+	}
+	return s
+}
+
+// quickSeed generates a deterministic *rand.Rand from testing/quick input.
+func quickSeed(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+}
+
+var allTests = []Test{DPTest{}, DPTest{RealValuedAlpha: true}, GN1Test{}, GN1Test{Variant: GN1VariantBCL}, GN2Test{}, GN2Test{Options: GN2Options{CondTwoNonStrict: true}}, GN2Test{Options: GN2Options{ExtendedLambdaSearch: true}}}
+
+func TestOrderInvariance(t *testing.T) {
+	f := func(seed uint64, nRaw, shuffles uint8) bool {
+		r := quickSeed(seed)
+		n := 2 + int(nRaw)%6
+		s := genSet(r, n, 60)
+		dev := NewDevice(100)
+		base := make([]bool, len(allTests))
+		for ti, test := range allTests {
+			base[ti] = test.Analyze(dev, s).Schedulable
+		}
+		perm := s.Clone()
+		for range int(shuffles)%4 + 1 {
+			r.Shuffle(len(perm.Tasks), func(i, j int) {
+				perm.Tasks[i], perm.Tasks[j] = perm.Tasks[j], perm.Tasks[i]
+			})
+		}
+		for ti, test := range allTests {
+			if test.Analyze(dev, perm).Schedulable != base[ti] {
+				t.Logf("test %s changed verdict under permutation\nset:\n%v", test.Name(), s)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeviceGrowthMonotonicity(t *testing.T) {
+	// Adding columns to the device can only help: accept never flips to
+	// reject. Holds for every test: all bounds' right-hand sides are
+	// non-decreasing in A(H) with the taskset fixed.
+	f := func(seed uint64, nRaw, growRaw uint8) bool {
+		r := quickSeed(seed)
+		n := 1 + int(nRaw)%6
+		s := genSet(r, n, 50)
+		small := NewDevice(60)
+		big := NewDevice(60 + 1 + int(growRaw)%100)
+		for _, test := range allTests {
+			if test.Analyze(small, s).Schedulable && !test.Analyze(big, s).Schedulable {
+				t.Logf("test %s: accept on %d cols but reject on %d cols\nset:\n%v",
+					test.Name(), small.Columns, big.Columns, s)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTimeScaleInvariance(t *testing.T) {
+	// Multiplying every C, D, T by the same positive integer leaves all
+	// verdicts unchanged: every quantity in the three bounds is a ratio
+	// of task times (Ni = ⌊(Dk−Di)/Ti⌋ included).
+	f := func(seed uint64, nRaw, scaleRaw uint8) bool {
+		r := quickSeed(seed)
+		n := 1 + int(nRaw)%6
+		s := genSet(r, n, 50)
+		scale := timeunit.Time(2 + int64(scaleRaw)%7)
+		scaled := s.Clone()
+		for i := range scaled.Tasks {
+			scaled.Tasks[i].C *= scale
+			scaled.Tasks[i].D *= scale
+			scaled.Tasks[i].T *= scale
+		}
+		dev := NewDevice(80)
+		for _, test := range allTests {
+			if test.Analyze(dev, s).Schedulable != test.Analyze(dev, scaled).Schedulable {
+				t.Logf("test %s not scale-invariant (×%d)\nset:\n%v", test.Name(), scale, s)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDPLoadMonotonicity(t *testing.T) {
+	// Inflating any execution time never flips DP from reject to accept:
+	// for the inflated task's own check LHS−RHS grows by Abnd·ΔC/T ≥ 0,
+	// and every other check only gets a larger LHS.
+	f := func(seed uint64, nRaw, whichRaw uint8) bool {
+		r := quickSeed(seed)
+		n := 1 + int(nRaw)%6
+		s := genSet(r, n, 50)
+		dev := NewDevice(80)
+		before := (DPTest{}).Analyze(dev, s).Schedulable
+		if before {
+			return true // only reject→accept flips are violations
+		}
+		which := int(whichRaw) % n
+		inflated := s.Clone()
+		headroom := inflated.Tasks[which].D - inflated.Tasks[which].C
+		if headroom <= 0 {
+			return true
+		}
+		inflated.Tasks[which].C += 1 + timeunit.Time(r.Int64N(int64(headroom)))
+		return !(DPTest{}).Analyze(dev, inflated).Schedulable
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGN1AreaMonotonicity(t *testing.T) {
+	// Widening any task never flips GN1 from reject to accept: the
+	// widened task's own bound loses area slack and every other task's
+	// interference sum grows.
+	f := func(seed uint64, nRaw, whichRaw, growRaw uint8) bool {
+		r := quickSeed(seed)
+		n := 1 + int(nRaw)%6
+		s := genSet(r, n, 40)
+		dev := NewDevice(80)
+		if (GN1Test{}).Analyze(dev, s).Schedulable {
+			return true
+		}
+		which := int(whichRaw) % n
+		wider := s.Clone()
+		wider.Tasks[which].A += 1 + int(growRaw)%(dev.Columns-wider.Tasks[which].A)
+		return !(GN1Test{}).Analyze(dev, wider).Schedulable
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRejectionsComeWithReasons(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		r := quickSeed(seed)
+		s := genSet(r, 1+int(nRaw)%6, 90)
+		dev := NewDevice(100)
+		for _, test := range allTests {
+			v := test.Analyze(dev, s)
+			if v.Schedulable {
+				if v.FailingTask != -1 {
+					return false
+				}
+				continue
+			}
+			if v.Reason == "" {
+				return false
+			}
+			if v.FailingTask < -1 || v.FailingTask >= s.Len() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestVerdictChecksShape verifies each per-task check is reported in task
+// order with both sides populated.
+func TestVerdictChecksShape(t *testing.T) {
+	r := quickSeed(7)
+	s := genSet(r, 5, 60)
+	dev := NewDevice(100)
+	for _, test := range allTests {
+		v := test.Analyze(dev, s)
+		if len(v.Checks) != s.Len() {
+			t.Errorf("%s: %d checks, want %d", test.Name(), len(v.Checks), s.Len())
+			continue
+		}
+		for i, c := range v.Checks {
+			if c.TaskIndex != i {
+				t.Errorf("%s: check %d has TaskIndex %d", test.Name(), i, c.TaskIndex)
+			}
+			if c.LHS == nil || c.RHS == nil {
+				t.Errorf("%s: check %d has nil side", test.Name(), i)
+			}
+		}
+	}
+}
+
+func TestReflectIndependence(t *testing.T) {
+	// Analyze must not mutate the taskset.
+	r := quickSeed(99)
+	s := genSet(r, 6, 70)
+	orig := s.Clone()
+	dev := NewDevice(100)
+	for _, test := range allTests {
+		test.Analyze(dev, s)
+	}
+	if !reflect.DeepEqual(s, orig) {
+		t.Error("a test mutated the input taskset")
+	}
+}

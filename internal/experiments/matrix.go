@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"fpgasched/internal/core"
+	"fpgasched/internal/task"
+)
+
+// NamedSet pairs a taskset with a display name.
+type NamedSet struct {
+	Name string
+	Set  *task.Set
+}
+
+// VerdictMatrix is the accept/reject matrix of tests × tasksets, the
+// shape of the paper's Tables 1–3 discussion.
+type VerdictMatrix struct {
+	// Sets and Tests label the rows and columns.
+	Sets  []string
+	Tests []string
+	// Accepted[i][j] reports whether test j accepts set i.
+	Accepted [][]bool
+	// Verdicts holds the full verdicts for detail rendering.
+	Verdicts [][]core.Verdict
+}
+
+// RunVerdictMatrix analyses every set with every test.
+func RunVerdictMatrix(columns int, sets []NamedSet, tests []core.Test) VerdictMatrix {
+	m := VerdictMatrix{}
+	dev := core.NewDevice(columns)
+	for _, t := range tests {
+		m.Tests = append(m.Tests, t.Name())
+	}
+	for _, ns := range sets {
+		m.Sets = append(m.Sets, ns.Name)
+		row := make([]bool, len(tests))
+		vrow := make([]core.Verdict, len(tests))
+		for j, t := range tests {
+			v := t.Analyze(dev, ns.Set)
+			row[j] = v.Schedulable
+			vrow[j] = v
+		}
+		m.Accepted = append(m.Accepted, row)
+		m.Verdicts = append(m.Verdicts, vrow)
+	}
+	return m
+}
+
+// Markdown renders the matrix with accept/reject cells.
+func (m VerdictMatrix) Markdown() string {
+	var b strings.Builder
+	b.WriteString("| taskset |")
+	for _, t := range m.Tests {
+		fmt.Fprintf(&b, " %s |", t)
+	}
+	b.WriteString("\n|---|")
+	for range m.Tests {
+		b.WriteString("---|")
+	}
+	b.WriteByte('\n')
+	for i, name := range m.Sets {
+		fmt.Fprintf(&b, "| %s |", name)
+		for _, ok := range m.Accepted[i] {
+			if ok {
+				b.WriteString(" accept |")
+			} else {
+				b.WriteString(" reject |")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

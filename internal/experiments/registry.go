@@ -1,0 +1,567 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"fpgasched/internal/core"
+	"fpgasched/internal/fpga"
+	"fpgasched/internal/partition"
+	"fpgasched/internal/report"
+	"fpgasched/internal/sched"
+	"fpgasched/internal/sim"
+	"fpgasched/internal/task"
+	"fpgasched/internal/timeunit"
+	"fpgasched/internal/twod"
+	"fpgasched/internal/workload"
+)
+
+// RunOptions tunes a registered experiment run.
+type RunOptions struct {
+	// Samples is the taskset count per utilization bin. Zero means 500
+	// (≈10,000 per figure over 20 bins, the paper's floor). Table
+	// experiments ignore it.
+	Samples int
+	// Seed defaults to 1.
+	Seed uint64
+	// Workers defaults to GOMAXPROCS.
+	Workers int
+	// SimHorizonCap defaults to 200 time units per simulation.
+	SimHorizonCap timeunit.Time
+}
+
+func (o RunOptions) withDefaults() RunOptions {
+	if o.Samples <= 0 {
+		o.Samples = 500
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.SimHorizonCap <= 0 {
+		o.SimHorizonCap = timeunit.FromUnits(200)
+	}
+	return o
+}
+
+// Output is a registered experiment's result.
+type Output struct {
+	// ID echoes the experiment ID.
+	ID string
+	// Table is the numeric result (nil for pure-matrix experiments).
+	Table *report.Table
+	// Markdown is the rendered result for EXPERIMENTS.md.
+	Markdown string
+	// Notes carries observations (e.g. dominance violations found: none).
+	Notes []string
+	// Counts is the per-bin sample population for sweeps.
+	Counts []int
+}
+
+// Definition is a runnable experiment.
+type Definition struct {
+	// ID is the stable identifier (e.g. "fig3a").
+	ID string
+	// Title describes what the paper shows.
+	Title string
+	// Run executes the experiment.
+	Run func(RunOptions) (*Output, error)
+}
+
+// simNF and simFkF are the standard simulation series.
+var simNF = PolicyFactory{
+	Name: "sim-NF",
+	New:  func(*task.Set, int) (sim.Policy, error) { return sched.NextFit{}, nil },
+}
+
+var simFkF = PolicyFactory{
+	Name: "sim-FkF",
+	New:  func(*task.Set, int) (sim.Policy, error) { return sched.FirstKFit{}, nil },
+}
+
+// paperTests are the three tests the paper compares, in its order.
+func paperTests() []core.Test {
+	return []core.Test{core.DPTest{}, core.GN1Test{}, core.GN2Test{}}
+}
+
+// Registry returns all experiment definitions, sorted by ID.
+func Registry() []Definition {
+	defs := []Definition{
+		{ID: "table1", Title: "Taskset accepted by DP, rejected by GN1 and GN2 (paper Table 1)", Run: tableExperiment("table1", workload.Table1)},
+		{ID: "table2", Title: "Taskset accepted by GN1, rejected by DP and GN2 (paper Table 2)", Run: tableExperiment("table2", workload.Table2)},
+		{ID: "table3", Title: "Taskset accepted by GN2, rejected by DP and GN1 (paper Table 3)", Run: tableExperiment("table3", workload.Table3)},
+		{ID: "fig3a", Title: "Acceptance ratio vs US: 4 tasks, unconstrained (paper Fig. 3a)", Run: figureExperiment("fig3a", workload.Unconstrained(4), false)},
+		{ID: "fig3b", Title: "Acceptance ratio vs US: 10 tasks, unconstrained (paper Fig. 3b)", Run: figureExperiment("fig3b", workload.Unconstrained(10), false)},
+		{ID: "fig4a", Title: "Acceptance ratio vs US: 10 spatially heavy, temporally light tasks (paper Fig. 4a)", Run: figureExperiment("fig4a", workload.SpatiallyHeavyTemporallyLight(10), true)},
+		{ID: "fig4b", Title: "Acceptance ratio vs US: 10 spatially light, temporally heavy tasks (paper Fig. 4b)", Run: figureExperiment("fig4b", workload.SpatiallyLightTemporallyHeavy(10), true)},
+		{ID: "ablation-alpha", Title: "Integer-area α correction: DP vs Danne/Platzner real-valued bound (Lemma 1)", Run: ablationAlpha},
+		{ID: "ablation-gn1norm", Title: "GN1 normalisation: paper's Wi/Di vs BCL-consistent Wi/Dk (item T2-NORM)", Run: ablationGN1Norm},
+		{ID: "ablation-nf", Title: "EDF-NF dominates EDF-FkF: simulated miss comparison (Danne's dominance result)", Run: ablationNFDominance},
+		{ID: "ablation-overhead", Title: "Reconfiguration overhead sensitivity (relaxing Section 1 assumption 3)", Run: ablationOverhead},
+		{ID: "ablation-frag", Title: "Cost of unrestricted migration: capacity model vs pinned contiguous placement (Section 7)", Run: ablationFragmentation},
+		{ID: "ablation-partition", Title: "Global EDF-NF vs partitioned scheduling (Danne/Platzner RAW'06, Section 7)", Run: ablationPartition},
+		{ID: "ablation-ushybrid", Title: "EDF-US[ξ] system-utilization hybrid vs plain EDF-NF on temporally heavy sets (Section 7)", Run: ablationUSHybrid},
+		{ID: "ablation-2d", Title: "2-D reconfiguration: area capacity vs rectangle placement heuristics (Section 7)", Run: ablation2D},
+		{ID: "ablation-reserved", Title: "Pre-configured (reserved) columns: capacity loss vs fabric splitting (Section 1 assumption 2)", Run: ablationReserved},
+	}
+	sort.Slice(defs, func(i, j int) bool { return defs[i].ID < defs[j].ID })
+	return defs
+}
+
+// Lookup finds a definition by ID.
+func Lookup(id string) (Definition, bool) {
+	for _, d := range Registry() {
+		if d.ID == id {
+			return d, true
+		}
+	}
+	return Definition{}, false
+}
+
+// tableExperiment reproduces one of the paper's verdict tables: the
+// accept/reject row for all three tests, plus simulation outcomes for
+// both schedulers as the ground-truth upper bound.
+func tableExperiment(id string, fixture func() *task.Set) func(RunOptions) (*Output, error) {
+	return func(opts RunOptions) (*Output, error) {
+		opts = opts.withDefaults()
+		s := fixture()
+		m := RunVerdictMatrix(workload.TableDeviceColumns, []NamedSet{{Name: id, Set: s}}, paperTests())
+		var b strings.Builder
+		b.WriteString(m.Markdown())
+		b.WriteString("\nTaskset:\n\n```\n" + s.String() + "\n```\n")
+		var notes []string
+		for _, pf := range []PolicyFactory{simNF, simFkF} {
+			p, err := pf.New(s, workload.TableDeviceColumns)
+			if err != nil {
+				return nil, err
+			}
+			res, err := sim.Simulate(workload.TableDeviceColumns, s, p, sim.Options{HorizonCap: opts.SimHorizonCap})
+			if err != nil {
+				return nil, err
+			}
+			verdict := "no deadline miss"
+			if res.Missed {
+				verdict = fmt.Sprintf("missed at %v (task %d)", res.FirstMissTime, res.FirstMissTask)
+			}
+			notes = append(notes, fmt.Sprintf("%s synchronous-release simulation over %v: %s", pf.Name, res.Horizon, verdict))
+		}
+		return &Output{ID: id, Markdown: b.String(), Notes: notes}, nil
+	}
+}
+
+// figureExperiment builds the standard figure sweep: DP, GN1, GN2 and
+// both simulation series over US bins on the 100-column device.
+//
+// The Figure 3 profiles are unconstrained, so stratified generation
+// (rescaling C to hit each bin's target US) produces draws that are
+// still within the profile, and every bin gets a full population. The
+// Figure 4 profiles constrain the execution factor — rescaling would
+// silently destroy the "temporally heavy/light" property the figure is
+// about — so those use raw sampling, binning each draw by its achieved
+// US (bins outside the profile's natural US range stay empty, as in the
+// paper's plots).
+func figureExperiment(id string, profile workload.Profile, raw bool) func(RunOptions) (*Output, error) {
+	return func(opts RunOptions) (*Output, error) {
+		opts = opts.withDefaults()
+		res, err := SweepConfig{
+			Name:          id,
+			Columns:       workload.FigureDeviceColumns,
+			Profile:       profile,
+			SamplesPerBin: opts.Samples,
+			Tests:         paperTests(),
+			Policies:      []PolicyFactory{simNF, simFkF},
+			Seed:          opts.Seed,
+			SimHorizonCap: opts.SimHorizonCap,
+			Workers:       opts.Workers,
+			Raw:           raw,
+		}.Run()
+		if err != nil {
+			return nil, err
+		}
+		return &Output{
+			ID:       id,
+			Table:    res.Table,
+			Markdown: res.Table.Markdown(),
+			Counts:   res.Counts,
+		}, nil
+	}
+}
+
+// ablationAlpha compares the paper's integer-area DP bound against the
+// original real-valued-α bound on the Figure 3(b) workload.
+func ablationAlpha(opts RunOptions) (*Output, error) {
+	opts = opts.withDefaults()
+	res, err := SweepConfig{
+		Name:          "ablation-alpha",
+		Columns:       workload.FigureDeviceColumns,
+		Profile:       workload.Unconstrained(10),
+		SamplesPerBin: opts.Samples,
+		Tests:         []core.Test{core.DPTest{}, core.DPTest{RealValuedAlpha: true}},
+		Seed:          opts.Seed,
+		Workers:       opts.Workers,
+	}.Run()
+	if err != nil {
+		return nil, err
+	}
+	return &Output{ID: "ablation-alpha", Table: res.Table, Markdown: res.Table.Markdown(), Counts: res.Counts}, nil
+}
+
+// ablationGN1Norm compares GN1's published Wi/Di normalisation against
+// the BCL-consistent Wi/Dk on both Figure 3 workloads merged.
+func ablationGN1Norm(opts RunOptions) (*Output, error) {
+	opts = opts.withDefaults()
+	res, err := SweepConfig{
+		Name:          "ablation-gn1norm",
+		Columns:       workload.FigureDeviceColumns,
+		Profile:       workload.Unconstrained(10),
+		SamplesPerBin: opts.Samples,
+		Tests:         []core.Test{core.GN1Test{}, core.GN1Test{Variant: core.GN1VariantBCL}},
+		Seed:          opts.Seed,
+		Workers:       opts.Workers,
+	}.Run()
+	if err != nil {
+		return nil, err
+	}
+	return &Output{ID: "ablation-gn1norm", Table: res.Table, Markdown: res.Table.Markdown(), Counts: res.Counts}, nil
+}
+
+// ablationNFDominance simulates random tasksets under both schedulers
+// and tabulates the outcome pairs. Danne's dominance theorem predicts
+// the "FkF meets, NF misses" cell is always zero; any nonzero count
+// would falsify either the theorem or the simulator.
+func ablationNFDominance(opts RunOptions) (*Output, error) {
+	opts = opts.withDefaults()
+	profile := workload.Unconstrained(8)
+	var bothMeet, nfOnly, fkfOnly, bothMiss int
+	trials := opts.Samples * 4
+	for i := 0; i < trials; i++ {
+		r := workload.Rand(opts.Seed ^ uint64(i+1)*0x9e3779b97f4a7c15)
+		s, _ := profile.GenerateWithTargetUS(r, 20+float64(i%13)*5)
+		nf, err := sim.Simulate(workload.FigureDeviceColumns, s, sched.NextFit{}, sim.Options{HorizonCap: opts.SimHorizonCap})
+		if err != nil {
+			return nil, err
+		}
+		fkf, err := sim.Simulate(workload.FigureDeviceColumns, s, sched.FirstKFit{}, sim.Options{HorizonCap: opts.SimHorizonCap})
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case !nf.Missed && !fkf.Missed:
+			bothMeet++
+		case !nf.Missed && fkf.Missed:
+			nfOnly++
+		case nf.Missed && !fkf.Missed:
+			fkfOnly++
+		default:
+			bothMiss++
+		}
+	}
+	md := fmt.Sprintf(`| outcome | tasksets |
+|---|---|
+| both schedulers meet all deadlines | %d |
+| only EDF-NF meets (dominance advantage) | %d |
+| only EDF-FkF meets (THEOREM VIOLATION if nonzero) | %d |
+| both miss | %d |
+`, bothMeet, nfOnly, fkfOnly, bothMiss)
+	notes := []string{fmt.Sprintf("%d tasksets, synchronous release, horizon cap %v", trials, opts.SimHorizonCap)}
+	if fkfOnly > 0 {
+		notes = append(notes, "WARNING: dominance violated — investigate simulator")
+	}
+	return &Output{ID: "ablation-nf", Markdown: md, Notes: notes}, nil
+}
+
+// ablationOverhead sweeps the reconfiguration overhead per column and
+// reports simulated EDF-NF acceptance at three utilization levels,
+// quantifying how much the paper's zero-overhead assumption matters.
+func ablationOverhead(opts RunOptions) (*Output, error) {
+	opts = opts.withDefaults()
+	overheads := []float64{0, 0.005, 0.01, 0.02, 0.05, 0.1}
+	usLevels := []float64{30, 50, 70}
+	profile := workload.Unconstrained(10)
+	tbl := &report.Table{Title: "ablation-overhead", XLabel: "reconfig overhead per column (time units)", X: overheads}
+	for _, us := range usLevels {
+		y := make([]float64, len(overheads))
+		for oi, oh := range overheads {
+			accepted := 0
+			for i := 0; i < opts.Samples; i++ {
+				r := workload.Rand(opts.Seed ^ uint64(i+1)*31 ^ uint64(oi+1)*131 ^ uint64(int(us)+1)*1031)
+				s, _ := profile.GenerateWithTargetUS(r, us)
+				res, err := sim.Simulate(workload.FigureDeviceColumns, s, sched.NextFit{}, sim.Options{
+					HorizonCap:        opts.SimHorizonCap,
+					ReconfigPerColumn: timeunit.FromFloat(oh),
+				})
+				if err != nil {
+					return nil, err
+				}
+				if !res.Missed {
+					accepted++
+				}
+			}
+			y[oi] = float64(accepted) / float64(opts.Samples)
+		}
+		tbl.AddColumn(fmt.Sprintf("sim-NF@US=%g", us), y)
+	}
+	return &Output{ID: "ablation-overhead", Table: tbl, Markdown: tbl.Markdown()}, nil
+}
+
+// ablationFragmentation compares the capacity model (the paper's
+// unrestricted-migration assumption) against pinned contiguous placement
+// under the three fit strategies, on the Figure 3(b) workload.
+func ablationFragmentation(opts RunOptions) (*Output, error) {
+	opts = opts.withDefaults()
+	bins := defaultBins(workload.FigureDeviceColumns)
+	profile := workload.Unconstrained(10)
+	modes := []struct {
+		name      string
+		placement *sim.PlacementOptions
+	}{
+		{"capacity (free migration)", nil},
+		{"first-fit pinned", &sim.PlacementOptions{Strategy: fpga.FirstFit}},
+		{"best-fit pinned", &sim.PlacementOptions{Strategy: fpga.BestFit}},
+		{"worst-fit pinned", &sim.PlacementOptions{Strategy: fpga.WorstFit}},
+	}
+	tbl := &report.Table{Title: "ablation-frag", XLabel: "system utilization US", X: bins}
+	for _, mode := range modes {
+		y := make([]float64, len(bins))
+		for bi, us := range bins {
+			accepted := 0
+			for i := 0; i < opts.Samples; i++ {
+				r := workload.Rand(opts.Seed ^ uint64(i+1)*17 ^ uint64(bi+1)*257)
+				s, _ := profile.GenerateWithTargetUS(r, us)
+				res, err := sim.Simulate(workload.FigureDeviceColumns, s, sched.NextFit{}, sim.Options{
+					HorizonCap: opts.SimHorizonCap,
+					Placement:  mode.placement,
+				})
+				if err != nil {
+					return nil, err
+				}
+				if !res.Missed {
+					accepted++
+				}
+			}
+			y[bi] = float64(accepted) / float64(opts.Samples)
+		}
+		tbl.AddColumn(mode.name, y)
+	}
+	return &Output{ID: "ablation-frag", Table: tbl, Markdown: tbl.Markdown()}, nil
+}
+
+// ablationPartition compares global EDF-NF (any-of tests and simulation)
+// against partitioned first-fit-decreasing allocation with exact
+// per-partition EDF analysis — the alternative design the paper's
+// Section 1 positions itself against.
+func ablationPartition(opts RunOptions) (*Output, error) {
+	opts = opts.withDefaults()
+	bins := defaultBins(workload.FigureDeviceColumns)
+	profile := workload.Unconstrained(10)
+	tbl := &report.Table{Title: "ablation-partition", XLabel: "system utilization US", X: bins}
+	composite := core.ForNF()
+	global := make([]float64, len(bins))
+	partitioned := make([]float64, len(bins))
+	simNFSeries := make([]float64, len(bins))
+	dev := core.NewDevice(workload.FigureDeviceColumns)
+	for bi, us := range bins {
+		var gAcc, pAcc, sAcc int
+		for i := 0; i < opts.Samples; i++ {
+			r := workload.Rand(opts.Seed ^ uint64(i+1)*67 ^ uint64(bi+1)*521)
+			s, _ := profile.GenerateWithTargetUS(r, us)
+			if composite.Analyze(dev, s).Schedulable {
+				gAcc++
+			}
+			if partition.Schedulable(workload.FigureDeviceColumns, s) {
+				pAcc++
+			}
+			res, err := sim.Simulate(workload.FigureDeviceColumns, s, sched.NextFit{}, sim.Options{HorizonCap: opts.SimHorizonCap})
+			if err != nil {
+				return nil, err
+			}
+			if !res.Missed {
+				sAcc++
+			}
+		}
+		global[bi] = float64(gAcc) / float64(opts.Samples)
+		partitioned[bi] = float64(pAcc) / float64(opts.Samples)
+		simNFSeries[bi] = float64(sAcc) / float64(opts.Samples)
+	}
+	tbl.AddColumn("global any(DP|GN1|GN2)", global)
+	tbl.AddColumn("partitioned FFD+EDF (exact)", partitioned)
+	tbl.AddColumn("global sim-NF", simNFSeries)
+	return &Output{ID: "ablation-partition", Table: tbl, Markdown: tbl.Markdown()}, nil
+}
+
+// ablationUSHybrid evaluates the paper's Section 7 suggestion — an
+// EDF-US style hybrid promoting system-utilization-heavy tasks — against
+// plain EDF-NF by simulation on the temporally heavy workload where
+// Dhall-style effects are most likely.
+func ablationUSHybrid(opts RunOptions) (*Output, error) {
+	opts = opts.withDefaults()
+	bins := defaultBins(workload.FigureDeviceColumns)
+	profile := workload.SpatiallyLightTemporallyHeavy(10)
+	tbl := &report.Table{Title: "ablation-ushybrid", XLabel: "system utilization US", X: bins}
+	policies := []PolicyFactory{
+		simNF,
+		{Name: "sim-US[1/4]-NF", New: func(s *task.Set, columns int) (sim.Policy, error) {
+			return sched.NewUSHybrid(s, columns, 1, 4, sched.PackNF)
+		}},
+		{Name: "sim-US[1/2]-NF", New: func(s *task.Set, columns int) (sim.Policy, error) {
+			return sched.NewUSHybrid(s, columns, 1, 2, sched.PackNF)
+		}},
+	}
+	counts := make([]int, len(bins))
+	acc := make([][]int, len(bins))
+	for i := range acc {
+		acc[i] = make([]int, len(policies))
+	}
+	draws := opts.Samples * len(bins)
+	for i := 0; i < draws; i++ {
+		r := workload.Rand(opts.Seed ^ uint64(i+1)*97)
+		s := profile.Generate(r)
+		bi := nearestBin(bins, workload.USFloat(s))
+		if bi < 0 {
+			continue
+		}
+		counts[bi]++
+		for pi, pf := range policies {
+			p, err := pf.New(s, workload.FigureDeviceColumns)
+			if err != nil {
+				return nil, err
+			}
+			res, err := sim.Simulate(workload.FigureDeviceColumns, s, p, sim.Options{HorizonCap: opts.SimHorizonCap})
+			if err != nil {
+				return nil, err
+			}
+			if !res.Missed {
+				acc[bi][pi]++
+			}
+		}
+	}
+	for pi, pf := range policies {
+		tbl.AddColumn(pf.Name, ratios(acc, counts, pi))
+	}
+	return &Output{ID: "ablation-ushybrid", Table: tbl, Markdown: tbl.Markdown(), Counts: counts}, nil
+}
+
+// ablation2D quantifies the paper's Section 7 warning about 2-D
+// reconfiguration: on random 2-D workloads, compare the area-capacity
+// relaxation (the direct lift of the paper's 1-D assumption) against
+// true rectangle placement under three heuristics. The gap is the 2-D
+// fragmentation cost that makes 1-D-style capacity bounds unsound as
+// sufficient tests in 2-D.
+func ablation2D(opts RunOptions) (*Output, error) {
+	opts = opts.withDefaults()
+	// 10x10-cell device: total area 100 cells, comparable to the 1-D
+	// figures' 100 columns.
+	const devW, devH = 10, 10
+	bins := defaultBins(devW * devH)
+	profile := twod.Profile{
+		Name: "2d-uniform", N: 10, SideMin: 1, SideMax: 6,
+		PeriodMin: 5, PeriodMax: 20, UtilMin: 0, UtilMax: 1,
+	}
+	modes := []struct {
+		name string
+		opts twod.Options
+	}{
+		{"area capacity (1-D assumption)", twod.Options{Mode: twod.ModeCapacity}},
+		{"bottom-left placement", twod.Options{Heuristic: twod.BottomLeft}},
+		{"best-short-side placement", twod.Options{Heuristic: twod.BestShortSideFit}},
+		{"best-area placement", twod.Options{Heuristic: twod.BestAreaFit}},
+	}
+	counts := make([]int, len(bins))
+	acc := make([][]int, len(bins))
+	for i := range acc {
+		acc[i] = make([]int, len(modes))
+	}
+	draws := opts.Samples * len(bins)
+	for i := 0; i < draws; i++ {
+		r := workload.Rand(opts.Seed ^ uint64(i+1)*193)
+		s := profile.Generate(r)
+		bi := nearestBin(bins, s.USFloat())
+		if bi < 0 {
+			continue
+		}
+		counts[bi]++
+		for mi, mode := range modes {
+			o := mode.opts
+			o.Horizon = opts.SimHorizonCap
+			res, err := twod.Simulate(devW, devH, s, o)
+			if err != nil {
+				return nil, err
+			}
+			if !res.Missed {
+				acc[bi][mi]++
+			}
+		}
+	}
+	tbl := &report.Table{Title: "ablation-2d", XLabel: "system utilization US (cells)", X: bins}
+	for mi, mode := range modes {
+		tbl.AddColumn(mode.name, ratios(acc, counts, mi))
+	}
+	return &Output{ID: "ablation-2d", Table: tbl, Markdown: tbl.Markdown(), Counts: counts}, nil
+}
+
+// ablationReserved relaxes the paper's homogeneous-fabric assumption
+// (Section 1 assumption 2): a growing fraction of columns is
+// pre-configured (memory blocks, soft cores) and unavailable. The
+// capacity view just shrinks A(H); the placement view also splits the
+// fabric, so a mid-fabric reservation can hurt more than its area — the
+// difference between the two placement columns isolates that geometry
+// effect.
+func ablationReserved(opts RunOptions) (*Output, error) {
+	opts = opts.withDefaults()
+	reservedFractions := []float64{0, 0.1, 0.2, 0.3, 0.4}
+	// Narrow tasks (≤ 30 columns): wide ones would make any centre split
+	// trivially fatal (a 60-column task cannot exist in a 45-column
+	// half), hiding the packing effect this ablation is after.
+	profile := workload.Profile{
+		Name: "reserved", N: 10, AreaMin: 1, AreaMax: 30,
+		PeriodMin: 5, PeriodMax: 20, UtilMin: 0, UtilMax: 1,
+	}
+	const targetUS = 40
+	tbl := &report.Table{Title: "ablation-reserved", XLabel: "reserved fraction of fabric", X: reservedFractions}
+	modes := []struct {
+		name      string
+		placement bool
+		centre    bool
+	}{
+		{"capacity view", false, false},
+		{"placement, edge reservation", true, false},
+		{"placement, centre reservation", true, true},
+	}
+	for _, m := range modes {
+		y := make([]float64, len(reservedFractions))
+		for fi, frac := range reservedFractions {
+			cols := int(frac * workload.FigureDeviceColumns)
+			var reserved []fpga.Region
+			if cols > 0 {
+				lo := 0
+				if m.centre {
+					lo = (workload.FigureDeviceColumns - cols) / 2
+				}
+				reserved = []fpga.Region{{Lo: lo, Hi: lo + cols}}
+			}
+			var placement *sim.PlacementOptions
+			if m.placement {
+				placement = &sim.PlacementOptions{Strategy: fpga.FirstFit, DefragEveryEvent: true}
+			}
+			accepted := 0
+			for i := 0; i < opts.Samples; i++ {
+				r := workload.Rand(opts.Seed ^ uint64(i+1)*29 ^ uint64(fi+1)*769)
+				s, _ := profile.GenerateWithTargetUS(r, targetUS)
+				res, err := sim.Simulate(workload.FigureDeviceColumns, s, sched.NextFit{}, sim.Options{
+					HorizonCap: opts.SimHorizonCap,
+					Reserved:   reserved,
+					Placement:  placement,
+				})
+				if err != nil {
+					continue // task wider than usable fabric: rejected
+				}
+				if !res.Missed {
+					accepted++
+				}
+			}
+			y[fi] = float64(accepted) / float64(opts.Samples)
+		}
+		tbl.AddColumn(m.name, y)
+	}
+	return &Output{ID: "ablation-reserved", Table: tbl, Markdown: tbl.Markdown()}, nil
+}

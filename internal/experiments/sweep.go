@@ -1,0 +1,251 @@
+// Package experiments reproduces the paper's evaluation (Section 6): the
+// three verdict tables and the four acceptance-ratio figures, plus the
+// ablations called out in DESIGN.md. Each experiment is registered under
+// a stable ID (table1..3, fig3a/b, fig4a/b, ablation-*) and produces a
+// report.Table and Markdown suitable for EXPERIMENTS.md.
+//
+// Acceptance-ratio sweeps follow the paper's method: generate many random
+// tasksets per system-utilization bin, run every schedulability test and
+// a synchronous-release simulation on each, and plot the fraction
+// accepted per bin. Generation is stratified (execution times rescaled to
+// hit each bin's target US) so every bin has a full population; the
+// paper's raw-sampling alternative is available via SweepConfig.Raw.
+// Work is spread over a worker pool with per-sample deterministic seeds,
+// so results are reproducible regardless of worker count.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"fpgasched/internal/core"
+	"fpgasched/internal/report"
+	"fpgasched/internal/sim"
+	"fpgasched/internal/task"
+	"fpgasched/internal/timeunit"
+	"fpgasched/internal/workload"
+)
+
+// PolicyFactory builds a simulation policy for a concrete taskset.
+// Stateless policies ignore the arguments; hybrids (EDF-US) classify the
+// set's tasks at construction time.
+type PolicyFactory struct {
+	// Name labels the simulation series (e.g. "sim-NF").
+	Name string
+	// New builds the policy for one taskset on a device.
+	New func(s *task.Set, columns int) (sim.Policy, error)
+}
+
+// SweepConfig configures an acceptance-ratio sweep.
+type SweepConfig struct {
+	// Name titles the resulting table (e.g. "fig3a").
+	Name string
+	// Columns is the device area (the paper uses 100 for figures).
+	Columns int
+	// Profile draws the tasksets.
+	Profile workload.Profile
+	// Bins are the system-utilization bin centers. Empty means
+	// 5, 10, ..., Columns.
+	Bins []float64
+	// SamplesPerBin is the taskset count per bin (the paper uses ≥10000
+	// per experiment group; benchmarks use far less).
+	SamplesPerBin int
+	// Tests are the schedulability tests to compare.
+	Tests []core.Test
+	// Policies are the simulation series to include.
+	Policies []PolicyFactory
+	// Seed makes the sweep reproducible.
+	Seed uint64
+	// SimHorizonCap bounds each simulation run (zero: sim default).
+	SimHorizonCap timeunit.Time
+	// Workers bounds parallelism (zero: GOMAXPROCS).
+	Workers int
+	// Raw switches from stratified generation to the paper's raw
+	// sampling: SamplesPerBin·len(Bins) sets are drawn from the profile
+	// unmodified and binned by their achieved US (bins may then be
+	// unevenly populated; empty bins yield NaN).
+	Raw bool
+}
+
+// SweepResult is the outcome of a sweep.
+type SweepResult struct {
+	// Table has one row per bin and one column per test and policy.
+	Table *report.Table
+	// Counts is the number of tasksets that landed in each bin.
+	Counts []int
+}
+
+// defaultBins returns 5, 10, ..., columns.
+func defaultBins(columns int) []float64 {
+	var bins []float64
+	for u := 5; u <= columns; u += 5 {
+		bins = append(bins, float64(u))
+	}
+	return bins
+}
+
+// seriesCount returns the column count: tests then policies.
+func (cfg *SweepConfig) seriesCount() int { return len(cfg.Tests) + len(cfg.Policies) }
+
+// Run executes the sweep.
+func (cfg SweepConfig) Run() (*SweepResult, error) {
+	if err := cfg.Profile.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Columns < 1 {
+		return nil, fmt.Errorf("experiments: columns %d", cfg.Columns)
+	}
+	if cfg.SamplesPerBin < 1 {
+		return nil, fmt.Errorf("experiments: samples per bin %d", cfg.SamplesPerBin)
+	}
+	bins := cfg.Bins
+	if len(bins) == 0 {
+		bins = defaultBins(cfg.Columns)
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	// accept[bin][series] counts acceptances; counts[bin] counts samples.
+	accept := make([][]int, len(bins))
+	for i := range accept {
+		accept[i] = make([]int, cfg.seriesCount())
+	}
+	counts := make([]int, len(bins))
+
+	type job struct{ bin, sample int }
+	jobs := make(chan job)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	var firstErr error
+
+	worker := func() {
+		defer wg.Done()
+		for jb := range jobs {
+			// Deterministic per-sample seed, independent of scheduling.
+			seed := cfg.Seed ^ (uint64(jb.bin+1) * 0x9e3779b97f4a7c15) ^ (uint64(jb.sample+1) * 0xbf58476d1ce4e5b9)
+			r := workload.Rand(seed)
+			var s *task.Set
+			binIdx := jb.bin
+			if cfg.Raw {
+				s = cfg.Profile.Generate(r)
+				us := workload.USFloat(s)
+				binIdx = nearestBin(bins, us)
+				if binIdx < 0 {
+					continue
+				}
+			} else {
+				s, _ = cfg.Profile.GenerateWithTargetUS(r, bins[jb.bin])
+			}
+			verdicts, err := cfg.evaluate(s)
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				continue
+			}
+			mu.Lock()
+			counts[binIdx]++
+			for si, ok := range verdicts {
+				if ok {
+					accept[binIdx][si]++
+				}
+			}
+			mu.Unlock()
+		}
+	}
+
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go worker()
+	}
+	for b := range bins {
+		for s := 0; s < cfg.SamplesPerBin; s++ {
+			jobs <- job{bin: b, sample: s}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	tbl := &report.Table{Title: cfg.Name, XLabel: "system utilization US", X: bins}
+	si := 0
+	for _, t := range cfg.Tests {
+		tbl.AddColumn(t.Name(), ratios(accept, counts, si))
+		si++
+	}
+	for _, p := range cfg.Policies {
+		tbl.AddColumn(p.Name, ratios(accept, counts, si))
+		si++
+	}
+	return &SweepResult{Table: tbl, Counts: counts}, nil
+}
+
+// evaluate runs every test and simulation policy on one taskset,
+// returning acceptance per series in config order.
+func (cfg *SweepConfig) evaluate(s *task.Set) ([]bool, error) {
+	out := make([]bool, 0, cfg.seriesCount())
+	dev := core.NewDevice(cfg.Columns)
+	for _, t := range cfg.Tests {
+		out = append(out, t.Analyze(dev, s).Schedulable)
+	}
+	for _, pf := range cfg.Policies {
+		p, err := pf.New(s, cfg.Columns)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: building policy %s: %w", pf.Name, err)
+		}
+		res, err := sim.Simulate(cfg.Columns, s, p, sim.Options{HorizonCap: cfg.SimHorizonCap})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: simulating %s: %w", pf.Name, err)
+		}
+		out = append(out, !res.Missed)
+	}
+	return out, nil
+}
+
+// ratios converts counters to per-bin acceptance ratios (NaN for empty
+// bins).
+func ratios(accept [][]int, counts []int, series int) []float64 {
+	out := make([]float64, len(counts))
+	for b := range counts {
+		if counts[b] == 0 {
+			out[b] = math.NaN()
+			continue
+		}
+		out[b] = float64(accept[b][series]) / float64(counts[b])
+	}
+	return out
+}
+
+// nearestBin returns the index of the closest bin center, or -1 if us is
+// more than half a bin spacing outside the grid.
+func nearestBin(bins []float64, us float64) int {
+	if len(bins) == 0 {
+		return -1
+	}
+	best, bestDist := -1, 0.0
+	for i, b := range bins {
+		d := us - b
+		if d < 0 {
+			d = -d
+		}
+		if best < 0 || d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	spacing := 5.0
+	if len(bins) > 1 {
+		spacing = bins[1] - bins[0]
+	}
+	if bestDist > spacing/2 {
+		return -1
+	}
+	return best
+}

@@ -1,0 +1,301 @@
+// Package fpga models the 1-D reconfigurable device at the column level:
+// which job occupies which contiguous column interval, where the free
+// gaps are, and how fragmented the free space is.
+//
+// The paper's analysis assumes unrestricted migration — a job fits
+// whenever its area is at most the total free area, because active jobs
+// can be rearranged for free. Under that assumption only the free-area
+// *total* matters and the scheduler need not track columns at all (the
+// simulator's capacity mode). This package exists for everything beyond
+// that assumption: the restricted-migration simulator mode (paper
+// Section 7 future work), where a placed job is pinned to its columns and
+// placement needs a contiguous gap found by a first-fit, best-fit or
+// worst-fit strategy; and for trace invariant checking, where the
+// work-conserving lemmas are stated in terms of occupied area.
+package fpga
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Region is a half-open column interval [Lo, Hi).
+type Region struct {
+	Lo, Hi int
+}
+
+// Width returns the number of columns in the region.
+func (r Region) Width() int { return r.Hi - r.Lo }
+
+// Overlaps reports whether r and o share any column.
+func (r Region) Overlaps(o Region) bool { return r.Lo < o.Hi && o.Lo < r.Hi }
+
+// String renders the region as [lo,hi).
+func (r Region) String() string { return fmt.Sprintf("[%d,%d)", r.Lo, r.Hi) }
+
+// Strategy selects which free gap receives a new placement.
+type Strategy int
+
+const (
+	// FirstFit places into the lowest-numbered gap that fits.
+	FirstFit Strategy = iota
+	// BestFit places into the smallest gap that fits (ties: lowest).
+	BestFit
+	// WorstFit places into the largest gap (ties: lowest).
+	WorstFit
+)
+
+// String returns the strategy name.
+func (s Strategy) String() string {
+	switch s {
+	case FirstFit:
+		return "first-fit"
+	case BestFit:
+		return "best-fit"
+	case WorstFit:
+		return "worst-fit"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// allocation pairs an owner ID with its region.
+type allocation struct {
+	id     int64
+	region Region
+}
+
+// Layout tracks the current column occupancy of a device. The zero value
+// is unusable; use NewLayout.
+type Layout struct {
+	columns int
+	// allocs is kept sorted by region.Lo; len is the number of resident
+	// jobs, which is small (≤ A(H)), so linear scans are fine and avoid
+	// any allocation churn in the simulator hot loop.
+	allocs []allocation
+	byID   map[int64]int // id -> index in allocs
+}
+
+// NewLayout returns an empty layout for a device with the given columns.
+func NewLayout(columns int) *Layout {
+	if columns < 0 {
+		columns = 0
+	}
+	return &Layout{columns: columns, byID: make(map[int64]int)}
+}
+
+// Columns returns the device width A(H).
+func (l *Layout) Columns() int { return l.columns }
+
+// Resident returns the number of placed jobs.
+func (l *Layout) Resident() int { return len(l.allocs) }
+
+// OccupiedArea returns the total number of occupied columns.
+func (l *Layout) OccupiedArea() int {
+	sum := 0
+	for _, a := range l.allocs {
+		sum += a.region.Width()
+	}
+	return sum
+}
+
+// FreeArea returns the total number of free columns.
+func (l *Layout) FreeArea() int { return l.columns - l.OccupiedArea() }
+
+// RegionOf returns the region occupied by id, if placed.
+func (l *Layout) RegionOf(id int64) (Region, bool) {
+	i, ok := l.byID[id]
+	if !ok {
+		return Region{}, false
+	}
+	return l.allocs[i].region, true
+}
+
+// Gaps returns the free gaps in ascending column order.
+func (l *Layout) Gaps() []Region {
+	var gaps []Region
+	cursor := 0
+	for _, a := range l.allocs {
+		if a.region.Lo > cursor {
+			gaps = append(gaps, Region{Lo: cursor, Hi: a.region.Lo})
+		}
+		cursor = a.region.Hi
+	}
+	if cursor < l.columns {
+		gaps = append(gaps, Region{Lo: cursor, Hi: l.columns})
+	}
+	return gaps
+}
+
+// LargestGap returns the width of the largest free gap (0 if none).
+func (l *Layout) LargestGap() int {
+	m := 0
+	for _, g := range l.Gaps() {
+		if g.Width() > m {
+			m = g.Width()
+		}
+	}
+	return m
+}
+
+// ExternalFragmentation returns 1 − largestGap/freeArea, the classic
+// measure of how much of the free space is unusable by a maximal
+// contiguous request. It is 0 when the free space is one gap (or there
+// is no free space at all, where no request is being fragmented).
+func (l *Layout) ExternalFragmentation() float64 {
+	free := l.FreeArea()
+	if free == 0 {
+		return 0
+	}
+	return 1 - float64(l.LargestGap())/float64(free)
+}
+
+// CanPlace reports whether a job of the given width has a contiguous gap.
+func (l *Layout) CanPlace(width int) bool {
+	if width <= 0 {
+		return false
+	}
+	return l.LargestGap() >= width
+}
+
+// Place allocates width columns for id using the strategy, returning the
+// chosen region. It fails if id is already placed, width is non-positive
+// or no gap fits.
+func (l *Layout) Place(id int64, width int, strategy Strategy) (Region, bool) {
+	if width <= 0 || width > l.columns {
+		return Region{}, false
+	}
+	if _, dup := l.byID[id]; dup {
+		return Region{}, false
+	}
+	best := Region{Lo: -1}
+	for _, g := range l.Gaps() {
+		if g.Width() < width {
+			continue
+		}
+		switch strategy {
+		case FirstFit:
+			best = g
+		case BestFit:
+			if best.Lo < 0 || g.Width() < best.Width() {
+				best = g
+			}
+		case WorstFit:
+			if best.Lo < 0 || g.Width() > best.Width() {
+				best = g
+			}
+		default:
+			return Region{}, false
+		}
+		if strategy == FirstFit {
+			break
+		}
+	}
+	if best.Lo < 0 {
+		return Region{}, false
+	}
+	r := Region{Lo: best.Lo, Hi: best.Lo + width}
+	l.insert(allocation{id: id, region: r})
+	return r, true
+}
+
+// PlaceAt allocates the exact region for id, failing on overlap, bounds
+// violation or duplicate id. It exists for tests and for replaying
+// recorded layouts.
+func (l *Layout) PlaceAt(id int64, r Region) error {
+	if r.Lo < 0 || r.Hi > l.columns || r.Width() <= 0 {
+		return fmt.Errorf("fpga: region %v out of bounds for %d columns", r, l.columns)
+	}
+	if _, dup := l.byID[id]; dup {
+		return fmt.Errorf("fpga: id %d already placed", id)
+	}
+	for _, a := range l.allocs {
+		if a.region.Overlaps(r) {
+			return fmt.Errorf("fpga: region %v overlaps %v (id %d)", r, a.region, a.id)
+		}
+	}
+	l.insert(allocation{id: id, region: r})
+	return nil
+}
+
+// Remove frees id's columns. Removing an absent id is a no-op returning
+// false.
+func (l *Layout) Remove(id int64) bool {
+	i, ok := l.byID[id]
+	if !ok {
+		return false
+	}
+	l.allocs = append(l.allocs[:i], l.allocs[i+1:]...)
+	delete(l.byID, id)
+	for j := i; j < len(l.allocs); j++ {
+		l.byID[l.allocs[j].id] = j
+	}
+	return true
+}
+
+// Defragment slides every allocation as far left as possible, preserving
+// relative order, so the free space becomes one right-aligned gap. This
+// realises the paper's unrestricted-migration assumption explicitly
+// (jobs can be rearranged with zero overhead) and returns the number of
+// jobs that moved.
+func (l *Layout) Defragment() int {
+	moved := 0
+	cursor := 0
+	for i := range l.allocs {
+		w := l.allocs[i].region.Width()
+		if l.allocs[i].region.Lo != cursor {
+			l.allocs[i].region = Region{Lo: cursor, Hi: cursor + w}
+			moved++
+		}
+		cursor += w
+	}
+	return moved
+}
+
+// Reset removes all allocations.
+func (l *Layout) Reset() {
+	l.allocs = l.allocs[:0]
+	clear(l.byID)
+}
+
+// Clone returns an independent copy of the layout.
+func (l *Layout) Clone() *Layout {
+	out := NewLayout(l.columns)
+	out.allocs = append(out.allocs, l.allocs...)
+	for k, v := range l.byID {
+		out.byID[k] = v
+	}
+	return out
+}
+
+// String renders the layout as a column map, e.g. "AA..BBB..." with one
+// letter per resident job (by placement order) and '.' for free columns.
+func (l *Layout) String() string {
+	cols := make([]byte, l.columns)
+	for i := range cols {
+		cols[i] = '.'
+	}
+	for i, a := range l.allocs {
+		ch := byte('A' + i%26)
+		for c := a.region.Lo; c < a.region.Hi; c++ {
+			cols[c] = ch
+		}
+	}
+	var b strings.Builder
+	b.Write(cols)
+	return b.String()
+}
+
+// insert adds a sorted by region.Lo and rebuilds the index suffix.
+func (l *Layout) insert(a allocation) {
+	pos := sort.Search(len(l.allocs), func(i int) bool {
+		return l.allocs[i].region.Lo >= a.region.Lo
+	})
+	l.allocs = append(l.allocs, allocation{})
+	copy(l.allocs[pos+1:], l.allocs[pos:])
+	l.allocs[pos] = a
+	for j := pos; j < len(l.allocs); j++ {
+		l.byID[l.allocs[j].id] = j
+	}
+}

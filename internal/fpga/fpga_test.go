@@ -1,0 +1,317 @@
+package fpga
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegionBasics(t *testing.T) {
+	r := Region{Lo: 2, Hi: 5}
+	if r.Width() != 3 {
+		t.Errorf("Width = %d, want 3", r.Width())
+	}
+	if !r.Overlaps(Region{Lo: 4, Hi: 6}) {
+		t.Error("overlapping regions reported disjoint")
+	}
+	if r.Overlaps(Region{Lo: 5, Hi: 7}) {
+		t.Error("touching regions are not overlapping (half-open)")
+	}
+	if r.String() != "[2,5)" {
+		t.Errorf("String = %q", r.String())
+	}
+}
+
+func TestPlaceFirstFit(t *testing.T) {
+	l := NewLayout(10)
+	r1, ok := l.Place(1, 4, FirstFit)
+	if !ok || r1 != (Region{0, 4}) {
+		t.Fatalf("first placement = %v, %v", r1, ok)
+	}
+	r2, ok := l.Place(2, 3, FirstFit)
+	if !ok || r2 != (Region{4, 7}) {
+		t.Fatalf("second placement = %v, %v", r2, ok)
+	}
+	if l.OccupiedArea() != 7 || l.FreeArea() != 3 {
+		t.Errorf("occupied=%d free=%d", l.OccupiedArea(), l.FreeArea())
+	}
+	if _, ok := l.Place(3, 4, FirstFit); ok {
+		t.Error("placement of width 4 into 3 free columns must fail")
+	}
+}
+
+func TestPlaceStrategies(t *testing.T) {
+	// Build layout with gaps of width 3 ([2,5)) and 5 ([7,12)).
+	mk := func() *Layout {
+		l := NewLayout(12)
+		if err := l.PlaceAt(10, Region{0, 2}); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.PlaceAt(11, Region{5, 7}); err != nil {
+			t.Fatal(err)
+		}
+		return l
+	}
+	l := mk()
+	if r, _ := l.Place(1, 2, FirstFit); r.Lo != 2 {
+		t.Errorf("first-fit chose %v, want lo=2", r)
+	}
+	l = mk()
+	if r, _ := l.Place(1, 2, BestFit); r.Lo != 2 {
+		t.Errorf("best-fit chose %v, want smallest gap lo=2", r)
+	}
+	l = mk()
+	if r, _ := l.Place(1, 2, WorstFit); r.Lo != 7 {
+		t.Errorf("worst-fit chose %v, want largest gap lo=7", r)
+	}
+	// Width 4 only fits the second gap regardless of strategy.
+	for _, st := range []Strategy{FirstFit, BestFit, WorstFit} {
+		l = mk()
+		if r, ok := l.Place(1, 4, st); !ok || r.Lo != 7 {
+			t.Errorf("%v width-4 placement = %v, %v", st, r, ok)
+		}
+	}
+}
+
+func TestPlaceRejectsDuplicateAndBadWidth(t *testing.T) {
+	l := NewLayout(10)
+	if _, ok := l.Place(1, 3, FirstFit); !ok {
+		t.Fatal("placement failed")
+	}
+	if _, ok := l.Place(1, 2, FirstFit); ok {
+		t.Error("duplicate id must fail")
+	}
+	if _, ok := l.Place(2, 0, FirstFit); ok {
+		t.Error("zero width must fail")
+	}
+	if _, ok := l.Place(3, 11, FirstFit); ok {
+		t.Error("width beyond device must fail")
+	}
+}
+
+func TestPlaceAtValidation(t *testing.T) {
+	l := NewLayout(10)
+	if err := l.PlaceAt(1, Region{2, 6}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.PlaceAt(2, Region{5, 8}); err == nil {
+		t.Error("overlap must fail")
+	}
+	if err := l.PlaceAt(3, Region{-1, 2}); err == nil {
+		t.Error("negative lo must fail")
+	}
+	if err := l.PlaceAt(4, Region{8, 11}); err == nil {
+		t.Error("beyond device must fail")
+	}
+	if err := l.PlaceAt(5, Region{3, 3}); err == nil {
+		t.Error("empty region must fail")
+	}
+	if err := l.PlaceAt(1, Region{7, 8}); err == nil {
+		t.Error("duplicate id must fail")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	l := NewLayout(10)
+	l.Place(1, 3, FirstFit)
+	l.Place(2, 3, FirstFit)
+	if !l.Remove(1) {
+		t.Error("remove of placed id returned false")
+	}
+	if l.Remove(1) {
+		t.Error("double remove returned true")
+	}
+	if l.OccupiedArea() != 3 {
+		t.Errorf("occupied = %d, want 3", l.OccupiedArea())
+	}
+	if _, ok := l.RegionOf(2); !ok {
+		t.Error("id 2 lost after removing id 1")
+	}
+	// The freed gap is reusable.
+	if r, ok := l.Place(3, 3, FirstFit); !ok || r.Lo != 0 {
+		t.Errorf("reuse placement = %v, %v", r, ok)
+	}
+}
+
+func TestGapsAndFragmentation(t *testing.T) {
+	l := NewLayout(10)
+	l.PlaceAt(1, Region{2, 4})
+	l.PlaceAt(2, Region{6, 9})
+	gaps := l.Gaps()
+	want := []Region{{0, 2}, {4, 6}, {9, 10}}
+	if len(gaps) != len(want) {
+		t.Fatalf("gaps = %v, want %v", gaps, want)
+	}
+	for i := range want {
+		if gaps[i] != want[i] {
+			t.Errorf("gap %d = %v, want %v", i, gaps[i], want[i])
+		}
+	}
+	if l.LargestGap() != 2 {
+		t.Errorf("LargestGap = %d, want 2", l.LargestGap())
+	}
+	// free = 5, largest = 2 -> fragmentation = 1 - 2/5 = 0.6.
+	if got := l.ExternalFragmentation(); got != 0.6 {
+		t.Errorf("fragmentation = %v, want 0.6", got)
+	}
+	if !l.CanPlace(2) || l.CanPlace(3) {
+		t.Error("CanPlace thresholds wrong")
+	}
+}
+
+func TestFragmentationEdgeCases(t *testing.T) {
+	l := NewLayout(10)
+	if l.ExternalFragmentation() != 0 {
+		t.Error("empty layout: one gap, no fragmentation")
+	}
+	l.Place(1, 10, FirstFit)
+	if l.ExternalFragmentation() != 0 {
+		t.Error("full layout: no free space, no fragmentation")
+	}
+}
+
+func TestDefragment(t *testing.T) {
+	l := NewLayout(10)
+	l.PlaceAt(1, Region{2, 4})
+	l.PlaceAt(2, Region{6, 9})
+	moved := l.Defragment()
+	if moved != 2 {
+		t.Errorf("moved = %d, want 2", moved)
+	}
+	r1, _ := l.RegionOf(1)
+	r2, _ := l.RegionOf(2)
+	if r1 != (Region{0, 2}) || r2 != (Region{2, 5}) {
+		t.Errorf("after defrag: %v %v", r1, r2)
+	}
+	if l.LargestGap() != 5 || l.ExternalFragmentation() != 0 {
+		t.Errorf("defrag left gap=%d frag=%v", l.LargestGap(), l.ExternalFragmentation())
+	}
+	if l.Defragment() != 0 {
+		t.Error("second defrag must be a no-op")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	l := NewLayout(10)
+	l.Place(1, 3, FirstFit)
+	c := l.Clone()
+	c.Place(2, 3, FirstFit)
+	if l.Resident() != 1 {
+		t.Error("clone shares state with original")
+	}
+	c.Remove(1)
+	if _, ok := l.RegionOf(1); !ok {
+		t.Error("clone removal affected original")
+	}
+}
+
+func TestReset(t *testing.T) {
+	l := NewLayout(10)
+	l.Place(1, 3, FirstFit)
+	l.Reset()
+	if l.Resident() != 0 || l.OccupiedArea() != 0 {
+		t.Error("reset did not clear")
+	}
+	if _, ok := l.Place(1, 3, FirstFit); !ok {
+		t.Error("id reusable after reset")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	l := NewLayout(8)
+	l.PlaceAt(1, Region{0, 2})
+	l.PlaceAt(2, Region{4, 7})
+	if got := l.String(); got != "AA..BBB." {
+		t.Errorf("String = %q, want \"AA..BBB.\"", got)
+	}
+}
+
+func TestZeroAndNegativeColumns(t *testing.T) {
+	l := NewLayout(-5)
+	if l.Columns() != 0 {
+		t.Error("negative columns should clamp to 0")
+	}
+	if _, ok := l.Place(1, 1, FirstFit); ok {
+		t.Error("placement on zero-width device must fail")
+	}
+}
+
+// TestLayoutInvariantsProperty drives a random place/remove/defrag
+// sequence and checks the structural invariants after every step: no
+// overlap, bounds respected, occupied+free = columns, index consistency.
+func TestLayoutInvariantsProperty(t *testing.T) {
+	f := func(seed uint64, opsRaw uint8) bool {
+		r := rand.New(rand.NewPCG(seed, 5))
+		l := NewLayout(20)
+		live := map[int64]bool{}
+		next := int64(1)
+		ops := int(opsRaw)%60 + 10
+		for op := 0; op < ops; op++ {
+			switch r.IntN(4) {
+			case 0, 1:
+				id := next
+				next++
+				if _, ok := l.Place(id, 1+r.IntN(8), Strategy(r.IntN(3))); ok {
+					live[id] = true
+				}
+			case 2:
+				for id := range live {
+					l.Remove(id)
+					delete(live, id)
+					break
+				}
+			case 3:
+				l.Defragment()
+			}
+			if !layoutConsistent(l, live) {
+				t.Logf("inconsistent after op %d:\n%s", op, l.String())
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func layoutConsistent(l *Layout, live map[int64]bool) bool {
+	if l.Resident() != len(live) {
+		return false
+	}
+	seen := 0
+	var regions []Region
+	for id := range live {
+		r, ok := l.RegionOf(id)
+		if !ok || r.Lo < 0 || r.Hi > l.Columns() || r.Width() <= 0 {
+			return false
+		}
+		regions = append(regions, r)
+		seen += r.Width()
+	}
+	for i := range regions {
+		for j := i + 1; j < len(regions); j++ {
+			if regions[i].Overlaps(regions[j]) {
+				return false
+			}
+		}
+	}
+	if seen != l.OccupiedArea() || seen+l.FreeArea() != l.Columns() {
+		return false
+	}
+	// Gaps and allocations must tile the device.
+	total := l.OccupiedArea()
+	for _, g := range l.Gaps() {
+		total += g.Width()
+	}
+	return total == l.Columns()
+}
+
+func TestStrategyString(t *testing.T) {
+	if FirstFit.String() != "first-fit" || BestFit.String() != "best-fit" || WorstFit.String() != "worst-fit" {
+		t.Error("strategy names changed")
+	}
+	if Strategy(9).String() == "" {
+		t.Error("unknown strategy must still render")
+	}
+}

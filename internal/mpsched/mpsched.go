@@ -1,0 +1,261 @@
+// Package mpsched implements the classic global-EDF schedulability tests
+// for identical multiprocessors that the paper's FPGA tests generalise:
+//
+//   - GFB: Goossens, Funk, Baruah (Real-Time Systems 25(2-3), 2003) —
+//     the utilization bound U ≤ m·(1−umax) + umax for implicit deadlines.
+//   - BCL: Bertogna, Cirinei, Lipari (ECRTS 2005) — the interference
+//     bound that GN1 generalises.
+//   - BAK2: Baker (FSU TR-051001, 2005) — the λ-parameterised busy-
+//     interval bound that GN2 generalises.
+//
+// Multiprocessor scheduling is exactly FPGA scheduling where every task
+// has area 1 and the device has m columns (paper Section 1), so these
+// serve two roles: as the baseline lineage the paper builds on, and as
+// independent oracles — the property tests in this package check that the
+// FPGA tests of internal/core degenerate to them bit-for-bit on unit-area
+// tasksets. The implementations here are deliberately written directly
+// from the multiprocessor formulas, not by calling internal/core, so the
+// cross-checks are meaningful.
+package mpsched
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+
+	"fpgasched/internal/task"
+)
+
+var ratOne = big.NewRat(1, 1)
+
+// Verdict is the outcome of a multiprocessor schedulability test.
+type Verdict struct {
+	Test        string
+	Schedulable bool
+	Reason      string
+}
+
+// GFB applies the Goossens–Funk–Baruah utilization bound for global EDF
+// on m identical processors to an implicit-deadline taskset:
+//
+//	U(Γ) ≤ m·(1 − umax) + umax
+//
+// Sets with D ≠ T are rejected with a reason (outside the theorem's
+// scope), as are sets with any task utilization above 1.
+func GFB(m int, s *task.Set) Verdict {
+	const name = "GFB"
+	if err := validate(m, s); err != nil {
+		return Verdict{Test: name, Reason: err.Error()}
+	}
+	if !s.ImplicitDeadlines() {
+		return Verdict{Test: name, Reason: "GFB requires implicit deadlines"}
+	}
+	umax := new(big.Rat)
+	total := new(big.Rat)
+	for _, tk := range s.Tasks {
+		u := tk.UtilizationT()
+		total.Add(total, u)
+		if u.Cmp(umax) > 0 {
+			umax = u
+		}
+	}
+	if umax.Cmp(ratOne) > 0 {
+		return Verdict{Test: name, Reason: "a task has utilization above 1"}
+	}
+	// bound = m·(1−umax) + umax
+	bound := new(big.Rat).Sub(ratOne, umax)
+	bound.Mul(bound, new(big.Rat).SetInt64(int64(m)))
+	bound.Add(bound, umax)
+	if total.Cmp(bound) > 0 {
+		return Verdict{Test: name, Reason: fmt.Sprintf("U=%s exceeds bound %s", total.RatString(), bound.RatString())}
+	}
+	return Verdict{Test: name, Schedulable: true}
+}
+
+// BCL applies the Bertogna–Cirinei–Lipari test for global EDF on m
+// identical processors to a constrained-deadline taskset: Γ is
+// schedulable if, for each τk,
+//
+//	Σ_{i≠k} min(βi, 1 − λk) < m·(1 − λk),   λk = Ck/Dk,
+//
+// with βi = Wi/Dk and Wi the deadline-aligned window workload
+// Ni·Ci + min(Ci, max(Dk − Ni·Ti, 0)), Ni = max(0, ⌊(Dk−Di)/Ti⌋+1).
+func BCL(m int, s *task.Set) Verdict {
+	const name = "BCL"
+	if err := validate(m, s); err != nil {
+		return Verdict{Test: name, Reason: err.Error()}
+	}
+	if !s.ConstrainedDeadlines() {
+		return Verdict{Test: name, Reason: "BCL requires constrained deadlines"}
+	}
+	mRat := new(big.Rat).SetInt64(int64(m))
+	for k, tk := range s.Tasks {
+		slack := new(big.Rat).Sub(ratOne, new(big.Rat).SetFrac64(int64(tk.C), int64(tk.D)))
+		lhs := new(big.Rat)
+		for i, ti := range s.Tasks {
+			if i == k {
+				continue
+			}
+			beta := windowWorkloadRatio(ti, tk)
+			if beta.Cmp(slack) > 0 {
+				beta = slack
+			}
+			lhs.Add(lhs, beta)
+		}
+		rhs := new(big.Rat).Mul(mRat, slack)
+		if lhs.Cmp(rhs) >= 0 {
+			return Verdict{Test: name, Reason: fmt.Sprintf("task %d: Σ=%s not below %s", k, lhs.RatString(), rhs.RatString())}
+		}
+	}
+	return Verdict{Test: name, Schedulable: true}
+}
+
+// windowWorkloadRatio returns Wi/Dk for the deadline-aligned worst case.
+func windowWorkloadRatio(ti, tk task.Task) *big.Rat {
+	ni := floorDiv(int64(tk.D)-int64(ti.D), int64(ti.T)) + 1
+	if ni < 0 {
+		ni = 0
+	}
+	carry := int64(tk.D) - ni*int64(ti.T)
+	if carry < 0 {
+		carry = 0
+	}
+	if carry > int64(ti.C) {
+		carry = int64(ti.C)
+	}
+	return new(big.Rat).SetFrac64(ni*int64(ti.C)+carry, int64(tk.D))
+}
+
+// BAK2Options mirrors core.GN2Options for the width-1 specialisation; the
+// strict condition-2 comparison is kept so the degeneration cross-check
+// is exact.
+type BAK2Options struct {
+	CondTwoNonStrict bool
+}
+
+// BAK2 applies Baker's improved busy-interval test (TR-051001) for global
+// EDF on m identical processors: Γ is schedulable if for every τk there
+// is λ ≥ Ck/Tk with, for λk = λ·max(1, Tk/Dk),
+//
+//	(1) Σ_i min(βλk(i), 1 − λk) < m·(1 − λk), or
+//	(2) Σ_i min(βλk(i), 1)      < (m − 1)·(1 − λk) + 1
+//
+// where βλk(i) is the same three-case bound as core.GN2 with unit areas
+// (the printed middle case Ck/Tk included, so the two stay comparable).
+func BAK2(m int, s *task.Set, opts BAK2Options) Verdict {
+	const name = "BAK2"
+	if err := validate(m, s); err != nil {
+		return Verdict{Test: name, Reason: err.Error()}
+	}
+	mRat := new(big.Rat).SetInt64(int64(m))
+	mMinus1 := new(big.Rat).SetInt64(int64(m - 1))
+	for k, tk := range s.Tasks {
+		uk := new(big.Rat).SetFrac64(int64(tk.C), int64(tk.T))
+		found := false
+		for _, lambda := range lambdaCandidates(s, uk) {
+			lambdaK := new(big.Rat).Set(lambda)
+			if tk.T > tk.D {
+				lambdaK.Mul(lambdaK, new(big.Rat).SetFrac64(int64(tk.T), int64(tk.D)))
+			}
+			oneMinus := new(big.Rat).Sub(ratOne, lambdaK)
+			if oneMinus.Sign() < 0 {
+				continue // outside the theorem's effective λ range (T3-RANGE)
+			}
+			sum1 := new(big.Rat)
+			sum2 := new(big.Rat)
+			for _, ti := range s.Tasks {
+				b := bak2Beta(ti, tk, lambda)
+				capped1 := b
+				if capped1.Cmp(oneMinus) > 0 {
+					capped1 = oneMinus
+				}
+				sum1.Add(sum1, capped1)
+				capped2 := b
+				if capped2.Cmp(ratOne) > 0 {
+					capped2 = ratOne
+				}
+				sum2.Add(sum2, capped2)
+			}
+			if sum1.Cmp(new(big.Rat).Mul(mRat, oneMinus)) < 0 {
+				found = true
+				break
+			}
+			rhs2 := new(big.Rat).Mul(mMinus1, oneMinus)
+			rhs2.Add(rhs2, ratOne)
+			cmp := sum2.Cmp(rhs2)
+			if cmp < 0 || (opts.CondTwoNonStrict && cmp == 0) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return Verdict{Test: name, Reason: fmt.Sprintf("task %d: no λ satisfies condition 1 or 2", k)}
+		}
+	}
+	return Verdict{Test: name, Schedulable: true}
+}
+
+// bak2Beta is Lemma 7's βλk(i) with the printed middle case.
+func bak2Beta(ti, tk task.Task, lambda *big.Rat) *big.Rat {
+	ui := new(big.Rat).SetFrac64(int64(ti.C), int64(ti.T))
+	if ui.Cmp(lambda) <= 0 {
+		alt := new(big.Rat).Sub(ratOne, new(big.Rat).SetFrac64(int64(ti.D), int64(tk.D)))
+		alt.Mul(alt, ui)
+		alt.Add(alt, new(big.Rat).SetFrac64(int64(ti.C), int64(tk.D)))
+		if alt.Cmp(ui) > 0 {
+			return alt
+		}
+		return ui
+	}
+	dens := new(big.Rat).SetFrac64(int64(ti.C), int64(ti.D))
+	if lambda.Cmp(dens) >= 0 {
+		return new(big.Rat).SetFrac64(int64(tk.C), int64(tk.T))
+	}
+	out := new(big.Rat).Mul(lambda, new(big.Rat).SetInt64(int64(ti.D)))
+	out.Sub(new(big.Rat).SetInt64(int64(ti.C)), out)
+	out.Quo(out, new(big.Rat).SetInt64(int64(tk.D)))
+	return out.Add(out, ui)
+}
+
+// lambdaCandidates matches core's candidate set: uk, all Ci/Ti ≥ uk and
+// all Ci/Di ≥ uk for post-period-deadline tasks, sorted ascending.
+func lambdaCandidates(s *task.Set, uk *big.Rat) []*big.Rat {
+	cands := []*big.Rat{new(big.Rat).Set(uk)}
+	add := func(r *big.Rat) {
+		if r.Cmp(uk) >= 0 {
+			cands = append(cands, r)
+		}
+	}
+	for _, ti := range s.Tasks {
+		add(new(big.Rat).SetFrac64(int64(ti.C), int64(ti.T)))
+		if ti.D > ti.T {
+			add(new(big.Rat).SetFrac64(int64(ti.C), int64(ti.D)))
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].Cmp(cands[j]) < 0 })
+	uniq := cands[:1]
+	for _, c := range cands[1:] {
+		if c.Cmp(uniq[len(uniq)-1]) != 0 {
+			uniq = append(uniq, c)
+		}
+	}
+	return uniq
+}
+
+func validate(m int, s *task.Set) error {
+	if m < 1 {
+		return fmt.Errorf("mpsched: processor count %d must be positive", m)
+	}
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}

@@ -1,0 +1,165 @@
+package partition
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"fpgasched/internal/fpga"
+	"fpgasched/internal/task"
+)
+
+// Partition is one static column region and the tasks bound to it.
+// Execution inside a partition is serialized: one job at a time,
+// scheduled by uniprocessor EDF.
+type Partition struct {
+	// Region is the column interval the partition owns.
+	Region fpga.Region
+	// Members are indices into the planned taskset.
+	Members []int
+}
+
+// Width returns the partition's column count.
+func (p Partition) Width() int { return p.Region.Width() }
+
+// Plan is a complete partitioned-scheduling assignment.
+type Plan struct {
+	// Columns is the device width the plan was built for.
+	Columns int
+	// Partitions in ascending column order. Their widths sum to at most
+	// Columns.
+	Partitions []Partition
+	// Assignment maps task index to partition index.
+	Assignment []int
+}
+
+// String renders the plan compactly.
+func (p *Plan) String() string {
+	var b strings.Builder
+	for i, part := range p.Partitions {
+		fmt.Fprintf(&b, "partition %d %v: tasks %v\n", i, part.Region, part.Members)
+	}
+	return b.String()
+}
+
+// UsedColumns returns the total width of all partitions.
+func (p *Plan) UsedColumns() int {
+	sum := 0
+	for _, part := range p.Partitions {
+		sum += part.Width()
+	}
+	return sum
+}
+
+// FirstFitDecreasing builds a partitioned plan: tasks are considered in
+// decreasing area order (ties: decreasing utilization) and placed into
+// the first existing partition that is wide enough and stays
+// EDF-schedulable as a serialized uniprocessor; otherwise a new partition
+// of exactly the task's width is opened if columns remain. It returns an
+// error naming the first unplaceable task when the set does not fit —
+// partitioned scheduling is not work-conserving across partitions, so
+// failure here says nothing about global schedulability (the comparison
+// the paper draws in Section 1).
+func FirstFitDecreasing(columns int, s *task.Set) (*Plan, error) {
+	if err := s.ValidateFor(columns); err != nil {
+		return nil, err
+	}
+	order := make([]int, s.Len())
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ta, tb := s.Tasks[order[a]], s.Tasks[order[b]]
+		if ta.A != tb.A {
+			return ta.A > tb.A
+		}
+		return ta.UtilizationT().Cmp(tb.UtilizationT()) > 0
+	})
+
+	plan := &Plan{Columns: columns, Assignment: make([]int, s.Len())}
+	for i := range plan.Assignment {
+		plan.Assignment[i] = -1
+	}
+	cursor := 0
+	for _, ti := range order {
+		placed := false
+		for pi := range plan.Partitions {
+			part := &plan.Partitions[pi]
+			if part.Width() < s.Tasks[ti].A {
+				continue
+			}
+			trial := append(append([]int{}, part.Members...), ti)
+			if uniprocSchedulable(s, trial) {
+				part.Members = trial
+				plan.Assignment[ti] = pi
+				placed = true
+				break
+			}
+		}
+		if placed {
+			continue
+		}
+		width := s.Tasks[ti].A
+		if cursor+width > columns {
+			return nil, fmt.Errorf("partition: no room for task %d (%s): %d columns used of %d",
+				ti, s.Tasks[ti].Name, cursor, columns)
+		}
+		if !uniprocSchedulable(s, []int{ti}) {
+			return nil, fmt.Errorf("partition: task %d (%s) infeasible even alone", ti, s.Tasks[ti].Name)
+		}
+		plan.Partitions = append(plan.Partitions, Partition{
+			Region:  fpga.Region{Lo: cursor, Hi: cursor + width},
+			Members: []int{ti},
+		})
+		plan.Assignment[ti] = len(plan.Partitions) - 1
+		cursor += width
+	}
+	return plan, nil
+}
+
+// Schedulable reports whether a partitioned plan exists for the set —
+// the partitioned counterpart of the global tests' Verdict.Schedulable.
+func Schedulable(columns int, s *task.Set) bool {
+	_, err := FirstFitDecreasing(columns, s)
+	return err == nil
+}
+
+// Validate checks a plan's structural invariants: partitions within the
+// device, disjoint, every task assigned to a partition at least as wide
+// as the task, and every partition EDF-schedulable.
+func (p *Plan) Validate(s *task.Set) error {
+	if p.UsedColumns() > p.Columns {
+		return fmt.Errorf("partition: widths %d exceed device %d", p.UsedColumns(), p.Columns)
+	}
+	for i, a := range p.Partitions {
+		if a.Region.Lo < 0 || a.Region.Hi > p.Columns || a.Width() <= 0 {
+			return fmt.Errorf("partition %d: bad region %v", i, a.Region)
+		}
+		for j := i + 1; j < len(p.Partitions); j++ {
+			if a.Region.Overlaps(p.Partitions[j].Region) {
+				return fmt.Errorf("partitions %d and %d overlap", i, j)
+			}
+		}
+		if !uniprocSchedulable(s, a.Members) {
+			return fmt.Errorf("partition %d: members not EDF-schedulable", i)
+		}
+	}
+	for ti, pi := range p.Assignment {
+		if pi < 0 || pi >= len(p.Partitions) {
+			return fmt.Errorf("task %d unassigned", ti)
+		}
+		if p.Partitions[pi].Width() < s.Tasks[ti].A {
+			return fmt.Errorf("task %d wider than its partition", ti)
+		}
+		found := false
+		for _, m := range p.Partitions[pi].Members {
+			if m == ti {
+				found = true
+			}
+		}
+		if !found {
+			return fmt.Errorf("task %d not in its partition's member list", ti)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,314 @@
+package partition
+
+import (
+	"testing"
+	"testing/quick"
+
+	"fpgasched/internal/fpga"
+	"fpgasched/internal/sched"
+	"fpgasched/internal/sim"
+	"fpgasched/internal/task"
+	"fpgasched/internal/timeunit"
+	"fpgasched/internal/workload"
+)
+
+func TestUniprocImplicitUtilizationExact(t *testing.T) {
+	// U = 1 exactly: schedulable (Liu & Layland boundary).
+	s := task.NewSet(
+		task.New("a", "1", "2", "2", 1),
+		task.New("b", "2", "4", "4", 1),
+	)
+	if !uniprocSchedulable(s, []int{0, 1}) {
+		t.Error("U=1 implicit must be schedulable")
+	}
+	// One tick over: unschedulable.
+	over := s.Clone()
+	over.Tasks[0].C++
+	if uniprocSchedulable(over, []int{0, 1}) {
+		t.Error("U>1 must be unschedulable")
+	}
+}
+
+func TestUniprocConstrainedDemand(t *testing.T) {
+	// Classic dbf case: τ1=(2, D=3, T=4), τ2=(2, D=5, T=6).
+	// U = 0.5 + 1/3 < 1 but deadlines are tight: dbf(3)=2≤3, dbf(5)=4≤5,
+	// dbf(7)=6≤7, dbf(11)=8+... check via code; this set is schedulable.
+	ok := task.NewSet(
+		task.New("a", "2", "3", "4", 1),
+		task.New("b", "2", "5", "6", 1),
+	)
+	if !uniprocSchedulable(ok, []int{0, 1}) {
+		t.Error("constrained set with slack must pass demand test")
+	}
+	// Tighten: τ1=(2, D=2, T=4), τ2=(2, D=3, T=6): dbf(3) = 2+2 = 4 > 3.
+	bad := task.NewSet(
+		task.New("a", "2", "2", "4", 1),
+		task.New("b", "2", "3", "6", 1),
+	)
+	if uniprocSchedulable(bad, []int{0, 1}) {
+		t.Error("dbf(3)=4>3 must fail")
+	}
+}
+
+func TestUniprocEmptyMembers(t *testing.T) {
+	s := task.NewSet(task.New("a", "1", "2", "2", 1))
+	if !uniprocSchedulable(s, nil) {
+		t.Error("empty partition is schedulable")
+	}
+}
+
+func TestFFDSimple(t *testing.T) {
+	// Two tasks that cannot share a partition temporally (U sums over 1)
+	// but fit side by side spatially.
+	s := task.NewSet(
+		task.New("a", "3", "4", "4", 4),
+		task.New("b", "3", "4", "4", 5),
+	)
+	plan, err := FirstFitDecreasing(10, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Partitions) != 2 {
+		t.Fatalf("want 2 partitions, got %d\n%s", len(plan.Partitions), plan)
+	}
+	if err := plan.Validate(s); err != nil {
+		t.Errorf("plan invalid: %v", err)
+	}
+	if plan.UsedColumns() != 9 {
+		t.Errorf("used columns = %d, want 9", plan.UsedColumns())
+	}
+}
+
+func TestFFDSharesPartitionWhenTemporallyFeasible(t *testing.T) {
+	// Two light tasks of equal width share one partition.
+	s := task.NewSet(
+		task.New("a", "1", "10", "10", 6),
+		task.New("b", "1", "10", "10", 6),
+	)
+	plan, err := FirstFitDecreasing(10, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Partitions) != 1 {
+		t.Fatalf("want 1 shared partition, got %d\n%s", len(plan.Partitions), plan)
+	}
+	if err := plan.Validate(s); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFFDNarrowTaskJoinsWidePartition(t *testing.T) {
+	// A narrow task can live in a wider partition (area waste, but legal).
+	s := task.NewSet(
+		task.New("wide", "1", "10", "10", 8),
+		task.New("narrow", "1", "10", "10", 2),
+	)
+	plan, err := FirstFitDecreasing(10, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Partitions) != 1 {
+		t.Fatalf("narrow task should join the wide partition:\n%s", plan)
+	}
+}
+
+func TestFFDFailsWhenColumnsExhausted(t *testing.T) {
+	// Three saturated (U=1) 4-column tasks need 12 columns on a 10-column
+	// device.
+	s := task.NewSet(
+		task.New("a", "5", "5", "5", 4),
+		task.New("b", "5", "5", "5", 4),
+		task.New("c", "5", "5", "5", 4),
+	)
+	if _, err := FirstFitDecreasing(10, s); err == nil {
+		t.Error("expected failure: 12 columns of saturated tasks on 10")
+	}
+	if Schedulable(10, s) {
+		t.Error("Schedulable must agree with FirstFitDecreasing")
+	}
+	if !Schedulable(12, s) {
+		t.Error("12 columns suffice")
+	}
+}
+
+func TestFFDRejectsInvalidInputs(t *testing.T) {
+	if _, err := FirstFitDecreasing(10, task.NewSet()); err == nil {
+		t.Error("empty set must fail")
+	}
+	wide := task.NewSet(task.New("w", "1", "5", "5", 11))
+	if _, err := FirstFitDecreasing(10, wide); err == nil {
+		t.Error("task wider than device must fail")
+	}
+}
+
+// TestPartitionedPlanSimulatesCleanly is the semantic check: a plan's
+// per-partition workloads, each simulated on a width-1 "serialized"
+// device under EDF, never miss. This ties the demand-bound analysis to
+// the simulator.
+func TestPartitionedPlanSimulatesCleanly(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := workload.Rand(seed)
+		profile := workload.Profile{
+			Name: "part", N: 6, AreaMin: 10, AreaMax: 50,
+			PeriodMin: 5, PeriodMax: 20, UtilMin: 0.05, UtilMax: 0.4,
+		}
+		s := profile.Generate(r)
+		plan, err := FirstFitDecreasing(100, s)
+		if err != nil {
+			return true // not partitionable; nothing to verify
+		}
+		if err := plan.Validate(s); err != nil {
+			t.Logf("invalid plan: %v", err)
+			return false
+		}
+		for _, part := range plan.Partitions {
+			// Serialize the partition: every member becomes width-1 on a
+			// 1-column device.
+			sub := &task.Set{}
+			for _, ti := range part.Members {
+				tk := s.Tasks[ti]
+				tk.A = 1
+				sub.Tasks = append(sub.Tasks, tk)
+			}
+			res, err := sim.Simulate(1, sub, sched.NextFit{}, sim.Options{
+				HorizonCap: timeunit.FromUnits(300),
+			})
+			if err != nil {
+				t.Logf("sim error: %v", err)
+				return false
+			}
+			if res.Missed {
+				t.Logf("partition missed deadline: members %v\n%v", part.Members, sub)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPlanStringAndValidateErrors(t *testing.T) {
+	s := task.NewSet(
+		task.New("a", "1", "10", "10", 4),
+		task.New("b", "1", "10", "10", 4),
+	)
+	plan, err := FirstFitDecreasing(10, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.String() == "" {
+		t.Error("plan should render")
+	}
+	// Corrupt the plan and ensure Validate notices.
+	plan.Assignment[0] = 99
+	if err := plan.Validate(s); err == nil {
+		t.Error("out-of-range assignment must fail validation")
+	}
+}
+
+func TestAnalysisBoundTermination(t *testing.T) {
+	// Near-saturated constrained set: the busy period fixed point must
+	// terminate (possibly at the cap) and the test must return.
+	s := task.NewSet(
+		task.New("a", "4.9999", "9", "10", 1),
+		task.New("b", "4.9999", "9", "10", 1),
+	)
+	_ = uniprocSchedulable(s, []int{0, 1}) // must not hang
+}
+
+func TestPlanValidateCorruptions(t *testing.T) {
+	s := task.NewSet(
+		task.New("a", "1", "10", "10", 4),
+		task.New("b", "4", "10", "10", 4),
+	)
+	fresh := func() *Plan {
+		plan, err := FirstFitDecreasing(10, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return plan
+	}
+	// Overlapping partitions.
+	plan := fresh()
+	if len(plan.Partitions) >= 1 {
+		plan.Partitions = append(plan.Partitions, plan.Partitions[0])
+		if err := plan.Validate(s); err == nil {
+			t.Error("duplicated partition must fail (overlap or width)")
+		}
+	}
+	// Bad region bounds.
+	plan = fresh()
+	plan.Partitions[0].Region = fpga.Region{Lo: -1, Hi: 3}
+	if err := plan.Validate(s); err == nil {
+		t.Error("negative region must fail")
+	}
+	// Task in a partition narrower than itself.
+	plan = fresh()
+	plan.Partitions[0].Region = fpga.Region{Lo: 0, Hi: 1}
+	if err := plan.Validate(s); err == nil {
+		t.Error("too-narrow partition must fail")
+	}
+	// Membership list inconsistent with assignment.
+	plan = fresh()
+	plan.Partitions[plan.Assignment[0]].Members = nil
+	if err := plan.Validate(s); err == nil {
+		t.Error("missing membership must fail")
+	}
+	// Temporally infeasible partition.
+	plan = fresh()
+	heavy := task.NewSet(
+		task.New("a", "9", "10", "10", 4),
+		task.New("b", "9", "10", "10", 4),
+	)
+	both := &Plan{
+		Columns: 10,
+		Partitions: []Partition{{
+			Region:  fpga.Region{Lo: 0, Hi: 4},
+			Members: []int{0, 1},
+		}},
+		Assignment: []int{0, 0},
+	}
+	if err := both.Validate(heavy); err == nil {
+		t.Error("U=1.8 partition must fail the uniprocessor test")
+	}
+	_ = plan
+}
+
+func TestUniprocPostPeriodDeadline(t *testing.T) {
+	// D > T: the demand criterion still applies (conservatively).
+	// τ = (C=3, D=8, T=4): U = 0.75 ≤ 1; dbf(8)=3, dbf(12)=6, dbf(16)=9,
+	// dbf(t)=3·((t−8)/4+1) ≤ t for all t ≥ 8 ⇒ schedulable.
+	ok := task.NewSet(task.New("a", "3", "8", "4", 1))
+	if !uniprocSchedulable(ok, []int{0}) {
+		t.Error("post-period single task with U<1 should pass")
+	}
+	// Add a second task to break it: (C=2, D=2, T=4): dbf(2)=2 ok,
+	// dbf(8)=3+2·2=7 ≤ 8 ok; dbf(10)=3+... fine; tighten:
+	bad := task.NewSet(
+		task.New("a", "3", "8", "4", 1),
+		task.New("b", "2", "2", "4", 1), // dbf(8) = 3 + 2·2 = 7 ≤ 8; dbf(2)=2
+	)
+	// U = 0.75 + 0.5 = 1.25 > 1: rejected by the necessary check.
+	if uniprocSchedulable(bad, []int{0, 1}) {
+		t.Error("U>1 must fail")
+	}
+}
+
+func TestDeadlinePointsDedup(t *testing.T) {
+	s := task.NewSet(
+		task.New("a", "1", "4", "4", 1),
+		task.New("b", "1", "4", "4", 1), // identical deadlines
+	)
+	pts := deadlinePoints(s, []int{0, 1}, timeunit.FromUnits(12))
+	want := []timeunit.Time{timeunit.FromUnits(4), timeunit.FromUnits(8), timeunit.FromUnits(12)}
+	if len(pts) != len(want) {
+		t.Fatalf("points = %v, want %v", pts, want)
+	}
+	for i := range want {
+		if pts[i] != want[i] {
+			t.Errorf("point %d = %v, want %v", i, pts[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,197 @@
+// Package report renders experiment results as CSV files, Markdown
+// tables and ASCII line plots. The acceptance-ratio figures of the paper
+// are series of (system utilization, ratio) points per schedulability
+// test; a Table holds one shared X grid with one column per series.
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Table is a rectangular result set: one X grid and one Y column per
+// series. NaN cells mark missing data (e.g. empty bins) and render as
+// blanks.
+type Table struct {
+	// Title names the experiment (e.g. "fig3a").
+	Title string
+	// XLabel names the X axis (e.g. "system utilization US").
+	XLabel string
+	// X is the shared grid.
+	X []float64
+	// Columns holds one named Y series per column, each len(X) long.
+	Columns []Column
+}
+
+// Column is one named series.
+type Column struct {
+	Name string
+	Y    []float64
+}
+
+// AddColumn appends a series, padding or truncating to len(X).
+func (t *Table) AddColumn(name string, y []float64) {
+	col := Column{Name: name, Y: make([]float64, len(t.X))}
+	for i := range col.Y {
+		if i < len(y) {
+			col.Y[i] = y[i]
+		} else {
+			col.Y[i] = math.NaN()
+		}
+	}
+	t.Columns = append(t.Columns, col)
+}
+
+// Validate checks the column lengths.
+func (t *Table) Validate() error {
+	for _, c := range t.Columns {
+		if len(c.Y) != len(t.X) {
+			return fmt.Errorf("report: column %q has %d rows for %d x-values", c.Name, len(c.Y), len(t.X))
+		}
+	}
+	return nil
+}
+
+// WriteCSV emits the table with a header row; NaN renders as empty.
+func (t *Table) WriteCSV(w io.Writer) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	header := make([]string, 0, len(t.Columns)+1)
+	header = append(header, t.XLabel)
+	for _, c := range t.Columns {
+		header = append(header, c.Name)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i, x := range t.X {
+		rec := make([]string, 0, len(header))
+		rec = append(rec, formatFloat(x))
+		for _, c := range t.Columns {
+			if math.IsNaN(c.Y[i]) {
+				rec = append(rec, "")
+			} else {
+				rec = append(rec, formatFloat(c.Y[i]))
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Markdown renders the table as a GitHub-flavoured Markdown table.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "| %s |", t.XLabel)
+	for _, c := range t.Columns {
+		fmt.Fprintf(&b, " %s |", c.Name)
+	}
+	b.WriteByte('\n')
+	b.WriteString("|---|")
+	for range t.Columns {
+		b.WriteString("---|")
+	}
+	b.WriteByte('\n')
+	for i, x := range t.X {
+		fmt.Fprintf(&b, "| %s |", formatFloat(x))
+		for _, c := range t.Columns {
+			if math.IsNaN(c.Y[i]) {
+				b.WriteString("  |")
+			} else {
+				fmt.Fprintf(&b, " %s |", formatFloat(c.Y[i]))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// plotGlyphs assigns one symbol per series, in column order.
+var plotGlyphs = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// ASCIIPlot renders the series into a width×height character plot with a
+// fixed Y range [0, 1] (acceptance ratios) unless the data exceeds it, a
+// legend, and X range spanning t.X. Later columns overdraw earlier ones
+// where they collide.
+func (t *Table) ASCIIPlot(width, height int) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 5 {
+		height = 5
+	}
+	if len(t.X) == 0 || len(t.Columns) == 0 {
+		return "(no data)\n"
+	}
+	xMin, xMax := t.X[0], t.X[0]
+	for _, x := range t.X {
+		xMin = math.Min(xMin, x)
+		xMax = math.Max(xMax, x)
+	}
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+	yMin, yMax := 0.0, 1.0
+	for _, c := range t.Columns {
+		for _, y := range c.Y {
+			if !math.IsNaN(y) {
+				yMax = math.Max(yMax, y)
+				yMin = math.Min(yMin, y)
+			}
+		}
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for ci, c := range t.Columns {
+		glyph := plotGlyphs[ci%len(plotGlyphs)]
+		for i, x := range t.X {
+			y := c.Y[i]
+			if math.IsNaN(y) {
+				continue
+			}
+			col := int((x - xMin) / (xMax - xMin) * float64(width-1))
+			row := height - 1 - int((y-yMin)/(yMax-yMin)*float64(height-1))
+			if col >= 0 && col < width && row >= 0 && row < height {
+				grid[row][col] = glyph
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	for r, row := range grid {
+		yVal := yMax - (yMax-yMin)*float64(r)/float64(height-1)
+		fmt.Fprintf(&b, "%6.2f |%s|\n", yVal, row)
+	}
+	fmt.Fprintf(&b, "       %s\n", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "       %-*s%s\n", width-len(formatFloat(xMax)), formatFloat(xMin), formatFloat(xMax))
+	fmt.Fprintf(&b, "       x: %s   legend:", t.XLabel)
+	for ci, c := range t.Columns {
+		fmt.Fprintf(&b, " %c=%s", plotGlyphs[ci%len(plotGlyphs)], c.Name)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// formatFloat renders with up to 4 significant decimals, trimming zeros.
+func formatFloat(f float64) string {
+	s := strconv.FormatFloat(f, 'f', 4, 64)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimRight(s, ".")
+	if s == "" || s == "-" {
+		return "0"
+	}
+	return s
+}

@@ -1,0 +1,144 @@
+package report
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func sampleTable() *Table {
+	t := &Table{
+		Title:  "demo",
+		XLabel: "US",
+		X:      []float64{10, 20, 30},
+	}
+	t.AddColumn("DP", []float64{1, 0.5, 0})
+	t.AddColumn("GN1", []float64{1, 0.75, 0.25})
+	return t
+}
+
+func TestWriteCSV(t *testing.T) {
+	tb := sampleTable()
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	wantLines := []string{
+		"US,DP,GN1",
+		"10,1,1",
+		"20,0.5,0.75",
+		"30,0,0.25",
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != len(wantLines) {
+		t.Fatalf("got %d lines: %q", len(lines), out)
+	}
+	for i, want := range wantLines {
+		if lines[i] != want {
+			t.Errorf("line %d = %q, want %q", i, lines[i], want)
+		}
+	}
+}
+
+func TestCSVNaNRendersEmpty(t *testing.T) {
+	tb := &Table{XLabel: "x", X: []float64{1}}
+	tb.AddColumn("a", []float64{math.NaN()})
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "1,\n") {
+		t.Errorf("NaN cell should be empty: %q", buf.String())
+	}
+}
+
+func TestAddColumnPads(t *testing.T) {
+	tb := &Table{XLabel: "x", X: []float64{1, 2, 3}}
+	tb.AddColumn("short", []float64{9})
+	if len(tb.Columns[0].Y) != 3 {
+		t.Fatal("column not padded")
+	}
+	if !math.IsNaN(tb.Columns[0].Y[2]) {
+		t.Error("padding should be NaN")
+	}
+	if err := tb.Validate(); err != nil {
+		t.Errorf("padded table should validate: %v", err)
+	}
+}
+
+func TestValidateCatchesRaggedColumns(t *testing.T) {
+	tb := &Table{XLabel: "x", X: []float64{1, 2}}
+	tb.Columns = append(tb.Columns, Column{Name: "bad", Y: []float64{1}})
+	if err := tb.Validate(); err == nil {
+		t.Error("ragged column must fail validation")
+	}
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err == nil {
+		t.Error("WriteCSV must refuse ragged table")
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	md := sampleTable().Markdown()
+	for _, want := range []string{"| US |", "| DP |", "|---|", "| 0.75 |"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestASCIIPlotBasics(t *testing.T) {
+	out := sampleTable().ASCIIPlot(40, 10)
+	if !strings.Contains(out, "demo") {
+		t.Error("plot missing title")
+	}
+	if !strings.Contains(out, "*=DP") || !strings.Contains(out, "o=GN1") {
+		t.Errorf("plot missing legend:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Errorf("plot missing data glyphs:\n%s", out)
+	}
+	// Y axis covers [0,1].
+	if !strings.Contains(out, "1.00") || !strings.Contains(out, "0.00") {
+		t.Errorf("plot missing y labels:\n%s", out)
+	}
+}
+
+func TestASCIIPlotDegenerate(t *testing.T) {
+	empty := &Table{XLabel: "x"}
+	if !strings.Contains(empty.ASCIIPlot(40, 10), "no data") {
+		t.Error("empty table should say no data")
+	}
+	single := &Table{XLabel: "x", X: []float64{5}}
+	single.AddColumn("a", []float64{0.5})
+	out := single.ASCIIPlot(10, 3) // clamped up to minimums
+	if out == "" {
+		t.Error("single-point plot should render")
+	}
+}
+
+func TestASCIIPlotSkipsNaN(t *testing.T) {
+	tb := &Table{XLabel: "x", X: []float64{0, 1}}
+	tb.AddColumn("a", []float64{math.NaN(), 1})
+	out := tb.ASCIIPlot(20, 5)
+	if strings.Count(out, "*") != 2 { // one data glyph + one legend glyph
+		t.Errorf("expected exactly one plotted point plus legend:\n%s", out)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		1:       "1",
+		0.5:     "0.5",
+		0.12345: "0.1235", // 4 decimals, rounded by FormatFloat
+		100:     "100",
+		0:       "0",
+	}
+	for in, want := range cases {
+		if got := formatFloat(in); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,151 @@
+// Package sched implements the scheduling policies from the paper on top
+// of the internal/sim engine:
+//
+//   - EDF-FkF (Definition 1): run the longest EDF-prefix of the ready
+//     queue that fits on the device.
+//   - EDF-NF (Definition 2): walk the whole EDF-ordered queue and run
+//     every job that still fits, skipping those that do not.
+//   - EDF-US[ξ] (Section 7 future work): tasks whose *system* utilization
+//     Ci·Ai/(Ti·A(H)) exceeds ξ get top priority; the rest are EDF — the
+//     paper's suggested generalisation of EDF-US[m²/(2m−1)] where
+//     "high-utilization" refers to system rather than time utilization.
+//
+// Danne & Platzner proved (and the property tests here re-verify
+// empirically) that EDF-NF dominates EDF-FkF: any taskset schedulable
+// under FkF is schedulable under NF, because NF can exploit area that a
+// wide, early-deadline job would leave blocked at the head of the queue.
+package sched
+
+import (
+	"fmt"
+	"math/big"
+
+	"fpgasched/internal/sim"
+	"fpgasched/internal/task"
+)
+
+// NextFit is EDF-NF (Definition 2): visit all active jobs in deadline
+// order, adding each whose area still fits.
+type NextFit struct{}
+
+// Name implements sim.Policy.
+func (NextFit) Name() string { return "EDF-NF" }
+
+// Select implements sim.Policy.
+func (NextFit) Select(queue []*sim.Job, columns int) []*sim.Job {
+	var sel []*sim.Job
+	used := 0
+	for _, j := range queue {
+		if used+j.Area <= columns {
+			sel = append(sel, j)
+			used += j.Area
+		}
+	}
+	return sel
+}
+
+// FirstKFit is EDF-FkF (Definition 1): run the first k jobs of the queue
+// for the largest k whose areas fit. A job that does not fit blocks
+// everything behind it.
+type FirstKFit struct{}
+
+// Name implements sim.Policy.
+func (FirstKFit) Name() string { return "EDF-FkF" }
+
+// Select implements sim.Policy.
+func (FirstKFit) Select(queue []*sim.Job, columns int) []*sim.Job {
+	var sel []*sim.Job
+	used := 0
+	for _, j := range queue {
+		if used+j.Area > columns {
+			break
+		}
+		sel = append(sel, j)
+		used += j.Area
+	}
+	return sel
+}
+
+// Packing selects how USHybrid packs its reordered queue.
+type Packing int
+
+const (
+	// PackNF packs like EDF-NF (skip misfits).
+	PackNF Packing = iota
+	// PackFkF packs like EDF-FkF (stop at the first misfit).
+	PackFkF
+)
+
+// USHybrid is the EDF-US[ξ]-style hybrid: jobs of "system-heavy" tasks
+// (Ci·Ai/(Ti·A(H)) > ξ) are promoted ahead of all others; within each
+// class the order stays EDF. The reordered queue is then packed NF- or
+// FkF-style. Construct with NewUSHybrid.
+type USHybrid struct {
+	heavy   []bool
+	packing Packing
+	name    string
+}
+
+// NewUSHybrid classifies the tasks of s on a device with the given
+// columns against the threshold num/den and returns the hybrid policy.
+func NewUSHybrid(s *task.Set, columns int, num, den int64, packing Packing) (*USHybrid, error) {
+	if den <= 0 || num < 0 {
+		return nil, fmt.Errorf("sched: invalid US threshold %d/%d", num, den)
+	}
+	if columns <= 0 {
+		return nil, fmt.Errorf("sched: invalid column count %d", columns)
+	}
+	threshold := big.NewRat(num, den)
+	heavy := make([]bool, s.Len())
+	for i, tk := range s.Tasks {
+		// normalised system utilization: C·A / (T·A(H))
+		us := tk.UtilizationS()
+		us.Quo(us, new(big.Rat).SetInt64(int64(columns)))
+		heavy[i] = us.Cmp(threshold) > 0
+	}
+	pk := "NF"
+	if packing == PackFkF {
+		pk = "FkF"
+	}
+	return &USHybrid{
+		heavy:   heavy,
+		packing: packing,
+		name:    fmt.Sprintf("EDF-US[%d/%d]-%s", num, den, pk),
+	}, nil
+}
+
+// Name implements sim.Policy.
+func (u *USHybrid) Name() string { return u.name }
+
+// Select implements sim.Policy.
+func (u *USHybrid) Select(queue []*sim.Job, columns int) []*sim.Job {
+	// Stable two-class split preserves EDF order within each class.
+	reordered := make([]*sim.Job, 0, len(queue))
+	for _, j := range queue {
+		if u.isHeavy(j) {
+			reordered = append(reordered, j)
+		}
+	}
+	for _, j := range queue {
+		if !u.isHeavy(j) {
+			reordered = append(reordered, j)
+		}
+	}
+	var sel []*sim.Job
+	used := 0
+	for _, j := range reordered {
+		if used+j.Area > columns {
+			if u.packing == PackFkF {
+				break
+			}
+			continue
+		}
+		sel = append(sel, j)
+		used += j.Area
+	}
+	return sel
+}
+
+func (u *USHybrid) isHeavy(j *sim.Job) bool {
+	return j.TaskIndex < len(u.heavy) && u.heavy[j.TaskIndex]
+}

@@ -1,0 +1,288 @@
+package sched
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"fpgasched/internal/sim"
+	"fpgasched/internal/task"
+	"fpgasched/internal/timeunit"
+)
+
+// mkQueue builds an EDF-ordered queue from (area) specs; deadlines are
+// assigned in slice order.
+func mkQueue(areas ...int) []*sim.Job {
+	q := make([]*sim.Job, len(areas))
+	for i, a := range areas {
+		q[i] = &sim.Job{
+			ID:        int64(i),
+			TaskIndex: i,
+			Area:      a,
+			Deadline:  timeunit.FromUnits(int64(i + 1)),
+			Remaining: 1,
+		}
+	}
+	return q
+}
+
+func ids(jobs []*sim.Job) []int64 {
+	out := make([]int64, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.ID
+	}
+	return out
+}
+
+func eq(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestNextFitSkipsMisfits(t *testing.T) {
+	// Queue areas 6, 6, 4 on 10 columns: NF takes jobs 0 and 2.
+	sel := NextFit{}.Select(mkQueue(6, 6, 4), 10)
+	if !eq(ids(sel), []int64{0, 2}) {
+		t.Errorf("NF selected %v, want [0 2]", ids(sel))
+	}
+}
+
+func TestFirstKFitStopsAtMisfit(t *testing.T) {
+	sel := FirstKFit{}.Select(mkQueue(6, 6, 4), 10)
+	if !eq(ids(sel), []int64{0}) {
+		t.Errorf("FkF selected %v, want [0]", ids(sel))
+	}
+}
+
+func TestBothTakeFullPrefixWhenItFits(t *testing.T) {
+	q := mkQueue(3, 3, 4)
+	if !eq(ids(NextFit{}.Select(q, 10)), []int64{0, 1, 2}) {
+		t.Error("NF should take everything that fits")
+	}
+	if !eq(ids(FirstKFit{}.Select(q, 10)), []int64{0, 1, 2}) {
+		t.Error("FkF should take the whole fitting prefix")
+	}
+}
+
+func TestEmptyQueue(t *testing.T) {
+	if len(NextFit{}.Select(nil, 10)) != 0 || len(FirstKFit{}.Select(nil, 10)) != 0 {
+		t.Error("empty queue must select nothing")
+	}
+}
+
+func TestNames(t *testing.T) {
+	if (NextFit{}).Name() != "EDF-NF" {
+		t.Errorf("NF name = %q", (NextFit{}).Name())
+	}
+	if (FirstKFit{}).Name() != "EDF-FkF" {
+		t.Errorf("FkF name = %q", (FirstKFit{}).Name())
+	}
+}
+
+// TestFkFIsPrefixOfQueue verifies Definition 1's structure: FkF's
+// selection is always a prefix of the EDF queue.
+func TestFkFIsPrefixOfQueue(t *testing.T) {
+	f := func(areasRaw []uint8, colsRaw uint8) bool {
+		if len(areasRaw) == 0 {
+			return true
+		}
+		if len(areasRaw) > 12 {
+			areasRaw = areasRaw[:12]
+		}
+		cols := 1 + int(colsRaw)%100
+		areas := make([]int, len(areasRaw))
+		for i, a := range areasRaw {
+			areas[i] = 1 + int(a)%cols
+		}
+		sel := FirstKFit{}.Select(mkQueue(areas...), cols)
+		for i, j := range sel {
+			if j.ID != int64(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNFSupersetOfFkF verifies that NF always selects a superset of FkF's
+// selection with at least as much total area — the mechanism behind
+// Danne's dominance result.
+func TestNFSupersetOfFkF(t *testing.T) {
+	f := func(areasRaw []uint8, colsRaw uint8) bool {
+		if len(areasRaw) == 0 {
+			return true
+		}
+		if len(areasRaw) > 12 {
+			areasRaw = areasRaw[:12]
+		}
+		cols := 1 + int(colsRaw)%100
+		areas := make([]int, len(areasRaw))
+		for i, a := range areasRaw {
+			areas[i] = 1 + int(a)%cols
+		}
+		q := mkQueue(areas...)
+		nf := NextFit{}.Select(q, cols)
+		fkf := FirstKFit{}.Select(q, cols)
+		inNF := map[int64]bool{}
+		areaNF, areaFkF := 0, 0
+		for _, j := range nf {
+			inNF[j.ID] = true
+			areaNF += j.Area
+		}
+		for _, j := range fkf {
+			if !inNF[j.ID] {
+				return false
+			}
+			areaFkF += j.Area
+		}
+		return areaNF >= areaFkF
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNFNeverLeavesFittingJobWaiting pins Lemma 2's mechanism: after NF
+// selection, no waiting job fits in the remaining free area.
+func TestNFNeverLeavesFittingJobWaiting(t *testing.T) {
+	f := func(areasRaw []uint8, colsRaw uint8) bool {
+		if len(areasRaw) == 0 {
+			return true
+		}
+		if len(areasRaw) > 12 {
+			areasRaw = areasRaw[:12]
+		}
+		cols := 1 + int(colsRaw)%100
+		areas := make([]int, len(areasRaw))
+		for i, a := range areasRaw {
+			areas[i] = 1 + int(a)%cols
+		}
+		q := mkQueue(areas...)
+		sel := NextFit{}.Select(q, cols)
+		used := 0
+		inSel := map[int64]bool{}
+		for _, j := range sel {
+			used += j.Area
+			inSel[j.ID] = true
+		}
+		for _, j := range q {
+			if !inSel[j.ID] && used+j.Area <= cols {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUSHybridClassification(t *testing.T) {
+	// Device 10: normalised US of t1 = (4·5)/(10·10) = 0.2; t2 = 0.72.
+	s := task.NewSet(
+		task.New("light", "4", "10", "10", 5),
+		task.New("heavy", "9", "10", "10", 8),
+	)
+	u, err := NewUSHybrid(s, 10, 1, 2, PackNF) // threshold 0.5
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.heavy[0] || !u.heavy[1] {
+		t.Errorf("classification = %v, want [false true]", u.heavy)
+	}
+	if u.Name() != "EDF-US[1/2]-NF" {
+		t.Errorf("name = %q", u.Name())
+	}
+}
+
+func TestUSHybridPromotesHeavyJobs(t *testing.T) {
+	s := task.NewSet(
+		task.New("light", "4", "10", "10", 6),
+		task.New("heavy", "9", "10", "10", 6),
+	)
+	u, err := NewUSHybrid(s, 10, 1, 2, PackNF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Queue in EDF order: light job first (earlier deadline), heavy second.
+	q := []*sim.Job{
+		{ID: 0, TaskIndex: 0, Area: 6, Deadline: timeunit.FromUnits(1)},
+		{ID: 1, TaskIndex: 1, Area: 6, Deadline: timeunit.FromUnits(2)},
+	}
+	sel := u.Select(q, 10)
+	// Only one fits; the heavy job is promoted past the earlier deadline.
+	if len(sel) != 1 || sel[0].ID != 1 {
+		t.Errorf("selected %v, want the heavy job (ID 1)", ids(sel))
+	}
+}
+
+func TestUSHybridPackingModes(t *testing.T) {
+	s := task.NewSet(
+		task.New("a", "1", "10", "10", 6),
+		task.New("b", "1", "10", "10", 6),
+		task.New("c", "1", "10", "10", 4),
+	)
+	q := mkQueue(6, 6, 4)
+	nf, err := NewUSHybrid(s, 10, 9, 10, PackNF) // nothing heavy
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq(ids(nf.Select(q, 10)), []int64{0, 2}) {
+		t.Error("PackNF must skip the misfit")
+	}
+	fkf, err := NewUSHybrid(s, 10, 9, 10, PackFkF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq(ids(fkf.Select(q, 10)), []int64{0}) {
+		t.Error("PackFkF must stop at the misfit")
+	}
+}
+
+func TestUSHybridValidation(t *testing.T) {
+	s := task.NewSet(task.New("a", "1", "10", "10", 1))
+	if _, err := NewUSHybrid(s, 10, 1, 0, PackNF); err == nil {
+		t.Error("zero denominator must fail")
+	}
+	if _, err := NewUSHybrid(s, 10, -1, 2, PackNF); err == nil {
+		t.Error("negative threshold must fail")
+	}
+	if _, err := NewUSHybrid(s, 0, 1, 2, PackNF); err == nil {
+		t.Error("zero columns must fail")
+	}
+}
+
+// TestPoliciesDriveEngine is the integration smoke test: all three
+// policies run a random workload through the real engine without
+// violating the selection contract.
+func TestPoliciesDriveEngine(t *testing.T) {
+	r := rand.New(rand.NewPCG(11, 13))
+	for trial := 0; trial < 30; trial++ {
+		s := &task.Set{}
+		n := 2 + r.IntN(5)
+		for i := 0; i < n; i++ {
+			period := timeunit.FromUnits(int64(4 + r.IntN(12)))
+			c := timeunit.Time(1 + r.Int64N(int64(period)/2))
+			s.Tasks = append(s.Tasks, task.Task{C: c, D: period, T: period, A: 1 + r.IntN(10)})
+		}
+		us, err := NewUSHybrid(s, 10, 1, 2, PackNF)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range []sim.Policy{NextFit{}, FirstKFit{}, us} {
+			if _, err := sim.Simulate(10, s, p, sim.Options{HorizonCap: timeunit.FromUnits(100)}); err != nil {
+				t.Fatalf("trial %d policy %s: %v", trial, p.Name(), err)
+			}
+		}
+	}
+}

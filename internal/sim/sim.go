@@ -1,0 +1,635 @@
+// Package sim is a discrete-event simulator of global hardware-task
+// scheduling on a 1-D reconfigurable FPGA, faithful to the paper's model:
+// jobs released periodically (synchronously by default, per Section 6),
+// preemptive scheduling decisions at every release/completion/deadline
+// event, any set of jobs whose areas fit the device running truly in
+// parallel, and exact integer-tick time so deadline misses are detected
+// exactly.
+//
+// The paper uses this kind of simulation as a coarse *upper bound* on
+// schedulability ("it is not possible to determine exact schedulability
+// without exhaustively simulating all possible task release offsets"):
+// a taskset that misses a deadline under synchronous release is
+// definitely not schedulable, while one that survives might still fail
+// under some other offset assignment. The simulator therefore reports
+// misses, never proofs.
+//
+// Two execution models are supported:
+//
+//   - Capacity mode (the paper's assumption): unrestricted migration and
+//     free defragmentation mean a job set is feasible iff its areas sum
+//     to at most A(H); columns are not tracked.
+//   - Placement mode (paper Section 7 future work): each running job is
+//     pinned to a contiguous column region found by a first/best/worst-
+//     fit strategy; fragmentation can idle area that capacity mode would
+//     use, and the gap between the two modes measures the cost of the
+//     free-defragmentation assumption.
+//
+// Scheduling policies (EDF-NF, EDF-FkF, hybrids) live in internal/sched.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sort"
+
+	"fpgasched/internal/fpga"
+	"fpgasched/internal/task"
+	"fpgasched/internal/timeunit"
+)
+
+// Job is one invocation instance of a task. Policies receive jobs in EDF
+// order and must treat them as read-only; the engine owns all mutation.
+type Job struct {
+	// ID is unique within one simulation run, in release order.
+	ID int64
+	// TaskIndex identifies the releasing task within the set.
+	TaskIndex int
+	// JobIndex is the per-task invocation counter (0-based).
+	JobIndex int
+	// Area is the task's column count, copied for convenience.
+	Area int
+	// Release and Deadline are the absolute release time and deadline.
+	Release, Deadline timeunit.Time
+	// Remaining is the execution time still owed.
+	Remaining timeunit.Time
+	// PendingConfig is reconfiguration time still owed before Remaining
+	// starts draining (zero unless Options.ReconfigPerColumn is set).
+	PendingConfig timeunit.Time
+}
+
+// Policy selects which active jobs execute until the next event.
+type Policy interface {
+	// Name identifies the policy in results and reports.
+	Name() string
+	// Select receives the active jobs sorted by non-decreasing deadline
+	// (ties: release time, then task index, then job index — the paper's
+	// queue order Q) and the device width, and returns the jobs to run.
+	// The returned jobs must be a subset of queue with total area at most
+	// columns; the engine verifies this and fails the run otherwise.
+	Select(queue []*Job, columns int) []*Job
+}
+
+// Recorder observes the schedule as it is produced. Implementations must
+// not retain the slices they are passed.
+type Recorder interface {
+	// Interval reports that exactly the jobs in running executed during
+	// [from, to), while the jobs in waiting were active but not running.
+	Interval(from, to timeunit.Time, running, waiting []*Job)
+	// Miss reports a deadline miss at time at.
+	Miss(at timeunit.Time, job *Job)
+}
+
+// SporadicOptions configures sporadic (jittered) arrivals.
+type SporadicOptions struct {
+	// MaxJitter is the maximum extra delay added to each inter-arrival
+	// beyond the task's minimum T.
+	MaxJitter timeunit.Time
+	// Seed drives the jitter draws deterministically.
+	Seed uint64
+}
+
+// PlacementOptions enables placement mode.
+type PlacementOptions struct {
+	// Strategy picks the gap for each new placement.
+	Strategy fpga.Strategy
+	// DefragEveryEvent compacts the layout at every scheduling event
+	// before placing, which restores the paper's unrestricted-migration
+	// assumption exactly (the equivalence is property-tested).
+	DefragEveryEvent bool
+}
+
+// Options configures a simulation run. The zero value gives the paper's
+// setup: synchronous release at time 0, capacity mode, zero
+// reconfiguration overhead, stop at the first deadline miss, horizon
+// min(hyperperiod, DefaultHorizonCap).
+type Options struct {
+	// Horizon stops job releases at this time; jobs already released are
+	// run to completion or miss. Zero means min(hyperperiod, HorizonCap).
+	Horizon timeunit.Time
+	// HorizonCap bounds the automatic horizon; zero means
+	// DefaultHorizonCap.
+	HorizonCap timeunit.Time
+	// Offsets gives each task's first release time. Nil means all zero
+	// (synchronous release, the paper's simulation setup). If set, its
+	// length must equal the task count.
+	Offsets []timeunit.Time
+	// Sporadic, when non-nil, makes T a minimum inter-arrival time
+	// instead of a period: each release is delayed by an additional
+	// uniform draw from [0, MaxJitter]. The paper's task model covers
+	// sporadic tasks; its simulations use the periodic pattern, so this
+	// is used by soundness tests (an accepted taskset must survive any
+	// legal arrival sequence) rather than by the figure reproductions.
+	Sporadic *SporadicOptions
+	// ContinueAfterMiss keeps simulating after a deadline miss (the
+	// missing job is abandoned) instead of stopping; Result.Misses counts
+	// all of them.
+	ContinueAfterMiss bool
+	// ReconfigPerColumn charges this much reconfiguration time per column
+	// every time a job is (re)placed onto the fabric, modelling the
+	// overhead the paper assumes away (Section 1 assumption 3; the
+	// abl-overhead ablation sweeps it).
+	ReconfigPerColumn timeunit.Time
+	// Placement switches to placement mode when non-nil.
+	Placement *PlacementOptions
+	// Reserved marks column regions as pre-configured (memory blocks,
+	// soft-core CPUs — the paper's Section 1 assumption 2 relaxed) and
+	// unavailable for task placement. In capacity mode the usable
+	// capacity shrinks by the reserved total; in placement mode the
+	// exact regions are statically occupied, so they also fragment the
+	// fabric. Regions must lie within the device and not overlap.
+	Reserved []fpga.Region
+	// Recorder, if non-nil, observes every schedule interval and miss.
+	Recorder Recorder
+	// MaxEvents aborts pathological runs; zero means DefaultMaxEvents.
+	MaxEvents int
+}
+
+// DefaultHorizonCap bounds the automatic simulation horizon. Real-valued
+// periods make hyperperiods astronomically large; capping keeps the
+// simulation a (coarser) necessary-only test, which is the role the paper
+// assigns it.
+const DefaultHorizonCap = timeunit.Time(500 * timeunit.TicksPerUnit)
+
+// DefaultMaxEvents bounds the number of scheduling events per run.
+const DefaultMaxEvents = 10_000_000
+
+// Result summarises a simulation run.
+type Result struct {
+	// Policy is the name of the policy that produced the schedule.
+	Policy string
+	// Missed reports whether any deadline was missed.
+	Missed bool
+	// Misses is the total number of deadline misses observed (1 when
+	// stopping at the first miss).
+	Misses int
+	// FirstMissTime, FirstMissTask and FirstMissJob identify the first
+	// miss when Missed.
+	FirstMissTime timeunit.Time
+	FirstMissTask int
+	FirstMissJob  int
+	// Horizon is the release horizon actually used.
+	Horizon timeunit.Time
+	// End is the time the simulation finished (last job completion, or
+	// the miss time when stopping at first miss).
+	End timeunit.Time
+	// Events counts scheduling events processed.
+	Events int
+	// Released and Completed count jobs.
+	Released, Completed int
+	// Preemptions counts running→waiting transitions of live jobs.
+	Preemptions int
+	// FragDeferrals counts placement failures due to fragmentation:
+	// events at which a selected job could not be placed contiguously
+	// (placement mode only).
+	FragDeferrals int
+	// DefragMoves counts job relocations performed by defragmentation
+	// (placement mode with DefragEveryEvent only).
+	DefragMoves int
+	// BusyAreaTicks integrates occupied area over time (column·ticks),
+	// for utilization accounting.
+	BusyAreaTicks int64
+	// ConfigTicks integrates time spent reconfiguring instead of
+	// executing (job·ticks), nonzero only with ReconfigPerColumn.
+	ConfigTicks int64
+}
+
+// ErrPolicyViolation is wrapped by errors returned when a Policy selects
+// an infeasible or foreign job set.
+var ErrPolicyViolation = errors.New("sim: policy violated selection contract")
+
+// Simulate runs the taskset on a device with the given columns under the
+// policy. It returns an error only for invalid inputs or a misbehaving
+// policy; deadline misses are reported in the Result.
+func Simulate(columns int, s *task.Set, p Policy, opts Options) (Result, error) {
+	if err := s.ValidateFor(columns); err != nil {
+		return Result{}, err
+	}
+	if opts.Offsets != nil && len(opts.Offsets) != s.Len() {
+		return Result{}, fmt.Errorf("sim: %d offsets for %d tasks", len(opts.Offsets), s.Len())
+	}
+	for i, off := range opts.Offsets {
+		if off < 0 {
+			return Result{}, fmt.Errorf("sim: negative offset %v for task %d", off, i)
+		}
+	}
+	if opts.Sporadic != nil && opts.Sporadic.MaxJitter < 0 {
+		return Result{}, fmt.Errorf("sim: negative jitter %v", opts.Sporadic.MaxJitter)
+	}
+	reservedTotal, err := validateReserved(columns, opts.Reserved)
+	if err != nil {
+		return Result{}, err
+	}
+	usable := columns - reservedTotal
+	for i, tk := range s.Tasks {
+		if tk.A > usable {
+			return Result{}, fmt.Errorf("sim: task %d area %d exceeds usable capacity %d (device %d minus %d reserved)",
+				i, tk.A, usable, columns, reservedTotal)
+		}
+	}
+	horizon := opts.Horizon
+	if horizon <= 0 {
+		hcap := opts.HorizonCap
+		if hcap <= 0 {
+			hcap = DefaultHorizonCap
+		}
+		horizon = timeunit.Min(s.Hyperperiod(), hcap)
+	}
+	maxEvents := opts.MaxEvents
+	if maxEvents <= 0 {
+		maxEvents = DefaultMaxEvents
+	}
+
+	eng := engine{
+		columns: columns,
+		usable:  usable,
+		set:     s,
+		policy:  p,
+		opts:    opts,
+		horizon: horizon,
+		result: Result{
+			Policy:  p.Name(),
+			Horizon: horizon,
+		},
+		nextRelease: make([]timeunit.Time, s.Len()),
+		nextIndex:   make([]int, s.Len()),
+		maxEvents:   maxEvents,
+	}
+	for i := range eng.nextRelease {
+		if opts.Offsets != nil {
+			eng.nextRelease[i] = opts.Offsets[i]
+		}
+	}
+	if opts.Sporadic != nil {
+		eng.jitter = rand.New(rand.NewPCG(opts.Sporadic.Seed, opts.Sporadic.Seed^0x5851f42d4c957f2d))
+	}
+	if opts.Placement != nil {
+		eng.layout = fpga.NewLayout(columns)
+		for i, r := range opts.Reserved {
+			// Reserved regions are permanent residents with negative IDs.
+			if err := eng.layout.PlaceAt(int64(-(i + 1)), r); err != nil {
+				return Result{}, fmt.Errorf("sim: reserving %v: %w", r, err)
+			}
+		}
+	}
+	err = eng.run()
+	return eng.result, err
+}
+
+// validateReserved checks reserved regions and returns their total width.
+func validateReserved(columns int, reserved []fpga.Region) (int, error) {
+	total := 0
+	for i, r := range reserved {
+		if r.Lo < 0 || r.Hi > columns || r.Width() <= 0 {
+			return 0, fmt.Errorf("sim: reserved region %v out of bounds for %d columns", r, columns)
+		}
+		for j := 0; j < i; j++ {
+			if r.Overlaps(reserved[j]) {
+				return 0, fmt.Errorf("sim: reserved regions %v and %v overlap", reserved[j], r)
+			}
+		}
+		total += r.Width()
+	}
+	return total, nil
+}
+
+// engine holds one run's mutable state.
+type engine struct {
+	columns int
+	// usable is columns minus the reserved total — the capacity the
+	// policy may fill.
+	usable  int
+	set     *task.Set
+	policy  Policy
+	opts    Options
+	horizon timeunit.Time
+	result  Result
+	jitter  *rand.Rand
+
+	now         timeunit.Time
+	active      []*Job
+	prevRunning map[int64]bool
+	nextRelease []timeunit.Time
+	nextIndex   []int
+	nextJobID   int64
+	layout      *fpga.Layout
+	maxEvents   int
+}
+
+func (e *engine) run() error {
+	e.prevRunning = make(map[int64]bool)
+	for {
+		if e.result.Events >= e.maxEvents {
+			return fmt.Errorf("sim: exceeded %d events at t=%v (runaway schedule)", e.maxEvents, e.now)
+		}
+		e.result.Events++
+
+		e.releaseJobs()
+		e.reapCompletions()
+		if stop := e.checkDeadlines(); stop {
+			e.result.End = e.now
+			return nil
+		}
+
+		if len(e.active) == 0 {
+			next, ok := e.nextPendingRelease()
+			if !ok {
+				e.result.End = e.now
+				return nil // all work drained, no future releases
+			}
+			e.now = next
+			continue
+		}
+
+		e.sortQueue()
+		selected := e.policy.Select(e.active, e.usable)
+		if err := e.validateSelection(selected); err != nil {
+			return err
+		}
+		running := e.realizePlacement(selected)
+		e.accountPreemptions(running)
+
+		next := e.nextEventTime(running)
+		dt := next - e.now
+		e.advance(running, dt)
+		if e.opts.Recorder != nil {
+			e.record(e.now, next, running)
+		}
+		occupied := 0
+		for _, j := range running {
+			occupied += j.Area
+		}
+		e.result.BusyAreaTicks += int64(occupied) * int64(dt)
+		e.now = next
+	}
+}
+
+// releaseJobs spawns every job whose release time is now (and before the
+// horizon), advancing the per-task release cursor.
+func (e *engine) releaseJobs() {
+	for i, tk := range e.set.Tasks {
+		for e.nextRelease[i] <= e.now && e.nextRelease[i] < e.horizon {
+			rel := e.nextRelease[i]
+			j := &Job{
+				ID:        e.nextJobID,
+				TaskIndex: i,
+				JobIndex:  e.nextIndex[i],
+				Area:      tk.A,
+				Release:   rel,
+				Deadline:  rel + tk.D,
+				Remaining: tk.C,
+			}
+			e.nextJobID++
+			e.nextIndex[i]++
+			e.nextRelease[i] = rel + tk.T
+			if e.jitter != nil && e.opts.Sporadic.MaxJitter > 0 {
+				e.nextRelease[i] += timeunit.Time(e.jitter.Int64N(int64(e.opts.Sporadic.MaxJitter) + 1))
+			}
+			e.active = append(e.active, j)
+			e.result.Released++
+		}
+	}
+}
+
+// reapCompletions removes jobs that finished exactly now.
+func (e *engine) reapCompletions() {
+	out := e.active[:0]
+	for _, j := range e.active {
+		if j.Remaining == 0 {
+			e.result.Completed++
+			delete(e.prevRunning, j.ID)
+			if e.layout != nil {
+				e.layout.Remove(j.ID)
+			}
+			continue
+		}
+		out = append(out, j)
+	}
+	e.active = out
+}
+
+// checkDeadlines records misses for jobs past their deadline with work
+// left. It returns true when the run should stop (first miss, unless
+// ContinueAfterMiss).
+func (e *engine) checkDeadlines() bool {
+	out := e.active[:0]
+	stop := false
+	for _, j := range e.active {
+		if j.Deadline <= e.now && j.Remaining > 0 {
+			if !e.result.Missed {
+				e.result.Missed = true
+				e.result.FirstMissTime = j.Deadline
+				e.result.FirstMissTask = j.TaskIndex
+				e.result.FirstMissJob = j.JobIndex
+			}
+			e.result.Misses++
+			if e.opts.Recorder != nil {
+				e.opts.Recorder.Miss(j.Deadline, j)
+			}
+			delete(e.prevRunning, j.ID)
+			if e.layout != nil {
+				e.layout.Remove(j.ID)
+			}
+			if !e.opts.ContinueAfterMiss {
+				stop = true
+			}
+			continue // abandoned
+		}
+		out = append(out, j)
+	}
+	e.active = out
+	return stop
+}
+
+// sortQueue orders the active jobs as the paper's queue Q: non-decreasing
+// deadline, ties by release time, then task and job index for determinism.
+func (e *engine) sortQueue() {
+	sort.Slice(e.active, func(a, b int) bool {
+		ja, jb := e.active[a], e.active[b]
+		if ja.Deadline != jb.Deadline {
+			return ja.Deadline < jb.Deadline
+		}
+		if ja.Release != jb.Release {
+			return ja.Release < jb.Release
+		}
+		if ja.TaskIndex != jb.TaskIndex {
+			return ja.TaskIndex < jb.TaskIndex
+		}
+		return ja.JobIndex < jb.JobIndex
+	})
+}
+
+// validateSelection enforces the Policy contract.
+func (e *engine) validateSelection(sel []*Job) error {
+	area := 0
+	seen := make(map[int64]bool, len(sel))
+	activeSet := make(map[int64]bool, len(e.active))
+	for _, j := range e.active {
+		activeSet[j.ID] = true
+	}
+	for _, j := range sel {
+		if !activeSet[j.ID] {
+			return fmt.Errorf("%w: selected job %d not in active queue", ErrPolicyViolation, j.ID)
+		}
+		if seen[j.ID] {
+			return fmt.Errorf("%w: job %d selected twice", ErrPolicyViolation, j.ID)
+		}
+		seen[j.ID] = true
+		area += j.Area
+	}
+	if area > e.usable {
+		return fmt.Errorf("%w: selected area %d exceeds usable capacity %d", ErrPolicyViolation, area, e.usable)
+	}
+	return nil
+}
+
+// realizePlacement maps the selected set onto the fabric. In capacity
+// mode it is the identity. In placement mode it evicts non-selected
+// residents, optionally defragments, keeps already-placed selected jobs
+// pinned, and places newcomers with the configured strategy; newcomers
+// that cannot be placed contiguously are deferred (counted in
+// FragDeferrals) and do not run this interval.
+func (e *engine) realizePlacement(sel []*Job) []*Job {
+	if e.layout == nil {
+		return sel
+	}
+	selIDs := make(map[int64]bool, len(sel))
+	for _, j := range sel {
+		selIDs[j.ID] = true
+	}
+	for _, j := range e.active {
+		if _, placed := e.layout.RegionOf(j.ID); placed && !selIDs[j.ID] {
+			e.layout.Remove(j.ID)
+		}
+	}
+	if e.opts.Placement.DefragEveryEvent {
+		// Unrestricted migration: rebuild the layout from scratch around
+		// the (immovable) reserved regions, re-placing every selected
+		// job first-fit. Without reservations the free space is one gap,
+		// so any capacity-feasible selection always fits.
+		old := make(map[int64]fpga.Region, len(sel))
+		for _, j := range sel {
+			if r, placed := e.layout.RegionOf(j.ID); placed {
+				old[j.ID] = r
+				e.layout.Remove(j.ID)
+			}
+		}
+		running := make([]*Job, 0, len(sel))
+		for _, j := range sel {
+			r, ok := e.layout.Place(j.ID, j.Area, fpga.FirstFit)
+			if !ok {
+				e.result.FragDeferrals++
+				continue
+			}
+			if prev, had := old[j.ID]; had && prev != r {
+				e.result.DefragMoves++
+			}
+			running = append(running, j)
+		}
+		return running
+	}
+	running := make([]*Job, 0, len(sel))
+	for _, j := range sel {
+		if _, placed := e.layout.RegionOf(j.ID); placed {
+			running = append(running, j)
+			continue
+		}
+		if _, ok := e.layout.Place(j.ID, j.Area, e.opts.Placement.Strategy); ok {
+			running = append(running, j)
+		} else {
+			e.result.FragDeferrals++
+		}
+	}
+	return running
+}
+
+// accountPreemptions updates preemption stats and charges reconfiguration
+// time to jobs that just (re)entered the running set.
+func (e *engine) accountPreemptions(running []*Job) {
+	nowRunning := make(map[int64]bool, len(running))
+	for _, j := range running {
+		nowRunning[j.ID] = true
+		if !e.prevRunning[j.ID] && e.opts.ReconfigPerColumn > 0 {
+			j.PendingConfig = e.opts.ReconfigPerColumn * timeunit.Time(j.Area)
+		}
+	}
+	for _, j := range e.active {
+		if e.prevRunning[j.ID] && !nowRunning[j.ID] {
+			e.result.Preemptions++
+		}
+	}
+	e.prevRunning = nowRunning
+}
+
+// nextEventTime returns the earliest future instant at which the schedule
+// can change: a release, a running job's completion, an active job's
+// deadline, or (with no candidates) the horizon.
+func (e *engine) nextEventTime(running []*Job) timeunit.Time {
+	next := timeunit.MaxTime
+	if rel, ok := e.nextPendingRelease(); ok && rel < next {
+		next = rel
+	}
+	for _, j := range e.active {
+		if j.Deadline > e.now && j.Deadline < next {
+			next = j.Deadline
+		}
+	}
+	for _, j := range running {
+		done := e.now + j.PendingConfig + j.Remaining
+		if done < next {
+			next = done
+		}
+	}
+	return next
+}
+
+// nextPendingRelease returns the earliest release still before the
+// horizon.
+func (e *engine) nextPendingRelease() (timeunit.Time, bool) {
+	next := timeunit.MaxTime
+	for _, r := range e.nextRelease {
+		if r < e.horizon && r < next {
+			next = r
+		}
+	}
+	return next, next != timeunit.MaxTime
+}
+
+// advance executes the running jobs for dt, draining reconfiguration
+// time before execution time.
+func (e *engine) advance(running []*Job, dt timeunit.Time) {
+	for _, j := range running {
+		left := dt
+		if j.PendingConfig > 0 {
+			cfg := timeunit.Min(j.PendingConfig, left)
+			j.PendingConfig -= cfg
+			left -= cfg
+			e.result.ConfigTicks += int64(cfg)
+		}
+		if left > 0 {
+			j.Remaining -= left
+			if j.Remaining < 0 {
+				// Cannot happen: nextEventTime includes completion.
+				panic(fmt.Sprintf("sim: job %d over-executed by %v", j.ID, -j.Remaining))
+			}
+		}
+	}
+}
+
+// record invokes the Recorder with defensive copies.
+func (e *engine) record(from, to timeunit.Time, running []*Job) {
+	runningSet := make(map[int64]bool, len(running))
+	for _, j := range running {
+		runningSet[j.ID] = true
+	}
+	rc := make([]*Job, len(running))
+	copy(rc, running)
+	var waiting []*Job
+	for _, j := range e.active {
+		if !runningSet[j.ID] {
+			waiting = append(waiting, j)
+		}
+	}
+	e.opts.Recorder.Interval(from, to, rc, waiting)
+}

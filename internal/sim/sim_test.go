@@ -1,0 +1,722 @@
+package sim
+
+import (
+	"math/rand/v2"
+	"strings"
+	"testing"
+
+	"fpgasched/internal/fpga"
+	"fpgasched/internal/task"
+	"fpgasched/internal/timeunit"
+)
+
+// nfPolicy / fkfPolicy are minimal local copies of the EDF-NF / EDF-FkF
+// packing rules so the engine can be tested without importing
+// internal/sched (which imports this package).
+type nfPolicy struct{}
+
+func (nfPolicy) Name() string { return "test-NF" }
+func (nfPolicy) Select(queue []*Job, columns int) []*Job {
+	var sel []*Job
+	used := 0
+	for _, j := range queue {
+		if used+j.Area <= columns {
+			sel = append(sel, j)
+			used += j.Area
+		}
+	}
+	return sel
+}
+
+type fkfPolicy struct{}
+
+func (fkfPolicy) Name() string { return "test-FkF" }
+func (fkfPolicy) Select(queue []*Job, columns int) []*Job {
+	var sel []*Job
+	used := 0
+	for _, j := range queue {
+		if used+j.Area > columns {
+			break
+		}
+		sel = append(sel, j)
+		used += j.Area
+	}
+	return sel
+}
+
+func u(n int64) timeunit.Time { return timeunit.FromUnits(n) }
+
+func TestSingleTaskCompletes(t *testing.T) {
+	s := task.NewSet(task.New("solo", "2", "5", "5", 3))
+	res, err := Simulate(10, s, nfPolicy{}, Options{Horizon: u(20)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Missed {
+		t.Fatalf("unexpected miss: %+v", res)
+	}
+	if res.Released != 4 || res.Completed != 4 {
+		t.Errorf("released=%d completed=%d, want 4/4 over horizon 20, T=5", res.Released, res.Completed)
+	}
+	// Busy area: 4 jobs × 2 units × 3 columns = 24 column·units.
+	want := int64(24) * timeunit.TicksPerUnit
+	if res.BusyAreaTicks != want {
+		t.Errorf("BusyAreaTicks = %d, want %d", res.BusyAreaTicks, want)
+	}
+	if res.Policy != "test-NF" {
+		t.Errorf("policy name = %q", res.Policy)
+	}
+}
+
+func TestParallelExecution(t *testing.T) {
+	// Two tasks fit side by side: both complete at t=2 with no preemption.
+	s := task.NewSet(
+		task.New("a", "2", "5", "5", 4),
+		task.New("b", "2", "5", "5", 6),
+	)
+	res, err := Simulate(10, s, nfPolicy{}, Options{Horizon: u(5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Missed || res.Preemptions != 0 {
+		t.Errorf("missed=%v preemptions=%d, want clean parallel run", res.Missed, res.Preemptions)
+	}
+	if res.Completed != 2 {
+		t.Errorf("completed = %d, want 2", res.Completed)
+	}
+}
+
+func TestSerializedContention(t *testing.T) {
+	// Two full-width tasks on one device serialize; the later one misses.
+	s := task.NewSet(
+		task.New("a", "3", "5", "5", 10),
+		task.New("b", "3", "5", "5", 10),
+	)
+	res, err := Simulate(10, s, nfPolicy{}, Options{Horizon: u(5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Missed {
+		t.Fatal("expected a miss: 6 units of serialized work before t=5")
+	}
+	if res.FirstMissTime != u(5) || res.FirstMissTask != 1 {
+		t.Errorf("first miss = task %d at %v, want task 1 at 5", res.FirstMissTask, res.FirstMissTime)
+	}
+	if res.Misses != 1 {
+		t.Errorf("stop-at-first-miss should record exactly 1 miss, got %d", res.Misses)
+	}
+}
+
+func TestNFBeatsFkFOnBlockedQueue(t *testing.T) {
+	// The paper's Section 1 intuition, made concrete: a wide job at the
+	// head of the wait queue blocks FkF but is skipped by NF.
+	//   τ1: C=3 D=3 T=10 A=6  (runs first)
+	//   τ2: C=1 D=4 T=10 A=6  (cannot fit beside τ1)
+	//   τ3: C=3 D=5 T=10 A=4  (fits beside τ1, but FkF won't look past τ2)
+	s := task.NewSet(
+		task.New("t1", "3", "3", "10", 6),
+		task.New("t2", "1", "4", "10", 6),
+		task.New("t3", "3", "5", "10", 4),
+	)
+	opts := Options{Horizon: u(10)}
+	nf, err := Simulate(10, s, nfPolicy{}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fkf, err := Simulate(10, s, fkfPolicy{}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nf.Missed {
+		t.Errorf("EDF-NF must meet all deadlines here: %+v", nf)
+	}
+	if !fkf.Missed {
+		t.Fatal("EDF-FkF must miss: τ3 is blocked behind τ2 until t=3")
+	}
+	if fkf.FirstMissTask != 2 || fkf.FirstMissTime != u(5) {
+		t.Errorf("FkF first miss = task %d at %v, want task 2 at 5", fkf.FirstMissTask, fkf.FirstMissTime)
+	}
+}
+
+func TestDeadlineExactlyMetAtCompletion(t *testing.T) {
+	// C = D: completion coincides with the deadline — that is a met
+	// deadline, not a miss.
+	s := task.NewSet(task.New("exact", "5", "5", "5", 10))
+	res, err := Simulate(10, s, nfPolicy{}, Options{Horizon: u(15)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Missed {
+		t.Error("completion exactly at the deadline must not be a miss")
+	}
+	if res.Completed != 3 {
+		t.Errorf("completed = %d, want 3", res.Completed)
+	}
+}
+
+func TestContinueAfterMissCountsAll(t *testing.T) {
+	// Utilization 1.2 on a single column: every period drops further
+	// behind; with ContinueAfterMiss the engine abandons missing jobs and
+	// keeps going.
+	s := task.NewSet(
+		task.New("a", "3", "5", "5", 1),
+		task.New("b", "3", "5", "5", 1),
+	)
+	res, err := Simulate(1, s, nfPolicy{}, Options{Horizon: u(20), ContinueAfterMiss: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Missed || res.Misses < 2 {
+		t.Errorf("expected multiple misses, got %d", res.Misses)
+	}
+	if res.Released != 8 {
+		t.Errorf("released = %d, want 8", res.Released)
+	}
+}
+
+func TestOffsetsShiftReleases(t *testing.T) {
+	// With offset 5 the solo task releases at 5, 15, ... Horizon 20 gives
+	// 2 jobs (15's job completes past horizon but is run to completion).
+	s := task.NewSet(task.New("solo", "2", "10", "10", 3))
+	res, err := Simulate(10, s, nfPolicy{}, Options{
+		Horizon: u(20),
+		Offsets: []timeunit.Time{u(5)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Released != 2 || res.Completed != 2 {
+		t.Errorf("released=%d completed=%d, want 2/2", res.Released, res.Completed)
+	}
+	if res.End != u(17) {
+		t.Errorf("end = %v, want 17 (second job 15..17)", res.End)
+	}
+}
+
+func TestOffsetsValidation(t *testing.T) {
+	s := task.NewSet(task.New("solo", "2", "10", "10", 3))
+	if _, err := Simulate(10, s, nfPolicy{}, Options{Offsets: []timeunit.Time{1, 2}}); err == nil {
+		t.Error("offset count mismatch must fail")
+	}
+	if _, err := Simulate(10, s, nfPolicy{}, Options{Offsets: []timeunit.Time{-1}}); err == nil {
+		t.Error("negative offset must fail")
+	}
+}
+
+func TestInvalidSetRejected(t *testing.T) {
+	s := task.NewSet(task.New("wide", "1", "5", "5", 11))
+	if _, err := Simulate(10, s, nfPolicy{}, Options{}); err == nil {
+		t.Error("task wider than device must fail")
+	}
+	if _, err := Simulate(10, task.NewSet(), nfPolicy{}, Options{}); err == nil {
+		t.Error("empty set must fail")
+	}
+}
+
+// badPolicy violates the selection contract in configurable ways.
+type badPolicy struct{ mode int }
+
+func (badPolicy) Name() string { return "bad" }
+func (b badPolicy) Select(queue []*Job, columns int) []*Job {
+	switch b.mode {
+	case 0: // foreign job
+		return []*Job{{ID: 999999, Area: 1}}
+	case 1: // duplicate
+		if len(queue) > 0 {
+			return []*Job{queue[0], queue[0]}
+		}
+	case 2: // over capacity
+		return queue
+	}
+	return nil
+}
+
+func TestPolicyViolationsDetected(t *testing.T) {
+	s := task.NewSet(
+		task.New("a", "2", "5", "5", 6),
+		task.New("b", "2", "5", "5", 6),
+	)
+	for mode := 0; mode <= 2; mode++ {
+		_, err := Simulate(10, s, badPolicy{mode: mode}, Options{Horizon: u(5)})
+		if err == nil {
+			t.Errorf("mode %d: expected policy violation error", mode)
+		}
+	}
+}
+
+func TestAutomaticHorizonUsesHyperperiod(t *testing.T) {
+	s := task.NewSet(
+		task.New("a", "1", "4", "4", 2),
+		task.New("b", "1", "6", "6", 2),
+	)
+	res, err := Simulate(10, s, nfPolicy{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Horizon != u(12) {
+		t.Errorf("horizon = %v, want hyperperiod 12", res.Horizon)
+	}
+}
+
+func TestAutomaticHorizonCapped(t *testing.T) {
+	// Coprime large periods make the hyperperiod exceed the cap.
+	s := task.NewSet(
+		task.New("a", "1", "101", "101", 2),
+		task.New("b", "1", "103", "103", 2),
+	)
+	res, err := Simulate(10, s, nfPolicy{}, Options{HorizonCap: u(300)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Horizon != u(300) {
+		t.Errorf("horizon = %v, want cap 300", res.Horizon)
+	}
+}
+
+func TestPreemptionCounting(t *testing.T) {
+	// A long low-priority job is preempted by each release of a
+	// short-deadline task on a shared single column.
+	s := task.NewSet(
+		task.New("long", "6", "20", "20", 1),
+		task.New("short", "1", "2", "4", 1),
+	)
+	res, err := Simulate(1, s, nfPolicy{}, Options{Horizon: u(20)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Missed {
+		t.Fatalf("no miss expected: %+v", res)
+	}
+	if res.Preemptions == 0 {
+		t.Error("long job must be preempted at least once")
+	}
+}
+
+func TestReconfigOverheadDelaysCompletion(t *testing.T) {
+	// ρ = 0.5/column on a 2-column job: 1 unit of config before 2 units
+	// of execution. D = 2.5 is met without overhead, missed with it.
+	s := task.NewSet(task.New("j", "2", "2.5", "10", 2))
+	clean, err := Simulate(10, s, nfPolicy{}, Options{Horizon: u(10)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Missed {
+		t.Fatal("no-overhead run must meet the deadline")
+	}
+	loaded, err := Simulate(10, s, nfPolicy{}, Options{
+		Horizon:           u(10),
+		ReconfigPerColumn: timeunit.MustParse("0.5"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loaded.Missed {
+		t.Fatal("0.5/column overhead must push completion past D=2.5")
+	}
+	if loaded.ConfigTicks == 0 {
+		t.Error("ConfigTicks must account the reconfiguration time")
+	}
+}
+
+func TestPlacementModeMatchesCapacityWithDefrag(t *testing.T) {
+	// With defrag at every event, placement mode is exactly the paper's
+	// unrestricted-migration model.
+	s := task.NewSet(
+		task.New("a", "3", "6", "6", 4),
+		task.New("b", "2", "4", "4", 5),
+		task.New("c", "2", "8", "8", 3),
+	)
+	capRes, err := Simulate(10, s, nfPolicy{}, Options{Horizon: u(24)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plRes, err := Simulate(10, s, nfPolicy{}, Options{
+		Horizon:   u(24),
+		Placement: &PlacementOptions{Strategy: fpga.FirstFit, DefragEveryEvent: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capRes.Missed != plRes.Missed || capRes.Completed != plRes.Completed {
+		t.Errorf("capacity %+v vs placement+defrag %+v diverged", capRes, plRes)
+	}
+	if plRes.FragDeferrals != 0 {
+		t.Errorf("defrag mode must never defer for fragmentation, got %d", plRes.FragDeferrals)
+	}
+}
+
+func TestPlacementFragmentationDefersJobs(t *testing.T) {
+	// Construct external fragmentation: two 3-column jobs placed at the
+	// ends of a 10-column device leave gaps 0..0 — force it with
+	// first-fit and a middle eviction. τa occupies [0,3), τb [3,6),
+	// τc [6,9); when τb completes, free = [3,6) + [9,10) = 4 columns but
+	// the largest gap is 3: a 4-column job must defer without defrag.
+	s := task.NewSet(
+		task.New("a", "4", "20", "20", 3),
+		task.New("b", "1", "20", "20", 3),
+		task.New("c", "4", "20", "20", 3),
+		task.New("d", "4", "20", "20", 4), // released with the others; waits, then needs 4 contiguous
+	)
+	res, err := Simulate(10, s, nfPolicy{}, Options{
+		Horizon:   u(20),
+		Placement: &PlacementOptions{Strategy: fpga.FirstFit},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FragDeferrals == 0 {
+		t.Errorf("expected fragmentation deferrals, got none (completed=%d)", res.Completed)
+	}
+	// The same workload under defrag runs τd as soon as 4 columns free up.
+	res2, err := Simulate(10, s, nfPolicy{}, Options{
+		Horizon:   u(20),
+		Placement: &PlacementOptions{Strategy: fpga.FirstFit, DefragEveryEvent: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.FragDeferrals != 0 {
+		t.Error("defrag mode must not defer")
+	}
+	if res2.DefragMoves == 0 {
+		t.Error("defrag mode should have moved jobs in this scenario")
+	}
+}
+
+// recordingRecorder collects intervals for recorder-contract tests.
+type recordingRecorder struct {
+	intervals []recordedInterval
+	misses    int
+}
+
+type recordedInterval struct {
+	from, to timeunit.Time
+	running  int
+	waiting  int
+	area     int
+}
+
+func (r *recordingRecorder) Interval(from, to timeunit.Time, running, waiting []*Job) {
+	area := 0
+	for _, j := range running {
+		area += j.Area
+	}
+	r.intervals = append(r.intervals, recordedInterval{from, to, len(running), len(waiting), area})
+}
+
+func (r *recordingRecorder) Miss(at timeunit.Time, job *Job) { r.misses++ }
+
+func TestRecorderSeesContiguousCoverage(t *testing.T) {
+	s := task.NewSet(
+		task.New("a", "2", "4", "4", 6),
+		task.New("b", "3", "8", "8", 6),
+	)
+	rec := &recordingRecorder{}
+	res, err := Simulate(10, s, nfPolicy{}, Options{Horizon: u(8), Recorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.intervals) == 0 {
+		t.Fatal("recorder saw nothing")
+	}
+	// Intervals are ordered, non-empty and gapless while work exists.
+	for i, iv := range rec.intervals {
+		if iv.to <= iv.from {
+			t.Errorf("interval %d empty: [%v,%v)", i, iv.from, iv.to)
+		}
+		if iv.area > 10 {
+			t.Errorf("interval %d over-committed area %d", i, iv.area)
+		}
+		if i > 0 && iv.from < rec.intervals[i-1].to {
+			t.Errorf("interval %d overlaps previous", i)
+		}
+	}
+	if res.Missed {
+		t.Errorf("unexpected miss")
+	}
+}
+
+func TestRecorderMissCallback(t *testing.T) {
+	s := task.NewSet(
+		task.New("a", "3", "5", "5", 10),
+		task.New("b", "3", "5", "5", 10),
+	)
+	rec := &recordingRecorder{}
+	if _, err := Simulate(10, s, nfPolicy{}, Options{Horizon: u(5), Recorder: rec}); err != nil {
+		t.Fatal(err)
+	}
+	if rec.misses != 1 {
+		t.Errorf("recorder misses = %d, want 1", rec.misses)
+	}
+}
+
+func TestMaxEventsGuard(t *testing.T) {
+	s := task.NewSet(task.New("a", "1", "2", "2", 1))
+	_, err := Simulate(10, s, nfPolicy{}, Options{Horizon: u(100), MaxEvents: 5})
+	if err == nil || !strings.Contains(err.Error(), "events") {
+		t.Errorf("expected max-events error, got %v", err)
+	}
+}
+
+func TestEngineIdleGapThenResume(t *testing.T) {
+	// Work drains completely before the next release; the engine must
+	// jump the idle gap and resume.
+	s := task.NewSet(task.New("burst", "1", "10", "10", 5))
+	res, err := Simulate(10, s, nfPolicy{}, Options{Horizon: u(30)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 3 {
+		t.Errorf("completed = %d, want 3", res.Completed)
+	}
+	// Busy area: 3 jobs × 1 unit × 5 columns.
+	if want := int64(15) * timeunit.TicksPerUnit; res.BusyAreaTicks != want {
+		t.Errorf("BusyAreaTicks = %d, want %d", res.BusyAreaTicks, want)
+	}
+}
+
+func TestSporadicJitterDelaysReleases(t *testing.T) {
+	s := task.NewSet(task.New("sp", "1", "10", "10", 3))
+	periodic, err := Simulate(10, s, nfPolicy{}, Options{Horizon: u(50)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sporadic, err := Simulate(10, s, nfPolicy{}, Options{
+		Horizon:  u(50),
+		Sporadic: &SporadicOptions{MaxJitter: u(5), Seed: 42},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if periodic.Released != 5 {
+		t.Errorf("periodic released = %d, want 5", periodic.Released)
+	}
+	// Jitter only lengthens inter-arrivals, so a sporadic run never
+	// releases more jobs than the periodic one in the same horizon.
+	if sporadic.Released > periodic.Released {
+		t.Errorf("sporadic released %d, more than periodic %d",
+			sporadic.Released, periodic.Released)
+	}
+	if sporadic.Missed {
+		t.Error("a solo sporadic task must not miss")
+	}
+	// Across a handful of seeds, at least one jitter pattern must push a
+	// release past the horizon (accumulated jitter ≥ 10 over 4 gaps).
+	fewer := false
+	for seed := uint64(1); seed <= 10; seed++ {
+		res, err := Simulate(10, s, nfPolicy{}, Options{
+			Horizon:  u(50),
+			Sporadic: &SporadicOptions{MaxJitter: u(5), Seed: seed},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Released < periodic.Released {
+			fewer = true
+			break
+		}
+	}
+	if !fewer {
+		t.Error("no seed produced fewer releases — jitter appears inert")
+	}
+}
+
+func TestSporadicDeterministicBySeed(t *testing.T) {
+	s := task.NewSet(
+		task.New("a", "2", "8", "8", 4),
+		task.New("b", "3", "12", "12", 5),
+	)
+	run := func(seed uint64) Result {
+		res, err := Simulate(10, s, nfPolicy{}, Options{
+			Horizon:  u(100),
+			Sporadic: &SporadicOptions{MaxJitter: u(4), Seed: seed},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a1, a2, b := run(7), run(7), run(8)
+	if a1.Released != a2.Released || a1.BusyAreaTicks != a2.BusyAreaTicks {
+		t.Error("same seed must reproduce the same schedule")
+	}
+	if b.Released == a1.Released && b.BusyAreaTicks == a1.BusyAreaTicks {
+		t.Log("different seeds coincided (unlikely but possible)")
+	}
+}
+
+func TestSporadicValidation(t *testing.T) {
+	s := task.NewSet(task.New("sp", "1", "10", "10", 3))
+	if _, err := Simulate(10, s, nfPolicy{}, Options{
+		Sporadic: &SporadicOptions{MaxJitter: -1},
+	}); err == nil {
+		t.Error("negative jitter must fail")
+	}
+}
+
+func TestReservedCapacityMode(t *testing.T) {
+	// 10 columns, 4 reserved: two 3-column tasks cannot run together
+	// (6 > 6 is false... 3+3=6 ≤ 6 fits), but a third cannot join.
+	s := task.NewSet(
+		task.New("a", "2", "4", "4", 3),
+		task.New("b", "2", "4", "4", 3),
+		task.New("c", "2", "4", "4", 3),
+	)
+	reserved := []fpga.Region{{Lo: 3, Hi: 7}}
+	res, err := Simulate(10, s, nfPolicy{}, Options{
+		Horizon:  u(4),
+		Reserved: reserved,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 units of work over 3 tasks, capacity 6 of 10: two run in
+	// parallel [0,2), third runs [2,4) and meets D=4 exactly.
+	if res.Missed {
+		t.Errorf("unexpected miss: %+v", res)
+	}
+	// Without the reservation all three run together.
+	clean, err := Simulate(10, s, nfPolicy{}, Options{Horizon: u(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Preemptions != 0 || clean.Missed {
+		t.Error("unreserved run should be trivially parallel")
+	}
+	if res.BusyAreaTicks >= clean.BusyAreaTicks+1 && false {
+		t.Error("unreachable")
+	}
+}
+
+func TestReservedMakesWideTaskInfeasible(t *testing.T) {
+	s := task.NewSet(task.New("wide", "1", "5", "5", 8))
+	_, err := Simulate(10, s, nfPolicy{}, Options{
+		Reserved: []fpga.Region{{Lo: 0, Hi: 3}},
+	})
+	if err == nil {
+		t.Error("8-column task with only 7 usable must be rejected")
+	}
+}
+
+func TestReservedValidation(t *testing.T) {
+	s := task.NewSet(task.New("a", "1", "5", "5", 2))
+	cases := [][]fpga.Region{
+		{{Lo: -1, Hi: 2}},
+		{{Lo: 8, Hi: 12}},
+		{{Lo: 2, Hi: 2}},
+		{{Lo: 0, Hi: 3}, {Lo: 2, Hi: 5}}, // overlap
+	}
+	for _, r := range cases {
+		if _, err := Simulate(10, s, nfPolicy{}, Options{Reserved: r}); err == nil {
+			t.Errorf("reserved %v must fail validation", r)
+		}
+	}
+}
+
+func TestReservedPlacementModeFragmentation(t *testing.T) {
+	// A reservation in the middle splits the fabric into 3+3: a 4-column
+	// task fits capacity-wise (usable 6) but never contiguously — even
+	// with defragmentation, since the reservation cannot move.
+	s := task.NewSet(
+		task.New("fits", "1", "10", "10", 3),
+		task.New("split", "1", "10", "10", 4),
+	)
+	reserved := []fpga.Region{{Lo: 3, Hi: 7}}
+	res, err := Simulate(10, s, nfPolicy{}, Options{
+		Horizon:   u(10),
+		Reserved:  reserved,
+		Placement: &PlacementOptions{Strategy: fpga.FirstFit, DefragEveryEvent: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FragDeferrals == 0 {
+		t.Error("the 4-column task must defer: no contiguous gap exists")
+	}
+	if !res.Missed {
+		t.Error("the 4-column task can never be placed, so it must miss")
+	}
+	// Capacity mode is blind to the split and schedules it fine — the
+	// documented optimism of bound-style reasoning about reservations.
+	capRes, err := Simulate(10, s, nfPolicy{}, Options{Horizon: u(10), Reserved: reserved})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capRes.Missed {
+		t.Error("capacity mode should accept (4 ≤ 6 usable)")
+	}
+}
+
+func TestSoundnessUnderSporadicArrivals(t *testing.T) {
+	// An accepted taskset must survive ANY legal sporadic arrival
+	// pattern; jittered arrivals only lengthen inter-arrivals, so a
+	// miss here would be a soundness bug.
+	s := task.NewSet(
+		task.New("a", "1", "5", "5", 4),
+		task.New("b", "2", "10", "10", 5),
+	)
+	for seed := uint64(1); seed <= 20; seed++ {
+		res, err := Simulate(10, s, nfPolicy{}, Options{
+			Horizon:  u(200),
+			Sporadic: &SporadicOptions{MaxJitter: u(7), Seed: seed},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Missed {
+			t.Fatalf("seed %d: sporadic arrivals caused a miss on a light taskset", seed)
+		}
+	}
+}
+
+func TestLargeTasksetStress(t *testing.T) {
+	// 50 tasks, heavy contention, both policies, both execution models:
+	// no panics, no policy violations, bounded events.
+	r := rand.New(rand.NewPCG(3, 33))
+	s := &task.Set{}
+	for i := 0; i < 50; i++ {
+		period := timeunit.FromUnits(int64(4 + r.IntN(16)))
+		s.Tasks = append(s.Tasks, task.Task{
+			C: timeunit.Time(1 + r.Int64N(int64(period)/2)),
+			D: period, T: period, A: 1 + r.IntN(40),
+		})
+	}
+	for _, opts := range []Options{
+		{HorizonCap: u(100), ContinueAfterMiss: true},
+		{HorizonCap: u(100), ContinueAfterMiss: true, Placement: &PlacementOptions{}},
+		{HorizonCap: u(100), ContinueAfterMiss: true, Placement: &PlacementOptions{DefragEveryEvent: true}},
+	} {
+		for _, p := range []Policy{nfPolicy{}, fkfPolicy{}} {
+			res, err := Simulate(100, s, p, opts)
+			if err != nil {
+				t.Fatalf("%s: %v", p.Name(), err)
+			}
+			if res.Released == 0 || res.Events == 0 {
+				t.Fatalf("%s: empty run %+v", p.Name(), res)
+			}
+		}
+	}
+}
+
+func TestBusyAreaNeverExceedsDeviceTime(t *testing.T) {
+	// ∫occupied dt ≤ A(H)·end for arbitrary runs.
+	r := rand.New(rand.NewPCG(9, 99))
+	for trial := 0; trial < 40; trial++ {
+		s := &task.Set{}
+		n := 1 + r.IntN(8)
+		for i := 0; i < n; i++ {
+			period := timeunit.FromUnits(int64(3 + r.IntN(10)))
+			s.Tasks = append(s.Tasks, task.Task{
+				C: timeunit.Time(1 + r.Int64N(int64(period))),
+				D: period, T: period, A: 1 + r.IntN(10),
+			})
+		}
+		res, err := Simulate(10, s, nfPolicy{}, Options{HorizonCap: u(60), ContinueAfterMiss: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.BusyAreaTicks > int64(10)*int64(res.End) {
+			t.Fatalf("busy area %d exceeds device·time %d", res.BusyAreaTicks, int64(10)*int64(res.End))
+		}
+	}
+}

@@ -1,0 +1,236 @@
+package timeunit
+
+import (
+	"math"
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromUnits(t *testing.T) {
+	tests := []struct {
+		units int64
+		want  Time
+	}{
+		{0, 0},
+		{1, 10000},
+		{7, 70000},
+		{-3, -30000},
+	}
+	for _, tt := range tests {
+		if got := FromUnits(tt.units); got != tt.want {
+			t.Errorf("FromUnits(%d) = %d, want %d", tt.units, got, tt.want)
+		}
+	}
+}
+
+func TestParse(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    Time
+		wantErr bool
+	}{
+		{"0", 0, false},
+		{"1", 10000, false},
+		{"1.26", 12600, false},
+		{"0.95", 9500, false},
+		{"2.1", 21000, false},
+		{"4.50", 45000, false},
+		{"8.00", 80000, false},
+		{"-1.5", -15000, false},
+		{"+2.25", 22500, false},
+		{"0.0001", 1, false},
+		{"0.00010", 1, false}, // redundant trailing zero beyond resolution
+		{"3.", 30000, false},
+		{".5", 5000, false},
+		{"", 0, true},
+		{".", 0, true},
+		{"-", 0, true},
+		{"1.2.3", 0, true},
+		{"abc", 0, true},
+		{"1e3", 0, true},
+		{"0.00001", 0, true},             // finer than tick
+		{"9223372036854775807", 0, true}, // overflow after scaling
+		{"922337203685477.5807", Time(math.MaxInt64), false},     // exactly MaxInt64
+		{"922337203685477.5808", 0, true},                        // one tick past MaxInt64
+		{"922337203685477.5806", Time(math.MaxInt64) - 1, false}, // just fits
+	}
+	for _, tt := range tests {
+		got, err := Parse(tt.in)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("Parse(%q) error = %v, wantErr %v", tt.in, err, tt.wantErr)
+			continue
+		}
+		if err == nil && got != tt.want {
+			t.Errorf("Parse(%q) = %d, want %d", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	cases := []string{"0", "1", "1.26", "0.95", "2.1", "-1.5", "0.0001", "19.9999"}
+	for _, s := range cases {
+		v := MustParse(s)
+		back, err := Parse(v.String())
+		if err != nil {
+			t.Fatalf("Parse(String(%s)): %v", s, err)
+		}
+		if back != v {
+			t.Errorf("round trip %s: got %d, want %d", s, back, v)
+		}
+	}
+}
+
+func TestStringFormatting(t *testing.T) {
+	tests := []struct {
+		in   Time
+		want string
+	}{
+		{0, "0"},
+		{12600, "1.26"},
+		{10000, "1"},
+		{-15000, "-1.5"},
+		{1, "0.0001"},
+		{100001, "10.0001"},
+	}
+	for _, tt := range tests {
+		if got := tt.in.String(); got != tt.want {
+			t.Errorf("Time(%d).String() = %q, want %q", int64(tt.in), got, tt.want)
+		}
+	}
+}
+
+func TestStringParseRoundTripProperty(t *testing.T) {
+	f := func(v int64) bool {
+		tm := Time(v)
+		got, err := Parse(tm.String())
+		return err == nil && got == tm
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromFloatRounding(t *testing.T) {
+	tests := []struct {
+		in   float64
+		want Time
+	}{
+		{1.26, 12600},
+		{0.00004, 0},
+		{0.00006, 1},
+		{-0.00006, -1},
+		{19.99999, 200000},
+	}
+	for _, tt := range tests {
+		if got := FromFloat(tt.in); got != tt.want {
+			t.Errorf("FromFloat(%v) = %d, want %d", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestRatExact(t *testing.T) {
+	v := MustParse("1.26")
+	want := big.NewRat(126, 100)
+	if v.Rat().Cmp(want) != 0 {
+		t.Errorf("Rat(1.26) = %v, want %v", v.Rat(), want)
+	}
+}
+
+func TestGCD(t *testing.T) {
+	tests := []struct{ a, b, want Time }{
+		{12, 18, 6},
+		{18, 12, 6},
+		{0, 5, 5},
+		{5, 0, 5},
+		{0, 0, 0},
+		{-12, 18, 6},
+		{7, 13, 1},
+	}
+	for _, tt := range tests {
+		if got := GCD(tt.a, tt.b); got != tt.want {
+			t.Errorf("GCD(%d,%d) = %d, want %d", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestLCM(t *testing.T) {
+	tests := []struct{ a, b, want Time }{
+		{4, 6, 12},
+		{5, 7, 35},
+		{0, 7, 0},
+		{7, 0, 0},
+		{1, 1, 1},
+	}
+	for _, tt := range tests {
+		if got := LCM(tt.a, tt.b); got != tt.want {
+			t.Errorf("LCM(%d,%d) = %d, want %d", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestLCMOverflowSaturates(t *testing.T) {
+	big1 := Time(math.MaxInt64/2 - 1)
+	big2 := Time(math.MaxInt64/3 - 1)
+	if got := LCM(big1, big2); got != MaxTime {
+		t.Errorf("LCM overflow = %d, want MaxTime", got)
+	}
+}
+
+func TestLCMAll(t *testing.T) {
+	if got := LCMAll([]Time{4, 6, 10}); got != 60 {
+		t.Errorf("LCMAll = %d, want 60", got)
+	}
+	if got := LCMAll(nil); got != 0 {
+		t.Errorf("LCMAll(nil) = %d, want 0", got)
+	}
+	huge := []Time{MaxTime - 1, MaxTime - 2}
+	if got := LCMAll(huge); got != MaxTime {
+		t.Errorf("LCMAll(huge) = %d, want MaxTime (saturated)", got)
+	}
+}
+
+func TestLCMGCDProperties(t *testing.T) {
+	f := func(a, b int32) bool {
+		x, y := Time(a), Time(b)
+		g := GCD(x, y)
+		if g < 0 {
+			return false
+		}
+		if x != 0 && int64(x)%max64(1, int64(g)) != 0 {
+			return false
+		}
+		l := LCM(x, y)
+		if x != 0 && y != 0 && l != MaxTime {
+			if int64(l)%int64(x) != 0 || int64(l)%int64(y) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestMinMax(t *testing.T) {
+	if Min(3, 5) != 3 || Min(5, 3) != 3 {
+		t.Error("Min broken")
+	}
+	if Max(3, 5) != 5 || Max(5, 3) != 5 {
+		t.Error("Max broken")
+	}
+}
+
+func TestUnits(t *testing.T) {
+	if MustParse("7.9").Units() != 7 {
+		t.Error("Units(7.9) != 7")
+	}
+}

@@ -1,0 +1,146 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"fpgasched/internal/sim"
+	"fpgasched/internal/timeunit"
+)
+
+// Gantt records a schedule and renders it as an ASCII chart, one row per
+// task, one character cell per time quantum. It implements sim.Recorder
+// and is used by cmd/simtrace.
+type Gantt struct {
+	// Quantum is the time represented by one character cell (default one
+	// time unit).
+	Quantum timeunit.Time
+
+	spans  []span
+	misses []missMark
+	end    timeunit.Time
+	tasks  int
+}
+
+type span struct {
+	task     int
+	from, to timeunit.Time
+}
+
+type missMark struct {
+	task int
+	at   timeunit.Time
+}
+
+// NewGantt returns a recorder rendering with the given cell quantum.
+func NewGantt(quantum timeunit.Time) *Gantt {
+	if quantum <= 0 {
+		quantum = timeunit.FromUnits(1)
+	}
+	return &Gantt{Quantum: quantum}
+}
+
+// Interval implements sim.Recorder.
+func (g *Gantt) Interval(from, to timeunit.Time, running, waiting []*sim.Job) {
+	for _, j := range running {
+		g.spans = append(g.spans, span{task: j.TaskIndex, from: from, to: to})
+		if j.TaskIndex+1 > g.tasks {
+			g.tasks = j.TaskIndex + 1
+		}
+	}
+	for _, j := range waiting {
+		if j.TaskIndex+1 > g.tasks {
+			g.tasks = j.TaskIndex + 1
+		}
+	}
+	if to > g.end {
+		g.end = to
+	}
+}
+
+// Miss implements sim.Recorder.
+func (g *Gantt) Miss(at timeunit.Time, job *sim.Job) {
+	g.misses = append(g.misses, missMark{task: job.TaskIndex, at: at})
+	if at > g.end {
+		g.end = at
+	}
+	if job.TaskIndex+1 > g.tasks {
+		g.tasks = job.TaskIndex + 1
+	}
+}
+
+// String renders the chart. '#' marks execution covering at least half a
+// cell, '.' idle, '!' a deadline miss.
+func (g *Gantt) String() string {
+	if g.tasks == 0 || g.end == 0 {
+		return "(empty schedule)\n"
+	}
+	cells := int((g.end + g.Quantum - 1) / g.Quantum)
+	if cells > 400 {
+		cells = 400 // keep terminal output sane
+	}
+	grid := make([][]byte, g.tasks)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(".", cells))
+	}
+	for _, s := range g.spans {
+		for cell := 0; cell < cells; cell++ {
+			cellFrom := timeunit.Time(cell) * g.Quantum
+			cellTo := cellFrom + g.Quantum
+			ovFrom := timeunit.Max(s.from, cellFrom)
+			ovTo := timeunit.Min(s.to, cellTo)
+			if ovTo > ovFrom && (ovTo-ovFrom)*2 >= g.Quantum {
+				grid[s.task][cell] = '#'
+			}
+		}
+	}
+	for _, m := range g.misses {
+		cell := int(m.at / g.Quantum)
+		if cell >= cells {
+			cell = cells - 1
+		}
+		grid[m.task][cell] = '!'
+	}
+	var b strings.Builder
+	for i, row := range grid {
+		fmt.Fprintf(&b, "task %2d |%s|\n", i, row)
+	}
+	fmt.Fprintf(&b, "         0 .. %v (1 cell = %v)\n", g.end, g.Quantum)
+	return b.String()
+}
+
+// TaskBusy returns the total execution time recorded for a task.
+func (g *Gantt) TaskBusy(task int) timeunit.Time {
+	var sum timeunit.Time
+	for _, s := range g.spans {
+		if s.task == task {
+			sum += s.to - s.from
+		}
+	}
+	return sum
+}
+
+// Spans returns the recorded spans sorted by start time (for tests).
+func (g *Gantt) Spans() []struct {
+	Task     int
+	From, To timeunit.Time
+} {
+	out := make([]struct {
+		Task     int
+		From, To timeunit.Time
+	}, len(g.spans))
+	for i, s := range g.spans {
+		out[i] = struct {
+			Task     int
+			From, To timeunit.Time
+		}{s.task, s.from, s.to}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].Task < out[j].Task
+	})
+	return out
+}

@@ -1,0 +1,155 @@
+// Package trace observes simulated schedules and checks the structural
+// invariants the paper's analysis rests on. Figure 1 of the paper is a
+// conceptual illustration of the work-conserving lemmas; this package is
+// its executable counterpart:
+//
+//   - Area bound: the running set never occupies more than A(H) columns.
+//   - Lemma 1 (EDF-FkF): whenever any job waits, at least
+//     A(H) − (Amax − 1) columns are occupied (global-α-work-conserving
+//     with the paper's integer-area sharpening).
+//   - Lemma 2 (EDF-NF): whenever a job of area Ak waits, at least
+//     A(H) − (Ak − 1) columns are occupied (interval-α-work-conserving).
+//   - FkF prefix property (Definition 1): the running set is a prefix of
+//     the EDF queue — no waiting job precedes a running one in EDF order.
+//
+// A Checker plugs into sim.Options.Recorder; any violation falsifies
+// either the scheduler implementation or the lemma, so the property tests
+// that drive random workloads through it double as machine-checked
+// evidence for the paper's Section 3.
+package trace
+
+import (
+	"fmt"
+
+	"fpgasched/internal/sim"
+	"fpgasched/internal/timeunit"
+)
+
+// Mode selects which policy-specific invariants to check.
+type Mode int
+
+const (
+	// ModeGeneric checks only the policy-independent area bound.
+	ModeGeneric Mode = iota
+	// ModeNF additionally checks Lemma 2 and, since EDF-NF satisfies it,
+	// Lemma 1.
+	ModeNF
+	// ModeFkF additionally checks Lemma 1 and the EDF prefix property.
+	ModeFkF
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	switch m {
+	case ModeNF:
+		return "EDF-NF"
+	case ModeFkF:
+		return "EDF-FkF"
+	default:
+		return "generic"
+	}
+}
+
+// Checker validates schedule invariants as a sim.Recorder. Create with
+// NewChecker; read Violations (capped at MaxViolations) afterwards.
+type Checker struct {
+	// Columns is the device width A(H).
+	Columns int
+	// AMax is the largest task area in the set, needed for Lemma 1.
+	AMax int
+	// Mode selects the invariants.
+	Mode Mode
+	// MaxViolations caps recorded violations (default 16).
+	MaxViolations int
+
+	violations []string
+	intervals  int
+	misses     int
+}
+
+// NewChecker returns a Checker for a device and taskset parameters.
+func NewChecker(columns, amax int, mode Mode) *Checker {
+	return &Checker{Columns: columns, AMax: amax, Mode: mode, MaxViolations: 16}
+}
+
+// Violations returns the recorded violation descriptions.
+func (c *Checker) Violations() []string { return c.violations }
+
+// Intervals returns how many schedule intervals were observed.
+func (c *Checker) Intervals() int { return c.intervals }
+
+// Misses returns how many deadline misses were observed.
+func (c *Checker) Misses() int { return c.misses }
+
+// Ok reports whether no invariant was violated.
+func (c *Checker) Ok() bool { return len(c.violations) == 0 }
+
+// Interval implements sim.Recorder.
+func (c *Checker) Interval(from, to timeunit.Time, running, waiting []*sim.Job) {
+	c.intervals++
+	occupied := 0
+	for _, j := range running {
+		occupied += j.Area
+	}
+	if occupied > c.Columns {
+		c.violatef("[%v,%v): occupied %d exceeds device %d", from, to, occupied, c.Columns)
+	}
+	switch c.Mode {
+	case ModeNF:
+		// Lemma 2: a waiting job of area Ak proves occupancy of at least
+		// A(H) − Ak + 1 (otherwise NF would have placed it).
+		for _, w := range waiting {
+			if bound := c.Columns - w.Area + 1; occupied < bound {
+				c.violatef("[%v,%v): Lemma 2 violated: job task=%d area=%d waiting with only %d of %d columns busy",
+					from, to, w.TaskIndex, w.Area, occupied, c.Columns)
+			}
+		}
+	case ModeFkF:
+		if len(waiting) > 0 {
+			// Lemma 1: some job waits, so occupancy is at least
+			// A(H) − Amax + 1.
+			if bound := c.Columns - c.AMax + 1; occupied < bound {
+				c.violatef("[%v,%v): Lemma 1 violated: %d jobs waiting with only %d of %d columns busy (Amax=%d)",
+					from, to, len(waiting), occupied, c.Columns, c.AMax)
+			}
+			// Prefix property: every running job precedes every waiting
+			// job in EDF order.
+			for _, r := range running {
+				for _, w := range waiting {
+					if edfAfter(r, w) {
+						c.violatef("[%v,%v): FkF prefix violated: running job (task %d, dl %v) follows waiting job (task %d, dl %v)",
+							from, to, r.TaskIndex, r.Deadline, w.TaskIndex, w.Deadline)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Miss implements sim.Recorder.
+func (c *Checker) Miss(at timeunit.Time, job *sim.Job) { c.misses++ }
+
+// edfAfter reports whether a strictly follows b in the paper's queue
+// order (deadline, then release, then task index, then job index).
+func edfAfter(a, b *sim.Job) bool {
+	if a.Deadline != b.Deadline {
+		return a.Deadline > b.Deadline
+	}
+	if a.Release != b.Release {
+		return a.Release > b.Release
+	}
+	if a.TaskIndex != b.TaskIndex {
+		return a.TaskIndex > b.TaskIndex
+	}
+	return a.JobIndex > b.JobIndex
+}
+
+func (c *Checker) violatef(format string, args ...any) {
+	maxV := c.MaxViolations
+	if maxV <= 0 {
+		maxV = 16
+	}
+	if len(c.violations) < maxV {
+		c.violations = append(c.violations, fmt.Sprintf(format, args...))
+	}
+}

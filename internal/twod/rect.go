@@ -1,0 +1,76 @@
+// Package twod extends the library to 2-D reconfigurable FPGAs, the
+// first item on the paper's Section 7 future-work list: "for 2D
+// reconfiguration, task placement strategy has a large effect on FPGA
+// fragmentation, and we cannot assume that a task can fit on the FPGA as
+// long as there is enough free area, even with free task migrations."
+//
+// A 2-D hardware task occupies a W×H rectangle of cells on a WH×HH grid.
+// Packing rectangles online is where the paper's 1-D capacity reasoning
+// breaks down, so this package provides:
+//
+//   - a maximal-rectangles layout tracker (the MAXRECTS family of
+//     placement heuristics: bottom-left, best-short-side, best-area);
+//   - a discrete-event simulator for EDF-NF/EDF-FkF generalised to 2-D
+//     placement feasibility (a job runs iff its rectangle can be placed);
+//   - an area-capacity upper-bound mode that ignores geometry, so the
+//     gap between the two quantifies exactly the effect the paper warns
+//     about;
+//   - workload generation and an acceptance-ratio experiment
+//     (ablation-2d in the experiment registry).
+//
+// The 1-D analysis of internal/core applies to 2-D devices only as a
+// heuristic necessary-side screen (treat rows as columns); no
+// utilization bound test is claimed here — that is precisely the open
+// problem the paper leaves.
+package twod
+
+import "fmt"
+
+// Rect is a placed rectangle: origin (X, Y), extent W×H, in cells.
+type Rect struct {
+	X, Y, W, H int
+}
+
+// Area returns W·H.
+func (r Rect) Area() int { return r.W * r.H }
+
+// Overlaps reports whether two rectangles share any cell.
+func (r Rect) Overlaps(o Rect) bool {
+	return r.X < o.X+o.W && o.X < r.X+r.W && r.Y < o.Y+o.H && o.Y < r.Y+r.H
+}
+
+// Contains reports whether r fully contains o.
+func (r Rect) Contains(o Rect) bool {
+	return o.X >= r.X && o.Y >= r.Y && o.X+o.W <= r.X+r.W && o.Y+o.H <= r.Y+r.H
+}
+
+// String renders the rectangle as WxH@(x,y).
+func (r Rect) String() string {
+	return fmt.Sprintf("%dx%d@(%d,%d)", r.W, r.H, r.X, r.Y)
+}
+
+// Heuristic selects which free rectangle receives a new placement.
+type Heuristic int
+
+const (
+	// BottomLeft prefers the lowest, then leftmost, position.
+	BottomLeft Heuristic = iota
+	// BestShortSideFit minimises the smaller leftover side.
+	BestShortSideFit
+	// BestAreaFit minimises leftover free-rectangle area.
+	BestAreaFit
+)
+
+// String returns the heuristic name.
+func (h Heuristic) String() string {
+	switch h {
+	case BottomLeft:
+		return "bottom-left"
+	case BestShortSideFit:
+		return "best-short-side"
+	case BestAreaFit:
+		return "best-area"
+	default:
+		return fmt.Sprintf("heuristic(%d)", int(h))
+	}
+}

@@ -1,0 +1,348 @@
+package twod
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+
+	"fpgasched/internal/timeunit"
+)
+
+// Task is a periodic 2-D hardware task: C execution time, D relative
+// deadline, T period, and a W×H cell rectangle.
+type Task struct {
+	Name string
+	C    timeunit.Time
+	D    timeunit.Time
+	T    timeunit.Time
+	W, H int
+}
+
+// Area returns W·H.
+func (t Task) Area() int { return t.W * t.H }
+
+// Validate checks intrinsic well-formedness.
+func (t Task) Validate() error {
+	switch {
+	case t.C <= 0 || t.T <= 0 || t.D <= 0:
+		return fmt.Errorf("twod task %q: non-positive timing", t.Name)
+	case t.C > t.D:
+		return fmt.Errorf("twod task %q: C > D", t.Name)
+	case t.W < 1 || t.H < 1:
+		return fmt.Errorf("twod task %q: empty rectangle", t.Name)
+	}
+	return nil
+}
+
+// Set is a 2-D taskset.
+type Set struct {
+	Tasks []Task
+}
+
+// ValidateFor checks every task fits the device.
+func (s *Set) ValidateFor(w, h int) error {
+	if len(s.Tasks) == 0 {
+		return fmt.Errorf("twod: empty taskset")
+	}
+	for i, t := range s.Tasks {
+		if err := t.Validate(); err != nil {
+			return fmt.Errorf("twod task %d: %w", i, err)
+		}
+		if t.W > w || t.H > h {
+			return fmt.Errorf("twod task %d: %dx%d exceeds device %dx%d", i, t.W, t.H, w, h)
+		}
+	}
+	return nil
+}
+
+// USFloat returns Σ Ci·Wi·Hi/Ti normalised to cell·utilization.
+func (s *Set) USFloat() float64 {
+	sum := 0.0
+	for _, t := range s.Tasks {
+		sum += t.C.Float() / t.T.Float() * float64(t.Area())
+	}
+	return sum
+}
+
+// Mode selects the execution model.
+type Mode int
+
+const (
+	// ModePlacement is the physical model: a job runs only if its
+	// rectangle is currently placeable (pinned until completion or
+	// preemption).
+	ModePlacement Mode = iota
+	// ModeCapacity ignores geometry: a job set runs iff its cell areas
+	// sum within the device, the direct lift of the paper's 1-D
+	// free-migration assumption. It upper-bounds every placement
+	// heuristic; the gap is the 2-D fragmentation cost.
+	ModeCapacity
+)
+
+// Packing selects the queue walk (NF skips misfits, FkF stops).
+type Packing int
+
+const (
+	// PackNF is EDF-NF generalised to 2-D.
+	PackNF Packing = iota
+	// PackFkF is EDF-FkF generalised to 2-D.
+	PackFkF
+)
+
+// Options configures a 2-D simulation.
+type Options struct {
+	// Horizon stops releases (0: min(200 units, ∞)).
+	Horizon timeunit.Time
+	// Mode is the execution model (default placement).
+	Mode Mode
+	// Packing is the queue walk (default NF).
+	Packing Packing
+	// Heuristic picks free rectangles in placement mode.
+	Heuristic Heuristic
+	// ContinueAfterMiss keeps going after misses.
+	ContinueAfterMiss bool
+	// MaxEvents guards against runaway runs (0: 1e6).
+	MaxEvents int
+}
+
+// Result summarises a 2-D run.
+type Result struct {
+	Missed        bool
+	Misses        int
+	FirstMissTime timeunit.Time
+	FirstMissTask int
+	Released      int
+	Completed     int
+	Events        int
+	FragDeferrals int
+	// MaxFragmentation is the worst external fragmentation observed at
+	// any scheduling event (placement mode).
+	MaxFragmentation float64
+}
+
+type job struct {
+	id        int64
+	taskIndex int
+	release   timeunit.Time
+	deadline  timeunit.Time
+	remaining timeunit.Time
+}
+
+// Simulate runs the 2-D taskset on a w×h device under preemptive
+// EDF-NF/EDF-FkF with the given execution model. Synchronous release.
+func Simulate(w, h int, s *Set, opts Options) (Result, error) {
+	if err := s.ValidateFor(w, h); err != nil {
+		return Result{}, err
+	}
+	horizon := opts.Horizon
+	if horizon <= 0 {
+		horizon = timeunit.FromUnits(200)
+	}
+	maxEvents := opts.MaxEvents
+	if maxEvents <= 0 {
+		maxEvents = 1_000_000
+	}
+
+	var res Result
+	layout := NewLayout(w, h)
+	nextRelease := make([]timeunit.Time, len(s.Tasks))
+	nextIndex := make([]int, len(s.Tasks))
+	var active []*job
+	var now timeunit.Time
+	var nextID int64
+
+	for {
+		if res.Events >= maxEvents {
+			return res, fmt.Errorf("twod: exceeded %d events at t=%v", maxEvents, now)
+		}
+		res.Events++
+
+		// Releases.
+		for i, tk := range s.Tasks {
+			for nextRelease[i] <= now && nextRelease[i] < horizon {
+				rel := nextRelease[i]
+				active = append(active, &job{
+					id: nextID, taskIndex: i,
+					release: rel, deadline: rel + tk.D, remaining: tk.C,
+				})
+				nextID++
+				nextIndex[i]++
+				nextRelease[i] = rel + tk.T
+				res.Released++
+			}
+		}
+		// Completions.
+		keep := active[:0]
+		for _, j := range active {
+			if j.remaining == 0 {
+				res.Completed++
+				layout.Remove(j.id)
+				continue
+			}
+			keep = append(keep, j)
+		}
+		active = keep
+		// Deadline misses.
+		keep = active[:0]
+		stop := false
+		for _, j := range active {
+			if j.deadline <= now && j.remaining > 0 {
+				if !res.Missed {
+					res.Missed = true
+					res.FirstMissTime = j.deadline
+					res.FirstMissTask = j.taskIndex
+				}
+				res.Misses++
+				layout.Remove(j.id)
+				if !opts.ContinueAfterMiss {
+					stop = true
+				}
+				continue
+			}
+			keep = append(keep, j)
+		}
+		active = keep
+		if stop {
+			return res, nil
+		}
+		if len(active) == 0 {
+			next := timeunit.MaxTime
+			for _, r := range nextRelease {
+				if r < horizon && r < next {
+					next = r
+				}
+			}
+			if next == timeunit.MaxTime {
+				return res, nil
+			}
+			now = next
+			continue
+		}
+
+		// EDF order.
+		sort.Slice(active, func(a, b int) bool {
+			ja, jb := active[a], active[b]
+			if ja.deadline != jb.deadline {
+				return ja.deadline < jb.deadline
+			}
+			if ja.release != jb.release {
+				return ja.release < jb.release
+			}
+			return ja.id < jb.id
+		})
+
+		// Selection + placement.
+		var running []*job
+		running, layout = selectJobs(s, layout, active, w, h, opts, &res)
+		if frag := layout.ExternalFragmentation(); frag > res.MaxFragmentation {
+			res.MaxFragmentation = frag
+		}
+
+		// Next event.
+		next := timeunit.MaxTime
+		for _, r := range nextRelease {
+			if r < horizon && r < next {
+				next = r
+			}
+		}
+		for _, j := range active {
+			if j.deadline > now && j.deadline < next {
+				next = j.deadline
+			}
+		}
+		for _, j := range running {
+			if done := now + j.remaining; done < next {
+				next = done
+			}
+		}
+		dt := next - now
+		for _, j := range running {
+			j.remaining -= dt
+		}
+		now = next
+	}
+}
+
+// selectJobs walks the EDF queue and builds the running set. Capacity
+// mode packs by total cell area. Placement mode builds a fresh
+// hypothetical layout in EDF order, giving preemptive semantics with
+// placement stickiness: an already-placed job re-asserts its existing
+// rectangle (no gratuitous migration), but loses it if an
+// earlier-deadline job's placement took the space; an unplaced job is
+// placed with the heuristic or — if only fragmentation blocks it —
+// deferred. The returned layout replaces the caller's.
+func selectJobs(s *Set, layout *Layout, active []*job, w, h int, opts Options, res *Result) ([]*job, *Layout) {
+	var running []*job
+	if opts.Mode == ModeCapacity {
+		usedArea := 0
+		total := w * h
+		for _, j := range active {
+			a := s.Tasks[j.taskIndex].Area()
+			if usedArea+a <= total {
+				usedArea += a
+				running = append(running, j)
+			} else if opts.Packing == PackFkF {
+				break
+			}
+		}
+		return running, layout
+	}
+	hyp := NewLayout(w, h)
+	for _, j := range active {
+		tk := s.Tasks[j.taskIndex]
+		kept := false
+		if r, placed := layout.RectOf(j.id); placed {
+			if hyp.PlaceAt(j.id, r) == nil {
+				kept = true // stays pinned at its rectangle
+			}
+		}
+		if !kept {
+			if _, ok := hyp.Place(j.id, tk.W, tk.H, opts.Heuristic); ok {
+				kept = true
+			} else if hyp.FreeArea() >= tk.Area() {
+				res.FragDeferrals++
+			}
+		}
+		if kept {
+			running = append(running, j)
+		} else if opts.Packing == PackFkF {
+			break
+		}
+	}
+	return running, hyp
+}
+
+// Profile generates random 2-D tasksets, mirroring the 1-D evaluation
+// distributions with square-ish rectangles.
+type Profile struct {
+	Name                 string
+	N                    int
+	SideMin, SideMax     int
+	PeriodMin, PeriodMax float64
+	UtilMin, UtilMax     float64
+}
+
+// Generate draws one 2-D taskset.
+func (p Profile) Generate(r *rand.Rand) *Set {
+	s := &Set{}
+	for i := 0; i < p.N; i++ {
+		period := timeunit.FromFloat(p.PeriodMin + r.Float64()*(p.PeriodMax-p.PeriodMin))
+		if period < 1 {
+			period = 1
+		}
+		c := timeunit.FromFloat(period.Float() * (p.UtilMin + r.Float64()*(p.UtilMax-p.UtilMin)))
+		if c < 1 {
+			c = 1
+		}
+		if c > period {
+			c = period
+		}
+		s.Tasks = append(s.Tasks, Task{
+			Name: fmt.Sprintf("t%d", i+1),
+			C:    c, D: period, T: period,
+			W: p.SideMin + r.IntN(p.SideMax-p.SideMin+1),
+			H: p.SideMin + r.IntN(p.SideMax-p.SideMin+1),
+		})
+	}
+	return s
+}

@@ -1,0 +1,358 @@
+package twod
+
+import (
+	"math/rand/v2"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"fpgasched/internal/timeunit"
+)
+
+func u(n int64) timeunit.Time { return timeunit.FromUnits(n) }
+
+func TestRectBasics(t *testing.T) {
+	r := Rect{X: 1, Y: 2, W: 3, H: 4}
+	if r.Area() != 12 {
+		t.Errorf("Area = %d", r.Area())
+	}
+	if !r.Overlaps(Rect{X: 3, Y: 5, W: 2, H: 2}) {
+		t.Error("overlapping rects reported disjoint")
+	}
+	if r.Overlaps(Rect{X: 4, Y: 2, W: 1, H: 1}) {
+		t.Error("touching rects are not overlapping")
+	}
+	if !r.Contains(Rect{X: 1, Y: 2, W: 1, H: 1}) {
+		t.Error("containment broken")
+	}
+	if r.String() != "3x4@(1,2)" {
+		t.Errorf("String = %q", r.String())
+	}
+}
+
+func TestLayoutPlaceBottomLeft(t *testing.T) {
+	l := NewLayout(10, 10)
+	r1, ok := l.Place(1, 4, 3, BottomLeft)
+	if !ok || r1 != (Rect{X: 0, Y: 0, W: 4, H: 3}) {
+		t.Fatalf("first placement %v %v", r1, ok)
+	}
+	r2, ok := l.Place(2, 6, 3, BottomLeft)
+	if !ok || r2.Y != 0 || r2.X != 4 {
+		t.Fatalf("second placement %v %v, want beside first at y=0", r2, ok)
+	}
+	if l.OccupiedArea() != 30 || l.FreeArea() != 70 {
+		t.Errorf("areas: occ=%d free=%d", l.OccupiedArea(), l.FreeArea())
+	}
+}
+
+func TestLayoutHeuristics(t *testing.T) {
+	// Occupy the bottom-left 8x8, leaving an L of width-2 strips: gaps
+	// 2x10 (right) and 10x2 (top). A 2x2 block:
+	//  - best-short-side prefers the tighter gap (both have short side 2;
+	//    tie-broken by the longer leftover — deterministic either way);
+	//  - bottom-left picks the lowest position: the right strip at y=0.
+	mk := func() *Layout {
+		l := NewLayout(10, 10)
+		if err := l.PlaceAt(99, Rect{X: 0, Y: 0, W: 8, H: 8}); err != nil {
+			t.Fatal(err)
+		}
+		return l
+	}
+	l := mk()
+	r, ok := l.Place(1, 2, 2, BottomLeft)
+	if !ok || r.Y != 0 || r.X != 8 {
+		t.Errorf("bottom-left chose %v, want (8,0)", r)
+	}
+	for _, heur := range []Heuristic{BestShortSideFit, BestAreaFit} {
+		l = mk()
+		if _, ok := l.Place(1, 2, 2, heur); !ok {
+			t.Errorf("%v failed to place", heur)
+		}
+	}
+}
+
+func TestLayoutPlaceFailures(t *testing.T) {
+	l := NewLayout(5, 5)
+	if _, ok := l.Place(1, 6, 1, BottomLeft); ok {
+		t.Error("wider than device must fail")
+	}
+	if _, ok := l.Place(1, 0, 1, BottomLeft); ok {
+		t.Error("empty rect must fail")
+	}
+	l.Place(1, 5, 5, BottomLeft)
+	if _, ok := l.Place(2, 1, 1, BottomLeft); ok {
+		t.Error("full device must fail")
+	}
+	if _, ok := l.Place(1, 1, 1, BottomLeft); ok {
+		t.Error("duplicate id must fail")
+	}
+}
+
+func TestLayoutRemoveRestoresSpace(t *testing.T) {
+	l := NewLayout(6, 6)
+	l.Place(1, 3, 3, BottomLeft)
+	l.Place(2, 3, 3, BottomLeft)
+	if !l.Remove(1) || l.Remove(1) {
+		t.Error("remove semantics broken")
+	}
+	if !l.CanPlace(3, 3) {
+		t.Error("freed space not reusable")
+	}
+	if _, ok := l.Place(3, 3, 3, BottomLeft); !ok {
+		t.Error("placement into freed space failed")
+	}
+}
+
+func TestFragmentationMetric(t *testing.T) {
+	l := NewLayout(10, 1) // degenerate 1-D strip for easy reasoning
+	l.PlaceAt(1, Rect{X: 4, Y: 0, W: 2, H: 1})
+	// Free: 4 cells left, 4 right; largest free rect = 4; frag = 1-4/8.
+	if got := l.ExternalFragmentation(); got != 0.5 {
+		t.Errorf("fragmentation = %v, want 0.5", got)
+	}
+	empty := NewLayout(4, 4)
+	if empty.ExternalFragmentation() != 0 {
+		t.Error("empty layout is unfragmented")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	l := NewLayout(4, 2)
+	l.PlaceAt(1, Rect{X: 0, Y: 0, W: 2, H: 2})
+	out := l.String()
+	if !strings.Contains(out, "AA..") {
+		t.Errorf("unexpected rendering:\n%s", out)
+	}
+}
+
+// TestLayoutInvariantsProperty drives random place/remove sequences and
+// validates: no overlap, bounds, free+occupied = total, maximal free
+// rects disjoint from placements and covering placeability truthfully.
+func TestLayoutInvariantsProperty(t *testing.T) {
+	f := func(seed uint64, opsRaw uint8) bool {
+		r := rand.New(rand.NewPCG(seed, 15))
+		l := NewLayout(12, 12)
+		live := map[int64]Rect{}
+		next := int64(1)
+		for op := 0; op < int(opsRaw)%50+10; op++ {
+			if r.IntN(3) < 2 {
+				id := next
+				next++
+				w, h := 1+r.IntN(6), 1+r.IntN(6)
+				if rect, ok := l.Place(id, w, h, Heuristic(r.IntN(3))); ok {
+					live[id] = rect
+				}
+			} else {
+				for id := range live {
+					l.Remove(id)
+					delete(live, id)
+					break
+				}
+			}
+			if !consistent(l, live) {
+				t.Logf("inconsistent after op %d:\n%s", op, l.String())
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func consistent(l *Layout, live map[int64]Rect) bool {
+	occ := 0
+	rects := make([]Rect, 0, len(live))
+	for id, want := range live {
+		got, ok := l.RectOf(id)
+		if !ok || got != want {
+			return false
+		}
+		if got.X < 0 || got.Y < 0 || got.X+got.W > l.Width() || got.Y+got.H > l.Height() {
+			return false
+		}
+		rects = append(rects, got)
+		occ += got.Area()
+	}
+	for i := range rects {
+		for j := i + 1; j < len(rects); j++ {
+			if rects[i].Overlaps(rects[j]) {
+				return false
+			}
+		}
+	}
+	if occ != l.OccupiedArea() || occ+l.FreeArea() != l.TotalArea() {
+		return false
+	}
+	// Every free rect must be disjoint from every placement.
+	for _, f := range l.free {
+		for _, p := range rects {
+			if f.Overlaps(p) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestSimSingleTask(t *testing.T) {
+	s := &Set{Tasks: []Task{{Name: "a", C: u(2), D: u(5), T: u(5), W: 3, H: 3}}}
+	res, err := Simulate(10, 10, s, Options{Horizon: u(20)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Missed || res.Completed != 4 {
+		t.Errorf("%+v", res)
+	}
+}
+
+func TestSimParallelRectangles(t *testing.T) {
+	// Four 5x5 blocks tile a 10x10 device exactly.
+	var tasks []Task
+	for i := 0; i < 4; i++ {
+		tasks = append(tasks, Task{C: u(3), D: u(5), T: u(5), W: 5, H: 5})
+	}
+	s := &Set{Tasks: tasks}
+	res, err := Simulate(10, 10, s, Options{Horizon: u(5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Missed {
+		t.Errorf("four quadrant tasks must all fit: %+v", res)
+	}
+}
+
+func TestSimGeometryBeatsArea(t *testing.T) {
+	// The paper's 2-D warning: enough free area is NOT enough. Two 6x6
+	// blocks have area 72 ≤ 100 but cannot coexist on 10x10 (6+6 > 10 in
+	// both axes), so capacity mode accepts while placement mode
+	// serializes them and the second misses its deadline.
+	s := &Set{Tasks: []Task{
+		{C: u(3), D: u(5), T: u(10), W: 6, H: 6},
+		{C: u(3), D: u(5), T: u(10), W: 6, H: 6},
+	}}
+	placed, err := Simulate(10, 10, s, Options{Horizon: u(10), Mode: ModePlacement})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !placed.Missed {
+		t.Error("placement mode must serialize the 6x6 blocks and miss")
+	}
+	if placed.FragDeferrals == 0 {
+		t.Error("the blocked job must be counted as a fragmentation deferral")
+	}
+	capacity, err := Simulate(10, 10, s, Options{Horizon: u(10), Mode: ModeCapacity})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capacity.Missed {
+		t.Error("capacity mode (area only) must accept — that is its blind spot")
+	}
+}
+
+func TestSimPreemptionEvictsLaterDeadline(t *testing.T) {
+	// A long-deadline hog occupies the device; a tight newcomer must
+	// preempt it (EDF), which the hypothetical-layout walk provides.
+	s := &Set{Tasks: []Task{
+		{Name: "hog", C: u(8), D: u(20), T: u(20), W: 10, H: 10},
+		{Name: "tight", C: u(2), D: u(6), T: u(20), W: 4, H: 4},
+	}}
+	res, err := Simulate(10, 10, s, Options{Horizon: u(20)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Missed {
+		t.Errorf("tight task must preempt the hog: %+v", res)
+	}
+}
+
+func TestSimNFVsFkF2D(t *testing.T) {
+	// 2-D analogue of the blocked-queue scenario: a wide middle job
+	// blocks FkF's walk while NF skips it.
+	s := &Set{Tasks: []Task{
+		{Name: "first", C: u(3), D: u(3), T: u(10), W: 6, H: 10},
+		{Name: "blocked", C: u(1), D: u(4), T: u(10), W: 6, H: 10},
+		{Name: "fits", C: u(3), D: u(5), T: u(10), W: 4, H: 10},
+	}}
+	nf, err := Simulate(10, 10, s, Options{Horizon: u(10), Packing: PackNF})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fkf, err := Simulate(10, 10, s, Options{Horizon: u(10), Packing: PackFkF})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nf.Missed {
+		t.Errorf("2-D NF should meet: %+v", nf)
+	}
+	if !fkf.Missed {
+		t.Error("2-D FkF must miss: the 6x10 job blocks the queue")
+	}
+}
+
+func TestSimValidation(t *testing.T) {
+	if _, err := Simulate(10, 10, &Set{}, Options{}); err == nil {
+		t.Error("empty set must fail")
+	}
+	bad := &Set{Tasks: []Task{{C: u(1), D: u(5), T: u(5), W: 11, H: 1}}}
+	if _, err := Simulate(10, 10, bad, Options{}); err == nil {
+		t.Error("oversized task must fail")
+	}
+	cd := &Set{Tasks: []Task{{C: u(6), D: u(5), T: u(5), W: 1, H: 1}}}
+	if _, err := Simulate(10, 10, cd, Options{}); err == nil {
+		t.Error("C>D must fail")
+	}
+}
+
+func TestCapacityModeUpperBoundsPlacement(t *testing.T) {
+	// Empirically, when capacity mode (area-only relaxation) misses,
+	// placement mode misses too. This is a heuristic relationship — the
+	// two greedy schedules diverge, so no dominance theorem exists — and
+	// the seed set is fixed to keep the check deterministic. A failure
+	// here means a genuine 2-D scheduling anomaly worth studying, not
+	// necessarily a bug.
+	for seed := uint64(1); seed <= 80; seed++ {
+		r := rand.New(rand.NewPCG(seed, 21))
+		p := Profile{N: 2 + r.IntN(5), SideMin: 2, SideMax: 6,
+			PeriodMin: 4, PeriodMax: 16, UtilMin: 0.1, UtilMax: 0.9}
+		s := p.Generate(r)
+		capRes, err := Simulate(10, 10, s, Options{Horizon: u(60), Mode: ModeCapacity, ContinueAfterMiss: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		plRes, err := Simulate(10, 10, s, Options{Horizon: u(60), Mode: ModePlacement, ContinueAfterMiss: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if capRes.Missed && !plRes.Missed {
+			t.Errorf("seed %d: capacity missed but placement met (2-D anomaly)\n%+v vs %+v",
+				seed, capRes, plRes)
+		}
+	}
+}
+
+func TestProfileGenerate(t *testing.T) {
+	p := Profile{Name: "x", N: 8, SideMin: 2, SideMax: 5,
+		PeriodMin: 5, PeriodMax: 20, UtilMin: 0.1, UtilMax: 0.5}
+	r := rand.New(rand.NewPCG(1, 2))
+	s := p.Generate(r)
+	if err := s.ValidateFor(10, 10); err != nil {
+		t.Fatal(err)
+	}
+	if s.USFloat() <= 0 {
+		t.Error("US must be positive")
+	}
+	for _, tk := range s.Tasks {
+		if tk.W < 2 || tk.W > 5 || tk.H < 2 || tk.H > 5 {
+			t.Errorf("side out of range: %dx%d", tk.W, tk.H)
+		}
+	}
+}
+
+func TestHeuristicString(t *testing.T) {
+	if BottomLeft.String() != "bottom-left" || BestShortSideFit.String() != "best-short-side" ||
+		BestAreaFit.String() != "best-area" || Heuristic(9).String() == "" {
+		t.Error("heuristic names broken")
+	}
+}
