@@ -1,0 +1,33 @@
+# Developer entry points; CI runs the same steps (.github/workflows/ci.yml).
+
+GO ?= go
+
+.PHONY: build test race bench serve fmt vet check clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchtime 100x -run XXX ./...
+
+serve: ## run the analysis daemon on :8080
+	$(GO) run ./cmd/fpgaschedd -addr :8080
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+check: vet build race
+	@test -z "$$(gofmt -l .)" || { echo "gofmt needed on:"; gofmt -l .; exit 1; }
+	$(GO) test ./internal/server/ -run TestWarmSpeedup -count=1
+
+clean:
+	$(GO) clean ./...

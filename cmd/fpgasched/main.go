@@ -134,34 +134,7 @@ func loadSet(path string) (*task.Set, error) {
 	}
 }
 
-// parseTests resolves the -tests argument.
+// parseTests resolves the -tests argument via the shared core registry.
 func parseTests(arg string) ([]core.Test, error) {
-	var out []core.Test
-	for _, name := range strings.Split(arg, ",") {
-		switch strings.ToLower(strings.TrimSpace(name)) {
-		case "dp":
-			out = append(out, core.DPTest{})
-		case "dp-real":
-			out = append(out, core.DPTest{RealValuedAlpha: true})
-		case "gn1":
-			out = append(out, core.GN1Test{})
-		case "gn1-dk":
-			out = append(out, core.GN1Test{Variant: core.GN1VariantBCL})
-		case "gn2":
-			out = append(out, core.GN2Test{})
-		case "gn2x":
-			out = append(out, core.GN2Test{Options: core.GN2Options{ExtendedLambdaSearch: true}})
-		case "any-nf":
-			out = append(out, core.ForNF())
-		case "any-fkf":
-			out = append(out, core.ForFkF())
-		case "":
-		default:
-			return nil, fmt.Errorf("unknown test %q", name)
-		}
-	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("no tests selected")
-	}
-	return out, nil
+	return core.TestsByName(strings.Split(arg, ","))
 }

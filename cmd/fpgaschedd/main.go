@@ -1,0 +1,131 @@
+// Command fpgaschedd serves the schedulability analyses, the simulator
+// and multi-tenant admission control as a JSON HTTP daemon.
+//
+// Usage:
+//
+//	fpgaschedd [-addr :8080] [-workers 8] [-cache 4096] [-max-body 1048576]
+//
+// Endpoints (see internal/server and DESIGN.md for payload shapes):
+//
+//	GET    /healthz
+//	GET    /metrics
+//	POST   /v1/analyze
+//	POST   /v1/simulate
+//	GET    /v1/controllers
+//	PUT    /v1/controllers/{name}
+//	DELETE /v1/controllers/{name}
+//	POST   /v1/controllers/{name}/admit
+//	DELETE /v1/controllers/{name}/tasks/{task}
+//	GET    /v1/controllers/{name}/resident
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM, draining in-flight
+// requests for up to the -drain timeout.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"fpgasched/internal/engine"
+	"fpgasched/internal/server"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], nil))
+}
+
+// run starts the daemon. If ready is non-nil it receives the bound
+// address once the listener is up (used by tests to avoid port races).
+func run(args []string, ready chan<- string) int {
+	fs := flag.NewFlagSet("fpgaschedd", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	workers := fs.Int("workers", engine.DefaultWorkers, "analysis worker pool size")
+	cache := fs.Int("cache", engine.DefaultCacheSize, "verdict cache entries (negative disables)")
+	maxBody := fs.Int64("max-body", server.DefaultMaxBodyBytes, "request body limit in bytes (negative disables)")
+	maxTasks := fs.Int("max-tasks", server.DefaultMaxTasks, "tasks per analysed/simulated set (negative disables)")
+	maxBatch := fs.Int("max-batch", server.DefaultMaxBatch, "taskset x test analyses per request (negative disables)")
+	maxControllers := fs.Int("max-controllers", server.DefaultMaxControllers, "named admission controllers (negative disables)")
+	maxSimHorizon := fs.Int64("max-sim-horizon", server.DefaultMaxSimHorizon, "simulation horizon limit in time units (negative disables)")
+	drain := fs.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	if *workers < 1 {
+		fmt.Fprintln(os.Stderr, "fpgaschedd: -workers must be at least 1")
+		return 2
+	}
+
+	srv := server.New(server.Config{
+		EngineConfig:   engine.Config{Workers: *workers, CacheSize: *cache},
+		MaxBodyBytes:   *maxBody,
+		MaxTasks:       *maxTasks,
+		MaxBatch:       *maxBatch,
+		MaxControllers: *maxControllers,
+		MaxSimHorizon:  *maxSimHorizon,
+	})
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fpgaschedd: %v\n", err)
+		return 1
+	}
+	// Read/Write/Idle timeouts complement the payload caps: size limits
+	// bound bytes, these bound time, so slow-trickle clients cannot pin
+	// a goroutine per connection indefinitely.
+	httpSrv := &http.Server{
+		Handler:           srv,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		// Generous: a max-tasks GN2 analysis can legitimately run for
+		// on the order of a minute; the analysis caps, not this, bound
+		// the work. This only cuts off stuck writers.
+		WriteTimeout: 5 * time.Minute,
+		IdleTimeout:  2 * time.Minute,
+	}
+
+	// Install the signal handler before announcing readiness: a
+	// supervisor may SIGTERM the moment it sees the ready signal, and
+	// that must drain, not kill.
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(stop)
+
+	log.Printf("fpgaschedd: serving on %s (workers=%d cache=%d)", ln.Addr(), *workers, *cache)
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	select {
+	case sig := <-stop:
+		log.Printf("fpgaschedd: %v, draining", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("fpgaschedd: shutdown: %v", err)
+			return 1
+		}
+		return 0
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "fpgaschedd: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+}

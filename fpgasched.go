@@ -27,6 +27,7 @@ package fpgasched
 
 import (
 	"fpgasched/internal/core"
+	"fpgasched/internal/engine"
 	"fpgasched/internal/sched"
 	"fpgasched/internal/sim"
 	"fpgasched/internal/task"
@@ -155,3 +156,36 @@ func PaperTable2() *TaskSet { return workload.Table2() }
 
 // PaperTable3 returns the Table 3 taskset; see PaperTable1.
 func PaperTable3() *TaskSet { return workload.Table3() }
+
+// TestByName resolves a test identifier ("DP", "GN1", "GN2", "GN2x",
+// "any-nf", ...) to a Test; it is the registry shared by the fpgasched
+// CLI and the fpgaschedd server.
+func TestByName(name string) (Test, error) { return core.TestByName(name) }
+
+// TestNames lists the identifiers TestByName accepts.
+func TestNames() []string { return core.TestNames() }
+
+// TasksetFingerprint is a canonical digest of a taskset's
+// analysis-relevant content: equal iff the multisets of (C, D, T, A)
+// tuples are equal, independent of task order and names. It is the
+// memoization key used by the analysis Engine.
+type TasksetFingerprint = task.Fingerprint
+
+// Engine is a concurrency-safe memoizing analysis service: a bounded
+// worker pool over the schedulability tests with verdict memoization
+// keyed by taskset fingerprint. It backs the fpgaschedd daemon and is
+// re-exported for embedding the same serving behaviour in-process.
+type Engine = engine.Engine
+
+// EngineConfig sizes an Engine (worker pool and verdict cache).
+type EngineConfig = engine.Config
+
+// EngineStats is a snapshot of an Engine's cache and latency counters.
+type EngineStats = engine.Stats
+
+// AnalysisRequest names one engine analysis: a taskset against a device
+// under a test.
+type AnalysisRequest = engine.Request
+
+// NewEngine returns an Engine; the zero Config gives sensible defaults.
+func NewEngine(cfg EngineConfig) *Engine { return engine.New(cfg) }

@@ -1,0 +1,3 @@
+module fpgasched
+
+go 1.24

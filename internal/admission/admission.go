@@ -121,11 +121,12 @@ func (c *Controller) Release(name string) bool {
 	next.Tasks = append(next.Tasks, c.resident.Tasks[:idx]...)
 	next.Tasks = append(next.Tasks, c.resident.Tasks[idx+1:]...)
 	c.resident = next
-	delete(c.byName, name)
-	for n, i := range c.byName {
-		if i > idx {
-			c.byName[n] = i - 1
-		}
+	// Rebuild the name index from the surviving slice rather than
+	// decrementing entries in place: the index can then never drift from
+	// the slice, whatever sequence of admissions and releases preceded.
+	c.byName = make(map[string]int, len(next.Tasks))
+	for i, t := range next.Tasks {
+		c.byName[t.Name] = i
 	}
 	return true
 }

@@ -107,6 +107,85 @@ func TestReleaseReindexes(t *testing.T) {
 	}
 }
 
+func TestReleaseRemovesTheNamedTask(t *testing.T) {
+	// Regression test for Release's index bookkeeping: after arbitrary
+	// interleavings of admissions and releases, releasing a name must
+	// remove exactly that task (not a neighbour whose index drifted).
+	c, _ := NewNFController(1000)
+	admit := func(name string, area int) {
+		t.Helper()
+		if d := c.Request(task.New(name, "1", "1000", "1000", area)); !d.Admitted {
+			t.Fatalf("%s: %+v", name, d)
+		}
+	}
+	admit("a", 1)
+	admit("b", 2)
+	admit("c", 3)
+	admit("d", 4)
+	c.Release("b") // middle removal shifts c and d down
+	admit("e", 5)  // new admission reuses the freed tail index
+	c.Release("c") // must remove the area-3 task, not a shifted neighbour
+	want := map[string]int{"a": 1, "d": 4, "e": 5}
+	resident := c.Resident()
+	if resident.Len() != len(want) {
+		t.Fatalf("resident = %v", resident)
+	}
+	for _, tk := range resident.Tasks {
+		if want[tk.Name] != tk.A {
+			t.Errorf("task %q has area %d, want %d", tk.Name, tk.A, want[tk.Name])
+		}
+	}
+	// Every survivor must still release by name.
+	for name := range want {
+		if !c.Release(name) {
+			t.Errorf("release %s failed", name)
+		}
+	}
+	if c.Len() != 0 {
+		t.Errorf("resident = %d, want 0", c.Len())
+	}
+}
+
+func TestConcurrentRequestReleaseResident(t *testing.T) {
+	// -race hammer for the documented concurrency safety: goroutines
+	// admit, release and snapshot simultaneously; afterwards the
+	// controller must be internally consistent (every resident task
+	// releasable exactly once).
+	c, _ := NewNFController(1000)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				name := fmt.Sprintf("h%d-%d", g, i)
+				d := c.Request(task.New(name, "1", "100", "100", 1+i%7))
+				switch {
+				case d.Admitted && i%3 == 0:
+					if !c.Release(name) {
+						t.Errorf("release %s failed right after admission", name)
+					}
+				case i%5 == 0:
+					// Snapshot and derived metrics race against writers.
+					_ = c.Resident()
+					_ = c.Len()
+					_ = c.Utilization()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	resident := c.Resident()
+	for _, tk := range resident.Tasks {
+		if !c.Release(tk.Name) {
+			t.Errorf("resident task %q not releasable", tk.Name)
+		}
+	}
+	if c.Len() != 0 {
+		t.Errorf("len = %d after releasing all residents", c.Len())
+	}
+}
+
 func TestResidentIsACopy(t *testing.T) {
 	c, _ := NewNFController(10)
 	c.Request(task.New("a", "1", "10", "10", 2))

@@ -68,12 +68,27 @@ type GN2Test struct {
 	Options GN2Options
 }
 
-// Name implements Test.
-func (g GN2Test) Name() string { return "GN2" }
+// Name implements Test. Each option flag contributes a suffix so every
+// distinct configuration carries a distinct name — the engine's verdict
+// cache keys on Name(), so two configurations sharing one name would
+// unsoundly share cached verdicts.
+func (g GN2Test) Name() string {
+	name := "GN2"
+	if g.Options.ExtendedLambdaSearch {
+		name += "x"
+	}
+	if g.Options.CondTwoNonStrict {
+		name += "-le"
+	}
+	if g.Options.CaseTwoBaker {
+		name += "-baker"
+	}
+	return name
+}
 
 // Analyze implements Test.
 func (g GN2Test) Analyze(dev Device, s *task.Set) Verdict {
-	const name = "GN2"
+	name := g.Name()
 	if v, ok := precheck(name, dev, s); !ok {
 		return v
 	}

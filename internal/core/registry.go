@@ -1,0 +1,78 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// registry is the single table behind TestByName and TestNames, so the
+// resolvable identifiers and the advertised ones cannot drift. Matching
+// is case-insensitive; the listed spelling is canonical.
+var registry = []struct {
+	name  string
+	build func() Test
+}{
+	{"DP", func() Test { return DPTest{} }},
+	{"DP-real", func() Test { return DPTest{RealValuedAlpha: true} }},
+	{"GN1", func() Test { return GN1Test{} }},
+	{"GN1-Dk", func() Test { return GN1Test{Variant: GN1VariantBCL} }},
+	{"GN2", func() Test { return GN2Test{} }},
+	{"GN2x", func() Test { return GN2Test{Options: GN2Options{ExtendedLambdaSearch: true}} }},
+	{"any-nf", func() Test { return ForNF() }},
+	{"any-fkf", func() Test { return ForFkF() }},
+}
+
+// TestByName resolves a test identifier to a Test. Identifiers are
+// case-insensitive and match the fpgasched CLI's -tests vocabulary:
+//
+//	DP      Theorem 1 (corrected integer-area Danne–Platzner bound)
+//	DP-real Theorem 1 with the original real-valued α
+//	GN1     Theorem 2 (EDF-NF only)
+//	GN1-Dk  Theorem 2 with BCL window normalisation
+//	GN2     Theorem 3
+//	GN2x    Theorem 3 with the extended λ candidate search
+//	any-nf  composite of all tests valid under EDF-NF
+//	any-fkf composite of the tests valid under EDF-FkF
+//
+// It is the single registry shared by the CLI and the analysis server, so
+// wire names stay in lockstep.
+func TestByName(name string) (Test, error) {
+	n := strings.TrimSpace(name)
+	for _, e := range registry {
+		if strings.EqualFold(e.name, n) {
+			return e.build(), nil
+		}
+	}
+	return nil, fmt.Errorf("unknown test %q (known: %s)", name, strings.Join(TestNames(), ", "))
+}
+
+// TestNames lists the identifiers TestByName accepts, sorted.
+func TestNames() []string {
+	names := make([]string, len(registry))
+	for i, e := range registry {
+		names[i] = e.name
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TestsByName resolves a list of identifiers, skipping blank entries and
+// rejecting an empty result.
+func TestsByName(names []string) ([]Test, error) {
+	var out []Test
+	for _, n := range names {
+		if strings.TrimSpace(n) == "" {
+			continue
+		}
+		t, err := TestByName(n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no tests selected")
+	}
+	return out, nil
+}

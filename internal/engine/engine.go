@@ -1,0 +1,426 @@
+// Package engine wraps the pure schedulability tests of internal/core in
+// a concurrency-safe serving engine: a bounded worker pool so a flood of
+// requests cannot spawn unbounded analysis goroutines, verdict
+// memoization keyed by the canonical taskset fingerprint (internal/task),
+// and coalescing of concurrent identical requests so a thundering herd on
+// one taskset performs the analysis once.
+//
+// The memoization is sound because every core.Test is a pure function of
+// (device, taskset) and every analysis-relevant bit of the taskset is
+// covered by task.Set.Fingerprint: task order and names are provably
+// irrelevant to the verdicts (order-independence is property-tested in
+// core). The cache key therefore is (test name, device columns,
+// fingerprint).
+//
+// Because permuted copies of a taskset share one cache entry, the engine
+// analyses the set in its canonical (fingerprint) order and remaps the
+// index-bearing verdict fields — FailingTask and Checks[].TaskIndex —
+// back to each caller's task order on every return, so two clients
+// sending the same set in different orders each see indices that are
+// correct for *their* ordering. Free-text Reason strings are produced
+// once, from the canonically ordered set of whichever request ran the
+// analysis, so any task index or name embedded in them reflects that
+// canonical ordering. Returned verdicts share the cached *big.Rat values
+// inside Checks and must treat them as read-only.
+package engine
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fpgasched/internal/core"
+	"fpgasched/internal/task"
+)
+
+// Config sizes an Engine. The zero value is usable: DefaultWorkers
+// workers and DefaultCacheSize cache entries.
+type Config struct {
+	// Workers bounds the number of concurrently executing analyses.
+	Workers int
+	// CacheSize bounds the number of memoized verdicts; 0 means
+	// DefaultCacheSize, negative disables caching entirely.
+	CacheSize int
+}
+
+// Defaults for Config zero values.
+const (
+	DefaultWorkers   = 8
+	DefaultCacheSize = 4096
+)
+
+// Stats is a point-in-time snapshot of the engine's counters.
+type Stats struct {
+	// Hits, Misses and Evictions count cache events. A coalesced request
+	// (one that waited on an identical in-flight analysis) counts as a
+	// hit: the verdict was served without running a test.
+	Hits, Misses, Evictions uint64
+	// Analyses counts test executions actually performed.
+	Analyses uint64
+	// AnalysisNanos is the cumulative wall time of those executions.
+	AnalysisNanos uint64
+	// CacheLen and CacheCap describe the memoization cache occupancy.
+	CacheLen, CacheCap int
+	// Workers is the configured pool size.
+	Workers int
+}
+
+// Request names one analysis: a taskset against a device under a test.
+type Request struct {
+	// Columns is the device area A(H).
+	Columns int
+	// Set is the taskset; the engine never mutates it.
+	Set *task.Set
+	// Test is the schedulability test to run. Its Name() participates in
+	// the cache key, so distinct configurations must carry distinct
+	// names (all core test variants do).
+	Test core.Test
+	// OmitChecks drops the per-task bound checks from the returned
+	// verdict. Callers that only need the verdict summary (the server's
+	// detail=false path) save the per-request check remapping; the
+	// cached entry is unaffected, so detail and non-detail requests
+	// still share it. FailingTask is remapped either way.
+	OmitChecks bool
+}
+
+// ErrClosed is returned by Analyze after Close.
+var ErrClosed = errors.New("engine: closed")
+
+// Engine is a concurrency-safe memoizing analysis service. Create with
+// New; the zero value is not usable.
+type Engine struct {
+	sem    chan struct{} // worker pool: acquire to run an analysis
+	closed chan struct{}
+
+	mu       sync.Mutex
+	cache    *lru
+	inflight map[cacheKey]*call
+
+	stats struct {
+		sync.Mutex
+		hits, misses, evictions uint64
+		analyses, nanos         uint64
+	}
+}
+
+// call is one in-flight analysis that identical requests wait on.
+type call struct {
+	done    chan struct{}
+	verdict core.Verdict
+	err     error
+}
+
+// New returns an Engine with the given configuration.
+func New(cfg Config) *Engine {
+	if cfg.Workers <= 0 {
+		cfg.Workers = DefaultWorkers
+	}
+	var cache *lru
+	if cfg.CacheSize >= 0 {
+		size := cfg.CacheSize
+		if size == 0 {
+			size = DefaultCacheSize
+		}
+		cache = newLRU(size)
+	}
+	return &Engine{
+		sem:      make(chan struct{}, cfg.Workers),
+		closed:   make(chan struct{}),
+		cache:    cache,
+		inflight: make(map[cacheKey]*call),
+	}
+}
+
+// Close shuts the engine down. Analyses already running complete;
+// subsequent Analyze calls return ErrClosed. Close is idempotent.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	select {
+	case <-e.closed:
+	default:
+		close(e.closed)
+	}
+}
+
+// cacheKey is the comparable memoization key: (test name, device
+// columns, taskset fingerprint). A struct key keeps the hot (cache-hit)
+// path free of formatting and string allocation.
+type cacheKey struct {
+	test    string
+	columns int
+	fp      task.Fingerprint
+}
+
+// key builds the memoization key for a request, reusing the caller's
+// canonical permutation so the set is sorted only once per Analyze.
+func key(r Request, perm []int) cacheKey {
+	return cacheKey{test: r.Test.Name(), columns: r.Columns, fp: r.Set.FingerprintFromPerm(perm)}
+}
+
+// remapVerdict translates a canonical-order verdict into the caller's
+// task order: Checks are re-attributed and re-sorted, and FailingTask
+// becomes the caller's first failing task (falling back to the direct
+// index translation when no per-task checks are available). The Checks'
+// *big.Rat values stay shared with the cached verdict. With omitChecks
+// the copy and sort are skipped and Checks dropped; FailingTask is
+// still the caller's lowest failing index.
+func remapVerdict(v core.Verdict, perm []int, omitChecks bool) core.Verdict {
+	out := v
+	if omitChecks {
+		out.Checks = nil
+		if v.FailingTask >= 0 && v.FailingTask < len(perm) {
+			ft := perm[v.FailingTask]
+			for _, chk := range v.Checks {
+				if !chk.Satisfied && chk.TaskIndex >= 0 && chk.TaskIndex < len(perm) && perm[chk.TaskIndex] < ft {
+					ft = perm[chk.TaskIndex]
+				}
+			}
+			out.FailingTask = ft
+		}
+		return out
+	}
+	if len(v.Checks) > 0 {
+		out.Checks = make([]core.BoundCheck, len(v.Checks))
+		for i, chk := range v.Checks {
+			if chk.TaskIndex >= 0 && chk.TaskIndex < len(perm) {
+				chk.TaskIndex = perm[chk.TaskIndex]
+			}
+			out.Checks[i] = chk
+		}
+		sort.Slice(out.Checks, func(i, j int) bool {
+			return out.Checks[i].TaskIndex < out.Checks[j].TaskIndex
+		})
+	}
+	if v.FailingTask >= 0 && v.FailingTask < len(perm) {
+		out.FailingTask = perm[v.FailingTask]
+		for _, chk := range out.Checks {
+			if !chk.Satisfied {
+				out.FailingTask = chk.TaskIndex
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Analyze runs (or recalls) one analysis. It blocks until a worker slot
+// is free, the verdict is cached, or an identical request already in
+// flight completes. The returned Verdict is shared with other callers of
+// the same key and must be treated as read-only.
+func (e *Engine) Analyze(r Request) (core.Verdict, error) {
+	if r.Test == nil {
+		return core.Verdict{}, errors.New("engine: nil test")
+	}
+	if r.Set == nil {
+		return core.Verdict{}, errors.New("engine: nil taskset")
+	}
+	select {
+	case <-e.closed:
+		return core.Verdict{}, ErrClosed
+	default:
+	}
+	perm := r.Set.CanonicalPerm()
+	k := key(r, perm)
+
+	e.mu.Lock()
+	if e.cache != nil {
+		if v, ok := e.cache.get(k); ok {
+			e.mu.Unlock()
+			e.countHit()
+			return remapVerdict(v, perm, r.OmitChecks), nil
+		}
+	}
+	if c, ok := e.inflight[k]; ok {
+		e.mu.Unlock()
+		<-c.done
+		if c.err != nil {
+			return core.Verdict{}, c.err
+		}
+		e.countHit()
+		return remapVerdict(c.verdict, perm, r.OmitChecks), nil
+	}
+	c := &call{done: make(chan struct{})}
+	e.inflight[k] = c
+	e.mu.Unlock()
+	e.countMiss()
+
+	// This goroutine owns the call: run the analysis in a pool slot,
+	// publish, then unblock waiters.
+	select {
+	case e.sem <- struct{}{}:
+	case <-e.closed:
+		c.err = ErrClosed
+		e.mu.Lock()
+		delete(e.inflight, k)
+		e.mu.Unlock()
+		close(c.done)
+		return core.Verdict{}, ErrClosed
+	}
+	// Analyze the canonically ordered copy so the cached verdict's
+	// indices mean the same thing to every permutation of this set.
+	canon := &task.Set{Tasks: make([]task.Task, len(perm))}
+	for c, orig := range perm {
+		canon.Tasks[c] = r.Set.Tasks[orig]
+	}
+	start := time.Now()
+	v, runErr := e.runAnalysis(r, canon)
+	elapsed := time.Since(start)
+	if runErr != nil {
+		// The test panicked: release waiters with the error (never a
+		// hang) and cache nothing.
+		c.err = runErr
+		e.mu.Lock()
+		delete(e.inflight, k)
+		e.mu.Unlock()
+		close(c.done)
+		return core.Verdict{}, runErr
+	}
+
+	e.stats.Lock()
+	e.stats.analyses++
+	e.stats.nanos += uint64(elapsed.Nanoseconds())
+	e.stats.Unlock()
+
+	c.verdict = v
+	e.mu.Lock()
+	if e.cache != nil {
+		if e.cache.add(k, v) {
+			e.stats.Lock()
+			e.stats.evictions++
+			e.stats.Unlock()
+		}
+	}
+	delete(e.inflight, k)
+	e.mu.Unlock()
+	close(c.done)
+	return remapVerdict(v, perm, r.OmitChecks), nil
+}
+
+// AnalyzeAll fans a batch of requests across the worker pool and returns
+// the verdicts in request order. At most Workers goroutines are spawned
+// regardless of batch size (a huge batch must not allocate a goroutine
+// per element just to queue on the pool semaphore). Errors (only
+// possible from nil fields or Close) are joined and returned with the
+// partial results; verdicts at error positions are zero.
+func (e *Engine) AnalyzeAll(reqs []Request) ([]core.Verdict, error) {
+	out := make([]core.Verdict, len(reqs))
+	errs := make([]error, len(reqs))
+	workers := cap(e.sem)
+	if workers > len(reqs) {
+		workers = len(reqs)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(reqs) {
+					return
+				}
+				out[i], errs[i] = e.Analyze(reqs[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out, errors.Join(errs...)
+}
+
+// runAnalysis executes the test inside a worker slot (already acquired
+// by the caller), guaranteeing the slot is released and converting a
+// test panic into an error so no waiter or slot is ever leaked.
+func (e *Engine) runAnalysis(r Request, canon *task.Set) (v core.Verdict, err error) {
+	defer func() { <-e.sem }()
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("engine: test %q panicked: %v", r.Test.Name(), p)
+		}
+	}()
+	return r.Test.Analyze(core.NewDevice(r.Columns), canon), nil
+}
+
+// Stats returns a snapshot of the engine counters.
+func (e *Engine) Stats() Stats {
+	e.stats.Lock()
+	s := Stats{
+		Hits:          e.stats.hits,
+		Misses:        e.stats.misses,
+		Evictions:     e.stats.evictions,
+		Analyses:      e.stats.analyses,
+		AnalysisNanos: e.stats.nanos,
+		Workers:       cap(e.sem),
+	}
+	e.stats.Unlock()
+	e.mu.Lock()
+	if e.cache != nil {
+		s.CacheLen = e.cache.len()
+		s.CacheCap = e.cache.cap
+	}
+	e.mu.Unlock()
+	return s
+}
+
+func (e *Engine) countHit() {
+	e.stats.Lock()
+	e.stats.hits++
+	e.stats.Unlock()
+}
+
+func (e *Engine) countMiss() {
+	e.stats.Lock()
+	e.stats.misses++
+	e.stats.Unlock()
+}
+
+// lru is a fixed-capacity least-recently-used verdict cache. Not safe for
+// concurrent use; the Engine serialises access under its mutex.
+type lru struct {
+	cap   int
+	order *list.List // front = most recent; values are *entry
+	byKey map[cacheKey]*list.Element
+}
+
+type entry struct {
+	key     cacheKey
+	verdict core.Verdict
+}
+
+func newLRU(capacity int) *lru {
+	return &lru{cap: capacity, order: list.New(), byKey: make(map[cacheKey]*list.Element)}
+}
+
+func (c *lru) len() int { return c.order.Len() }
+
+func (c *lru) get(k cacheKey) (core.Verdict, bool) {
+	el, ok := c.byKey[k]
+	if !ok {
+		return core.Verdict{}, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*entry).verdict, true
+}
+
+// add inserts (or refreshes) a key and reports whether an eviction
+// occurred.
+func (c *lru) add(k cacheKey, v core.Verdict) (evicted bool) {
+	if el, ok := c.byKey[k]; ok {
+		el.Value.(*entry).verdict = v
+		c.order.MoveToFront(el)
+		return false
+	}
+	c.byKey[k] = c.order.PushFront(&entry{key: k, verdict: v})
+	if c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*entry).key)
+		return true
+	}
+	return false
+}

@@ -1,0 +1,474 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"fpgasched/internal/core"
+	"fpgasched/internal/task"
+	"fpgasched/internal/workload"
+)
+
+func table3() *task.Set { return workload.Table3() }
+
+// permute returns a copy of s with tasks in a rotated order.
+func permute(s *task.Set, by int) *task.Set {
+	out := s.Clone()
+	n := len(out.Tasks)
+	rot := make([]task.Task, 0, n)
+	for i := 0; i < n; i++ {
+		rot = append(rot, out.Tasks[(i+by)%n])
+	}
+	out.Tasks = rot
+	return out
+}
+
+func TestCacheHitOnPermutedEqualSets(t *testing.T) {
+	e := New(Config{Workers: 2, CacheSize: 16})
+	defer e.Close()
+	s := table3()
+	v1, err := e.Analyze(Request{Columns: 10, Set: s, Test: core.GN2Test{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for by := 1; by < s.Len(); by++ {
+		v2, err := e.Analyze(Request{Columns: 10, Set: permute(s, by), Test: core.GN2Test{}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v2.Schedulable != v1.Schedulable {
+			t.Fatalf("permutation %d changed the verdict", by)
+		}
+	}
+	st := e.Stats()
+	if st.Misses != 1 {
+		t.Errorf("misses = %d, want 1 (only the first request analyses)", st.Misses)
+	}
+	if st.Hits != uint64(s.Len()-1) {
+		t.Errorf("hits = %d, want %d", st.Hits, s.Len()-1)
+	}
+	if st.Analyses != 1 {
+		t.Errorf("analyses = %d, want 1", st.Analyses)
+	}
+}
+
+func TestCacheMissOnDifferentDeviceWidth(t *testing.T) {
+	e := New(Config{Workers: 2, CacheSize: 16})
+	defer e.Close()
+	s := table3()
+	if _, err := e.Analyze(Request{Columns: 10, Set: s, Test: core.GN2Test{}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Analyze(Request{Columns: 11, Set: s, Test: core.GN2Test{}}); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Stats(); st.Misses != 2 || st.Hits != 0 {
+		t.Errorf("stats = %+v, want 2 misses 0 hits (width is part of the key)", st)
+	}
+}
+
+func TestCacheMissOnDifferentTest(t *testing.T) {
+	e := New(Config{Workers: 2, CacheSize: 16})
+	defer e.Close()
+	s := table3()
+	for _, test := range []core.Test{core.DPTest{}, core.GN1Test{}, core.GN2Test{}} {
+		if _, err := e.Analyze(Request{Columns: 10, Set: s, Test: test}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := e.Stats(); st.Misses != 3 {
+		t.Errorf("misses = %d, want 3 (test name is part of the key)", st.Misses)
+	}
+}
+
+func TestVerdictsMatchDirectAnalysis(t *testing.T) {
+	e := New(Config{Workers: 4, CacheSize: 64})
+	defer e.Close()
+	dev := core.NewDevice(10)
+	for _, s := range []*task.Set{workload.Table1(), workload.Table2(), workload.Table3()} {
+		for _, test := range []core.Test{core.DPTest{}, core.GN1Test{}, core.GN2Test{}} {
+			want := test.Analyze(dev, s)
+			got, err := e.Analyze(Request{Columns: 10, Set: s, Test: test})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Schedulable != want.Schedulable {
+				t.Errorf("%s: engine verdict %+v, direct %+v", test.Name(), got, want)
+			}
+			// The engine analyses in canonical order and remaps the
+			// failing index back to the caller's order; the task it
+			// names must be one the direct analysis also rejects.
+			if !want.Schedulable && got.FailingTask >= 0 {
+				direct := map[int]bool{}
+				for _, chk := range want.Checks {
+					if !chk.Satisfied {
+						direct[chk.TaskIndex] = true
+					}
+				}
+				if len(direct) > 0 && !direct[got.FailingTask] {
+					t.Errorf("%s: remapped failing task %d is not failing in direct analysis (%v)",
+						test.Name(), got.FailingTask, direct)
+				}
+			}
+		}
+	}
+}
+
+func TestAnalyzeAllEqualsSequential(t *testing.T) {
+	// Batch over distinct random sets with caching off: results must be
+	// identical (position by position) to sequential Analyze calls.
+	e := New(Config{Workers: 4, CacheSize: -1})
+	defer e.Close()
+	r := workload.Rand(42)
+	prof := workload.Unconstrained(6)
+	var reqs []Request
+	for i := 0; i < 24; i++ {
+		s := prof.Generate(r)
+		test := []core.Test{core.DPTest{}, core.GN1Test{}, core.GN2Test{}}[i%3]
+		reqs = append(reqs, Request{Columns: 100, Set: s, Test: test})
+	}
+	batch, err := e.AnalyzeAll(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range reqs {
+		want := r.Test.Analyze(core.NewDevice(r.Columns), r.Set)
+		if batch[i].Schedulable != want.Schedulable || batch[i].Test != want.Test {
+			t.Errorf("request %d: batch %v, sequential %v", i, batch[i], want)
+		}
+	}
+}
+
+func TestCachedVerdictIndicesFollowCallerOrder(t *testing.T) {
+	// Regression: the cache is keyed order-independently, so the verdict
+	// served to a permuted requester must have FailingTask and
+	// Checks[].TaskIndex remapped to *that* requester's ordering, not
+	// the ordering that first populated the cache.
+	e := New(Config{Workers: 1, CacheSize: 16})
+	defer e.Close()
+	// Under DP (RHS = Abnd·(1−UT) + US(τk)) the heavy wide task meets
+	// its own bound (8.3 ≥ US=8.15) while the light narrow task's bound
+	// fails (1.95 < 8.15) — so "light" is the failing task, at whichever
+	// position the caller put it.
+	light := task.New("light", "0.5", "10", "10", 1)
+	heavy := task.New("heavy", "9.0", "10", "10", 9)
+	for _, order := range [][]task.Task{{heavy, light}, {light, heavy}} {
+		s := task.NewSet(order...)
+		v, err := e.Analyze(Request{Columns: 10, Set: s, Test: core.DPTest{}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Schedulable {
+			t.Fatal("set must be rejected")
+		}
+		wantIdx := 0
+		if order[0].Name == "heavy" {
+			wantIdx = 1
+		}
+		if v.FailingTask != wantIdx {
+			t.Errorf("order %q first: failing_task = %d, want %d (light's index)", order[0].Name, v.FailingTask, wantIdx)
+		}
+		for j, chk := range v.Checks {
+			if chk.TaskIndex != j {
+				t.Errorf("order %q first: checks[%d].TaskIndex = %d, want %d", order[0].Name, j, chk.TaskIndex, j)
+			}
+		}
+		if v.Checks[wantIdx].Satisfied || !v.Checks[1-wantIdx].Satisfied {
+			t.Errorf("order %q first: check satisfaction not remapped (light=%v heavy=%v)",
+				order[0].Name, v.Checks[wantIdx].Satisfied, v.Checks[1-wantIdx].Satisfied)
+		}
+	}
+	if st := e.Stats(); st.Analyses != 1 {
+		t.Errorf("analyses = %d, want 1 (both orders share the cache entry)", st.Analyses)
+	}
+}
+
+func TestAnalyzeAllBoundsGoroutines(t *testing.T) {
+	// A huge batch must not spawn a goroutine per element: the fan-out
+	// is capped at the pool size. Sample the goroutine count while a
+	// 2000-element batch drains through a 2-worker pool.
+	e := New(Config{Workers: 2, CacheSize: -1})
+	defer e.Close()
+	s := table3()
+	reqs := make([]Request, 2000)
+	for i := range reqs {
+		reqs[i] = Request{Columns: 10 + i%5, Set: s, Test: core.DPTest{}}
+	}
+	before := runtime.NumGoroutine()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, err := e.AnalyzeAll(reqs); err != nil {
+			t.Error(err)
+		}
+	}()
+	peak := 0
+	for sampling := true; sampling; {
+		select {
+		case <-done:
+			sampling = false
+		default:
+			if n := runtime.NumGoroutine(); n > peak {
+				peak = n
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	// Pre-fix this peaked near before+2000; the bound is workers plus
+	// a small constant for runtime/test goroutines.
+	if peak > before+50 {
+		t.Errorf("goroutine peak %d (baseline %d): batch fan-out is not bounded", peak, before)
+	}
+}
+
+func TestCachingDisabled(t *testing.T) {
+	e := New(Config{Workers: 2, CacheSize: -1})
+	defer e.Close()
+	s := table3()
+	for i := 0; i < 3; i++ {
+		if _, err := e.Analyze(Request{Columns: 10, Set: s, Test: core.DPTest{}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := e.Stats(); st.Analyses != 3 || st.Hits != 0 || st.CacheCap != 0 {
+		t.Errorf("stats = %+v, want 3 analyses and no cache", st)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	e := New(Config{Workers: 1, CacheSize: 2})
+	defer e.Close()
+	s := table3()
+	for cols := 10; cols < 14; cols++ { // 4 distinct keys through a 2-entry cache
+		if _, err := e.Analyze(Request{Columns: cols, Set: s, Test: core.DPTest{}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := e.Stats()
+	if st.Evictions != 2 {
+		t.Errorf("evictions = %d, want 2", st.Evictions)
+	}
+	if st.CacheLen != 2 {
+		t.Errorf("cache len = %d, want 2", st.CacheLen)
+	}
+	// Oldest entry (10) evicted: analysing it again is a miss; the
+	// newest (13) is still a hit.
+	if _, err := e.Analyze(Request{Columns: 13, Set: s, Test: core.DPTest{}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Stats().Hits; got != st.Hits+1 {
+		t.Errorf("hits = %d, want %d (13 must still be cached)", got, st.Hits+1)
+	}
+	if _, err := e.Analyze(Request{Columns: 10, Set: s, Test: core.DPTest{}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Stats().Misses; got != st.Misses+1 {
+		t.Errorf("misses = %d, want %d (10 must have been evicted)", got, st.Misses+1)
+	}
+}
+
+func TestConcurrentIdenticalRequestsCoalesce(t *testing.T) {
+	e := New(Config{Workers: 4, CacheSize: 64})
+	defer e.Close()
+	s := table3()
+	const goroutines = 32
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(by int) {
+			defer wg.Done()
+			set := permute(s, by%s.Len())
+			if _, err := e.Analyze(Request{Columns: 10, Set: set, Test: core.GN2Test{}}); err != nil {
+				t.Error(err)
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := e.Stats()
+	if st.Analyses != 1 {
+		t.Errorf("analyses = %d, want 1 (all identical requests must coalesce)", st.Analyses)
+	}
+	if st.Hits+st.Misses != goroutines {
+		t.Errorf("hits+misses = %d, want %d", st.Hits+st.Misses, goroutines)
+	}
+}
+
+func TestConcurrentMixedLoad(t *testing.T) {
+	// -race soak: random permutations of a few sets across widths.
+	e := New(Config{Workers: 4, CacheSize: 8})
+	defer e.Close()
+	sets := []*task.Set{workload.Table1(), workload.Table2(), workload.Table3()}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < 50; i++ {
+				s := sets[r.Intn(len(sets))]
+				req := Request{
+					Columns: 10 + r.Intn(3),
+					Set:     permute(s, r.Intn(s.Len())),
+					Test:    []core.Test{core.DPTest{}, core.GN1Test{}, core.GN2Test{}}[r.Intn(3)],
+				}
+				if _, err := e.Analyze(req); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	st := e.Stats()
+	if st.Hits+st.Misses != 400 {
+		t.Errorf("hits+misses = %d, want 400", st.Hits+st.Misses)
+	}
+}
+
+func TestCacheMissOnDifferentTestVariant(t *testing.T) {
+	// GN2 option variants must carry distinct names, or the cache would
+	// serve one variant's verdict for another (GN2x accepts a strict
+	// superset of GN2, so sharing entries would be unsound).
+	e := New(Config{Workers: 1, CacheSize: 16})
+	defer e.Close()
+	s := table3()
+	gn2 := core.GN2Test{}
+	gn2x := core.GN2Test{Options: core.GN2Options{ExtendedLambdaSearch: true}}
+	if gn2.Name() == gn2x.Name() {
+		t.Fatalf("GN2 variants share the name %q", gn2.Name())
+	}
+	if _, err := e.Analyze(Request{Columns: 10, Set: s, Test: gn2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Analyze(Request{Columns: 10, Set: s, Test: gn2x}); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Stats(); st.Analyses != 2 || st.Hits != 0 {
+		t.Errorf("stats = %+v, want 2 analyses 0 hits (variants must not share entries)", st)
+	}
+}
+
+// panicTest always panics from Analyze, standing in for a buggy custom
+// Test embedded through the facade.
+type panicTest struct{}
+
+func (panicTest) Name() string { return "panic" }
+func (panicTest) Analyze(core.Device, *task.Set) core.Verdict {
+	panic("boom")
+}
+
+func TestPanickingTestDoesNotLeakSlotsOrWaiters(t *testing.T) {
+	e := New(Config{Workers: 1, CacheSize: 16})
+	defer e.Close()
+	s := table3()
+	// Concurrent identical requests: one runs and panics, coalesced
+	// waiters must get the error, not hang.
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = e.Analyze(Request{Columns: 10, Set: s, Test: panicTest{}})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err == nil || !strings.Contains(err.Error(), "panicked") {
+			t.Errorf("request %d: err = %v, want panic error", i, err)
+		}
+	}
+	// The single worker slot must have been released: a normal analysis
+	// still completes (a leaked slot would deadlock here).
+	v, err := e.Analyze(Request{Columns: 10, Set: s, Test: core.GN2Test{}})
+	if err != nil || !v.Schedulable {
+		t.Fatalf("engine unusable after panic: v=%v err=%v", v, err)
+	}
+	// Nothing cached for the panicking key: retrying re-runs (and
+	// re-fails) rather than serving a zero verdict.
+	if _, err := e.Analyze(Request{Columns: 10, Set: s, Test: panicTest{}}); err == nil {
+		t.Error("retry after panic must fail again, not hit a cache entry")
+	}
+}
+
+func TestCloseRejectsNewWork(t *testing.T) {
+	e := New(Config{Workers: 1, CacheSize: 4})
+	e.Close()
+	e.Close() // idempotent
+	if _, err := e.Analyze(Request{Columns: 10, Set: table3(), Test: core.DPTest{}}); err != ErrClosed {
+		t.Errorf("err = %v, want ErrClosed", err)
+	}
+}
+
+func TestNilInputs(t *testing.T) {
+	e := New(Config{})
+	defer e.Close()
+	if _, err := e.Analyze(Request{Columns: 10, Set: table3()}); err == nil {
+		t.Error("nil test must error")
+	}
+	if _, err := e.Analyze(Request{Columns: 10, Test: core.DPTest{}}); err == nil {
+		t.Error("nil set must error")
+	}
+}
+
+// BenchmarkAnalyzeCold measures the uncached GN2 analysis of the paper's
+// Table 3 set; BenchmarkAnalyzeWarm the memoized path for permuted
+// copies. The warm path must be at least an order of magnitude faster
+// (asserted as a test in TestWarmSpeedup at the server layer benchmark;
+// here the two benchmarks expose the ratio).
+func BenchmarkAnalyzeCold(b *testing.B) {
+	e := New(Config{Workers: 1, CacheSize: -1})
+	defer e.Close()
+	s := table3()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Analyze(Request{Columns: 10, Set: s, Test: core.GN2Test{}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAnalyzeWarm(b *testing.B) {
+	e := New(Config{Workers: 1, CacheSize: 16})
+	defer e.Close()
+	s := table3()
+	perms := make([]*task.Set, s.Len())
+	for i := range perms {
+		perms[i] = permute(s, i)
+	}
+	if _, err := e.Analyze(Request{Columns: 10, Set: s, Test: core.GN2Test{}}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Analyze(Request{Columns: 10, Set: perms[i%len(perms)], Test: core.GN2Test{}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAnalyzeAllBatch(b *testing.B) {
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			e := New(Config{Workers: workers, CacheSize: -1})
+			defer e.Close()
+			r := workload.Rand(7)
+			prof := workload.Unconstrained(8)
+			reqs := make([]Request, 32)
+			for i := range reqs {
+				reqs[i] = Request{Columns: 100, Set: prof.Generate(r), Test: core.GN2Test{}}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.AnalyzeAll(reqs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package server
+
+// raceEnabled reports that the race detector is instrumenting this build;
+// wall-clock assertions are skipped because instrumentation distorts the
+// analysis/serve cost ratio they measure.
+const raceEnabled = true

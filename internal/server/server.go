@@ -1,0 +1,783 @@
+// Package server implements the fpgaschedd HTTP API: a JSON daemon that
+// serves schedulability analysis, simulation and multi-tenant online
+// admission control over the paper's tests.
+//
+// Analysis requests are routed through internal/engine, so repeated
+// analyses of the same (canonicalised) taskset are served from the
+// verdict cache and concurrent identical requests coalesce. Taskset and
+// task payloads use the exact wire forms of internal/task/serialize.go —
+// durations travel as decimal strings ("1.26"), so payloads are
+// human-editable and round-trip exactly.
+//
+// Endpoints:
+//
+//	GET    /healthz                              liveness probe
+//	GET    /metrics                              engine + HTTP counters (JSON)
+//	POST   /v1/analyze                           single or batch analysis
+//	POST   /v1/simulate                          discrete-event simulation
+//	GET    /v1/controllers                       list admission controllers
+//	PUT    /v1/controllers/{name}                create a controller
+//	DELETE /v1/controllers/{name}                drop a controller
+//	POST   /v1/controllers/{name}/admit          request admission of one task
+//	DELETE /v1/controllers/{name}/tasks/{task}   release a resident task
+//	GET    /v1/controllers/{name}/resident       snapshot the resident set
+//
+// Errors are returned as {"error": "..."} with a 4xx/5xx status;
+// malformed JSON is a 400.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"fpgasched/internal/admission"
+	"fpgasched/internal/core"
+	"fpgasched/internal/engine"
+	"fpgasched/internal/sched"
+	"fpgasched/internal/sim"
+	"fpgasched/internal/task"
+	"fpgasched/internal/timeunit"
+)
+
+// DefaultMaxBodyBytes bounds request bodies (1 MiB holds thousands of
+// tasks; analysis cost, not payload size, is the real limit).
+const DefaultMaxBodyBytes = 1 << 20
+
+// DefaultMaxTasks bounds the tasks per analysed or simulated set. The
+// body-size cap alone is not enough: a sub-megabyte payload can carry
+// tens of thousands of tasks, and the superlinear exact-rational
+// analyses would pin a worker for hours on it with no way to cancel.
+const DefaultMaxTasks = 1000
+
+// DefaultMaxBatch bounds the analyses (taskset × test pairs) one
+// /v1/analyze request may fan out, for the same reason MaxTasks exists:
+// a sub-megabyte body of tiny sets times a long test list multiplies
+// into unbounded queued work.
+const DefaultMaxBatch = 1024
+
+// DefaultMaxControllers bounds the named admission controllers one
+// daemon hosts; with the per-controller resident cap (MaxTasks) it
+// bounds the total admission-analysis work a tenant set can hold.
+const DefaultMaxControllers = 1024
+
+// DefaultMaxSimHorizon bounds the client-supplied simulation horizon
+// (in paper time units; the paper's figures use 200). Together with the
+// simulation semaphore it keeps /v1/simulate from pinning every
+// connection goroutine on multi-minute runs.
+const DefaultMaxSimHorizon = 10_000
+
+// Config configures a Server.
+type Config struct {
+	// Engine serves analysis requests; nil means a fresh engine with
+	// EngineConfig.
+	Engine *engine.Engine
+	// EngineConfig sizes the engine created when Engine is nil.
+	EngineConfig engine.Config
+	// MaxBodyBytes caps request bodies; 0 means DefaultMaxBodyBytes,
+	// negative disables the cap (matching the sibling limits).
+	MaxBodyBytes int64
+	// MaxTasks caps the tasks per analysed or simulated set; 0 means
+	// DefaultMaxTasks, negative disables the cap.
+	MaxTasks int
+	// MaxBatch caps the taskset × test analyses per /v1/analyze
+	// request; 0 means DefaultMaxBatch, negative disables the cap.
+	MaxBatch int
+	// MaxControllers caps the named admission controllers; 0 means
+	// DefaultMaxControllers, negative disables the cap.
+	MaxControllers int
+	// MaxSimHorizon caps the explicit simulation horizon/horizon_cap in
+	// whole time units; 0 means DefaultMaxSimHorizon, negative disables.
+	MaxSimHorizon int64
+}
+
+// Server is the HTTP API. Create with New; it implements http.Handler.
+type Server struct {
+	engine         *engine.Engine
+	ownedEngine    bool
+	maxBodyBytes   int64
+	maxTasks       int
+	maxBatch       int
+	maxControllers int
+	maxSimHorizon  timeunit.Time
+	simSem         chan struct{} // bounds concurrent simulations
+	mux            *http.ServeMux
+
+	cmu         sync.RWMutex
+	controllers map[string]*tenant
+
+	mmu     sync.Mutex
+	metrics map[string]*routeMetrics
+}
+
+// tenant is one named admission controller plus its creation parameters
+// (echoed on list/resident responses).
+type tenant struct {
+	ctrl    *admission.Controller
+	columns int
+	tests   []string
+}
+
+// routeMetrics accumulates per-route counters.
+type routeMetrics struct {
+	Requests   uint64 `json:"requests"`
+	Errors     uint64 `json:"errors"` // responses with status >= 400
+	TotalNanos uint64 `json:"total_nanos"`
+}
+
+// New returns a ready-to-serve Server.
+func New(cfg Config) *Server {
+	s := &Server{
+		engine:       cfg.Engine,
+		maxBodyBytes: cfg.MaxBodyBytes,
+		controllers:  make(map[string]*tenant),
+		metrics:      make(map[string]*routeMetrics),
+	}
+	if s.engine == nil {
+		s.engine = engine.New(cfg.EngineConfig)
+		s.ownedEngine = true
+	}
+	switch {
+	case s.maxBodyBytes == 0:
+		s.maxBodyBytes = DefaultMaxBodyBytes
+	case s.maxBodyBytes < 0:
+		s.maxBodyBytes = 0 // disabled
+	}
+	s.maxTasks = cfg.MaxTasks
+	if s.maxTasks == 0 {
+		s.maxTasks = DefaultMaxTasks
+	}
+	s.maxBatch = cfg.MaxBatch
+	if s.maxBatch == 0 {
+		s.maxBatch = DefaultMaxBatch
+	}
+	s.maxControllers = cfg.MaxControllers
+	if s.maxControllers == 0 {
+		s.maxControllers = DefaultMaxControllers
+	}
+	switch {
+	case cfg.MaxSimHorizon > 0:
+		s.maxSimHorizon = timeunit.FromUnits(cfg.MaxSimHorizon)
+	case cfg.MaxSimHorizon == 0:
+		s.maxSimHorizon = timeunit.FromUnits(DefaultMaxSimHorizon)
+	}
+	// Simulations share the engine pool's sizing but not its slots:
+	// analysis throughput must not collapse because simulations queue.
+	s.simSem = make(chan struct{}, s.engine.Stats().Workers)
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	mux.HandleFunc("POST /v1/analyze", s.instrument("analyze", s.handleAnalyze))
+	mux.HandleFunc("POST /v1/simulate", s.instrument("simulate", s.handleSimulate))
+	mux.HandleFunc("GET /v1/controllers", s.instrument("controllers.list", s.handleControllerList))
+	mux.HandleFunc("PUT /v1/controllers/{name}", s.instrument("controllers.create", s.handleControllerCreate))
+	mux.HandleFunc("DELETE /v1/controllers/{name}", s.instrument("controllers.delete", s.handleControllerDelete))
+	mux.HandleFunc("POST /v1/controllers/{name}/admit", s.instrument("controllers.admit", s.handleAdmit))
+	mux.HandleFunc("DELETE /v1/controllers/{name}/tasks/{task}", s.instrument("controllers.release", s.handleRelease))
+	mux.HandleFunc("GET /v1/controllers/{name}/resident", s.instrument("controllers.resident", s.handleResident))
+	s.mux = mux
+	return s
+}
+
+// Close releases the engine if the server created it.
+func (s *Server) Close() {
+	if s.ownedEngine {
+		s.engine.Close()
+	}
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// statusRecorder captures the response status for metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with body limiting and per-route counters.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Body != nil && s.maxBodyBytes > 0 {
+			r.Body = http.MaxBytesReader(w, r.Body, s.maxBodyBytes)
+		}
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		h(rec, r)
+		elapsed := time.Since(start)
+		s.mmu.Lock()
+		m := s.metrics[route]
+		if m == nil {
+			m = &routeMetrics{}
+			s.metrics[route] = m
+		}
+		m.Requests++
+		if rec.status >= 400 {
+			m.Errors++
+		}
+		m.TotalNanos += uint64(elapsed.Nanoseconds())
+		s.mmu.Unlock()
+	}
+}
+
+// writeJSON sends v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeError sends {"error": msg}.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// writeDecodeError distinguishes an oversized body (413, so clients know
+// to shrink or split rather than fix syntax) from malformed JSON (400).
+func writeDecodeError(w http.ResponseWriter, err error) {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", mbe.Limit)
+		return
+	}
+	writeError(w, http.StatusBadRequest, "invalid request: %v", err)
+}
+
+// checkSetSize enforces the per-set task cap.
+func (s *Server) checkSetSize(set *task.Set) error {
+	if s.maxTasks > 0 && set.Len() > s.maxTasks {
+		return fmt.Errorf("%d tasks exceeds the per-set limit of %d", set.Len(), s.maxTasks)
+	}
+	return nil
+}
+
+// decodeJSON strictly decodes the request body into v, rejecting unknown
+// fields and trailing garbage so client typos fail loudly.
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return errors.New("trailing data after JSON document")
+	}
+	return nil
+}
+
+// ---- /healthz ----
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// ---- /metrics ----
+
+// metricsResponse is the plain-JSON metrics document (expvar-style: flat,
+// counters only, no exposition format dependency).
+type metricsResponse struct {
+	Engine engine.Stats            `json:"engine"`
+	HTTP   map[string]routeMetrics `json:"http"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mmu.Lock()
+	httpStats := make(map[string]routeMetrics, len(s.metrics))
+	for k, v := range s.metrics {
+		httpStats[k] = *v
+	}
+	s.mmu.Unlock()
+	writeJSON(w, http.StatusOK, metricsResponse{Engine: s.engine.Stats(), HTTP: httpStats})
+}
+
+// ---- /v1/analyze ----
+
+// analyzeRequest is a single or batch analysis. Exactly one of Taskset
+// and Tasksets must be present. Tests defaults to ["any-nf"].
+type analyzeRequest struct {
+	Columns  int         `json:"columns"`
+	Tests    []string    `json:"tests,omitempty"`
+	Taskset  *task.Set   `json:"taskset,omitempty"`
+	Tasksets []*task.Set `json:"tasksets,omitempty"`
+	// Detail includes the per-task bound checks in each verdict.
+	Detail bool `json:"detail,omitempty"`
+}
+
+// verdictJSON is the wire form of core.Verdict. failing_task and
+// checks[].task_index are indices into the request's task array (the
+// engine remaps them per caller); the free-text reason is produced once
+// per cached analysis from the canonically ordered set, so any index or
+// name embedded in its prose reflects that canonical ordering — trust
+// the structured fields, treat reason as human context.
+type verdictJSON struct {
+	Test        string      `json:"test"`
+	Schedulable bool        `json:"schedulable"`
+	Reason      string      `json:"reason,omitempty"`
+	FailingTask *int        `json:"failing_task,omitempty"`
+	Checks      []checkJSON `json:"checks,omitempty"`
+}
+
+// checkJSON is the wire form of core.BoundCheck; LHS/RHS/λ as exact
+// fraction strings.
+type checkJSON struct {
+	TaskIndex int    `json:"task_index"`
+	LHS       string `json:"lhs"`
+	RHS       string `json:"rhs"`
+	Satisfied bool   `json:"satisfied"`
+	Lambda    string `json:"lambda,omitempty"`
+	Condition int    `json:"condition,omitempty"`
+}
+
+func toVerdictJSON(v core.Verdict, detail bool) verdictJSON {
+	out := verdictJSON{Test: v.Test, Schedulable: v.Schedulable, Reason: v.Reason}
+	if !v.Schedulable && v.FailingTask >= 0 {
+		ft := v.FailingTask
+		out.FailingTask = &ft
+	}
+	if detail {
+		for _, c := range v.Checks {
+			cj := checkJSON{TaskIndex: c.TaskIndex, Satisfied: c.Satisfied, Condition: c.Condition}
+			if c.LHS != nil {
+				cj.LHS = c.LHS.RatString()
+			}
+			if c.RHS != nil {
+				cj.RHS = c.RHS.RatString()
+			}
+			if c.Lambda != nil {
+				cj.Lambda = c.Lambda.RatString()
+			}
+			out.Checks = append(out.Checks, cj)
+		}
+	}
+	return out
+}
+
+// analyzeResult holds the verdicts for one taskset, in test order.
+type analyzeResult struct {
+	Schedulable bool          `json:"schedulable"` // true iff any test accepts
+	Verdicts    []verdictJSON `json:"verdicts"`
+}
+
+// analyzeResponse answers both shapes: Result for single, Results for
+// batch (aligned with the request's tasksets).
+type analyzeResponse struct {
+	Columns int             `json:"columns"`
+	Result  *analyzeResult  `json:"result,omitempty"`
+	Results []analyzeResult `json:"results,omitempty"`
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	var req analyzeRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeDecodeError(w, err)
+		return
+	}
+	if (req.Taskset == nil) == (len(req.Tasksets) == 0) {
+		writeError(w, http.StatusBadRequest, "exactly one of taskset and tasksets must be given")
+		return
+	}
+	if req.Columns < 1 {
+		writeError(w, http.StatusBadRequest, "columns must be at least 1")
+		return
+	}
+	names := req.Tests
+	if len(names) == 0 {
+		names = []string{"any-nf"}
+	}
+	tests, err := core.TestsByName(names)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	sets := req.Tasksets
+	single := req.Taskset != nil
+	if single {
+		sets = []*task.Set{req.Taskset}
+	}
+	for i, set := range sets {
+		if set == nil {
+			writeError(w, http.StatusBadRequest, "taskset %d: null", i)
+			return
+		}
+		if err := s.checkSetSize(set); err != nil {
+			writeError(w, http.StatusBadRequest, "taskset %d: %v", i, err)
+			return
+		}
+		// Invalid input is a client error, not an analysis outcome:
+		// without this, core's precheck would fold it into a 200
+		// "schedulable: false" verdict (and cache it), inconsistently
+		// with /v1/simulate's 400 for the same payload.
+		if err := set.ValidateFor(req.Columns); err != nil {
+			writeError(w, http.StatusBadRequest, "taskset %d: %v", i, err)
+			return
+		}
+	}
+	if s.maxBatch > 0 && len(sets)*len(tests) > s.maxBatch {
+		writeError(w, http.StatusBadRequest, "%d tasksets x %d tests exceeds the per-request analysis limit of %d",
+			len(sets), len(tests), s.maxBatch)
+		return
+	}
+	// Fan every (set, test) pair across the engine pool at once.
+	reqs := make([]engine.Request, 0, len(sets)*len(tests))
+	for _, set := range sets {
+		for _, t := range tests {
+			reqs = append(reqs, engine.Request{Columns: req.Columns, Set: set, Test: t, OmitChecks: !req.Detail})
+		}
+	}
+	verdicts, err := s.engine.AnalyzeAll(reqs)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, "engine: %v", err)
+		return
+	}
+	results := make([]analyzeResult, len(sets))
+	for i := range sets {
+		res := analyzeResult{}
+		for j := range tests {
+			v := verdicts[i*len(tests)+j]
+			res.Verdicts = append(res.Verdicts, toVerdictJSON(v, req.Detail))
+			if v.Schedulable {
+				res.Schedulable = true
+			}
+		}
+		results[i] = res
+	}
+	resp := analyzeResponse{Columns: req.Columns}
+	if single {
+		resp.Result = &results[0]
+	} else {
+		resp.Results = results
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ---- /v1/simulate ----
+
+// simulateRequest configures one synchronous-release simulation run.
+// Durations are decimal strings in paper time units, like task fields.
+type simulateRequest struct {
+	Columns   int       `json:"columns"`
+	Scheduler string    `json:"scheduler,omitempty"` // "nf" (default) or "fkf"
+	Taskset   *task.Set `json:"taskset"`
+	// Horizon stops releases at this time; empty means automatic
+	// (min(hyperperiod, horizon_cap)).
+	Horizon string `json:"horizon,omitempty"`
+	// HorizonCap bounds the automatic horizon.
+	HorizonCap string `json:"horizon_cap,omitempty"`
+	// ContinueAfterMiss keeps simulating past the first miss.
+	ContinueAfterMiss bool `json:"continue_after_miss,omitempty"`
+}
+
+// simulateResponse summarises sim.Result with times as decimal strings.
+type simulateResponse struct {
+	Policy        string `json:"policy"`
+	Missed        bool   `json:"missed"`
+	Misses        int    `json:"misses"`
+	FirstMissTime string `json:"first_miss_time,omitempty"`
+	FirstMissTask *int   `json:"first_miss_task,omitempty"`
+	FirstMissJob  *int   `json:"first_miss_job,omitempty"`
+	Horizon       string `json:"horizon"`
+	End           string `json:"end"`
+	Events        int    `json:"events"`
+	Released      int    `json:"released"`
+	Completed     int    `json:"completed"`
+	Preemptions   int    `json:"preemptions"`
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req simulateRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeDecodeError(w, err)
+		return
+	}
+	if req.Taskset == nil {
+		writeError(w, http.StatusBadRequest, "taskset is required")
+		return
+	}
+	if err := s.checkSetSize(req.Taskset); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	var pol sim.Policy
+	switch req.Scheduler {
+	case "", "nf":
+		pol = sched.NextFit{}
+	case "fkf":
+		pol = sched.FirstKFit{}
+	default:
+		writeError(w, http.StatusBadRequest, "unknown scheduler %q (known: nf, fkf)", req.Scheduler)
+		return
+	}
+	opts := sim.Options{ContinueAfterMiss: req.ContinueAfterMiss}
+	var err error
+	if req.Horizon != "" {
+		if opts.Horizon, err = timeunit.Parse(req.Horizon); err != nil {
+			writeError(w, http.StatusBadRequest, "horizon: %v", err)
+			return
+		}
+		// An explicit non-positive horizon would silently mean "auto";
+		// reject it so clients learn about the fallback loudly.
+		if opts.Horizon <= 0 {
+			writeError(w, http.StatusBadRequest, "horizon: %q must be positive (omit it for the automatic horizon)", req.Horizon)
+			return
+		}
+	}
+	if req.HorizonCap != "" {
+		if opts.HorizonCap, err = timeunit.Parse(req.HorizonCap); err != nil {
+			writeError(w, http.StatusBadRequest, "horizon_cap: %v", err)
+			return
+		}
+		if opts.HorizonCap <= 0 {
+			writeError(w, http.StatusBadRequest, "horizon_cap: %q must be positive (omit it for the default cap)", req.HorizonCap)
+			return
+		}
+	}
+	if s.maxSimHorizon > 0 {
+		if opts.Horizon > s.maxSimHorizon {
+			writeError(w, http.StatusBadRequest, "horizon: %q exceeds the server limit of %v time units", req.Horizon, s.maxSimHorizon)
+			return
+		}
+		if opts.HorizonCap > s.maxSimHorizon {
+			writeError(w, http.StatusBadRequest, "horizon_cap: %q exceeds the server limit of %v time units", req.HorizonCap, s.maxSimHorizon)
+			return
+		}
+		if opts.HorizonCap == 0 {
+			// Bound the automatic horizon too; it otherwise defaults to
+			// min(hyperperiod, sim.DefaultHorizonCap), which is already
+			// below the limit, but be explicit for future-proofing.
+			opts.HorizonCap = timeunit.Min(s.maxSimHorizon, sim.DefaultHorizonCap)
+		}
+	}
+	// Bound concurrent simulations: the engine pool protects analysis,
+	// and this semaphore keeps a simulate flood from pinning every
+	// connection goroutine. Queued waiters leave when the client does.
+	select {
+	case s.simSem <- struct{}{}:
+		defer func() { <-s.simSem }()
+	case <-r.Context().Done():
+		writeError(w, http.StatusServiceUnavailable, "client cancelled while waiting for a simulation slot")
+		return
+	}
+	res, err := sim.Simulate(req.Columns, req.Taskset, pol, opts)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "simulate: %v", err)
+		return
+	}
+	resp := simulateResponse{
+		Policy:      res.Policy,
+		Missed:      res.Missed,
+		Misses:      res.Misses,
+		Horizon:     res.Horizon.String(),
+		End:         res.End.String(),
+		Events:      res.Events,
+		Released:    res.Released,
+		Completed:   res.Completed,
+		Preemptions: res.Preemptions,
+	}
+	if res.Missed {
+		resp.FirstMissTime = res.FirstMissTime.String()
+		mt, mj := res.FirstMissTask, res.FirstMissJob
+		resp.FirstMissTask = &mt
+		resp.FirstMissJob = &mj
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ---- /v1/controllers ----
+
+// controllerRequest creates a named admission controller.
+type controllerRequest struct {
+	Columns int `json:"columns"`
+	// Tests are tried in order on each admission request; empty means
+	// the standard EDF-NF composite members (DP, GN1, GN2).
+	Tests []string `json:"tests,omitempty"`
+}
+
+// controllerInfo describes one controller in list/create responses.
+type controllerInfo struct {
+	Name     string   `json:"name"`
+	Columns  int      `json:"columns"`
+	Tests    []string `json:"tests"`
+	Resident int      `json:"resident"`
+}
+
+func (s *Server) tenantInfo(name string, t *tenant) controllerInfo {
+	return controllerInfo{Name: name, Columns: t.columns, Tests: t.tests, Resident: t.ctrl.Len()}
+}
+
+func (s *Server) handleControllerList(w http.ResponseWriter, r *http.Request) {
+	// Snapshot under the registry lock, then query each tenant after
+	// releasing it: ctrl.Len() takes the per-controller mutex, which an
+	// in-flight admission analysis can hold for a long time, and
+	// coupling that to cmu would stall every other controller request.
+	s.cmu.RLock()
+	type namedTenant struct {
+		name string
+		t    *tenant
+	}
+	snapshot := make([]namedTenant, 0, len(s.controllers))
+	for name, t := range s.controllers {
+		snapshot = append(snapshot, namedTenant{name, t})
+	}
+	s.cmu.RUnlock()
+	infos := make([]controllerInfo, 0, len(snapshot))
+	for _, nt := range snapshot {
+		infos = append(infos, s.tenantInfo(nt.name, nt.t))
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	writeJSON(w, http.StatusOK, map[string]any{"controllers": infos})
+}
+
+func (s *Server) handleControllerCreate(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req controllerRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeDecodeError(w, err)
+		return
+	}
+	names := req.Tests
+	if len(names) == 0 {
+		names = []string{"DP", "GN1", "GN2"}
+	}
+	// Echo only the names that resolve to a test: TestsByName skips
+	// blank entries, and the stored list must describe what actually
+	// gates admissions.
+	clean := make([]string, 0, len(names))
+	for _, n := range names {
+		if t := strings.TrimSpace(n); t != "" {
+			clean = append(clean, t)
+		}
+	}
+	tests, err := core.TestsByName(clean)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ctrl, err := admission.NewController(req.Columns, tests...)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.cmu.Lock()
+	if _, exists := s.controllers[name]; exists {
+		s.cmu.Unlock()
+		writeError(w, http.StatusConflict, "controller %q already exists (delete it first to change its configuration)", name)
+		return
+	}
+	if s.maxControllers > 0 && len(s.controllers) >= s.maxControllers {
+		s.cmu.Unlock()
+		writeError(w, http.StatusConflict, "controller limit of %d reached", s.maxControllers)
+		return
+	}
+	t := &tenant{ctrl: ctrl, columns: req.Columns, tests: clean}
+	s.controllers[name] = t
+	s.cmu.Unlock()
+	writeJSON(w, http.StatusCreated, s.tenantInfo(name, t))
+}
+
+func (s *Server) handleControllerDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	s.cmu.Lock()
+	_, ok := s.controllers[name]
+	delete(s.controllers, name)
+	s.cmu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "no controller %q", name)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// lookup fetches a tenant or writes a 404.
+func (s *Server) lookup(w http.ResponseWriter, name string) (*tenant, bool) {
+	s.cmu.RLock()
+	t, ok := s.controllers[name]
+	s.cmu.RUnlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "no controller %q", name)
+	}
+	return t, ok
+}
+
+// admitResponse is the wire form of admission.Decision.
+type admitResponse struct {
+	Admitted bool   `json:"admitted"`
+	ProvedBy string `json:"proved_by,omitempty"`
+	Reason   string `json:"reason,omitempty"`
+}
+
+func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
+	t, ok := s.lookup(w, r.PathValue("name"))
+	if !ok {
+		return
+	}
+	var tk task.Task
+	if err := decodeJSON(r, &tk); err != nil {
+		writeDecodeError(w, err)
+		return
+	}
+	// Cap the resident set like any analysed set: each admission re-runs
+	// the superlinear tests over all residents, so unbounded growth is
+	// the same DoS MaxTasks closes on /v1/analyze. Best-effort (checked
+	// outside the controller lock); concurrent admits may overshoot by
+	// at most the in-flight request count.
+	if s.maxTasks > 0 && t.ctrl.Len() >= s.maxTasks {
+		writeError(w, http.StatusConflict, "controller %q is at the %d-task resident capacity", r.PathValue("name"), s.maxTasks)
+		return
+	}
+	d := t.ctrl.Request(tk)
+	writeJSON(w, http.StatusOK, admitResponse{Admitted: d.Admitted, ProvedBy: d.ProvedBy, Reason: d.Reason})
+}
+
+func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
+	t, ok := s.lookup(w, r.PathValue("name"))
+	if !ok {
+		return
+	}
+	taskName := r.PathValue("task")
+	if !t.ctrl.Release(taskName) {
+		writeError(w, http.StatusNotFound, "no resident task %q in controller %q", taskName, r.PathValue("name"))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// residentResponse snapshots a controller's resident set.
+type residentResponse struct {
+	Name    string `json:"name"`
+	Columns int    `json:"columns"`
+	Count   int    `json:"count"`
+	// UtilizationS is the resident system utilization Σ Ci·Ai/Ti as a
+	// decimal string.
+	UtilizationS string    `json:"utilization_s"`
+	Taskset      *task.Set `json:"taskset"`
+}
+
+func (s *Server) handleResident(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	t, ok := s.lookup(w, name)
+	if !ok {
+		return
+	}
+	resident := t.ctrl.Resident()
+	writeJSON(w, http.StatusOK, residentResponse{
+		Name:         name,
+		Columns:      t.columns,
+		Count:        resident.Len(),
+		UtilizationS: resident.UtilizationS().FloatString(4),
+		Taskset:      resident,
+	})
+}

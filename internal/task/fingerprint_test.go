@@ -1,0 +1,92 @@
+package task
+
+import (
+	"testing"
+)
+
+func TestFingerprintPermutationInvariant(t *testing.T) {
+	a := NewSet(
+		New("t1", "1.26", "7", "7", 9),
+		New("t2", "2", "5", "5", 3),
+		New("t3", "0.5", "4", "8", 1),
+	)
+	b := NewSet(
+		New("t3", "0.5", "4", "8", 1),
+		New("t1", "1.26", "7", "7", 9),
+		New("t2", "2", "5", "5", 3),
+	)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("permuted sets must share a fingerprint")
+	}
+}
+
+func TestFingerprintIgnoresNames(t *testing.T) {
+	a := NewSet(New("alpha", "1", "4", "4", 2))
+	b := NewSet(New("beta", "1", "4", "4", 2))
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("names must not influence the fingerprint")
+	}
+}
+
+func TestFingerprintDistinguishesParameters(t *testing.T) {
+	base := NewSet(New("x", "1", "4", "4", 2), New("y", "2", "8", "8", 3))
+	variants := []*Set{
+		NewSet(New("x", "1.0001", "4", "4", 2), New("y", "2", "8", "8", 3)), // C off by one tick
+		NewSet(New("x", "1", "4.0001", "4", 2), New("y", "2", "8", "8", 3)), // D
+		NewSet(New("x", "1", "4", "4.0001", 2), New("y", "2", "8", "8", 3)), // T
+		NewSet(New("x", "1", "4", "4", 3), New("y", "2", "8", "8", 3)),      // A
+		NewSet(New("x", "1", "4", "4", 2)),                                  // missing task
+		NewSet(New("x", "1", "4", "4", 2), New("y", "2", "8", "8", 3), New("z", "1", "4", "4", 2)),
+	}
+	for i, v := range variants {
+		if v.Fingerprint() == base.Fingerprint() {
+			t.Errorf("variant %d must not collide with base", i)
+		}
+	}
+}
+
+func TestFingerprintMultisetSemantics(t *testing.T) {
+	// Duplicate tuples count: {x, x} differs from {x}.
+	one := NewSet(New("a", "1", "4", "4", 2))
+	two := NewSet(New("a", "1", "4", "4", 2), New("b", "1", "4", "4", 2))
+	if one.Fingerprint() == two.Fingerprint() {
+		t.Error("duplicate tuples must change the fingerprint")
+	}
+	// Boundary-shift: (n, tuples...) encoding must not let a task count
+	// masquerade as a parameter. Different splits of the same int stream
+	// differ in the leading count, so this is structural; pin one case.
+	empty := NewSet()
+	if empty.Fingerprint() == one.Fingerprint() {
+		t.Error("empty set must not collide with singleton")
+	}
+}
+
+func TestCanonicalPermOrdersByParams(t *testing.T) {
+	s := NewSet(
+		New("big", "2", "5", "5", 3),
+		New("small", "1", "4", "4", 1),
+	)
+	perm := s.CanonicalPerm()
+	if len(perm) != 2 || s.Tasks[perm[0]].Name != "small" || s.Tasks[perm[1]].Name != "big" {
+		t.Errorf("perm = %v, want small before big", perm)
+	}
+	if s.Tasks[0].Name != "big" {
+		t.Error("CanonicalPerm must not mutate the receiver")
+	}
+	if s.Fingerprint() != s.FingerprintFromPerm(perm) {
+		t.Error("FingerprintFromPerm must agree with Fingerprint")
+	}
+	// Stability among equal tuples: original relative order kept.
+	dup := NewSet(New("a", "1", "4", "4", 1), New("b", "1", "4", "4", 1))
+	if p := dup.CanonicalPerm(); p[0] != 0 || p[1] != 1 {
+		t.Errorf("equal tuples reordered: %v", p)
+	}
+}
+
+func TestFingerprintStringIsHex(t *testing.T) {
+	s := NewSet(New("a", "1", "4", "4", 2))
+	str := s.Fingerprint().String()
+	if len(str) != 64 {
+		t.Errorf("hex fingerprint length = %d, want 64", len(str))
+	}
+}

@@ -1,6 +1,7 @@
 package task
 
 import (
+	"bytes"
 	"encoding/csv"
 	"encoding/json"
 	"fmt"
@@ -10,6 +11,16 @@ import (
 
 	"fpgasched/internal/timeunit"
 )
+
+// strictUnmarshal decodes JSON rejecting unknown fields, so a typoed
+// field name ("area" for "a") fails loudly instead of yielding a zero
+// value. encoding/json does not propagate DisallowUnknownFields into
+// custom unmarshalers, so each one must opt in explicitly.
+func strictUnmarshal(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
 
 // jsonTask is the wire form of Task: durations as decimal strings so files
 // stay exact and human-editable.
@@ -40,7 +51,7 @@ func (t Task) MarshalJSON() ([]byte, error) {
 // UnmarshalJSON implements json.Unmarshaler for Task.
 func (t *Task) UnmarshalJSON(data []byte) error {
 	var jt jsonTask
-	if err := json.Unmarshal(data, &jt); err != nil {
+	if err := strictUnmarshal(data, &jt); err != nil {
 		return err
 	}
 	c, err := timeunit.Parse(jt.C)
@@ -73,7 +84,7 @@ func (s *Set) UnmarshalJSON(data []byte) error {
 	var js struct {
 		Tasks []json.RawMessage `json:"tasks"`
 	}
-	if err := json.Unmarshal(data, &js); err != nil {
+	if err := strictUnmarshal(data, &js); err != nil {
 		return err
 	}
 	s.Tasks = make([]Task, len(js.Tasks))

@@ -137,3 +137,14 @@ func TestSerializationRoundTripProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestJSONRejectsUnknownFields(t *testing.T) {
+	var tk Task
+	if err := tk.UnmarshalJSON([]byte(`{"c":"1","d":"5","t":"5","area":7}`)); err == nil {
+		t.Error("unknown task field must be rejected (typoed 'area' would silently yield A=0)")
+	}
+	var s Set
+	if err := s.UnmarshalJSON([]byte(`{"tasksX":[]}`)); err == nil {
+		t.Error("unknown set field must be rejected")
+	}
+}

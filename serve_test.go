@@ -1,0 +1,49 @@
+package fpgasched
+
+// Façade coverage for the serving-layer re-exports: the memoizing
+// analysis engine and the test-name registry.
+
+import (
+	"testing"
+)
+
+func TestFacadeEngine(t *testing.T) {
+	e := NewEngine(EngineConfig{Workers: 2, CacheSize: 32})
+	defer e.Close()
+	s := PaperTable3()
+	v, err := e.Analyze(AnalysisRequest{Columns: 10, Set: s, Test: GN2()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Schedulable {
+		t.Fatalf("GN2 must accept Table 3: %v", v)
+	}
+	// A renamed, reordered copy is a cache hit.
+	perm := NewTaskSet(s.Tasks[1], s.Tasks[0])
+	perm.Tasks[0].Name = "renamed"
+	if _, err := e.Analyze(AnalysisRequest{Columns: 10, Set: perm, Test: GN2()}); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Stats(); st.Hits != 1 || st.Analyses != 1 {
+		t.Errorf("stats = %+v, want 1 hit 1 analysis", st)
+	}
+	if s.Fingerprint() != perm.Fingerprint() {
+		t.Error("fingerprints of permuted/renamed copies must match")
+	}
+}
+
+func TestFacadeTestRegistry(t *testing.T) {
+	for _, name := range TestNames() {
+		tt, err := TestByName(name)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if tt.Name() == "" {
+			t.Errorf("%s: empty test name", name)
+		}
+	}
+	if _, err := TestByName("nope"); err == nil {
+		t.Error("unknown name must error")
+	}
+}
