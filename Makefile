@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench serve fmt vet check clean
+.PHONY: build test race bench serve fmt vet check clean integration
 
 build:
 	$(GO) build ./...
@@ -25,7 +25,11 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-check: vet build race
+integration: ## api golden-file wire tests + client<->server end-to-end
+	$(GO) test ./api/ ./client/ -count=1
+	$(GO) build ./examples/...
+
+check: vet build race integration
 	@test -z "$$(gofmt -l .)" || { echo "gofmt needed on:"; gofmt -l .; exit 1; }
 	$(GO) test ./internal/server/ -run TestWarmSpeedup -count=1
 

@@ -1,0 +1,249 @@
+package api
+
+// Golden-file tests freezing the v1 wire forms. Every wire type is
+// marshalled from a canonical fixture and compared byte-for-byte against
+// testdata/<name>.golden.json; a drift in a JSON key, a field type, the
+// decimal duration encoding or an error code fails here before it can
+// reach a client. Regenerate deliberately with:
+//
+//	go test ./api -run Golden -update
+//
+// and review the diff as a wire-contract change.
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"fpgasched/internal/task"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+func intp(i int) *int { return &i }
+
+// fixtureSet is the paper's Table 3 pair, the canonical two-task set
+// used across the repo's examples.
+func fixtureSet() *TaskSet {
+	return task.NewSet(
+		task.New("t1", "2.10", "5", "5", 7),
+		task.New("t2", "2.00", "7", "7", 7),
+	)
+}
+
+// fixtures returns one canonical instance per wire type (pointer values
+// so custom marshalers with pointer receivers are exercised).
+func fixtures() map[string]any {
+	tiny := task.NewSet(task.New("x", "1", "4", "4", 2))
+	return map[string]any{
+		"task":    fixtureSet().Tasks[0],
+		"taskset": fixtureSet(),
+		"analyze_request_single": AnalyzeRequest{
+			Columns: 10,
+			Tests:   []string{"DP", "GN1", "GN2"},
+			Taskset: fixtureSet(),
+			Detail:  true,
+		},
+		"analyze_request_batch": AnalyzeRequest{
+			Columns:  10,
+			Tests:    []string{"GN2"},
+			Tasksets: []*TaskSet{fixtureSet(), tiny},
+		},
+		"analyze_response_single": AnalyzeResponse{
+			Columns: 10,
+			Result: &AnalyzeResult{
+				Schedulable: true,
+				Verdicts: []Verdict{
+					{
+						Test:        "DP",
+						Schedulable: false,
+						Reason:      "task 0: bound violated",
+						FailingTask: intp(0),
+						Checks: []Check{
+							{TaskIndex: 0, LHS: "63/10", RHS: "409/70", Satisfied: false},
+							{TaskIndex: 1, LHS: "2", RHS: "409/70", Satisfied: true},
+						},
+					},
+					{
+						Test:        "GN2",
+						Schedulable: true,
+						Checks: []Check{
+							{TaskIndex: 0, LHS: "21/50", RHS: "1/2", Satisfied: true, Lambda: "21/50", Condition: 1},
+						},
+					},
+				},
+			},
+		},
+		"analyze_response_batch": AnalyzeResponse{
+			Columns: 10,
+			Results: []AnalyzeResult{
+				{Schedulable: true, Verdicts: []Verdict{{Test: "GN2", Schedulable: true}}},
+				{Schedulable: false, Verdicts: []Verdict{{Test: "GN2", Schedulable: false, Reason: "no λ works", FailingTask: intp(1)}}},
+			},
+		},
+		"stream_request": StreamRequest{
+			Columns: 10,
+			Tests:   []string{"GN2"},
+			Taskset: fixtureSet(),
+		},
+		"stream_result_ok": StreamResult{
+			Index:  3,
+			Result: &AnalyzeResult{Schedulable: true, Verdicts: []Verdict{{Test: "GN2", Schedulable: true}}},
+		},
+		"stream_result_error": StreamResult{
+			Index: 4,
+			Error: Errorf(CodeUnknownTest, `unknown test "XX"`).WithDetail("test", "XX"),
+		},
+		"simulate_request": SimulateRequest{
+			Columns:    10,
+			Scheduler:  "nf",
+			Taskset:    fixtureSet(),
+			Horizon:    "70",
+			HorizonCap: "200",
+		},
+		"simulate_response_missed": SimulateResponse{
+			Policy:        "EDF-NF",
+			Missed:        true,
+			Misses:        1,
+			FirstMissTime: "12.6",
+			FirstMissTask: intp(1),
+			FirstMissJob:  intp(2),
+			Horizon:       "70",
+			End:           "12.6",
+			Events:        41,
+			Released:      24,
+			Completed:     19,
+			Preemptions:   3,
+		},
+		"simulate_response_clean": SimulateResponse{
+			Policy:      "EDF-NF",
+			Horizon:     "35",
+			End:         "35",
+			Events:      40,
+			Released:    12,
+			Completed:   12,
+			Preemptions: 2,
+		},
+		"tests_response": TestsResponse{
+			Tests: []string{"DP", "DP-real", "GN1", "GN1-Dk", "GN2", "GN2x", "any-fkf", "any-nf"},
+		},
+		"controller_request": ControllerRequest{Columns: 10, Tests: []string{"DP", "GN1", "GN2"}},
+		"controller_info":    ControllerInfo{Name: "edge0", Columns: 10, Tests: []string{"DP", "GN1", "GN2"}, Resident: 2},
+		"controller_list": ControllerList{
+			Controllers: []ControllerInfo{
+				{Name: "edge0", Columns: 10, Tests: []string{"DP"}, Resident: 1},
+				{Name: "edge1", Columns: 20, Tests: []string{"any-nf"}, Resident: 0},
+			},
+		},
+		"admit_response_accept": AdmitResponse{Admitted: true, ProvedBy: "DP"},
+		"admit_response_reject": AdmitResponse{Reason: "no configured test proves the resulting set schedulable"},
+		"resident_response": ResidentResponse{
+			Name:         "edge0",
+			Columns:      10,
+			Count:        2,
+			UtilizationS: "4.0000",
+			Taskset:      fixtureSet(),
+		},
+		"error": Errorf(CodeLimitExceeded, "1001 tasks exceeds the per-set limit of 1000").WithDetail("limit", "1000"),
+		"metrics_response": MetricsResponse{
+			Engine: EngineStats{Hits: 12, Misses: 3, Evictions: 1, Analyses: 3, AnalysisNanos: 41_000_000, CacheLen: 2, CacheCap: 4096, Workers: 8},
+			HTTP: map[string]RouteMetrics{
+				"analyze": {Requests: 15, Errors: 1, TotalNanos: 52_000_000},
+			},
+		},
+		"health_response": HealthResponse{Status: "ok"},
+	}
+}
+
+// marshal renders a fixture the way the server does: indented JSON plus
+// a trailing newline.
+func marshal(t *testing.T, v any) []byte {
+	t.Helper()
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return append(data, '\n')
+}
+
+func TestGoldenWireForms(t *testing.T) {
+	for name, v := range fixtures() {
+		t.Run(name, func(t *testing.T) {
+			got := marshal(t, v)
+			path := filepath.Join("testdata", name+".golden.json")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (regenerate with go test ./api -run Golden -update): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("wire form drifted from %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+			}
+		})
+	}
+}
+
+// TestGoldenRoundTrip proves every frozen form decodes back into its
+// type and re-encodes identically, so the golden files are readable
+// contracts, not just snapshots.
+func TestGoldenRoundTrip(t *testing.T) {
+	if *update {
+		t.Skip("regenerating")
+	}
+	for name, v := range fixtures() {
+		t.Run(name, func(t *testing.T) {
+			path := filepath.Join("testdata", name+".golden.json")
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			typ := reflect.TypeOf(v)
+			var target reflect.Value
+			if typ.Kind() == reflect.Pointer {
+				target = reflect.New(typ.Elem())
+			} else {
+				target = reflect.New(typ)
+			}
+			if err := json.Unmarshal(want, target.Interface()); err != nil {
+				t.Fatalf("decoding golden: %v", err)
+			}
+			var again any = target.Interface()
+			if typ.Kind() != reflect.Pointer {
+				again = target.Elem().Interface()
+			}
+			if got := marshal(t, again); !bytes.Equal(got, want) {
+				t.Errorf("round trip drifted:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+			}
+		})
+	}
+}
+
+// TestErrorInterface pins the error-string and detail-chaining
+// behaviour the client relies on.
+func TestErrorInterface(t *testing.T) {
+	e := Errorf(CodeUnknownTest, "unknown test %q", "XX")
+	if got := e.Error(); got != `unknown_test: unknown test "XX"` {
+		t.Errorf("Error() = %q", got)
+	}
+	e.WithDetail("test", "XX").WithDetail("hint", "see /v1/tests")
+	if e.Detail["test"] != "XX" || e.Detail["hint"] != "see /v1/tests" {
+		t.Errorf("detail = %v", e.Detail)
+	}
+	var uncoded Error
+	uncoded.Message = "plain"
+	if uncoded.Error() != "plain" {
+		t.Errorf("uncoded Error() = %q", uncoded.Error())
+	}
+}

@@ -1,0 +1,58 @@
+package api
+
+import "fpgasched/internal/engine"
+
+// EngineStats is the wire form of the analysis engine's counters, as
+// published on GET /metrics.
+type EngineStats struct {
+	// Hits/Misses/Evictions count verdict-cache events; a coalesced
+	// request (served by an identical in-flight analysis) is a hit.
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	// Analyses counts test executions actually performed; AnalysisNanos
+	// is their cumulative wall time.
+	Analyses      uint64 `json:"analyses"`
+	AnalysisNanos uint64 `json:"analysis_nanos"`
+	// InFlight is the number of distinct analyses currently owned —
+	// executing or queued (coalesced waiters share one entry).
+	InFlight int `json:"in_flight"`
+	CacheLen int `json:"cache_len"`
+	CacheCap int `json:"cache_cap"`
+	Workers  int `json:"workers"`
+}
+
+// EngineStatsFrom converts an engine snapshot to its wire form.
+func EngineStatsFrom(s engine.Stats) EngineStats {
+	return EngineStats{
+		Hits:          s.Hits,
+		Misses:        s.Misses,
+		Evictions:     s.Evictions,
+		Analyses:      s.Analyses,
+		AnalysisNanos: s.AnalysisNanos,
+		InFlight:      s.InFlight,
+		CacheLen:      s.CacheLen,
+		CacheCap:      s.CacheCap,
+		Workers:       s.Workers,
+	}
+}
+
+// RouteMetrics accumulates per-route HTTP counters.
+type RouteMetrics struct {
+	Requests uint64 `json:"requests"`
+	// Errors counts responses with status >= 400.
+	Errors     uint64 `json:"errors"`
+	TotalNanos uint64 `json:"total_nanos"`
+}
+
+// MetricsResponse is the plain-JSON GET /metrics document
+// (expvar-style: flat, counters only, no exposition-format dependency).
+type MetricsResponse struct {
+	Engine EngineStats             `json:"engine"`
+	HTTP   map[string]RouteMetrics `json:"http"`
+}
+
+// HealthResponse answers GET /healthz.
+type HealthResponse struct {
+	Status string `json:"status"`
+}

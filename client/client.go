@@ -1,0 +1,372 @@
+// Package client is the official Go SDK for the fpgaschedd HTTP API.
+// It speaks the v1 wire contract defined by the top-level api package —
+// no consumer needs to hand-roll JSON — and adds the transport
+// plumbing a production caller wants:
+//
+//   - per-call context.Context on every method, cancelling the server
+//     side too (the daemon abandons queued analyses when a client goes
+//     away);
+//   - opt-in retries with linear backoff on transport errors and 5xx
+//     responses, applied only to calls that are safe to repeat (pure
+//     analyses, simulations and reads — never Admit);
+//   - connection reuse: one Client shares one http.Client (and so one
+//     connection pool) across calls and goroutines;
+//   - typed errors: any non-2xx response is returned as *api.Error with
+//     the machine-readable code and HTTP status filled in.
+//
+// A Client is safe for concurrent use.
+//
+//	c, err := client.New("http://localhost:8080")
+//	resp, err := c.Analyze(ctx, api.AnalyzeRequest{Columns: 10, Taskset: set})
+//
+// For large batches use AnalyzeStream, which feeds the server's NDJSON
+// streaming endpoint and hands results to a callback as they complete —
+// memory stays bounded on both sides regardless of batch size.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"iter"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"fpgasched/api"
+)
+
+// Client calls a fpgaschedd daemon. Create with New.
+type Client struct {
+	base    string
+	hc      *http.Client
+	retries int
+	backoff time.Duration
+}
+
+// Option customises a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying http.Client (custom
+// transports, TLS configuration, global timeouts). The default is a
+// dedicated client with the standard transport.
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
+}
+
+// WithRetries enables up to n retries (n+1 total attempts) on transport
+// errors and 5xx responses for idempotent calls. The default is 0 —
+// fail fast.
+func WithRetries(n int) Option {
+	return func(c *Client) { c.retries = n }
+}
+
+// WithRetryBackoff sets the base delay between attempts (attempt k
+// waits k × backoff, respecting the call's context). The default is
+// 100ms.
+func WithRetryBackoff(d time.Duration) Option {
+	return func(c *Client) { c.backoff = d }
+}
+
+// New returns a Client for the daemon at baseURL (e.g.
+// "http://localhost:8080").
+func New(baseURL string, opts ...Option) (*Client, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		return nil, fmt.Errorf("client: parsing base URL: %w", err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return nil, fmt.Errorf("client: base URL %q must be http or https", baseURL)
+	}
+	c := &Client{
+		base:    strings.TrimRight(u.String(), "/"),
+		hc:      &http.Client{},
+		backoff: 100 * time.Millisecond,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	if c.retries < 0 {
+		c.retries = 0
+	}
+	return c, nil
+}
+
+// retryable reports whether an attempt outcome warrants another try.
+func retryable(status int, err error) bool {
+	return err != nil || status >= 500
+}
+
+// do issues one JSON call. in (when non-nil) is marshalled once and
+// replayed on retries; out (when non-nil) receives the 2xx body. retry
+// opts the call into the configured retry policy.
+func (c *Client) do(ctx context.Context, method, path string, in, out any, retry bool) error {
+	var body []byte
+	if in != nil {
+		var err error
+		if body, err = json.Marshal(in); err != nil {
+			return fmt.Errorf("client: encoding request: %w", err)
+		}
+	}
+	attempts := 1
+	if retry {
+		attempts += c.retries
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-time.After(time.Duration(attempt) * c.backoff):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		var rdr io.Reader
+		if in != nil {
+			rdr = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.base+path, rdr)
+		if err != nil {
+			return fmt.Errorf("client: building request: %w", err)
+		}
+		if in != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			lastErr = err
+			continue
+		}
+		if retryable(resp.StatusCode, nil) && attempt+1 < attempts {
+			lastErr = readError(resp)
+			continue
+		}
+		return finish(resp, out)
+	}
+	return fmt.Errorf("client: %s %s failed after %d attempts: %w", method, path, attempts, lastErr)
+}
+
+// finish consumes a response: decode out on 2xx, a typed error
+// otherwise. The body is always drained and closed so the connection
+// returns to the pool.
+func finish(resp *http.Response, out any) error {
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return readError(resp)
+	}
+	defer drain(resp)
+	if out == nil || resp.StatusCode == http.StatusNoContent {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("client: decoding response: %w", err)
+	}
+	return nil
+}
+
+// readError converts a non-2xx response into *api.Error, synthesising
+// one when the body is not a wire error (a proxy page, say).
+func readError(resp *http.Response) *api.Error {
+	defer drain(resp)
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	var e api.Error
+	if err := json.Unmarshal(data, &e); err != nil || e.Message == "" {
+		code := api.CodeInternal
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			code = api.CodeUnavailable
+		}
+		e = api.Error{Code: code, Message: fmt.Sprintf("HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(data))}
+	}
+	e.HTTPStatus = resp.StatusCode
+	return &e
+}
+
+// drain discards any unread body and closes it (required for
+// connection reuse).
+func drain(resp *http.Response) {
+	_, _ = io.Copy(io.Discard, resp.Body)
+	_ = resp.Body.Close()
+}
+
+// Health checks GET /healthz.
+func (c *Client) Health(ctx context.Context) error {
+	var out api.HealthResponse
+	if err := c.do(ctx, http.MethodGet, "/healthz", nil, &out, true); err != nil {
+		return err
+	}
+	if out.Status != "ok" {
+		return fmt.Errorf("client: daemon unhealthy: %q", out.Status)
+	}
+	return nil
+}
+
+// Metrics fetches GET /metrics.
+func (c *Client) Metrics(ctx context.Context) (*api.MetricsResponse, error) {
+	var out api.MetricsResponse
+	if err := c.do(ctx, http.MethodGet, "/metrics", nil, &out, true); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Tests fetches the test-name registry (GET /v1/tests): the valid
+// identifiers for every tests field, so callers can discover rather
+// than guess.
+func (c *Client) Tests(ctx context.Context) ([]string, error) {
+	var out api.TestsResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/tests", nil, &out, true); err != nil {
+		return nil, err
+	}
+	return out.Tests, nil
+}
+
+// Analyze runs a single or batch analysis (POST /v1/analyze). Analyses
+// are pure, so the call is retried under the configured policy.
+func (c *Client) Analyze(ctx context.Context, req api.AnalyzeRequest) (*api.AnalyzeResponse, error) {
+	var out api.AnalyzeResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/analyze", req, &out, true); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Simulate runs one simulation (POST /v1/simulate). Simulations are
+// pure, so the call is retried under the configured policy.
+func (c *Client) Simulate(ctx context.Context, req api.SimulateRequest) (*api.SimulateResponse, error) {
+	var out api.SimulateResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/simulate", req, &out, true); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// AnalyzeStream drives POST /v1/analyze/stream: requests are encoded as
+// NDJSON lines as the iterator yields them, and fn is called for each
+// result line as the server emits it — out of order, tagged with the
+// 0-based index of the request it answers. Memory stays bounded on both
+// sides for arbitrarily long batches.
+//
+// fn returning a non-nil error aborts the stream and returns that
+// error. The call is never retried (the request body is a stream); for
+// per-line failures the server keeps the stream alive and reports a
+// StreamResult carrying an *api.Error instead.
+func (c *Client) AnalyzeStream(ctx context.Context, reqs iter.Seq[api.StreamRequest], fn func(api.StreamResult) error) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	pr, pw := io.Pipe()
+	go func() {
+		enc := json.NewEncoder(pw)
+		for r := range reqs {
+			if ctx.Err() != nil {
+				pw.CloseWithError(ctx.Err())
+				return
+			}
+			if err := enc.Encode(r); err != nil {
+				pw.CloseWithError(err)
+				return
+			}
+		}
+		pw.Close()
+	}()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/analyze/stream", pr)
+	if err != nil {
+		return fmt.Errorf("client: building request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return readError(resp)
+	}
+	// Cancel before draining: on an aborted stream the drain must find a
+	// dead request, not read the remaining batch to EOF (defers run LIFO,
+	// so the earlier `defer cancel()` alone would drain first).
+	defer func() {
+		cancel()
+		drain(resp)
+	}()
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var res api.StreamResult
+		if err := dec.Decode(&res); err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return fmt.Errorf("client: decoding stream: %w", err)
+		}
+		if err := fn(res); err != nil {
+			return err
+		}
+	}
+}
+
+// CreateController creates a named admission controller
+// (PUT /v1/controllers/{name}). Not retried: a duplicate create is a
+// conflict, and a retry racing its own first attempt would
+// misreport one.
+func (c *Client) CreateController(ctx context.Context, name string, req api.ControllerRequest) (*api.ControllerInfo, error) {
+	var out api.ControllerInfo
+	if err := c.do(ctx, http.MethodPut, "/v1/controllers/"+url.PathEscape(name), req, &out, false); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// DeleteController drops a controller (DELETE /v1/controllers/{name}).
+// Not retried: a repeat of a delivered delete reports not_found.
+func (c *Client) DeleteController(ctx context.Context, name string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/controllers/"+url.PathEscape(name), nil, nil, false)
+}
+
+// Controllers lists the admission controllers (GET /v1/controllers).
+func (c *Client) Controllers(ctx context.Context) ([]api.ControllerInfo, error) {
+	var out api.ControllerList
+	if err := c.do(ctx, http.MethodGet, "/v1/controllers", nil, &out, true); err != nil {
+		return nil, err
+	}
+	return out.Controllers, nil
+}
+
+// Admit asks a controller to admit one task
+// (POST /v1/controllers/{name}/admit). Never retried: admission mutates
+// the resident set, and a retry of a delivered admit would double-count
+// or misreport a duplicate.
+func (c *Client) Admit(ctx context.Context, controller string, t api.Task) (*api.AdmitResponse, error) {
+	var out api.AdmitResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/controllers/"+url.PathEscape(controller)+"/admit", t, &out, false); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Release removes a resident task from a controller
+// (DELETE /v1/controllers/{name}/tasks/{task}). Not retried: a repeat
+// of a delivered release reports not_found.
+func (c *Client) Release(ctx context.Context, controller, taskName string) error {
+	return c.do(ctx, http.MethodDelete,
+		"/v1/controllers/"+url.PathEscape(controller)+"/tasks/"+url.PathEscape(taskName), nil, nil, false)
+}
+
+// Resident snapshots a controller's resident set
+// (GET /v1/controllers/{name}/resident).
+func (c *Client) Resident(ctx context.Context, controller string) (*api.ResidentResponse, error) {
+	var out api.ResidentResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/controllers/"+url.PathEscape(controller)+"/resident", nil, &out, true); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}

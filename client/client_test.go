@@ -1,0 +1,454 @@
+package client
+
+// End-to-end integration tests: a real Server (internal/server) behind
+// httptest, driven exclusively through the SDK. These are the
+// client↔server contract tests CI runs alongside the api golden files.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"iter"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fpgasched/api"
+	"fpgasched/internal/core"
+	"fpgasched/internal/engine"
+	"fpgasched/internal/server"
+	"fpgasched/internal/task"
+	"fpgasched/internal/workload"
+)
+
+// newEnv starts a daemon over httptest and returns a client plus the
+// engine (for cache/pool assertions).
+func newEnv(t testing.TB, cfg server.Config) (*Client, *engine.Engine) {
+	t.Helper()
+	if cfg.Engine == nil {
+		cfg.Engine = engine.New(engine.Config{Workers: 4, CacheSize: 128})
+	}
+	e := cfg.Engine
+	srv := server.New(cfg)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+		e.Close()
+	})
+	c, err := New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, e
+}
+
+func TestNewRejectsBadURL(t *testing.T) {
+	for _, bad := range []string{"://nope", "ftp://x", ""} {
+		if _, err := New(bad); err == nil {
+			t.Errorf("New(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestAnalyzeEndToEnd(t *testing.T) {
+	c, _ := newEnv(t, server.Config{})
+	ctx := context.Background()
+	if err := c.Health(ctx); err != nil {
+		t.Fatalf("health: %v", err)
+	}
+	// Single, with detail: Table 3 is the GN2-only showcase.
+	resp, err := c.Analyze(ctx, api.AnalyzeRequest{
+		Columns: 10,
+		Tests:   []string{"DP", "GN1", "GN2"},
+		Taskset: workload.Table3(),
+		Detail:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Result == nil || len(resp.Result.Verdicts) != 3 {
+		t.Fatalf("result = %+v", resp)
+	}
+	v := resp.Result.Verdicts
+	if v[0].Schedulable || v[1].Schedulable || !v[2].Schedulable || !resp.Result.Schedulable {
+		t.Errorf("verdicts = %+v, want reject/reject/accept", v)
+	}
+	if len(v[2].Checks) == 0 || v[2].Checks[0].LHS == "" {
+		t.Errorf("detail=true must carry exact checks, got %+v", v[2].Checks)
+	}
+	// Batch.
+	batch, err := c.Analyze(ctx, api.AnalyzeRequest{
+		Columns:  10,
+		Tests:    []string{"GN2"},
+		Tasksets: []*api.TaskSet{workload.Table1(), workload.Table3()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch.Results) != 2 || !batch.Results[1].Schedulable {
+		t.Fatalf("batch = %+v", batch)
+	}
+}
+
+func TestTestsDiscovery(t *testing.T) {
+	c, _ := newEnv(t, server.Config{})
+	names, err := c.Tests(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) == 0 {
+		t.Fatal("no tests discovered")
+	}
+	// Every discovered identifier is usable in an analyze request.
+	for _, n := range names {
+		if _, err := c.Analyze(context.Background(), api.AnalyzeRequest{
+			Columns: 10, Tests: []string{n}, Taskset: workload.Table1(),
+		}); err != nil {
+			t.Errorf("discovered test %q rejected: %v", n, err)
+		}
+	}
+}
+
+func TestSimulateEndToEnd(t *testing.T) {
+	c, _ := newEnv(t, server.Config{})
+	resp, err := c.Simulate(context.Background(), api.SimulateRequest{
+		Columns: 10, Scheduler: "nf", Taskset: workload.Table3(), Horizon: "70",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Missed || resp.Horizon != "70" || resp.Completed == 0 {
+		t.Errorf("simulate = %+v", resp)
+	}
+}
+
+func TestTypedErrors(t *testing.T) {
+	c, _ := newEnv(t, server.Config{})
+	_, err := c.Analyze(context.Background(), api.AnalyzeRequest{
+		Columns: 10, Tests: []string{"XX"}, Taskset: workload.Table1(),
+	})
+	var apiErr *api.Error
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("err = %v (%T), want *api.Error", err, err)
+	}
+	if apiErr.Code != api.CodeUnknownTest || apiErr.HTTPStatus != http.StatusBadRequest || apiErr.Detail["test"] != "XX" {
+		t.Errorf("error = %+v, want unknown_test/400 with detail.test", apiErr)
+	}
+	_, err = c.Analyze(context.Background(), api.AnalyzeRequest{Columns: 0, Taskset: workload.Table1()})
+	if !errors.As(err, &apiErr) || apiErr.Code != api.CodeInvalidDevice {
+		t.Errorf("zero columns err = %v, want invalid_device", err)
+	}
+}
+
+func TestAdmissionLifecycle(t *testing.T) {
+	c, _ := newEnv(t, server.Config{})
+	ctx := context.Background()
+	info, err := c.CreateController(ctx, "edge 0", api.ControllerRequest{Columns: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Name != "edge 0" || info.Columns != 10 {
+		t.Fatalf("create = %+v", info)
+	}
+	d, err := c.Admit(ctx, "edge 0", task.New("cam", "2", "5", "5", 5))
+	if err != nil || !d.Admitted {
+		t.Fatalf("admit = %+v, %v", d, err)
+	}
+	res, err := c.Resident(ctx, "edge 0")
+	if err != nil || res.Count != 1 || res.Taskset.Len() != 1 {
+		t.Fatalf("resident = %+v, %v", res, err)
+	}
+	list, err := c.Controllers(ctx)
+	if err != nil || len(list) != 1 || list[0].Resident != 1 {
+		t.Fatalf("list = %+v, %v", list, err)
+	}
+	if err := c.Release(ctx, "edge 0", "cam"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Release(ctx, "edge 0", "cam"); err == nil {
+		t.Error("double release must error")
+	}
+	var apiErr *api.Error
+	if err := c.DeleteController(ctx, "edge 0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DeleteController(ctx, "edge 0"); !errors.As(err, &apiErr) || apiErr.Code != api.CodeNotFound {
+		t.Errorf("double delete err = %v, want not_found", err)
+	}
+}
+
+func TestAnalyzeStreamEndToEnd(t *testing.T) {
+	c, e := newEnv(t, server.Config{})
+	const n = 200
+	reqs := func(yield func(api.StreamRequest) bool) {
+		for i := 0; i < n; i++ {
+			if !yield(api.StreamRequest{Columns: 10, Tests: []string{"GN2"}, Taskset: workload.Table3()}) {
+				return
+			}
+		}
+	}
+	seen := make(map[int]bool, n)
+	err := c.AnalyzeStream(context.Background(), iter.Seq[api.StreamRequest](reqs), func(res api.StreamResult) error {
+		if res.Error != nil {
+			return res.Error
+		}
+		if seen[res.Index] {
+			return fmt.Errorf("index %d twice", res.Index)
+		}
+		seen[res.Index] = true
+		if !res.Result.Schedulable {
+			return fmt.Errorf("index %d not schedulable", res.Index)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != n {
+		t.Fatalf("got %d results, want %d", len(seen), n)
+	}
+	// All identical sets: the engine analysed once and served the rest
+	// from cache/coalescing.
+	if st := e.Stats(); st.Analyses != 1 {
+		t.Errorf("analyses = %d, want 1", st.Analyses)
+	}
+}
+
+func TestAnalyzeStreamCallbackAbort(t *testing.T) {
+	c, _ := newEnv(t, server.Config{})
+	boom := errors.New("boom")
+	calls := 0
+	err := c.AnalyzeStream(context.Background(), func(yield func(api.StreamRequest) bool) {
+		for i := 0; i < 50; i++ {
+			if !yield(api.StreamRequest{Columns: 10, Taskset: workload.Table1()}) {
+				return
+			}
+		}
+	}, func(api.StreamResult) error {
+		calls++
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if calls != 1 {
+		t.Errorf("callback ran %d times after abort, want 1", calls)
+	}
+}
+
+// flakyProxy fails the first n requests with 503 before delegating to
+// the real server, counting attempts.
+type flakyProxy struct {
+	failures atomic.Int64
+	attempts atomic.Int64
+	inner    http.Handler
+}
+
+func (f *flakyProxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	f.attempts.Add(1)
+	if f.failures.Add(-1) >= 0 {
+		http.Error(w, `{"code":"unavailable","error":"synthetic outage"}`, http.StatusServiceUnavailable)
+		return
+	}
+	f.inner.ServeHTTP(w, r)
+}
+
+func TestRetriesOn5xx(t *testing.T) {
+	srv := server.New(server.Config{EngineConfig: engine.Config{Workers: 2}})
+	defer srv.Close()
+	proxy := &flakyProxy{inner: srv}
+	proxy.failures.Store(2)
+	ts := httptest.NewServer(proxy)
+	defer ts.Close()
+	c, err := New(ts.URL, WithRetries(3), WithRetryBackoff(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Analyze(context.Background(), api.AnalyzeRequest{Columns: 10, Taskset: workload.Table1()}); err != nil {
+		t.Fatalf("analyze with retries: %v", err)
+	}
+	if got := proxy.attempts.Load(); got != 3 {
+		t.Errorf("attempts = %d, want 3 (two 503s then success)", got)
+	}
+}
+
+func TestNoRetryByDefaultAndTypedFailure(t *testing.T) {
+	srv := server.New(server.Config{EngineConfig: engine.Config{Workers: 2}})
+	defer srv.Close()
+	proxy := &flakyProxy{inner: srv}
+	proxy.failures.Store(1)
+	ts := httptest.NewServer(proxy)
+	defer ts.Close()
+	c, err := New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Analyze(context.Background(), api.AnalyzeRequest{Columns: 10, Taskset: workload.Table1()})
+	var apiErr *api.Error
+	if !errors.As(err, &apiErr) || apiErr.HTTPStatus != http.StatusServiceUnavailable {
+		t.Fatalf("err = %v, want typed 503", err)
+	}
+	if got := proxy.attempts.Load(); got != 1 {
+		t.Errorf("attempts = %d, want 1 (retries are opt-in)", got)
+	}
+}
+
+func TestAdmitNeverRetried(t *testing.T) {
+	srv := server.New(server.Config{EngineConfig: engine.Config{Workers: 2}})
+	defer srv.Close()
+	proxy := &flakyProxy{inner: srv}
+	ts := httptest.NewServer(proxy)
+	defer ts.Close()
+	c, err := New(ts.URL, WithRetries(3), WithRetryBackoff(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateController(context.Background(), "x", api.ControllerRequest{Columns: 10}); err != nil {
+		t.Fatal(err)
+	}
+	proxy.failures.Store(1)
+	before := proxy.attempts.Load()
+	if _, err := c.Admit(context.Background(), "x", task.New("a", "1", "5", "5", 1)); err == nil {
+		t.Fatal("admit through outage succeeded, want error")
+	}
+	if got := proxy.attempts.Load() - before; got != 1 {
+		t.Errorf("admit attempts = %d, want 1 (mutations must not be retried)", got)
+	}
+}
+
+func TestRetriesOnTransportError(t *testing.T) {
+	srv := server.New(server.Config{EngineConfig: engine.Config{Workers: 2}})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	// A dead listener first: the dial fails, the retry must move on to a
+	// working attempt? A single base URL cannot fail over, so instead
+	// prove the retry loop survives a connection-level failure: point at
+	// a closed port with retries and assert we got a transport error (not
+	// a hang or panic) after the configured attempts.
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	deadURL := dead.URL
+	dead.Close()
+	c, err := New(deadURL, WithRetries(2), WithRetryBackoff(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err = c.Analyze(context.Background(), api.AnalyzeRequest{Columns: 10, Taskset: workload.Table1()})
+	if err == nil {
+		t.Fatal("analyze against dead server succeeded")
+	}
+	if !strings.Contains(err.Error(), "3 attempts") {
+		t.Errorf("err = %v, want the attempt count reported", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Error("retry loop took too long")
+	}
+}
+
+// blockingTest parks inside Analyze until released; used to hold the
+// engine's worker slot at a precise point from outside the HTTP path.
+type blockingTest struct {
+	started chan struct{}
+	release chan struct{}
+}
+
+func (b *blockingTest) Name() string { return "blocking" }
+
+func (b *blockingTest) Analyze(core.Device, *task.Set) core.Verdict {
+	select {
+	case b.started <- struct{}{}:
+	default:
+	}
+	<-b.release
+	return core.Verdict{Test: "blocking", Schedulable: true, FailingTask: -1}
+}
+
+// TestClientCancellationPropagatesToEngine is the acceptance test for
+// end-to-end cancellation: cancelling an SDK call while its analyses
+// are queued behind a busy pool must abandon the queued work inside the
+// engine and release nothing it did not own — the pool slot becomes
+// available the moment the running analysis finishes, and the abandoned
+// analysis never runs.
+func TestClientCancellationPropagatesToEngine(t *testing.T) {
+	e := engine.New(engine.Config{Workers: 1, CacheSize: 64})
+	c, _ := newEnv(t, server.Config{Engine: e})
+
+	// Occupy the engine's only worker slot out-of-band.
+	blocker := &blockingTest{started: make(chan struct{}, 1), release: make(chan struct{})}
+	blocked := make(chan error, 1)
+	go func() {
+		_, err := e.Analyze(context.Background(), engine.Request{Columns: 10, Set: workload.Table1(), Test: blocker})
+		blocked <- err
+	}()
+	select {
+	case <-blocker.started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("blocking analysis never started")
+	}
+
+	// The SDK call queues behind the blocker; cancelling the context
+	// must fail the call promptly even though the pool never frees.
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := c.Analyze(ctx, api.AnalyzeRequest{Columns: 10, Tests: []string{"GN2"}, Taskset: workload.Table3()})
+		errCh <- err
+	}()
+	// Wait until the server-side analysis registered in the engine (the
+	// blocker plus the queued GN2 → two in-flight calls), then cancel
+	// the client call while it is queued on the pool.
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		if e.Stats().InFlight >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("queued analysis never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled call err = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled call did not return while the pool was busy")
+	}
+
+	// The client returns the moment its HTTP request aborts; the server
+	// observes the disconnect asynchronously. Wait for the engine to
+	// drop the abandoned call (back to the blocker alone) before freeing
+	// the pool, or the queued analysis could still grab the slot.
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		if e.Stats().InFlight == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("cancelled analysis was never abandoned server-side")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Release the blocker: the abandoned analysis must NOT run.
+	close(blocker.release)
+	if err := <-blocked; err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Stats(); st.Analyses != 1 {
+		t.Errorf("analyses = %d, want 1 (the cancelled analysis must have been abandoned)", st.Analyses)
+	}
+	// And the pool slot is free: a fresh SDK call completes.
+	resp, err := c.Analyze(context.Background(), api.AnalyzeRequest{Columns: 10, Tests: []string{"GN2"}, Taskset: workload.Table3()})
+	if err != nil {
+		t.Fatalf("post-cancel analyze: %v (pool slot leaked?)", err)
+	}
+	if !resp.Result.Schedulable {
+		t.Errorf("post-cancel verdict = %+v", resp.Result)
+	}
+}

@@ -5,20 +5,32 @@
 //
 //	fpgasched -columns 100 -file taskset.json [-tests DP,GN1,GN2]
 //	          [-scheduler nf|fkf] [-simulate] [-horizon 200] [-v]
+//	          [-remote http://host:8080]
 //
 // The file may be JSON ({"tasks":[{"name":...,"c":"1.26","d":"7","t":"7",
 // "a":9},...]}) or CSV (header name,c,d,t,a), chosen by extension.
+//
+// With -remote the analysis (and simulation) run on a fpgaschedd daemon
+// through the official client SDK instead of in-process — same flags,
+// same output, same exit codes — so the CLI doubles as a smoke test of
+// CLI/SDK parity.
+//
 // Exit status: 0 if every requested test accepts, 1 if any rejects,
 // 2 on usage or input errors.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"math/big"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 
+	"fpgasched/api"
+	"fpgasched/client"
 	"fpgasched/internal/core"
 	"fpgasched/internal/sched"
 	"fpgasched/internal/sim"
@@ -39,6 +51,7 @@ func run(args []string) int {
 	simulate := fs.Bool("simulate", false, "also run a synchronous-release simulation")
 	horizon := fs.Int64("horizon", 0, "simulation release horizon in time units (0: auto)")
 	verbose := fs.Bool("v", false, "print per-task bound details")
+	remote := fs.String("remote", "", "base URL of a fpgaschedd daemon; analyses run there via the client SDK")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -52,14 +65,19 @@ func run(args []string) int {
 		fmt.Fprintf(os.Stderr, "fpgasched: %v\n", err)
 		return 2
 	}
+
+	fmt.Printf("device: %d columns; taskset: %d tasks, UT=%s US=%s\n",
+		*columns, s.Len(), s.UtilizationT().FloatString(4), s.UtilizationS().FloatString(4))
+
+	if *remote != "" {
+		return runRemote(*remote, *columns, s, *testsArg, *scheduler, *simulate, *horizon, *verbose)
+	}
+
 	tests, err := parseTests(*testsArg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "fpgasched: %v\n", err)
 		return 2
 	}
-
-	fmt.Printf("device: %d columns; taskset: %d tasks, UT=%s US=%s\n",
-		*columns, s.Len(), s.UtilizationT().FloatString(4), s.UtilizationS().FloatString(4))
 	dev := core.NewDevice(*columns)
 	allAccept := true
 	for _, t := range tests {
@@ -117,6 +135,114 @@ func run(args []string) int {
 		return 0
 	}
 	return 1
+}
+
+// runRemote routes the analysis (and simulation) through a fpgaschedd
+// daemon via the client SDK, mirroring the in-process output and exit
+// codes. Server-side input rejections (unknown test, invalid set) map
+// to exit 2 like their local counterparts.
+func runRemote(base string, columns int, s *task.Set, testsArg, scheduler string, simulate bool, horizon int64, verbose bool) int {
+	c, err := client.New(base)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fpgasched: %v\n", err)
+		return 2
+	}
+	ctx := context.Background()
+	var names []string
+	for _, n := range strings.Split(testsArg, ",") {
+		if nn := strings.TrimSpace(n); nn != "" {
+			names = append(names, nn)
+		}
+	}
+	// An all-blank list must fail like the local path does; sending it
+	// as empty would silently analyse with the server default (any-nf).
+	if len(names) == 0 {
+		fmt.Fprintln(os.Stderr, "fpgasched: no tests selected")
+		return 2
+	}
+	resp, err := c.Analyze(ctx, api.AnalyzeRequest{
+		Columns: columns,
+		Tests:   names,
+		Taskset: s,
+		Detail:  verbose,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fpgasched: remote analyze: %v\n", err)
+		return 2
+	}
+	allAccept := true
+	for _, v := range resp.Result.Verdicts {
+		fmt.Println(" ", formatVerdict(v))
+		if verbose {
+			for _, chk := range v.Checks {
+				status := "ok"
+				if !chk.Satisfied {
+					status = "FAIL"
+				}
+				extra := ""
+				if chk.Lambda != "" {
+					extra = fmt.Sprintf(" λ=%s cond=%d", ratString(chk.Lambda), chk.Condition)
+				}
+				fmt.Printf("    task %d: LHS=%s RHS=%s %s%s\n",
+					chk.TaskIndex, ratString(chk.LHS), ratString(chk.RHS), status, extra)
+			}
+		}
+		if !v.Schedulable {
+			allAccept = false
+		}
+	}
+
+	if simulate {
+		req := api.SimulateRequest{Columns: columns, Scheduler: strings.ToLower(scheduler), Taskset: s}
+		if horizon > 0 {
+			req.Horizon = strconv.FormatInt(horizon, 10)
+		}
+		res, err := c.Simulate(ctx, req)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fpgasched: remote simulation: %v\n", err)
+			return 2
+		}
+		if res.Missed {
+			missTask, missJob := -1, -1
+			if res.FirstMissTask != nil {
+				missTask = *res.FirstMissTask
+			}
+			if res.FirstMissJob != nil {
+				missJob = *res.FirstMissJob
+			}
+			fmt.Printf("  %s simulation (horizon %s): MISS at %s (task %d job %d)\n",
+				res.Policy, res.Horizon, res.FirstMissTime, missTask, missJob)
+		} else {
+			fmt.Printf("  %s simulation (horizon %s): no deadline miss (%d jobs, %d preemptions)\n",
+				res.Policy, res.Horizon, res.Completed, res.Preemptions)
+		}
+	}
+
+	if allAccept {
+		return 0
+	}
+	return 1
+}
+
+// formatVerdict mirrors core.Verdict.String for the wire form.
+func formatVerdict(v api.Verdict) string {
+	if v.Schedulable {
+		return fmt.Sprintf("%s: schedulable", v.Test)
+	}
+	if v.FailingTask != nil {
+		return fmt.Sprintf("%s: not proven schedulable (task %d: %s)", v.Test, *v.FailingTask, v.Reason)
+	}
+	return fmt.Sprintf("%s: not proven schedulable (%s)", v.Test, v.Reason)
+}
+
+// ratString renders an exact fraction string ("63/10") as a 4-decimal
+// value, matching the local verbose output.
+func ratString(s string) string {
+	r, ok := new(big.Rat).SetString(s)
+	if !ok {
+		return s
+	}
+	return r.FloatString(4)
 }
 
 // loadSet reads a taskset from a JSON or CSV file by extension.

@@ -1,9 +1,15 @@
 package main
 
 import (
+	"io"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+
+	"fpgasched/internal/engine"
+	"fpgasched/internal/server"
 )
 
 func writeTable3(t *testing.T) string {
@@ -87,5 +93,117 @@ func TestRunExtendedGN2Flag(t *testing.T) {
 	// GN2x accepts everything GN2 accepts (table 3 included).
 	if got := run([]string{"-columns", "10", "-file", path, "-tests", "GN2x"}); got != 0 {
 		t.Errorf("exit = %d, want 0 (GN2x accepts table 3)", got)
+	}
+}
+
+// captureRun runs the CLI with stdout captured.
+func captureRun(t *testing.T, args []string) (int, string) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	code := run(args)
+	w.Close()
+	os.Stdout = old
+	data, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return code, string(data)
+}
+
+// stripReasons drops the free-text rejection reason from verdict lines:
+// the remote path analyses in canonical (fingerprint) order, so task
+// indices embedded in reason prose may legitimately differ from the
+// local direct analysis (the structured fields are remapped; the prose
+// is not — see the api.Verdict contract).
+func stripReasons(out string) string {
+	lines := strings.Split(out, "\n")
+	for i, l := range lines {
+		if idx := strings.Index(l, " ("); idx >= 0 && strings.Contains(l, "not proven schedulable") {
+			lines[i] = l[:idx]
+		}
+	}
+	return strings.Join(lines, "\n")
+}
+
+// TestRemoteParity proves the -remote path (through the client SDK and
+// a live fpgaschedd server) matches the in-process path: same exit
+// codes and same rendered output for analysis, verbose detail and
+// simulation.
+func TestRemoteParity(t *testing.T) {
+	srv := server.New(server.Config{EngineConfig: engine.Config{Workers: 2, CacheSize: 64}})
+	ts := httptest.NewServer(srv)
+	defer func() {
+		ts.Close()
+		srv.Close()
+	}()
+	path := writeTable3(t)
+	cases := []struct {
+		name  string
+		args  []string
+		exact bool // byte-for-byte output comparison
+	}{
+		{"accepting test", []string{"-columns", "10", "-file", path, "-tests", "GN2"}, true},
+		{"composite verbose", []string{"-columns", "10", "-file", path, "-tests", "any-nf", "-v"}, true},
+		{"simulation", []string{"-columns", "10", "-file", path, "-tests", "GN2", "-simulate", "-horizon", "35"}, true},
+		{"mixed verdicts", []string{"-columns", "10", "-file", path}, false},
+		{"verbose rejection", []string{"-columns", "10", "-file", path, "-tests", "DP", "-v"}, false},
+	}
+	for _, tc := range cases {
+		localCode, localOut := captureRun(t, tc.args)
+		remoteCode, remoteOut := captureRun(t, append(append([]string{}, tc.args...), "-remote", ts.URL))
+		if remoteCode != localCode {
+			t.Errorf("%s: remote exit = %d, local = %d", tc.name, remoteCode, localCode)
+		}
+		l, r := localOut, remoteOut
+		if !tc.exact {
+			l, r = stripReasons(l), stripReasons(r)
+		}
+		if l != r {
+			t.Errorf("%s: output mismatch\n--- local ---\n%s\n--- remote ---\n%s", tc.name, l, r)
+		}
+	}
+}
+
+func TestRemoteErrorsExitTwo(t *testing.T) {
+	srv := server.New(server.Config{EngineConfig: engine.Config{Workers: 1}})
+	ts := httptest.NewServer(srv)
+	defer func() {
+		ts.Close()
+		srv.Close()
+	}()
+	path := writeTable3(t)
+	cases := [][]string{
+		{"-columns", "10", "-file", path, "-tests", "BOGUS", "-remote", ts.URL},                // unknown test (server-side)
+		{"-columns", "10", "-file", path, "-remote", "://bad"},                                 // bad URL
+		{"-columns", "10", "-file", path, "-remote", "http://127.0.0.1:1"},                     // unreachable
+		{"-columns", "10", "-file", path, "-simulate", "-scheduler", "xyz", "-remote", ts.URL}, // bad scheduler (server-side)
+	}
+	for _, args := range cases {
+		if got, _ := captureRun(t, args); got != 2 {
+			t.Errorf("run(%v) = %d, want 2", args, got)
+		}
+	}
+}
+
+func TestRemoteBlankTestListExitsTwo(t *testing.T) {
+	// Parity with the local path: an all-blank -tests list is a usage
+	// error, not a silent fall-through to the server default.
+	srv := server.New(server.Config{EngineConfig: engine.Config{Workers: 1}})
+	ts := httptest.NewServer(srv)
+	defer func() {
+		ts.Close()
+		srv.Close()
+	}()
+	path := writeTable3(t)
+	args := []string{"-columns", "10", "-file", path, "-tests", " , "}
+	localCode, _ := captureRun(t, args)
+	remoteCode, _ := captureRun(t, append(args, "-remote", ts.URL))
+	if localCode != 2 || remoteCode != 2 {
+		t.Errorf("blank tests: local = %d, remote = %d, want 2/2", localCode, remoteCode)
 	}
 }

@@ -5,11 +5,14 @@
 //
 //	fpgaschedd [-addr :8080] [-workers 8] [-cache 4096] [-max-body 1048576]
 //
-// Endpoints (see internal/server and DESIGN.md for payload shapes):
+// Endpoints (the wire contract lives in the api package; see DESIGN.md
+// "API v1 contract" for payload shapes and error codes):
 //
 //	GET    /healthz
 //	GET    /metrics
+//	GET    /v1/tests
 //	POST   /v1/analyze
+//	POST   /v1/analyze/stream
 //	POST   /v1/simulate
 //	GET    /v1/controllers
 //	PUT    /v1/controllers/{name}
@@ -18,8 +21,12 @@
 //	DELETE /v1/controllers/{name}/tasks/{task}
 //	GET    /v1/controllers/{name}/resident
 //
+// The official Go SDK for this API is the client package.
+//
 // The daemon shuts down gracefully on SIGINT/SIGTERM, draining in-flight
-// requests for up to the -drain timeout.
+// requests for up to the -drain timeout. Per-request cancellation is
+// separate: a client that disconnects mid-request abandons its queued
+// analyses inside the engine.
 package main
 
 import (

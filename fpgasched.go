@@ -23,6 +23,13 @@
 // This root package is a façade re-exporting the stable API from the
 // internal packages; see the example programs under examples/ for usage,
 // and DESIGN.md/EXPERIMENTS.md for the reproduction methodology.
+//
+// For the serving stack, two sibling packages complete the picture: the
+// api package defines the versioned (v1) wire contract of the
+// fpgaschedd daemon — request/response types, the NDJSON streaming
+// protocol and the structured error taxonomy — and the client package
+// is the official typed Go SDK over it (per-call contexts, opt-in
+// retries, streaming batch analysis).
 package fpgasched
 
 import (
@@ -175,6 +182,13 @@ type TasksetFingerprint = task.Fingerprint
 // worker pool over the schedulability tests with verdict memoization
 // keyed by taskset fingerprint. It backs the fpgaschedd daemon and is
 // re-exported for embedding the same serving behaviour in-process.
+//
+// Every analysis entry point is context-aware —
+// Engine.Analyze(ctx, AnalysisRequest) and Engine.AnalyzeAll(ctx, reqs)
+// — and honours cancellation while work is queued: a cancelled request
+// returns ctx.Err() promptly and frees its place in line instead of
+// leaking a queued analysis (see internal/engine for the exact
+// semantics around coalesced requests).
 type Engine = engine.Engine
 
 // EngineConfig sizes an Engine (worker pool and verdict cache).

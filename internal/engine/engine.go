@@ -5,6 +5,17 @@
 // and coalescing of concurrent identical requests so a thundering herd on
 // one taskset performs the analysis once.
 //
+// Every entry point takes a context.Context and honours cancellation at
+// each wait (queueing for a pool slot, waiting on a coalesced in-flight
+// analysis): a cancelled request returns ctx.Err() promptly and frees
+// its place in line rather than leaking a queued analysis. Work already
+// executing runs to completion — the tests are pure functions with no
+// preemption points — and its verdict still lands in the cache, so a
+// cancellation never corrupts or discards finished work. When the owner
+// of a coalesced analysis is cancelled before a slot frees up, one of
+// the surviving waiters transparently takes over ownership and the
+// analysis is neither lost nor duplicated.
+//
 // The memoization is sound because every core.Test is a pure function of
 // (device, taskset) and every analysis-relevant bit of the taskset is
 // covered by task.Set.Fingerprint: task order and names are provably
@@ -26,6 +37,7 @@ package engine
 
 import (
 	"container/list"
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -57,8 +69,13 @@ const (
 type Stats struct {
 	// Hits, Misses and Evictions count cache events. A coalesced request
 	// (one that waited on an identical in-flight analysis) counts as a
-	// hit: the verdict was served without running a test.
+	// hit: the verdict was served without running a test. A miss is
+	// counted only once the analysis actually claims a worker slot, so a
+	// request cancelled while queued counts neither a hit nor a miss.
 	Hits, Misses, Evictions uint64
+	// InFlight is the number of distinct analyses currently owned —
+	// executing or queued for a slot (coalesced waiters share one entry).
+	InFlight int
 	// Analyses counts test executions actually performed.
 	Analyses uint64
 	// AnalysisNanos is the cumulative wall time of those executions.
@@ -89,6 +106,13 @@ type Request struct {
 
 // ErrClosed is returned by Analyze after Close.
 var ErrClosed = errors.New("engine: closed")
+
+// errAbandoned is published to coalesced waiters when the goroutine
+// that owned an in-flight analysis was cancelled before the analysis
+// ran. It never escapes the package: waiters observing it retry (their
+// own contexts may still be live), so one caller's cancellation cannot
+// fail an unrelated caller coalesced onto the same key.
+var errAbandoned = errors.New("engine: analysis abandoned by cancelled owner")
 
 // Engine is a concurrency-safe memoizing analysis service. Create with
 // New; the zero value is not usable.
@@ -209,15 +233,27 @@ func remapVerdict(v core.Verdict, perm []int, omitChecks bool) core.Verdict {
 }
 
 // Analyze runs (or recalls) one analysis. It blocks until a worker slot
-// is free, the verdict is cached, or an identical request already in
-// flight completes. The returned Verdict is shared with other callers of
-// the same key and must be treated as read-only.
-func (e *Engine) Analyze(r Request) (core.Verdict, error) {
+// is free, the verdict is cached, an identical request already in
+// flight completes, or ctx is done. Cancellation is honoured at every
+// wait: a request still queued for a pool slot (or waiting on a
+// coalesced in-flight analysis) returns ctx.Err() promptly and releases
+// nothing it did not own — an analysis already executing runs to
+// completion (the tests are pure functions with no preemption points)
+// and still populates the cache for future callers. The returned
+// Verdict is shared with other callers of the same key and must be
+// treated as read-only.
+func (e *Engine) Analyze(ctx context.Context, r Request) (core.Verdict, error) {
 	if r.Test == nil {
 		return core.Verdict{}, errors.New("engine: nil test")
 	}
 	if r.Set == nil {
 		return core.Verdict{}, errors.New("engine: nil taskset")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return core.Verdict{}, err
 	}
 	select {
 	case <-e.closed:
@@ -227,32 +263,64 @@ func (e *Engine) Analyze(r Request) (core.Verdict, error) {
 	perm := r.Set.CanonicalPerm()
 	k := key(r, perm)
 
-	e.mu.Lock()
-	if e.cache != nil {
-		if v, ok := e.cache.get(k); ok {
+	// Loop: a coalesced wait can end with the owner abandoning the
+	// analysis (its context was cancelled before a slot freed up). This
+	// waiter's context may still be live, so it retries — finding the
+	// key uncached and un-inflight, it becomes the new owner.
+	for {
+		e.mu.Lock()
+		if e.cache != nil {
+			if v, ok := e.cache.get(k); ok {
+				e.mu.Unlock()
+				e.countHit()
+				return remapVerdict(v, perm, r.OmitChecks), nil
+			}
+		}
+		if c, ok := e.inflight[k]; ok {
 			e.mu.Unlock()
+			select {
+			case <-c.done:
+			case <-ctx.Done():
+				return core.Verdict{}, ctx.Err()
+			}
+			if c.err != nil {
+				if c.err == errAbandoned {
+					if err := ctx.Err(); err != nil {
+						return core.Verdict{}, err
+					}
+					continue
+				}
+				return core.Verdict{}, c.err
+			}
 			e.countHit()
-			return remapVerdict(v, perm, r.OmitChecks), nil
+			return remapVerdict(c.verdict, perm, r.OmitChecks), nil
 		}
-	}
-	if c, ok := e.inflight[k]; ok {
+		c := &call{done: make(chan struct{})}
+		e.inflight[k] = c
 		e.mu.Unlock()
-		<-c.done
-		if c.err != nil {
-			return core.Verdict{}, c.err
-		}
-		e.countHit()
-		return remapVerdict(c.verdict, perm, r.OmitChecks), nil
+		return e.own(ctx, r, perm, k, c)
 	}
-	c := &call{done: make(chan struct{})}
-	e.inflight[k] = c
-	e.mu.Unlock()
-	e.countMiss()
+}
 
-	// This goroutine owns the call: run the analysis in a pool slot,
-	// publish, then unblock waiters.
+// abandon withdraws an owned but never-run call: the inflight entry is
+// removed and waiters are released with errAbandoned so they retry.
+func (e *Engine) abandon(k cacheKey, c *call) {
+	c.err = errAbandoned
+	e.mu.Lock()
+	delete(e.inflight, k)
+	e.mu.Unlock()
+	close(c.done)
+}
+
+// own drives the call this goroutine created: acquire a pool slot, run
+// the analysis, publish the verdict, unblock waiters. Cancellation
+// while queued abandons the call without consuming a slot.
+func (e *Engine) own(ctx context.Context, r Request, perm []int, k cacheKey, c *call) (core.Verdict, error) {
 	select {
 	case e.sem <- struct{}{}:
+	case <-ctx.Done():
+		e.abandon(k, c)
+		return core.Verdict{}, ctx.Err()
 	case <-e.closed:
 		c.err = ErrClosed
 		e.mu.Lock()
@@ -261,11 +329,22 @@ func (e *Engine) Analyze(r Request) (core.Verdict, error) {
 		close(c.done)
 		return core.Verdict{}, ErrClosed
 	}
+	// A slot may have freed up only after the caller was cancelled; a
+	// cancelled request must not burn it on work nobody wants.
+	if err := ctx.Err(); err != nil {
+		<-e.sem
+		e.abandon(k, c)
+		return core.Verdict{}, err
+	}
+	// The analysis is definitely running now: count the miss here, not
+	// at ownership registration, so abandoned (cancelled-while-queued)
+	// requests cannot inflate the miss rate with work that never ran.
+	e.countMiss()
 	// Analyze the canonically ordered copy so the cached verdict's
 	// indices mean the same thing to every permutation of this set.
 	canon := &task.Set{Tasks: make([]task.Task, len(perm))}
-	for c, orig := range perm {
-		canon.Tasks[c] = r.Set.Tasks[orig]
+	for pos, orig := range perm {
+		canon.Tasks[pos] = r.Set.Tasks[orig]
 	}
 	start := time.Now()
 	v, runErr := e.runAnalysis(r, canon)
@@ -304,10 +383,19 @@ func (e *Engine) Analyze(r Request) (core.Verdict, error) {
 // AnalyzeAll fans a batch of requests across the worker pool and returns
 // the verdicts in request order. At most Workers goroutines are spawned
 // regardless of batch size (a huge batch must not allocate a goroutine
-// per element just to queue on the pool semaphore). Errors (only
-// possible from nil fields or Close) are joined and returned with the
-// partial results; verdicts at error positions are zero.
-func (e *Engine) AnalyzeAll(reqs []Request) ([]core.Verdict, error) {
+// per element just to queue on the pool semaphore). Errors (nil fields,
+// Close, cancellation) are joined and returned with the partial
+// results; verdicts at error positions are zero.
+//
+// Cancelling ctx mid-batch abandons all queued work promptly: every
+// not-yet-started element fails with ctx.Err(), analyses waiting for a
+// pool slot give up their place, and only analyses already executing
+// run to completion (their verdicts still land in the cache). The
+// returned error then includes ctx.Err().
+func (e *Engine) AnalyzeAll(ctx context.Context, reqs []Request) ([]core.Verdict, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	out := make([]core.Verdict, len(reqs))
 	errs := make([]error, len(reqs))
 	workers := cap(e.sem)
@@ -325,7 +413,10 @@ func (e *Engine) AnalyzeAll(reqs []Request) ([]core.Verdict, error) {
 				if i >= len(reqs) {
 					return
 				}
-				out[i], errs[i] = e.Analyze(reqs[i])
+				// After cancellation, Analyze fails fast (its first check
+				// is ctx.Err), so the remaining claims drain in
+				// microseconds with every error position filled.
+				out[i], errs[i] = e.Analyze(ctx, reqs[i])
 			}
 		}()
 	}
@@ -359,6 +450,7 @@ func (e *Engine) Stats() Stats {
 	}
 	e.stats.Unlock()
 	e.mu.Lock()
+	s.InFlight = len(e.inflight)
 	if e.cache != nil {
 		s.CacheLen = e.cache.len()
 		s.CacheCap = e.cache.cap

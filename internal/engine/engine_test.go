@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -32,12 +34,12 @@ func TestCacheHitOnPermutedEqualSets(t *testing.T) {
 	e := New(Config{Workers: 2, CacheSize: 16})
 	defer e.Close()
 	s := table3()
-	v1, err := e.Analyze(Request{Columns: 10, Set: s, Test: core.GN2Test{}})
+	v1, err := e.Analyze(context.Background(), Request{Columns: 10, Set: s, Test: core.GN2Test{}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for by := 1; by < s.Len(); by++ {
-		v2, err := e.Analyze(Request{Columns: 10, Set: permute(s, by), Test: core.GN2Test{}})
+		v2, err := e.Analyze(context.Background(), Request{Columns: 10, Set: permute(s, by), Test: core.GN2Test{}})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -61,10 +63,10 @@ func TestCacheMissOnDifferentDeviceWidth(t *testing.T) {
 	e := New(Config{Workers: 2, CacheSize: 16})
 	defer e.Close()
 	s := table3()
-	if _, err := e.Analyze(Request{Columns: 10, Set: s, Test: core.GN2Test{}}); err != nil {
+	if _, err := e.Analyze(context.Background(), Request{Columns: 10, Set: s, Test: core.GN2Test{}}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.Analyze(Request{Columns: 11, Set: s, Test: core.GN2Test{}}); err != nil {
+	if _, err := e.Analyze(context.Background(), Request{Columns: 11, Set: s, Test: core.GN2Test{}}); err != nil {
 		t.Fatal(err)
 	}
 	if st := e.Stats(); st.Misses != 2 || st.Hits != 0 {
@@ -77,7 +79,7 @@ func TestCacheMissOnDifferentTest(t *testing.T) {
 	defer e.Close()
 	s := table3()
 	for _, test := range []core.Test{core.DPTest{}, core.GN1Test{}, core.GN2Test{}} {
-		if _, err := e.Analyze(Request{Columns: 10, Set: s, Test: test}); err != nil {
+		if _, err := e.Analyze(context.Background(), Request{Columns: 10, Set: s, Test: test}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -93,7 +95,7 @@ func TestVerdictsMatchDirectAnalysis(t *testing.T) {
 	for _, s := range []*task.Set{workload.Table1(), workload.Table2(), workload.Table3()} {
 		for _, test := range []core.Test{core.DPTest{}, core.GN1Test{}, core.GN2Test{}} {
 			want := test.Analyze(dev, s)
-			got, err := e.Analyze(Request{Columns: 10, Set: s, Test: test})
+			got, err := e.Analyze(context.Background(), Request{Columns: 10, Set: s, Test: test})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -132,7 +134,7 @@ func TestAnalyzeAllEqualsSequential(t *testing.T) {
 		test := []core.Test{core.DPTest{}, core.GN1Test{}, core.GN2Test{}}[i%3]
 		reqs = append(reqs, Request{Columns: 100, Set: s, Test: test})
 	}
-	batch, err := e.AnalyzeAll(reqs)
+	batch, err := e.AnalyzeAll(context.Background(), reqs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +161,7 @@ func TestCachedVerdictIndicesFollowCallerOrder(t *testing.T) {
 	heavy := task.New("heavy", "9.0", "10", "10", 9)
 	for _, order := range [][]task.Task{{heavy, light}, {light, heavy}} {
 		s := task.NewSet(order...)
-		v, err := e.Analyze(Request{Columns: 10, Set: s, Test: core.DPTest{}})
+		v, err := e.Analyze(context.Background(), Request{Columns: 10, Set: s, Test: core.DPTest{}})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -203,7 +205,7 @@ func TestAnalyzeAllBoundsGoroutines(t *testing.T) {
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		if _, err := e.AnalyzeAll(reqs); err != nil {
+		if _, err := e.AnalyzeAll(context.Background(), reqs); err != nil {
 			t.Error(err)
 		}
 	}()
@@ -231,7 +233,7 @@ func TestCachingDisabled(t *testing.T) {
 	defer e.Close()
 	s := table3()
 	for i := 0; i < 3; i++ {
-		if _, err := e.Analyze(Request{Columns: 10, Set: s, Test: core.DPTest{}}); err != nil {
+		if _, err := e.Analyze(context.Background(), Request{Columns: 10, Set: s, Test: core.DPTest{}}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -245,7 +247,7 @@ func TestLRUEviction(t *testing.T) {
 	defer e.Close()
 	s := table3()
 	for cols := 10; cols < 14; cols++ { // 4 distinct keys through a 2-entry cache
-		if _, err := e.Analyze(Request{Columns: cols, Set: s, Test: core.DPTest{}}); err != nil {
+		if _, err := e.Analyze(context.Background(), Request{Columns: cols, Set: s, Test: core.DPTest{}}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -258,13 +260,13 @@ func TestLRUEviction(t *testing.T) {
 	}
 	// Oldest entry (10) evicted: analysing it again is a miss; the
 	// newest (13) is still a hit.
-	if _, err := e.Analyze(Request{Columns: 13, Set: s, Test: core.DPTest{}}); err != nil {
+	if _, err := e.Analyze(context.Background(), Request{Columns: 13, Set: s, Test: core.DPTest{}}); err != nil {
 		t.Fatal(err)
 	}
 	if got := e.Stats().Hits; got != st.Hits+1 {
 		t.Errorf("hits = %d, want %d (13 must still be cached)", got, st.Hits+1)
 	}
-	if _, err := e.Analyze(Request{Columns: 10, Set: s, Test: core.DPTest{}}); err != nil {
+	if _, err := e.Analyze(context.Background(), Request{Columns: 10, Set: s, Test: core.DPTest{}}); err != nil {
 		t.Fatal(err)
 	}
 	if got := e.Stats().Misses; got != st.Misses+1 {
@@ -283,7 +285,7 @@ func TestConcurrentIdenticalRequestsCoalesce(t *testing.T) {
 		go func(by int) {
 			defer wg.Done()
 			set := permute(s, by%s.Len())
-			if _, err := e.Analyze(Request{Columns: 10, Set: set, Test: core.GN2Test{}}); err != nil {
+			if _, err := e.Analyze(context.Background(), Request{Columns: 10, Set: set, Test: core.GN2Test{}}); err != nil {
 				t.Error(err)
 			}
 		}(g)
@@ -316,7 +318,7 @@ func TestConcurrentMixedLoad(t *testing.T) {
 					Set:     permute(s, r.Intn(s.Len())),
 					Test:    []core.Test{core.DPTest{}, core.GN1Test{}, core.GN2Test{}}[r.Intn(3)],
 				}
-				if _, err := e.Analyze(req); err != nil {
+				if _, err := e.Analyze(context.Background(), req); err != nil {
 					t.Error(err)
 					return
 				}
@@ -342,10 +344,10 @@ func TestCacheMissOnDifferentTestVariant(t *testing.T) {
 	if gn2.Name() == gn2x.Name() {
 		t.Fatalf("GN2 variants share the name %q", gn2.Name())
 	}
-	if _, err := e.Analyze(Request{Columns: 10, Set: s, Test: gn2}); err != nil {
+	if _, err := e.Analyze(context.Background(), Request{Columns: 10, Set: s, Test: gn2}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.Analyze(Request{Columns: 10, Set: s, Test: gn2x}); err != nil {
+	if _, err := e.Analyze(context.Background(), Request{Columns: 10, Set: s, Test: gn2x}); err != nil {
 		t.Fatal(err)
 	}
 	if st := e.Stats(); st.Analyses != 2 || st.Hits != 0 {
@@ -374,7 +376,7 @@ func TestPanickingTestDoesNotLeakSlotsOrWaiters(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			_, errs[i] = e.Analyze(Request{Columns: 10, Set: s, Test: panicTest{}})
+			_, errs[i] = e.Analyze(context.Background(), Request{Columns: 10, Set: s, Test: panicTest{}})
 		}(i)
 	}
 	wg.Wait()
@@ -385,13 +387,13 @@ func TestPanickingTestDoesNotLeakSlotsOrWaiters(t *testing.T) {
 	}
 	// The single worker slot must have been released: a normal analysis
 	// still completes (a leaked slot would deadlock here).
-	v, err := e.Analyze(Request{Columns: 10, Set: s, Test: core.GN2Test{}})
+	v, err := e.Analyze(context.Background(), Request{Columns: 10, Set: s, Test: core.GN2Test{}})
 	if err != nil || !v.Schedulable {
 		t.Fatalf("engine unusable after panic: v=%v err=%v", v, err)
 	}
 	// Nothing cached for the panicking key: retrying re-runs (and
 	// re-fails) rather than serving a zero verdict.
-	if _, err := e.Analyze(Request{Columns: 10, Set: s, Test: panicTest{}}); err == nil {
+	if _, err := e.Analyze(context.Background(), Request{Columns: 10, Set: s, Test: panicTest{}}); err == nil {
 		t.Error("retry after panic must fail again, not hit a cache entry")
 	}
 }
@@ -400,7 +402,7 @@ func TestCloseRejectsNewWork(t *testing.T) {
 	e := New(Config{Workers: 1, CacheSize: 4})
 	e.Close()
 	e.Close() // idempotent
-	if _, err := e.Analyze(Request{Columns: 10, Set: table3(), Test: core.DPTest{}}); err != ErrClosed {
+	if _, err := e.Analyze(context.Background(), Request{Columns: 10, Set: table3(), Test: core.DPTest{}}); err != ErrClosed {
 		t.Errorf("err = %v, want ErrClosed", err)
 	}
 }
@@ -408,10 +410,10 @@ func TestCloseRejectsNewWork(t *testing.T) {
 func TestNilInputs(t *testing.T) {
 	e := New(Config{})
 	defer e.Close()
-	if _, err := e.Analyze(Request{Columns: 10, Set: table3()}); err == nil {
+	if _, err := e.Analyze(context.Background(), Request{Columns: 10, Set: table3()}); err == nil {
 		t.Error("nil test must error")
 	}
-	if _, err := e.Analyze(Request{Columns: 10, Test: core.DPTest{}}); err == nil {
+	if _, err := e.Analyze(context.Background(), Request{Columns: 10, Test: core.DPTest{}}); err == nil {
 		t.Error("nil set must error")
 	}
 }
@@ -427,7 +429,7 @@ func BenchmarkAnalyzeCold(b *testing.B) {
 	s := table3()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := e.Analyze(Request{Columns: 10, Set: s, Test: core.GN2Test{}}); err != nil {
+		if _, err := e.Analyze(context.Background(), Request{Columns: 10, Set: s, Test: core.GN2Test{}}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -441,12 +443,12 @@ func BenchmarkAnalyzeWarm(b *testing.B) {
 	for i := range perms {
 		perms[i] = permute(s, i)
 	}
-	if _, err := e.Analyze(Request{Columns: 10, Set: s, Test: core.GN2Test{}}); err != nil {
+	if _, err := e.Analyze(context.Background(), Request{Columns: 10, Set: s, Test: core.GN2Test{}}); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := e.Analyze(Request{Columns: 10, Set: perms[i%len(perms)], Test: core.GN2Test{}}); err != nil {
+		if _, err := e.Analyze(context.Background(), Request{Columns: 10, Set: perms[i%len(perms)], Test: core.GN2Test{}}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -465,10 +467,285 @@ func BenchmarkAnalyzeAllBatch(b *testing.B) {
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := e.AnalyzeAll(reqs); err != nil {
+				if _, err := e.AnalyzeAll(context.Background(), reqs); err != nil {
 					b.Fatal(err)
 				}
 			}
 		})
+	}
+}
+
+// blockingTest parks inside Analyze until released, so tests can hold
+// the worker pool at a precise point. Analysis starts are announced on
+// started (buffered sends, never blocking).
+type blockingTest struct {
+	name    string
+	started chan struct{}
+	release chan struct{}
+}
+
+func newBlockingTest(name string) *blockingTest {
+	return &blockingTest{name: name, started: make(chan struct{}, 16), release: make(chan struct{})}
+}
+
+func (b *blockingTest) Name() string { return b.name }
+
+func (b *blockingTest) Analyze(core.Device, *task.Set) core.Verdict {
+	select {
+	case b.started <- struct{}{}:
+	default:
+	}
+	<-b.release
+	return core.Verdict{Test: b.name, Schedulable: true, FailingTask: -1}
+}
+
+// waitStarted fails the test if no analysis starts within the deadline.
+func waitStarted(t *testing.T, b *blockingTest) {
+	t.Helper()
+	select {
+	case <-b.started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("analysis never started")
+	}
+}
+
+func TestAnalyzeCancelledWhileQueuedReleasesNothing(t *testing.T) {
+	e := New(Config{Workers: 1, CacheSize: 16})
+	defer e.Close()
+	blocker := newBlockingTest("blocker")
+	hold := make(chan struct{})
+	go func() {
+		defer close(hold)
+		if _, err := e.Analyze(context.Background(), Request{Columns: 10, Set: table3(), Test: blocker}); err != nil {
+			t.Error(err)
+		}
+	}()
+	waitStarted(t, blocker)
+
+	// A second request now queues on the single pool slot; cancelling it
+	// must return promptly even though the slot never frees.
+	ctx, cancel := context.WithCancel(context.Background())
+	queued := make(chan error, 1)
+	go func() {
+		_, err := e.Analyze(ctx, Request{Columns: 10, Set: table3(), Test: core.DPTest{}})
+		queued <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let it reach the pool wait
+	cancel()
+	select {
+	case err := <-queued:
+		if err != context.Canceled {
+			t.Errorf("queued err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled queued request did not return")
+	}
+
+	// The abandoned request must leave no inflight entry and no slot
+	// debt: after the blocker finishes, a fresh analysis of the same key
+	// succeeds and runs exactly once.
+	close(blocker.release)
+	<-hold
+	v, err := e.Analyze(context.Background(), Request{Columns: 10, Set: table3(), Test: core.DPTest{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Test == "" {
+		t.Error("empty verdict after recovery")
+	}
+	e.mu.Lock()
+	inflight := len(e.inflight)
+	e.mu.Unlock()
+	if inflight != 0 {
+		t.Errorf("inflight = %d, want 0", inflight)
+	}
+}
+
+func TestAnalyzeCancelledWhileCoalescedWaiting(t *testing.T) {
+	e := New(Config{Workers: 1, CacheSize: 16})
+	defer e.Close()
+	blocker := newBlockingTest("blocker")
+	owner := make(chan error, 1)
+	go func() {
+		_, err := e.Analyze(context.Background(), Request{Columns: 10, Set: table3(), Test: blocker})
+		owner <- err
+	}()
+	waitStarted(t, blocker)
+
+	// Identical request coalesces onto the in-flight call; cancelling
+	// the waiter must not disturb the owner.
+	ctx, cancel := context.WithCancel(context.Background())
+	waiter := make(chan error, 1)
+	go func() {
+		_, err := e.Analyze(ctx, Request{Columns: 10, Set: table3(), Test: blocker})
+		waiter <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-waiter:
+		if err != context.Canceled {
+			t.Errorf("waiter err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled waiter did not return")
+	}
+	close(blocker.release)
+	if err := <-owner; err != nil {
+		t.Errorf("owner err = %v (waiter cancellation must not leak into the owner)", err)
+	}
+	// The completed analysis is cached despite the waiter's departure.
+	if _, err := e.Analyze(context.Background(), Request{Columns: 10, Set: table3(), Test: blocker}); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Stats(); st.Analyses != 1 {
+		t.Errorf("analyses = %d, want 1 (cache must survive waiter cancellation)", st.Analyses)
+	}
+}
+
+func TestAbandonedOwnerHandsOverToLiveWaiter(t *testing.T) {
+	// The owner of a coalesced key is cancelled while queued for a slot;
+	// a live waiter on the same key must take over and complete the
+	// analysis rather than inheriting the owner's cancellation.
+	e := New(Config{Workers: 1, CacheSize: 16})
+	defer e.Close()
+	blocker := newBlockingTest("blocker")
+	hold := make(chan struct{})
+	go func() {
+		defer close(hold)
+		if _, err := e.Analyze(context.Background(), Request{Columns: 10, Set: table3(), Test: blocker}); err != nil {
+			t.Error(err)
+		}
+	}()
+	waitStarted(t, blocker)
+
+	ownerCtx, cancelOwner := context.WithCancel(context.Background())
+	ownerErr := make(chan error, 1)
+	go func() {
+		_, err := e.Analyze(ownerCtx, Request{Columns: 10, Set: table3(), Test: core.GN1Test{}})
+		ownerErr <- err
+	}()
+	// Wait until the owner registered its inflight call, then attach a
+	// waiter with a live context to the same key.
+	for {
+		e.mu.Lock()
+		n := len(e.inflight)
+		e.mu.Unlock()
+		if n == 2 { // blocker + GN1 owner
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	waiterErr := make(chan error, 1)
+	var waiterVerdict core.Verdict
+	go func() {
+		v, err := e.Analyze(context.Background(), Request{Columns: 10, Set: table3(), Test: core.GN1Test{}})
+		waiterVerdict = v
+		waiterErr <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancelOwner()
+	if err := <-ownerErr; err != context.Canceled {
+		t.Fatalf("owner err = %v, want context.Canceled", err)
+	}
+	// Free the pool; the waiter (now owner) must complete normally.
+	close(blocker.release)
+	<-hold
+	select {
+	case err := <-waiterErr:
+		if err != nil {
+			t.Fatalf("waiter err = %v, want nil (must retry after abandoned owner)", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter hung after owner abandonment")
+	}
+	if waiterVerdict.Test == "" {
+		t.Error("waiter got a zero verdict")
+	}
+	if st := e.Stats(); st.Analyses != 2 {
+		t.Errorf("analyses = %d, want 2 (blocker + handed-over GN1)", st.Analyses)
+	}
+}
+
+func TestAnalyzeAllCancelledMidBatchAbandonsQueuedWork(t *testing.T) {
+	// Acceptance check for cancellation semantics: cancelling an
+	// AnalyzeAll mid-batch returns ctx.Err() promptly once running work
+	// drains, abandons every queued element, leaks no pool slot, and
+	// leaves the verdict cache consistent.
+	e := New(Config{Workers: 1, CacheSize: 64})
+	defer e.Close()
+	blocker := newBlockingTest("blocker")
+	reqs := make([]Request, 64)
+	reqs[0] = Request{Columns: 10, Set: table3(), Test: blocker}
+	for i := 1; i < len(reqs); i++ {
+		reqs[i] = Request{Columns: 10 + i, Set: table3(), Test: core.DPTest{}}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	type result struct {
+		verdicts []core.Verdict
+		err      error
+	}
+	done := make(chan result, 1)
+	go func() {
+		vs, err := e.AnalyzeAll(ctx, reqs)
+		done <- result{vs, err}
+	}()
+	waitStarted(t, blocker)
+	cancel()
+	close(blocker.release)
+	var res result
+	select {
+	case res = <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled AnalyzeAll did not return")
+	}
+	if !errors.Is(res.err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled joined in", res.err)
+	}
+	// Only the already-running analysis executed; the 63 queued ones
+	// were abandoned without burning a worker on them.
+	st := e.Stats()
+	if st.Analyses != 1 {
+		t.Errorf("analyses = %d, want 1 (queued work must be abandoned)", st.Analyses)
+	}
+	// The finished analysis is cached and correct.
+	if res.verdicts[0].Test != "blocker" || !res.verdicts[0].Schedulable {
+		t.Errorf("running verdict = %+v, want completed blocker verdict", res.verdicts[0])
+	}
+	if _, err := e.Analyze(context.Background(), reqs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Stats(); got.Analyses != 1 || got.Hits != st.Hits+1 {
+		t.Errorf("stats after re-request = %+v, want a pure cache hit", got)
+	}
+	// No pool slot leaked: a full round of fresh analyses drains through
+	// the single worker.
+	for i := 1; i < 4; i++ {
+		if _, err := e.Analyze(context.Background(), reqs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.mu.Lock()
+	inflight := len(e.inflight)
+	e.mu.Unlock()
+	if inflight != 0 {
+		t.Errorf("inflight = %d, want 0", inflight)
+	}
+}
+
+func TestAnalyzeNilAndPreCancelledContext(t *testing.T) {
+	e := New(Config{Workers: 1, CacheSize: 4})
+	defer e.Close()
+	// nil context is tolerated (treated as Background) for embedders.
+	if _, err := e.Analyze(nil, Request{Columns: 10, Set: table3(), Test: core.DPTest{}}); err != nil { //lint:ignore SA1012 deliberate nil-context tolerance test
+		t.Fatalf("nil ctx: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.Analyze(ctx, Request{Columns: 10, Set: table3(), Test: core.DPTest{}}); err != context.Canceled {
+		t.Errorf("pre-cancelled err = %v, want context.Canceled", err)
+	}
+	if _, err := e.AnalyzeAll(ctx, []Request{{Columns: 10, Set: table3(), Test: core.DPTest{}}}); !errors.Is(err, context.Canceled) {
+		t.Errorf("pre-cancelled AnalyzeAll err = %v, want context.Canceled", err)
 	}
 }

@@ -2,18 +2,23 @@
 // serves schedulability analysis, simulation and multi-tenant online
 // admission control over the paper's tests.
 //
-// Analysis requests are routed through internal/engine, so repeated
-// analyses of the same (canonicalised) taskset are served from the
-// verdict cache and concurrent identical requests coalesce. Taskset and
-// task payloads use the exact wire forms of internal/task/serialize.go —
-// durations travel as decimal strings ("1.26"), so payloads are
-// human-editable and round-trip exactly.
+// The wire contract — every request/response shape, the NDJSON
+// streaming framing and the error-code taxonomy — is defined by the
+// top-level api package (v1) and frozen there by golden-file tests;
+// this package only implements it. Analysis requests are routed through
+// internal/engine under the request's context, so repeated analyses of
+// the same (canonicalised) taskset are served from the verdict cache,
+// concurrent identical requests coalesce, and a client that disconnects
+// or times out abandons its queued analyses instead of leaking worker
+// slots.
 //
 // Endpoints:
 //
 //	GET    /healthz                              liveness probe
 //	GET    /metrics                              engine + HTTP counters (JSON)
+//	GET    /v1/tests                             test-name registry
 //	POST   /v1/analyze                           single or batch analysis
+//	POST   /v1/analyze/stream                    NDJSON streaming batch analysis
 //	POST   /v1/simulate                          discrete-event simulation
 //	GET    /v1/controllers                       list admission controllers
 //	PUT    /v1/controllers/{name}                create a controller
@@ -22,20 +27,24 @@
 //	DELETE /v1/controllers/{name}/tasks/{task}   release a resident task
 //	GET    /v1/controllers/{name}/resident       snapshot the resident set
 //
-// Errors are returned as {"error": "..."} with a 4xx/5xx status;
-// malformed JSON is a 400.
+// Failures are api.Error documents ({"code": "...", "error": "..."})
+// with a 4xx/5xx status; malformed JSON is a 400 with code
+// invalid_json.
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
+	"fpgasched/api"
 	"fpgasched/internal/admission"
 	"fpgasched/internal/core"
 	"fpgasched/internal/engine"
@@ -46,7 +55,9 @@ import (
 )
 
 // DefaultMaxBodyBytes bounds request bodies (1 MiB holds thousands of
-// tasks; analysis cost, not payload size, is the real limit).
+// tasks; analysis cost, not payload size, is the real limit). On the
+// streaming endpoint the same figure caps each NDJSON line instead of
+// the whole body, which is unbounded by design.
 const DefaultMaxBodyBytes = 1 << 20
 
 // DefaultMaxTasks bounds the tasks per analysed or simulated set. The
@@ -58,7 +69,8 @@ const DefaultMaxTasks = 1000
 // DefaultMaxBatch bounds the analyses (taskset × test pairs) one
 // /v1/analyze request may fan out, for the same reason MaxTasks exists:
 // a sub-megabyte body of tiny sets times a long test list multiplies
-// into unbounded queued work.
+// into unbounded queued work. On the streaming endpoint it caps the
+// tests per line (each line is one set).
 const DefaultMaxBatch = 1024
 
 // DefaultMaxControllers bounds the named admission controllers one
@@ -79,8 +91,9 @@ type Config struct {
 	Engine *engine.Engine
 	// EngineConfig sizes the engine created when Engine is nil.
 	EngineConfig engine.Config
-	// MaxBodyBytes caps request bodies; 0 means DefaultMaxBodyBytes,
-	// negative disables the cap (matching the sibling limits).
+	// MaxBodyBytes caps request bodies (per NDJSON line on the streaming
+	// endpoint); 0 means DefaultMaxBodyBytes, negative disables the cap
+	// (matching the sibling limits).
 	MaxBodyBytes int64
 	// MaxTasks caps the tasks per analysed or simulated set; 0 means
 	// DefaultMaxTasks, negative disables the cap.
@@ -112,7 +125,7 @@ type Server struct {
 	controllers map[string]*tenant
 
 	mmu     sync.Mutex
-	metrics map[string]*routeMetrics
+	metrics map[string]*api.RouteMetrics
 }
 
 // tenant is one named admission controller plus its creation parameters
@@ -123,20 +136,13 @@ type tenant struct {
 	tests   []string
 }
 
-// routeMetrics accumulates per-route counters.
-type routeMetrics struct {
-	Requests   uint64 `json:"requests"`
-	Errors     uint64 `json:"errors"` // responses with status >= 400
-	TotalNanos uint64 `json:"total_nanos"`
-}
-
 // New returns a ready-to-serve Server.
 func New(cfg Config) *Server {
 	s := &Server{
 		engine:       cfg.Engine,
 		maxBodyBytes: cfg.MaxBodyBytes,
 		controllers:  make(map[string]*tenant),
-		metrics:      make(map[string]*routeMetrics),
+		metrics:      make(map[string]*api.RouteMetrics),
 	}
 	if s.engine == nil {
 		s.engine = engine.New(cfg.EngineConfig)
@@ -170,16 +176,21 @@ func New(cfg Config) *Server {
 	// analysis throughput must not collapse because simulations queue.
 	s.simSem = make(chan struct{}, s.engine.Stats().Workers)
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
-	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
-	mux.HandleFunc("POST /v1/analyze", s.instrument("analyze", s.handleAnalyze))
-	mux.HandleFunc("POST /v1/simulate", s.instrument("simulate", s.handleSimulate))
-	mux.HandleFunc("GET /v1/controllers", s.instrument("controllers.list", s.handleControllerList))
-	mux.HandleFunc("PUT /v1/controllers/{name}", s.instrument("controllers.create", s.handleControllerCreate))
-	mux.HandleFunc("DELETE /v1/controllers/{name}", s.instrument("controllers.delete", s.handleControllerDelete))
-	mux.HandleFunc("POST /v1/controllers/{name}/admit", s.instrument("controllers.admit", s.handleAdmit))
-	mux.HandleFunc("DELETE /v1/controllers/{name}/tasks/{task}", s.instrument("controllers.release", s.handleRelease))
-	mux.HandleFunc("GET /v1/controllers/{name}/resident", s.instrument("controllers.resident", s.handleResident))
+	mux.HandleFunc("GET /healthz", s.instrument("healthz", true, s.handleHealthz))
+	mux.HandleFunc("GET /metrics", s.instrument("metrics", true, s.handleMetrics))
+	mux.HandleFunc("GET /v1/tests", s.instrument("tests", true, s.handleTests))
+	mux.HandleFunc("POST /v1/analyze", s.instrument("analyze", true, s.handleAnalyze))
+	// The streaming endpoint's body is unbounded by design (the line
+	// cap, task cap and fan-out window bound the resources instead), so
+	// it opts out of the whole-body MaxBytesReader.
+	mux.HandleFunc("POST /v1/analyze/stream", s.instrument("analyze.stream", false, s.handleAnalyzeStream))
+	mux.HandleFunc("POST /v1/simulate", s.instrument("simulate", true, s.handleSimulate))
+	mux.HandleFunc("GET /v1/controllers", s.instrument("controllers.list", true, s.handleControllerList))
+	mux.HandleFunc("PUT /v1/controllers/{name}", s.instrument("controllers.create", true, s.handleControllerCreate))
+	mux.HandleFunc("DELETE /v1/controllers/{name}", s.instrument("controllers.delete", true, s.handleControllerDelete))
+	mux.HandleFunc("POST /v1/controllers/{name}/admit", s.instrument("controllers.admit", true, s.handleAdmit))
+	mux.HandleFunc("DELETE /v1/controllers/{name}/tasks/{task}", s.instrument("controllers.release", true, s.handleRelease))
+	mux.HandleFunc("GET /v1/controllers/{name}/resident", s.instrument("controllers.resident", true, s.handleResident))
 	s.mux = mux
 	return s
 }
@@ -196,7 +207,8 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// statusRecorder captures the response status for metrics.
+// statusRecorder captures the response status for metrics. Flush is
+// forwarded so the streaming endpoint can push NDJSON lines through it.
 type statusRecorder struct {
 	http.ResponseWriter
 	status int
@@ -207,10 +219,23 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.ResponseWriter.WriteHeader(code)
 }
 
-// instrument wraps a handler with body limiting and per-route counters.
-func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap lets http.ResponseController reach the underlying writer
+// (EnableFullDuplex on the streaming endpoint resolves through it).
+func (r *statusRecorder) Unwrap() http.ResponseWriter {
+	return r.ResponseWriter
+}
+
+// instrument wraps a handler with per-route counters and, when capBody
+// is set, the whole-body size limit.
+func (s *Server) instrument(route string, capBody bool, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		if r.Body != nil && s.maxBodyBytes > 0 {
+		if capBody && r.Body != nil && s.maxBodyBytes > 0 {
 			r.Body = http.MaxBytesReader(w, r.Body, s.maxBodyBytes)
 		}
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
@@ -220,7 +245,7 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 		s.mmu.Lock()
 		m := s.metrics[route]
 		if m == nil {
-			m = &routeMetrics{}
+			m = &api.RouteMetrics{}
 			s.metrics[route] = m
 		}
 		m.Requests++
@@ -241,28 +266,47 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-// writeError sends {"error": msg}.
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+// statusFor maps an error code to its transport status. Codes whose
+// status depends on the site (limit_exceeded is 400 on analysis input
+// but 409 on resident capacity) are written with an explicit status
+// instead.
+func statusFor(code api.ErrorCode) int {
+	switch code {
+	case api.CodeBodyTooLarge:
+		return http.StatusRequestEntityTooLarge
+	case api.CodeNotFound:
+		return http.StatusNotFound
+	case api.CodeConflict:
+		return http.StatusConflict
+	case api.CodeCancelled, api.CodeUnavailable:
+		return http.StatusServiceUnavailable
+	case api.CodeInternal:
+		return http.StatusInternalServerError
+	default:
+		return http.StatusBadRequest
+	}
 }
 
-// writeDecodeError distinguishes an oversized body (413, so clients know
-// to shrink or split rather than fix syntax) from malformed JSON (400).
-func writeDecodeError(w http.ResponseWriter, err error) {
+// writeError sends an api.Error at its default status.
+func writeError(w http.ResponseWriter, e *api.Error) {
+	writeJSON(w, statusFor(e.Code), e)
+}
+
+// writeErrorStatus sends an api.Error at an explicit status.
+func writeErrorStatus(w http.ResponseWriter, status int, e *api.Error) {
+	writeJSON(w, status, e)
+}
+
+// decodeErr classifies a body-decode failure: an oversized body (413,
+// so clients know to shrink or split rather than fix syntax) versus
+// malformed JSON (400).
+func decodeErr(err error) *api.Error {
 	var mbe *http.MaxBytesError
 	if errors.As(err, &mbe) {
-		writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", mbe.Limit)
-		return
+		return api.Errorf(api.CodeBodyTooLarge, "request body exceeds %d bytes", mbe.Limit).
+			WithDetail("limit_bytes", strconv.FormatInt(mbe.Limit, 10))
 	}
-	writeError(w, http.StatusBadRequest, "invalid request: %v", err)
-}
-
-// checkSetSize enforces the per-set task cap.
-func (s *Server) checkSetSize(set *task.Set) error {
-	if s.maxTasks > 0 && set.Len() > s.maxTasks {
-		return fmt.Errorf("%d tasks exceeds the per-set limit of %d", set.Len(), s.maxTasks)
-	}
-	return nil
+	return api.Errorf(api.CodeInvalidJSON, "invalid request: %v", err)
 }
 
 // decodeJSON strictly decodes the request body into v, rejecting unknown
@@ -279,128 +323,147 @@ func decodeJSON(r *http.Request, v any) error {
 	return nil
 }
 
+// checkColumns validates the device description.
+func checkColumns(columns int) *api.Error {
+	if columns < 1 {
+		return api.Errorf(api.CodeInvalidDevice, "columns must be at least 1").
+			WithDetail("columns", strconv.Itoa(columns))
+	}
+	return nil
+}
+
+// checkSet validates one analysed/simulated set against the per-set cap,
+// its intrinsic well-formedness, and the device. Invalid input is a
+// client error, not an analysis outcome: without this, core's precheck
+// would fold it into a 200 "schedulable: false" verdict (and cache it).
+// The three failure classes carry distinct codes so clients can tell a
+// too-big request (limit_exceeded) from a nonsense task
+// (invalid_taskset) from a device mismatch (invalid_device).
+func (s *Server) checkSet(set *task.Set, columns int) *api.Error {
+	if s.maxTasks > 0 && set.Len() > s.maxTasks {
+		return api.Errorf(api.CodeLimitExceeded, "%d tasks exceeds the per-set limit of %d", set.Len(), s.maxTasks).
+			WithDetail("limit", strconv.Itoa(s.maxTasks))
+	}
+	if err := set.Validate(); err != nil {
+		return api.Errorf(api.CodeInvalidTaskset, "%v", err)
+	}
+	for i, t := range set.Tasks {
+		if t.A > columns {
+			return api.Errorf(api.CodeInvalidDevice, "taskset index %d: area %d exceeds device area %d", i, t.A, columns).
+				WithDetail("task_index", strconv.Itoa(i))
+		}
+	}
+	return nil
+}
+
+// resolveTests resolves test identifiers through the shared registry,
+// skipping blank entries like the CLI does. The first unknown name is
+// reported with code unknown_test and named in Detail so clients can
+// pinpoint the offender without parsing prose (GET /v1/tests lists the
+// valid identifiers).
+func resolveTests(names []string) ([]core.Test, []string, *api.Error) {
+	tests := make([]core.Test, 0, len(names))
+	clean := make([]string, 0, len(names))
+	for _, n := range names {
+		nn := strings.TrimSpace(n)
+		if nn == "" {
+			continue
+		}
+		t, err := core.TestByName(nn)
+		if err != nil {
+			return nil, nil, api.Errorf(api.CodeUnknownTest, "%v", err).WithDetail("test", nn)
+		}
+		tests = append(tests, t)
+		clean = append(clean, nn)
+	}
+	if len(tests) == 0 {
+		return nil, nil, api.Errorf(api.CodeInvalidRequest, "no tests selected")
+	}
+	return tests, clean, nil
+}
+
 // ---- /healthz ----
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	writeJSON(w, http.StatusOK, api.HealthResponse{Status: "ok"})
 }
 
 // ---- /metrics ----
 
-// metricsResponse is the plain-JSON metrics document (expvar-style: flat,
-// counters only, no exposition format dependency).
-type metricsResponse struct {
-	Engine engine.Stats            `json:"engine"`
-	HTTP   map[string]routeMetrics `json:"http"`
-}
-
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.mmu.Lock()
-	httpStats := make(map[string]routeMetrics, len(s.metrics))
+	httpStats := make(map[string]api.RouteMetrics, len(s.metrics))
 	for k, v := range s.metrics {
 		httpStats[k] = *v
 	}
 	s.mmu.Unlock()
-	writeJSON(w, http.StatusOK, metricsResponse{Engine: s.engine.Stats(), HTTP: httpStats})
+	writeJSON(w, http.StatusOK, api.MetricsResponse{
+		Engine: api.EngineStatsFrom(s.engine.Stats()),
+		HTTP:   httpStats,
+	})
+}
+
+// ---- /v1/tests ----
+
+func (s *Server) handleTests(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, api.TestsResponse{Tests: core.TestNames()})
 }
 
 // ---- /v1/analyze ----
 
-// analyzeRequest is a single or batch analysis. Exactly one of Taskset
-// and Tasksets must be present. Tests defaults to ["any-nf"].
-type analyzeRequest struct {
-	Columns  int         `json:"columns"`
-	Tests    []string    `json:"tests,omitempty"`
-	Taskset  *task.Set   `json:"taskset,omitempty"`
-	Tasksets []*task.Set `json:"tasksets,omitempty"`
-	// Detail includes the per-task bound checks in each verdict.
-	Detail bool `json:"detail,omitempty"`
-}
-
-// verdictJSON is the wire form of core.Verdict. failing_task and
-// checks[].task_index are indices into the request's task array (the
-// engine remaps them per caller); the free-text reason is produced once
-// per cached analysis from the canonically ordered set, so any index or
-// name embedded in its prose reflects that canonical ordering — trust
-// the structured fields, treat reason as human context.
-type verdictJSON struct {
-	Test        string      `json:"test"`
-	Schedulable bool        `json:"schedulable"`
-	Reason      string      `json:"reason,omitempty"`
-	FailingTask *int        `json:"failing_task,omitempty"`
-	Checks      []checkJSON `json:"checks,omitempty"`
-}
-
-// checkJSON is the wire form of core.BoundCheck; LHS/RHS/λ as exact
-// fraction strings.
-type checkJSON struct {
-	TaskIndex int    `json:"task_index"`
-	LHS       string `json:"lhs"`
-	RHS       string `json:"rhs"`
-	Satisfied bool   `json:"satisfied"`
-	Lambda    string `json:"lambda,omitempty"`
-	Condition int    `json:"condition,omitempty"`
-}
-
-func toVerdictJSON(v core.Verdict, detail bool) verdictJSON {
-	out := verdictJSON{Test: v.Test, Schedulable: v.Schedulable, Reason: v.Reason}
-	if !v.Schedulable && v.FailingTask >= 0 {
-		ft := v.FailingTask
-		out.FailingTask = &ft
-	}
-	if detail {
-		for _, c := range v.Checks {
-			cj := checkJSON{TaskIndex: c.TaskIndex, Satisfied: c.Satisfied, Condition: c.Condition}
-			if c.LHS != nil {
-				cj.LHS = c.LHS.RatString()
-			}
-			if c.RHS != nil {
-				cj.RHS = c.RHS.RatString()
-			}
-			if c.Lambda != nil {
-				cj.Lambda = c.Lambda.RatString()
-			}
-			out.Checks = append(out.Checks, cj)
+// analyzeSets fans (sets × tests) across the engine pool under ctx and
+// folds the verdicts into per-set results. It is shared by the unary
+// and streaming analysis endpoints.
+func (s *Server) analyzeSets(ctx context.Context, columns int, sets []*task.Set, tests []core.Test, detail bool) ([]api.AnalyzeResult, *api.Error) {
+	reqs := make([]engine.Request, 0, len(sets)*len(tests))
+	for _, set := range sets {
+		for _, t := range tests {
+			reqs = append(reqs, engine.Request{Columns: columns, Set: set, Test: t, OmitChecks: !detail})
 		}
 	}
-	return out
-}
-
-// analyzeResult holds the verdicts for one taskset, in test order.
-type analyzeResult struct {
-	Schedulable bool          `json:"schedulable"` // true iff any test accepts
-	Verdicts    []verdictJSON `json:"verdicts"`
-}
-
-// analyzeResponse answers both shapes: Result for single, Results for
-// batch (aligned with the request's tasksets).
-type analyzeResponse struct {
-	Columns int             `json:"columns"`
-	Result  *analyzeResult  `json:"result,omitempty"`
-	Results []analyzeResult `json:"results,omitempty"`
+	verdicts, err := s.engine.AnalyzeAll(ctx, reqs)
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return nil, api.Errorf(api.CodeCancelled, "request cancelled while analyses were queued or running")
+		}
+		return nil, api.Errorf(api.CodeUnavailable, "engine: %v", err)
+	}
+	results := make([]api.AnalyzeResult, len(sets))
+	for i := range sets {
+		res := api.AnalyzeResult{}
+		for j := range tests {
+			v := verdicts[i*len(tests)+j]
+			res.Verdicts = append(res.Verdicts, api.VerdictFromCore(v, detail))
+			if v.Schedulable {
+				res.Schedulable = true
+			}
+		}
+		results[i] = res
+	}
+	return results, nil
 }
 
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
-	var req analyzeRequest
+	var req api.AnalyzeRequest
 	if err := decodeJSON(r, &req); err != nil {
-		writeDecodeError(w, err)
+		writeError(w, decodeErr(err))
 		return
 	}
 	if (req.Taskset == nil) == (len(req.Tasksets) == 0) {
-		writeError(w, http.StatusBadRequest, "exactly one of taskset and tasksets must be given")
+		writeError(w, api.Errorf(api.CodeInvalidRequest, "exactly one of taskset and tasksets must be given"))
 		return
 	}
-	if req.Columns < 1 {
-		writeError(w, http.StatusBadRequest, "columns must be at least 1")
+	if e := checkColumns(req.Columns); e != nil {
+		writeError(w, e)
 		return
 	}
 	names := req.Tests
 	if len(names) == 0 {
 		names = []string{"any-nf"}
 	}
-	tests, err := core.TestsByName(names)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+	tests, _, apiErr := resolveTests(names)
+	if apiErr != nil {
+		writeError(w, apiErr)
 		return
 	}
 	sets := req.Tasksets
@@ -410,52 +473,27 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 	for i, set := range sets {
 		if set == nil {
-			writeError(w, http.StatusBadRequest, "taskset %d: null", i)
+			writeError(w, api.Errorf(api.CodeInvalidRequest, "taskset %d: null", i))
 			return
 		}
-		if err := s.checkSetSize(set); err != nil {
-			writeError(w, http.StatusBadRequest, "taskset %d: %v", i, err)
-			return
-		}
-		// Invalid input is a client error, not an analysis outcome:
-		// without this, core's precheck would fold it into a 200
-		// "schedulable: false" verdict (and cache it), inconsistently
-		// with /v1/simulate's 400 for the same payload.
-		if err := set.ValidateFor(req.Columns); err != nil {
-			writeError(w, http.StatusBadRequest, "taskset %d: %v", i, err)
+		if e := s.checkSet(set, req.Columns); e != nil {
+			e.Message = fmt.Sprintf("taskset %d: %s", i, e.Message)
+			writeError(w, e)
 			return
 		}
 	}
 	if s.maxBatch > 0 && len(sets)*len(tests) > s.maxBatch {
-		writeError(w, http.StatusBadRequest, "%d tasksets x %d tests exceeds the per-request analysis limit of %d",
-			len(sets), len(tests), s.maxBatch)
+		writeError(w, api.Errorf(api.CodeLimitExceeded,
+			"%d tasksets x %d tests exceeds the per-request analysis limit of %d",
+			len(sets), len(tests), s.maxBatch).WithDetail("limit", strconv.Itoa(s.maxBatch)))
 		return
 	}
-	// Fan every (set, test) pair across the engine pool at once.
-	reqs := make([]engine.Request, 0, len(sets)*len(tests))
-	for _, set := range sets {
-		for _, t := range tests {
-			reqs = append(reqs, engine.Request{Columns: req.Columns, Set: set, Test: t, OmitChecks: !req.Detail})
-		}
-	}
-	verdicts, err := s.engine.AnalyzeAll(reqs)
-	if err != nil {
-		writeError(w, http.StatusServiceUnavailable, "engine: %v", err)
+	results, apiErr := s.analyzeSets(r.Context(), req.Columns, sets, tests, req.Detail)
+	if apiErr != nil {
+		writeError(w, apiErr)
 		return
 	}
-	results := make([]analyzeResult, len(sets))
-	for i := range sets {
-		res := analyzeResult{}
-		for j := range tests {
-			v := verdicts[i*len(tests)+j]
-			res.Verdicts = append(res.Verdicts, toVerdictJSON(v, req.Detail))
-			if v.Schedulable {
-				res.Schedulable = true
-			}
-		}
-		results[i] = res
-	}
-	resp := analyzeResponse{Columns: req.Columns}
+	resp := api.AnalyzeResponse{Columns: req.Columns}
 	if single {
 		resp.Result = &results[0]
 	} else {
@@ -466,49 +504,22 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 
 // ---- /v1/simulate ----
 
-// simulateRequest configures one synchronous-release simulation run.
-// Durations are decimal strings in paper time units, like task fields.
-type simulateRequest struct {
-	Columns   int       `json:"columns"`
-	Scheduler string    `json:"scheduler,omitempty"` // "nf" (default) or "fkf"
-	Taskset   *task.Set `json:"taskset"`
-	// Horizon stops releases at this time; empty means automatic
-	// (min(hyperperiod, horizon_cap)).
-	Horizon string `json:"horizon,omitempty"`
-	// HorizonCap bounds the automatic horizon.
-	HorizonCap string `json:"horizon_cap,omitempty"`
-	// ContinueAfterMiss keeps simulating past the first miss.
-	ContinueAfterMiss bool `json:"continue_after_miss,omitempty"`
-}
-
-// simulateResponse summarises sim.Result with times as decimal strings.
-type simulateResponse struct {
-	Policy        string `json:"policy"`
-	Missed        bool   `json:"missed"`
-	Misses        int    `json:"misses"`
-	FirstMissTime string `json:"first_miss_time,omitempty"`
-	FirstMissTask *int   `json:"first_miss_task,omitempty"`
-	FirstMissJob  *int   `json:"first_miss_job,omitempty"`
-	Horizon       string `json:"horizon"`
-	End           string `json:"end"`
-	Events        int    `json:"events"`
-	Released      int    `json:"released"`
-	Completed     int    `json:"completed"`
-	Preemptions   int    `json:"preemptions"`
-}
-
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
-	var req simulateRequest
+	var req api.SimulateRequest
 	if err := decodeJSON(r, &req); err != nil {
-		writeDecodeError(w, err)
+		writeError(w, decodeErr(err))
 		return
 	}
 	if req.Taskset == nil {
-		writeError(w, http.StatusBadRequest, "taskset is required")
+		writeError(w, api.Errorf(api.CodeInvalidRequest, "taskset is required"))
 		return
 	}
-	if err := s.checkSetSize(req.Taskset); err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+	if e := checkColumns(req.Columns); e != nil {
+		writeError(w, e)
+		return
+	}
+	if e := s.checkSet(req.Taskset, req.Columns); e != nil {
+		writeError(w, e)
 		return
 	}
 	var pol sim.Policy
@@ -518,40 +529,43 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	case "fkf":
 		pol = sched.FirstKFit{}
 	default:
-		writeError(w, http.StatusBadRequest, "unknown scheduler %q (known: nf, fkf)", req.Scheduler)
+		writeError(w, api.Errorf(api.CodeUnknownScheduler, "unknown scheduler %q (known: nf, fkf)", req.Scheduler).
+			WithDetail("scheduler", req.Scheduler))
 		return
 	}
 	opts := sim.Options{ContinueAfterMiss: req.ContinueAfterMiss}
 	var err error
 	if req.Horizon != "" {
 		if opts.Horizon, err = timeunit.Parse(req.Horizon); err != nil {
-			writeError(w, http.StatusBadRequest, "horizon: %v", err)
+			writeError(w, api.Errorf(api.CodeInvalidHorizon, "horizon: %v", err))
 			return
 		}
 		// An explicit non-positive horizon would silently mean "auto";
 		// reject it so clients learn about the fallback loudly.
 		if opts.Horizon <= 0 {
-			writeError(w, http.StatusBadRequest, "horizon: %q must be positive (omit it for the automatic horizon)", req.Horizon)
+			writeError(w, api.Errorf(api.CodeInvalidHorizon, "horizon: %q must be positive (omit it for the automatic horizon)", req.Horizon))
 			return
 		}
 	}
 	if req.HorizonCap != "" {
 		if opts.HorizonCap, err = timeunit.Parse(req.HorizonCap); err != nil {
-			writeError(w, http.StatusBadRequest, "horizon_cap: %v", err)
+			writeError(w, api.Errorf(api.CodeInvalidHorizon, "horizon_cap: %v", err))
 			return
 		}
 		if opts.HorizonCap <= 0 {
-			writeError(w, http.StatusBadRequest, "horizon_cap: %q must be positive (omit it for the default cap)", req.HorizonCap)
+			writeError(w, api.Errorf(api.CodeInvalidHorizon, "horizon_cap: %q must be positive (omit it for the default cap)", req.HorizonCap))
 			return
 		}
 	}
 	if s.maxSimHorizon > 0 {
 		if opts.Horizon > s.maxSimHorizon {
-			writeError(w, http.StatusBadRequest, "horizon: %q exceeds the server limit of %v time units", req.Horizon, s.maxSimHorizon)
+			writeError(w, api.Errorf(api.CodeLimitExceeded, "horizon: %q exceeds the server limit of %v time units", req.Horizon, s.maxSimHorizon).
+				WithDetail("limit", s.maxSimHorizon.String()))
 			return
 		}
 		if opts.HorizonCap > s.maxSimHorizon {
-			writeError(w, http.StatusBadRequest, "horizon_cap: %q exceeds the server limit of %v time units", req.HorizonCap, s.maxSimHorizon)
+			writeError(w, api.Errorf(api.CodeLimitExceeded, "horizon_cap: %q exceeds the server limit of %v time units", req.HorizonCap, s.maxSimHorizon).
+				WithDetail("limit", s.maxSimHorizon.String()))
 			return
 		}
 		if opts.HorizonCap == 0 {
@@ -568,54 +582,21 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	case s.simSem <- struct{}{}:
 		defer func() { <-s.simSem }()
 	case <-r.Context().Done():
-		writeError(w, http.StatusServiceUnavailable, "client cancelled while waiting for a simulation slot")
+		writeError(w, api.Errorf(api.CodeCancelled, "client cancelled while waiting for a simulation slot"))
 		return
 	}
 	res, err := sim.Simulate(req.Columns, req.Taskset, pol, opts)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "simulate: %v", err)
+		writeError(w, api.Errorf(api.CodeInvalidRequest, "simulate: %v", err))
 		return
 	}
-	resp := simulateResponse{
-		Policy:      res.Policy,
-		Missed:      res.Missed,
-		Misses:      res.Misses,
-		Horizon:     res.Horizon.String(),
-		End:         res.End.String(),
-		Events:      res.Events,
-		Released:    res.Released,
-		Completed:   res.Completed,
-		Preemptions: res.Preemptions,
-	}
-	if res.Missed {
-		resp.FirstMissTime = res.FirstMissTime.String()
-		mt, mj := res.FirstMissTask, res.FirstMissJob
-		resp.FirstMissTask = &mt
-		resp.FirstMissJob = &mj
-	}
-	writeJSON(w, http.StatusOK, resp)
+	writeJSON(w, http.StatusOK, api.SimulateResponseFromResult(res))
 }
 
 // ---- /v1/controllers ----
 
-// controllerRequest creates a named admission controller.
-type controllerRequest struct {
-	Columns int `json:"columns"`
-	// Tests are tried in order on each admission request; empty means
-	// the standard EDF-NF composite members (DP, GN1, GN2).
-	Tests []string `json:"tests,omitempty"`
-}
-
-// controllerInfo describes one controller in list/create responses.
-type controllerInfo struct {
-	Name     string   `json:"name"`
-	Columns  int      `json:"columns"`
-	Tests    []string `json:"tests"`
-	Resident int      `json:"resident"`
-}
-
-func (s *Server) tenantInfo(name string, t *tenant) controllerInfo {
-	return controllerInfo{Name: name, Columns: t.columns, Tests: t.tests, Resident: t.ctrl.Len()}
+func (s *Server) tenantInfo(name string, t *tenant) api.ControllerInfo {
+	return api.ControllerInfo{Name: name, Columns: t.columns, Tests: t.tests, Resident: t.ctrl.Len()}
 }
 
 func (s *Server) handleControllerList(w http.ResponseWriter, r *http.Request) {
@@ -633,53 +614,53 @@ func (s *Server) handleControllerList(w http.ResponseWriter, r *http.Request) {
 		snapshot = append(snapshot, namedTenant{name, t})
 	}
 	s.cmu.RUnlock()
-	infos := make([]controllerInfo, 0, len(snapshot))
+	infos := make([]api.ControllerInfo, 0, len(snapshot))
 	for _, nt := range snapshot {
 		infos = append(infos, s.tenantInfo(nt.name, nt.t))
 	}
 	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
-	writeJSON(w, http.StatusOK, map[string]any{"controllers": infos})
+	writeJSON(w, http.StatusOK, api.ControllerList{Controllers: infos})
 }
 
 func (s *Server) handleControllerCreate(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	var req controllerRequest
+	var req api.ControllerRequest
 	if err := decodeJSON(r, &req); err != nil {
-		writeDecodeError(w, err)
+		writeError(w, decodeErr(err))
+		return
+	}
+	if e := checkColumns(req.Columns); e != nil {
+		writeError(w, e)
 		return
 	}
 	names := req.Tests
 	if len(names) == 0 {
 		names = []string{"DP", "GN1", "GN2"}
 	}
-	// Echo only the names that resolve to a test: TestsByName skips
+	// Echo only the names that resolve to a test: resolveTests skips
 	// blank entries, and the stored list must describe what actually
 	// gates admissions.
-	clean := make([]string, 0, len(names))
-	for _, n := range names {
-		if t := strings.TrimSpace(n); t != "" {
-			clean = append(clean, t)
-		}
-	}
-	tests, err := core.TestsByName(clean)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+	tests, clean, apiErr := resolveTests(names)
+	if apiErr != nil {
+		writeError(w, apiErr)
 		return
 	}
 	ctrl, err := admission.NewController(req.Columns, tests...)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, api.Errorf(api.CodeInvalidRequest, "%v", err))
 		return
 	}
 	s.cmu.Lock()
 	if _, exists := s.controllers[name]; exists {
 		s.cmu.Unlock()
-		writeError(w, http.StatusConflict, "controller %q already exists (delete it first to change its configuration)", name)
+		writeError(w, api.Errorf(api.CodeConflict, "controller %q already exists (delete it first to change its configuration)", name))
 		return
 	}
 	if s.maxControllers > 0 && len(s.controllers) >= s.maxControllers {
 		s.cmu.Unlock()
-		writeError(w, http.StatusConflict, "controller limit of %d reached", s.maxControllers)
+		writeErrorStatus(w, http.StatusConflict,
+			api.Errorf(api.CodeLimitExceeded, "controller limit of %d reached", s.maxControllers).
+				WithDetail("limit", strconv.Itoa(s.maxControllers)))
 		return
 	}
 	t := &tenant{ctrl: ctrl, columns: req.Columns, tests: clean}
@@ -695,7 +676,7 @@ func (s *Server) handleControllerDelete(w http.ResponseWriter, r *http.Request) 
 	delete(s.controllers, name)
 	s.cmu.Unlock()
 	if !ok {
-		writeError(w, http.StatusNotFound, "no controller %q", name)
+		writeError(w, api.Errorf(api.CodeNotFound, "no controller %q", name))
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -707,16 +688,9 @@ func (s *Server) lookup(w http.ResponseWriter, name string) (*tenant, bool) {
 	t, ok := s.controllers[name]
 	s.cmu.RUnlock()
 	if !ok {
-		writeError(w, http.StatusNotFound, "no controller %q", name)
+		writeError(w, api.Errorf(api.CodeNotFound, "no controller %q", name))
 	}
 	return t, ok
-}
-
-// admitResponse is the wire form of admission.Decision.
-type admitResponse struct {
-	Admitted bool   `json:"admitted"`
-	ProvedBy string `json:"proved_by,omitempty"`
-	Reason   string `json:"reason,omitempty"`
 }
 
 func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
@@ -726,7 +700,7 @@ func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
 	}
 	var tk task.Task
 	if err := decodeJSON(r, &tk); err != nil {
-		writeDecodeError(w, err)
+		writeError(w, decodeErr(err))
 		return
 	}
 	// Cap the resident set like any analysed set: each admission re-runs
@@ -735,11 +709,13 @@ func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
 	// outside the controller lock); concurrent admits may overshoot by
 	// at most the in-flight request count.
 	if s.maxTasks > 0 && t.ctrl.Len() >= s.maxTasks {
-		writeError(w, http.StatusConflict, "controller %q is at the %d-task resident capacity", r.PathValue("name"), s.maxTasks)
+		writeErrorStatus(w, http.StatusConflict,
+			api.Errorf(api.CodeLimitExceeded, "controller %q is at the %d-task resident capacity", r.PathValue("name"), s.maxTasks).
+				WithDetail("limit", strconv.Itoa(s.maxTasks)))
 		return
 	}
 	d := t.ctrl.Request(tk)
-	writeJSON(w, http.StatusOK, admitResponse{Admitted: d.Admitted, ProvedBy: d.ProvedBy, Reason: d.Reason})
+	writeJSON(w, http.StatusOK, api.AdmitResponse{Admitted: d.Admitted, ProvedBy: d.ProvedBy, Reason: d.Reason})
 }
 
 func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
@@ -749,21 +725,10 @@ func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
 	}
 	taskName := r.PathValue("task")
 	if !t.ctrl.Release(taskName) {
-		writeError(w, http.StatusNotFound, "no resident task %q in controller %q", taskName, r.PathValue("name"))
+		writeError(w, api.Errorf(api.CodeNotFound, "no resident task %q in controller %q", taskName, r.PathValue("name")))
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
-}
-
-// residentResponse snapshots a controller's resident set.
-type residentResponse struct {
-	Name    string `json:"name"`
-	Columns int    `json:"columns"`
-	Count   int    `json:"count"`
-	// UtilizationS is the resident system utilization Σ Ci·Ai/Ti as a
-	// decimal string.
-	UtilizationS string    `json:"utilization_s"`
-	Taskset      *task.Set `json:"taskset"`
 }
 
 func (s *Server) handleResident(w http.ResponseWriter, r *http.Request) {
@@ -773,7 +738,7 @@ func (s *Server) handleResident(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resident := t.ctrl.Resident()
-	writeJSON(w, http.StatusOK, residentResponse{
+	writeJSON(w, http.StatusOK, api.ResidentResponse{
 		Name:         name,
 		Columns:      t.columns,
 		Count:        resident.Len(),

@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"fpgasched/api"
 	"fpgasched/internal/engine"
 	"fpgasched/internal/task"
 	"fpgasched/internal/workload"
@@ -81,7 +82,7 @@ func TestHealthz(t *testing.T) {
 func TestAnalyzeSingle(t *testing.T) {
 	_, ts := newTestServer(t)
 	body := fmt.Sprintf(`{"columns":10,"tests":["DP","GN1","GN2"],"taskset":%s}`, setJSON(t, workload.Table3()))
-	var out analyzeResponse
+	var out api.AnalyzeResponse
 	resp := doJSON(t, "POST", ts.URL+"/v1/analyze", body, &out)
 	if resp.StatusCode != 200 {
 		t.Fatalf("status = %d", resp.StatusCode)
@@ -101,7 +102,7 @@ func TestAnalyzeSingle(t *testing.T) {
 func TestAnalyzeDefaultsToCompositeNF(t *testing.T) {
 	_, ts := newTestServer(t)
 	body := fmt.Sprintf(`{"columns":10,"taskset":%s}`, setJSON(t, workload.Table1()))
-	var out analyzeResponse
+	var out api.AnalyzeResponse
 	if resp := doJSON(t, "POST", ts.URL+"/v1/analyze", body, &out); resp.StatusCode != 200 {
 		t.Fatalf("status = %d", resp.StatusCode)
 	}
@@ -117,7 +118,7 @@ func TestAnalyzeBatch(t *testing.T) {
 	_, ts := newTestServer(t)
 	body := fmt.Sprintf(`{"columns":10,"tests":["GN2"],"tasksets":[%s,%s,%s]}`,
 		setJSON(t, workload.Table1()), setJSON(t, workload.Table2()), setJSON(t, workload.Table3()))
-	var out analyzeResponse
+	var out api.AnalyzeResponse
 	if resp := doJSON(t, "POST", ts.URL+"/v1/analyze", body, &out); resp.StatusCode != 200 {
 		t.Fatalf("status = %d", resp.StatusCode)
 	}
@@ -133,7 +134,7 @@ func TestAnalyzeBatch(t *testing.T) {
 func TestAnalyzeDetailChecks(t *testing.T) {
 	_, ts := newTestServer(t)
 	body := fmt.Sprintf(`{"columns":10,"tests":["DP"],"taskset":%s,"detail":true}`, setJSON(t, workload.Table1()))
-	var out analyzeResponse
+	var out api.AnalyzeResponse
 	doJSON(t, "POST", ts.URL+"/v1/analyze", body, &out)
 	if len(out.Result.Verdicts[0].Checks) == 0 {
 		t.Fatal("detail=true must include per-task checks")
@@ -149,31 +150,93 @@ func TestAnalyzeErrors(t *testing.T) {
 	cases := []struct {
 		name, body string
 		status     int
+		code       api.ErrorCode
 	}{
-		{"malformed JSON", `{"columns":10,`, 400},
-		{"unknown field", `{"columns":10,"tasket":{}}`, 400},
-		{"both shapes", fmt.Sprintf(`{"columns":10,"taskset":%s,"tasksets":[%s]}`, t3, t3), 400},
-		{"neither shape", `{"columns":10}`, 400},
-		{"zero columns", fmt.Sprintf(`{"taskset":%s}`, t3), 400},
-		{"null batch element", `{"columns":10,"tasksets":[null]}`, 400},
-		{"unknown test", fmt.Sprintf(`{"columns":10,"tests":["XX"],"taskset":%s}`, t3), 400},
-		{"bad duration", `{"columns":10,"taskset":{"tasks":[{"name":"x","c":"oops","d":"1","t":"1","a":1}]}}`, 400},
-		{"unknown field in task", `{"columns":10,"taskset":{"tasks":[{"name":"x","c":"1","d":"5","t":"5","a":2,"priority":9}]}}`, 400},
-		{"invalid task (zero deadline)", `{"columns":10,"taskset":{"tasks":[{"name":"x","c":"1","d":"0","t":"5","a":1}]}}`, 400},
-		{"task wider than device", `{"columns":2,"taskset":{"tasks":[{"name":"x","c":"1","d":"5","t":"5","a":7}]}}`, 400},
-		{"empty taskset", `{"columns":10,"taskset":{"tasks":[]}}`, 400},
-		{"unknown field in taskset", `{"columns":10,"taskset":{"tasksX":[]}}`, 400},
-		{"trailing garbage", fmt.Sprintf(`{"columns":10,"taskset":%s} trailing`, t3), 400},
+		{"malformed JSON", `{"columns":10,`, 400, api.CodeInvalidJSON},
+		{"unknown field", `{"columns":10,"tasket":{}}`, 400, api.CodeInvalidJSON},
+		{"both shapes", fmt.Sprintf(`{"columns":10,"taskset":%s,"tasksets":[%s]}`, t3, t3), 400, api.CodeInvalidRequest},
+		{"neither shape", `{"columns":10}`, 400, api.CodeInvalidRequest},
+		{"zero columns", fmt.Sprintf(`{"taskset":%s}`, t3), 400, api.CodeInvalidDevice},
+		{"null batch element", `{"columns":10,"tasksets":[null]}`, 400, api.CodeInvalidRequest},
+		{"unknown test", fmt.Sprintf(`{"columns":10,"tests":["XX"],"taskset":%s}`, t3), 400, api.CodeUnknownTest},
+		{"empty test list", fmt.Sprintf(`{"columns":10,"tests":[""],"taskset":%s}`, t3), 400, api.CodeInvalidRequest},
+		{"bad duration", `{"columns":10,"taskset":{"tasks":[{"name":"x","c":"oops","d":"1","t":"1","a":1}]}}`, 400, api.CodeInvalidJSON},
+		{"unknown field in task", `{"columns":10,"taskset":{"tasks":[{"name":"x","c":"1","d":"5","t":"5","a":2,"priority":9}]}}`, 400, api.CodeInvalidJSON},
+		{"invalid task (zero deadline)", `{"columns":10,"taskset":{"tasks":[{"name":"x","c":"1","d":"0","t":"5","a":1}]}}`, 400, api.CodeInvalidTaskset},
+		{"task wider than device", `{"columns":2,"taskset":{"tasks":[{"name":"x","c":"1","d":"5","t":"5","a":7}]}}`, 400, api.CodeInvalidDevice},
+		{"empty taskset", `{"columns":10,"taskset":{"tasks":[]}}`, 400, api.CodeInvalidTaskset},
+		{"unknown field in taskset", `{"columns":10,"taskset":{"tasksX":[]}}`, 400, api.CodeInvalidJSON},
+		{"trailing garbage", fmt.Sprintf(`{"columns":10,"taskset":%s} trailing`, t3), 400, api.CodeInvalidJSON},
 	}
 	for _, tc := range cases {
-		var out map[string]string
+		var out api.Error
 		resp := doJSON(t, "POST", ts.URL+"/v1/analyze", tc.body, &out)
 		if resp.StatusCode != tc.status {
 			t.Errorf("%s: status = %d, want %d", tc.name, resp.StatusCode, tc.status)
 		}
-		if out["error"] == "" {
+		if out.Message == "" {
 			t.Errorf("%s: missing error message", tc.name)
 		}
+		if out.Code != tc.code {
+			t.Errorf("%s: code = %q, want %q", tc.name, out.Code, tc.code)
+		}
+	}
+}
+
+// TestErrorCodesCarryDetail is the regression test for the structured
+// 400 taxonomy of the two boundary validations the SDK switches on:
+// invalid_device and unknown_test must name the offender in detail.
+func TestErrorCodesCarryDetail(t *testing.T) {
+	_, ts := newTestServer(t)
+	var out api.Error
+	body := fmt.Sprintf(`{"columns":10,"tests":["GN2","nope"],"taskset":%s}`, setJSON(t, workload.Table3()))
+	if resp := doJSON(t, "POST", ts.URL+"/v1/analyze", body, &out); resp.StatusCode != 400 {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+	if out.Code != api.CodeUnknownTest || out.Detail["test"] != "nope" {
+		t.Errorf("unknown test error = %+v, want code unknown_test with detail.test=nope", out)
+	}
+	out = api.Error{}
+	body = `{"columns":3,"taskset":{"tasks":[{"name":"w","c":"1","d":"5","t":"5","a":9}]}}`
+	if resp := doJSON(t, "POST", ts.URL+"/v1/analyze", body, &out); resp.StatusCode != 400 {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+	if out.Code != api.CodeInvalidDevice || out.Detail["task_index"] != "0" {
+		t.Errorf("wide task error = %+v, want code invalid_device with detail.task_index=0", out)
+	}
+	// The simulate endpoint shares the boundary validation and codes.
+	out = api.Error{}
+	if resp := doJSON(t, "POST", ts.URL+"/v1/simulate", body, &out); resp.StatusCode != 400 {
+		t.Fatalf("simulate status = %d, want 400", resp.StatusCode)
+	}
+	if out.Code != api.CodeInvalidDevice {
+		t.Errorf("simulate wide task code = %q, want invalid_device", out.Code)
+	}
+}
+
+func TestTestsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	var out api.TestsResponse
+	if resp := doJSON(t, "GET", ts.URL+"/v1/tests", "", &out); resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if len(out.Tests) == 0 {
+		t.Fatal("no tests advertised")
+	}
+	found := map[string]bool{}
+	for _, n := range out.Tests {
+		found[n] = true
+	}
+	for _, want := range []string{"DP", "GN1", "GN2", "any-nf", "any-fkf"} {
+		if !found[want] {
+			t.Errorf("registry response missing %q (got %v)", want, out.Tests)
+		}
+	}
+	// The advertised list is exactly the resolvable one: every name must
+	// be accepted by an analyze request.
+	body := fmt.Sprintf(`{"columns":10,"tests":[%q],"taskset":%s}`, out.Tests[0], setJSON(t, workload.Table3()))
+	if resp := doJSON(t, "POST", ts.URL+"/v1/analyze", body, nil); resp.StatusCode != 200 {
+		t.Errorf("advertised test %q rejected: %d", out.Tests[0], resp.StatusCode)
 	}
 }
 
@@ -197,7 +260,7 @@ func TestAnalyzeUsesCacheAcrossPermutations(t *testing.T) {
 func TestSimulate(t *testing.T) {
 	_, ts := newTestServer(t)
 	body := fmt.Sprintf(`{"columns":10,"scheduler":"nf","taskset":%s,"horizon":"70"}`, setJSON(t, workload.Table3()))
-	var out simulateResponse
+	var out api.SimulateResponse
 	resp := doJSON(t, "POST", ts.URL+"/v1/simulate", body, &out)
 	if resp.StatusCode != 200 {
 		t.Fatalf("status = %d", resp.StatusCode)
@@ -235,7 +298,7 @@ func TestControllerLifecycle(t *testing.T) {
 	base := ts.URL + "/v1/controllers/edge0"
 
 	// Create.
-	var info controllerInfo
+	var info api.ControllerInfo
 	resp := doJSON(t, "PUT", base, `{"columns":10}`, &info)
 	if resp.StatusCode != 201 || info.Columns != 10 || info.Name != "edge0" {
 		t.Fatalf("create = %d %+v", resp.StatusCode, info)
@@ -247,7 +310,7 @@ func TestControllerLifecycle(t *testing.T) {
 
 	// Admit two tasks; the third must be rejected (same shape as the
 	// admission package's own TestReleaseMakesRoom).
-	var d admitResponse
+	var d api.AdmitResponse
 	doJSON(t, "POST", base+"/admit", `{"name":"a","c":"2","d":"5","t":"5","a":5}`, &d)
 	if !d.Admitted || d.ProvedBy == "" {
 		t.Fatalf("admit a = %+v", d)
@@ -262,7 +325,7 @@ func TestControllerLifecycle(t *testing.T) {
 	}
 
 	// Resident snapshot.
-	var res residentResponse
+	var res api.ResidentResponse
 	doJSON(t, "GET", base+"/resident", "", &res)
 	if res.Count != 2 || res.Taskset.Len() != 2 || res.UtilizationS != "4.0000" {
 		t.Errorf("resident = %+v", res)
@@ -281,9 +344,7 @@ func TestControllerLifecycle(t *testing.T) {
 	}
 
 	// List includes the tenant.
-	var list struct {
-		Controllers []controllerInfo `json:"controllers"`
-	}
+	var list api.ControllerList
 	doJSON(t, "GET", ts.URL+"/v1/controllers", "", &list)
 	if len(list.Controllers) != 1 || list.Controllers[0].Resident != 2 {
 		t.Errorf("list = %+v", list)
@@ -327,7 +388,7 @@ func TestMetrics(t *testing.T) {
 	_, ts := newTestServer(t)
 	doJSON(t, "POST", ts.URL+"/v1/analyze", fmt.Sprintf(`{"columns":10,"tests":["DP"],"taskset":%s}`, setJSON(t, workload.Table1())), nil)
 	doJSON(t, "POST", ts.URL+"/v1/analyze", `{"broken`, nil)
-	var out metricsResponse
+	var out api.MetricsResponse
 	if resp := doJSON(t, "GET", ts.URL+"/metrics", "", &out); resp.StatusCode != 200 {
 		t.Fatalf("status = %d", resp.StatusCode)
 	}
@@ -388,12 +449,12 @@ func TestAdmitCapacityAndControllerLimit(t *testing.T) {
 	}
 	// Controller count cap.
 	doJSON(t, "PUT", ts.URL+"/v1/controllers/b", `{"columns":10}`, nil)
-	var out map[string]string
+	var out api.Error
 	if resp := doJSON(t, "PUT", ts.URL+"/v1/controllers/c", `{"columns":10}`, &out); resp.StatusCode != 409 {
 		t.Errorf("third controller = %d, want 409", resp.StatusCode)
 	}
-	if !strings.Contains(out["error"], "limit of 2") {
-		t.Errorf("error = %q, want the limit named", out["error"])
+	if out.Code != api.CodeLimitExceeded || !strings.Contains(out.Message, "limit of 2") {
+		t.Errorf("error = %+v, want limit_exceeded naming the limit", out)
 	}
 }
 
@@ -403,12 +464,12 @@ func TestTaskCountLimit(t *testing.T) {
 	defer func() { ts.Close(); srv.Close() }()
 	tasks := strings.TrimSuffix(strings.Repeat(`{"c":"1","d":"8","t":"8","a":1},`, 4), ",")
 	over := fmt.Sprintf(`{"columns":10,"taskset":{"tasks":[%s]}}`, tasks)
-	var out map[string]string
+	var out api.Error
 	if resp := doJSON(t, "POST", ts.URL+"/v1/analyze", over, &out); resp.StatusCode != 400 {
 		t.Errorf("analyze over cap = %d, want 400", resp.StatusCode)
 	}
-	if !strings.Contains(out["error"], "limit of 3") {
-		t.Errorf("error = %q, want the limit named", out["error"])
+	if out.Code != api.CodeLimitExceeded || !strings.Contains(out.Message, "limit of 3") {
+		t.Errorf("error = %+v, want limit_exceeded naming the limit", out)
 	}
 	if resp := doJSON(t, "POST", ts.URL+"/v1/simulate", over, nil); resp.StatusCode != 400 {
 		t.Errorf("simulate over cap = %d, want 400", resp.StatusCode)
@@ -434,12 +495,12 @@ func TestBatchAnalysisLimit(t *testing.T) {
 	sets := strings.TrimSuffix(strings.Repeat(set+",", 3), ",")
 	// 3 sets x 2 tests = 6 > 4.
 	over := fmt.Sprintf(`{"columns":10,"tests":["DP","GN2"],"tasksets":[%s]}`, sets)
-	var out map[string]string
+	var out api.Error
 	if resp := doJSON(t, "POST", ts.URL+"/v1/analyze", over, &out); resp.StatusCode != 400 {
 		t.Errorf("over batch cap = %d, want 400", resp.StatusCode)
 	}
-	if !strings.Contains(out["error"], "limit of 4") {
-		t.Errorf("error = %q, want the limit named", out["error"])
+	if out.Code != api.CodeLimitExceeded || !strings.Contains(out.Message, "limit of 4") {
+		t.Errorf("error = %+v, want limit_exceeded naming the limit", out)
 	}
 	// 3 sets x 1 test = 3 <= 4.
 	under := fmt.Sprintf(`{"columns":10,"tests":["DP"],"tasksets":[%s]}`, sets)
@@ -450,7 +511,7 @@ func TestBatchAnalysisLimit(t *testing.T) {
 
 func TestControllerEchoesOnlyResolvedTests(t *testing.T) {
 	_, ts := newTestServer(t)
-	var info controllerInfo
+	var info api.ControllerInfo
 	resp := doJSON(t, "PUT", ts.URL+"/v1/controllers/x", `{"columns":10,"tests":["", " DP ",""]}`, &info)
 	if resp.StatusCode != 201 {
 		t.Fatalf("create = %d", resp.StatusCode)
@@ -464,12 +525,12 @@ func TestSimulateHorizonLimit(t *testing.T) {
 	_, ts := newTestServer(t)
 	t3 := setJSON(t, workload.Table3())
 	body := fmt.Sprintf(`{"columns":10,"taskset":%s,"horizon":"999999"}`, t3)
-	var out map[string]string
+	var out api.Error
 	if resp := doJSON(t, "POST", ts.URL+"/v1/simulate", body, &out); resp.StatusCode != 400 {
 		t.Errorf("huge horizon = %d, want 400", resp.StatusCode)
 	}
-	if !strings.Contains(out["error"], "server limit") {
-		t.Errorf("error = %q, want the limit named", out["error"])
+	if out.Code != api.CodeLimitExceeded || !strings.Contains(out.Message, "server limit") {
+		t.Errorf("error = %+v, want limit_exceeded naming the limit", out)
 	}
 	body = fmt.Sprintf(`{"columns":10,"taskset":%s,"horizon_cap":"999999"}`, t3)
 	if resp := doJSON(t, "POST", ts.URL+"/v1/simulate", body, nil); resp.StatusCode != 400 {

@@ -4,14 +4,16 @@ package fpgasched
 // analysis engine and the test-name registry.
 
 import (
+	"context"
 	"testing"
 )
 
 func TestFacadeEngine(t *testing.T) {
 	e := NewEngine(EngineConfig{Workers: 2, CacheSize: 32})
 	defer e.Close()
+	ctx := context.Background()
 	s := PaperTable3()
-	v, err := e.Analyze(AnalysisRequest{Columns: 10, Set: s, Test: GN2()})
+	v, err := e.Analyze(ctx, AnalysisRequest{Columns: 10, Set: s, Test: GN2()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -21,7 +23,7 @@ func TestFacadeEngine(t *testing.T) {
 	// A renamed, reordered copy is a cache hit.
 	perm := NewTaskSet(s.Tasks[1], s.Tasks[0])
 	perm.Tasks[0].Name = "renamed"
-	if _, err := e.Analyze(AnalysisRequest{Columns: 10, Set: perm, Test: GN2()}); err != nil {
+	if _, err := e.Analyze(ctx, AnalysisRequest{Columns: 10, Set: perm, Test: GN2()}); err != nil {
 		t.Fatal(err)
 	}
 	if st := e.Stats(); st.Hits != 1 || st.Analyses != 1 {
