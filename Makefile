@@ -13,7 +13,17 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Engine + GN2 analysis benchmarks, results archived under bench-results/
+# (uploaded as a CI workflow artifact — the BENCH_*.json trajectory for
+# future perf PRs). `make bench-all` runs every benchmark in the repo.
 bench:
+	mkdir -p bench-results
+	$(GO) test -bench 'BenchmarkAnalyze' -benchtime 100x -run XXX ./internal/engine/ | tee bench-results/BENCH_engine.txt
+	$(GO) test -bench 'BenchmarkTable|BenchmarkAnalysisScaling|BenchmarkCompositeVsSingle' -benchtime 100x -run XXX . | tee bench-results/BENCH_gn2.txt
+	$(GO) run ./cmd/benchjson -in bench-results/BENCH_engine.txt -out bench-results/BENCH_engine.json
+	$(GO) run ./cmd/benchjson -in bench-results/BENCH_gn2.txt -out bench-results/BENCH_gn2.json
+
+bench-all:
 	$(GO) test -bench . -benchtime 100x -run XXX ./...
 
 serve: ## run the analysis daemon on :8080

@@ -66,34 +66,31 @@ type AnalyzeRequest struct {
 	// Tasksets is the batch shape; Results aligns with it.
 	Tasksets []*TaskSet `json:"tasksets,omitempty"`
 	// Detail includes the per-task bound checks in each verdict.
+	// Deprecated alias of Explain, kept for v1 stability.
 	Detail bool `json:"detail,omitempty"`
+	// Explain attaches the full machine-readable certificate to every
+	// verdict: per-task checks with exact rational LHS/RHS (and GN2's
+	// witnessing λ and condition), plus each composite member's full
+	// sub-verdict. Explain on a cache hit is free — the engine memoizes
+	// certificates alongside verdicts.
+	Explain bool `json:"explain,omitempty"`
 }
 
-// Verdict is the wire form of one schedulability test outcome.
-// failing_task and checks[].task_index are indices into the request's
-// task array (the engine remaps them per caller); the free-text reason
-// is produced once per cached analysis from the canonically ordered
-// set, so any index or name embedded in its prose reflects that
-// canonical ordering — trust the structured fields, treat reason as
-// human context.
-type Verdict struct {
-	Test        string  `json:"test"`
-	Schedulable bool    `json:"schedulable"`
-	Reason      string  `json:"reason,omitempty"`
-	FailingTask *int    `json:"failing_task,omitempty"`
-	Checks      []Check `json:"checks,omitempty"`
-}
+// Verdict is the wire form of one schedulability test outcome — an
+// alias of core.Certificate, so library and wire consumers share one
+// certificate type. failing_task and checks[].task_index are indices
+// into the request's task array (the engine remaps them per caller);
+// the free-text reason is produced once per cached analysis from the
+// canonically ordered set, so any index or name embedded in its prose
+// reflects that canonical ordering — trust the structured fields, treat
+// reason as human context. accepted_by names the composite member whose
+// proof accepted the set; sub_verdicts (explain only) carries every
+// evaluated member's own certificate.
+type Verdict = core.Certificate
 
 // Check is the wire form of one per-task bound evaluation; LHS/RHS/λ
 // are exact fraction strings ("63/10").
-type Check struct {
-	TaskIndex int    `json:"task_index"`
-	LHS       string `json:"lhs"`
-	RHS       string `json:"rhs"`
-	Satisfied bool   `json:"satisfied"`
-	Lambda    string `json:"lambda,omitempty"`
-	Condition int    `json:"condition,omitempty"`
-}
+type Check = core.Check
 
 // AnalyzeResult holds the verdicts for one taskset, in test order.
 type AnalyzeResult struct {
@@ -110,28 +107,15 @@ type AnalyzeResponse struct {
 	Results []AnalyzeResult `json:"results,omitempty"`
 }
 
-// VerdictFromCore converts an analysis verdict to its wire form; with
-// detail the per-task checks are included.
-func VerdictFromCore(v core.Verdict, detail bool) Verdict {
-	out := Verdict{Test: v.Test, Schedulable: v.Schedulable, Reason: v.Reason}
-	if !v.Schedulable && v.FailingTask >= 0 {
-		ft := v.FailingTask
-		out.FailingTask = &ft
-	}
-	if detail {
-		for _, c := range v.Checks {
-			cj := Check{TaskIndex: c.TaskIndex, Satisfied: c.Satisfied, Condition: c.Condition}
-			if c.LHS != nil {
-				cj.LHS = c.LHS.RatString()
-			}
-			if c.RHS != nil {
-				cj.RHS = c.RHS.RatString()
-			}
-			if c.Lambda != nil {
-				cj.Lambda = c.Lambda.RatString()
-			}
-			out.Checks = append(out.Checks, cj)
-		}
+// VerdictFromCore converts an analysis verdict to its wire form: the
+// verdict's certificate, with the per-task checks and composite
+// sub-verdicts stripped unless explain was requested (accepted_by is
+// always kept — it is the summary of the proof, not the proof).
+func VerdictFromCore(v core.Verdict, explain bool) Verdict {
+	out := v.Certificate()
+	if !explain {
+		out.Checks = nil
+		out.SubVerdicts = nil
 	}
 	return out
 }
@@ -145,7 +129,11 @@ type StreamRequest struct {
 	Columns int      `json:"columns"`
 	Tests   []string `json:"tests,omitempty"`
 	Taskset *TaskSet `json:"taskset"`
-	Detail  bool     `json:"detail,omitempty"`
+	// Detail is the deprecated alias of Explain, kept for v1 stability.
+	Detail bool `json:"detail,omitempty"`
+	// Explain attaches full certificates to this line's verdicts, as on
+	// AnalyzeRequest.
+	Explain bool `json:"explain,omitempty"`
 }
 
 // StreamResult is one line of the NDJSON response body. Index is the
@@ -217,11 +205,21 @@ func SimulateResponseFromResult(res sim.Result) SimulateResponse {
 
 // ---- GET /v1/tests ----
 
+// TestInfo describes one test registry entry: identifier, one-line
+// description and scheduler validity ("both", "nf" or "fkf"), so
+// clients can discover which tests are legal under EDF-FkF instead of
+// hardcoding it.
+type TestInfo = core.TestInfo
+
 // TestsResponse lists the test identifiers the server resolves, sorted
 // (the shared registry behind the CLI's -tests flag and every tests
-// field here).
+// field here). Details carries the per-entry metadata, aligned with
+// Tests.
 type TestsResponse struct {
 	Tests []string `json:"tests"`
+	// Details describes each entry (description + scheduler validity),
+	// in the same order as Tests.
+	Details []TestInfo `json:"details,omitempty"`
 }
 
 // ---- /v1/controllers ----
@@ -249,11 +247,15 @@ type ControllerList struct {
 
 // AdmitResponse is the outcome of one admission request. A rejection is
 // a 200 with admitted false — it is a domain answer, not a transport
-// error.
+// error. An admission carries the accepting test's certificate over the
+// new resident set, so every admission decision is auditable.
 type AdmitResponse struct {
 	Admitted bool   `json:"admitted"`
 	ProvedBy string `json:"proved_by,omitempty"`
 	Reason   string `json:"reason,omitempty"`
+	// Certificate is the accepting test's full proof (per-task bound
+	// inequalities with exact rational sides). Absent on rejection.
+	Certificate *Verdict `json:"certificate,omitempty"`
 }
 
 // ResidentResponse snapshots a controller's resident set.

@@ -48,6 +48,12 @@ func fixtures() map[string]any {
 			Taskset: fixtureSet(),
 			Detail:  true,
 		},
+		"analyze_request_explain": AnalyzeRequest{
+			Columns: 10,
+			Tests:   []string{"any-nf"},
+			Taskset: fixtureSet(),
+			Explain: true,
+		},
 		"analyze_request_batch": AnalyzeRequest{
 			Columns:  10,
 			Tests:    []string{"GN2"},
@@ -85,10 +91,58 @@ func fixtures() map[string]any {
 				{Schedulable: false, Verdicts: []Verdict{{Test: "GN2", Schedulable: false, Reason: "no λ works", FailingTask: intp(1)}}},
 			},
 		},
+		"analyze_response_explain": AnalyzeResponse{
+			Columns: 10,
+			Result: &AnalyzeResult{
+				Schedulable: true,
+				Verdicts: []Verdict{
+					{
+						Test:        "any(DP|GN1|GN2)",
+						Schedulable: true,
+						AcceptedBy:  "GN2",
+						Checks: []Check{
+							{TaskIndex: 0, LHS: "247/50", RHS: "263/50", Satisfied: true, Lambda: "21/50", Condition: 2},
+							{TaskIndex: 1, LHS: "247/50", RHS: "263/50", Satisfied: true, Lambda: "21/50", Condition: 2},
+						},
+						SubVerdicts: []Verdict{
+							{
+								Test:        "DP",
+								Schedulable: false,
+								Reason:      "US(Γ)=247/50 exceeds bound 34/7 at task 1",
+								FailingTask: intp(1),
+								Checks: []Check{
+									{TaskIndex: 0, LHS: "247/50", RHS: "263/50", Satisfied: true},
+									{TaskIndex: 1, LHS: "247/50", RHS: "34/7", Satisfied: false},
+								},
+							},
+							{
+								Test:        "GN1",
+								Schedulable: false,
+								Reason:      "interference bound 5 not below slack bound 20/7 for task 1 (t2)",
+								FailingTask: intp(1),
+								Checks: []Check{
+									{TaskIndex: 0, LHS: "2", RHS: "58/25", Satisfied: true},
+									{TaskIndex: 1, LHS: "5", RHS: "20/7", Satisfied: false},
+								},
+							},
+							{
+								Test:        "GN2",
+								Schedulable: true,
+								Checks: []Check{
+									{TaskIndex: 0, LHS: "247/50", RHS: "263/50", Satisfied: true, Lambda: "21/50", Condition: 2},
+									{TaskIndex: 1, LHS: "247/50", RHS: "263/50", Satisfied: true, Lambda: "21/50", Condition: 2},
+								},
+							},
+						},
+					},
+				},
+			},
+		},
 		"stream_request": StreamRequest{
 			Columns: 10,
 			Tests:   []string{"GN2"},
 			Taskset: fixtureSet(),
+			Explain: true,
 		},
 		"stream_result_ok": StreamResult{
 			Index:  3,
@@ -130,6 +184,16 @@ func fixtures() map[string]any {
 		},
 		"tests_response": TestsResponse{
 			Tests: []string{"DP", "DP-real", "GN1", "GN1-Dk", "GN2", "GN2x", "any-fkf", "any-nf"},
+			Details: []TestInfo{
+				{Name: "DP", Description: "Theorem 1: corrected integer-area Danne–Platzner utilization bound", Validity: "both"},
+				{Name: "DP-real", Description: "Theorem 1 with the original real-valued-area bound A(H)−Amax", Validity: "both"},
+				{Name: "GN1", Description: "Theorem 2: BCL-style interference test exploiting per-task area slack", Validity: "nf"},
+				{Name: "GN1-Dk", Description: "Theorem 2 with BCL window normalisation (βi = Wi/Dk)", Validity: "nf"},
+				{Name: "GN2", Description: "Theorem 3: BAK2-style busy-interval test with λ-parameterised workload bound", Validity: "both"},
+				{Name: "GN2x", Description: "Theorem 3 with the extended λ candidate search (accepts a superset of GN2)", Validity: "both"},
+				{Name: "any-fkf", Description: "any-of composite of the tests valid under EDF-FkF (DP, GN2)", Validity: "fkf"},
+				{Name: "any-nf", Description: "any-of composite of all tests valid under EDF-NF (DP, GN1, GN2)", Validity: "nf"},
+			},
 		},
 		"controller_request": ControllerRequest{Columns: 10, Tests: []string{"DP", "GN1", "GN2"}},
 		"controller_info":    ControllerInfo{Name: "edge0", Columns: 10, Tests: []string{"DP", "GN1", "GN2"}, Resident: 2},
@@ -140,6 +204,17 @@ func fixtures() map[string]any {
 			},
 		},
 		"admit_response_accept": AdmitResponse{Admitted: true, ProvedBy: "DP"},
+		"admit_response_certificate": AdmitResponse{
+			Admitted: true,
+			ProvedBy: "DP",
+			Certificate: &Verdict{
+				Test:        "DP",
+				Schedulable: true,
+				Checks: []Check{
+					{TaskIndex: 0, LHS: "1/2", RHS: "29/4", Satisfied: true},
+				},
+			},
+		},
 		"admit_response_reject": AdmitResponse{Reason: "no configured test proves the resulting set schedulable"},
 		"resident_response": ResidentResponse{
 			Name:         "edge0",

@@ -8,6 +8,7 @@ package fpgasched
 // and tracks its cost.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -32,7 +33,7 @@ func benchTable(b *testing.B, set *task.Set) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		for _, t := range tests {
-			_ = t.Analyze(dev, set)
+			_ = t.Analyze(context.Background(), dev, set)
 		}
 	}
 }
@@ -83,7 +84,7 @@ func BenchmarkAnalysisScaling(b *testing.B) {
 			b.Run(fmt.Sprintf("%s/N=%d", test.Name(), n), func(b *testing.B) {
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
-					_ = test.Analyze(dev, set)
+					_ = test.Analyze(context.Background(), dev, set)
 				}
 			})
 		}
@@ -155,14 +156,14 @@ func BenchmarkCompositeVsSingle(b *testing.B) {
 	b.Run("DP-only", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			_ = (core.DPTest{}).Analyze(dev, set)
+			_ = (core.DPTest{}).Analyze(context.Background(), dev, set)
 		}
 	})
 	b.Run("composite-NF", func(b *testing.B) {
 		comp := core.ForNF()
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			_ = comp.Analyze(dev, set)
+			_ = comp.Analyze(context.Background(), dev, set)
 		}
 	})
 }
@@ -253,7 +254,7 @@ func BenchmarkAdmission(b *testing.B) {
 	}
 	// Preload residents.
 	for i := 0; i < 8; i++ {
-		ctrl.Request(task.Task{
+		ctrl.Request(context.Background(), task.Task{
 			Name: fmt.Sprintf("res%d", i),
 			C:    timeunit.FromUnits(1), D: timeunit.FromUnits(10), T: timeunit.FromUnits(10),
 			A: 5,
@@ -263,7 +264,7 @@ func BenchmarkAdmission(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		name := fmt.Sprintf("bench%d", i)
-		d := ctrl.Request(task.Task{
+		d := ctrl.Request(context.Background(), task.Task{
 			Name: name,
 			C:    timeunit.FromUnits(1), D: timeunit.FromUnits(10), T: timeunit.FromUnits(10),
 			A: 4,

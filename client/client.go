@@ -40,6 +40,19 @@ import (
 	"fpgasched/api"
 )
 
+// Certificate is the machine-readable proof attached to a verdict when
+// the request set explain: the per-task bound inequalities with exact
+// rational LHS/RHS strings (and, for GN2, the witnessing λ and
+// condition), plus — for composite tests — which member accepted
+// (accepted_by) and every evaluated member's own certificate
+// (sub_verdicts). It is the same type as api.Verdict: every verdict IS
+// its certificate, with the proof fields populated only under explain.
+//
+// Certificates of accepting verdicts can be re-verified independently
+// with exact arithmetic. The absence of a certificate never proves
+// unschedulability — the underlying tests are sufficient only.
+type Certificate = api.Verdict
+
 // Client calls a fpgaschedd daemon. Create with New.
 type Client struct {
 	base    string
@@ -215,15 +228,37 @@ func (c *Client) Metrics(ctx context.Context) (*api.MetricsResponse, error) {
 	return &out, nil
 }
 
+// tests fetches GET /v1/tests once; Tests and TestInfos are views of
+// the same response.
+func (c *Client) tests(ctx context.Context) (api.TestsResponse, error) {
+	var out api.TestsResponse
+	err := c.do(ctx, http.MethodGet, "/v1/tests", nil, &out, true)
+	return out, err
+}
+
 // Tests fetches the test-name registry (GET /v1/tests): the valid
 // identifiers for every tests field, so callers can discover rather
 // than guess.
 func (c *Client) Tests(ctx context.Context) ([]string, error) {
-	var out api.TestsResponse
-	if err := c.do(ctx, http.MethodGet, "/v1/tests", nil, &out, true); err != nil {
+	out, err := c.tests(ctx)
+	if err != nil {
 		return nil, err
 	}
 	return out.Tests, nil
+}
+
+// TestInfos fetches the enriched test registry (GET /v1/tests): for
+// each identifier, a one-line description and the scheduler classes it
+// is sound for ("both", "nf" or "fkf"), so callers gating admission for
+// EDF-FkF can select valid tests instead of hardcoding which are
+// legal. Each entry's Name matches the corresponding Tests identifier,
+// so one TestInfos call serves callers that want both.
+func (c *Client) TestInfos(ctx context.Context) ([]api.TestInfo, error) {
+	out, err := c.tests(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return out.Details, nil
 }
 
 // Analyze runs a single or batch analysis (POST /v1/analyze). Analyses

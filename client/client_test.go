@@ -21,6 +21,7 @@ import (
 	"fpgasched/internal/engine"
 	"fpgasched/internal/server"
 	"fpgasched/internal/task"
+	"fpgasched/internal/timeunit"
 	"fpgasched/internal/workload"
 )
 
@@ -359,7 +360,7 @@ type blockingTest struct {
 
 func (b *blockingTest) Name() string { return "blocking" }
 
-func (b *blockingTest) Analyze(core.Device, *task.Set) core.Verdict {
+func (b *blockingTest) Analyze(context.Context, core.Device, *task.Set) core.Verdict {
 	select {
 	case b.started <- struct{}{}:
 	default:
@@ -450,5 +451,71 @@ func TestClientCancellationPropagatesToEngine(t *testing.T) {
 	}
 	if !resp.Result.Schedulable {
 		t.Errorf("post-cancel verdict = %+v", resp.Result)
+	}
+}
+
+// TestCancelMidAnalysisAbortsAndFreesSlot is the end-to-end
+// cancellation acceptance test: cancelling the SDK call's context
+// while a GN2x analysis of a large set is *executing* (not merely
+// queued) must return promptly with ctx.Err(), abort the server-side λ
+// sweep, and leave no pool slot leaked — a follow-up analysis on the
+// single-worker engine completes immediately.
+func TestCancelMidAnalysisAbortsAndFreesSlot(t *testing.T) {
+	e := engine.New(engine.Config{Workers: 1, CacheSize: 16})
+	c, _ := newEnv(t, server.Config{Engine: e})
+
+	// ≥200 tasks: GN2x's extended λ sweep over this set takes far
+	// longer than the test budget, so a prompt return can only come
+	// from the cancellation reaching inside the analysis.
+	big := &task.Set{}
+	for i := 0; i < 220; i++ {
+		big.Tasks = append(big.Tasks, task.Task{
+			Name: fmt.Sprintf("t%d", i),
+			C:    timeunit.FromUnits(1 + int64(i%7)),
+			D:    timeunit.FromUnits(20 + int64(i%13)),
+			T:    timeunit.FromUnits(20 + int64(i%13)),
+			A:    1 + i%3,
+		})
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Analyze(ctx, api.AnalyzeRequest{
+			Columns: 30, Tests: []string{"GN2x"}, Taskset: big, Explain: true,
+		})
+		done <- err
+	}()
+	// Wait until the engine has actually claimed the worker slot (a
+	// miss is counted only when the analysis starts executing).
+	deadline := time.Now().Add(5 * time.Second)
+	for e.Stats().Misses == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("analysis never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled analysis did not return within 10s")
+	}
+	// No leaked pool slot: with Workers=1, a fresh analysis can only
+	// complete if the aborted one released its slot.
+	quick, err := c.Analyze(context.Background(), api.AnalyzeRequest{
+		Columns: 10, Tests: []string{"DP"}, Taskset: workload.Table1(),
+	})
+	if err != nil {
+		t.Fatalf("follow-up analysis failed (leaked slot?): %v", err)
+	}
+	if !quick.Result.Schedulable {
+		t.Errorf("table 1 must be DP-schedulable")
+	}
+	// The aborted partial verdict must not have been cached.
+	if st := e.Stats(); st.CacheLen != 1 {
+		t.Errorf("cache len = %d, want 1 (only the follow-up analysis)", st.CacheLen)
 	}
 }

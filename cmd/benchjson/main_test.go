@@ -1,0 +1,49 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBenchOutput(t *testing.T) {
+	text := `goos: linux
+goarch: amd64
+pkg: fpgasched/internal/engine
+cpu: Example CPU @ 2.00GHz
+BenchmarkAnalyzeCold-8   	     100	     52341 ns/op	    1024 B/op	      12 allocs/op
+BenchmarkAnalyzeWarm-8   	     100	       412 ns/op
+PASS
+ok  	fpgasched/internal/engine	0.5s
+`
+	doc, err := parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.GoOS != "linux" || doc.Pkg != "fpgasched/internal/engine" {
+		t.Errorf("header = %+v", doc)
+	}
+	if len(doc.Results) != 2 {
+		t.Fatalf("results = %d, want 2", len(doc.Results))
+	}
+	cold := doc.Results[0]
+	if cold.Name != "BenchmarkAnalyzeCold-8" || cold.Iterations != 100 || cold.NsPerOp != 52341 {
+		t.Errorf("cold = %+v", cold)
+	}
+	if cold.Metrics["B/op"] != 1024 || cold.Metrics["allocs/op"] != 12 {
+		t.Errorf("cold metrics = %+v", cold.Metrics)
+	}
+	warm := doc.Results[1]
+	if warm.NsPerOp != 412 || len(warm.Metrics) != 0 {
+		t.Errorf("warm = %+v", warm)
+	}
+}
+
+func TestParseSkipsMalformed(t *testing.T) {
+	doc, err := parse(strings.NewReader("BenchmarkBroken-8 notanumber 5 ns/op\nBenchmarkShort\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Results) != 0 {
+		t.Errorf("results = %+v, want none", doc.Results)
+	}
+}

@@ -5,7 +5,8 @@
 //
 //	fpgasched -columns 100 -file taskset.json [-tests DP,GN1,GN2]
 //	          [-scheduler nf|fkf] [-simulate] [-horizon 200] [-v]
-//	          [-remote http://host:8080]
+//	          [-explain] [-remote http://host:8080]
+//	fpgasched -list-tests
 //
 // The file may be JSON ({"tasks":[{"name":...,"c":"1.26","d":"7","t":"7",
 // "a":9},...]}) or CSV (header name,c,d,t,a), chosen by extension.
@@ -21,8 +22,10 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math/big"
 	"os"
 	"path/filepath"
@@ -51,9 +54,15 @@ func run(args []string) int {
 	simulate := fs.Bool("simulate", false, "also run a synchronous-release simulation")
 	horizon := fs.Int64("horizon", 0, "simulation release horizon in time units (0: auto)")
 	verbose := fs.Bool("v", false, "print per-task bound details")
+	explain := fs.Bool("explain", false, "print each verdict's full JSON certificate (exact rational bounds, composite sub-verdicts)")
+	listTests := fs.Bool("list-tests", false, "list the test registry (name, scheduler validity, description) and exit")
 	remote := fs.String("remote", "", "base URL of a fpgaschedd daemon; analyses run there via the client SDK")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *listTests {
+		printTestRegistry(os.Stdout)
+		return 0
 	}
 	if *file == "" {
 		fmt.Fprintln(os.Stderr, "fpgasched: -file is required")
@@ -70,7 +79,7 @@ func run(args []string) int {
 		*columns, s.Len(), s.UtilizationT().FloatString(4), s.UtilizationS().FloatString(4))
 
 	if *remote != "" {
-		return runRemote(*remote, *columns, s, *testsArg, *scheduler, *simulate, *horizon, *verbose)
+		return runRemote(*remote, *columns, s, *testsArg, *scheduler, *simulate, *horizon, *verbose, *explain)
 	}
 
 	tests, err := parseTests(*testsArg)
@@ -81,7 +90,7 @@ func run(args []string) int {
 	dev := core.NewDevice(*columns)
 	allAccept := true
 	for _, t := range tests {
-		v := t.Analyze(dev, s)
+		v := t.Analyze(context.Background(), dev, s)
 		fmt.Println(" ", v.String())
 		if *verbose {
 			for _, c := range v.Checks {
@@ -96,6 +105,9 @@ func run(args []string) int {
 				fmt.Printf("    task %d: LHS=%s RHS=%s %s%s\n",
 					c.TaskIndex, c.LHS.FloatString(4), c.RHS.FloatString(4), status, extra)
 			}
+		}
+		if *explain {
+			printCertificate(v.Certificate())
 		}
 		if !v.Schedulable {
 			allAccept = false
@@ -141,7 +153,7 @@ func run(args []string) int {
 // daemon via the client SDK, mirroring the in-process output and exit
 // codes. Server-side input rejections (unknown test, invalid set) map
 // to exit 2 like their local counterparts.
-func runRemote(base string, columns int, s *task.Set, testsArg, scheduler string, simulate bool, horizon int64, verbose bool) int {
+func runRemote(base string, columns int, s *task.Set, testsArg, scheduler string, simulate bool, horizon int64, verbose, explain bool) int {
 	c, err := client.New(base)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "fpgasched: %v\n", err)
@@ -165,6 +177,7 @@ func runRemote(base string, columns int, s *task.Set, testsArg, scheduler string
 		Tests:   names,
 		Taskset: s,
 		Detail:  verbose,
+		Explain: explain,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "fpgasched: remote analyze: %v\n", err)
@@ -172,7 +185,7 @@ func runRemote(base string, columns int, s *task.Set, testsArg, scheduler string
 	}
 	allAccept := true
 	for _, v := range resp.Result.Verdicts {
-		fmt.Println(" ", formatVerdict(v))
+		fmt.Println(" ", v.String())
 		if verbose {
 			for _, chk := range v.Checks {
 				status := "ok"
@@ -186,6 +199,9 @@ func runRemote(base string, columns int, s *task.Set, testsArg, scheduler string
 				fmt.Printf("    task %d: LHS=%s RHS=%s %s%s\n",
 					chk.TaskIndex, ratString(chk.LHS), ratString(chk.RHS), status, extra)
 			}
+		}
+		if explain {
+			printCertificate(v)
 		}
 		if !v.Schedulable {
 			allAccept = false
@@ -224,15 +240,27 @@ func runRemote(base string, columns int, s *task.Set, testsArg, scheduler string
 	return 1
 }
 
-// formatVerdict mirrors core.Verdict.String for the wire form.
-func formatVerdict(v api.Verdict) string {
-	if v.Schedulable {
-		return fmt.Sprintf("%s: schedulable", v.Test)
+// printCertificate renders a verdict's machine-readable certificate as
+// indented JSON. Local verdicts are converted via core.Verdict.
+// Certificate and remote verdicts arrive as api.Verdict — the same
+// type — so the two paths print byte-identical proofs for identical
+// analyses.
+func printCertificate(cert api.Verdict) {
+	data, err := json.MarshalIndent(cert, "    ", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fpgasched: encoding certificate: %v\n", err)
+		return
 	}
-	if v.FailingTask != nil {
-		return fmt.Sprintf("%s: not proven schedulable (task %d: %s)", v.Test, *v.FailingTask, v.Reason)
+	fmt.Printf("    certificate: %s\n", data)
+}
+
+// printTestRegistry writes the shared test registry with its metadata,
+// one line per test: name, scheduler validity, description.
+func printTestRegistry(w io.Writer) {
+	fmt.Fprintf(w, "%-8s %-6s %s\n", "NAME", "VALID", "DESCRIPTION")
+	for _, info := range core.TestInfos() {
+		fmt.Fprintf(w, "%-8s %-6s %s\n", info.Name, info.Validity, info.Description)
 	}
-	return fmt.Sprintf("%s: not proven schedulable (%s)", v.Test, v.Reason)
 }
 
 // ratString renders an exact fraction string ("63/10") as a 4-decimal

@@ -126,6 +126,12 @@ func stripReasons(out string) string {
 		if idx := strings.Index(l, " ("); idx >= 0 && strings.Contains(l, "not proven schedulable") {
 			lines[i] = l[:idx]
 		}
+		// Certificate JSON reason fields: free-text prose is produced
+		// from the engine's canonical task ordering (documented in
+		// api.Verdict), so only the structured fields are parity-exact.
+		if idx := strings.Index(l, `"reason":`); idx >= 0 {
+			lines[i] = l[:idx] + `"reason": <stripped>`
+		}
 	}
 	return strings.Join(lines, "\n")
 }
@@ -149,6 +155,10 @@ func TestRemoteParity(t *testing.T) {
 	}{
 		{"accepting test", []string{"-columns", "10", "-file", path, "-tests", "GN2"}, true},
 		{"composite verbose", []string{"-columns", "10", "-file", path, "-tests", "any-nf", "-v"}, true},
+		// Not exact: sub-verdict reason prose embeds canonical-order
+		// indices on the remote path (see api.Verdict); the structured
+		// certificate fields are compared byte-for-byte.
+		{"composite explain", []string{"-columns", "10", "-file", path, "-tests", "any-nf", "-explain"}, false},
 		{"simulation", []string{"-columns", "10", "-file", path, "-tests", "GN2", "-simulate", "-horizon", "35"}, true},
 		{"mixed verdicts", []string{"-columns", "10", "-file", path}, false},
 		{"verbose rejection", []string{"-columns", "10", "-file", path, "-tests", "DP", "-v"}, false},

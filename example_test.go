@@ -4,6 +4,7 @@ package fpgasched_test
 // integration test: `go test` verifies the printed output.
 
 import (
+	"context"
 	"fmt"
 
 	"fpgasched"
@@ -14,9 +15,9 @@ import (
 func ExampleDP() {
 	device := fpgasched.NewDevice(10)
 	set := fpgasched.PaperTable1()
-	fmt.Println(fpgasched.DP().Analyze(device, set))
-	fmt.Println(fpgasched.GN1().Analyze(device, set).Schedulable)
-	fmt.Println(fpgasched.GN2().Analyze(device, set).Schedulable)
+	fmt.Println(fpgasched.DP().Analyze(context.Background(), device, set))
+	fmt.Println(fpgasched.GN1().Analyze(context.Background(), device, set).Schedulable)
+	fmt.Println(fpgasched.GN2().Analyze(context.Background(), device, set).Schedulable)
 	// Output:
 	// DP: schedulable
 	// false
@@ -30,7 +31,7 @@ func ExampleCompositeNF() {
 	for _, set := range []*fpgasched.TaskSet{
 		fpgasched.PaperTable1(), fpgasched.PaperTable2(), fpgasched.PaperTable3(),
 	} {
-		v := fpgasched.CompositeNF().Analyze(device, set)
+		v := fpgasched.CompositeNF().Analyze(context.Background(), device, set)
 		fmt.Println(v.Schedulable)
 	}
 	// Output:
@@ -86,8 +87,8 @@ func ExampleEDFFirstKFit() {
 // composite test.
 func ExampleNewAdmissionController() {
 	ctrl, _ := fpgasched.NewAdmissionController(10)
-	d1 := ctrl.Request(fpgasched.NewTask("a", "2", "5", "5", 5))
-	d2 := ctrl.Request(fpgasched.NewTask("b", "5", "5", "5", 10))
+	d1 := ctrl.Request(context.Background(), fpgasched.NewTask("a", "2", "5", "5", 5))
+	d2 := ctrl.Request(context.Background(), fpgasched.NewTask("b", "5", "5", "5", 10))
 	fmt.Println(d1.Admitted, d1.ProvedBy)
 	fmt.Println(d2.Admitted)
 	// Output:

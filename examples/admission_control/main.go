@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -54,7 +55,7 @@ func main() {
 		trial.Tasks = append(trial.Tasks, req.task)
 		provedBy := ""
 		for _, test := range tests {
-			if test.Analyze(device, trial).Schedulable {
+			if test.Analyze(context.Background(), device, trial).Schedulable {
 				provedBy = test.Name()
 				break
 			}
@@ -88,6 +89,6 @@ func main() {
 
 	// The same set is NOT necessarily proven for EDF-FkF (GN1 does not
 	// apply there); report what the FkF-valid composite says.
-	v := fpgasched.CompositeFkF().Analyze(device, admitted)
+	v := fpgasched.CompositeFkF().Analyze(context.Background(), device, admitted)
 	fmt.Printf("EDF-FkF composite on the final set: schedulable=%v\n", v.Schedulable)
 }

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -28,11 +29,11 @@ func main() {
 	// Run each sufficient test. Any single "schedulable" verdict proves
 	// the set feasible under the corresponding scheduler.
 	for _, test := range []fpgasched.Test{fpgasched.DP(), fpgasched.GN1(), fpgasched.GN2()} {
-		fmt.Println(test.Analyze(device, set))
+		fmt.Println(test.Analyze(context.Background(), device, set))
 	}
 
 	// The composite applies the paper's advice: reject only if all fail.
-	verdict := fpgasched.CompositeNF().Analyze(device, set)
+	verdict := fpgasched.CompositeNF().Analyze(context.Background(), device, set)
 	fmt.Println(verdict)
 
 	// Simulation is the necessary-side check: a miss would prove the

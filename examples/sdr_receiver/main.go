@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -48,7 +49,7 @@ func main() {
 	maxProven := 0
 	for channels := 1; channels <= 8; channels++ {
 		set := receiver(channels)
-		v := composite.Analyze(device, set)
+		v := composite.Analyze(context.Background(), device, set)
 		status := "NOT PROVEN"
 		if v.Schedulable {
 			status = "provably schedulable"
@@ -82,7 +83,7 @@ func main() {
 		dev := fpgasched.NewDevice(cols)
 		marks := ""
 		for _, test := range []fpgasched.Test{fpgasched.DP(), fpgasched.GN1(), fpgasched.GN2()} {
-			if test.Analyze(dev, set).Schedulable {
+			if test.Analyze(context.Background(), dev, set).Schedulable {
 				marks += " " + test.Name()
 			}
 		}

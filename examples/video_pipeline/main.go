@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -61,7 +62,7 @@ func main() {
 	dev := fpgasched.NewDevice(columns)
 	fmt.Println()
 	for _, test := range []fpgasched.Test{fpgasched.DP(), fpgasched.GN1(), fpgasched.GN2()} {
-		fmt.Println(test.Analyze(dev, set))
+		fmt.Println(test.Analyze(context.Background(), dev, set))
 	}
 
 	// Sweep the motion estimator's width to find where FkF recovers:

@@ -75,10 +75,24 @@ type Device = core.Device
 // NewDevice returns a device with the given number of columns.
 func NewDevice(columns int) Device { return core.NewDevice(columns) }
 
-// Verdict is a schedulability test outcome with per-task detail.
+// Verdict is a schedulability test outcome with per-task detail. Its
+// Certificate method exports the machine-readable proof: per-task bound
+// inequalities with exact rational sides, GN2's witnessing λ and
+// condition, and composite sub-verdicts.
 type Verdict = core.Verdict
 
-// Test is a schedulability test.
+// Certificate is the exportable, JSON-stable proof carried by a
+// verdict. It is the same type the wire contract uses (api.Verdict), so
+// a certificate produced in-process and one returned by a fpgaschedd
+// daemon are directly comparable.
+type Certificate = core.Certificate
+
+// Check is one per-task bound evaluation inside a Certificate, with
+// exact fraction strings for LHS, RHS and λ.
+type Check = core.Check
+
+// Test is a schedulability test. Analyze takes a context.Context;
+// GN2's λ sweep polls it, so long analyses can be cancelled mid-run.
 type Test = core.Test
 
 // DP returns the paper's Theorem 1 test (valid for EDF-FkF and EDF-NF).
@@ -171,6 +185,17 @@ func TestByName(name string) (Test, error) { return core.TestByName(name) }
 
 // TestNames lists the identifiers TestByName accepts.
 func TestNames() []string { return core.TestNames() }
+
+// TestInfo describes one registry entry: identifier, one-line
+// description, and the scheduler classes the test is sound for
+// ("both", "nf" or "fkf").
+type TestInfo = core.TestInfo
+
+// TestInfos lists every registry entry with its metadata, sorted by
+// name — the discovery surface behind fpgasched -list-tests and
+// GET /v1/tests, so callers need not hardcode which tests are legal
+// under EDF-FkF.
+func TestInfos() []TestInfo { return core.TestInfos() }
 
 // TasksetFingerprint is a canonical digest of a taskset's
 // analysis-relevant content: equal iff the multisets of (C, D, T, A)

@@ -9,6 +9,7 @@ package fpgasched
 // (or the theorem).
 
 import (
+	"context"
 	"math/rand/v2"
 	"testing"
 	"testing/quick"
@@ -43,7 +44,7 @@ func TestSoundnessSynchronousRelease(t *testing.T) {
 		s := randomImplicitSet(r, 1+int(nRaw)%7, columns)
 		dev := NewDevice(columns)
 		for _, test := range []Test{DP(), GN1(), GN2(), GN2Extended()} {
-			if !test.Analyze(dev, s).Schedulable {
+			if !test.Analyze(context.Background(), dev, s).Schedulable {
 				continue
 			}
 			for _, pol := range schedulersFor(test.Name()) {
@@ -75,7 +76,7 @@ func TestSoundnessRandomOffsets(t *testing.T) {
 		n := 1 + int(nRaw)%6
 		s := randomImplicitSet(r, n, columns)
 		dev := NewDevice(columns)
-		accepted := CompositeNF().Analyze(dev, s).Schedulable
+		accepted := CompositeNF().Analyze(context.Background(), dev, s).Schedulable
 		if !accepted {
 			return true
 		}
@@ -145,17 +146,17 @@ func TestFacadePaperTables(t *testing.T) {
 		"table3": {PaperTable3(), false, false, true},
 	}
 	for name, want := range rows {
-		if got := DP().Analyze(dev, want.set).Schedulable; got != want.dp {
+		if got := DP().Analyze(context.Background(), dev, want.set).Schedulable; got != want.dp {
 			t.Errorf("%s: DP=%v", name, got)
 		}
-		if got := GN1().Analyze(dev, want.set).Schedulable; got != want.gn1 {
+		if got := GN1().Analyze(context.Background(), dev, want.set).Schedulable; got != want.gn1 {
 			t.Errorf("%s: GN1=%v", name, got)
 		}
-		if got := GN2().Analyze(dev, want.set).Schedulable; got != want.gn2 {
+		if got := GN2().Analyze(context.Background(), dev, want.set).Schedulable; got != want.gn2 {
 			t.Errorf("%s: GN2=%v", name, got)
 		}
 		// Composite accepts all three under NF.
-		if !CompositeNF().Analyze(dev, want.set).Schedulable {
+		if !CompositeNF().Analyze(context.Background(), dev, want.set).Schedulable {
 			t.Errorf("%s: composite rejected", name)
 		}
 		// And the accepted sets simulate cleanly under NF.

@@ -13,6 +13,7 @@
 package admission
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -29,6 +30,18 @@ type Decision struct {
 	ProvedBy string
 	// Reason explains a rejection.
 	Reason string
+	// Certificate is the accepting test's full proof over the new
+	// resident set (per-task bound inequalities with exact rational
+	// sides), recorded so every admission decision is auditable after
+	// the fact. Nil on rejection — these are sufficient tests, so a
+	// rejection carries no certificate of unschedulability.
+	Certificate *core.Certificate
+	// Err is non-nil when the admission analysis was aborted (context
+	// cancellation) before any test could prove or fail to prove the
+	// set. The task was not admitted, but — unlike a plain rejection —
+	// a retry with more time might admit it; callers must not record
+	// the task as definitively rejected.
+	Err error
 }
 
 // Controller hosts a mutable resident taskset behind a schedulability
@@ -80,8 +93,11 @@ func (c *Controller) Len() int {
 }
 
 // Request asks to admit t. Task names must be unique and non-empty (they
-// are the departure handle).
-func (c *Controller) Request(t task.Task) Decision {
+// are the departure handle). The decision records the accepting test's
+// certificate over the new resident set. Cancelling ctx mid-analysis
+// leaves the resident set unchanged and returns a Decision with Err
+// set: not an admission, but not a definitive rejection either.
+func (c *Controller) Request(ctx context.Context, t task.Task) Decision {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if t.Name == "" {
@@ -96,10 +112,15 @@ func (c *Controller) Request(t task.Task) Decision {
 	trial := c.resident.Clone()
 	trial.Tasks = append(trial.Tasks, t)
 	for _, test := range c.tests {
-		if v := test.Analyze(c.device, trial); v.Schedulable {
+		v := test.Analyze(ctx, c.device, trial)
+		if v.Err != nil {
+			return Decision{Reason: v.Reason, Err: v.Err}
+		}
+		if v.Schedulable {
 			c.resident = trial
 			c.byName[t.Name] = c.resident.Len() - 1
-			return Decision{Admitted: true, ProvedBy: test.Name()}
+			cert := v.Certificate()
+			return Decision{Admitted: true, ProvedBy: test.Name(), Certificate: &cert}
 		}
 	}
 	return Decision{Reason: "no configured test proves the resulting set schedulable"}

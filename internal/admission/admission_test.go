@@ -1,6 +1,8 @@
 package admission
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
@@ -30,15 +32,29 @@ func TestAdmitAndReject(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	d := c.Request(task.New("light", "1", "10", "10", 3))
+	d := c.Request(context.Background(), task.New("light", "1", "10", "10", 3))
 	if !d.Admitted || d.ProvedBy == "" {
 		t.Fatalf("light task rejected: %+v", d)
 	}
+	// Every admission records its proof: the accepting test's
+	// certificate over the new resident set.
+	if d.Certificate == nil {
+		t.Fatal("admission must carry a certificate")
+	}
+	if d.Certificate.Test != d.ProvedBy || !d.Certificate.Schedulable {
+		t.Errorf("certificate = %+v, want accepting %s proof", d.Certificate, d.ProvedBy)
+	}
+	if len(d.Certificate.Checks) == 0 || d.Certificate.Checks[0].LHS == "" {
+		t.Errorf("certificate lacks exact-rational checks: %+v", d.Certificate)
+	}
 	// An obviously impossible addition (saturating the whole device on
 	// top of the resident task).
-	d = c.Request(task.New("hog", "10", "10", "10", 10))
+	d = c.Request(context.Background(), task.New("hog", "10", "10", "10", 10))
 	if d.Admitted {
 		t.Fatal("hog must be rejected")
+	}
+	if d.Certificate != nil {
+		t.Error("rejection must not carry a certificate (sufficient tests prove schedulability only)")
 	}
 	if d.Reason == "" {
 		t.Error("rejection must carry a reason")
@@ -50,14 +66,14 @@ func TestAdmitAndReject(t *testing.T) {
 
 func TestRequestValidation(t *testing.T) {
 	c, _ := NewNFController(10)
-	if d := c.Request(task.Task{C: 1, D: 1, T: 1, A: 1}); d.Admitted {
+	if d := c.Request(context.Background(), task.Task{C: 1, D: 1, T: 1, A: 1}); d.Admitted {
 		t.Error("unnamed task must be rejected")
 	}
-	c.Request(task.New("x", "1", "10", "10", 2))
-	if d := c.Request(task.New("x", "1", "10", "10", 2)); d.Admitted {
+	c.Request(context.Background(), task.New("x", "1", "10", "10", 2))
+	if d := c.Request(context.Background(), task.New("x", "1", "10", "10", 2)); d.Admitted {
 		t.Error("duplicate name must be rejected")
 	}
-	if d := c.Request(task.New("bad", "5", "4", "4", 2)); d.Admitted {
+	if d := c.Request(context.Background(), task.New("bad", "5", "4", "4", 2)); d.Admitted {
 		t.Error("C > D must be rejected")
 	}
 }
@@ -66,13 +82,13 @@ func TestReleaseMakesRoom(t *testing.T) {
 	c, _ := NewNFController(10)
 	// Two 40%-utilization half-device tasks are provable (DP); a third
 	// pushes US past every bound.
-	if d := c.Request(task.New("a", "2", "5", "5", 5)); !d.Admitted {
+	if d := c.Request(context.Background(), task.New("a", "2", "5", "5", 5)); !d.Admitted {
 		t.Fatalf("a: %+v", d)
 	}
-	if d := c.Request(task.New("b", "2", "5", "5", 5)); !d.Admitted {
+	if d := c.Request(context.Background(), task.New("b", "2", "5", "5", 5)); !d.Admitted {
 		t.Fatalf("b: %+v", d)
 	}
-	if d := c.Request(task.New("c", "2", "5", "5", 5)); d.Admitted {
+	if d := c.Request(context.Background(), task.New("c", "2", "5", "5", 5)); d.Admitted {
 		t.Fatal("c must not be provable (US 6 beyond all bounds)")
 	}
 	if !c.Release("a") {
@@ -81,7 +97,7 @@ func TestReleaseMakesRoom(t *testing.T) {
 	if c.Release("a") {
 		t.Error("double release returned true")
 	}
-	if d := c.Request(task.New("c", "2", "5", "5", 5)); !d.Admitted {
+	if d := c.Request(context.Background(), task.New("c", "2", "5", "5", 5)); !d.Admitted {
 		t.Fatalf("c must fit after release: %+v", d)
 	}
 }
@@ -90,7 +106,7 @@ func TestReleaseReindexes(t *testing.T) {
 	c, _ := NewNFController(100)
 	for i := 0; i < 5; i++ {
 		name := fmt.Sprintf("t%d", i)
-		if d := c.Request(task.New(name, "1", "10", "10", 5)); !d.Admitted {
+		if d := c.Request(context.Background(), task.New(name, "1", "10", "10", 5)); !d.Admitted {
 			t.Fatalf("%s: %+v", name, d)
 		}
 	}
@@ -114,7 +130,7 @@ func TestReleaseRemovesTheNamedTask(t *testing.T) {
 	c, _ := NewNFController(1000)
 	admit := func(name string, area int) {
 		t.Helper()
-		if d := c.Request(task.New(name, "1", "1000", "1000", area)); !d.Admitted {
+		if d := c.Request(context.Background(), task.New(name, "1", "1000", "1000", area)); !d.Admitted {
 			t.Fatalf("%s: %+v", name, d)
 		}
 	}
@@ -159,7 +175,7 @@ func TestConcurrentRequestReleaseResident(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 40; i++ {
 				name := fmt.Sprintf("h%d-%d", g, i)
-				d := c.Request(task.New(name, "1", "100", "100", 1+i%7))
+				d := c.Request(context.Background(), task.New(name, "1", "100", "100", 1+i%7))
 				switch {
 				case d.Admitted && i%3 == 0:
 					if !c.Release(name) {
@@ -188,7 +204,7 @@ func TestConcurrentRequestReleaseResident(t *testing.T) {
 
 func TestResidentIsACopy(t *testing.T) {
 	c, _ := NewNFController(10)
-	c.Request(task.New("a", "1", "10", "10", 2))
+	c.Request(context.Background(), task.New("a", "1", "10", "10", 2))
 	snap := c.Resident()
 	snap.Tasks[0].A = 99
 	if c.Resident().Tasks[0].A == 99 {
@@ -220,7 +236,7 @@ func TestAdmittedSetAlwaysSimulatesCleanly(t *testing.T) {
 				T:    period,
 				A:    1 + r.IntN(12),
 			}
-			if d := c.Request(tk); d.Admitted {
+			if d := c.Request(context.Background(), tk); d.Admitted {
 				names = append(names, tk.Name)
 			}
 		}
@@ -249,7 +265,7 @@ func TestConcurrentRequests(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 20; i++ {
 				name := fmt.Sprintf("g%d-%d", g, i)
-				d := c.Request(task.New(name, "1", "20", "20", 2))
+				d := c.Request(context.Background(), task.New(name, "1", "20", "20", 2))
 				if d.Admitted && i%2 == 0 {
 					c.Release(name)
 				}
@@ -260,7 +276,7 @@ func TestConcurrentRequests(t *testing.T) {
 	// Final state must be self-consistent and provable.
 	resident := c.Resident()
 	if resident.Len() > 0 {
-		v := core.ForNF().Analyze(core.NewDevice(100), resident)
+		v := core.ForNF().Analyze(context.Background(), core.NewDevice(100), resident)
 		if !v.Schedulable {
 			t.Errorf("final resident set not provable: %v", v)
 		}
@@ -269,8 +285,35 @@ func TestConcurrentRequests(t *testing.T) {
 
 func TestUtilizationString(t *testing.T) {
 	c, _ := NewNFController(10)
-	c.Request(task.New("a", "1", "10", "10", 5)) // US = 0.5
+	c.Request(context.Background(), task.New("a", "1", "10", "10", 5)) // US = 0.5
 	if got := c.Utilization(); got != "0.500" {
 		t.Errorf("Utilization = %q, want 0.500", got)
+	}
+}
+
+// TestRequestCancelledIsNotARejection pins the abort contract: a
+// cancelled admission analysis sets Decision.Err (so callers can
+// retry) instead of masquerading as a definitive domain rejection,
+// and leaves the resident set unchanged.
+func TestRequestCancelledIsNotARejection(t *testing.T) {
+	c, err := NewNFController(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	d := c.Request(ctx, task.New("a", "2", "5", "5", 5))
+	if d.Admitted {
+		t.Fatal("cancelled admission must not admit")
+	}
+	if !errors.Is(d.Err, context.Canceled) {
+		t.Fatalf("Err = %v, want context.Canceled", d.Err)
+	}
+	if c.Len() != 0 {
+		t.Errorf("resident = %d after cancelled admit, want 0", c.Len())
+	}
+	// The same task admits once the context is live again.
+	if d := c.Request(context.Background(), task.New("a", "2", "5", "5", 5)); !d.Admitted {
+		t.Fatalf("retry after cancellation rejected: %+v", d)
 	}
 }

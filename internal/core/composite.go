@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 
 	"fpgasched/internal/task"
@@ -39,22 +40,45 @@ func (c Composite) Name() string {
 	return "any(" + strings.Join(names, "|") + ")"
 }
 
-// Analyze implements Test. The returned verdict is the first accepting
-// member's verdict (with the composite name), or, if all reject, the last
-// member's verdict annotated with all member reasons.
-func (c Composite) Analyze(dev Device, s *task.Set) Verdict {
+// Analyze implements Test. The verdict is structured rather than
+// flattened: AcceptedBy names the member whose proof accepted the set
+// (its Checks and FailingTask are promoted to the top level), and
+// SubVerdicts records the full verdict of every member evaluated — so
+// on an all-reject, each member's own Checks and FailingTask
+// attribution survive instead of collapsing into one joined string.
+// The top-level Reason still joins the member reasons for human
+// consumption; the structured fields are authoritative.
+func (c Composite) Analyze(ctx context.Context, dev Device, s *task.Set) Verdict {
+	name := c.Name()
+	out := Verdict{Test: name, FailingTask: -1}
 	var reasons []string
-	var last Verdict
 	for _, t := range c.Tests {
-		v := t.Analyze(dev, s)
+		v := t.Analyze(ctx, dev, s)
+		out.SubVerdicts = append(out.SubVerdicts, v)
+		if v.Err != nil {
+			// A cancelled member means the composite has no answer: a
+			// later member might have accepted. Propagate the abort.
+			out.Schedulable = false
+			out.Reason = v.Reason
+			out.Err = v.Err
+			return out
+		}
 		if v.Schedulable {
-			v.Test = c.Name() + " via " + t.Name()
-			return v
+			out.Schedulable = true
+			out.AcceptedBy = t.Name()
+			out.Checks = v.Checks
+			return out
 		}
 		reasons = append(reasons, t.Name()+": "+v.Reason)
-		last = v
 	}
-	last.Test = c.Name()
-	last.Reason = strings.Join(reasons, "; ")
-	return last
+	// All members rejected. Keep the last member's per-task evidence at
+	// the top level for continuity with the pre-structured behaviour;
+	// every member's evidence is in SubVerdicts.
+	if n := len(out.SubVerdicts); n > 0 {
+		last := out.SubVerdicts[n-1]
+		out.Checks = last.Checks
+		out.FailingTask = last.FailingTask
+	}
+	out.Reason = strings.Join(reasons, "; ")
+	return out
 }

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"fpgasched/internal/task"
+)
+
+// table3Set is the paper's Table 3 pair: rejected by DP and GN1,
+// accepted by GN2 only (on a 10-column device).
+func table3Set() *task.Set {
+	return task.NewSet(
+		task.New("t1", "2.10", "5", "5", 7),
+		task.New("t2", "2.00", "7", "7", 7),
+	)
+}
+
+// TestCompositeAllRejectKeepsMemberEvidence is the regression test for
+// the pre-redesign behaviour where an all-reject composite flattened
+// every member verdict into one joined reason string, surviving only
+// the last member's Checks and FailingTask. Each rejecting member's
+// full sub-verdict must now be preserved with its own attribution.
+func TestCompositeAllRejectKeepsMemberEvidence(t *testing.T) {
+	// DP and GN1 both reject table 3 on 10 columns.
+	comp := Composite{Tests: []Test{DPTest{}, GN1Test{}}}
+	v := comp.Analyze(context.Background(), NewDevice(10), table3Set())
+	if v.Schedulable {
+		t.Fatalf("composite must reject: %v", v)
+	}
+	if v.AcceptedBy != "" {
+		t.Errorf("AcceptedBy = %q on an all-reject, want empty", v.AcceptedBy)
+	}
+	if len(v.SubVerdicts) != 2 {
+		t.Fatalf("SubVerdicts = %d, want 2 (one per member)", len(v.SubVerdicts))
+	}
+	dp, gn1 := v.SubVerdicts[0], v.SubVerdicts[1]
+	if dp.Test != "DP" || gn1.Test != "GN1" {
+		t.Fatalf("sub-verdict tests = %q, %q; want DP, GN1", dp.Test, gn1.Test)
+	}
+	for _, sv := range v.SubVerdicts {
+		if sv.Schedulable {
+			t.Errorf("%s sub-verdict schedulable, want reject", sv.Test)
+		}
+		if len(sv.Checks) == 0 {
+			t.Errorf("%s sub-verdict lost its Checks", sv.Test)
+		}
+		if sv.FailingTask < 0 {
+			t.Errorf("%s sub-verdict lost FailingTask attribution", sv.Test)
+		}
+		if sv.Reason == "" {
+			t.Errorf("%s sub-verdict lost its Reason", sv.Test)
+		}
+	}
+	// The joined human-readable reason survives for continuity.
+	if !strings.Contains(v.Reason, "DP:") || !strings.Contains(v.Reason, "GN1:") {
+		t.Errorf("joined reason = %q, want both member prefixes", v.Reason)
+	}
+}
+
+// TestCompositeAcceptRecordsMember pins the accept path: AcceptedBy
+// names the proving member, the accepting proof is promoted to the
+// top-level Checks, and the rejecting members evaluated before it keep
+// their sub-verdicts.
+func TestCompositeAcceptRecordsMember(t *testing.T) {
+	v := ForNF().Analyze(context.Background(), NewDevice(10), table3Set())
+	if !v.Schedulable {
+		t.Fatalf("any-nf must accept table 3: %v", v)
+	}
+	if v.AcceptedBy != "GN2" {
+		t.Errorf("AcceptedBy = %q, want GN2", v.AcceptedBy)
+	}
+	if len(v.SubVerdicts) != 3 {
+		t.Fatalf("SubVerdicts = %d, want 3 (DP and GN1 rejections + GN2 acceptance)", len(v.SubVerdicts))
+	}
+	last := v.SubVerdicts[2]
+	if last.Test != "GN2" || !last.Schedulable {
+		t.Fatalf("final sub-verdict = %v, want accepting GN2", last)
+	}
+	if len(v.Checks) == 0 || len(last.Checks) != len(v.Checks) {
+		t.Errorf("accepting member's checks not promoted: top %d, member %d", len(v.Checks), len(last.Checks))
+	}
+	// The certificate form carries everything through exact strings.
+	cert := v.Certificate()
+	if cert.AcceptedBy != "GN2" || len(cert.SubVerdicts) != 3 {
+		t.Errorf("certificate lost structure: %+v", cert)
+	}
+	if cert.Checks[0].Lambda == "" || cert.Checks[0].Condition == 0 {
+		t.Errorf("GN2 certificate check lost λ/condition: %+v", cert.Checks[0])
+	}
+}
+
+// TestAnalyzeCancelledContext pins the abort contract for every test:
+// an already-cancelled context yields a verdict with Err set and no
+// acceptance, at every poll granularity (entry for DP, per-task for
+// GN1, per-λ-candidate for GN2).
+func TestAnalyzeCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, test := range []Test{DPTest{}, GN1Test{}, GN2Test{},
+		GN2Test{Options: GN2Options{ExtendedLambdaSearch: true}}, ForNF()} {
+		v := test.Analyze(ctx, NewDevice(10), table3Set())
+		if v.Err == nil {
+			t.Errorf("%s: Err not set on cancelled context", test.Name())
+		}
+		if !errors.Is(v.Err, context.Canceled) {
+			t.Errorf("%s: Err = %v, want context.Canceled", test.Name(), v.Err)
+		}
+		if v.Schedulable {
+			t.Errorf("%s: cancelled analysis must not accept", test.Name())
+		}
+	}
+}

@@ -22,6 +22,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 
@@ -76,25 +77,146 @@ type Verdict struct {
 	// Checks holds the per-task bound evaluations, in task order. Empty
 	// if a precondition failed before any bound was evaluated.
 	Checks []BoundCheck
+	// AcceptedBy names the member test whose proof accepted the set.
+	// Only composites fill it; for a plain test the name is Test itself.
+	AcceptedBy string
+	// SubVerdicts holds the full verdict of every member test a
+	// composite evaluated, in evaluation order (rejecting members before
+	// the accepting one, all members on an all-reject). Empty for plain
+	// tests.
+	SubVerdicts []Verdict
+	// Err is non-nil when the analysis was aborted before completion
+	// (context cancellation or deadline). The verdict then proves
+	// nothing and must not be cached or acted on.
+	Err error
 }
 
 // String renders the verdict compactly.
 func (v Verdict) String() string {
-	if v.Schedulable {
-		return fmt.Sprintf("%s: schedulable", v.Test)
+	if v.Err != nil {
+		return fmt.Sprintf("%s: aborted (%v)", v.Test, v.Err)
 	}
-	if v.FailingTask >= 0 {
-		return fmt.Sprintf("%s: not proven schedulable (task %d: %s)", v.Test, v.FailingTask, v.Reason)
+	return verdictString(v.Test, v.Schedulable, v.AcceptedBy, v.Reason, v.FailingTask)
+}
+
+// verdictString is the single renderer behind Verdict.String and
+// Certificate.String, so the in-process and wire forms can never drift
+// apart (the CLI's remote-parity test compares them byte for byte).
+func verdictString(test string, schedulable bool, acceptedBy, reason string, failingTask int) string {
+	if schedulable {
+		if acceptedBy != "" && acceptedBy != test {
+			return fmt.Sprintf("%s: schedulable (via %s)", test, acceptedBy)
+		}
+		return fmt.Sprintf("%s: schedulable", test)
 	}
-	return fmt.Sprintf("%s: not proven schedulable (%s)", v.Test, v.Reason)
+	if failingTask >= 0 {
+		return fmt.Sprintf("%s: not proven schedulable (task %d: %s)", test, failingTask, reason)
+	}
+	return fmt.Sprintf("%s: not proven schedulable (%s)", test, reason)
+}
+
+// Check is the JSON-stable form of one per-task bound evaluation: LHS,
+// RHS and λ are exact fraction strings ("63/10") produced by
+// big.Rat.RatString, so a certificate can be re-verified with exact
+// arithmetic by any consumer. It is the wire form used by the api
+// package (api.Check is an alias), so the JSON tags here are frozen by
+// the api golden files.
+type Check struct {
+	TaskIndex int    `json:"task_index"`
+	LHS       string `json:"lhs"`
+	RHS       string `json:"rhs"`
+	Satisfied bool   `json:"satisfied"`
+	Lambda    string `json:"lambda,omitempty"`
+	Condition int    `json:"condition,omitempty"`
+}
+
+// Certificate is the exportable, JSON-stable proof carried by a
+// verdict: the test name, the per-task bound inequalities with exact
+// rational sides (and, for GN2, the witnessing λ and condition), the
+// precondition failure if one fired, and — for composites — which
+// member accepted plus every evaluated member's own certificate.
+//
+// A certificate of an accepting verdict is a complete, independently
+// re-checkable proof of schedulability. The converse does not hold:
+// these are sufficient tests, so the absence of a certificate means
+// "not proven", never "unschedulable". The api package aliases this
+// type as api.Verdict, so its JSON form is frozen by the api golden
+// files (fields are only ever added, with omitempty).
+type Certificate struct {
+	Test        string        `json:"test"`
+	Schedulable bool          `json:"schedulable"`
+	Reason      string        `json:"reason,omitempty"`
+	FailingTask *int          `json:"failing_task,omitempty"`
+	AcceptedBy  string        `json:"accepted_by,omitempty"`
+	Checks      []Check       `json:"checks,omitempty"`
+	SubVerdicts []Certificate `json:"sub_verdicts,omitempty"`
+}
+
+// String renders the certificate's verdict line exactly as
+// Verdict.String renders the in-process form.
+func (c Certificate) String() string {
+	ft := -1
+	if c.FailingTask != nil {
+		ft = *c.FailingTask
+	}
+	return verdictString(c.Test, c.Schedulable, c.AcceptedBy, c.Reason, ft)
+}
+
+// Certificate converts the verdict into its exportable proof form,
+// rendering every rational as an exact fraction string and recursing
+// into composite sub-verdicts.
+func (v Verdict) Certificate() Certificate {
+	out := Certificate{
+		Test:        v.Test,
+		Schedulable: v.Schedulable,
+		Reason:      v.Reason,
+		AcceptedBy:  v.AcceptedBy,
+	}
+	if !v.Schedulable && v.FailingTask >= 0 {
+		ft := v.FailingTask
+		out.FailingTask = &ft
+	}
+	for _, c := range v.Checks {
+		cc := Check{TaskIndex: c.TaskIndex, Satisfied: c.Satisfied, Condition: c.Condition}
+		if c.LHS != nil {
+			cc.LHS = c.LHS.RatString()
+		}
+		if c.RHS != nil {
+			cc.RHS = c.RHS.RatString()
+		}
+		if c.Lambda != nil {
+			cc.Lambda = c.Lambda.RatString()
+		}
+		out.Checks = append(out.Checks, cc)
+	}
+	for _, sv := range v.SubVerdicts {
+		out.SubVerdicts = append(out.SubVerdicts, sv.Certificate())
+	}
+	return out
 }
 
 // Test is a schedulability test for hardware tasksets on a device.
 type Test interface {
 	// Name returns the short test identifier (e.g. "DP", "GN1", "GN2").
 	Name() string
-	// Analyze runs the test. It never mutates the set.
-	Analyze(dev Device, s *task.Set) Verdict
+	// Analyze runs the test. It never mutates the set. Long-running
+	// analyses (GN2's λ sweep) poll ctx and abort promptly when it is
+	// done, returning a verdict with Err set — callers must treat such
+	// a verdict as no answer at all, not as a rejection.
+	Analyze(ctx context.Context, dev Device, s *task.Set) Verdict
+}
+
+// aborted builds the verdict returned when ctx was cancelled before the
+// test finished. Schedulable is false but the verdict proves nothing:
+// Err is the authoritative signal.
+func aborted(name string, err error) Verdict {
+	return Verdict{
+		Test:        name,
+		Schedulable: false,
+		Reason:      "analysis aborted: " + err.Error(),
+		FailingTask: -1,
+		Err:         err,
+	}
 }
 
 // precheck validates the set against the device and returns a rejection

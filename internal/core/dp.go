@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 
@@ -45,9 +46,13 @@ func (dp DPTest) Name() string {
 	return "DP"
 }
 
-// Analyze implements Test.
-func (dp DPTest) Analyze(dev Device, s *task.Set) Verdict {
+// Analyze implements Test. DP is a closed-form bound (one inequality
+// per task), so cancellation is only checked once on entry.
+func (dp DPTest) Analyze(ctx context.Context, dev Device, s *task.Set) Verdict {
 	name := dp.Name()
+	if err := ctx.Err(); err != nil {
+		return aborted(name, err)
+	}
 	if v, ok := precheck(name, dev, s); !ok {
 		return v
 	}

@@ -3,6 +3,7 @@ package core
 // Edge-case and precondition tests for the three schedulability tests.
 
 import (
+	"context"
 	"math/big"
 	"testing"
 
@@ -23,7 +24,7 @@ func TestPreconditionRejections(t *testing.T) {
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			for _, test := range allTests {
-				v := test.Analyze(dev, tc.set)
+				v := test.Analyze(context.Background(), dev, tc.set)
 				if v.Schedulable {
 					t.Errorf("%s accepted invalid set", test.Name())
 				}
@@ -41,7 +42,7 @@ func TestPreconditionRejections(t *testing.T) {
 func TestZeroWidthDevice(t *testing.T) {
 	s := task.NewSet(task.New("x", "1", "5", "5", 1))
 	for _, test := range allTests {
-		if test.Analyze(NewDevice(0), s).Schedulable {
+		if test.Analyze(context.Background(), NewDevice(0), s).Schedulable {
 			t.Errorf("%s accepted on zero-area device", test.Name())
 		}
 	}
@@ -52,7 +53,7 @@ func TestSingleLightTaskAccepted(t *testing.T) {
 	s := task.NewSet(task.New("solo", "2", "4", "4", 3))
 	dev := NewDevice(10)
 	for _, test := range allTests {
-		if v := test.Analyze(dev, s); !v.Schedulable {
+		if v := test.Analyze(context.Background(), dev, s); !v.Schedulable {
 			t.Errorf("%s rejected a trivially feasible single task: %v", test.Name(), v)
 		}
 	}
@@ -66,13 +67,13 @@ func TestSingleSaturatedTaskKnifeEdges(t *testing.T) {
 	// the published theorems, not an implementation artefact.
 	s := task.NewSet(task.New("solo", "4", "4", "4", 3))
 	dev := NewDevice(10)
-	if !(DPTest{}).Analyze(dev, s).Schedulable {
+	if !(DPTest{}).Analyze(context.Background(), dev, s).Schedulable {
 		t.Error("DP must accept single saturated task")
 	}
-	if (GN1Test{}).Analyze(dev, s).Schedulable {
+	if (GN1Test{}).Analyze(context.Background(), dev, s).Schedulable {
 		t.Error("GN1's strict bound rejects a saturated task (documented pessimism)")
 	}
-	if (GN2Test{}).Analyze(dev, s).Schedulable {
+	if (GN2Test{}).Analyze(context.Background(), dev, s).Schedulable {
 		t.Error("GN2's bounds reject a saturated task (documented pessimism)")
 	}
 }
@@ -83,7 +84,7 @@ func TestDeviceFullWidthTask(t *testing.T) {
 	s := task.NewSet(task.New("wide", "1", "10", "10", 10))
 	dev := NewDevice(10)
 	for _, test := range allTests {
-		if v := test.Analyze(dev, s); !v.Schedulable {
+		if v := test.Analyze(context.Background(), dev, s); !v.Schedulable {
 			t.Errorf("%s rejected a 10%%-utilization full-width task: %v", test.Name(), v)
 		}
 	}
@@ -91,7 +92,7 @@ func TestDeviceFullWidthTask(t *testing.T) {
 
 func TestDPRequiresImplicitDeadlines(t *testing.T) {
 	s := task.NewSet(task.New("x", "1", "4", "5", 2))
-	v := (DPTest{}).Analyze(NewDevice(10), s)
+	v := (DPTest{}).Analyze(context.Background(), NewDevice(10), s)
 	if v.Schedulable {
 		t.Error("DP must refuse constrained-deadline sets (theorem scope)")
 	}
@@ -102,12 +103,12 @@ func TestDPRequiresImplicitDeadlines(t *testing.T) {
 
 func TestGN1RequiresConstrainedDeadlines(t *testing.T) {
 	post := task.NewSet(task.New("x", "1", "9", "5", 2))
-	v := (GN1Test{}).Analyze(NewDevice(10), post)
+	v := (GN1Test{}).Analyze(context.Background(), NewDevice(10), post)
 	if v.Schedulable {
 		t.Error("GN1 must refuse post-period-deadline sets (theorem scope)")
 	}
 	constrained := task.NewSet(task.New("x", "1", "4", "5", 2))
-	if v := (GN1Test{}).Analyze(NewDevice(10), constrained); !v.Schedulable {
+	if v := (GN1Test{}).Analyze(context.Background(), NewDevice(10), constrained); !v.Schedulable {
 		t.Errorf("GN1 handles D < T and should accept a light task: %v", v)
 	}
 }
@@ -115,7 +116,7 @@ func TestGN1RequiresConstrainedDeadlines(t *testing.T) {
 func TestGN2HandlesPostPeriodDeadlines(t *testing.T) {
 	// GN2 (like BAK2) supports D > T; a light task should be accepted.
 	s := task.NewSet(task.New("x", "1", "8", "5", 2))
-	if v := (GN2Test{}).Analyze(NewDevice(10), s); !v.Schedulable {
+	if v := (GN2Test{}).Analyze(context.Background(), NewDevice(10), s); !v.Schedulable {
 		t.Errorf("GN2 should accept a light post-period-deadline task: %v", v)
 	}
 }
@@ -127,7 +128,7 @@ func TestGN2LambdaKWithConstrainedDeadline(t *testing.T) {
 		task.New("dense", "3", "4", "16", 2),
 		task.New("bg", "1", "16", "16", 2),
 	)
-	v := (GN2Test{}).Analyze(NewDevice(10), s)
+	v := (GN2Test{}).Analyze(context.Background(), NewDevice(10), s)
 	// λ for "dense" starts at C/T = 3/16 but λk = λ·4 = 3/4; sanity: the
 	// test must run (no panic) and return a definite verdict.
 	if len(v.Checks) != 2 {
@@ -200,10 +201,10 @@ func TestDPRealValuedAlphaStrictlyWeaker(t *testing.T) {
 	// Table 1 separates them: corrected DP accepts (equality), the
 	// real-valued-α original rejects.
 	s := table1()
-	if !(DPTest{}).Analyze(tableDevice, s).Schedulable {
+	if !(DPTest{}).Analyze(context.Background(), tableDevice, s).Schedulable {
 		t.Error("corrected DP must accept table 1")
 	}
-	if (DPTest{RealValuedAlpha: true}).Analyze(tableDevice, s).Schedulable {
+	if (DPTest{RealValuedAlpha: true}).Analyze(context.Background(), tableDevice, s).Schedulable {
 		t.Error("real-valued-α DP must reject table 1 (bound drops by 1−UT)")
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 
@@ -61,9 +62,13 @@ type GN1Test struct {
 // Name implements Test.
 func (g GN1Test) Name() string { return g.Variant.String() }
 
-// Analyze implements Test.
-func (g GN1Test) Analyze(dev Device, s *task.Set) Verdict {
+// Analyze implements Test. The interference sums are O(N²) overall, so
+// cancellation is polled once per analysed task.
+func (g GN1Test) Analyze(ctx context.Context, dev Device, s *task.Set) Verdict {
 	name := g.Name()
+	if err := ctx.Err(); err != nil {
+		return aborted(name, err)
+	}
 	if v, ok := precheck(name, dev, s); !ok {
 		return v
 	}
@@ -77,6 +82,9 @@ func (g GN1Test) Analyze(dev Device, s *task.Set) Verdict {
 	}
 	v := Verdict{Test: name, Schedulable: true, FailingTask: -1}
 	for k, tk := range s.Tasks {
+		if err := ctx.Err(); err != nil {
+			return aborted(name, err)
+		}
 		lhs, rhs, ok := g.checkTask(dev, s, k)
 		v.Checks = append(v.Checks, BoundCheck{TaskIndex: k, LHS: lhs, RHS: rhs, Satisfied: ok})
 		if !ok && v.Schedulable {

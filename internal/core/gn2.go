@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"sort"
@@ -86,9 +87,15 @@ func (g GN2Test) Name() string {
 	return name
 }
 
-// Analyze implements Test.
-func (g GN2Test) Analyze(dev Device, s *task.Set) Verdict {
+// Analyze implements Test. The λ sweep is the O(N³) heart of the test
+// (N candidates × N tasks × O(N) sum per condition), so cancellation is
+// polled inside checkTask's candidate loop: a disconnected client
+// aborts a large analysis mid-sweep, not after it.
+func (g GN2Test) Analyze(ctx context.Context, dev Device, s *task.Set) Verdict {
 	name := g.Name()
+	if err := ctx.Err(); err != nil {
+		return aborted(name, err)
+	}
 	if v, ok := precheck(name, dev, s); !ok {
 		return v
 	}
@@ -96,7 +103,10 @@ func (g GN2Test) Analyze(dev Device, s *task.Set) Verdict {
 	amin := ratInt(s.AMin())
 	v := Verdict{Test: name, Schedulable: true, FailingTask: -1}
 	for k := range s.Tasks {
-		check := g.checkTask(s, k, abnd, amin)
+		check, err := g.checkTask(ctx, s, k, abnd, amin)
+		if err != nil {
+			return aborted(name, err)
+		}
 		check.TaskIndex = k
 		v.Checks = append(v.Checks, check)
 		if !check.Satisfied && v.Schedulable {
@@ -110,8 +120,10 @@ func (g GN2Test) Analyze(dev Device, s *task.Set) Verdict {
 }
 
 // checkTask searches the finite λ candidate set for one that satisfies
-// condition 1 or condition 2 for task k.
-func (g GN2Test) checkTask(s *task.Set, k int, abnd, amin *big.Rat) BoundCheck {
+// condition 1 or condition 2 for task k. It polls ctx once per
+// candidate (each candidate evaluation is O(N) exact-rational work) and
+// returns ctx's error when cancelled mid-sweep.
+func (g GN2Test) checkTask(ctx context.Context, s *task.Set, k int, abnd, amin *big.Rat) (BoundCheck, error) {
 	tk := s.Tasks[k]
 	uk := new(big.Rat).SetFrac64(int64(tk.C), int64(tk.T))
 	cands := lambdaCandidates(s, uk)
@@ -120,6 +132,9 @@ func (g GN2Test) checkTask(s *task.Set, k int, abnd, amin *big.Rat) BoundCheck {
 	}
 	var last BoundCheck
 	for _, lambda := range cands {
+		if err := ctx.Err(); err != nil {
+			return BoundCheck{}, err
+		}
 		// λk = λ·max(1, Tk/Dk).
 		lambdaK := new(big.Rat).Set(lambda)
 		if tk.T > tk.D {
@@ -147,7 +162,7 @@ func (g GN2Test) checkTask(s *task.Set, k int, abnd, amin *big.Rat) BoundCheck {
 		}
 		rhs1 := new(big.Rat).Mul(abnd, oneMinus)
 		if sum1.Cmp(rhs1) < 0 {
-			return BoundCheck{LHS: sum1, RHS: rhs1, Satisfied: true, Lambda: lambda, Condition: 1}
+			return BoundCheck{LHS: sum1, RHS: rhs1, Satisfied: true, Lambda: lambda, Condition: 1}, nil
 		}
 
 		// Condition 2: Σ Ai·min(β, 1) vs (Abnd−Amin)·(1−λk) + Amin.
@@ -160,11 +175,11 @@ func (g GN2Test) checkTask(s *task.Set, k int, abnd, amin *big.Rat) BoundCheck {
 		rhs2.Add(rhs2, amin)
 		cmp := sum2.Cmp(rhs2)
 		if cmp < 0 || (g.Options.CondTwoNonStrict && cmp == 0) {
-			return BoundCheck{LHS: sum2, RHS: rhs2, Satisfied: true, Lambda: lambda, Condition: 2}
+			return BoundCheck{LHS: sum2, RHS: rhs2, Satisfied: true, Lambda: lambda, Condition: 2}, nil
 		}
 		last = BoundCheck{LHS: sum2, RHS: rhs2, Satisfied: false}
 	}
-	return last
+	return last, nil
 }
 
 // beta evaluates Lemma 7's βλk(i).

@@ -7,6 +7,7 @@ package core
 // never accepts a task that the candidate enumeration rejected.
 
 import (
+	"context"
 	"math/big"
 	mrand "math/rand"
 	"math/rand/v2"
@@ -72,7 +73,8 @@ func TestLambdaCandidateSetIsComplete(t *testing.T) {
 		abnd := ratInt(dev.Columns - s.AMax() + 1)
 		amin := ratInt(s.AMin())
 		for k, tk := range s.Tasks {
-			enumerated := g.checkTask(s, k, abnd, amin).Satisfied
+			chk, _ := g.checkTask(context.Background(), s, k, abnd, amin)
+			enumerated := chk.Satisfied
 			if enumerated {
 				continue // completeness is about missed acceptances
 			}
@@ -130,7 +132,7 @@ func TestEnumeratedLambdaAgreesWithPointEvaluation(t *testing.T) {
 		abnd := ratInt(dev.Columns - s.AMax() + 1)
 		amin := ratInt(s.AMin())
 		for k := range s.Tasks {
-			res := g.checkTask(s, k, abnd, amin)
+			res, _ := g.checkTask(context.Background(), s, k, abnd, amin)
 			if !res.Satisfied {
 				continue
 			}
@@ -182,8 +184,8 @@ func TestExtendedLambdaSearchIsSuperset(t *testing.T) {
 		if err := s.ValidateFor(dev.Columns); err != nil {
 			continue
 		}
-		baseV := base.Analyze(dev, s)
-		extV := ext.Analyze(dev, s)
+		baseV := base.Analyze(context.Background(), dev, s)
+		extV := ext.Analyze(context.Background(), dev, s)
 		if baseV.Schedulable && !extV.Schedulable {
 			t.Fatalf("extended search rejected a base-accepted set (seed %d)\n%v", seed, s)
 		}

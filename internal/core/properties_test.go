@@ -7,6 +7,7 @@ package core
 // rational plumbing.
 
 import (
+	"context"
 	"math/rand/v2"
 	"reflect"
 	"testing"
@@ -47,7 +48,7 @@ func TestOrderInvariance(t *testing.T) {
 		dev := NewDevice(100)
 		base := make([]bool, len(allTests))
 		for ti, test := range allTests {
-			base[ti] = test.Analyze(dev, s).Schedulable
+			base[ti] = test.Analyze(context.Background(), dev, s).Schedulable
 		}
 		perm := s.Clone()
 		for range int(shuffles)%4 + 1 {
@@ -56,7 +57,7 @@ func TestOrderInvariance(t *testing.T) {
 			})
 		}
 		for ti, test := range allTests {
-			if test.Analyze(dev, perm).Schedulable != base[ti] {
+			if test.Analyze(context.Background(), dev, perm).Schedulable != base[ti] {
 				t.Logf("test %s changed verdict under permutation\nset:\n%v", test.Name(), s)
 				return false
 			}
@@ -79,7 +80,7 @@ func TestDeviceGrowthMonotonicity(t *testing.T) {
 		small := NewDevice(60)
 		big := NewDevice(60 + 1 + int(growRaw)%100)
 		for _, test := range allTests {
-			if test.Analyze(small, s).Schedulable && !test.Analyze(big, s).Schedulable {
+			if test.Analyze(context.Background(), small, s).Schedulable && !test.Analyze(context.Background(), big, s).Schedulable {
 				t.Logf("test %s: accept on %d cols but reject on %d cols\nset:\n%v",
 					test.Name(), small.Columns, big.Columns, s)
 				return false
@@ -109,7 +110,7 @@ func TestTimeScaleInvariance(t *testing.T) {
 		}
 		dev := NewDevice(80)
 		for _, test := range allTests {
-			if test.Analyze(dev, s).Schedulable != test.Analyze(dev, scaled).Schedulable {
+			if test.Analyze(context.Background(), dev, s).Schedulable != test.Analyze(context.Background(), dev, scaled).Schedulable {
 				t.Logf("test %s not scale-invariant (×%d)\nset:\n%v", test.Name(), scale, s)
 				return false
 			}
@@ -130,7 +131,7 @@ func TestDPLoadMonotonicity(t *testing.T) {
 		n := 1 + int(nRaw)%6
 		s := genSet(r, n, 50)
 		dev := NewDevice(80)
-		before := (DPTest{}).Analyze(dev, s).Schedulable
+		before := (DPTest{}).Analyze(context.Background(), dev, s).Schedulable
 		if before {
 			return true // only reject→accept flips are violations
 		}
@@ -141,7 +142,7 @@ func TestDPLoadMonotonicity(t *testing.T) {
 			return true
 		}
 		inflated.Tasks[which].C += 1 + timeunit.Time(r.Int64N(int64(headroom)))
-		return !(DPTest{}).Analyze(dev, inflated).Schedulable
+		return !(DPTest{}).Analyze(context.Background(), dev, inflated).Schedulable
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Error(err)
@@ -157,13 +158,13 @@ func TestGN1AreaMonotonicity(t *testing.T) {
 		n := 1 + int(nRaw)%6
 		s := genSet(r, n, 40)
 		dev := NewDevice(80)
-		if (GN1Test{}).Analyze(dev, s).Schedulable {
+		if (GN1Test{}).Analyze(context.Background(), dev, s).Schedulable {
 			return true
 		}
 		which := int(whichRaw) % n
 		wider := s.Clone()
 		wider.Tasks[which].A += 1 + int(growRaw)%(dev.Columns-wider.Tasks[which].A)
-		return !(GN1Test{}).Analyze(dev, wider).Schedulable
+		return !(GN1Test{}).Analyze(context.Background(), dev, wider).Schedulable
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Error(err)
@@ -176,7 +177,7 @@ func TestRejectionsComeWithReasons(t *testing.T) {
 		s := genSet(r, 1+int(nRaw)%6, 90)
 		dev := NewDevice(100)
 		for _, test := range allTests {
-			v := test.Analyze(dev, s)
+			v := test.Analyze(context.Background(), dev, s)
 			if v.Schedulable {
 				if v.FailingTask != -1 {
 					return false
@@ -204,7 +205,7 @@ func TestVerdictChecksShape(t *testing.T) {
 	s := genSet(r, 5, 60)
 	dev := NewDevice(100)
 	for _, test := range allTests {
-		v := test.Analyze(dev, s)
+		v := test.Analyze(context.Background(), dev, s)
 		if len(v.Checks) != s.Len() {
 			t.Errorf("%s: %d checks, want %d", test.Name(), len(v.Checks), s.Len())
 			continue
@@ -227,7 +228,7 @@ func TestReflectIndependence(t *testing.T) {
 	orig := s.Clone()
 	dev := NewDevice(100)
 	for _, test := range allTests {
-		test.Analyze(dev, s)
+		test.Analyze(context.Background(), dev, s)
 	}
 	if !reflect.DeepEqual(s, orig) {
 		t.Error("a test mutated the input taskset")

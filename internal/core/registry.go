@@ -6,21 +6,59 @@ import (
 	"strings"
 )
 
-// registry is the single table behind TestByName and TestNames, so the
-// resolvable identifiers and the advertised ones cannot drift. Matching
-// is case-insensitive; the listed spelling is canonical.
+// Scheduler-validity labels for TestInfo.Validity. A test is listed
+// under the most permissive label it is sound for: "both" means valid
+// under EDF-NF and EDF-FkF (EDF-NF dominates EDF-FkF, so every FkF-valid
+// test is also NF-valid), "nf" means EDF-NF only, "fkf" marks the
+// FkF-oriented composite.
+const (
+	ValidityBoth = "both"
+	ValidityNF   = "nf"
+	ValidityFkF  = "fkf"
+)
+
+// TestInfo describes one registry entry: the canonical identifier, a
+// one-line human description, and the scheduler classes the test is
+// sound for. It is the wire form of GET /v1/tests entries (api.TestInfo
+// is an alias), so the JSON tags are frozen by the api golden files.
+type TestInfo struct {
+	// Name is the canonical identifier TestByName resolves.
+	Name string `json:"name"`
+	// Description is a one-line summary of the test.
+	Description string `json:"description"`
+	// Validity is the scheduler class the test is sound for: "both"
+	// (EDF-NF and EDF-FkF), "nf" (EDF-NF only) or "fkf" (the EDF-FkF
+	// composite). Clients gating admission for EDF-FkF must only select
+	// tests with validity "both" or "fkf".
+	Validity string `json:"validity"`
+}
+
+// registry is the single table behind TestByName, TestNames and
+// TestInfos, so the resolvable identifiers, the advertised ones and
+// their metadata cannot drift. Matching is case-insensitive; the listed
+// spelling is canonical.
 var registry = []struct {
-	name  string
-	build func() Test
+	name     string
+	desc     string
+	validity string
+	build    func() Test
 }{
-	{"DP", func() Test { return DPTest{} }},
-	{"DP-real", func() Test { return DPTest{RealValuedAlpha: true} }},
-	{"GN1", func() Test { return GN1Test{} }},
-	{"GN1-Dk", func() Test { return GN1Test{Variant: GN1VariantBCL} }},
-	{"GN2", func() Test { return GN2Test{} }},
-	{"GN2x", func() Test { return GN2Test{Options: GN2Options{ExtendedLambdaSearch: true}} }},
-	{"any-nf", func() Test { return ForNF() }},
-	{"any-fkf", func() Test { return ForFkF() }},
+	{"DP", "Theorem 1: corrected integer-area Danne–Platzner utilization bound", ValidityBoth,
+		func() Test { return DPTest{} }},
+	{"DP-real", "Theorem 1 with the original real-valued-area bound A(H)−Amax", ValidityBoth,
+		func() Test { return DPTest{RealValuedAlpha: true} }},
+	{"GN1", "Theorem 2: BCL-style interference test exploiting per-task area slack", ValidityNF,
+		func() Test { return GN1Test{} }},
+	{"GN1-Dk", "Theorem 2 with BCL window normalisation (βi = Wi/Dk)", ValidityNF,
+		func() Test { return GN1Test{Variant: GN1VariantBCL} }},
+	{"GN2", "Theorem 3: BAK2-style busy-interval test with λ-parameterised workload bound", ValidityBoth,
+		func() Test { return GN2Test{} }},
+	{"GN2x", "Theorem 3 with the extended λ candidate search (accepts a superset of GN2)", ValidityBoth,
+		func() Test { return GN2Test{Options: GN2Options{ExtendedLambdaSearch: true}} }},
+	{"any-nf", "any-of composite of all tests valid under EDF-NF (DP, GN1, GN2)", ValidityNF,
+		func() Test { return ForNF() }},
+	{"any-fkf", "any-of composite of the tests valid under EDF-FkF (DP, GN2)", ValidityFkF,
+		func() Test { return ForFkF() }},
 }
 
 // TestByName resolves a test identifier to a Test. Identifiers are
@@ -55,6 +93,19 @@ func TestNames() []string {
 	}
 	sort.Strings(names)
 	return names
+}
+
+// TestInfos lists every registry entry with its metadata, sorted by
+// name (the same order as TestNames). It backs GET /v1/tests and the
+// CLI's -list-tests, so clients can discover which tests are legal
+// under a given scheduler instead of hardcoding it.
+func TestInfos() []TestInfo {
+	infos := make([]TestInfo, len(registry))
+	for i, e := range registry {
+		infos[i] = TestInfo{Name: e.name, Description: e.desc, Validity: e.validity}
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	return infos
 }
 
 // TestsByName resolves a list of identifiers, skipping blank entries and

@@ -7,6 +7,7 @@ package core
 // wrong, full stop.
 
 import (
+	"context"
 	"math/big"
 	"testing"
 
@@ -54,13 +55,13 @@ func TestTableVerdictMatrix(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			if got := (DPTest{}).Analyze(tableDevice, tc.set).Schedulable; got != tc.dp {
+			if got := (DPTest{}).Analyze(context.Background(), tableDevice, tc.set).Schedulable; got != tc.dp {
 				t.Errorf("DP = %v, want %v", got, tc.dp)
 			}
-			if got := (GN1Test{}).Analyze(tableDevice, tc.set).Schedulable; got != tc.gn1 {
+			if got := (GN1Test{}).Analyze(context.Background(), tableDevice, tc.set).Schedulable; got != tc.gn1 {
 				t.Errorf("GN1 = %v, want %v", got, tc.gn1)
 			}
-			if got := (GN2Test{}).Analyze(tableDevice, tc.set).Schedulable; got != tc.gn2 {
+			if got := (GN2Test{}).Analyze(context.Background(), tableDevice, tc.set).Schedulable; got != tc.gn2 {
 				t.Errorf("GN2 = %v, want %v", got, tc.gn2)
 			}
 		})
@@ -70,7 +71,7 @@ func TestTableVerdictMatrix(t *testing.T) {
 func TestTable1DPEqualityKnifeEdge(t *testing.T) {
 	// Paper: US(Γ) = 2.76 and at k=2 the DP bound is exactly 2.76 — the
 	// non-strict "≤" of Theorem 1 is what accepts this set.
-	v := (DPTest{}).Analyze(tableDevice, table1())
+	v := (DPTest{}).Analyze(context.Background(), tableDevice, table1())
 	if !v.Schedulable {
 		t.Fatalf("DP must accept table 1: %v", v)
 	}
@@ -89,7 +90,7 @@ func TestTable1DPEqualityKnifeEdge(t *testing.T) {
 }
 
 func TestTable1GN1Rejection(t *testing.T) {
-	v := (GN1Test{}).Analyze(tableDevice, table1())
+	v := (GN1Test{}).Analyze(context.Background(), tableDevice, table1())
 	if v.Schedulable {
 		t.Fatal("GN1 must reject table 1")
 	}
@@ -112,11 +113,11 @@ func TestTable1GN2StrictKnifeEdge(t *testing.T) {
 	// (Abnd−Amin)(1−λk)+Amin at λ = 0.19). The paper reports it rejected,
 	// which requires the strict comparison (DESIGN.md item T3-STRICT).
 	strict := GN2Test{}
-	if v := strict.Analyze(tableDevice, table1()); v.Schedulable {
+	if v := strict.Analyze(context.Background(), tableDevice, table1()); v.Schedulable {
 		t.Error("strict GN2 must reject table 1")
 	}
 	nonStrict := GN2Test{Options: GN2Options{CondTwoNonStrict: true}}
-	v := nonStrict.Analyze(tableDevice, table1())
+	v := nonStrict.Analyze(context.Background(), tableDevice, table1())
 	if !v.Schedulable {
 		t.Error("non-strict GN2 must accept table 1 (exact equality)")
 	}
@@ -136,7 +137,7 @@ func TestTable1GN2StrictKnifeEdge(t *testing.T) {
 }
 
 func TestTable2DPRejection(t *testing.T) {
-	v := (DPTest{}).Analyze(tableDevice, table2())
+	v := (DPTest{}).Analyze(context.Background(), tableDevice, table2())
 	if v.Schedulable {
 		t.Fatal("DP must reject table 2")
 	}
@@ -153,7 +154,7 @@ func TestTable2DPRejection(t *testing.T) {
 }
 
 func TestTable2GN1Acceptance(t *testing.T) {
-	v := (GN1Test{}).Analyze(tableDevice, table2())
+	v := (GN1Test{}).Analyze(context.Background(), tableDevice, table2())
 	if !v.Schedulable {
 		t.Fatalf("GN1 must accept table 2: %v", v)
 	}
@@ -177,13 +178,13 @@ func TestTable2GN1Acceptance(t *testing.T) {
 }
 
 func TestTable2GN2Rejection(t *testing.T) {
-	v := (GN2Test{}).Analyze(tableDevice, table2())
+	v := (GN2Test{}).Analyze(context.Background(), tableDevice, table2())
 	if v.Schedulable {
 		t.Fatal("GN2 must reject table 2")
 	}
 	// Even the non-strict variant rejects: the failure is not a knife edge.
 	nonStrict := GN2Test{Options: GN2Options{CondTwoNonStrict: true}}
-	if nonStrict.Analyze(tableDevice, table2()).Schedulable {
+	if nonStrict.Analyze(context.Background(), tableDevice, table2()).Schedulable {
 		t.Error("non-strict GN2 must also reject table 2")
 	}
 }
@@ -191,7 +192,7 @@ func TestTable2GN2Rejection(t *testing.T) {
 func TestTable3DPRejection(t *testing.T) {
 	// Paper: "US(Γ) = 4.94. When k = 2, (A(H)−Amax+1)(1−UT(τ2))+US(τ2) =
 	// 4.85 < 4.94" (4.85 is the truncation of 34/7 = 4.857...).
-	v := (DPTest{}).Analyze(tableDevice, table3())
+	v := (DPTest{}).Analyze(context.Background(), tableDevice, table3())
 	if v.Schedulable {
 		t.Fatal("DP must reject table 3")
 	}
@@ -212,7 +213,7 @@ func TestTable3GN1Rejection(t *testing.T) {
 	// β1 = 4.1/5, so Σ Ai·min(βi, 1−Ck/Dk) = 5 > 20/7".
 	// Note 20/7 confirms the A(H)−Ak+1 bound (T2-BOUND) and β1 = 4.1/5
 	// confirms the /Di normalisation (T2-NORM).
-	v := (GN1Test{}).Analyze(tableDevice, table3())
+	v := (GN1Test{}).Analyze(context.Background(), tableDevice, table3())
 	if v.Schedulable {
 		t.Fatal("GN1 must reject table 3")
 	}
@@ -246,7 +247,7 @@ func TestTable3GN2Acceptance(t *testing.T) {
 	// Paper: for both k, at λ = C1/T1 = 0.42: condition 2 gives
 	// (Abnd−Amin)(1−λk)+Amin = 5.26 and Σ = 4.94 (the paper's 4.97 is a
 	// rounding artefact of printing β2 as 0.29) — accepted.
-	v := (GN2Test{}).Analyze(tableDevice, table3())
+	v := (GN2Test{}).Analyze(context.Background(), tableDevice, table3())
 	if !v.Schedulable {
 		t.Fatalf("GN2 must accept table 3: %v", v)
 	}
@@ -274,20 +275,20 @@ func TestCompositeOnTables(t *testing.T) {
 	for name, s := range map[string]*task.Set{
 		"table1": table1(), "table2": table2(), "table3": table3(),
 	} {
-		if v := comp.Analyze(tableDevice, s); !v.Schedulable {
+		if v := comp.Analyze(context.Background(), tableDevice, s); !v.Schedulable {
 			t.Errorf("%s: composite rejected: %v", name, v)
 		}
 	}
 	// Under EDF-FkF only DP and GN2 may be used, so table 2 (GN1-only) is
 	// not provably schedulable.
 	fkf := ForFkF()
-	if v := fkf.Analyze(tableDevice, table2()); v.Schedulable {
+	if v := fkf.Analyze(context.Background(), tableDevice, table2()); v.Schedulable {
 		t.Errorf("FkF composite must not accept table 2 (only GN1 accepts it)")
 	}
-	if v := fkf.Analyze(tableDevice, table1()); !v.Schedulable {
+	if v := fkf.Analyze(context.Background(), tableDevice, table1()); !v.Schedulable {
 		t.Errorf("FkF composite must accept table 1 via DP: %v", v)
 	}
-	if v := fkf.Analyze(tableDevice, table3()); !v.Schedulable {
+	if v := fkf.Analyze(context.Background(), tableDevice, table3()); !v.Schedulable {
 		t.Errorf("FkF composite must accept table 3 via GN2: %v", v)
 	}
 }

@@ -7,14 +7,21 @@
 //
 // Every entry point takes a context.Context and honours cancellation at
 // each wait (queueing for a pool slot, waiting on a coalesced in-flight
-// analysis): a cancelled request returns ctx.Err() promptly and frees
-// its place in line rather than leaking a queued analysis. Work already
-// executing runs to completion — the tests are pure functions with no
-// preemption points — and its verdict still lands in the cache, so a
-// cancellation never corrupts or discards finished work. When the owner
-// of a coalesced analysis is cancelled before a slot frees up, one of
-// the surviving waiters transparently takes over ownership and the
-// analysis is neither lost nor duplicated.
+// analysis) and inside the analysis itself: the context is passed into
+// core.Test.Analyze, where GN2's λ-candidate sweep polls it, so a
+// cancelled request aborts even mid-analysis rather than pinning a
+// worker slot until the O(N³) search finishes. An aborted analysis
+// produces a verdict with Err set, which is never cached; completed
+// work still lands in the cache, so a cancellation never corrupts or
+// discards finished verdicts. When the owner of a coalesced analysis is
+// cancelled — before a slot frees up or mid-run — one of the surviving
+// waiters transparently takes over ownership and the analysis is
+// neither lost nor duplicated.
+//
+// Certificates are memoized alongside verdicts: the cached entry keeps
+// the full per-task Checks and composite SubVerdicts, so an explain
+// request on a cache hit is free (no re-analysis), with the
+// index-bearing fields remapped to each caller's task order on return.
 //
 // The memoization is sound because every core.Test is a pure function of
 // (device, taskset) and every analysis-relevant bit of the taskset is
@@ -187,16 +194,20 @@ func key(r Request, perm []int) cacheKey {
 }
 
 // remapVerdict translates a canonical-order verdict into the caller's
-// task order: Checks are re-attributed and re-sorted, and FailingTask
+// task order: Checks are re-attributed and re-sorted, FailingTask
 // becomes the caller's first failing task (falling back to the direct
-// index translation when no per-task checks are available). The Checks'
+// index translation when no per-task checks are available), and
+// composite SubVerdicts are remapped recursively so a cached
+// certificate reads correctly in every caller's ordering. The Checks'
 // *big.Rat values stay shared with the cached verdict. With omitChecks
-// the copy and sort are skipped and Checks dropped; FailingTask is
-// still the caller's lowest failing index.
+// the copy and sort are skipped and Checks and SubVerdicts dropped
+// (the caller asked for the summary only); FailingTask is still the
+// caller's lowest failing index.
 func remapVerdict(v core.Verdict, perm []int, omitChecks bool) core.Verdict {
 	out := v
 	if omitChecks {
 		out.Checks = nil
+		out.SubVerdicts = nil
 		if v.FailingTask >= 0 && v.FailingTask < len(perm) {
 			ft := perm[v.FailingTask]
 			for _, chk := range v.Checks {
@@ -229,19 +240,26 @@ func remapVerdict(v core.Verdict, perm []int, omitChecks bool) core.Verdict {
 			}
 		}
 	}
+	if len(v.SubVerdicts) > 0 {
+		out.SubVerdicts = make([]core.Verdict, len(v.SubVerdicts))
+		for i, sv := range v.SubVerdicts {
+			out.SubVerdicts[i] = remapVerdict(sv, perm, false)
+		}
+	}
 	return out
 }
 
 // Analyze runs (or recalls) one analysis. It blocks until a worker slot
 // is free, the verdict is cached, an identical request already in
 // flight completes, or ctx is done. Cancellation is honoured at every
-// wait: a request still queued for a pool slot (or waiting on a
-// coalesced in-flight analysis) returns ctx.Err() promptly and releases
-// nothing it did not own — an analysis already executing runs to
-// completion (the tests are pure functions with no preemption points)
-// and still populates the cache for future callers. The returned
-// Verdict is shared with other callers of the same key and must be
-// treated as read-only.
+// wait and inside the analysis: a request still queued for a pool slot
+// (or waiting on a coalesced in-flight analysis) returns ctx.Err()
+// promptly and releases nothing it did not own, and an analysis this
+// caller owns aborts mid-run when the test polls the context (GN2's λ
+// sweep) — the aborted partial verdict is never cached, and coalesced
+// waiters with live contexts transparently re-run the analysis. The
+// returned Verdict is shared with other callers of the same key and
+// must be treated as read-only.
 func (e *Engine) Analyze(ctx context.Context, r Request) (core.Verdict, error) {
 	if r.Test == nil {
 		return core.Verdict{}, errors.New("engine: nil test")
@@ -347,16 +365,32 @@ func (e *Engine) own(ctx context.Context, r Request, perm []int, k cacheKey, c *
 		canon.Tasks[pos] = r.Set.Tasks[orig]
 	}
 	start := time.Now()
-	v, runErr := e.runAnalysis(r, canon)
+	v, runErr := e.runAnalysis(ctx, r, canon)
 	elapsed := time.Since(start)
+	if runErr == nil && v.Err != nil {
+		// The test aborted mid-analysis (the owner's context was
+		// cancelled inside GN2's λ sweep). The verdict proves nothing:
+		// never cache it. Waiters retry via errAbandoned — their own
+		// contexts may still be live, and the re-run is correct because
+		// the aborted partial work left no state behind.
+		runErr = errAbandoned
+	}
 	if runErr != nil {
-		// The test panicked: release waiters with the error (never a
-		// hang) and cache nothing.
+		// The test panicked or was aborted: release waiters with the
+		// error (never a hang) and cache nothing.
 		c.err = runErr
 		e.mu.Lock()
 		delete(e.inflight, k)
 		e.mu.Unlock()
 		close(c.done)
+		if runErr == errAbandoned {
+			// The owner reports its own cancellation, not the internal
+			// retry sentinel.
+			if err := ctx.Err(); err != nil {
+				return core.Verdict{}, err
+			}
+			return core.Verdict{}, v.Err
+		}
 		return core.Verdict{}, runErr
 	}
 
@@ -387,11 +421,11 @@ func (e *Engine) own(ctx context.Context, r Request, perm []int, k cacheKey, c *
 // Close, cancellation) are joined and returned with the partial
 // results; verdicts at error positions are zero.
 //
-// Cancelling ctx mid-batch abandons all queued work promptly: every
+// Cancelling ctx mid-batch abandons all work promptly: every
 // not-yet-started element fails with ctx.Err(), analyses waiting for a
-// pool slot give up their place, and only analyses already executing
-// run to completion (their verdicts still land in the cache). The
-// returned error then includes ctx.Err().
+// pool slot give up their place, and executing analyses abort at the
+// test's next cancellation poll (aborted partial verdicts are never
+// cached). The returned error then includes ctx.Err().
 func (e *Engine) AnalyzeAll(ctx context.Context, reqs []Request) ([]core.Verdict, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -426,15 +460,18 @@ func (e *Engine) AnalyzeAll(ctx context.Context, reqs []Request) ([]core.Verdict
 
 // runAnalysis executes the test inside a worker slot (already acquired
 // by the caller), guaranteeing the slot is released and converting a
-// test panic into an error so no waiter or slot is ever leaked.
-func (e *Engine) runAnalysis(r Request, canon *task.Set) (v core.Verdict, err error) {
+// test panic into an error so no waiter or slot is ever leaked. The
+// owner's ctx reaches inside the test: GN2's λ sweep polls it, so a
+// disconnected client aborts a long analysis mid-run instead of
+// pinning the slot until the sweep finishes.
+func (e *Engine) runAnalysis(ctx context.Context, r Request, canon *task.Set) (v core.Verdict, err error) {
 	defer func() { <-e.sem }()
 	defer func() {
 		if p := recover(); p != nil {
 			err = fmt.Errorf("engine: test %q panicked: %v", r.Test.Name(), p)
 		}
 	}()
-	return r.Test.Analyze(core.NewDevice(r.Columns), canon), nil
+	return r.Test.Analyze(ctx, core.NewDevice(r.Columns), canon), nil
 }
 
 // Stats returns a snapshot of the engine counters.

@@ -1,7 +1,9 @@
 package engine
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -13,6 +15,7 @@ import (
 
 	"fpgasched/internal/core"
 	"fpgasched/internal/task"
+	"fpgasched/internal/timeunit"
 	"fpgasched/internal/workload"
 )
 
@@ -94,7 +97,7 @@ func TestVerdictsMatchDirectAnalysis(t *testing.T) {
 	dev := core.NewDevice(10)
 	for _, s := range []*task.Set{workload.Table1(), workload.Table2(), workload.Table3()} {
 		for _, test := range []core.Test{core.DPTest{}, core.GN1Test{}, core.GN2Test{}} {
-			want := test.Analyze(dev, s)
+			want := test.Analyze(context.Background(), dev, s)
 			got, err := e.Analyze(context.Background(), Request{Columns: 10, Set: s, Test: test})
 			if err != nil {
 				t.Fatal(err)
@@ -139,7 +142,7 @@ func TestAnalyzeAllEqualsSequential(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i, r := range reqs {
-		want := r.Test.Analyze(core.NewDevice(r.Columns), r.Set)
+		want := r.Test.Analyze(context.Background(), core.NewDevice(r.Columns), r.Set)
 		if batch[i].Schedulable != want.Schedulable || batch[i].Test != want.Test {
 			t.Errorf("request %d: batch %v, sequential %v", i, batch[i], want)
 		}
@@ -360,7 +363,7 @@ func TestCacheMissOnDifferentTestVariant(t *testing.T) {
 type panicTest struct{}
 
 func (panicTest) Name() string { return "panic" }
-func (panicTest) Analyze(core.Device, *task.Set) core.Verdict {
+func (panicTest) Analyze(context.Context, core.Device, *task.Set) core.Verdict {
 	panic("boom")
 }
 
@@ -490,7 +493,7 @@ func newBlockingTest(name string) *blockingTest {
 
 func (b *blockingTest) Name() string { return b.name }
 
-func (b *blockingTest) Analyze(core.Device, *task.Set) core.Verdict {
+func (b *blockingTest) Analyze(context.Context, core.Device, *task.Set) core.Verdict {
 	select {
 	case b.started <- struct{}{}:
 	default:
@@ -748,4 +751,109 @@ func TestAnalyzeNilAndPreCancelledContext(t *testing.T) {
 	if _, err := e.AnalyzeAll(ctx, []Request{{Columns: 10, Set: table3(), Test: core.DPTest{}}}); !errors.Is(err, context.Canceled) {
 		t.Errorf("pre-cancelled AnalyzeAll err = %v, want context.Canceled", err)
 	}
+}
+
+// TestCachedExplainCertificatesByteIdentical proves certificate
+// memoization is transparent: analysing a permuted copy of a cached
+// set (a guaranteed cache hit) must return a certificate that is
+// byte-for-byte identical to what a cold engine computes for that
+// permutation directly — the remapping of Checks, FailingTask and
+// composite SubVerdicts back to the caller's task order loses nothing.
+func TestCachedExplainCertificatesByteIdentical(t *testing.T) {
+	mixed := task.NewSet(
+		task.New("a", "2.10", "5", "5", 7),
+		task.New("b", "2.00", "7", "7", 7),
+		task.New("c", "1.00", "9", "9", 3),
+		task.New("d", "0.50", "3", "3", 2),
+	)
+	test, err := core.TestByName("any-nf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := New(Config{Workers: 2, CacheSize: 16})
+	defer warm.Close()
+	if _, err := warm.Analyze(context.Background(), Request{Columns: 10, Set: mixed, Test: test}); err != nil {
+		t.Fatal(err)
+	}
+	for by := 1; by < mixed.Len(); by++ {
+		perm := permute(mixed, by)
+		hit, err := warm.Analyze(context.Background(), Request{Columns: 10, Set: perm, Test: test})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cold := New(Config{Workers: 1, CacheSize: -1})
+		fresh, err := cold.Analyze(context.Background(), Request{Columns: 10, Set: perm, Test: test})
+		cold.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := json.Marshal(hit.Certificate())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := json.Marshal(fresh.Certificate())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("permutation %d: cached certificate drifted from fresh analysis\n--- cached ---\n%s\n--- fresh ---\n%s", by, got, want)
+		}
+	}
+	if st := warm.Stats(); st.Analyses != 1 {
+		t.Errorf("analyses = %d, want 1 (every permuted request must hit the cache)", st.Analyses)
+	}
+}
+
+// TestCancellationAbortsRunningGN2 proves cancellation reaches inside
+// an executing analysis: a GN2x run over a large set aborts at the λ
+// sweep's next poll instead of pinning the worker until the O(N³)
+// search completes, the aborted verdict is not cached, and the pool
+// slot is released for the next caller.
+func TestCancellationAbortsRunningGN2(t *testing.T) {
+	e := New(Config{Workers: 1, CacheSize: 16})
+	defer e.Close()
+	big := &task.Set{}
+	for i := 0; i < 250; i++ {
+		big.Tasks = append(big.Tasks, task.Task{
+			C: timeunit.FromUnits(1 + int64(i%7)),
+			D: timeunit.FromUnits(20 + int64(i%13)),
+			T: timeunit.FromUnits(20 + int64(i%13)),
+			A: 1 + i%3,
+		})
+	}
+	gn2x := core.GN2Test{Options: core.GN2Options{ExtendedLambdaSearch: true}}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		_, err := e.Analyze(ctx, Request{Columns: 30, Set: big, Test: gn2x})
+		done <- err
+	}()
+	// Let the analysis actually claim the slot and start sweeping.
+	deadline := time.Now().Add(5 * time.Second)
+	for e.Stats().Misses == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("analysis never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled GN2x analysis did not return within 10s")
+	}
+	aborted := time.Since(start)
+	// The aborted verdict must not have been cached, and the slot must
+	// be free: a small analysis completes immediately.
+	if st := e.Stats(); st.CacheLen != 0 {
+		t.Errorf("cache len = %d after aborted analysis, want 0", st.CacheLen)
+	}
+	if _, err := e.Analyze(context.Background(), Request{Columns: 10, Set: table3(), Test: core.DPTest{}}); err != nil {
+		t.Fatalf("slot leaked: follow-up analysis failed: %v", err)
+	}
+	t.Logf("aborted after %v", aborted)
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -38,7 +39,7 @@ func RunVerdictMatrix(columns int, sets []NamedSet, tests []core.Test) VerdictMa
 		row := make([]bool, len(tests))
 		vrow := make([]core.Verdict, len(tests))
 		for j, t := range tests {
-			v := t.Analyze(dev, ns.Set)
+			v := t.Analyze(context.Background(), dev, ns.Set)
 			row[j] = v.Schedulable
 			vrow[j] = v
 		}

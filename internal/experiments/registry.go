@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -365,7 +366,7 @@ func ablationPartition(opts RunOptions) (*Output, error) {
 		for i := 0; i < opts.Samples; i++ {
 			r := workload.Rand(opts.Seed ^ uint64(i+1)*67 ^ uint64(bi+1)*521)
 			s, _ := profile.GenerateWithTargetUS(r, us)
-			if composite.Analyze(dev, s).Schedulable {
+			if composite.Analyze(context.Background(), dev, s).Schedulable {
 				gAcc++
 			}
 			if partition.Schedulable(workload.FigureDeviceColumns, s) {

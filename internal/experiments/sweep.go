@@ -15,6 +15,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -194,7 +195,7 @@ func (cfg *SweepConfig) evaluate(s *task.Set) ([]bool, error) {
 	out := make([]bool, 0, cfg.seriesCount())
 	dev := core.NewDevice(cfg.Columns)
 	for _, t := range cfg.Tests {
-		out = append(out, t.Analyze(dev, s).Schedulable)
+		out = append(out, t.Analyze(context.Background(), dev, s).Schedulable)
 	}
 	for _, pf := range cfg.Policies {
 		p, err := pf.New(s, cfg.Columns)

@@ -1,6 +1,7 @@
 package mpsched
 
 import (
+	"context"
 	"math/rand/v2"
 	"testing"
 	"testing/quick"
@@ -123,7 +124,7 @@ func TestDPDegeneratesToGFB(t *testing.T) {
 		n := 1 + int(nRaw)%8
 		m := 1 + int(mRaw)%8
 		s := unitAreaSet(r, n, false)
-		fpga := core.DPTest{}.Analyze(core.NewDevice(m), s).Schedulable
+		fpga := core.DPTest{}.Analyze(context.Background(), core.NewDevice(m), s).Schedulable
 		mp := GFB(m, s).Schedulable
 		if fpga != mp {
 			t.Logf("m=%d DP=%v GFB=%v\n%v", m, fpga, mp, s)
@@ -143,7 +144,7 @@ func TestGN1BCLVariantDegeneratesToBCL(t *testing.T) {
 		n := 1 + int(nRaw)%8
 		m := 1 + int(mRaw)%8
 		s := unitAreaSet(r, n, true)
-		fpga := core.GN1Test{Variant: core.GN1VariantBCL}.Analyze(core.NewDevice(m), s).Schedulable
+		fpga := core.GN1Test{Variant: core.GN1VariantBCL}.Analyze(context.Background(), core.NewDevice(m), s).Schedulable
 		mp := BCL(m, s).Schedulable
 		if fpga != mp {
 			t.Logf("m=%d GN1-Dk=%v BCL=%v\n%v", m, fpga, mp, s)
@@ -172,7 +173,7 @@ func TestGN2DegeneratesToBAK2(t *testing.T) {
 				}
 			}
 		}
-		fpga := core.GN2Test{}.Analyze(core.NewDevice(m), s).Schedulable
+		fpga := core.GN2Test{}.Analyze(context.Background(), core.NewDevice(m), s).Schedulable
 		mp := BAK2(m, s, BAK2Options{}).Schedulable
 		if fpga != mp {
 			t.Logf("m=%d GN2=%v BAK2=%v\n%v", m, fpga, mp, s)

@@ -1,0 +1,84 @@
+package server
+
+// Golden-file test pinning the certificate-carrying wire response for
+// the paper's Table 2 taskset: the any-nf composite must accept it via
+// GN1, and the per-task checks must reproduce the paper's worked
+// inequalities with exact rationals (DESIGN.md Section 2 / the table
+// walkthroughs in internal/core/tables_test.go). Regenerate
+// deliberately with:
+//
+//	go test ./internal/server -run TestAnalyzeTable2ExplainGolden -update
+//
+// and review the diff as a wire-contract change.
+
+import (
+	"flag"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+func TestAnalyzeTable2ExplainGolden(t *testing.T) {
+	_, ts := newTestServer(t)
+	// Table 2 on the paper's 10-column device: rejected by DP and GN2,
+	// accepted by GN1 only — so the composite's accepted_by must be
+	// GN1 and both rejecting members' sub-verdicts must be carried.
+	body := `{
+		"columns": 10,
+		"tests": ["any-nf"],
+		"explain": true,
+		"taskset": {"tasks": [
+			{"name": "t1", "c": "4.50", "d": "8", "t": "8", "a": 3},
+			{"name": "t2", "c": "8.00", "d": "9", "t": "9", "a": 5}
+		]}
+	}`
+	resp, err := http.Post(ts.URL+"/v1/analyze", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	got, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body:\n%s", resp.StatusCode, got)
+	}
+	path := filepath.Join("testdata", "analyze_table2_explain.golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with go test ./internal/server -run TestAnalyzeTable2ExplainGolden -update): %v", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("explain response drifted from %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+
+	// Independent spot-checks so the golden file cannot silently pin a
+	// wrong proof: GN1 accepts with the paper's exact inequalities
+	// (k=0: 35/16 < 7/2; k=1: 1/3 < 2/3).
+	for _, needle := range []string{
+		`"accepted_by": "GN1"`,
+		`"lhs": "35/16"`,
+		`"rhs": "7/2"`,
+		`"lhs": "1/3"`,
+		`"rhs": "2/3"`,
+	} {
+		if !strings.Contains(string(got), needle) {
+			t.Errorf("response lacks %s:\n%s", needle, got)
+		}
+	}
+}

@@ -406,19 +406,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // ---- /v1/tests ----
 
 func (s *Server) handleTests(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, api.TestsResponse{Tests: core.TestNames()})
+	writeJSON(w, http.StatusOK, api.TestsResponse{Tests: core.TestNames(), Details: core.TestInfos()})
 }
 
 // ---- /v1/analyze ----
 
 // analyzeSets fans (sets × tests) across the engine pool under ctx and
-// folds the verdicts into per-set results. It is shared by the unary
-// and streaming analysis endpoints.
-func (s *Server) analyzeSets(ctx context.Context, columns int, sets []*task.Set, tests []core.Test, detail bool) ([]api.AnalyzeResult, *api.Error) {
+// folds the verdicts into per-set results. With explain the verdicts
+// carry their full certificates (per-task checks, composite
+// sub-verdicts). It is shared by the unary and streaming analysis
+// endpoints.
+func (s *Server) analyzeSets(ctx context.Context, columns int, sets []*task.Set, tests []core.Test, explain bool) ([]api.AnalyzeResult, *api.Error) {
 	reqs := make([]engine.Request, 0, len(sets)*len(tests))
 	for _, set := range sets {
 		for _, t := range tests {
-			reqs = append(reqs, engine.Request{Columns: columns, Set: set, Test: t, OmitChecks: !detail})
+			reqs = append(reqs, engine.Request{Columns: columns, Set: set, Test: t, OmitChecks: !explain})
 		}
 	}
 	verdicts, err := s.engine.AnalyzeAll(ctx, reqs)
@@ -433,7 +435,7 @@ func (s *Server) analyzeSets(ctx context.Context, columns int, sets []*task.Set,
 		res := api.AnalyzeResult{}
 		for j := range tests {
 			v := verdicts[i*len(tests)+j]
-			res.Verdicts = append(res.Verdicts, api.VerdictFromCore(v, detail))
+			res.Verdicts = append(res.Verdicts, api.VerdictFromCore(v, explain))
 			if v.Schedulable {
 				res.Schedulable = true
 			}
@@ -488,7 +490,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 			len(sets), len(tests), s.maxBatch).WithDetail("limit", strconv.Itoa(s.maxBatch)))
 		return
 	}
-	results, apiErr := s.analyzeSets(r.Context(), req.Columns, sets, tests, req.Detail)
+	results, apiErr := s.analyzeSets(r.Context(), req.Columns, sets, tests, req.Detail || req.Explain)
 	if apiErr != nil {
 		writeError(w, apiErr)
 		return
@@ -714,8 +716,15 @@ func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
 				WithDetail("limit", strconv.Itoa(s.maxTasks)))
 		return
 	}
-	d := t.ctrl.Request(tk)
-	writeJSON(w, http.StatusOK, api.AdmitResponse{Admitted: d.Admitted, ProvedBy: d.ProvedBy, Reason: d.Reason})
+	d := t.ctrl.Request(r.Context(), tk)
+	if d.Err != nil {
+		// An aborted analysis is not a domain answer: a 200
+		// admitted:false would make clients record a definitive
+		// rejection when a retry might admit.
+		writeError(w, api.Errorf(api.CodeCancelled, "admission analysis aborted: %v", d.Err))
+		return
+	}
+	writeJSON(w, http.StatusOK, api.AdmitResponse{Admitted: d.Admitted, ProvedBy: d.ProvedBy, Reason: d.Reason, Certificate: d.Certificate})
 }
 
 func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {

@@ -180,7 +180,7 @@ func (s *Server) analyzeStreamLine(ctx context.Context, idx int, data []byte) ap
 		out.Error = e
 		return out
 	}
-	results, apiErr := s.analyzeSets(ctx, req.Columns, []*task.Set{req.Taskset}, tests, req.Detail)
+	results, apiErr := s.analyzeSets(ctx, req.Columns, []*task.Set{req.Taskset}, tests, req.Detail || req.Explain)
 	if apiErr != nil {
 		out.Error = apiErr
 		return out

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -124,13 +125,13 @@ func TestGenerateWithTargetUSClampsGracefully(t *testing.T) {
 
 func TestTableFixturesMatchCoreVerdicts(t *testing.T) {
 	dev := core.NewDevice(TableDeviceColumns)
-	if !(core.DPTest{}).Analyze(dev, Table1()).Schedulable {
+	if !(core.DPTest{}).Analyze(context.Background(), dev, Table1()).Schedulable {
 		t.Error("fixture table1 must be DP-accepted")
 	}
-	if !(core.GN1Test{}).Analyze(dev, Table2()).Schedulable {
+	if !(core.GN1Test{}).Analyze(context.Background(), dev, Table2()).Schedulable {
 		t.Error("fixture table2 must be GN1-accepted")
 	}
-	if !(core.GN2Test{}).Analyze(dev, Table3()).Schedulable {
+	if !(core.GN2Test{}).Analyze(context.Background(), dev, Table3()).Schedulable {
 		t.Error("fixture table3 must be GN2-accepted")
 	}
 }
