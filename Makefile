@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench serve fmt vet check clean integration
+.PHONY: build test race bench serve fmt vet check clean integration experiments-smoke
 
 build:
 	$(GO) build ./...
@@ -38,6 +38,10 @@ vet:
 integration: ## api golden-file wire tests + client<->server end-to-end
 	$(GO) test ./api/ ./client/ -count=1
 	$(GO) build ./examples/...
+
+experiments-smoke: ## quick local evaluation pass + local/remote parity
+	$(GO) run ./cmd/experiments -samples 10 fig3b
+	$(GO) test ./cmd/experiments/ -run TestRemoteParity -count=1
 
 check: vet build race integration
 	@test -z "$$(gofmt -l .)" || { echo "gofmt needed on:"; gofmt -l .; exit 1; }

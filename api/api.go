@@ -31,6 +31,11 @@
 //	POST   /v1/controllers/{name}/admit          Task -> AdmitResponse
 //	DELETE /v1/controllers/{name}/tasks/{task}   204
 //	GET    /v1/controllers/{name}/resident       ResidentResponse
+//	POST   /v1/experiments                       ExperimentRequest -> ExperimentJob
+//	GET    /v1/experiments                       ExperimentList
+//	GET    /v1/experiments/{id}                  ExperimentJob
+//	DELETE /v1/experiments/{id}                  ExperimentJob (cancel)
+//	GET    /v1/experiments/{id}/stream           NDJSON ExperimentEvent lines
 //
 // Failures are an Error document with a 4xx/5xx status; see error.go
 // for the code taxonomy.

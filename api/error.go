@@ -31,6 +31,12 @@ const (
 	CodeUnknownTest ErrorCode = "unknown_test"
 	// CodeUnknownScheduler: a simulate scheduler other than nf/fkf.
 	CodeUnknownScheduler ErrorCode = "unknown_scheduler"
+	// CodeUnknownExperiment: an experiment ID not in the evaluation
+	// registry; Detail["experiment"] names the offender.
+	CodeUnknownExperiment ErrorCode = "unknown_experiment"
+	// CodeJobNotFound: the referenced experiment job does not exist (it
+	// never did, or it was evicted from the retained-job window).
+	CodeJobNotFound ErrorCode = "job_not_found"
 	// CodeInvalidHorizon: an unparseable or non-positive simulation
 	// horizon/horizon_cap.
 	CodeInvalidHorizon ErrorCode = "invalid_horizon"

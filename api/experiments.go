@@ -1,0 +1,200 @@
+package api
+
+// The experiment-job endpoints (v1, additive): the paper's Section 6
+// evaluation runs server-side as cancellable background jobs.
+//
+//	POST   /v1/experiments              ExperimentRequest -> ExperimentJob (202)
+//	GET    /v1/experiments              ExperimentList
+//	GET    /v1/experiments/{id}         ExperimentJob
+//	DELETE /v1/experiments/{id}         ExperimentJob (cancellation requested)
+//	GET    /v1/experiments/{id}/stream  NDJSON ExperimentEvent lines
+//
+// The stream always replays the job's full event history from the
+// first line and then follows live events, ending with the terminal
+// line (a "result" event for done jobs, a terminal "state" event for
+// cancelled/failed ones) — so a late subscriber still sees a complete,
+// deterministic stream.
+
+import (
+	"math"
+
+	"fpgasched/internal/report"
+)
+
+// Experiment job states, as they appear in ExperimentJob.State and
+// ExperimentEvent.State. Queued and running are live; done, cancelled
+// and failed are terminal.
+const (
+	ExperimentQueued    = "queued"
+	ExperimentRunning   = "running"
+	ExperimentDone      = "done"
+	ExperimentCancelled = "cancelled"
+	ExperimentFailed    = "failed"
+)
+
+// Experiment event types (ExperimentEvent.Type).
+const (
+	// ExperimentEventState marks a lifecycle transition.
+	ExperimentEventState = "state"
+	// ExperimentEventProgress carries per-bin progress.
+	ExperimentEventProgress = "progress"
+	// ExperimentEventResult is the terminal line of a done job and
+	// carries the full result (markdown, notes, table).
+	ExperimentEventResult = "result"
+)
+
+// ExperimentRequest submits one registered experiment as a background
+// job (POST /v1/experiments). Experiment IDs are the stable identifiers
+// of the evaluation registry (table1..3, fig3a/b, fig4a/b, ablation-*);
+// an unknown ID fails with code unknown_experiment.
+type ExperimentRequest struct {
+	// Experiment is the registered experiment ID (e.g. "fig3b").
+	Experiment string `json:"experiment"`
+	// Samples is the taskset count per utilization bin; 0 means the
+	// server default (500, the paper's 10,000-per-figure floor).
+	Samples int `json:"samples,omitempty"`
+	// Seed makes the run reproducible; 0 means 1. Results are a pure
+	// function of (experiment, samples, seed, sim_horizon) — independent
+	// of workers and of where the job runs.
+	Seed uint64 `json:"seed,omitempty"`
+	// Workers bounds the job's internal sweep parallelism; 0 means the
+	// server default.
+	Workers int `json:"workers,omitempty"`
+	// SimHorizon caps each simulation run, a decimal string in paper
+	// time units; empty means 200.
+	SimHorizon string `json:"sim_horizon,omitempty"`
+}
+
+// ExperimentProgress is a per-bin progress account. Progress is
+// reported per utilization bin (or bin-sized chunk of draws), not per
+// sample, so event volume stays bounded regardless of sample count.
+type ExperimentProgress struct {
+	BinsDone     int `json:"bins_done"`
+	BinsTotal    int `json:"bins_total"`
+	SamplesDone  int `json:"samples_done"`
+	SamplesTotal int `json:"samples_total"`
+}
+
+// ExperimentResult is a finished experiment's payload: exactly the
+// artefacts the local cmd/experiments run produces, so remote runs are
+// byte-identical to local ones.
+type ExperimentResult struct {
+	// Experiment echoes the experiment ID.
+	Experiment string `json:"experiment"`
+	// Markdown is the rendered result table/matrix.
+	Markdown string `json:"markdown"`
+	// Notes carries free-text observations (e.g. simulation outcomes).
+	Notes []string `json:"notes,omitempty"`
+	// Counts is the per-bin sample population for sweeps.
+	Counts []int `json:"counts,omitempty"`
+	// Table is the numeric result (absent for pure-matrix experiments).
+	Table *Table `json:"table,omitempty"`
+}
+
+// ExperimentJob describes one job (creation, status and cancel
+// responses). Samples, Seed, Workers and SimHorizon echo the effective
+// values after server defaulting.
+type ExperimentJob struct {
+	// ID is the server-assigned job identifier (e.g. "exp-7").
+	ID string `json:"id"`
+	// Experiment is the registered experiment ID the job runs.
+	Experiment string `json:"experiment"`
+	// State is the lifecycle state: queued, running, done, cancelled or
+	// failed.
+	State string `json:"state"`
+	// Samples, Seed, Workers and SimHorizon are the effective run
+	// parameters.
+	Samples    int    `json:"samples"`
+	Seed       uint64 `json:"seed"`
+	Workers    int    `json:"workers,omitempty"`
+	SimHorizon string `json:"sim_horizon,omitempty"`
+	// Progress is the latest per-bin progress (absent before the first
+	// bin completes).
+	Progress *ExperimentProgress `json:"progress,omitempty"`
+	// Result is the full result of a done job.
+	Result *ExperimentResult `json:"result,omitempty"`
+	// Error explains a failed job.
+	Error *Error `json:"error,omitempty"`
+}
+
+// ExperimentList answers GET /v1/experiments, in creation order.
+type ExperimentList struct {
+	Jobs []ExperimentJob `json:"jobs"`
+}
+
+// ExperimentEvent is one line of the NDJSON stream
+// (GET /v1/experiments/{id}/stream). Type selects the populated field
+// group: "state" events carry State (and Error when the terminal state
+// is failed), "progress" events carry Progress, and the terminal
+// "result" event of a done job carries Result.
+type ExperimentEvent struct {
+	Type     string              `json:"type"`
+	State    string              `json:"state,omitempty"`
+	Progress *ExperimentProgress `json:"progress,omitempty"`
+	Result   *ExperimentResult   `json:"result,omitempty"`
+	Error    *Error              `json:"error,omitempty"`
+}
+
+// Table is the wire form of a numeric result table (report.Table): one
+// shared X grid with one named Y series per column. Cells are JSON
+// numbers except empty bins, which travel as null (JSON has no NaN);
+// the conversion round-trips exactly, so tables render identically on
+// both sides of the wire.
+type Table struct {
+	// Title names the experiment (e.g. "fig3b").
+	Title string `json:"title"`
+	// XLabel names the X axis.
+	XLabel string `json:"x_label"`
+	// X is the shared grid (utilization bin centers).
+	X []float64 `json:"x"`
+	// Columns holds one named series per column, aligned with X.
+	Columns []TableColumn `json:"columns"`
+}
+
+// TableColumn is one named series of a Table.
+type TableColumn struct {
+	Name string `json:"name"`
+	// Y aligns with the table's X; null marks an empty bin.
+	Y []*float64 `json:"y"`
+}
+
+// TableFromReport converts a report.Table to its wire form (NaN cells
+// become null).
+func TableFromReport(t *report.Table) *Table {
+	if t == nil {
+		return nil
+	}
+	out := &Table{Title: t.Title, XLabel: t.XLabel, X: append([]float64(nil), t.X...)}
+	for _, c := range t.Columns {
+		col := TableColumn{Name: c.Name, Y: make([]*float64, len(c.Y))}
+		for i, y := range c.Y {
+			if !math.IsNaN(y) {
+				v := y
+				col.Y[i] = &v
+			}
+		}
+		out.Columns = append(out.Columns, col)
+	}
+	return out
+}
+
+// Report converts the wire table back to a report.Table (null cells
+// become NaN), the exact inverse of TableFromReport.
+func (t *Table) Report() *report.Table {
+	if t == nil {
+		return nil
+	}
+	out := &report.Table{Title: t.Title, XLabel: t.XLabel, X: append([]float64(nil), t.X...)}
+	for _, c := range t.Columns {
+		y := make([]float64, len(c.Y))
+		for i, v := range c.Y {
+			if v == nil {
+				y[i] = math.NaN()
+			} else {
+				y[i] = *v
+			}
+		}
+		out.Columns = append(out.Columns, report.Column{Name: c.Name, Y: y})
+	}
+	return out
+}

@@ -1,0 +1,61 @@
+package api
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"fpgasched/internal/report"
+)
+
+// TestTableRoundTrip proves the wire table is lossless: NaN cells (empty
+// bins) travel as null and come back as NaN, every numeric cell
+// round-trips exactly, and the rendered Markdown/CSV of the
+// reconstructed table is byte-identical — the property the remote
+// experiment path's output parity rests on.
+func TestTableRoundTrip(t *testing.T) {
+	src := &report.Table{
+		Title:  "fig4a",
+		XLabel: "system utilization US",
+		X:      []float64{5, 10, 15},
+	}
+	src.AddColumn("DP", []float64{1, 0.3333333333333333, math.NaN()})
+	src.AddColumn("sim-NF", []float64{1, 0.75, 0.1})
+
+	wire := TableFromReport(src)
+	data, err := json.Marshal(wire)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var decoded Table
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	back := decoded.Report()
+
+	if back.Title != src.Title || back.XLabel != src.XLabel {
+		t.Errorf("labels drifted: %q/%q", back.Title, back.XLabel)
+	}
+	for ci := range src.Columns {
+		for i := range src.X {
+			want, got := src.Columns[ci].Y[i], back.Columns[ci].Y[i]
+			if math.IsNaN(want) != math.IsNaN(got) || (!math.IsNaN(want) && want != got) {
+				t.Errorf("col %d cell %d: %v -> %v", ci, i, want, got)
+			}
+		}
+	}
+	if src.Markdown() != back.Markdown() {
+		t.Error("markdown not byte-identical after round trip")
+	}
+}
+
+// TestTableNilSafe pins nil passthrough for pure-matrix experiments.
+func TestTableNilSafe(t *testing.T) {
+	if TableFromReport(nil) != nil {
+		t.Error("TableFromReport(nil) != nil")
+	}
+	var tb *Table
+	if tb.Report() != nil {
+		t.Error("(*Table)(nil).Report() != nil")
+	}
+}

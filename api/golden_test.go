@@ -26,6 +26,8 @@ var update = flag.Bool("update", false, "rewrite the golden files")
 
 func intp(i int) *int { return &i }
 
+func fp(f float64) *float64 { return &f }
+
 // fixtureSet is the paper's Table 3 pair, the canonical two-task set
 // used across the repo's examples.
 func fixtureSet() *TaskSet {
@@ -224,6 +226,75 @@ func fixtures() map[string]any {
 			Taskset:      fixtureSet(),
 		},
 		"error": Errorf(CodeLimitExceeded, "1001 tasks exceeds the per-set limit of 1000").WithDetail("limit", "1000"),
+		"experiment_request": ExperimentRequest{
+			Experiment: "fig3b",
+			Samples:    100,
+			Seed:       1,
+			Workers:    4,
+			SimHorizon: "200",
+		},
+		"experiment_job_running": ExperimentJob{
+			ID:         "exp-7",
+			Experiment: "fig3b",
+			State:      ExperimentRunning,
+			Samples:    100,
+			Seed:       1,
+			Workers:    4,
+			SimHorizon: "200",
+			Progress:   &ExperimentProgress{BinsDone: 5, BinsTotal: 20, SamplesDone: 500, SamplesTotal: 2000},
+		},
+		"experiment_job_done": ExperimentJob{
+			ID:         "exp-7",
+			Experiment: "table3",
+			State:      ExperimentDone,
+			Samples:    500,
+			Seed:       1,
+			Result: &ExperimentResult{
+				Experiment: "table3",
+				Markdown:   "| taskset | DP | GN1 | GN2 |\n|---|---|---|---|\n| table3 | reject | reject | accept |\n",
+				Notes:      []string{"sim-NF synchronous-release simulation over 35: no deadline miss"},
+			},
+		},
+		"experiment_job_failed": ExperimentJob{
+			ID:         "exp-8",
+			Experiment: "fig4a",
+			State:      ExperimentFailed,
+			Samples:    500,
+			Seed:       1,
+			Error:      Errorf(CodeInternal, "experiments: simulating sim-NF: boom"),
+		},
+		"experiment_list": ExperimentList{
+			Jobs: []ExperimentJob{
+				{ID: "exp-1", Experiment: "fig3b", State: ExperimentDone, Samples: 100, Seed: 1},
+				{ID: "exp-2", Experiment: "fig4a", State: ExperimentQueued, Samples: 500, Seed: 2},
+			},
+		},
+		"experiment_event_state": ExperimentEvent{
+			Type:  ExperimentEventState,
+			State: ExperimentRunning,
+		},
+		"experiment_event_progress": ExperimentEvent{
+			Type:     ExperimentEventProgress,
+			Progress: &ExperimentProgress{BinsDone: 12, BinsTotal: 20, SamplesDone: 1200, SamplesTotal: 2000},
+		},
+		"experiment_event_result": ExperimentEvent{
+			Type:  ExperimentEventResult,
+			State: ExperimentDone,
+			Result: &ExperimentResult{
+				Experiment: "fig3b",
+				Markdown:   "| system utilization US | DP |\n|---|---|\n| 5 | 1 |\n| 10 | 0.75 |\n",
+				Counts:     []int{4, 4},
+				Table: &Table{
+					Title:  "fig3b",
+					XLabel: "system utilization US",
+					X:      []float64{5, 10},
+					Columns: []TableColumn{
+						{Name: "DP", Y: []*float64{fp(1), fp(0.75)}},
+						{Name: "sim-NF", Y: []*float64{fp(1), nil}},
+					},
+				},
+			},
+		},
 		"metrics_response": MetricsResponse{
 			Engine: EngineStats{Hits: 12, Misses: 3, Evictions: 1, Analyses: 3, AnalysisNanos: 41_000_000, CacheLen: 2, CacheCap: 4096, Workers: 8},
 			HTTP: map[string]RouteMetrics{

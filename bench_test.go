@@ -62,7 +62,7 @@ func benchFigure(b *testing.B, profile workload.Profile) {
 			Seed:          uint64(i + 1),
 			SimHorizonCap: timeunit.FromUnits(100),
 		}
-		if _, err := cfg.Run(); err != nil {
+		if _, err := cfg.Run(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}

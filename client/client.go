@@ -405,3 +405,154 @@ func (c *Client) Resident(ctx context.Context, controller string) (*api.Resident
 	}
 	return &out, nil
 }
+
+// CreateExperiment submits one registered experiment as a background
+// job (POST /v1/experiments) and returns its queued (or already
+// running) job document. Not retried: a retry racing its own first
+// attempt would start the experiment twice.
+func (c *Client) CreateExperiment(ctx context.Context, req api.ExperimentRequest) (*api.ExperimentJob, error) {
+	var out api.ExperimentJob
+	if err := c.do(ctx, http.MethodPost, "/v1/experiments", req, &out, false); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Experiment fetches one job's status (GET /v1/experiments/{id}),
+// including the latest per-bin progress and, for done jobs, the full
+// result.
+func (c *Client) Experiment(ctx context.Context, id string) (*api.ExperimentJob, error) {
+	var out api.ExperimentJob
+	if err := c.do(ctx, http.MethodGet, "/v1/experiments/"+url.PathEscape(id), nil, &out, true); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Experiments lists the daemon's retained jobs (GET /v1/experiments)
+// in creation order.
+func (c *Client) Experiments(ctx context.Context) ([]api.ExperimentJob, error) {
+	var out api.ExperimentList
+	if err := c.do(ctx, http.MethodGet, "/v1/experiments", nil, &out, true); err != nil {
+		return nil, err
+	}
+	return out.Jobs, nil
+}
+
+// CancelExperiment requests cancellation of a job
+// (DELETE /v1/experiments/{id}) and returns the updated job document.
+// Cancellation is idempotent (repeats and cancels of finished jobs are
+// no-ops that re-report the state), so the call is retried under the
+// configured policy.
+func (c *Client) CancelExperiment(ctx context.Context, id string) (*api.ExperimentJob, error) {
+	var out api.ExperimentJob
+	if err := c.do(ctx, http.MethodDelete, "/v1/experiments/"+url.PathEscape(id), nil, &out, true); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// StreamExperiment follows a job's NDJSON event stream
+// (GET /v1/experiments/{id}/stream) as an iterator. The server replays
+// the job's full event history from the first line and then follows
+// live events, so the sequence is complete no matter when the caller
+// attaches; it ends after the terminal line (a "result" event for done
+// jobs, a terminal "state" event otherwise).
+//
+// Each iteration yields (event, nil) or, once, (zero, err) when the
+// stream fails — a lookup failure (*api.Error with code job_not_found),
+// a transport error, or ctx's cancellation. Breaking out of the loop
+// early closes the stream. The call is never retried (a mid-stream
+// retry would replay already-seen events).
+func (c *Client) StreamExperiment(ctx context.Context, id string) iter.Seq2[api.ExperimentEvent, error] {
+	return func(yield func(api.ExperimentEvent, error) bool) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/experiments/"+url.PathEscape(id)+"/stream", nil)
+		if err != nil {
+			yield(api.ExperimentEvent{}, fmt.Errorf("client: building request: %w", err))
+			return
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				err = ctx.Err()
+			}
+			yield(api.ExperimentEvent{}, err)
+			return
+		}
+		defer drain(resp)
+		if resp.StatusCode != http.StatusOK {
+			yield(api.ExperimentEvent{}, readError(resp))
+			return
+		}
+		dec := json.NewDecoder(resp.Body)
+		for {
+			var ev api.ExperimentEvent
+			if err := dec.Decode(&ev); err != nil {
+				if errors.Is(err, io.EOF) {
+					return
+				}
+				if ctx.Err() != nil {
+					err = ctx.Err()
+				} else {
+					err = fmt.Errorf("client: decoding stream: %w", err)
+				}
+				yield(api.ExperimentEvent{}, err)
+				return
+			}
+			if !yield(ev, nil) {
+				return
+			}
+		}
+	}
+}
+
+// RunExperiment submits a job and follows its stream to completion:
+// onProgress (when non-nil) receives every per-bin progress event, and
+// the final result is returned once the job is done. A cancelled job
+// (or ctx cancellation) returns ctx.Err() when the caller's context is
+// dead, or an *api.Error describing the terminal state otherwise; a
+// failed job returns its wire error.
+//
+// On every failure path the submitted job is best-effort cancelled
+// server-side (with a short background-context DELETE, since ctx may
+// already be dead), so abandoning a RunExperiment call does not leave
+// an orphaned sweep burning a runner slot. Callers that want the job
+// to outlive them should use CreateExperiment/StreamExperiment
+// directly — jobs are detached by design.
+func (c *Client) RunExperiment(ctx context.Context, req api.ExperimentRequest, onProgress func(api.ExperimentProgress)) (res *api.ExperimentResult, err error) {
+	job, err := c.CreateExperiment(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		if err == nil {
+			return
+		}
+		// Cancelling an already-terminal job is an idempotent no-op, so
+		// this is safe even when the failure was the job's own terminal
+		// state rather than an abandoned stream.
+		bg, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_, _ = c.CancelExperiment(bg, job.ID)
+	}()
+	var last api.ExperimentEvent
+	for ev, serr := range c.StreamExperiment(ctx, job.ID) {
+		if serr != nil {
+			return nil, serr
+		}
+		last = ev
+		if ev.Type == api.ExperimentEventProgress && ev.Progress != nil && onProgress != nil {
+			onProgress(*ev.Progress)
+		}
+	}
+	switch {
+	case last.Type == api.ExperimentEventResult && last.Result != nil:
+		return last.Result, nil
+	case last.Error != nil:
+		return nil, last.Error
+	case ctx.Err() != nil:
+		return nil, ctx.Err()
+	default:
+		return nil, api.Errorf(api.CodeInternal, "experiment job %s ended in state %q without a result", job.ID, last.State)
+	}
+}

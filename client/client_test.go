@@ -519,3 +519,193 @@ func TestCancelMidAnalysisAbortsAndFreesSlot(t *testing.T) {
 		t.Errorf("cache len = %d, want 1 (only the follow-up analysis)", st.CacheLen)
 	}
 }
+
+func TestExperimentJobEndToEnd(t *testing.T) {
+	c, _ := newEnv(t, server.Config{})
+	ctx := context.Background()
+	job, err := c.CreateExperiment(ctx, api.ExperimentRequest{Experiment: "table3", Samples: 3, Seed: 2, SimHorizon: "40"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.ID == "" || job.Experiment != "table3" || job.Seed != 2 {
+		t.Fatalf("job = %+v", job)
+	}
+	// The stream (iter.Seq2) replays from the first event and ends with
+	// the result.
+	var events []api.ExperimentEvent
+	for ev, err := range c.StreamExperiment(ctx, job.ID) {
+		if err != nil {
+			t.Fatalf("stream: %v", err)
+		}
+		events = append(events, ev)
+	}
+	if len(events) < 3 {
+		t.Fatalf("stream too short: %+v", events)
+	}
+	if events[0].State != api.ExperimentQueued || events[1].State != api.ExperimentRunning {
+		t.Errorf("stream must open queued, running: %+v", events[:2])
+	}
+	last := events[len(events)-1]
+	if last.Type != api.ExperimentEventResult || last.Result == nil ||
+		!strings.Contains(last.Result.Markdown, "| table3 | reject | reject | accept |") {
+		t.Errorf("terminal event = %+v", last)
+	}
+	// Status and list agree.
+	st, err := c.Experiment(ctx, job.ID)
+	if err != nil || st.State != api.ExperimentDone {
+		t.Errorf("status = %+v, %v", st, err)
+	}
+	jobsList, err := c.Experiments(ctx)
+	if err != nil || len(jobsList) != 1 || jobsList[0].ID != job.ID {
+		t.Errorf("list = %+v, %v", jobsList, err)
+	}
+}
+
+func TestRunExperimentProgressAndResult(t *testing.T) {
+	c, _ := newEnv(t, server.Config{})
+	var progress []api.ExperimentProgress
+	res, err := c.RunExperiment(context.Background(),
+		api.ExperimentRequest{Experiment: "fig3a", Samples: 2, Seed: 4, Workers: 1, SimHorizon: "30"},
+		func(p api.ExperimentProgress) { progress = append(progress, p) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Experiment != "fig3a" || res.Table == nil || len(res.Table.X) != 20 {
+		t.Fatalf("result = %+v", res)
+	}
+	if len(progress) != 20 {
+		t.Fatalf("got %d progress callbacks, want 20", len(progress))
+	}
+	for i, p := range progress {
+		if p.BinsDone != i+1 || p.BinsTotal != 20 {
+			t.Errorf("progress %d = %+v", i, p)
+		}
+	}
+}
+
+func TestExperimentErrors(t *testing.T) {
+	c, _ := newEnv(t, server.Config{})
+	ctx := context.Background()
+	var apiErr *api.Error
+	if _, err := c.CreateExperiment(ctx, api.ExperimentRequest{Experiment: "fig9z"}); !errors.As(err, &apiErr) ||
+		apiErr.Code != api.CodeUnknownExperiment || apiErr.HTTPStatus != http.StatusBadRequest {
+		t.Errorf("unknown experiment error = %v", err)
+	}
+	if _, err := c.Experiment(ctx, "exp-404"); !errors.As(err, &apiErr) ||
+		apiErr.Code != api.CodeJobNotFound || apiErr.HTTPStatus != http.StatusNotFound {
+		t.Errorf("job-not-found error = %v", err)
+	}
+	// Streaming an unknown job yields exactly one error.
+	count := 0
+	for _, err := range c.StreamExperiment(ctx, "exp-404") {
+		count++
+		if !errors.As(err, &apiErr) || apiErr.Code != api.CodeJobNotFound {
+			t.Errorf("stream error = %v", err)
+		}
+	}
+	if count != 1 {
+		t.Errorf("stream yielded %d times, want 1", count)
+	}
+}
+
+// TestCancelExperimentMidSweep is the acceptance-criterion test:
+// cancelling a running sweep returns promptly, the job lands in state
+// cancelled, and no engine pool slots are leaked (the engine drains to
+// zero in-flight analyses and still serves new work).
+func TestCancelExperimentMidSweep(t *testing.T) {
+	eng := engine.New(engine.Config{Workers: 4, CacheSize: 256})
+	c, _ := newEnv(t, server.Config{Engine: eng})
+	ctx := context.Background()
+	job, err := c.CreateExperiment(ctx, api.ExperimentRequest{Experiment: "fig3b", Samples: 10000, Seed: 1, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let it reach running (plus a grace period to be genuinely
+	// mid-sweep: a 10000-sample bin takes far longer than this) so the
+	// cancel lands mid-analysis, not while queued.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st, err := c.Experiment(ctx, job.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == api.ExperimentRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never started (state %s)", st.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	time.Sleep(100 * time.Millisecond)
+	start := time.Now()
+	if _, err := c.CancelExperiment(ctx, job.ID); err != nil {
+		t.Fatal(err)
+	}
+	// The stream of a cancelled job terminates with state cancelled.
+	var last api.ExperimentEvent
+	for ev, err := range c.StreamExperiment(ctx, job.ID) {
+		if err != nil {
+			t.Fatalf("stream: %v", err)
+		}
+		last = ev
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Errorf("cancellation round-trip took %v", elapsed)
+	}
+	if last.Type != api.ExperimentEventState || last.State != api.ExperimentCancelled {
+		t.Errorf("terminal event = %+v, want cancelled state", last)
+	}
+	// No leaked slots: in-flight drains to zero, and a fresh analysis
+	// gets a slot immediately.
+	drained := time.Now().Add(10 * time.Second)
+	for eng.Stats().InFlight != 0 {
+		if time.Now().After(drained) {
+			t.Fatalf("engine still has %d in-flight analyses after cancel", eng.Stats().InFlight)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	resp, err := c.Analyze(ctx, api.AnalyzeRequest{Columns: 10, Taskset: workload.Table3()})
+	if err != nil || resp.Result == nil {
+		t.Fatalf("post-cancel analysis failed: %v", err)
+	}
+}
+
+// TestStreamExperimentEarlyBreak proves breaking out of the iterator
+// closes the stream without wedging the client or server.
+func TestStreamExperimentEarlyBreak(t *testing.T) {
+	c, _ := newEnv(t, server.Config{})
+	ctx := context.Background()
+	job, err := c.CreateExperiment(ctx, api.ExperimentRequest{Experiment: "fig3a", Samples: 2, Seed: 6, SimHorizon: "30"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	for _, err := range c.StreamExperiment(ctx, job.ID) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen++
+		if seen == 2 {
+			break
+		}
+	}
+	if seen != 2 {
+		t.Fatalf("saw %d events before break", seen)
+	}
+	// The job itself is unaffected by the dropped subscriber.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st, err := c.Experiment(ctx, job.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == api.ExperimentDone {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s after subscriber left", st.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

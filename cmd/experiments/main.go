@@ -7,20 +7,31 @@
 //	experiments list
 //	experiments [-samples 500] [-seed 1] [-out results/] [-plot] all
 //	experiments [-samples 500] fig3b
+//	experiments -remote [-server http://localhost:8080] -samples 100 fig3b
 //
 // Figures write a CSV per experiment into -out (if set) and print a
 // Markdown table (and, with -plot, an ASCII rendering). -samples is the
 // taskset count per utilization bin; the paper's floor of 10,000 sets per
 // figure corresponds to -samples 500 over the 20 default bins.
+//
+// With -remote the experiments run on a fpgaschedd daemon as background
+// jobs (POST /v1/experiments, via the client SDK): per-bin progress is
+// reported on stderr as the job streams, and the printed artefacts are
+// byte-identical to a local run with the same -samples/-seed — results
+// are a pure function of the parameters, independent of worker count
+// and of where the sweep executes.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"time"
 
+	"fpgasched/api"
+	"fpgasched/client"
 	"fpgasched/internal/experiments"
 	"fpgasched/internal/timeunit"
 )
@@ -33,10 +44,12 @@ func run(args []string) int {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	samples := fs.Int("samples", 500, "tasksets per utilization bin")
 	seed := fs.Uint64("seed", 1, "base RNG seed")
-	workers := fs.Int("workers", 0, "worker goroutines (0: GOMAXPROCS)")
+	workers := fs.Int("workers", 0, "worker goroutines (0: GOMAXPROCS locally, server default remotely)")
 	outDir := fs.String("out", "", "directory for CSV output (created if missing)")
 	plot := fs.Bool("plot", false, "print ASCII plots for figures")
 	horizon := fs.Int64("sim-horizon", 200, "simulation horizon cap in time units")
+	remote := fs.Bool("remote", false, "run experiments as jobs on a fpgaschedd daemon")
+	server := fs.String("server", "http://localhost:8080", "daemon base URL for -remote")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -73,16 +86,38 @@ func run(args []string) int {
 		}
 	}
 
-	opts := experiments.RunOptions{
-		Samples:       *samples,
-		Seed:          *seed,
-		Workers:       *workers,
-		SimHorizonCap: timeunit.FromUnits(*horizon),
+	var runner func(d experiments.Definition) (*experiments.Output, error)
+	if *remote {
+		c, err := client.New(*server)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			return 2
+		}
+		runner = func(d experiments.Definition) (*experiments.Output, error) {
+			return runRemote(c, d.ID, api.ExperimentRequest{
+				Experiment: d.ID,
+				Samples:    *samples,
+				Seed:       *seed,
+				Workers:    *workers,
+				SimHorizon: timeunit.FromUnits(*horizon).String(),
+			})
+		}
+	} else {
+		opts := experiments.RunOptions{
+			Samples:       *samples,
+			Seed:          *seed,
+			Workers:       *workers,
+			SimHorizonCap: timeunit.FromUnits(*horizon),
+		}
+		runner = func(d experiments.Definition) (*experiments.Output, error) {
+			return d.Run(context.Background(), opts)
+		}
 	}
+
 	for _, d := range defs {
 		start := time.Now()
 		fmt.Printf("== %s: %s\n", d.ID, d.Title)
-		out, err := d.Run(opts)
+		out, err := runner(d)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", d.ID, err)
 			return 1
@@ -114,4 +149,25 @@ func run(args []string) int {
 		fmt.Printf("(%s in %v)\n\n", d.ID, time.Since(start).Round(time.Millisecond))
 	}
 	return 0
+}
+
+// runRemote executes one experiment as a daemon job and reassembles the
+// wire result into the exact Output shape a local run produces, so the
+// printed artefacts (Markdown, notes, CSV, plots) are byte-identical.
+// Progress goes to stderr: stdout stays reserved for the artefacts.
+func runRemote(c *client.Client, id string, req api.ExperimentRequest) (*experiments.Output, error) {
+	res, err := c.RunExperiment(context.Background(), req, func(p api.ExperimentProgress) {
+		fmt.Fprintf(os.Stderr, "remote: %s %d/%d bins (%d/%d samples)\n",
+			id, p.BinsDone, p.BinsTotal, p.SamplesDone, p.SamplesTotal)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &experiments.Output{
+		ID:       res.Experiment,
+		Table:    res.Table.Report(),
+		Markdown: res.Markdown,
+		Notes:    res.Notes,
+		Counts:   res.Counts,
+	}, nil
 }

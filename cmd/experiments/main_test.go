@@ -1,9 +1,15 @@
 package main
 
 import (
+	"io"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+
+	"fpgasched/internal/engine"
+	"fpgasched/internal/server"
 )
 
 func TestRunList(t *testing.T) {
@@ -51,5 +57,108 @@ func TestRunOutDirCreationFailure(t *testing.T) {
 	}
 	if got := run([]string{"-out", blocker, "table1"}); got != 2 {
 		t.Errorf("exit = %d, want 2", got)
+	}
+}
+
+// captureRun runs the CLI with stdout captured.
+func captureRun(t *testing.T, args []string) (int, string) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	code := run(args)
+	w.Close()
+	os.Stdout = old
+	data, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return code, string(data)
+}
+
+// stripTimings drops the per-experiment wall-clock line ("(fig3b in
+// 1.234s)") — the only output that legitimately differs between runs.
+func stripTimings(out string) string {
+	lines := strings.Split(out, "\n")
+	kept := lines[:0]
+	for _, l := range lines {
+		if strings.HasPrefix(l, "(") && strings.HasSuffix(l, ")") && strings.Contains(l, " in ") {
+			continue
+		}
+		kept = append(kept, l)
+	}
+	return strings.Join(kept, "\n")
+}
+
+// TestRemoteParity is the acceptance-criterion test: running fig3b with
+// -samples 100 -seed 1 through a live fpgaschedd daemon produces
+// byte-identical artefacts (Markdown table, notes, CSV) to the local
+// run — results are a pure function of the parameters, independent of
+// worker count and of where the sweep executes.
+func TestRemoteParity(t *testing.T) {
+	srv := server.New(server.Config{EngineConfig: engine.Config{Workers: 4, CacheSize: 4096}})
+	ts := httptest.NewServer(srv)
+	defer func() {
+		ts.Close()
+		srv.Close()
+	}()
+	localDir, remoteDir := t.TempDir(), t.TempDir()
+	base := []string{"-samples", "100", "-seed", "1"}
+	localCode, localOut := captureRun(t, append(append([]string{"-out", localDir}, base...), "fig3b"))
+	remoteCode, remoteOut := captureRun(t,
+		append(append([]string{"-remote", "-server", ts.URL, "-out", remoteDir}, base...), "fig3b"))
+	if localCode != 0 || remoteCode != 0 {
+		t.Fatalf("exit codes: local %d, remote %d", localCode, remoteCode)
+	}
+	l := strings.ReplaceAll(stripTimings(localOut), localDir, "<out>")
+	r := strings.ReplaceAll(stripTimings(remoteOut), remoteDir, "<out>")
+	if l != r {
+		t.Errorf("stdout mismatch\n--- local ---\n%s\n--- remote ---\n%s", l, r)
+	}
+	localCSV, err := os.ReadFile(filepath.Join(localDir, "fig3b.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	remoteCSV, err := os.ReadFile(filepath.Join(remoteDir, "fig3b.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(localCSV) != string(remoteCSV) {
+		t.Errorf("CSV mismatch\n--- local ---\n%s\n--- remote ---\n%s", localCSV, remoteCSV)
+	}
+}
+
+// TestRemoteParityTableExperiment covers the matrix-shaped (no table)
+// output path: notes and markdown must match too.
+func TestRemoteParityTableExperiment(t *testing.T) {
+	srv := server.New(server.Config{EngineConfig: engine.Config{Workers: 2}})
+	ts := httptest.NewServer(srv)
+	defer func() {
+		ts.Close()
+		srv.Close()
+	}()
+	args := []string{"-samples", "3", "-sim-horizon", "40", "table2"}
+	localCode, localOut := captureRun(t, args)
+	remoteCode, remoteOut := captureRun(t, append([]string{"-remote", "-server", ts.URL}, args...))
+	if localCode != 0 || remoteCode != 0 {
+		t.Fatalf("exit codes: local %d, remote %d", localCode, remoteCode)
+	}
+	if l, r := stripTimings(localOut), stripTimings(remoteOut); l != r {
+		t.Errorf("stdout mismatch\n--- local ---\n%s\n--- remote ---\n%s", l, r)
+	}
+}
+
+func TestRemoteUnknownServerFails(t *testing.T) {
+	if code := run([]string{"-remote", "-server", "http://127.0.0.1:1", "-samples", "2", "fig3a"}); code != 1 {
+		t.Errorf("unreachable server exit = %d, want 1", code)
+	}
+}
+
+func TestRemoteBadURLUsage(t *testing.T) {
+	if code := run([]string{"-remote", "-server", "ftp://nope", "fig3a"}); code != 2 {
+		t.Errorf("bad URL exit = %d, want 2", code)
 	}
 }

@@ -20,8 +20,16 @@
 //	POST   /v1/controllers/{name}/admit
 //	DELETE /v1/controllers/{name}/tasks/{task}
 //	GET    /v1/controllers/{name}/resident
+//	POST   /v1/experiments
+//	GET    /v1/experiments
+//	GET    /v1/experiments/{id}
+//	DELETE /v1/experiments/{id}
+//	GET    /v1/experiments/{id}/stream
 //
-// The official Go SDK for this API is the client package.
+// The /v1/experiments endpoints run the paper's Section 6 evaluation
+// (and the ablation catalogue) as cancellable background jobs with
+// NDJSON progress streaming; `experiments -remote` is the CLI front
+// end. The official Go SDK for this API is the client package.
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM, draining in-flight
 // requests for up to the -drain timeout. Per-request cancellation is
@@ -43,6 +51,7 @@ import (
 	"time"
 
 	"fpgasched/internal/engine"
+	"fpgasched/internal/jobs"
 	"fpgasched/internal/server"
 )
 
@@ -62,6 +71,9 @@ func run(args []string, ready chan<- string) int {
 	maxBatch := fs.Int("max-batch", server.DefaultMaxBatch, "taskset x test analyses per request (negative disables)")
 	maxControllers := fs.Int("max-controllers", server.DefaultMaxControllers, "named admission controllers (negative disables)")
 	maxSimHorizon := fs.Int64("max-sim-horizon", server.DefaultMaxSimHorizon, "simulation horizon limit in time units (negative disables)")
+	expSlots := fs.Int("experiment-slots", jobs.DefaultSlots, "concurrently running experiment jobs")
+	maxExpJobs := fs.Int("max-experiment-jobs", jobs.DefaultMaxJobs, "retained experiment jobs (live + finished)")
+	maxExpSamples := fs.Int("max-experiment-samples", server.DefaultMaxExperimentSamples, "per-bin samples per experiment job (negative disables)")
 	drain := fs.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -75,12 +87,15 @@ func run(args []string, ready chan<- string) int {
 	}
 
 	srv := server.New(server.Config{
-		EngineConfig:   engine.Config{Workers: *workers, CacheSize: *cache},
-		MaxBodyBytes:   *maxBody,
-		MaxTasks:       *maxTasks,
-		MaxBatch:       *maxBatch,
-		MaxControllers: *maxControllers,
-		MaxSimHorizon:  *maxSimHorizon,
+		EngineConfig:         engine.Config{Workers: *workers, CacheSize: *cache},
+		MaxBodyBytes:         *maxBody,
+		MaxTasks:             *maxTasks,
+		MaxBatch:             *maxBatch,
+		MaxControllers:       *maxControllers,
+		MaxSimHorizon:        *maxSimHorizon,
+		MaxExperimentSamples: *maxExpSamples,
+		ExperimentSlots:      *expSlots,
+		MaxExperimentJobs:    *maxExpJobs,
 	})
 	defer srv.Close()
 

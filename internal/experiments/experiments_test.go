@@ -1,11 +1,16 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"math"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"fpgasched/internal/core"
+	"fpgasched/internal/task"
 	"fpgasched/internal/timeunit"
 	"fpgasched/internal/workload"
 )
@@ -54,7 +59,7 @@ func TestTableExperimentsReproduceVerdicts(t *testing.T) {
 		if !ok {
 			t.Fatalf("missing %s", id)
 		}
-		out, err := def.Run(quickOpts())
+		out, err := def.Run(context.Background(), quickOpts())
 		if err != nil {
 			t.Fatalf("%s: %v", id, err)
 		}
@@ -75,9 +80,12 @@ func TestTableExperimentsReproduceVerdicts(t *testing.T) {
 }
 
 func TestVerdictMatrixMarkdown(t *testing.T) {
-	m := RunVerdictMatrix(workload.TableDeviceColumns,
+	m, err := RunVerdictMatrix(context.Background(), workload.TableDeviceColumns,
 		[]NamedSet{{Name: "t1", Set: workload.Table1()}},
-		paperTests())
+		paperTests(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	md := m.Markdown()
 	if !strings.Contains(md, "| t1 | accept | reject | reject |") {
 		t.Errorf("unexpected matrix:\n%s", md)
@@ -95,7 +103,7 @@ func TestSweepStratifiedShape(t *testing.T) {
 		Policies:      []PolicyFactory{simNF},
 		Seed:          3,
 		SimHorizonCap: timeunit.FromUnits(60),
-	}.Run()
+	}.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +138,7 @@ func TestSweepAcceptanceDecreasesWithUtilization(t *testing.T) {
 		Policies:      []PolicyFactory{simNF},
 		Seed:          11,
 		SimHorizonCap: timeunit.FromUnits(80),
-	}.Run()
+	}.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +164,7 @@ func TestSweepTestsArePessimisticVsSimulation(t *testing.T) {
 		Policies:      []PolicyFactory{simNF},
 		Seed:          13,
 		SimHorizonCap: timeunit.FromUnits(80),
-	}.Run()
+	}.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +189,7 @@ func TestSweepRawMode(t *testing.T) {
 		Tests:         []core.Test{core.DPTest{}},
 		Seed:          5,
 		Raw:           true,
-	}.Run()
+	}.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,7 +217,7 @@ func TestSweepDeterministicAcrossWorkers(t *testing.T) {
 			Tests:         []core.Test{core.DPTest{}, core.GN2Test{}},
 			Seed:          99,
 			Workers:       workers,
-		}.Run()
+		}.Run(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -227,15 +235,15 @@ func TestSweepDeterministicAcrossWorkers(t *testing.T) {
 
 func TestSweepValidation(t *testing.T) {
 	bad := SweepConfig{Name: "x", Columns: 0, Profile: workload.Unconstrained(4), SamplesPerBin: 1}
-	if _, err := bad.Run(); err == nil {
+	if _, err := bad.Run(context.Background()); err == nil {
 		t.Error("zero columns must fail")
 	}
 	bad2 := SweepConfig{Name: "x", Columns: 10, Profile: workload.Profile{}, SamplesPerBin: 1}
-	if _, err := bad2.Run(); err == nil {
+	if _, err := bad2.Run(context.Background()); err == nil {
 		t.Error("invalid profile must fail")
 	}
 	bad3 := SweepConfig{Name: "x", Columns: 10, Profile: workload.Unconstrained(4)}
-	if _, err := bad3.Run(); err == nil {
+	if _, err := bad3.Run(context.Background()); err == nil {
 		t.Error("zero samples must fail")
 	}
 }
@@ -260,7 +268,7 @@ func TestNearestBin(t *testing.T) {
 
 func TestAblationNFDominanceReportsCleanly(t *testing.T) {
 	def, _ := Lookup("ablation-nf")
-	out, err := def.Run(RunOptions{Samples: 5, Seed: 2, SimHorizonCap: timeunit.FromUnits(50)})
+	out, err := def.Run(context.Background(), RunOptions{Samples: 5, Seed: 2, SimHorizonCap: timeunit.FromUnits(50)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -276,7 +284,7 @@ func TestAblationAlphaOrdering(t *testing.T) {
 	// The integer-corrected bound dominates the real-valued one:
 	// DP's ratio ≥ DP-real's in every bin.
 	def, _ := Lookup("ablation-alpha")
-	out, err := def.Run(RunOptions{Samples: 25, Seed: 3})
+	out, err := def.Run(context.Background(), RunOptions{Samples: 25, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -291,7 +299,7 @@ func TestAblationAlphaOrdering(t *testing.T) {
 
 func TestAblationOverheadMonotone(t *testing.T) {
 	def, _ := Lookup("ablation-overhead")
-	out, err := def.Run(RunOptions{Samples: 8, Seed: 4, SimHorizonCap: timeunit.FromUnits(50)})
+	out, err := def.Run(context.Background(), RunOptions{Samples: 8, Seed: 4, SimHorizonCap: timeunit.FromUnits(50)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -310,7 +318,7 @@ func TestAblationOverheadMonotone(t *testing.T) {
 
 func TestAblationFragCapacityDominates(t *testing.T) {
 	def, _ := Lookup("ablation-frag")
-	out, err := def.Run(RunOptions{Samples: 6, Seed: 5, SimHorizonCap: timeunit.FromUnits(50)})
+	out, err := def.Run(context.Background(), RunOptions{Samples: 6, Seed: 5, SimHorizonCap: timeunit.FromUnits(50)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -328,7 +336,7 @@ func TestAblationFragCapacityDominates(t *testing.T) {
 
 func TestAblationPartitionSeries(t *testing.T) {
 	def, _ := Lookup("ablation-partition")
-	out, err := def.Run(RunOptions{Samples: 6, Seed: 8, SimHorizonCap: timeunit.FromUnits(50)})
+	out, err := def.Run(context.Background(), RunOptions{Samples: 6, Seed: 8, SimHorizonCap: timeunit.FromUnits(50)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -349,7 +357,7 @@ func TestAblationPartitionSeries(t *testing.T) {
 
 func TestAblationUSHybridRuns(t *testing.T) {
 	def, _ := Lookup("ablation-ushybrid")
-	out, err := def.Run(RunOptions{Samples: 6, Seed: 9, SimHorizonCap: timeunit.FromUnits(50)})
+	out, err := def.Run(context.Background(), RunOptions{Samples: 6, Seed: 9, SimHorizonCap: timeunit.FromUnits(50)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -367,7 +375,7 @@ func TestAblationUSHybridRuns(t *testing.T) {
 
 func TestAblation2DCapacityDominatesPlacement(t *testing.T) {
 	def, _ := Lookup("ablation-2d")
-	out, err := def.Run(RunOptions{Samples: 6, Seed: 10, SimHorizonCap: timeunit.FromUnits(50)})
+	out, err := def.Run(context.Background(), RunOptions{Samples: 6, Seed: 10, SimHorizonCap: timeunit.FromUnits(50)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -391,7 +399,7 @@ func TestAblation2DCapacityDominatesPlacement(t *testing.T) {
 
 func TestAblationReservedMonotone(t *testing.T) {
 	def, _ := Lookup("ablation-reserved")
-	out, err := def.Run(RunOptions{Samples: 10, Seed: 11, SimHorizonCap: timeunit.FromUnits(50)})
+	out, err := def.Run(context.Background(), RunOptions{Samples: 10, Seed: 11, SimHorizonCap: timeunit.FromUnits(50)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -407,5 +415,121 @@ func TestAblationReservedMonotone(t *testing.T) {
 					col.Name, i, col.Y[i-1], col.Y[i])
 			}
 		}
+	}
+}
+
+func TestSweepProgressPerBin(t *testing.T) {
+	var events []Progress
+	_, err := SweepConfig{
+		Name:          "progress",
+		Columns:       100,
+		Profile:       workload.Unconstrained(4),
+		Bins:          []float64{20, 50, 80},
+		SamplesPerBin: 5,
+		Tests:         []core.Test{core.DPTest{}},
+		Seed:          1,
+		Workers:       1, // single worker pins the event order
+		OnProgress:    func(p Progress) { events = append(events, p) },
+	}.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 3 {
+		t.Fatalf("got %d progress events, want 3 (one per bin): %+v", len(events), events)
+	}
+	for i, p := range events {
+		want := Progress{BinsDone: i + 1, BinsTotal: 3, SamplesDone: 5 * (i + 1), SamplesTotal: 15}
+		if p != want {
+			t.Errorf("event %d = %+v, want %+v", i, p, want)
+		}
+	}
+}
+
+func TestSweepAnalyzeHook(t *testing.T) {
+	// An external evaluator must see every (set, test) pair and its
+	// verdicts must drive the table exactly like direct analysis.
+	calls := 0
+	hooked, err := SweepConfig{
+		Name:          "hook",
+		Columns:       100,
+		Profile:       workload.Unconstrained(4),
+		Bins:          []float64{30, 60},
+		SamplesPerBin: 8,
+		Tests:         paperTests(),
+		Seed:          21,
+		Analyze: func(ctx context.Context, columns int, s *task.Set, tst core.Test) (core.Verdict, error) {
+			calls++
+			return tst.Analyze(ctx, core.NewDevice(columns), s), nil
+		},
+		Workers: 1,
+	}.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * 8 * 3; calls != want {
+		t.Errorf("analyze hook called %d times, want %d", calls, want)
+	}
+	direct, err := SweepConfig{
+		Name:          "hook",
+		Columns:       100,
+		Profile:       workload.Unconstrained(4),
+		Bins:          []float64{30, 60},
+		SamplesPerBin: 8,
+		Tests:         paperTests(),
+		Seed:          21,
+	}.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ci := range direct.Table.Columns {
+		for bi := range direct.Table.X {
+			if hooked.Table.Columns[ci].Y[bi] != direct.Table.Columns[ci].Y[bi] {
+				t.Errorf("hooked and direct results differ at col %d bin %d", ci, bi)
+			}
+		}
+	}
+}
+
+func TestSweepCancellationPrompt(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	var once sync.Once
+	done := make(chan error, 1)
+	go func() {
+		_, err := SweepConfig{
+			Name:          "cancel",
+			Columns:       100,
+			Profile:       workload.Unconstrained(10),
+			SamplesPerBin: 100000, // far more work than the test allows time for
+			Tests:         paperTests(),
+			Policies:      []PolicyFactory{simNF},
+			Seed:          1,
+			OnProgress:    func(Progress) {},
+			Analyze: func(c context.Context, columns int, s *task.Set, tst core.Test) (core.Verdict, error) {
+				once.Do(func() { close(started) })
+				v := tst.Analyze(c, core.NewDevice(columns), s)
+				return v, v.Err
+			},
+		}.Run(ctx)
+		done <- err
+	}()
+	<-started
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("cancelled sweep returned %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled sweep did not return promptly")
+	}
+}
+
+func TestTableExperimentCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	def, _ := Lookup("table1")
+	if _, err := def.Run(ctx, quickOpts()); !errors.Is(err, context.Canceled) {
+		t.Errorf("pre-cancelled table run returned %v, want context.Canceled", err)
 	}
 }

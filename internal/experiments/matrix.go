@@ -27,10 +27,15 @@ type VerdictMatrix struct {
 	Verdicts [][]core.Verdict
 }
 
-// RunVerdictMatrix analyses every set with every test.
-func RunVerdictMatrix(columns int, sets []NamedSet, tests []core.Test) VerdictMatrix {
+// RunVerdictMatrix analyses every set with every test under ctx. A
+// non-nil analyze routes the analyses through an external evaluator
+// (the serving engine, when run as a job); cancellation and evaluator
+// failures abort the matrix with an error.
+func RunVerdictMatrix(ctx context.Context, columns int, sets []NamedSet, tests []core.Test, analyze AnalyzeFunc) (VerdictMatrix, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	m := VerdictMatrix{}
-	dev := core.NewDevice(columns)
 	for _, t := range tests {
 		m.Tests = append(m.Tests, t.Name())
 	}
@@ -39,14 +44,17 @@ func RunVerdictMatrix(columns int, sets []NamedSet, tests []core.Test) VerdictMa
 		row := make([]bool, len(tests))
 		vrow := make([]core.Verdict, len(tests))
 		for j, t := range tests {
-			v := t.Analyze(context.Background(), dev, ns.Set)
+			v, err := analyzeOne(ctx, analyze, columns, ns.Set, t)
+			if err != nil {
+				return VerdictMatrix{}, err
+			}
 			row[j] = v.Schedulable
 			vrow[j] = v
 		}
 		m.Accepted = append(m.Accepted, row)
 		m.Verdicts = append(m.Verdicts, vrow)
 	}
-	return m
+	return m, nil
 }
 
 // Markdown renders the matrix with accept/reject cells.

@@ -18,57 +18,6 @@ import (
 	"fpgasched/internal/workload"
 )
 
-// RunOptions tunes a registered experiment run.
-type RunOptions struct {
-	// Samples is the taskset count per utilization bin. Zero means 500
-	// (≈10,000 per figure over 20 bins, the paper's floor). Table
-	// experiments ignore it.
-	Samples int
-	// Seed defaults to 1.
-	Seed uint64
-	// Workers defaults to GOMAXPROCS.
-	Workers int
-	// SimHorizonCap defaults to 200 time units per simulation.
-	SimHorizonCap timeunit.Time
-}
-
-func (o RunOptions) withDefaults() RunOptions {
-	if o.Samples <= 0 {
-		o.Samples = 500
-	}
-	if o.Seed == 0 {
-		o.Seed = 1
-	}
-	if o.SimHorizonCap <= 0 {
-		o.SimHorizonCap = timeunit.FromUnits(200)
-	}
-	return o
-}
-
-// Output is a registered experiment's result.
-type Output struct {
-	// ID echoes the experiment ID.
-	ID string
-	// Table is the numeric result (nil for pure-matrix experiments).
-	Table *report.Table
-	// Markdown is the rendered result for EXPERIMENTS.md.
-	Markdown string
-	// Notes carries observations (e.g. dominance violations found: none).
-	Notes []string
-	// Counts is the per-bin sample population for sweeps.
-	Counts []int
-}
-
-// Definition is a runnable experiment.
-type Definition struct {
-	// ID is the stable identifier (e.g. "fig3a").
-	ID string
-	// Title describes what the paper shows.
-	Title string
-	// Run executes the experiment.
-	Run func(RunOptions) (*Output, error)
-}
-
 // simNF and simFkF are the standard simulation series.
 var simNF = PolicyFactory{
 	Name: "sim-NF",
@@ -119,19 +68,44 @@ func Lookup(id string) (Definition, bool) {
 	return Definition{}, false
 }
 
+// sweepFor builds the SweepConfig plumbing (seeds, workers, progress,
+// analyze hook) shared by every sweep-shaped experiment.
+func (o RunOptions) sweep(name string, columns int, profile workload.Profile, tests []core.Test, policies []PolicyFactory, raw bool) SweepConfig {
+	return SweepConfig{
+		Name:          name,
+		Columns:       columns,
+		Profile:       profile,
+		SamplesPerBin: o.Samples,
+		Tests:         tests,
+		Policies:      policies,
+		Seed:          o.Seed,
+		SimHorizonCap: o.SimHorizonCap,
+		Workers:       o.Workers,
+		Raw:           raw,
+		OnProgress:    o.OnProgress,
+		Analyze:       o.Analyze,
+	}
+}
+
 // tableExperiment reproduces one of the paper's verdict tables: the
 // accept/reject row for all three tests, plus simulation outcomes for
 // both schedulers as the ground-truth upper bound.
-func tableExperiment(id string, fixture func() *task.Set) func(RunOptions) (*Output, error) {
-	return func(opts RunOptions) (*Output, error) {
-		opts = opts.withDefaults()
+func tableExperiment(id string, fixture func() *task.Set) func(context.Context, RunOptions) (*Output, error) {
+	return func(ctx context.Context, opts RunOptions) (*Output, error) {
+		opts = opts.WithDefaults()
 		s := fixture()
-		m := RunVerdictMatrix(workload.TableDeviceColumns, []NamedSet{{Name: id, Set: s}}, paperTests())
+		m, err := RunVerdictMatrix(ctx, workload.TableDeviceColumns, []NamedSet{{Name: id, Set: s}}, paperTests(), opts.Analyze)
+		if err != nil {
+			return nil, err
+		}
 		var b strings.Builder
 		b.WriteString(m.Markdown())
 		b.WriteString("\nTaskset:\n\n```\n" + s.String() + "\n```\n")
 		var notes []string
 		for _, pf := range []PolicyFactory{simNF, simFkF} {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			p, err := pf.New(s, workload.TableDeviceColumns)
 			if err != nil {
 				return nil, err
@@ -161,21 +135,10 @@ func tableExperiment(id string, fixture func() *task.Set) func(RunOptions) (*Out
 // about — so those use raw sampling, binning each draw by its achieved
 // US (bins outside the profile's natural US range stay empty, as in the
 // paper's plots).
-func figureExperiment(id string, profile workload.Profile, raw bool) func(RunOptions) (*Output, error) {
-	return func(opts RunOptions) (*Output, error) {
-		opts = opts.withDefaults()
-		res, err := SweepConfig{
-			Name:          id,
-			Columns:       workload.FigureDeviceColumns,
-			Profile:       profile,
-			SamplesPerBin: opts.Samples,
-			Tests:         paperTests(),
-			Policies:      []PolicyFactory{simNF, simFkF},
-			Seed:          opts.Seed,
-			SimHorizonCap: opts.SimHorizonCap,
-			Workers:       opts.Workers,
-			Raw:           raw,
-		}.Run()
+func figureExperiment(id string, profile workload.Profile, raw bool) func(context.Context, RunOptions) (*Output, error) {
+	return func(ctx context.Context, opts RunOptions) (*Output, error) {
+		opts = opts.WithDefaults()
+		res, err := opts.sweep(id, workload.FigureDeviceColumns, profile, paperTests(), []PolicyFactory{simNF, simFkF}, raw).Run(ctx)
 		if err != nil {
 			return nil, err
 		}
@@ -190,17 +153,10 @@ func figureExperiment(id string, profile workload.Profile, raw bool) func(RunOpt
 
 // ablationAlpha compares the paper's integer-area DP bound against the
 // original real-valued-α bound on the Figure 3(b) workload.
-func ablationAlpha(opts RunOptions) (*Output, error) {
-	opts = opts.withDefaults()
-	res, err := SweepConfig{
-		Name:          "ablation-alpha",
-		Columns:       workload.FigureDeviceColumns,
-		Profile:       workload.Unconstrained(10),
-		SamplesPerBin: opts.Samples,
-		Tests:         []core.Test{core.DPTest{}, core.DPTest{RealValuedAlpha: true}},
-		Seed:          opts.Seed,
-		Workers:       opts.Workers,
-	}.Run()
+func ablationAlpha(ctx context.Context, opts RunOptions) (*Output, error) {
+	opts = opts.WithDefaults()
+	res, err := opts.sweep("ablation-alpha", workload.FigureDeviceColumns, workload.Unconstrained(10),
+		[]core.Test{core.DPTest{}, core.DPTest{RealValuedAlpha: true}}, nil, false).Run(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -209,17 +165,10 @@ func ablationAlpha(opts RunOptions) (*Output, error) {
 
 // ablationGN1Norm compares GN1's published Wi/Di normalisation against
 // the BCL-consistent Wi/Dk on both Figure 3 workloads merged.
-func ablationGN1Norm(opts RunOptions) (*Output, error) {
-	opts = opts.withDefaults()
-	res, err := SweepConfig{
-		Name:          "ablation-gn1norm",
-		Columns:       workload.FigureDeviceColumns,
-		Profile:       workload.Unconstrained(10),
-		SamplesPerBin: opts.Samples,
-		Tests:         []core.Test{core.GN1Test{}, core.GN1Test{Variant: core.GN1VariantBCL}},
-		Seed:          opts.Seed,
-		Workers:       opts.Workers,
-	}.Run()
+func ablationGN1Norm(ctx context.Context, opts RunOptions) (*Output, error) {
+	opts = opts.WithDefaults()
+	res, err := opts.sweep("ablation-gn1norm", workload.FigureDeviceColumns, workload.Unconstrained(10),
+		[]core.Test{core.GN1Test{}, core.GN1Test{Variant: core.GN1VariantBCL}}, nil, false).Run(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -230,12 +179,16 @@ func ablationGN1Norm(opts RunOptions) (*Output, error) {
 // and tabulates the outcome pairs. Danne's dominance theorem predicts
 // the "FkF meets, NF misses" cell is always zero; any nonzero count
 // would falsify either the theorem or the simulator.
-func ablationNFDominance(opts RunOptions) (*Output, error) {
-	opts = opts.withDefaults()
+func ablationNFDominance(ctx context.Context, opts RunOptions) (*Output, error) {
+	opts = opts.WithDefaults()
 	profile := workload.Unconstrained(8)
 	var bothMeet, nfOnly, fkfOnly, bothMiss int
 	trials := opts.Samples * 4
+	meter := newProgressMeter(opts.OnProgress, 4, opts.Samples)
 	for i := 0; i < trials; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		r := workload.Rand(opts.Seed ^ uint64(i+1)*0x9e3779b97f4a7c15)
 		s, _ := profile.GenerateWithTargetUS(r, 20+float64(i%13)*5)
 		nf, err := sim.Simulate(workload.FigureDeviceColumns, s, sched.NextFit{}, sim.Options{HorizonCap: opts.SimHorizonCap})
@@ -256,6 +209,7 @@ func ablationNFDominance(opts RunOptions) (*Output, error) {
 		default:
 			bothMiss++
 		}
+		meter.step(1)
 	}
 	md := fmt.Sprintf(`| outcome | tasksets |
 |---|---|
@@ -274,17 +228,21 @@ func ablationNFDominance(opts RunOptions) (*Output, error) {
 // ablationOverhead sweeps the reconfiguration overhead per column and
 // reports simulated EDF-NF acceptance at three utilization levels,
 // quantifying how much the paper's zero-overhead assumption matters.
-func ablationOverhead(opts RunOptions) (*Output, error) {
-	opts = opts.withDefaults()
+func ablationOverhead(ctx context.Context, opts RunOptions) (*Output, error) {
+	opts = opts.WithDefaults()
 	overheads := []float64{0, 0.005, 0.01, 0.02, 0.05, 0.1}
 	usLevels := []float64{30, 50, 70}
 	profile := workload.Unconstrained(10)
 	tbl := &report.Table{Title: "ablation-overhead", XLabel: "reconfig overhead per column (time units)", X: overheads}
+	meter := newProgressMeter(opts.OnProgress, len(usLevels)*len(overheads), opts.Samples)
 	for _, us := range usLevels {
 		y := make([]float64, len(overheads))
 		for oi, oh := range overheads {
 			accepted := 0
 			for i := 0; i < opts.Samples; i++ {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
 				r := workload.Rand(opts.Seed ^ uint64(i+1)*31 ^ uint64(oi+1)*131 ^ uint64(int(us)+1)*1031)
 				s, _ := profile.GenerateWithTargetUS(r, us)
 				res, err := sim.Simulate(workload.FigureDeviceColumns, s, sched.NextFit{}, sim.Options{
@@ -297,6 +255,7 @@ func ablationOverhead(opts RunOptions) (*Output, error) {
 				if !res.Missed {
 					accepted++
 				}
+				meter.step(1)
 			}
 			y[oi] = float64(accepted) / float64(opts.Samples)
 		}
@@ -308,8 +267,8 @@ func ablationOverhead(opts RunOptions) (*Output, error) {
 // ablationFragmentation compares the capacity model (the paper's
 // unrestricted-migration assumption) against pinned contiguous placement
 // under the three fit strategies, on the Figure 3(b) workload.
-func ablationFragmentation(opts RunOptions) (*Output, error) {
-	opts = opts.withDefaults()
+func ablationFragmentation(ctx context.Context, opts RunOptions) (*Output, error) {
+	opts = opts.WithDefaults()
 	bins := defaultBins(workload.FigureDeviceColumns)
 	profile := workload.Unconstrained(10)
 	modes := []struct {
@@ -322,11 +281,15 @@ func ablationFragmentation(opts RunOptions) (*Output, error) {
 		{"worst-fit pinned", &sim.PlacementOptions{Strategy: fpga.WorstFit}},
 	}
 	tbl := &report.Table{Title: "ablation-frag", XLabel: "system utilization US", X: bins}
+	meter := newProgressMeter(opts.OnProgress, len(modes)*len(bins), opts.Samples)
 	for _, mode := range modes {
 		y := make([]float64, len(bins))
 		for bi, us := range bins {
 			accepted := 0
 			for i := 0; i < opts.Samples; i++ {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
 				r := workload.Rand(opts.Seed ^ uint64(i+1)*17 ^ uint64(bi+1)*257)
 				s, _ := profile.GenerateWithTargetUS(r, us)
 				res, err := sim.Simulate(workload.FigureDeviceColumns, s, sched.NextFit{}, sim.Options{
@@ -339,6 +302,7 @@ func ablationFragmentation(opts RunOptions) (*Output, error) {
 				if !res.Missed {
 					accepted++
 				}
+				meter.step(1)
 			}
 			y[bi] = float64(accepted) / float64(opts.Samples)
 		}
@@ -351,8 +315,8 @@ func ablationFragmentation(opts RunOptions) (*Output, error) {
 // against partitioned first-fit-decreasing allocation with exact
 // per-partition EDF analysis — the alternative design the paper's
 // Section 1 positions itself against.
-func ablationPartition(opts RunOptions) (*Output, error) {
-	opts = opts.withDefaults()
+func ablationPartition(ctx context.Context, opts RunOptions) (*Output, error) {
+	opts = opts.WithDefaults()
 	bins := defaultBins(workload.FigureDeviceColumns)
 	profile := workload.Unconstrained(10)
 	tbl := &report.Table{Title: "ablation-partition", XLabel: "system utilization US", X: bins}
@@ -360,13 +324,17 @@ func ablationPartition(opts RunOptions) (*Output, error) {
 	global := make([]float64, len(bins))
 	partitioned := make([]float64, len(bins))
 	simNFSeries := make([]float64, len(bins))
-	dev := core.NewDevice(workload.FigureDeviceColumns)
+	meter := newProgressMeter(opts.OnProgress, len(bins), opts.Samples)
 	for bi, us := range bins {
 		var gAcc, pAcc, sAcc int
 		for i := 0; i < opts.Samples; i++ {
 			r := workload.Rand(opts.Seed ^ uint64(i+1)*67 ^ uint64(bi+1)*521)
 			s, _ := profile.GenerateWithTargetUS(r, us)
-			if composite.Analyze(context.Background(), dev, s).Schedulable {
+			v, err := analyzeOne(ctx, opts.Analyze, workload.FigureDeviceColumns, s, composite)
+			if err != nil {
+				return nil, err
+			}
+			if v.Schedulable {
 				gAcc++
 			}
 			if partition.Schedulable(workload.FigureDeviceColumns, s) {
@@ -379,6 +347,7 @@ func ablationPartition(opts RunOptions) (*Output, error) {
 			if !res.Missed {
 				sAcc++
 			}
+			meter.step(1)
 		}
 		global[bi] = float64(gAcc) / float64(opts.Samples)
 		partitioned[bi] = float64(pAcc) / float64(opts.Samples)
@@ -394,8 +363,8 @@ func ablationPartition(opts RunOptions) (*Output, error) {
 // EDF-US style hybrid promoting system-utilization-heavy tasks — against
 // plain EDF-NF by simulation on the temporally heavy workload where
 // Dhall-style effects are most likely.
-func ablationUSHybrid(opts RunOptions) (*Output, error) {
-	opts = opts.withDefaults()
+func ablationUSHybrid(ctx context.Context, opts RunOptions) (*Output, error) {
+	opts = opts.WithDefaults()
 	bins := defaultBins(workload.FigureDeviceColumns)
 	profile := workload.SpatiallyLightTemporallyHeavy(10)
 	tbl := &report.Table{Title: "ablation-ushybrid", XLabel: "system utilization US", X: bins}
@@ -414,11 +383,16 @@ func ablationUSHybrid(opts RunOptions) (*Output, error) {
 		acc[i] = make([]int, len(policies))
 	}
 	draws := opts.Samples * len(bins)
+	meter := newProgressMeter(opts.OnProgress, len(bins), opts.Samples)
 	for i := 0; i < draws; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		r := workload.Rand(opts.Seed ^ uint64(i+1)*97)
 		s := profile.Generate(r)
 		bi := nearestBin(bins, workload.USFloat(s))
 		if bi < 0 {
+			meter.step(1)
 			continue
 		}
 		counts[bi]++
@@ -435,6 +409,7 @@ func ablationUSHybrid(opts RunOptions) (*Output, error) {
 				acc[bi][pi]++
 			}
 		}
+		meter.step(1)
 	}
 	for pi, pf := range policies {
 		tbl.AddColumn(pf.Name, ratios(acc, counts, pi))
@@ -448,8 +423,8 @@ func ablationUSHybrid(opts RunOptions) (*Output, error) {
 // true rectangle placement under three heuristics. The gap is the 2-D
 // fragmentation cost that makes 1-D-style capacity bounds unsound as
 // sufficient tests in 2-D.
-func ablation2D(opts RunOptions) (*Output, error) {
-	opts = opts.withDefaults()
+func ablation2D(ctx context.Context, opts RunOptions) (*Output, error) {
+	opts = opts.WithDefaults()
 	// 10x10-cell device: total area 100 cells, comparable to the 1-D
 	// figures' 100 columns.
 	const devW, devH = 10, 10
@@ -473,11 +448,16 @@ func ablation2D(opts RunOptions) (*Output, error) {
 		acc[i] = make([]int, len(modes))
 	}
 	draws := opts.Samples * len(bins)
+	meter := newProgressMeter(opts.OnProgress, len(bins), opts.Samples)
 	for i := 0; i < draws; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		r := workload.Rand(opts.Seed ^ uint64(i+1)*193)
 		s := profile.Generate(r)
 		bi := nearestBin(bins, s.USFloat())
 		if bi < 0 {
+			meter.step(1)
 			continue
 		}
 		counts[bi]++
@@ -492,6 +472,7 @@ func ablation2D(opts RunOptions) (*Output, error) {
 				acc[bi][mi]++
 			}
 		}
+		meter.step(1)
 	}
 	tbl := &report.Table{Title: "ablation-2d", XLabel: "system utilization US (cells)", X: bins}
 	for mi, mode := range modes {
@@ -507,8 +488,8 @@ func ablation2D(opts RunOptions) (*Output, error) {
 // fabric, so a mid-fabric reservation can hurt more than its area — the
 // difference between the two placement columns isolates that geometry
 // effect.
-func ablationReserved(opts RunOptions) (*Output, error) {
-	opts = opts.withDefaults()
+func ablationReserved(ctx context.Context, opts RunOptions) (*Output, error) {
+	opts = opts.WithDefaults()
 	reservedFractions := []float64{0, 0.1, 0.2, 0.3, 0.4}
 	// Narrow tasks (≤ 30 columns): wide ones would make any centre split
 	// trivially fatal (a 60-column task cannot exist in a 45-column
@@ -528,6 +509,7 @@ func ablationReserved(opts RunOptions) (*Output, error) {
 		{"placement, edge reservation", true, false},
 		{"placement, centre reservation", true, true},
 	}
+	meter := newProgressMeter(opts.OnProgress, len(modes)*len(reservedFractions), opts.Samples)
 	for _, m := range modes {
 		y := make([]float64, len(reservedFractions))
 		for fi, frac := range reservedFractions {
@@ -546,6 +528,9 @@ func ablationReserved(opts RunOptions) (*Output, error) {
 			}
 			accepted := 0
 			for i := 0; i < opts.Samples; i++ {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
 				r := workload.Rand(opts.Seed ^ uint64(i+1)*29 ^ uint64(fi+1)*769)
 				s, _ := profile.GenerateWithTargetUS(r, targetUS)
 				res, err := sim.Simulate(workload.FigureDeviceColumns, s, sched.NextFit{}, sim.Options{
@@ -554,11 +539,13 @@ func ablationReserved(opts RunOptions) (*Output, error) {
 					Placement:  placement,
 				})
 				if err != nil {
+					meter.step(1)
 					continue // task wider than usable fabric: rejected
 				}
 				if !res.Missed {
 					accepted++
 				}
+				meter.step(1)
 			}
 			y[fi] = float64(accepted) / float64(opts.Samples)
 		}

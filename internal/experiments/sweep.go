@@ -12,6 +12,16 @@
 // paper's raw-sampling alternative is available via SweepConfig.Raw.
 // Work is spread over a worker pool with per-sample deterministic seeds,
 // so results are reproducible regardless of worker count.
+//
+// Every experiment runs under a context.Context and aborts promptly when
+// it is cancelled: sweep workers poll the context between samples and the
+// context reaches inside each schedulability analysis (GN2's λ sweep
+// polls it), so a cancelled run returns ctx.Err() without finishing the
+// bin it was in. Runs report per-bin progress through
+// RunOptions.OnProgress and can route their analyses through an external
+// AnalyzeFunc (the serving engine's memoizing cache, when driven by
+// internal/jobs) instead of calling the tests directly — the verdicts are
+// identical either way because the tests are pure.
 package experiments
 
 import (
@@ -37,6 +47,109 @@ type PolicyFactory struct {
 	Name string
 	// New builds the policy for one taskset on a device.
 	New func(s *task.Set, columns int) (sim.Policy, error)
+}
+
+// AnalyzeFunc evaluates one schedulability test on one taskset. It lets
+// a caller route experiment analyses through an external evaluator —
+// internal/jobs injects the serving engine here, so sweeps share its
+// memoizing verdict cache and repeated sweeps of overlapping tasksets
+// get warm hits. Implementations must be pure in (columns, set, test):
+// the sweep treats the verdict as the test's own answer.
+type AnalyzeFunc func(ctx context.Context, columns int, set *task.Set, t core.Test) (core.Verdict, error)
+
+// analyzeOne evaluates test t on set s through analyze when non-nil, or
+// directly otherwise — the single place experiment code dispatches an
+// analysis. Cancellation and evaluator failures surface as the error
+// (a directly-run test records an abort in Verdict.Err, which is
+// promoted here so both paths fail identically).
+func analyzeOne(ctx context.Context, analyze AnalyzeFunc, columns int, s *task.Set, t core.Test) (core.Verdict, error) {
+	var v core.Verdict
+	if analyze != nil {
+		var err error
+		if v, err = analyze(ctx, columns, s, t); err != nil {
+			return core.Verdict{}, err
+		}
+	} else {
+		v = t.Analyze(ctx, core.NewDevice(columns), s)
+	}
+	return v, v.Err
+}
+
+// Progress is a point-in-time account of an experiment run. Progress is
+// reported per bin, not per sample: a bin (or, for ablations with other
+// loop shapes, one bin-sized chunk of draws) is the unit of work, so the
+// event volume stays bounded (~20 events per figure) no matter how many
+// samples the run draws. SamplesDone counts completed draws, including
+// raw-mode draws that landed outside the bin grid.
+type Progress struct {
+	// BinsDone and BinsTotal count completed work chunks.
+	BinsDone, BinsTotal int
+	// SamplesDone and SamplesTotal count individual draws.
+	SamplesDone, SamplesTotal int
+}
+
+// RunOptions tunes a registered experiment run.
+type RunOptions struct {
+	// Samples is the taskset count per utilization bin. Zero means 500
+	// (≈10,000 per figure over 20 bins, the paper's floor). Table
+	// experiments ignore it.
+	Samples int
+	// Seed defaults to 1.
+	Seed uint64
+	// Workers defaults to GOMAXPROCS.
+	Workers int
+	// SimHorizonCap defaults to 200 time units per simulation.
+	SimHorizonCap timeunit.Time
+	// OnProgress, when non-nil, receives per-bin progress as the run
+	// advances. It is called synchronously from worker goroutines (under
+	// the run's accounting lock, so events arrive in monotonic order) and
+	// must return quickly.
+	OnProgress func(Progress)
+	// Analyze, when non-nil, evaluates schedulability tests in place of
+	// calling core.Test.Analyze directly (see AnalyzeFunc). Simulation
+	// series always run locally.
+	Analyze AnalyzeFunc
+}
+
+// WithDefaults returns o with zero knobs resolved to their defaults —
+// the effective parameters a run will use, which job managers echo back
+// to clients.
+func (o RunOptions) WithDefaults() RunOptions {
+	if o.Samples <= 0 {
+		o.Samples = 500
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.SimHorizonCap <= 0 {
+		o.SimHorizonCap = timeunit.FromUnits(200)
+	}
+	return o
+}
+
+// Output is a registered experiment's result.
+type Output struct {
+	// ID echoes the experiment ID.
+	ID string
+	// Table is the numeric result (nil for pure-matrix experiments).
+	Table *report.Table
+	// Markdown is the rendered result for EXPERIMENTS.md.
+	Markdown string
+	// Notes carries observations (e.g. dominance violations found: none).
+	Notes []string
+	// Counts is the per-bin sample population for sweeps.
+	Counts []int
+}
+
+// Definition is a runnable experiment.
+type Definition struct {
+	// ID is the stable identifier (e.g. "fig3a").
+	ID string
+	// Title describes what the paper shows.
+	Title string
+	// Run executes the experiment under ctx; cancellation aborts the run
+	// mid-sweep with ctx.Err().
+	Run func(ctx context.Context, opts RunOptions) (*Output, error)
 }
 
 // SweepConfig configures an acceptance-ratio sweep.
@@ -68,6 +181,11 @@ type SweepConfig struct {
 	// unmodified and binned by their achieved US (bins may then be
 	// unevenly populated; empty bins yield NaN).
 	Raw bool
+	// OnProgress receives per-bin progress (see RunOptions.OnProgress).
+	OnProgress func(Progress)
+	// Analyze, when non-nil, evaluates the Tests series (see
+	// AnalyzeFunc).
+	Analyze AnalyzeFunc
 }
 
 // SweepResult is the outcome of a sweep.
@@ -90,8 +208,52 @@ func defaultBins(columns int) []float64 {
 // seriesCount returns the column count: tests then policies.
 func (cfg *SweepConfig) seriesCount() int { return len(cfg.Tests) + len(cfg.Policies) }
 
-// Run executes the sweep.
-func (cfg SweepConfig) Run() (*SweepResult, error) {
+// progressMeter folds completed samples into per-bin Progress events.
+// The zero meter (nil callback) is a no-op; step is safe for concurrent
+// use and emits events with monotonically increasing counters.
+type progressMeter struct {
+	mu       sync.Mutex
+	on       func(Progress)
+	perChunk int
+	total    int
+	chunks   int
+	done     int
+	emitted  int // chunks reported so far
+}
+
+// newProgressMeter reports progress to on (which may be nil) for a run
+// of chunks×perChunk samples.
+func newProgressMeter(on func(Progress), chunks, perChunk int) *progressMeter {
+	return &progressMeter{on: on, perChunk: perChunk, total: chunks * perChunk, chunks: chunks}
+}
+
+// step records n completed samples and emits a Progress event each time
+// a chunk boundary is crossed. The callback runs under the meter's lock
+// so events are strictly ordered; it must be fast.
+func (p *progressMeter) step(n int) {
+	if p.on == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.done += n
+	newChunks := p.done / p.perChunk
+	if newChunks > p.chunks {
+		newChunks = p.chunks
+	}
+	if newChunks > p.emitted {
+		p.emitted = newChunks
+		p.on(Progress{BinsDone: newChunks, BinsTotal: p.chunks, SamplesDone: p.done, SamplesTotal: p.total})
+	}
+}
+
+// Run executes the sweep under ctx. Cancellation aborts promptly: the
+// workers stop picking up samples, in-flight analyses abort at their
+// next cancellation poll, and Run returns ctx.Err().
+func (cfg SweepConfig) Run(ctx context.Context) (*SweepResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := cfg.Profile.Validate(); err != nil {
 		return nil, err
 	}
@@ -109,6 +271,7 @@ func (cfg SweepConfig) Run() (*SweepResult, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	meter := newProgressMeter(cfg.OnProgress, len(bins), cfg.SamplesPerBin)
 
 	// accept[bin][series] counts acceptances; counts[bin] counts samples.
 	accept := make([][]int, len(bins))
@@ -126,6 +289,11 @@ func (cfg SweepConfig) Run() (*SweepResult, error) {
 	worker := func() {
 		defer wg.Done()
 		for jb := range jobs {
+			// A cancelled run drains the remaining queue without touching
+			// it, so Run returns as soon as the producer stops.
+			if ctx.Err() != nil {
+				continue
+			}
 			// Deterministic per-sample seed, independent of scheduling.
 			seed := cfg.Seed ^ (uint64(jb.bin+1) * 0x9e3779b97f4a7c15) ^ (uint64(jb.sample+1) * 0xbf58476d1ce4e5b9)
 			r := workload.Rand(seed)
@@ -136,12 +304,13 @@ func (cfg SweepConfig) Run() (*SweepResult, error) {
 				us := workload.USFloat(s)
 				binIdx = nearestBin(bins, us)
 				if binIdx < 0 {
+					meter.step(1) // the draw is work done even when unbinned
 					continue
 				}
 			} else {
 				s, _ = cfg.Profile.GenerateWithTargetUS(r, bins[jb.bin])
 			}
-			verdicts, err := cfg.evaluate(s)
+			verdicts, err := cfg.evaluate(ctx, s)
 			if err != nil {
 				mu.Lock()
 				if firstErr == nil {
@@ -158,6 +327,7 @@ func (cfg SweepConfig) Run() (*SweepResult, error) {
 				}
 			}
 			mu.Unlock()
+			meter.step(1)
 		}
 	}
 
@@ -165,13 +335,20 @@ func (cfg SweepConfig) Run() (*SweepResult, error) {
 	for w := 0; w < workers; w++ {
 		go worker()
 	}
+produce:
 	for b := range bins {
 		for s := 0; s < cfg.SamplesPerBin; s++ {
+			if ctx.Err() != nil {
+				break produce
+			}
 			jobs <- job{bin: b, sample: s}
 		}
 	}
 	close(jobs)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if firstErr != nil {
 		return nil, firstErr
 	}
@@ -190,14 +367,23 @@ func (cfg SweepConfig) Run() (*SweepResult, error) {
 }
 
 // evaluate runs every test and simulation policy on one taskset,
-// returning acceptance per series in config order.
-func (cfg *SweepConfig) evaluate(s *task.Set) ([]bool, error) {
+// returning acceptance per series in config order. Cancellation
+// surfaces as an error: directly-run tests record it in Verdict.Err,
+// AnalyzeFunc evaluators return it, and simulations are skipped once
+// ctx is done.
+func (cfg *SweepConfig) evaluate(ctx context.Context, s *task.Set) ([]bool, error) {
 	out := make([]bool, 0, cfg.seriesCount())
-	dev := core.NewDevice(cfg.Columns)
 	for _, t := range cfg.Tests {
-		out = append(out, t.Analyze(context.Background(), dev, s).Schedulable)
+		v, err := analyzeOne(ctx, cfg.Analyze, cfg.Columns, s, t)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v.Schedulable)
 	}
 	for _, pf := range cfg.Policies {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		p, err := pf.New(s, cfg.Columns)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: building policy %s: %w", pf.Name, err)

@@ -1,0 +1,327 @@
+package jobs
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"fpgasched/internal/engine"
+	"fpgasched/internal/experiments"
+	"fpgasched/internal/timeunit"
+)
+
+// tinyOpts keeps job runs fast in tests.
+func tinyOpts() experiments.RunOptions {
+	return experiments.RunOptions{Samples: 3, Seed: 7, Workers: 2, SimHorizonCap: timeunit.FromUnits(40)}
+}
+
+// wait blocks until the job is terminal (or the test deadline hits).
+func wait(t *testing.T, j *Job) Status {
+	t.Helper()
+	deadline := time.After(60 * time.Second)
+	from := 0
+	for {
+		evs, terminal, next := j.EventsSince(from)
+		from += len(evs)
+		if terminal {
+			return j.Status()
+		}
+		select {
+		case <-next:
+		case <-deadline:
+			t.Fatalf("job %s not terminal in time (state %s)", j.ID, j.Status().State)
+		}
+	}
+}
+
+func TestJobLifecycleDone(t *testing.T) {
+	m := New(Config{Slots: 1})
+	defer m.Close()
+	j, err := m.Create(Params{Experiment: "table1", Opts: tinyOpts()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Status().State != StateQueued && !j.Status().State.Terminal() && j.Status().State != StateRunning {
+		t.Errorf("fresh job state = %s", j.Status().State)
+	}
+	st := wait(t, j)
+	if st.State != StateDone {
+		t.Fatalf("state = %s (err %v), want done", st.State, st.Err)
+	}
+	if st.Output == nil || st.Output.ID != "table1" || st.Output.Markdown == "" {
+		t.Errorf("done job output incomplete: %+v", st.Output)
+	}
+	// Effective knobs are echoed normalised.
+	if j.Params.Opts.Seed != 7 || j.Params.Opts.Samples != 3 {
+		t.Errorf("params not preserved: %+v", j.Params.Opts)
+	}
+	evs, terminal, _ := j.EventsSince(0)
+	if !terminal || len(evs) < 3 {
+		t.Fatalf("event log too short: %d events, terminal %v", len(evs), terminal)
+	}
+	if evs[0].State != StateQueued || evs[1].State != StateRunning {
+		t.Errorf("log must open queued, running: %+v", evs[:2])
+	}
+	last := evs[len(evs)-1]
+	if last.State != StateDone || last.Output == nil {
+		t.Errorf("log must close with done+output: %+v", last)
+	}
+}
+
+func TestJobProgressEventsReplay(t *testing.T) {
+	m := New(Config{Slots: 1})
+	defer m.Close()
+	// fig3b with Workers 1 pins the per-bin event order.
+	opts := experiments.RunOptions{Samples: 2, Seed: 1, Workers: 1, SimHorizonCap: timeunit.FromUnits(30)}
+	j, err := m.Create(Params{Experiment: "fig3a", Opts: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wait(t, j)
+	// Subscribe after completion: the replay must still be complete.
+	evs, terminal, _ := j.EventsSince(0)
+	if !terminal {
+		t.Fatal("job not terminal after wait")
+	}
+	var progress []experiments.Progress
+	for _, e := range evs {
+		if e.Progress != nil {
+			progress = append(progress, *e.Progress)
+		}
+	}
+	if len(progress) != 20 {
+		t.Fatalf("got %d progress events, want 20 (one per bin)", len(progress))
+	}
+	for i, p := range progress {
+		if p.BinsDone != i+1 || p.BinsTotal != 20 {
+			t.Errorf("progress %d = %+v", i, p)
+		}
+	}
+}
+
+func TestJobCancelMidSweepPromptNoLeak(t *testing.T) {
+	eng := engine.New(engine.Config{Workers: 4})
+	defer eng.Close()
+	m := New(Config{Slots: 1, Engine: eng})
+	defer m.Close()
+	// A huge sweep that would take minutes: cancellation must not wait
+	// for it.
+	j, err := m.Create(Params{Experiment: "fig3b", Opts: experiments.RunOptions{Samples: 100000, Seed: 1, Workers: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until it is actually running and has made some progress.
+	for {
+		evs, terminal, next := j.EventsSince(0)
+		if terminal {
+			t.Fatalf("job terminal before cancel: %+v", j.Status())
+		}
+		if len(evs) >= 2 { // queued + running
+			break
+		}
+		<-next
+	}
+	start := time.Now()
+	j.Cancel()
+	st := wait(t, j)
+	if st.State != StateCancelled {
+		t.Fatalf("state = %s, want cancelled", st.State)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Errorf("cancellation took %v", elapsed)
+	}
+	// No engine pool slots may stay occupied once the job is cancelled.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if eng.Stats().InFlight == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("engine still has %d in-flight analyses after cancel", eng.Stats().InFlight)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// The engine must still serve new work (slots were released, not
+	// leaked): a fresh tiny job completes.
+	j2, err := m.Create(Params{Experiment: "table2", Opts: tinyOpts()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := wait(t, j2); st.State != StateDone {
+		t.Fatalf("post-cancel job state = %s (err %v)", st.State, st.Err)
+	}
+}
+
+func TestJobCancelQueued(t *testing.T) {
+	m := New(Config{Slots: 1})
+	defer m.Close()
+	// Occupy the single slot with a long job, then cancel a queued one.
+	long, err := m.Create(Params{Experiment: "fig3b", Opts: experiments.RunOptions{Samples: 50000, Seed: 1, Workers: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, err := m.Create(Params{Experiment: "table1", Opts: tinyOpts()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued.Cancel()
+	if st := queued.Status(); st.State != StateCancelled {
+		t.Errorf("queued job state after cancel = %s", st.State)
+	}
+	evs, terminal, _ := queued.EventsSince(0)
+	if !terminal || evs[len(evs)-1].State != StateCancelled {
+		t.Errorf("queued-cancel log = %+v", evs)
+	}
+	long.Cancel()
+	wait(t, long)
+}
+
+func TestJobEngineCacheWarmsAcrossRuns(t *testing.T) {
+	eng := engine.New(engine.Config{Workers: 2})
+	defer eng.Close()
+	m := New(Config{Slots: 1, Engine: eng})
+	defer m.Close()
+	opts := experiments.RunOptions{Samples: 4, Seed: 5, Workers: 2, SimHorizonCap: timeunit.FromUnits(30)}
+	j1, err := m.Create(Params{Experiment: "fig3a", Opts: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := wait(t, j1)
+	if first.State != StateDone {
+		t.Fatalf("first run: %s (%v)", first.State, first.Err)
+	}
+	misses := eng.Stats().Misses
+	hitsBefore := eng.Stats().Hits
+	j2, err := m.Create(Params{Experiment: "fig3a", Opts: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second := wait(t, j2)
+	if second.State != StateDone {
+		t.Fatalf("second run: %s (%v)", second.State, second.Err)
+	}
+	s := eng.Stats()
+	if s.Misses != misses {
+		t.Errorf("repeat sweep re-analysed: misses %d -> %d", misses, s.Misses)
+	}
+	if s.Hits <= hitsBefore {
+		t.Errorf("repeat sweep got no warm hits (hits %d -> %d)", hitsBefore, s.Hits)
+	}
+	// And the results are identical — cache hits are not approximations.
+	if first.Output.Markdown != second.Output.Markdown {
+		t.Error("warm rerun produced different markdown")
+	}
+}
+
+func TestJobDeterministicWithAndWithoutEngine(t *testing.T) {
+	opts := experiments.RunOptions{Samples: 3, Seed: 9, Workers: 3, SimHorizonCap: timeunit.FromUnits(30)}
+	eng := engine.New(engine.Config{Workers: 2})
+	defer eng.Close()
+	withEngine := New(Config{Slots: 1, Engine: eng})
+	defer withEngine.Close()
+	direct := New(Config{Slots: 1})
+	defer direct.Close()
+	j1, err := withEngine.Create(Params{Experiment: "fig3a", Opts: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := direct.Create(Params{Experiment: "fig3a", Opts: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := wait(t, j1), wait(t, j2)
+	if a.State != StateDone || b.State != StateDone {
+		t.Fatalf("states %s/%s", a.State, b.State)
+	}
+	if a.Output.Markdown != b.Output.Markdown {
+		t.Errorf("engine-backed and direct runs differ:\n%s\n--- vs ---\n%s", a.Output.Markdown, b.Output.Markdown)
+	}
+}
+
+func TestCreateErrors(t *testing.T) {
+	m := New(Config{Slots: 1, MaxJobs: 2})
+	if _, err := m.Create(Params{Experiment: "nonsense"}); !errors.Is(err, ErrUnknownExperiment) {
+		t.Errorf("unknown experiment error = %v", err)
+	}
+	// Fill the manager with two live jobs: the third must be refused.
+	long := experiments.RunOptions{Samples: 50000, Seed: 1, Workers: 2}
+	j1, err := m.Create(Params{Experiment: "fig3b", Opts: long})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := m.Create(Params{Experiment: "fig3b", Opts: long})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Create(Params{Experiment: "table1", Opts: tinyOpts()}); !errors.Is(err, ErrTooManyJobs) {
+		t.Errorf("full manager error = %v", err)
+	}
+	// Cancelling one frees a slot by eviction.
+	j2.Cancel()
+	wait(t, j2)
+	j3, err := m.Create(Params{Experiment: "table1", Opts: tinyOpts()})
+	if err != nil {
+		t.Fatalf("eviction did not admit a new job: %v", err)
+	}
+	if _, ok := m.Get(j2.ID); ok {
+		t.Error("evicted job still retained")
+	}
+	if _, ok := m.Get(j3.ID); !ok {
+		t.Error("new job not retained")
+	}
+	j1.Cancel()
+	m.Close()
+	if _, err := m.Create(Params{Experiment: "table1"}); !errors.Is(err, ErrClosed) {
+		t.Errorf("closed manager error = %v", err)
+	}
+}
+
+func TestListOrder(t *testing.T) {
+	m := New(Config{Slots: 1})
+	defer m.Close()
+	var ids []string
+	for _, exp := range []string{"table1", "table2", "table3"} {
+		j, err := m.Create(Params{Experiment: exp, Opts: tinyOpts()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, j.ID)
+	}
+	list := m.List()
+	if len(list) != 3 {
+		t.Fatalf("list has %d jobs", len(list))
+	}
+	for i, st := range list {
+		if st.ID != ids[i] {
+			t.Errorf("list[%d] = %s, want %s (creation order)", i, st.ID, ids[i])
+		}
+	}
+	for _, id := range ids {
+		j, _ := m.Get(id)
+		wait(t, j)
+	}
+}
+
+func TestManagerCloseCancelsRunning(t *testing.T) {
+	m := New(Config{Slots: 2})
+	j, err := m.Create(Params{Experiment: "fig3b", Opts: experiments.RunOptions{Samples: 50000, Seed: 1, Workers: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Give it a moment to start, then close: Close must return promptly
+	// with the job cancelled.
+	evs, _, next := j.EventsSince(0)
+	if len(evs) < 2 {
+		<-next
+	}
+	done := make(chan struct{})
+	go func() { m.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("Close did not return")
+	}
+	if st := j.Status(); !st.State.Terminal() {
+		t.Errorf("job state after Close = %s", st.State)
+	}
+}

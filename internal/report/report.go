@@ -2,6 +2,15 @@
 // tables and ASCII line plots. The acceptance-ratio figures of the paper
 // are series of (system utilization, ratio) points per schedulability
 // test; a Table holds one shared X grid with one column per series.
+//
+// NaN cells mark empty bins (raw-sampled sweeps leave bins outside a
+// profile's natural US range unpopulated) and render as blanks in every
+// output form. Tables also travel over the fpgaschedd wire as
+// api.Table, where NaN is encoded as null; the conversion round-trips
+// exactly, so a remotely executed experiment renders byte-identically
+// to a local run. All rendering is float-only — analysis verdicts never
+// pass through this package (accept/reject decisions stay exact, see
+// DESIGN.md Section 6).
 package report
 
 import (

@@ -1,0 +1,371 @@
+package server
+
+// Tests of the /v1/experiments job endpoints, including the
+// server-level NDJSON stream golden: a tiny fig3b job's complete event
+// stream (state transitions, 20 per-bin progress lines, the terminal
+// result with the full table) is pinned byte-for-byte in
+// testdata/experiment_fig3b_stream.golden.ndjson. Regenerate
+// deliberately with:
+//
+//	go test ./internal/server -run TestExperimentStreamGolden -update
+//
+// and review the diff as a wire-contract change. The golden run uses
+// workers: 1, which makes the event order (not just the result)
+// deterministic.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"fpgasched/api"
+	"fpgasched/internal/engine"
+	"fpgasched/internal/experiments"
+	"fpgasched/internal/timeunit"
+)
+
+// createJob submits an experiment request and returns the job document.
+func createJob(t testing.TB, ts string, req api.ExperimentRequest) api.ExperimentJob {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	var job api.ExperimentJob
+	resp := doJSON(t, "POST", ts+"/v1/experiments", string(body), &job)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("create = %d, want 202", resp.StatusCode)
+	}
+	if job.ID == "" || job.Experiment != req.Experiment {
+		t.Fatalf("job document incomplete: %+v", job)
+	}
+	return job
+}
+
+// waitJob polls until the job reaches a terminal state.
+func waitJob(t testing.TB, ts, id string) api.ExperimentJob {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		var job api.ExperimentJob
+		resp := doJSON(t, "GET", ts+"/v1/experiments/"+id, "", &job)
+		if resp.StatusCode != 200 {
+			t.Fatalf("status = %d", resp.StatusCode)
+		}
+		switch job.State {
+		case api.ExperimentDone, api.ExperimentCancelled, api.ExperimentFailed:
+			return job
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s", id, job.State)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func TestExperimentJobLifecycleAndDefaults(t *testing.T) {
+	_, ts := newTestServer(t)
+	job := createJob(t, ts.URL, api.ExperimentRequest{Experiment: "table2", Samples: 3, SimHorizon: "40"})
+	// Defaults are echoed resolved: seed 0 means 1.
+	if job.Seed != 1 || job.Samples != 3 || job.SimHorizon != "40" {
+		t.Errorf("effective params not echoed: %+v", job)
+	}
+	done := waitJob(t, ts.URL, job.ID)
+	if done.State != api.ExperimentDone {
+		t.Fatalf("state = %s (error %v)", done.State, done.Error)
+	}
+	if done.Result == nil || !strings.Contains(done.Result.Markdown, "| table2 | reject | accept | reject |") {
+		t.Errorf("result markdown wrong: %+v", done.Result)
+	}
+	if len(done.Result.Notes) != 2 {
+		t.Errorf("want 2 simulation notes, got %v", done.Result.Notes)
+	}
+	// The job appears in the list.
+	var list api.ExperimentList
+	doJSON(t, "GET", ts.URL+"/v1/experiments", "", &list)
+	if len(list.Jobs) != 1 || list.Jobs[0].ID != job.ID {
+		t.Errorf("list = %+v", list)
+	}
+}
+
+func TestExperimentCreateErrors(t *testing.T) {
+	_, ts := newTestServer(t)
+	cases := []struct {
+		name   string
+		body   string
+		status int
+		code   api.ErrorCode
+	}{
+		{"unknown experiment", `{"experiment":"fig9z"}`, 400, api.CodeUnknownExperiment},
+		{"missing experiment", `{}`, 400, api.CodeInvalidRequest},
+		{"negative samples", `{"experiment":"fig3b","samples":-1}`, 400, api.CodeInvalidRequest},
+		{"samples over cap", `{"experiment":"fig3b","samples":999999}`, 400, api.CodeLimitExceeded},
+		{"workers over cap", `{"experiment":"fig3b","workers":1000}`, 400, api.CodeLimitExceeded},
+		{"bad horizon", `{"experiment":"fig3b","sim_horizon":"nope"}`, 400, api.CodeInvalidHorizon},
+		{"negative horizon", `{"experiment":"fig3b","sim_horizon":"-5"}`, 400, api.CodeInvalidHorizon},
+		{"horizon over cap", `{"experiment":"fig3b","sim_horizon":"99999"}`, 400, api.CodeLimitExceeded},
+		{"unknown field", `{"experiment":"fig3b","nope":1}`, 400, api.CodeInvalidJSON},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var e api.Error
+			resp := doJSON(t, "POST", ts.URL+"/v1/experiments", c.body, &e)
+			if resp.StatusCode != c.status || e.Code != c.code {
+				t.Errorf("got %d %q, want %d %q", resp.StatusCode, e.Code, c.status, c.code)
+			}
+		})
+	}
+	// unknown_experiment names the offender in detail.
+	var e api.Error
+	doJSON(t, "POST", ts.URL+"/v1/experiments", `{"experiment":"fig9z"}`, &e)
+	if e.Detail["experiment"] != "fig9z" {
+		t.Errorf("detail = %v", e.Detail)
+	}
+}
+
+func TestExperimentJobNotFound(t *testing.T) {
+	_, ts := newTestServer(t)
+	for _, probe := range []struct{ method, path string }{
+		{"GET", "/v1/experiments/exp-404"},
+		{"DELETE", "/v1/experiments/exp-404"},
+		{"GET", "/v1/experiments/exp-404/stream"},
+	} {
+		var e api.Error
+		resp := doJSON(t, probe.method, ts.URL+probe.path, "", &e)
+		if resp.StatusCode != http.StatusNotFound || e.Code != api.CodeJobNotFound {
+			t.Errorf("%s %s = %d %q, want 404 job_not_found", probe.method, probe.path, resp.StatusCode, e.Code)
+		}
+	}
+}
+
+func TestExperimentCancelRunning(t *testing.T) {
+	_, ts := newTestServer(t)
+	// A job big enough to still be running when the cancel lands.
+	job := createJob(t, ts.URL, api.ExperimentRequest{Experiment: "fig3b", Samples: 10000, Seed: 1, Workers: 2})
+	var cancelled api.ExperimentJob
+	resp := doJSON(t, "DELETE", ts.URL+"/v1/experiments/"+job.ID, "", &cancelled)
+	if resp.StatusCode != 200 {
+		t.Fatalf("cancel = %d", resp.StatusCode)
+	}
+	final := waitJob(t, ts.URL, job.ID)
+	if final.State != api.ExperimentCancelled {
+		t.Fatalf("state after cancel = %s", final.State)
+	}
+	if final.Result != nil {
+		t.Error("cancelled job must not carry a partial result")
+	}
+	// Cancel is idempotent.
+	resp = doJSON(t, "DELETE", ts.URL+"/v1/experiments/"+job.ID, "", &cancelled)
+	if resp.StatusCode != 200 || cancelled.State != api.ExperimentCancelled {
+		t.Errorf("repeat cancel = %d %s", resp.StatusCode, cancelled.State)
+	}
+}
+
+func TestExperimentJobsShareEngineCache(t *testing.T) {
+	// The cache must hold the whole sweep (20 bins x 4 samples x 3
+	// tests = 240 verdicts): an undersized LRU would thrash on the
+	// sequential scan and hide the warm-hit property.
+	srv := New(Config{EngineConfig: engine.Config{Workers: 4, CacheSize: 1024}})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	req := api.ExperimentRequest{Experiment: "fig3a", Samples: 4, Seed: 5, Workers: 2, SimHorizon: "30"}
+	first := createJob(t, ts.URL, req)
+	waitJob(t, ts.URL, first.ID)
+	misses := srv.engine.Stats().Misses
+	second := createJob(t, ts.URL, req)
+	res := waitJob(t, ts.URL, second.ID)
+	if res.State != api.ExperimentDone {
+		t.Fatalf("second run: %s", res.State)
+	}
+	if s := srv.engine.Stats(); s.Misses != misses {
+		t.Errorf("repeat job re-analysed: misses %d -> %d", misses, s.Misses)
+	}
+}
+
+// streamLines drives GET .../stream and returns the raw NDJSON lines.
+func streamLines(t testing.TB, url string) []string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("stream = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("stream content-type = %q", ct)
+	}
+	var lines []string
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<22)
+	for sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) > 0 {
+			lines = append(lines, sc.Text())
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("reading stream: %v", err)
+	}
+	return lines
+}
+
+func TestExperimentStreamGolden(t *testing.T) {
+	_, ts := newTestServer(t)
+	// workers: 1 pins the per-bin completion order, so the whole stream
+	// — not just the final table — is deterministic for a fixed seed.
+	job := createJob(t, ts.URL, api.ExperimentRequest{
+		Experiment: "fig3b", Samples: 4, Seed: 1, Workers: 1, SimHorizon: "200",
+	})
+	lines := streamLines(t, ts.URL+"/v1/experiments/"+job.ID+"/stream")
+	got := strings.Join(lines, "\n") + "\n"
+
+	path := filepath.Join("testdata", "experiment_fig3b_stream.golden.ndjson")
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with go test ./internal/server -run TestExperimentStreamGolden -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("stream drifted from %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+
+	// Independent structural spot-checks so the golden cannot silently
+	// pin a wrong stream: queued, running, 20 per-bin progress lines in
+	// order, then the result with a 20-row table.
+	var events []api.ExperimentEvent
+	for _, ln := range lines {
+		var ev api.ExperimentEvent
+		if err := json.Unmarshal([]byte(ln), &ev); err != nil {
+			t.Fatalf("bad stream line %q: %v", ln, err)
+		}
+		events = append(events, ev)
+	}
+	if len(events) != 23 {
+		t.Fatalf("stream has %d events, want 23 (queued+running+20 bins+result)", len(events))
+	}
+	if events[0].State != api.ExperimentQueued || events[1].State != api.ExperimentRunning {
+		t.Errorf("stream must open queued, running: %+v", events[:2])
+	}
+	for i := 0; i < 20; i++ {
+		p := events[2+i].Progress
+		if p == nil || p.BinsDone != i+1 || p.BinsTotal != 20 || p.SamplesDone != 4*(i+1) {
+			t.Errorf("progress event %d = %+v", i, events[2+i])
+		}
+	}
+	last := events[22]
+	if last.Type != api.ExperimentEventResult || last.Result == nil || last.Result.Table == nil {
+		t.Fatalf("terminal event = %+v", last)
+	}
+	if n := len(last.Result.Table.X); n != 20 {
+		t.Errorf("result table has %d bins, want 20", n)
+	}
+
+	// Replay completeness: a second subscriber after completion gets the
+	// identical stream.
+	again := strings.Join(streamLines(t, ts.URL+"/v1/experiments/"+job.ID+"/stream"), "\n") + "\n"
+	if again != got {
+		t.Error("post-completion replay differs from the live stream")
+	}
+}
+
+// TestExperimentResultMatchesLocalRun pins the server-side execution to
+// the local library path: same experiment, same knobs, byte-identical
+// markdown.
+func TestExperimentResultMatchesLocalRun(t *testing.T) {
+	_, ts := newTestServer(t)
+	job := createJob(t, ts.URL, api.ExperimentRequest{Experiment: "fig3a", Samples: 5, Seed: 3, SimHorizon: "60"})
+	remote := waitJob(t, ts.URL, job.ID)
+	if remote.State != api.ExperimentDone {
+		t.Fatalf("job state %s", remote.State)
+	}
+	def, _ := experiments.Lookup("fig3a")
+	local, err := def.Run(context.Background(), experiments.RunOptions{Samples: 5, Seed: 3, SimHorizonCap: timeunit.FromUnits(60)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if remote.Result.Markdown != local.Markdown {
+		t.Errorf("server and local markdown differ:\n%s\n--- vs ---\n%s", remote.Result.Markdown, local.Markdown)
+	}
+}
+
+func TestExperimentStreamFollowsLive(t *testing.T) {
+	// Attach to the stream while the job is still queued/running: the
+	// reader must see the terminal event without polling.
+	_, ts := newTestServer(t)
+	job := createJob(t, ts.URL, api.ExperimentRequest{Experiment: "fig3a", Samples: 3, Seed: 2, Workers: 2, SimHorizon: "30"})
+	lines := streamLines(t, ts.URL+"/v1/experiments/"+job.ID+"/stream")
+	var last api.ExperimentEvent
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &last); err != nil {
+		t.Fatal(err)
+	}
+	if last.Type != api.ExperimentEventResult {
+		t.Errorf("live-followed stream ended with %+v, want result", last)
+	}
+}
+
+func TestExperimentServerCloseCancelsJobs(t *testing.T) {
+	srv := New(Config{EngineConfig: engine.Config{Workers: 2}})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	job := createJob(t, ts.URL, api.ExperimentRequest{Experiment: "fig3b", Samples: 10000, Seed: 1, Workers: 2})
+	done := make(chan struct{})
+	go func() { srv.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("Close hung on a running experiment job")
+	}
+	j, ok := srv.jobs.Get(job.ID)
+	if !ok {
+		t.Fatal("job vanished")
+	}
+	if st := j.Status(); st.State != "cancelled" {
+		t.Errorf("job state after Close = %s", st.State)
+	}
+}
+
+// TestExperimentCapsApplyToDefaults pins the omission path: an admin
+// cap tighter than the server defaults must reject a request that
+// *omits* samples/sim_horizon (which would default above the cap), not
+// just one that states an oversized value.
+func TestExperimentCapsApplyToDefaults(t *testing.T) {
+	srv := New(Config{
+		EngineConfig:         engine.Config{Workers: 1},
+		MaxExperimentSamples: 100, // below the 500 default
+		MaxSimHorizon:        50,  // below the 200-unit default
+	})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	var e api.Error
+	resp := doJSON(t, "POST", ts.URL+"/v1/experiments", `{"experiment":"fig3b"}`, &e)
+	if resp.StatusCode != 400 || e.Code != api.CodeLimitExceeded {
+		t.Errorf("omitted samples under low cap = %d %q, want 400 limit_exceeded", resp.StatusCode, e.Code)
+	}
+	resp = doJSON(t, "POST", ts.URL+"/v1/experiments", `{"experiment":"fig3b","samples":50}`, &e)
+	if resp.StatusCode != 400 || e.Code != api.CodeLimitExceeded {
+		t.Errorf("omitted horizon under low cap = %d %q, want 400 limit_exceeded", resp.StatusCode, e.Code)
+	}
+	// Within both caps the job is admitted.
+	var job api.ExperimentJob
+	resp = doJSON(t, "POST", ts.URL+"/v1/experiments", `{"experiment":"table1","samples":50,"sim_horizon":"40"}`, &job)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Errorf("capped-but-valid request = %d, want 202", resp.StatusCode)
+	}
+}

@@ -26,6 +26,11 @@
 //	POST   /v1/controllers/{name}/admit          request admission of one task
 //	DELETE /v1/controllers/{name}/tasks/{task}   release a resident task
 //	GET    /v1/controllers/{name}/resident       snapshot the resident set
+//	POST   /v1/experiments                       submit an experiment job
+//	GET    /v1/experiments                       list experiment jobs
+//	GET    /v1/experiments/{id}                  job status
+//	DELETE /v1/experiments/{id}                  cancel a job
+//	GET    /v1/experiments/{id}/stream           NDJSON progress stream
 //
 // Failures are api.Error documents ({"code": "...", "error": "..."})
 // with a 4xx/5xx status; malformed JSON is a 400 with code
@@ -48,6 +53,7 @@ import (
 	"fpgasched/internal/admission"
 	"fpgasched/internal/core"
 	"fpgasched/internal/engine"
+	"fpgasched/internal/jobs"
 	"fpgasched/internal/sched"
 	"fpgasched/internal/sim"
 	"fpgasched/internal/task"
@@ -107,6 +113,16 @@ type Config struct {
 	// MaxSimHorizon caps the explicit simulation horizon/horizon_cap in
 	// whole time units; 0 means DefaultMaxSimHorizon, negative disables.
 	MaxSimHorizon int64
+	// MaxExperimentSamples caps the per-bin sample count of one
+	// experiment job; 0 means DefaultMaxExperimentSamples, negative
+	// disables the cap.
+	MaxExperimentSamples int
+	// ExperimentSlots bounds concurrently running experiment jobs; 0
+	// means jobs.DefaultSlots.
+	ExperimentSlots int
+	// MaxExperimentJobs bounds retained experiment jobs (live +
+	// finished); 0 means jobs.DefaultMaxJobs.
+	MaxExperimentJobs int
 }
 
 // Server is the HTTP API. Create with New; it implements http.Handler.
@@ -118,6 +134,9 @@ type Server struct {
 	maxBatch       int
 	maxControllers int
 	maxSimHorizon  timeunit.Time
+	maxExpSamples  int
+	maxJobs        int
+	jobs           *jobs.Manager
 	simSem         chan struct{} // bounds concurrent simulations
 	mux            *http.ServeMux
 
@@ -172,6 +191,22 @@ func New(cfg Config) *Server {
 	case cfg.MaxSimHorizon == 0:
 		s.maxSimHorizon = timeunit.FromUnits(DefaultMaxSimHorizon)
 	}
+	s.maxExpSamples = cfg.MaxExperimentSamples
+	if s.maxExpSamples == 0 {
+		s.maxExpSamples = DefaultMaxExperimentSamples
+	}
+	s.maxJobs = cfg.MaxExperimentJobs
+	if s.maxJobs <= 0 {
+		s.maxJobs = jobs.DefaultMaxJobs
+	}
+	// Experiment jobs run through the server's engine, so sweep analyses
+	// share the memoized verdict cache with interactive /v1/analyze
+	// traffic (and warm it for later requests).
+	s.jobs = jobs.New(jobs.Config{
+		Engine:  s.engine,
+		Slots:   cfg.ExperimentSlots,
+		MaxJobs: cfg.MaxExperimentJobs,
+	})
 	// Simulations share the engine pool's sizing but not its slots:
 	// analysis throughput must not collapse because simulations queue.
 	s.simSem = make(chan struct{}, s.engine.Stats().Workers)
@@ -191,12 +226,21 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("POST /v1/controllers/{name}/admit", s.instrument("controllers.admit", true, s.handleAdmit))
 	mux.HandleFunc("DELETE /v1/controllers/{name}/tasks/{task}", s.instrument("controllers.release", true, s.handleRelease))
 	mux.HandleFunc("GET /v1/controllers/{name}/resident", s.instrument("controllers.resident", true, s.handleResident))
+	mux.HandleFunc("POST /v1/experiments", s.instrument("experiments.create", true, s.handleExperimentCreate))
+	mux.HandleFunc("GET /v1/experiments", s.instrument("experiments.list", true, s.handleExperimentList))
+	mux.HandleFunc("GET /v1/experiments/{id}", s.instrument("experiments.get", true, s.handleExperimentGet))
+	mux.HandleFunc("DELETE /v1/experiments/{id}", s.instrument("experiments.cancel", true, s.handleExperimentCancel))
+	// The stream holds the connection for the job's lifetime; it has no
+	// request body worth capping.
+	mux.HandleFunc("GET /v1/experiments/{id}/stream", s.instrument("experiments.stream", false, s.handleExperimentStream))
 	s.mux = mux
 	return s
 }
 
-// Close releases the engine if the server created it.
+// Close cancels any live experiment jobs, then releases the engine if
+// the server created it (in that order: jobs hold engine slots).
 func (s *Server) Close() {
+	s.jobs.Close()
 	if s.ownedEngine {
 		s.engine.Close()
 	}
@@ -274,7 +318,7 @@ func statusFor(code api.ErrorCode) int {
 	switch code {
 	case api.CodeBodyTooLarge:
 		return http.StatusRequestEntityTooLarge
-	case api.CodeNotFound:
+	case api.CodeNotFound, api.CodeJobNotFound:
 		return http.StatusNotFound
 	case api.CodeConflict:
 		return http.StatusConflict

@@ -10,7 +10,11 @@
 //
 // All draws are quantised to exact ticks (internal/timeunit), and every
 // generator takes an explicit *rand.Rand so experiments are reproducible
-// from a seed.
+// from a seed. Sweeps (internal/experiments) derive one deterministic
+// seed per sample, which is what makes experiment results a pure
+// function of (profile, samples, seed) — independent of worker count
+// and of whether the run executes locally or as a fpgaschedd experiment
+// job.
 package workload
 
 import (
