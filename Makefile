@@ -15,13 +15,20 @@ race:
 
 # Engine + GN2 analysis benchmarks, results archived under bench-results/
 # (uploaded as a CI workflow artifact — the BENCH_*.json trajectory for
-# future perf PRs). `make bench-all` runs every benchmark in the repo.
+# future perf PRs). BENCH_core.json tracks the numeric-layer kernels:
+# the production fast path next to its frozen big.Rat reference build
+# (internal/core/bigref) plus the internal/rat micro-benchmarks, so the
+# speedup and allocation reduction are re-measured on every archive.
+# `make bench-all` runs every benchmark in the repo.
 bench:
 	mkdir -p bench-results
 	$(GO) test -bench 'BenchmarkAnalyze' -benchtime 100x -run XXX ./internal/engine/ | tee bench-results/BENCH_engine.txt
 	$(GO) test -bench 'BenchmarkTable|BenchmarkAnalysisScaling|BenchmarkCompositeVsSingle' -benchtime 100x -run XXX . | tee bench-results/BENCH_gn2.txt
+	$(GO) test -bench 'BenchmarkGN2Sweep|BenchmarkGN2xSweep|BenchmarkGN1|BenchmarkDP' -benchtime 10x -run XXX ./internal/core/ | tee bench-results/BENCH_core.txt
+	$(GO) test -bench 'BenchmarkRat' -run XXX ./internal/rat/ | tee -a bench-results/BENCH_core.txt
 	$(GO) run ./cmd/benchjson -in bench-results/BENCH_engine.txt -out bench-results/BENCH_engine.json
 	$(GO) run ./cmd/benchjson -in bench-results/BENCH_gn2.txt -out bench-results/BENCH_gn2.json
+	$(GO) run ./cmd/benchjson -in bench-results/BENCH_core.txt -out bench-results/BENCH_core.json
 
 bench-all:
 	$(GO) test -bench . -benchtime 100x -run XXX ./...

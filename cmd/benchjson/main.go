@@ -3,10 +3,19 @@
 // as CI artifacts are machine-comparable across PRs without parsing
 // the bench text format downstream.
 //
+// With -baseline it additionally prints a benchstat-style delta table
+// (to stderr, so stdout stays parseable JSON) comparing the parsed
+// results against a previously archived BENCH_*.json — CI uses this to
+// surface the perf delta of a PR against the committed baseline
+// without external tooling. Comparison never fails the run: it is
+// informational (single-run numbers, no variance model), the archived
+// JSON is the durable record.
+//
 // Usage:
 //
 //	go test -bench . ./internal/engine/ | benchjson -out BENCH_engine.json
 //	benchjson -in bench.txt -out BENCH_engine.json
+//	benchjson -in bench.txt -out BENCH_core.json -baseline old/BENCH_core.json
 package main
 
 import (
@@ -42,6 +51,7 @@ type Document struct {
 func main() {
 	in := flag.String("in", "", "bench output file (default: stdin)")
 	out := flag.String("out", "", "JSON output file (default: stdout)")
+	baseline := flag.String("baseline", "", "archived BENCH_*.json to print an informational delta table against")
 	flag.Parse()
 	r := io.Reader(os.Stdin)
 	if *in != "" {
@@ -63,10 +73,21 @@ func main() {
 	data = append(data, '\n')
 	if *out == "" {
 		os.Stdout.Write(data)
-		return
-	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
+	} else if err := os.WriteFile(*out, data, 0o644); err != nil {
 		fatal(err)
+	}
+	if *baseline != "" {
+		base, err := os.ReadFile(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		var baseDoc Document
+		if err := json.Unmarshal(base, &baseDoc); err != nil {
+			fatal(fmt.Errorf("baseline %s: %w", *baseline, err))
+		}
+		// The table goes to stderr so stdout stays parseable JSON in
+		// the default -out-less mode.
+		os.Stderr.WriteString(compare(baseDoc, doc))
 	}
 }
 
@@ -100,6 +121,70 @@ func parse(r io.Reader) (Document, error) {
 		}
 	}
 	return doc, sc.Err()
+}
+
+// compare renders a benchstat-style delta table between a baseline
+// document and the current one, matching results by benchmark name
+// (the -N GOMAXPROCS suffix stripped, so single- and multi-core runs
+// still line up). Benchmarks present on only one side are listed
+// without a delta. ns/op and allocs/op are compared; allocs/op is the
+// metric the numeric-layer work gates on.
+func compare(base, cur Document) string {
+	baseBy := make(map[string]Result, len(base.Results))
+	for _, r := range base.Results {
+		baseBy[trimGomaxprocs(r.Name)] = r
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "benchmark delta vs baseline (informational, single run)\n")
+	fmt.Fprintf(&b, "%-40s %14s %14s %9s %12s %12s %9s\n",
+		"name", "old ns/op", "new ns/op", "delta", "old allocs", "new allocs", "delta")
+	seen := make(map[string]bool, len(cur.Results))
+	for _, r := range cur.Results {
+		name := trimGomaxprocs(r.Name)
+		seen[name] = true
+		old, ok := baseBy[name]
+		if !ok {
+			fmt.Fprintf(&b, "%-40s %14s %14.0f %9s %12s %12.0f %9s\n",
+				name, "-", r.NsPerOp, "new", "-", r.Metrics["allocs/op"], "new")
+			continue
+		}
+		fmt.Fprintf(&b, "%-40s %14.0f %14.0f %9s %12.0f %12.0f %9s\n",
+			name, old.NsPerOp, r.NsPerOp, delta(old.NsPerOp, r.NsPerOp),
+			old.Metrics["allocs/op"], r.Metrics["allocs/op"],
+			delta(old.Metrics["allocs/op"], r.Metrics["allocs/op"]))
+	}
+	for _, r := range base.Results {
+		name := trimGomaxprocs(r.Name)
+		if !seen[name] {
+			fmt.Fprintf(&b, "%-40s %14.0f %14s %9s %12.0f %12s %9s\n",
+				name, r.NsPerOp, "-", "gone", r.Metrics["allocs/op"], "-", "gone")
+		}
+	}
+	return b.String()
+}
+
+// delta formats the relative change from old to new.
+func delta(old, new float64) string {
+	if old == 0 {
+		if new == 0 {
+			return "+0.0%"
+		}
+		return "?"
+	}
+	return fmt.Sprintf("%+.1f%%", (new-old)/old*100)
+}
+
+// trimGomaxprocs removes the trailing "-N" procs suffix go test
+// appends to benchmark names.
+func trimGomaxprocs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
 }
 
 // parseBench parses one benchmark result line; malformed lines are

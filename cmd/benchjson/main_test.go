@@ -47,3 +47,43 @@ func TestParseSkipsMalformed(t *testing.T) {
 		t.Errorf("results = %+v, want none", doc.Results)
 	}
 }
+
+func TestCompareRendersDeltas(t *testing.T) {
+	base := Document{Results: []Result{
+		{Name: "BenchmarkGN2Sweep-8", Iterations: 10, NsPerOp: 1000,
+			Metrics: map[string]float64{"allocs/op": 500}},
+		{Name: "BenchmarkGone-8", Iterations: 10, NsPerOp: 50},
+	}}
+	cur := Document{Results: []Result{
+		{Name: "BenchmarkGN2Sweep-4", Iterations: 10, NsPerOp: 250,
+			Metrics: map[string]float64{"allocs/op": 50}},
+		{Name: "BenchmarkNew-4", Iterations: 10, NsPerOp: 75},
+	}}
+	out := compare(base, cur)
+	for _, want := range []string{
+		"BenchmarkGN2Sweep", // matched despite differing -N suffixes
+		"-75.0%",            // 1000 → 250 ns/op
+		"-90.0%",            // 500 → 50 allocs/op
+		"BenchmarkNew", "new",
+		"BenchmarkGone", "gone",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("compare output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTrimGomaxprocs(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkX-8":        "BenchmarkX",
+		"BenchmarkX":          "BenchmarkX",
+		"BenchmarkX/N=40-16":  "BenchmarkX/N=40",
+		"BenchmarkX-foo":      "BenchmarkX-foo",
+		"BenchmarkGN1Ref-128": "BenchmarkGN1Ref",
+	}
+	for in, want := range cases {
+		if got := trimGomaxprocs(in); got != want {
+			t.Errorf("trimGomaxprocs(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

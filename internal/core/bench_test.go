@@ -1,0 +1,89 @@
+package core_test
+
+// Micro-benchmarks for the analysis kernels, with the frozen big.Rat
+// reference build as the before/after baseline. `make bench` archives
+// these as bench-results/BENCH_core.json (uploaded from CI), so the
+// perf trajectory of the numeric layer is recorded from the fast-path
+// PR onward: compare BenchmarkGN2Sweep against BenchmarkGN2SweepRef
+// for the speedup, and allocs/op for the allocation reduction.
+
+import (
+	"context"
+	"runtime"
+	"testing"
+
+	"fpgasched/internal/core"
+	"fpgasched/internal/core/bigref"
+	"fpgasched/internal/workload"
+)
+
+// benchSet100 is the 100-task acceptance workload: the paper's
+// unconstrained Figure-3 distribution at production scale, on the
+// figure device. Heavily loaded, so GN2 sweeps the full candidate set
+// for most tasks — the worst case the serving path must survive.
+func benchSet100() (*workload.Profile, int) {
+	p := workload.Unconstrained(100)
+	return &p, workload.FigureDeviceColumns
+}
+
+func benchAnalyze(b *testing.B, ctx context.Context, t core.Test, n int) {
+	b.Helper()
+	p, cols := benchSet100()
+	p.N = n
+	set := p.Generate(workload.Rand(uint64(n)))
+	dev := core.NewDevice(cols)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := t.Analyze(ctx, dev, set)
+		if v.Err != nil {
+			b.Fatal(v.Err)
+		}
+	}
+}
+
+// BenchmarkGN2Sweep is the acceptance benchmark: the production λ
+// sweep on a 100-task set (serial, as a request under full engine load
+// runs it).
+func BenchmarkGN2Sweep(b *testing.B) {
+	benchAnalyze(b, context.Background(), core.GN2Test{}, 100)
+}
+
+// BenchmarkGN2SweepRef is the same sweep on the big.Rat reference
+// build — the pre-refactor implementation, kept runnable so the
+// speedup stays measurable in every future run.
+func BenchmarkGN2SweepRef(b *testing.B) {
+	benchAnalyze(b, context.Background(), bigref.GN2Test{}, 100)
+}
+
+// BenchmarkGN2SweepParallel is the production sweep with the per-task
+// checks fanned across all CPUs (engine.Config.SweepWorkers < 0), the
+// single-large-analysis latency configuration.
+func BenchmarkGN2SweepParallel(b *testing.B) {
+	ctx := core.WithSweepWorkers(context.Background(), runtime.GOMAXPROCS(0))
+	benchAnalyze(b, ctx, core.GN2Test{}, 100)
+}
+
+// BenchmarkGN2xSweep covers the extended-λ variant (a superset
+// candidate list, so proportionally more per-candidate work).
+func BenchmarkGN2xSweep(b *testing.B) {
+	benchAnalyze(b, context.Background(), core.GN2Test{Options: core.GN2Options{ExtendedLambdaSearch: true}}, 100)
+}
+
+// BenchmarkGN1 / BenchmarkGN1Ref measure the O(N²) interference test.
+func BenchmarkGN1(b *testing.B) {
+	benchAnalyze(b, context.Background(), core.GN1Test{}, 100)
+}
+
+func BenchmarkGN1Ref(b *testing.B) {
+	benchAnalyze(b, context.Background(), bigref.GN1Test{}, 100)
+}
+
+// BenchmarkDP / BenchmarkDPRef measure the closed-form bound.
+func BenchmarkDP(b *testing.B) {
+	benchAnalyze(b, context.Background(), core.DPTest{}, 100)
+}
+
+func BenchmarkDPRef(b *testing.B) {
+	benchAnalyze(b, context.Background(), bigref.DPTest{}, 100)
+}

@@ -234,8 +234,42 @@ func precheck(name string, dev Device, s *task.Set) (Verdict, bool) {
 	return Verdict{}, true
 }
 
+// sweepWorkersKey carries the per-analysis parallelism budget in a
+// context. A context value (rather than a Test field) keeps worker
+// count out of Test.Name() — parallelism provably cannot change a
+// verdict, so it must not fragment the engine's verdict cache key.
+type sweepWorkersKey struct{}
+
+// WithSweepWorkers returns a context that allows tests with
+// independent per-task work (GN2/GN2x's λ sweeps) to evaluate up to n
+// tasks concurrently. n ≤ 1 leaves the context unchanged (serial
+// evaluation, the default). The verdict is identical for every n: the
+// sweep always evaluates all tasks and resolves the failing-task
+// attribution in task order. The engine threads
+// engine.Config.SweepWorkers through this; direct library callers may
+// set it themselves. Note the multiplicative effect when combined with
+// a concurrent caller: total CPU concurrency is callers × n.
+func WithSweepWorkers(ctx context.Context, n int) context.Context {
+	if n <= 1 {
+		return ctx
+	}
+	return context.WithValue(ctx, sweepWorkersKey{}, n)
+}
+
+// SweepWorkers reports the per-analysis parallelism budget carried by
+// ctx, defaulting to 1 (serial).
+func SweepWorkers(ctx context.Context) int {
+	if n, ok := ctx.Value(sweepWorkersKey{}).(int); ok && n > 1 {
+		return n
+	}
+	return 1
+}
+
 // Rational helpers over ticks. Ratios of tick-valued quantities are
-// scale-invariant, so all time arithmetic below is done directly in ticks.
+// scale-invariant, so all time arithmetic below is done directly in
+// ticks. The production kernels now run on internal/rat; these big.Rat
+// helpers remain as the vocabulary of the executable-spec tests
+// (lambda_test.go's independent point evaluations).
 
 func ratFromTicks(t int64) *big.Rat { return new(big.Rat).SetInt64(t) }
 

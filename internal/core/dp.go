@@ -3,8 +3,8 @@ package core
 import (
 	"context"
 	"fmt"
-	"math/big"
 
+	"fpgasched/internal/rat"
 	"fpgasched/internal/task"
 )
 
@@ -47,7 +47,10 @@ func (dp DPTest) Name() string {
 }
 
 // Analyze implements Test. DP is a closed-form bound (one inequality
-// per task), so cancellation is only checked once on entry.
+// per task), so cancellation is only checked once on entry. The system
+// utilization US(Γ) and the area bound are hoisted out of the per-task
+// loop; each iteration is a handful of exact fast-path operations plus
+// the certificate conversions.
 func (dp DPTest) Analyze(ctx context.Context, dev Device, s *task.Set) Verdict {
 	name := dp.Name()
 	if err := ctx.Err(); err != nil {
@@ -68,19 +71,23 @@ func (dp DPTest) Analyze(ctx context.Context, dev Device, s *task.Set) Verdict {
 	if !dp.RealValuedAlpha {
 		slackArea++ // integer-area correction: A(H) − Amax + 1
 	}
-	abnd := ratInt(slackArea)
-	us := s.UtilizationS()
+	abnd := rat.FromInt(int64(slackArea))
+	// US(Γ) = Σ Ci·Ai/Ti, exact, computed once for the whole loop.
+	var usAcc rat.Acc
+	for _, t := range s.Tasks {
+		usAcc.Add(rat.FromFrac(int64(t.C), int64(t.T)).Mul(rat.FromInt(int64(t.A))))
+	}
+	us := usAcc.R()
 	v := Verdict{Test: name, Schedulable: true, FailingTask: -1}
 	for k, tk := range s.Tasks {
 		// RHS = Abnd·(1 − UT(τk)) + US(τk)
-		rhs := new(big.Rat).Sub(ratOne, tk.UtilizationT())
-		rhs.Mul(rhs, abnd)
-		rhs.Add(rhs, tk.UtilizationS())
+		ut := rat.FromFrac(int64(tk.C), int64(tk.T))
+		rhs := rat.One.Sub(ut).Mul(abnd).Add(ut.Mul(rat.FromInt(int64(tk.A))))
 		ok := us.Cmp(rhs) <= 0
 		v.Checks = append(v.Checks, BoundCheck{
 			TaskIndex: k,
-			LHS:       new(big.Rat).Set(us),
-			RHS:       rhs,
+			LHS:       us.Rat(),
+			RHS:       rhs.Rat(),
 			Satisfied: ok,
 		})
 		if !ok && v.Schedulable {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/big"
 
+	"fpgasched/internal/rat"
 	"fpgasched/internal/task"
 )
 
@@ -53,6 +54,12 @@ func (v GN1Variant) String() string {
 // ability to skip a blocked wide job. The test requires constrained
 // deadlines (D ≤ T), as does the BCL analysis it derives from; sets with
 // post-period deadlines are rejected with a reason.
+//
+// Like GN2, the implementation runs on internal/rat: the O(N)
+// interference sum per task accumulates in reused scratch, and heap
+// rationals are allocated only for the per-task certificate values
+// (equivalence with the big.Rat reference build is enforced by the
+// differential suite).
 type GN1Test struct {
 	// Variant selects the βi normalisation; the zero value is the
 	// paper-faithful Wi/Di.
@@ -80,12 +87,13 @@ func (g GN1Test) Analyze(ctx context.Context, dev Device, s *task.Set) Verdict {
 			FailingTask: -1,
 		}
 	}
+	var acc rat.Acc // interference-sum scratch, reused across tasks
 	v := Verdict{Test: name, Schedulable: true, FailingTask: -1}
 	for k, tk := range s.Tasks {
 		if err := ctx.Err(); err != nil {
 			return aborted(name, err)
 		}
-		lhs, rhs, ok := g.checkTask(dev, s, k)
+		lhs, rhs, ok := g.checkTaskR(dev, s, k, &acc)
 		v.Checks = append(v.Checks, BoundCheck{TaskIndex: k, LHS: lhs, RHS: rhs, Satisfied: ok})
 		if !ok && v.Schedulable {
 			v.Schedulable = false
@@ -97,31 +105,42 @@ func (g GN1Test) Analyze(ctx context.Context, dev Device, s *task.Set) Verdict {
 	return v
 }
 
-// checkTask evaluates Theorem 2's inequality for task index k, returning
-// the two sides and whether the strict inequality holds.
-func (g GN1Test) checkTask(dev Device, s *task.Set, k int) (lhs, rhs *big.Rat, ok bool) {
+// checkTaskR evaluates Theorem 2's inequality for task index k,
+// returning the two sides (as certificate rationals) and whether the
+// strict inequality holds. The per-task invariants — the normalised
+// slack and the slack bound — are computed once, and the interference
+// sum runs allocation-free through acc.
+func (g GN1Test) checkTaskR(dev Device, s *task.Set, k int, acc *rat.Acc) (lhs, rhs *big.Rat, ok bool) {
 	tk := s.Tasks[k]
 	// slack = 1 − Ck/Dk, the normalised slack of τk.
-	slack := new(big.Rat).Sub(ratOne, new(big.Rat).SetFrac64(int64(tk.C), int64(tk.D)))
+	slack := rat.One.Sub(rat.FromFrac(int64(tk.C), int64(tk.D)))
 	// RHS = (A(H) − Ak + 1)·slack.
-	rhs = new(big.Rat).Mul(ratInt(dev.Columns-tk.A+1), slack)
-	lhs = new(big.Rat)
+	rhsR := rat.FromInt(int64(dev.Columns - tk.A + 1)).Mul(slack)
+	acc.Reset()
 	for i, ti := range s.Tasks {
 		if i == k {
 			continue
 		}
-		beta := gn1Beta(ti, tk, g.Variant)
-		term := new(big.Rat).Mul(ratInt(ti.A), ratMin(beta, slack))
-		lhs.Add(lhs, term)
+		beta := gn1BetaR(ti, tk, g.Variant)
+		acc.Add(rat.FromInt(int64(ti.A)).Mul(rat.Min(beta, slack)))
 	}
-	return lhs, rhs, lhs.Cmp(rhs) < 0
+	return acc.Rat(), rhsR.Rat(), acc.Cmp(rhsR) < 0
 }
 
-// gn1Beta computes βi, the normalised worst-case interference ratio that
-// task ti can contribute inside τk's scheduling window (Lemma 4): the
-// deadlines of ti and τk are aligned, Ni full jobs of ti fit in the window
-// and at most one carry-in job contributes min(Ci, max(Dk − Ni·Ti, 0)).
-func gn1Beta(ti, tk task.Task, variant GN1Variant) *big.Rat {
+// checkTask is the historical per-task entry point (big.Rat surface),
+// kept for tests that probe a single inequality.
+func (g GN1Test) checkTask(dev Device, s *task.Set, k int) (lhs, rhs *big.Rat, ok bool) {
+	var acc rat.Acc
+	return g.checkTaskR(dev, s, k, &acc)
+}
+
+// gn1BetaR computes βi, the normalised worst-case interference ratio
+// that task ti can contribute inside τk's scheduling window (Lemma 4):
+// the deadlines of ti and τk are aligned, Ni full jobs of ti fit in the
+// window and at most one carry-in job contributes
+// min(Ci, max(Dk − Ni·Ti, 0)). The window arithmetic is integer tick
+// counts; only the final ratio is rational.
+func gn1BetaR(ti, tk task.Task, variant GN1Variant) rat.R {
 	ni := floorDiv(int64(tk.D)-int64(ti.D), int64(ti.T)) + 1
 	if ni < 0 {
 		ni = 0
@@ -134,10 +153,15 @@ func gn1Beta(ti, tk task.Task, variant GN1Variant) *big.Rat {
 	if carryCap < carry {
 		carry = carryCap
 	}
-	w := ratFromTicks(ni*int64(ti.C) + carry)
 	den := int64(ti.D)
 	if variant == GN1VariantBCL {
 		den = int64(tk.D)
 	}
-	return w.Quo(w, ratFromTicks(den))
+	return rat.FromFrac(ni*int64(ti.C)+carry, den)
+}
+
+// gn1Beta is gn1BetaR on the big.Rat surface, kept for the Table-3
+// walkthrough test.
+func gn1Beta(ti, tk task.Task, variant GN1Variant) *big.Rat {
+	return gn1BetaR(ti, tk, variant).Rat()
 }

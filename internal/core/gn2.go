@@ -5,7 +5,10 @@ import (
 	"fmt"
 	"math/big"
 	"sort"
+	"sync"
+	"sync/atomic"
 
+	"fpgasched/internal/rat"
 	"fpgasched/internal/task"
 )
 
@@ -65,6 +68,15 @@ type GN2Options struct {
 // The sums run over all tasks including i = k, as in the theorem
 // statement and its proof (the busy interval contains τk's own
 // execution).
+//
+// The implementation runs on internal/rat's exact fast-path arithmetic
+// and is equivalent, verdict for verdict and certificate byte for
+// byte, to the all-big.Rat reference build in internal/core/bigref
+// (enforced by the differential suite). Per-candidate invariants — the
+// λ-independent case-1 βs, the sorted global candidate list, the λk
+// multiplier — are hoisted out of the sweep, and the two condition
+// sums accumulate in reused scratch, so a sweep allocates O(N) heap
+// rationals (the certificate values) instead of O(N³).
 type GN2Test struct {
 	Options GN2Options
 }
@@ -91,6 +103,13 @@ func (g GN2Test) Name() string {
 // (N candidates × N tasks × O(N) sum per condition), so cancellation is
 // polled inside checkTask's candidate loop: a disconnected client
 // aborts a large analysis mid-sweep, not after it.
+//
+// The per-task sweeps are independent, so when the context carries a
+// sweep-worker budget (WithSweepWorkers; the engine threads
+// engine.Config.SweepWorkers through), tasks are checked concurrently
+// under that bound, each worker with its own scratch. The verdict is
+// identical for every worker count: all tasks are always evaluated and
+// the failing-task attribution is resolved in task order afterwards.
 func (g GN2Test) Analyze(ctx context.Context, dev Device, s *task.Set) Verdict {
 	name := g.Name()
 	if err := ctx.Err(); err != nil {
@@ -99,17 +118,63 @@ func (g GN2Test) Analyze(ctx context.Context, dev Device, s *task.Set) Verdict {
 	if v, ok := precheck(name, dev, s); !ok {
 		return v
 	}
-	abnd := ratInt(dev.Columns - s.AMax() + 1)
-	amin := ratInt(s.AMin())
-	v := Verdict{Test: name, Schedulable: true, FailingTask: -1}
-	for k := range s.Tasks {
-		check, err := g.checkTask(ctx, s, k, abnd, amin)
-		if err != nil {
-			return aborted(name, err)
+	abnd := rat.FromInt(int64(dev.Columns - s.AMax() + 1))
+	amin := rat.FromInt(int64(s.AMin()))
+	sw := g.newSweep(s, abnd, amin)
+	n := len(s.Tasks)
+	checks := make([]BoundCheck, n)
+
+	workers := SweepWorkers(ctx)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		sc := sw.newScratch()
+		for k := 0; k < n; k++ {
+			chk, err := sw.checkTask(ctx, k, sc)
+			if err != nil {
+				return aborted(name, err)
+			}
+			checks[k] = chk
 		}
-		check.TaskIndex = k
-		v.Checks = append(v.Checks, check)
-		if !check.Satisfied && v.Schedulable {
+	} else {
+		var (
+			next  atomic.Int64
+			stop  atomic.Bool
+			once  sync.Once
+			first error
+			wg    sync.WaitGroup
+		)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				sc := sw.newScratch()
+				for !stop.Load() {
+					k := int(next.Add(1)) - 1
+					if k >= n {
+						return
+					}
+					chk, err := sw.checkTask(ctx, k, sc)
+					if err != nil {
+						once.Do(func() { first = err })
+						stop.Store(true)
+						return
+					}
+					checks[k] = chk
+				}
+			}()
+		}
+		wg.Wait()
+		if first != nil {
+			return aborted(name, first)
+		}
+	}
+
+	v := Verdict{Test: name, Schedulable: true, FailingTask: -1, Checks: checks}
+	for k := range checks {
+		checks[k].TaskIndex = k
+		if !checks[k].Satisfied && v.Schedulable {
 			v.Schedulable = false
 			v.FailingTask = k
 			v.Reason = fmt.Sprintf("no λ ≥ C/T satisfies condition 1 or 2 for task %d (%s)",
@@ -119,28 +184,112 @@ func (g GN2Test) Analyze(ctx context.Context, dev Device, s *task.Set) Verdict {
 	return v
 }
 
+// gn2Sweep holds everything about one (device, taskset) sweep that is
+// shared by — and immutable across — all per-task checks: the exact
+// per-task utilizations, densities and areas, the device bounds, and
+// the global sorted λ candidate list. Sweep workers read it
+// concurrently.
+type gn2Sweep struct {
+	g             GN2Test
+	s             *task.Set
+	abnd, amin    rat.R
+	abndMinusAmin rat.R
+	ui            []rat.R // Ci/Ti
+	dens          []rat.R // Ci/Di
+	area          []rat.R // Ai
+	cands         []rat.R // sorted, deduplicated {Ci/Ti} ∪ {Ci/Di : Di > Ti}
+}
+
+// newSweep precomputes the sweep invariants: per-task rationals once
+// per set (not once per candidate), and the paper's λ candidate set
+// sorted and deduplicated once — each task's candidate list is then a
+// suffix of it, found by binary search, since task k considers exactly
+// the candidates ≥ Ck/Tk and Ck/Tk itself is a member.
+func (g GN2Test) newSweep(s *task.Set, abnd, amin rat.R) *gn2Sweep {
+	n := len(s.Tasks)
+	sw := &gn2Sweep{
+		g:             g,
+		s:             s,
+		abnd:          abnd,
+		amin:          amin,
+		abndMinusAmin: abnd.Sub(amin),
+		ui:            make([]rat.R, n),
+		dens:          make([]rat.R, n),
+		area:          make([]rat.R, n),
+		cands:         make([]rat.R, 0, 2*n),
+	}
+	for i, ti := range s.Tasks {
+		sw.ui[i] = rat.FromFrac(int64(ti.C), int64(ti.T))
+		sw.dens[i] = rat.FromFrac(int64(ti.C), int64(ti.D))
+		sw.area[i] = rat.FromInt(int64(ti.A))
+		sw.cands = append(sw.cands, sw.ui[i])
+		if ti.D > ti.T {
+			sw.cands = append(sw.cands, sw.dens[i])
+		}
+	}
+	sw.cands = sortDedupR(sw.cands)
+	return sw
+}
+
+// gn2Scratch is the per-worker reusable state: the λ-independent
+// case-1 βs of the task under analysis, the extended-search candidate
+// buffer, and the exact sum accumulators. Nothing in it survives a
+// task check except its capacity.
+type gn2Scratch struct {
+	b1         []rat.R // case-1 β per interfering task, for the current k
+	cand       []rat.R // extended-search candidate merge buffer
+	sum1, sum2 *rat.Acc
+	last       *rat.Acc // condition-2 LHS of the last tried candidate
+}
+
+func (sw *gn2Sweep) newScratch() *gn2Scratch {
+	return &gn2Scratch{
+		b1:   make([]rat.R, len(sw.s.Tasks)),
+		sum1: new(rat.Acc),
+		sum2: new(rat.Acc),
+		last: new(rat.Acc),
+	}
+}
+
 // checkTask searches the finite λ candidate set for one that satisfies
 // condition 1 or condition 2 for task k. It polls ctx once per
-// candidate (each candidate evaluation is O(N) exact-rational work) and
-// returns ctx's error when cancelled mid-sweep.
-func (g GN2Test) checkTask(ctx context.Context, s *task.Set, k int, abnd, amin *big.Rat) (BoundCheck, error) {
-	tk := s.Tasks[k]
-	uk := new(big.Rat).SetFrac64(int64(tk.C), int64(tk.T))
-	cands := lambdaCandidates(s, uk)
-	if g.Options.ExtendedLambdaSearch {
-		cands = g.addCrossingCandidates(s, tk, uk, cands)
+// candidate (each candidate evaluation is O(N) exact work) and returns
+// ctx's error when cancelled mid-sweep. Heap rationals are allocated
+// only for the returned BoundCheck; every intermediate value lives in
+// sc or on the stack.
+func (sw *gn2Sweep) checkTask(ctx context.Context, k int, sc *gn2Scratch) (BoundCheck, error) {
+	tk := sw.s.Tasks[k]
+	uk := sw.ui[k]
+	dk := int64(tk.D)
+
+	// Hoisted per-candidate invariants: the case-1 β of every task i is
+	// independent of λ — βi = max(ui, ui·(1−Di/Dk) + Ci/Dk) — so it is
+	// computed once per (i, k) pair instead of once per (i, k, λ).
+	for i, ti := range sw.s.Tasks {
+		ui := sw.ui[i]
+		alt := rat.One.Sub(rat.FromFrac(int64(ti.D), dk)).Mul(ui).Add(rat.FromFrac(int64(ti.C), dk))
+		sc.b1[i] = rat.Max(ui, alt)
 	}
-	var last BoundCheck
+
+	// λk = λ·max(1, Tk/Dk): the multiplier is per-task constant.
+	scaled := tk.T > tk.D
+	var mK rat.R
+	if scaled {
+		mK = rat.FromFrac(int64(tk.T), int64(tk.D))
+	}
+
+	cands := sw.candidatesFor(k, sc)
+	var lastRHS rat.R
+	lastValid := false
 	for _, lambda := range cands {
 		if err := ctx.Err(); err != nil {
 			return BoundCheck{}, err
 		}
-		// λk = λ·max(1, Tk/Dk).
-		lambdaK := new(big.Rat).Set(lambda)
-		if tk.T > tk.D {
-			lambdaK.Mul(lambdaK, new(big.Rat).SetFrac64(int64(tk.T), int64(tk.D)))
+		lambdaK := lambda
+		if scaled {
+			lambdaK = lambda.Mul(mK)
 		}
-		oneMinus := new(big.Rat).Sub(ratOne, lambdaK)
+		oneMinus := rat.One.Sub(lambdaK)
 		if oneMinus.Sign() < 0 {
 			// λk > 1 makes the proof's Lemma-9 instantiation (x =
 			// (1−λk)δ > 0) vacuous: condition 1 would degenerate to the
@@ -150,148 +299,137 @@ func (g GN2Test) checkTask(ctx context.Context, s *task.Set, k int, abnd, amin *
 			continue
 		}
 
-		betas := make([]*big.Rat, len(s.Tasks))
-		for i, ti := range s.Tasks {
-			betas[i] = g.beta(ti, tk, lambda)
+		// One pass accumulates both condition sums exactly; β is
+		// selected per task from the hoisted case-1 value or computed
+		// in-place for the λ-dependent cases.
+		sc.sum1.Reset()
+		sc.sum2.Reset()
+		for i := range sw.ui {
+			var beta rat.R
+			ui := sw.ui[i]
+			if ui.Cmp(lambda) <= 0 {
+				beta = sc.b1[i]
+			} else if lambda.Cmp(sw.dens[i]) >= 0 {
+				// Middle case: reachable only when Ci/Di < λ < Ci/Ti,
+				// i.e. Di > Ti. Printed value is Ck/Tk (L7-CASE2);
+				// Baker's TR uses a task-i quantity, approximated here
+				// by Ci/Di when selected.
+				if sw.g.Options.CaseTwoBaker {
+					beta = sw.dens[i]
+				} else {
+					beta = uk
+				}
+			} else {
+				// Ci/Ti + (Ci − λ·Di)/Dk.
+				ti := sw.s.Tasks[i]
+				carry := rat.FromInt(int64(ti.C)).Sub(lambda.Mul(rat.FromInt(int64(ti.D)))).Quo(rat.FromInt(dk))
+				beta = ui.Add(carry)
+			}
+			sc.sum1.Add(sw.area[i].Mul(rat.Min(beta, oneMinus)))
+			sc.sum2.Add(sw.area[i].Mul(rat.Min(beta, rat.One)))
 		}
 
 		// Condition 1: Σ Ai·min(β, 1−λk) < Abnd·(1−λk), strict.
-		sum1 := new(big.Rat)
-		for i, ti := range s.Tasks {
-			sum1.Add(sum1, new(big.Rat).Mul(ratInt(ti.A), ratMin(betas[i], oneMinus)))
-		}
-		rhs1 := new(big.Rat).Mul(abnd, oneMinus)
-		if sum1.Cmp(rhs1) < 0 {
-			return BoundCheck{LHS: sum1, RHS: rhs1, Satisfied: true, Lambda: lambda, Condition: 1}, nil
+		rhs1 := sw.abnd.Mul(oneMinus)
+		if sc.sum1.Cmp(rhs1) < 0 {
+			return BoundCheck{LHS: sc.sum1.Rat(), RHS: rhs1.Rat(), Satisfied: true, Lambda: lambda.Rat(), Condition: 1}, nil
 		}
 
 		// Condition 2: Σ Ai·min(β, 1) vs (Abnd−Amin)·(1−λk) + Amin.
-		sum2 := new(big.Rat)
-		for i, ti := range s.Tasks {
-			sum2.Add(sum2, new(big.Rat).Mul(ratInt(ti.A), ratMin(betas[i], ratOne)))
+		rhs2 := sw.abndMinusAmin.Mul(oneMinus).Add(sw.amin)
+		cmp := sc.sum2.Cmp(rhs2)
+		if cmp < 0 || (sw.g.Options.CondTwoNonStrict && cmp == 0) {
+			return BoundCheck{LHS: sc.sum2.Rat(), RHS: rhs2.Rat(), Satisfied: true, Lambda: lambda.Rat(), Condition: 2}, nil
 		}
-		rhs2 := new(big.Rat).Sub(abnd, amin)
-		rhs2.Mul(rhs2, oneMinus)
-		rhs2.Add(rhs2, amin)
-		cmp := sum2.Cmp(rhs2)
-		if cmp < 0 || (g.Options.CondTwoNonStrict && cmp == 0) {
-			return BoundCheck{LHS: sum2, RHS: rhs2, Satisfied: true, Lambda: lambda, Condition: 2}, nil
-		}
-		last = BoundCheck{LHS: sum2, RHS: rhs2, Satisfied: false}
+		// Keep the failed condition-2 evidence without copying: swap
+		// the accumulator with the scratch's holding slot.
+		sc.sum2, sc.last = sc.last, sc.sum2
+		lastRHS = rhs2
+		lastValid = true
 	}
-	return last, nil
+	if !lastValid {
+		return BoundCheck{}, nil
+	}
+	return BoundCheck{LHS: sc.last.Rat(), RHS: lastRHS.Rat(), Satisfied: false}, nil
 }
 
-// beta evaluates Lemma 7's βλk(i).
-func (g GN2Test) beta(ti, tk task.Task, lambda *big.Rat) *big.Rat {
-	ui := new(big.Rat).SetFrac64(int64(ti.C), int64(ti.T))
-	if ui.Cmp(lambda) <= 0 {
-		// max(Ci/Ti, Ci/Ti·(1 − Di/Dk) + Ci/Dk)
-		// = Ci/Ti·(1 + max(0, (Ti−Di)/Dk)).
-		alt := new(big.Rat).Sub(ratOne, new(big.Rat).SetFrac64(int64(ti.D), int64(tk.D)))
-		alt.Mul(alt, ui)
-		alt.Add(alt, new(big.Rat).SetFrac64(int64(ti.C), int64(tk.D)))
-		return ratMax(ui, alt)
+// candidatesFor returns task k's λ candidates in ascending order: the
+// suffix of the global sorted candidate list starting at uk (uk is
+// always a member), plus — under ExtendedLambdaSearch — the
+// min-crossing breakpoints, merged in the scratch buffer.
+func (sw *gn2Sweep) candidatesFor(k int, sc *gn2Scratch) []rat.R {
+	uk := sw.ui[k]
+	idx := sort.Search(len(sw.cands), func(i int) bool { return sw.cands[i].Cmp(uk) >= 0 })
+	base := sw.cands[idx:]
+	if !sw.g.Options.ExtendedLambdaSearch {
+		return base
 	}
-	densI := new(big.Rat).SetFrac64(int64(ti.C), int64(ti.D))
-	if lambda.Cmp(densI) >= 0 {
-		// Middle case: reachable only when Ci/Di < λ < Ci/Ti, i.e.
-		// Di > Ti. Printed value is Ck/Tk (L7-CASE2); Baker's TR uses a
-		// task-i quantity, approximated here by Ci/Di when selected.
-		if g.Options.CaseTwoBaker {
-			return densI
-		}
-		return new(big.Rat).SetFrac64(int64(tk.C), int64(tk.T))
-	}
-	// Ci/Ti + (Ci − λ·Di)/Dk.
-	carry := new(big.Rat).Mul(lambda, ratFromTicks(int64(ti.D)))
-	carry.Sub(ratFromTicks(int64(ti.C)), carry)
-	carry.Quo(carry, ratFromTicks(int64(tk.D)))
-	return new(big.Rat).Add(ui, carry)
+	return sw.extendedCandidatesFor(k, sc, base)
 }
 
-// lambdaCandidates returns the sorted, deduplicated set of λ values that
-// need to be tried for a task with utilization uk: the minimum point uk
-// itself, every task utilization Ci/Ti ≥ uk, and every density Ci/Di ≥ uk
-// of tasks with post-period deadlines (where βλk is discontinuous).
-func lambdaCandidates(s *task.Set, uk *big.Rat) []*big.Rat {
-	cands := []*big.Rat{new(big.Rat).Set(uk)}
-	add := func(r *big.Rat) {
-		if r.Cmp(uk) >= 0 {
-			cands = append(cands, r)
-		}
-	}
-	for _, ti := range s.Tasks {
-		add(new(big.Rat).SetFrac64(int64(ti.C), int64(ti.T)))
-		if ti.D > ti.T {
-			add(new(big.Rat).SetFrac64(int64(ti.C), int64(ti.D)))
-		}
-	}
-	sort.Slice(cands, func(i, j int) bool { return cands[i].Cmp(cands[j]) < 0 })
-	uniq := cands[:1]
-	for _, c := range cands[1:] {
-		if c.Cmp(uniq[len(uniq)-1]) != 0 {
-			uniq = append(uniq, c)
-		}
-	}
-	return uniq
-}
-
-// addCrossingCandidates appends, for the analysed task tk, every λ at
+// extendedCandidatesFor appends, for the analysed task tk, every λ at
 // which some βλk(i) crosses 1−λk (condition 1's cap) or the constant 1
 // (condition 2's cap) — the breakpoints of the piecewise-linear test
 // functions that the paper's candidate set omits. Only values in
-// [uk, 1/m] (so that λk ≤ 1) are kept. The result is re-sorted and
-// deduplicated.
-func (g GN2Test) addCrossingCandidates(s *task.Set, tk task.Task, uk *big.Rat, cands []*big.Rat) []*big.Rat {
+// [uk, 1/m] (so that λk ≤ 1) are kept. The merged list is re-sorted
+// and deduplicated in the scratch buffer. Requires sc.b1 to be filled
+// for task k (the case-1 βs double as the crossing constants).
+func (sw *gn2Sweep) extendedCandidatesFor(k int, sc *gn2Scratch, base []rat.R) []rat.R {
+	tk := sw.s.Tasks[k]
+	uk := sw.ui[k]
 	// m = max(1, Tk/Dk); λk = m·λ.
-	m := ratOne
+	m := rat.One
 	if tk.T > tk.D {
-		m = new(big.Rat).SetFrac64(int64(tk.T), int64(tk.D))
+		m = rat.FromFrac(int64(tk.T), int64(tk.D))
 	}
 	// λ must satisfy λk ≤ 1, i.e. λ ≤ 1/m.
-	lambdaMax := new(big.Rat).Inv(new(big.Rat).Set(m))
-	add := func(r *big.Rat) {
-		if r != nil && r.Cmp(uk) >= 0 && r.Cmp(lambdaMax) <= 0 {
-			cands = append(cands, r)
+	lambdaMax := rat.One.Quo(m)
+	out := append(sc.cand[:0], base...)
+	add := func(r rat.R) {
+		if r.Cmp(uk) >= 0 && r.Cmp(lambdaMax) <= 0 {
+			out = append(out, r)
 		}
 	}
-	for _, ti := range s.Tasks {
-		ui := new(big.Rat).SetFrac64(int64(ti.C), int64(ti.T))
-		// Case-1 region (λ ≥ ui): βi is the constant
-		// b = max(ui, ui·(1−Di/Dk) + Ci/Dk). Crossing with 1−mλ at
-		// λ* = (1−b)/m, valid when λ* lies in the region.
-		b := caseOneBeta(ti, tk)
-		lam := new(big.Rat).Sub(ratOne, b)
-		lam.Quo(lam, m)
+	dkR := rat.FromInt(int64(tk.D))
+	for i, ti := range sw.s.Tasks {
+		ui := sw.ui[i]
+		// Case-1 region (λ ≥ ui): βi is the hoisted constant sc.b1[i].
+		// Crossing with 1−mλ at λ* = (1−b)/m, valid when λ* lies in the
+		// region.
+		lam := rat.One.Sub(sc.b1[i]).Quo(m)
 		if lam.Cmp(ui) >= 0 {
 			add(lam)
 		}
 		// Case-3 region (λ < min(ui, Ci/Di)): βi(λ) = ui + (Ci−λDi)/Dk.
 		// Crossing with 1−mλ: λ·(m − Di/Dk) = 1 − ui − Ci/Dk.
-		dRatio := new(big.Rat).SetFrac64(int64(ti.D), int64(tk.D))
-		den := new(big.Rat).Sub(m, dRatio)
+		dRatio := rat.FromFrac(int64(ti.D), int64(tk.D))
+		den := m.Sub(dRatio)
 		if den.Sign() != 0 {
-			num := new(big.Rat).Sub(ratOne, ui)
-			num.Sub(num, new(big.Rat).SetFrac64(int64(ti.C), int64(tk.D)))
-			lam3 := new(big.Rat).Quo(num, den)
-			if lam3.Cmp(ui) < 0 && lam3.Cmp(new(big.Rat).SetFrac64(int64(ti.C), int64(ti.D))) < 0 {
+			num := rat.One.Sub(ui).Sub(rat.FromFrac(int64(ti.C), int64(tk.D)))
+			lam3 := num.Quo(den)
+			if lam3.Cmp(ui) < 0 && lam3.Cmp(sw.dens[i]) < 0 {
 				add(lam3)
 			}
 		}
 		// Case-3 crossing with the constant 1 (condition 2's cap):
 		// ui + (Ci−λDi)/Dk = 1 → λ = (Ci − (1−ui)·Dk)/Di.
-		lam1 := new(big.Rat).Sub(ratOne, ui)
-		lam1.Mul(lam1, ratFromTicks(int64(tk.D)))
-		lam1.Sub(ratFromTicks(int64(ti.C)), lam1)
-		lam1.Quo(lam1, ratFromTicks(int64(ti.D)))
-		if lam1.Cmp(ui) < 0 && lam1.Cmp(new(big.Rat).SetFrac64(int64(ti.C), int64(ti.D))) < 0 {
+		lam1 := rat.FromInt(int64(ti.C)).Sub(rat.One.Sub(ui).Mul(dkR)).Quo(rat.FromInt(int64(ti.D)))
+		if lam1.Cmp(ui) < 0 && lam1.Cmp(sw.dens[i]) < 0 {
 			add(lam1)
 		}
 	}
-	sort.Slice(cands, func(i, j int) bool { return cands[i].Cmp(cands[j]) < 0 })
-	uniq := cands[:1]
-	for _, c := range cands[1:] {
+	sc.cand = sortDedupR(out)
+	return sc.cand
+}
+
+// sortDedupR sorts rs ascending and removes duplicates in place.
+func sortDedupR(rs []rat.R) []rat.R {
+	if len(rs) == 0 {
+		return rs
+	}
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Cmp(rs[j]) < 0 })
+	uniq := rs[:1]
+	for _, c := range rs[1:] {
 		if c.Cmp(uniq[len(uniq)-1]) != 0 {
 			uniq = append(uniq, c)
 		}
@@ -299,11 +437,66 @@ func (g GN2Test) addCrossingCandidates(s *task.Set, tk task.Task, uk *big.Rat, c
 	return uniq
 }
 
-// caseOneBeta is βλk(i) in the ui ≤ λ case, which is independent of λ.
-func caseOneBeta(ti, tk task.Task) *big.Rat {
-	ui := new(big.Rat).SetFrac64(int64(ti.C), int64(ti.T))
-	alt := new(big.Rat).Sub(ratOne, new(big.Rat).SetFrac64(int64(ti.D), int64(tk.D)))
-	alt.Mul(alt, ui)
-	alt.Add(alt, new(big.Rat).SetFrac64(int64(ti.C), int64(tk.D)))
-	return ratMax(ui, alt)
+// checkTask is the historical single-task entry point, kept for the
+// λ-completeness and certificate tests: it runs the production sweep
+// machinery for exactly one task with explicitly supplied bounds.
+func (g GN2Test) checkTask(ctx context.Context, s *task.Set, k int, abnd, amin *big.Rat) (BoundCheck, error) {
+	sw := g.newSweep(s, rat.FromBig(abnd), rat.FromBig(amin))
+	return sw.checkTask(ctx, k, sw.newScratch())
+}
+
+// beta evaluates Lemma 7's βλk(i) for one task pair, on the production
+// arithmetic. The sweep itself uses the hoisted per-task forms; this
+// entry point exists for the spec-level unit tests and point
+// evaluations.
+func (g GN2Test) beta(ti, tk task.Task, lambda *big.Rat) *big.Rat {
+	return g.betaR(ti, tk, rat.FromBig(lambda)).Rat()
+}
+
+func (g GN2Test) betaR(ti, tk task.Task, lambda rat.R) rat.R {
+	ui := rat.FromFrac(int64(ti.C), int64(ti.T))
+	if ui.Cmp(lambda) <= 0 {
+		// max(Ci/Ti, Ci/Ti·(1 − Di/Dk) + Ci/Dk).
+		alt := rat.One.Sub(rat.FromFrac(int64(ti.D), int64(tk.D))).Mul(ui).Add(rat.FromFrac(int64(ti.C), int64(tk.D)))
+		return rat.Max(ui, alt)
+	}
+	dens := rat.FromFrac(int64(ti.C), int64(ti.D))
+	if lambda.Cmp(dens) >= 0 {
+		if g.Options.CaseTwoBaker {
+			return dens
+		}
+		return rat.FromFrac(int64(tk.C), int64(tk.T))
+	}
+	// Ci/Ti + (Ci − λ·Di)/Dk.
+	carry := rat.FromInt(int64(ti.C)).Sub(lambda.Mul(rat.FromInt(int64(ti.D)))).Quo(rat.FromInt(int64(tk.D)))
+	return ui.Add(carry)
+}
+
+// lambdaCandidates returns the sorted, deduplicated set of λ values
+// that need to be tried for a task with utilization uk: the minimum
+// point uk itself, every task utilization Ci/Ti ≥ uk, and every density
+// Ci/Di ≥ uk of tasks with post-period deadlines (where βλk is
+// discontinuous). The sweep materialises these lists as suffixes of
+// one global sorted list; this standalone form (which accepts an
+// arbitrary uk) backs the candidate-set unit tests.
+func lambdaCandidates(s *task.Set, uk *big.Rat) []*big.Rat {
+	ukR := rat.FromBig(uk)
+	cands := []rat.R{ukR}
+	add := func(r rat.R) {
+		if r.Cmp(ukR) >= 0 {
+			cands = append(cands, r)
+		}
+	}
+	for _, ti := range s.Tasks {
+		add(rat.FromFrac(int64(ti.C), int64(ti.T)))
+		if ti.D > ti.T {
+			add(rat.FromFrac(int64(ti.C), int64(ti.D)))
+		}
+	}
+	cands = sortDedupR(cands)
+	out := make([]*big.Rat, len(cands))
+	for i, c := range cands {
+		out[i] = c.Rat()
+	}
+	return out
 }

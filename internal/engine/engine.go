@@ -47,6 +47,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -64,6 +65,17 @@ type Config struct {
 	// CacheSize bounds the number of memoized verdicts; 0 means
 	// DefaultCacheSize, negative disables caching entirely.
 	CacheSize int
+	// SweepWorkers bounds the per-analysis parallelism inside a single
+	// test: GN2/GN2x's independent per-task λ sweeps are evaluated by
+	// up to this many goroutines (core.WithSweepWorkers). 0 means
+	// serial (the default: under heavy traffic the Workers pool already
+	// saturates the CPUs, and serial sweeps keep per-request latency
+	// predictable); negative means GOMAXPROCS, which minimises the
+	// latency of one large analysis on an otherwise idle server. Total
+	// CPU concurrency is up to Workers × SweepWorkers. Verdicts are
+	// bit-for-bit identical for every setting — parallelism is
+	// deliberately excluded from the cache key.
+	SweepWorkers int
 }
 
 // Defaults for Config zero values.
@@ -91,6 +103,9 @@ type Stats struct {
 	CacheLen, CacheCap int
 	// Workers is the configured pool size.
 	Workers int
+	// SweepWorkers is the resolved per-analysis sweep parallelism
+	// (Config.SweepWorkers; 1 means serial sweeps).
+	SweepWorkers int
 }
 
 // Request names one analysis: a taskset against a device under a test.
@@ -124,8 +139,9 @@ var errAbandoned = errors.New("engine: analysis abandoned by cancelled owner")
 // Engine is a concurrency-safe memoizing analysis service. Create with
 // New; the zero value is not usable.
 type Engine struct {
-	sem    chan struct{} // worker pool: acquire to run an analysis
-	closed chan struct{}
+	sem          chan struct{} // worker pool: acquire to run an analysis
+	closed       chan struct{}
+	sweepWorkers int // resolved Config.SweepWorkers (>= 1)
 
 	mu       sync.Mutex
 	cache    *lru
@@ -158,11 +174,19 @@ func New(cfg Config) *Engine {
 		}
 		cache = newLRU(size)
 	}
+	sweep := cfg.SweepWorkers
+	if sweep < 0 {
+		sweep = runtime.GOMAXPROCS(0)
+	}
+	if sweep < 1 {
+		sweep = 1
+	}
 	return &Engine{
-		sem:      make(chan struct{}, cfg.Workers),
-		closed:   make(chan struct{}),
-		cache:    cache,
-		inflight: make(map[cacheKey]*call),
+		sem:          make(chan struct{}, cfg.Workers),
+		closed:       make(chan struct{}),
+		sweepWorkers: sweep,
+		cache:        cache,
+		inflight:     make(map[cacheKey]*call),
 	}
 }
 
@@ -471,6 +495,10 @@ func (e *Engine) runAnalysis(ctx context.Context, r Request, canon *task.Set) (v
 			err = fmt.Errorf("engine: test %q panicked: %v", r.Test.Name(), p)
 		}
 	}()
+	// Thread the configured per-analysis parallelism to the test: GN2's
+	// λ sweep fans its independent per-task checks across this many
+	// goroutines (verdict-invariant, so it stays out of the cache key).
+	ctx = core.WithSweepWorkers(ctx, e.sweepWorkers)
 	return r.Test.Analyze(ctx, core.NewDevice(r.Columns), canon), nil
 }
 
@@ -484,6 +512,7 @@ func (e *Engine) Stats() Stats {
 		Analyses:      e.stats.analyses,
 		AnalysisNanos: e.stats.nanos,
 		Workers:       cap(e.sem),
+		SweepWorkers:  e.sweepWorkers,
 	}
 	e.stats.Unlock()
 	e.mu.Lock()

@@ -857,3 +857,76 @@ func TestCancellationAbortsRunningGN2(t *testing.T) {
 	}
 	t.Logf("aborted after %v", aborted)
 }
+
+// sweepProbe records the sweep-worker budget the engine threads into
+// the analysis context.
+type sweepProbe struct {
+	got int
+}
+
+func (p *sweepProbe) Name() string { return "sweep-probe" }
+
+func (p *sweepProbe) Analyze(ctx context.Context, dev core.Device, s *task.Set) core.Verdict {
+	p.got = core.SweepWorkers(ctx)
+	return core.Verdict{Test: p.Name(), Schedulable: true, FailingTask: -1}
+}
+
+// TestSweepWorkersThreadedIntoAnalysis pins the Config.SweepWorkers
+// plumbing: the value (resolved: 0 → serial, negative → GOMAXPROCS)
+// must reach the test through the analysis context.
+func TestSweepWorkersThreadedIntoAnalysis(t *testing.T) {
+	cases := []struct {
+		cfg  int
+		want int
+	}{
+		{cfg: 0, want: 1},
+		{cfg: 1, want: 1},
+		{cfg: 4, want: 4},
+		{cfg: -1, want: runtime.GOMAXPROCS(0)},
+	}
+	for _, tc := range cases {
+		e := New(Config{Workers: 1, CacheSize: -1, SweepWorkers: tc.cfg})
+		probe := &sweepProbe{}
+		if _, err := e.Analyze(context.Background(), Request{Columns: 10, Set: table3(), Test: probe}); err != nil {
+			t.Fatalf("cfg %d: %v", tc.cfg, err)
+		}
+		want := tc.want
+		if want < 1 {
+			want = 1
+		}
+		if probe.got != want {
+			t.Errorf("SweepWorkers=%d: analysis saw %d sweep workers, want %d", tc.cfg, probe.got, want)
+		}
+		if st := e.Stats(); st.SweepWorkers != want {
+			t.Errorf("SweepWorkers=%d: Stats().SweepWorkers = %d, want %d", tc.cfg, st.SweepWorkers, want)
+		}
+		e.Close()
+	}
+}
+
+// TestSweepWorkersVerdictInvariant asserts a parallel-sweep engine and
+// a serial one produce byte-identical certificates for the same GN2
+// request — the property that keeps SweepWorkers out of the cache key.
+func TestSweepWorkersVerdictInvariant(t *testing.T) {
+	set := workload.Unconstrained(24).Generate(workload.Rand(11))
+	req := func() Request {
+		return Request{Columns: workload.FigureDeviceColumns, Set: set, Test: core.GN2Test{}}
+	}
+	serial := New(Config{Workers: 1, CacheSize: -1})
+	defer serial.Close()
+	parallel := New(Config{Workers: 1, CacheSize: -1, SweepWorkers: -1})
+	defer parallel.Close()
+	vs, err := serial.Analyze(context.Background(), req())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vp, err := parallel.Analyze(context.Background(), req())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, _ := json.Marshal(vs.Certificate())
+	cp, _ := json.Marshal(vp.Certificate())
+	if !bytes.Equal(cs, cp) {
+		t.Fatalf("parallel sweep changed the certificate:\nserial:   %s\nparallel: %s", cs, cp)
+	}
+}

@@ -1,0 +1,145 @@
+package rat
+
+import "math/big"
+
+// Acc is an exact rational sum accumulator for hot loops. It starts on
+// the int64 fast path and spills into big.Int storage when a partial
+// sum leaves the representable range — which the O(N)-term
+// interference sums of the schedulability tests always do, since the
+// exact common denominator of N random tick-valued rationals grows
+// multiplicatively. Unlike a big.Rat chain, the spilled representation
+// is deliberately left unreduced (numerator and denominator only ever
+// grow), so each Add is a couple of big×small multiplications into
+// scratch that is reused across Reset cycles: after the first few
+// sweeps every Add and Cmp is allocation-free.
+//
+// The value is exact at all times; Rat reduces to lowest terms on
+// extraction, so certificates render identically to fully-reduced
+// big.Rat arithmetic. The zero value is an accumulator holding 0.
+//
+// Acc is not safe for concurrent use; the analysis core keeps one per
+// sweep worker.
+type Acc struct {
+	n, d  int64 // value while !spilled (d == 0 means denominator 1)
+	spill bool
+
+	num, den big.Int // value while spilled; den > 0, not reduced
+	t1, t2   big.Int // products scratch
+	sv       big.Int // int64 operand scratch
+}
+
+// Reset sets the accumulator to zero, keeping its big.Int capacity.
+func (a *Acc) Reset() {
+	a.n, a.d = 0, 1
+	a.spill = false
+}
+
+// spillNow moves the fast-path value into big.Int storage.
+func (a *Acc) spillNow() {
+	if a.d == 0 {
+		a.d = 1
+	}
+	a.num.SetInt64(a.n)
+	a.den.SetInt64(a.d)
+	a.spill = true
+}
+
+// Add adds r to the accumulator.
+func (a *Acc) Add(r R) {
+	if !a.spill {
+		if r.b == nil {
+			r = r.norm()
+			if a.d == 0 {
+				a.d = 1
+			}
+			if s, ok := addFast(a.n, a.d, r.n, r.d); ok && s.b == nil {
+				a.n, a.d = s.norm().n, s.norm().d
+				return
+			}
+		}
+		a.spillNow()
+	}
+	// num/den += rn/rd  ⇒  num = num·rd + rn·den; den = den·rd.
+	var rnum, rden *big.Int
+	if r.b == nil {
+		r = r.norm()
+		if r.n == 0 {
+			return
+		}
+		a.sv.SetInt64(r.d)
+		a.t1.Mul(&a.num, &a.sv) // t1 = num·rd
+		a.t2.Mul(&a.den, &a.sv) // t2 = den·rd
+		a.sv.SetInt64(r.n)
+		a.num.Mul(&a.den, &a.sv) // num = rn·den (old den)
+		a.num.Add(&a.num, &a.t1)
+		a.den.Set(&a.t2)
+		return
+	}
+	rnum, rden = r.b.Num(), r.b.Denom()
+	if rnum.Sign() == 0 {
+		return
+	}
+	a.t1.Mul(&a.num, rden)
+	a.t2.Mul(&a.den, rden)
+	a.num.Mul(&a.den, rnum)
+	a.num.Add(&a.num, &a.t1)
+	a.den.Set(&a.t2)
+}
+
+// Cmp compares the accumulated sum with r, returning -1, 0 or +1. It
+// does not allocate once the scratch has grown to the working size.
+func (a *Acc) Cmp(r R) int {
+	if !a.spill {
+		d := a.d
+		if d == 0 {
+			d = 1
+		}
+		return (R{n: a.n, d: d}).Cmp(r)
+	}
+	// sign(num/den − rn/rd) = sign(num·rd − rn·den), den, rd > 0.
+	if r.b == nil {
+		r = r.norm()
+		a.sv.SetInt64(r.d)
+		a.t1.Mul(&a.num, &a.sv)
+		a.sv.SetInt64(r.n)
+		a.t2.Mul(&a.den, &a.sv)
+		return a.t1.Cmp(&a.t2)
+	}
+	a.t1.Mul(&a.num, r.b.Denom())
+	a.t2.Mul(&a.den, r.b.Num())
+	return a.t1.Cmp(&a.t2)
+}
+
+// Sign returns the sign of the accumulated sum.
+func (a *Acc) Sign() int {
+	if !a.spill {
+		return sign(a.n)
+	}
+	return a.num.Sign()
+}
+
+// Rat returns the accumulated sum as a freshly allocated big.Rat in
+// lowest terms.
+func (a *Acc) Rat() *big.Rat {
+	if !a.spill {
+		d := a.d
+		if d == 0 {
+			d = 1
+		}
+		return (R{n: a.n, d: d}).Rat()
+	}
+	return new(big.Rat).SetFrac(&a.num, &a.den) // SetFrac copies and reduces
+}
+
+// R returns the accumulated sum as an R value (allocating only when
+// the reduced sum does not fit the fast path).
+func (a *Acc) R() R {
+	if !a.spill {
+		d := a.d
+		if d == 0 {
+			d = 1
+		}
+		return R{n: a.n, d: d}
+	}
+	return demote(new(big.Rat).SetFrac(&a.num, &a.den))
+}
