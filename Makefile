@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench serve fmt vet check clean integration experiments-smoke
+.PHONY: build test race bench bench-serve serve fmt vet check clean integration experiments-smoke
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,16 @@ bench:
 
 bench-all:
 	$(GO) test -bench . -benchtime 100x -run XXX ./...
+
+# Serving-path load benchmark: cmd/loadgen replays a deterministic mixed
+# analyze/admit/stream workload against a 1-node and a 2-node in-process
+# fleet (HTTP + routing + cache sharding, not just the engine), and the
+# throughput + p50/p95/p99 numbers join the BENCH_*.json trajectory.
+bench-serve:
+	mkdir -p bench-results
+	$(GO) run ./cmd/loadgen -inprocess 1 -requests 400 -seed 1 -label fleet=1 | tee bench-results/BENCH_serve.txt
+	$(GO) run ./cmd/loadgen -inprocess 2 -requests 400 -seed 1 -label fleet=2 | tee -a bench-results/BENCH_serve.txt
+	$(GO) run ./cmd/benchjson -in bench-results/BENCH_serve.txt -out bench-results/BENCH_serve.json
 
 serve: ## run the analysis daemon on :8080
 	$(GO) run ./cmd/fpgaschedd -addr :8080

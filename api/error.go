@@ -54,6 +54,20 @@ const (
 	// CodeUnavailable: the serving engine cannot take the request (e.g.
 	// it is shutting down). Retryable.
 	CodeUnavailable ErrorCode = "unavailable"
+	// CodePeerUnavailable: a peer-mode node (or every member of a client
+	// fleet) could not be reached. On the server's analyze path a peer
+	// failure is NEVER surfaced as a request error — the node degrades
+	// to local analysis and only the /metrics breaker counters record
+	// it; this code appears on requests that are themselves peer
+	// operations (a fleet client with no live member, a cache lookup
+	// proxied to a dead node). Detail["peer"] names the offender when
+	// one is identifiable. Retryable.
+	CodePeerUnavailable ErrorCode = "peer_unavailable"
+	// CodeNotReady: the node is alive but not serving (still starting,
+	// or draining for shutdown) — the GET /readyz failure code. Load
+	// balancers and fleet clients should route elsewhere; liveness
+	// (GET /healthz) is unaffected.
+	CodeNotReady ErrorCode = "not_ready"
 	// CodeInternal: an unclassified server-side failure. Retryable.
 	CodeInternal ErrorCode = "internal"
 )

@@ -302,6 +302,42 @@ func fixtures() map[string]any {
 			},
 		},
 		"health_response": HealthResponse{Status: "ok"},
+		// GET /readyz while draining: a 503 error document.
+		"error_not_ready": Errorf(CodeNotReady, "draining for shutdown"),
+		"cache_lookup_request": CacheLookupRequest{
+			Columns:     10,
+			Test:        "GN2",
+			Fingerprint: "8e2c12f8f7a36fa9ce8c8c6de70f6a7a9f0f1f2e3d4c5b6a79887766554433ff",
+		},
+		"cache_lookup_response_hit": CacheLookupResponse{
+			Hit: true,
+			Verdict: &Verdict{
+				Test:        "GN2",
+				Schedulable: true,
+				Checks: []Check{
+					{TaskIndex: 0, LHS: "21/50", RHS: "1/2", Satisfied: true, Lambda: "21/50", Condition: 1},
+				},
+			},
+		},
+		"cache_lookup_response_miss": CacheLookupResponse{Hit: false},
+		"metrics_response_cluster": MetricsResponse{
+			Engine: EngineStats{Hits: 12, Misses: 3, Analyses: 3, CacheLen: 2, CacheCap: 4096, Workers: 8},
+			HTTP: map[string]RouteMetrics{
+				"cache.lookup": {Requests: 9, TotalNanos: 1_200_000},
+			},
+			Cluster: &ClusterMetrics{
+				Self:            "a",
+				LookupHits:      7,
+				LookupMisses:    2,
+				RemoteHits:      5,
+				RemoteFallbacks: 1,
+				Peers: map[string]PeerMetrics{
+					"b": {FetchHits: 5, FetchMisses: 1, FetchNanos: 3_400_000},
+					"c": {FetchErrors: 4, FetchNanos: 900_000, ConsecutiveFailures: 4, BreakerOpen: true},
+				},
+			},
+		},
+		"error_peer_unavailable": Errorf(CodePeerUnavailable, `no live fleet member could serve the request`).WithDetail("peer", "b"),
 	}
 }
 

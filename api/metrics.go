@@ -50,9 +50,18 @@ type RouteMetrics struct {
 type MetricsResponse struct {
 	Engine EngineStats             `json:"engine"`
 	HTTP   map[string]RouteMetrics `json:"http"`
+	// Cluster is the peer-mode section: per-peer fetch health and the
+	// served-lookup counters. Absent on single-node daemons (additive
+	// v1 field).
+	Cluster *ClusterMetrics `json:"cluster,omitempty"`
 }
 
-// HealthResponse answers GET /healthz.
+// HealthResponse answers GET /healthz (liveness) and, on the ready
+// path, GET /readyz (readiness): both are {"status":"ok"} with a 200.
+// A not-ready node answers /readyz with a 503 Error document carrying
+// code not_ready instead — load balancers key on the status code,
+// fleet clients on the code — while /healthz stays 200 for as long as
+// the process serves at all.
 type HealthResponse struct {
 	Status string `json:"status"`
 }

@@ -6,9 +6,9 @@
 //   - per-call context.Context on every method, cancelling the server
 //     side too (the daemon abandons queued analyses when a client goes
 //     away);
-//   - opt-in retries with linear backoff on transport errors and 5xx
-//     responses, applied only to calls that are safe to repeat (pure
-//     analyses, simulations and reads — never Admit);
+//   - opt-in retries with jittered exponential backoff on transport
+//     errors and 5xx responses, applied only to calls that are safe to
+//     repeat (pure analyses, simulations and reads — never Admit);
 //   - connection reuse: one Client shares one http.Client (and so one
 //     connection pool) across calls and goroutines;
 //   - typed errors: any non-2xx response is returned as *api.Error with
@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"io"
 	"iter"
+	"math/rand/v2"
 	"net/http"
 	"net/url"
 	"strings"
@@ -78,9 +79,11 @@ func WithRetries(n int) Option {
 	return func(c *Client) { c.retries = n }
 }
 
-// WithRetryBackoff sets the base delay between attempts (attempt k
-// waits k × backoff, respecting the call's context). The default is
-// 100ms.
+// WithRetryBackoff sets the base delay between attempts. Retry k waits
+// a uniform draw from [d/2, d) where d = backoff × 2^(k-1), capped at
+// maxBackoff and respecting the call's context: exponential so repeated
+// failures back off fast, jittered so a fleet of clients that failed
+// together does not retry together. The default base is 100ms.
 func WithRetryBackoff(d time.Duration) Option {
 	return func(c *Client) { c.backoff = d }
 }
@@ -114,6 +117,25 @@ func retryable(status int, err error) bool {
 	return err != nil || status >= 500
 }
 
+// maxBackoff caps the exponential growth of retry delays.
+const maxBackoff = 5 * time.Second
+
+// backoffFor returns the jittered delay before retry k (k ≥ 1). See
+// WithRetryBackoff for the contract.
+func (c *Client) backoffFor(k int) time.Duration {
+	d := c.backoff
+	for i := 1; i < k && d < maxBackoff; i++ {
+		d *= 2
+	}
+	if d > maxBackoff {
+		d = maxBackoff
+	}
+	if d < 2 {
+		return d // too small to jitter (and rand.N panics on 0)
+	}
+	return d/2 + rand.N(d-d/2)
+}
+
 // do issues one JSON call. in (when non-nil) is marshalled once and
 // replayed on retries; out (when non-nil) receives the 2xx body. retry
 // opts the call into the configured retry policy.
@@ -133,7 +155,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any, retry
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
 			select {
-			case <-time.After(time.Duration(attempt) * c.backoff):
+			case <-time.After(c.backoffFor(attempt)):
 			case <-ctx.Done():
 				return ctx.Err()
 			}
@@ -215,6 +237,19 @@ func (c *Client) Health(ctx context.Context) error {
 	}
 	if out.Status != "ok" {
 		return fmt.Errorf("client: daemon unhealthy: %q", out.Status)
+	}
+	return nil
+}
+
+// Ready checks GET /readyz: nil while the daemon accepts new work, an
+// *api.Error with code not_ready once it is draining for shutdown.
+func (c *Client) Ready(ctx context.Context) error {
+	var out api.HealthResponse
+	if err := c.do(ctx, http.MethodGet, "/readyz", nil, &out, false); err != nil {
+		return err
+	}
+	if out.Status != "ok" {
+		return fmt.Errorf("client: daemon not ready: %q", out.Status)
 	}
 	return nil
 }

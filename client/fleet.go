@@ -1,0 +1,485 @@
+package client
+
+import (
+	"context"
+	"fmt"
+	"iter"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fpgasched/api"
+	"fpgasched/internal/cluster"
+)
+
+// Fleet is a client for a static fleet of fpgaschedd daemons: the
+// multi-node counterpart of Client. It holds one Client per member and
+// routes each call to the node best placed to answer it, using the
+// same rendezvous hash over member names as the daemons themselves
+// (internal/cluster):
+//
+//   - analyses and analysis streams go to the node that owns the
+//     taskset's fingerprint, so they hit that node's verdict cache
+//     directly instead of paying a peer fetch;
+//   - controller operations are pinned by controller name, so a
+//     controller's resident state lives on one node and every admit,
+//     release and snapshot sees it;
+//   - non-routable reads (tests, simulate) are load-balanced round
+//     robin across members;
+//   - idempotent reads can be hedged (WithHedgeDelay): if the routed
+//     node has not answered within the delay, the same request is
+//     raced against the next member and the first answer wins.
+//     Mutations (Admit, controller create/delete/release) are never
+//     hedged and never failed over — exactly one node ever sees them.
+//
+// Owner routing is an optimisation, not a correctness requirement: any
+// member can serve any analysis (non-owners fetch from the owner or
+// analyse locally), which is what makes the failover and hedging here
+// safe for the pure calls.
+//
+// Create with NewFleet; safe for concurrent use.
+type Fleet struct {
+	names   []string // sorted member names: the hash universe
+	members map[string]*Client
+	hedge   time.Duration // 0 = hedging disabled
+	rr      atomic.Uint64
+}
+
+// FleetOption customises a Fleet.
+type FleetOption func(*fleetConfig)
+
+type fleetConfig struct {
+	hedge      time.Duration
+	clientOpts []Option
+}
+
+// WithHedgeDelay enables hedging of idempotent reads: when the routed
+// member has not answered within d, the request is raced against the
+// next member and the first answer wins. 0 (the default) disables
+// hedging. Mutations are never hedged regardless of this setting.
+func WithHedgeDelay(d time.Duration) FleetOption {
+	return func(c *fleetConfig) { c.hedge = d }
+}
+
+// WithMemberOptions applies Client options (retries, backoff, HTTP
+// client) to every member client.
+func WithMemberOptions(opts ...Option) FleetOption {
+	return func(c *fleetConfig) { c.clientOpts = append(c.clientOpts, opts...) }
+}
+
+// NewFleet returns a Fleet over the given members (name → base URL).
+// The names must match the -peers names the daemons were started with:
+// they are the hashing universe, and owner routing only lines up with
+// the servers' own sharding when both sides agree on them.
+func NewFleet(peers map[string]string, opts ...FleetOption) (*Fleet, error) {
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("client: fleet needs at least one member")
+	}
+	var cfg fleetConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	f := &Fleet{
+		members: make(map[string]*Client, len(peers)),
+		hedge:   cfg.hedge,
+	}
+	for name, base := range peers {
+		if name == "" {
+			return nil, fmt.Errorf("client: empty fleet member name")
+		}
+		c, err := New(base, cfg.clientOpts...)
+		if err != nil {
+			return nil, fmt.Errorf("client: fleet member %q: %w", name, err)
+		}
+		f.names = append(f.names, name)
+		f.members[name] = c
+	}
+	sort.Strings(f.names)
+	return f, nil
+}
+
+// Members returns the sorted member names.
+func (f *Fleet) Members() []string { return f.names }
+
+// Node returns the member client by name (nil if unknown), for calls
+// that are inherently node-local — experiment jobs, per-node metrics.
+func (f *Fleet) Node(name string) *Client { return f.members[name] }
+
+// ownerOf returns the member owning a taskset's verdicts.
+func (f *Fleet) ownerOf(set *api.TaskSet) string {
+	return cluster.OwnerOfKey(f.names, set.Fingerprint().String())
+}
+
+// pick returns the next member name in round-robin order.
+func (f *Fleet) pick() string {
+	return f.names[(f.rr.Add(1)-1)%uint64(len(f.names))]
+}
+
+// after returns the member following name in the sorted rotation — the
+// hedge/failover target, guaranteed distinct from name when the fleet
+// has more than one member.
+func (f *Fleet) after(name string) string {
+	for i, n := range f.names {
+		if n == name {
+			return f.names[(i+1)%len(f.names)]
+		}
+	}
+	return f.names[0]
+}
+
+// hedged runs call against the routed member, racing a second copy
+// against the next member if the first has not answered within the
+// hedge delay. Only used for idempotent calls.
+func hedged[T any](ctx context.Context, f *Fleet, name string, call func(context.Context, *Client) (T, error)) (T, error) {
+	primary := f.members[name]
+	if f.hedge <= 0 || len(f.names) == 1 {
+		return call(ctx, primary)
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type outcome struct {
+		v   T
+		err error
+	}
+	results := make(chan outcome, 2)
+	launch := func(c *Client) {
+		v, err := call(ctx, c)
+		results <- outcome{v, err}
+	}
+	go launch(primary)
+	timer := time.NewTimer(f.hedge)
+	defer timer.Stop()
+	inFlight := 1
+	for {
+		select {
+		case <-timer.C:
+			inFlight++
+			go launch(f.members[f.after(name)])
+		case res := <-results:
+			// First success wins; errors only surface once every copy
+			// has failed (a hedge exists to hide one slow node, so one
+			// node's error must not beat the other's answer).
+			if res.err == nil || inFlight == 1 {
+				return res.v, res.err
+			}
+			inFlight--
+		case <-ctx.Done():
+			var zero T
+			return zero, ctx.Err()
+		}
+	}
+}
+
+// Health checks every member concurrently; the first failure is
+// returned with the member named.
+func (f *Fleet) Health(ctx context.Context) error {
+	return f.fanHealth(ctx, func(c *Client) error { return c.Health(ctx) })
+}
+
+// Ready checks every member's readiness; a draining member fails the
+// fleet check with its name attached.
+func (f *Fleet) Ready(ctx context.Context) error {
+	return f.fanHealth(ctx, func(c *Client) error { return c.Ready(ctx) })
+}
+
+func (f *Fleet) fanHealth(ctx context.Context, probe func(*Client) error) error {
+	errs := make(chan error, len(f.names))
+	for _, name := range f.names {
+		go func() {
+			if err := probe(f.members[name]); err != nil {
+				errs <- fmt.Errorf("member %q: %w", name, err)
+				return
+			}
+			errs <- nil
+		}()
+	}
+	var first error
+	for range f.names {
+		if err := <-errs; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Metrics snapshots every member's /metrics document, keyed by member
+// name. Per-node counters (cache hits, peer fetches) only mean anything
+// per node, so there is deliberately no merged view.
+func (f *Fleet) Metrics(ctx context.Context) (map[string]*api.MetricsResponse, error) {
+	out := make(map[string]*api.MetricsResponse, len(f.names))
+	var mu sync.Mutex
+	errs := make(chan error, len(f.names))
+	for _, name := range f.names {
+		go func() {
+			m, err := f.members[name].Metrics(ctx)
+			if err != nil {
+				errs <- fmt.Errorf("member %q: %w", name, err)
+				return
+			}
+			mu.Lock()
+			out[name] = m
+			mu.Unlock()
+			errs <- nil
+		}()
+	}
+	for range f.names {
+		if err := <-errs; err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Tests fetches the test registry from a round-robin member (hedged:
+// the registry is identical fleet-wide).
+func (f *Fleet) Tests(ctx context.Context) ([]string, error) {
+	return hedged(ctx, f, f.pick(), func(ctx context.Context, c *Client) ([]string, error) {
+		return c.Tests(ctx)
+	})
+}
+
+// Simulate runs one simulation on a round-robin member (hedged:
+// simulations are pure).
+func (f *Fleet) Simulate(ctx context.Context, req api.SimulateRequest) (*api.SimulateResponse, error) {
+	return hedged(ctx, f, f.pick(), func(ctx context.Context, c *Client) (*api.SimulateResponse, error) {
+		return c.Simulate(ctx, req)
+	})
+}
+
+// Analyze routes an analysis to the owning member. A single-set request
+// goes to the owner of its fingerprint; a batch is split by owner and
+// the per-owner batches run concurrently, with results reassembled in
+// request order. Analyses are pure, so they are hedged when enabled.
+func (f *Fleet) Analyze(ctx context.Context, req api.AnalyzeRequest) (*api.AnalyzeResponse, error) {
+	if req.Taskset != nil || len(req.Tasksets) == 0 {
+		name := f.pick()
+		if req.Taskset != nil {
+			name = f.ownerOf(req.Taskset)
+		}
+		return hedged(ctx, f, name, func(ctx context.Context, c *Client) (*api.AnalyzeResponse, error) {
+			return c.Analyze(ctx, req)
+		})
+	}
+	// Batch: partition by owner, preserving each set's original index.
+	type group struct {
+		sets    []*api.TaskSet
+		indices []int
+	}
+	groups := make(map[string]*group)
+	for i, set := range req.Tasksets {
+		name := f.pick()
+		if set != nil {
+			name = f.ownerOf(set)
+		}
+		g := groups[name]
+		if g == nil {
+			g = &group{}
+			groups[name] = g
+		}
+		g.sets = append(g.sets, set)
+		g.indices = append(g.indices, i)
+	}
+	results := make([]api.AnalyzeResult, len(req.Tasksets))
+	errs := make(chan error, len(groups))
+	for name, g := range groups {
+		go func() {
+			sub := req
+			sub.Tasksets = g.sets
+			resp, err := hedged(ctx, f, name, func(ctx context.Context, c *Client) (*api.AnalyzeResponse, error) {
+				return c.Analyze(ctx, sub)
+			})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if len(resp.Results) != len(g.indices) {
+				errs <- fmt.Errorf("client: member %q returned %d results for %d tasksets", name, len(resp.Results), len(g.indices))
+				return
+			}
+			for j, i := range g.indices {
+				results[i] = resp.Results[j]
+			}
+			errs <- nil
+		}()
+	}
+	var first error
+	for range groups {
+		if err := <-errs; err != nil && first == nil {
+			first = err
+		}
+	}
+	if first != nil {
+		return nil, first
+	}
+	return &api.AnalyzeResponse{Columns: req.Columns, Results: results}, nil
+}
+
+// AnalyzeStream drives one analysis stream per owning member,
+// demultiplexing the request iterator by fingerprint owner and merging
+// the result streams back under the caller's global indices. fn sees
+// exactly the same contract as Client.AnalyzeStream — out-of-order
+// results tagged with the 0-based index of the request line — and is
+// never called concurrently. Member streams start lazily, so a fleet
+// larger than the owner spread of the batch costs nothing extra.
+func (f *Fleet) AnalyzeStream(ctx context.Context, reqs iter.Seq[api.StreamRequest], fn func(api.StreamResult) error) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type routed struct {
+		req    api.StreamRequest
+		global int
+	}
+	var (
+		wg    sync.WaitGroup
+		fnMu  sync.Mutex // serialises fn across member streams
+		errMu sync.Mutex
+		first error
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if first == nil && err != nil {
+			first = err
+			cancel()
+		}
+		errMu.Unlock()
+	}
+	subs := make(map[string]chan routed)
+	start := func(name string) chan routed {
+		ch := make(chan routed, 16)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// indexOf maps this member's line numbers back to global
+			// indices. Guarded: the feeder below appends from the pipe
+			// goroutine inside AnalyzeStream while results decode in
+			// this goroutine.
+			var (
+				mu      sync.Mutex
+				indexOf []int
+			)
+			seq := func(yield func(api.StreamRequest) bool) {
+				for r := range ch {
+					mu.Lock()
+					indexOf = append(indexOf, r.global)
+					mu.Unlock()
+					if !yield(r.req) {
+						return
+					}
+				}
+			}
+			err := f.members[name].AnalyzeStream(ctx, seq, func(res api.StreamResult) error {
+				mu.Lock()
+				ok := res.Index >= 0 && res.Index < len(indexOf)
+				if ok {
+					res.Index = indexOf[res.Index]
+				}
+				mu.Unlock()
+				if !ok {
+					return fmt.Errorf("client: member %q answered unknown stream index %d", name, res.Index)
+				}
+				fnMu.Lock()
+				defer fnMu.Unlock()
+				return fn(res)
+			})
+			if err != nil {
+				fail(fmt.Errorf("member %q: %w", name, err))
+			}
+		}()
+		return ch
+	}
+
+	global := 0
+	for req := range reqs {
+		if ctx.Err() != nil {
+			break
+		}
+		name := f.pick()
+		if req.Taskset != nil {
+			name = f.ownerOf(req.Taskset)
+		}
+		ch := subs[name]
+		if ch == nil {
+			ch = start(name)
+			subs[name] = ch
+		}
+		select {
+		case ch <- routed{req, global}:
+		case <-ctx.Done():
+		}
+		global++
+	}
+	for _, ch := range subs {
+		close(ch)
+	}
+	wg.Wait()
+	errMu.Lock()
+	defer errMu.Unlock()
+	if first != nil {
+		return first
+	}
+	return ctx.Err()
+}
+
+// controllerNode pins a controller to one member by name, so its
+// resident state has a single home across every call that touches it.
+func (f *Fleet) controllerNode(name string) *Client {
+	return f.members[cluster.OwnerOfKey(f.names, "controller\x00"+name)]
+}
+
+// CreateController creates a controller on its pinned member. Never
+// hedged or failed over: creation mutates node state.
+func (f *Fleet) CreateController(ctx context.Context, name string, req api.ControllerRequest) (*api.ControllerInfo, error) {
+	return f.controllerNode(name).CreateController(ctx, name, req)
+}
+
+// DeleteController drops a controller on its pinned member.
+func (f *Fleet) DeleteController(ctx context.Context, name string) error {
+	return f.controllerNode(name).DeleteController(ctx, name)
+}
+
+// Admit routes an admission to the controller's pinned member. Never
+// hedged or retried — admission mutates the resident set.
+func (f *Fleet) Admit(ctx context.Context, controller string, t api.Task) (*api.AdmitResponse, error) {
+	return f.controllerNode(controller).Admit(ctx, controller, t)
+}
+
+// Release routes a release to the controller's pinned member.
+func (f *Fleet) Release(ctx context.Context, controller, taskName string) error {
+	return f.controllerNode(controller).Release(ctx, controller, taskName)
+}
+
+// Resident snapshots a controller from its pinned member.
+func (f *Fleet) Resident(ctx context.Context, controller string) (*api.ResidentResponse, error) {
+	return f.controllerNode(controller).Resident(ctx, controller)
+}
+
+// Controllers merges the controller listings of every member (each
+// node hosts the controllers pinned to it), sorted by name.
+func (f *Fleet) Controllers(ctx context.Context) ([]api.ControllerInfo, error) {
+	var (
+		mu  sync.Mutex
+		all []api.ControllerInfo
+	)
+	errs := make(chan error, len(f.names))
+	for _, name := range f.names {
+		go func() {
+			infos, err := f.members[name].Controllers(ctx)
+			if err != nil {
+				errs <- fmt.Errorf("member %q: %w", name, err)
+				return
+			}
+			mu.Lock()
+			all = append(all, infos...)
+			mu.Unlock()
+			errs <- nil
+		}()
+	}
+	for range f.names {
+		if err := <-errs; err != nil {
+			return nil, err
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Name < all[j].Name })
+	return all, nil
+}

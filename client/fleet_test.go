@@ -1,0 +1,347 @@
+package client
+
+import (
+	"context"
+	"fmt"
+	"iter"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"fpgasched/api"
+	"fpgasched/internal/cluster"
+	"fpgasched/internal/engine"
+	"fpgasched/internal/server"
+	"fpgasched/internal/task"
+	"fpgasched/internal/workload"
+)
+
+func TestBackoffJitter(t *testing.T) {
+	c := &Client{backoff: 100 * time.Millisecond}
+	seen := make(map[time.Duration]bool)
+	for i := 0; i < 50; i++ {
+		d := c.backoffFor(1)
+		if d < 50*time.Millisecond || d >= 100*time.Millisecond {
+			t.Fatalf("backoffFor(1) = %v, want in [50ms, 100ms)", d)
+		}
+		seen[d] = true
+	}
+	if len(seen) < 2 {
+		t.Fatal("50 jittered draws were all identical — jitter missing")
+	}
+	if d := c.backoffFor(2); d < 100*time.Millisecond || d >= 200*time.Millisecond {
+		t.Fatalf("backoffFor(2) = %v, want in [100ms, 200ms)", d)
+	}
+	// Growth is capped: a deep retry never waits more than maxBackoff.
+	if d := c.backoffFor(30); d < maxBackoff/2 || d > maxBackoff {
+		t.Fatalf("backoffFor(30) = %v, want in [%v, %v]", d, maxBackoff/2, maxBackoff)
+	}
+	// Sub-jitter bases pass through untouched (keeps 1ms test configs fast).
+	c.backoff = 1
+	if d := c.backoffFor(1); d != 1 {
+		t.Fatalf("backoffFor with 1ns base = %v, want 1ns", d)
+	}
+}
+
+// fleetEnv is a 2-node in-process fleet plus a Fleet client over it.
+type fleetEnv struct {
+	fleet   *Fleet
+	servers map[string]*server.Server
+	engines map[string]*engine.Engine
+	tss     map[string]*httptest.Server
+}
+
+func newFleetEnv(t testing.TB, n int, opts ...FleetOption) *fleetEnv {
+	t.Helper()
+	env := &fleetEnv{
+		servers: make(map[string]*server.Server),
+		engines: make(map[string]*engine.Engine),
+		tss:     make(map[string]*httptest.Server),
+	}
+	peers := make(map[string]string, n)
+	names := make([]string, n)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("node%d", i)
+		names[i] = name
+		srvName := name
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			env.servers[srvName].ServeHTTP(w, r)
+		}))
+		env.tss[name] = ts
+		peers[name] = ts.URL
+	}
+	for _, name := range names {
+		fl, err := cluster.New(cluster.Config{Self: name, Peers: peers, FetchTimeout: 5 * time.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := engine.New(engine.Config{Workers: 2, CacheSize: 128})
+		env.engines[name] = e
+		env.servers[name] = server.New(server.Config{Engine: e, Fleet: fl})
+	}
+	t.Cleanup(func() {
+		for _, name := range names {
+			env.tss[name].Close()
+			env.servers[name].Close()
+			env.engines[name].Close()
+		}
+	})
+	f, err := NewFleet(peers, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.fleet = f
+	return env
+}
+
+// totalAnalyses sums real test executions across the fleet's engines.
+func (env *fleetEnv) totalAnalyses() uint64 {
+	var total uint64
+	for _, e := range env.engines {
+		total += e.Stats().Analyses
+	}
+	return total
+}
+
+// TestFleetAnalyzeOwnerRouting pins the point of owner routing: the
+// fleet client sends a single-set analysis straight to the node the
+// servers' own sharding assigns, so the second request — through either
+// path — is a pure cache hit with zero peer fetches anywhere.
+func TestFleetAnalyzeOwnerRouting(t *testing.T) {
+	env := newFleetEnv(t, 2)
+	ctx := context.Background()
+	set := workload.Table3()
+
+	resp, err := env.fleet.Analyze(ctx, api.AnalyzeRequest{Columns: 10, Tests: []string{"GN2"}, Taskset: set})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Result == nil || !resp.Result.Schedulable {
+		t.Fatalf("result = %+v, want schedulable", resp.Result)
+	}
+	owner := cluster.OwnerOfKey(env.fleet.Members(), set.Fingerprint().String())
+	if got := env.engines[owner].Stats().Analyses; got == 0 {
+		t.Fatalf("owner %q ran no analyses — request was not owner-routed", owner)
+	}
+	for name, e := range env.engines {
+		if name != owner && e.Stats().Analyses != 0 {
+			t.Fatalf("non-owner %q ran %d analyses", name, e.Stats().Analyses)
+		}
+	}
+
+	// Repeat: served from the owner's cache, no peer fetch recorded.
+	before := env.totalAnalyses()
+	if _, err := env.fleet.Analyze(ctx, api.AnalyzeRequest{Columns: 10, Tests: []string{"GN2"}, Taskset: set}); err != nil {
+		t.Fatal(err)
+	}
+	if got := env.totalAnalyses(); got != before {
+		t.Fatalf("repeat request re-analysed: %d -> %d", before, got)
+	}
+	ms, err := env.fleet.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, m := range ms {
+		if m.Cluster.RemoteHits+m.Cluster.RemoteFallbacks != 0 {
+			t.Fatalf("node %q paid peer fetches despite owner routing: %+v", name, m.Cluster)
+		}
+	}
+}
+
+// TestFleetAnalyzeBatchSplitsByOwner sends a batch covering both
+// owners and checks results come back in request order.
+func TestFleetAnalyzeBatchSplitsByOwner(t *testing.T) {
+	env := newFleetEnv(t, 2)
+	ctx := context.Background()
+	r := workload.Rand(11)
+	sets := make([]*api.TaskSet, 8)
+	for i := range sets {
+		sets[i] = workload.Unconstrained(4).Generate(r)
+	}
+	resp, err := env.fleet.Analyze(ctx, api.AnalyzeRequest{Columns: 100, Tests: []string{"GN2"}, Tasksets: sets})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != len(sets) {
+		t.Fatalf("got %d results for %d sets", len(resp.Results), len(sets))
+	}
+	// Order check: re-analyse each set individually and compare the
+	// aggregate verdicts positionally.
+	for i, set := range sets {
+		single, err := env.fleet.Analyze(ctx, api.AnalyzeRequest{Columns: 100, Tests: []string{"GN2"}, Taskset: set})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if single.Result.Schedulable != resp.Results[i].Schedulable {
+			t.Fatalf("result %d out of order: batch=%v single=%v", i, resp.Results[i].Schedulable, single.Result.Schedulable)
+		}
+	}
+}
+
+// TestFleetAnalyzeStreamDemux drives a mixed-owner stream through the
+// fleet client and checks every global index is answered exactly once.
+func TestFleetAnalyzeStreamDemux(t *testing.T) {
+	env := newFleetEnv(t, 2)
+	r := workload.Rand(23)
+	const lines = 12
+	sets := make([]*api.TaskSet, lines)
+	for i := range sets {
+		sets[i] = workload.Unconstrained(4).Generate(r)
+	}
+	reqs := func(yield func(api.StreamRequest) bool) {
+		for _, s := range sets {
+			if !yield(api.StreamRequest{Columns: 100, Tests: []string{"GN2"}, Taskset: s}) {
+				return
+			}
+		}
+	}
+	var (
+		mu   sync.Mutex
+		seen = make(map[int]bool)
+	)
+	err := env.fleet.AnalyzeStream(context.Background(), iter.Seq[api.StreamRequest](reqs), func(res api.StreamResult) error {
+		mu.Lock()
+		defer mu.Unlock()
+		if res.Error != nil {
+			return fmt.Errorf("line %d: %v", res.Index, res.Error)
+		}
+		if seen[res.Index] {
+			return fmt.Errorf("index %d answered twice", res.Index)
+		}
+		seen[res.Index] = true
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != lines {
+		t.Fatalf("answered %d of %d lines", len(seen), lines)
+	}
+	for i := 0; i < lines; i++ {
+		if !seen[i] {
+			t.Fatalf("index %d never answered", i)
+		}
+	}
+}
+
+// TestFleetControllerPinning checks a controller created through the
+// fleet is visible to every controller call routed by the same name,
+// and that the fleet-wide listing merges node-local registries.
+func TestFleetControllerPinning(t *testing.T) {
+	env := newFleetEnv(t, 2)
+	ctx := context.Background()
+	for _, name := range []string{"tenant-a", "tenant-b", "tenant-c"} {
+		if _, err := env.fleet.CreateController(ctx, name, api.ControllerRequest{Columns: 10}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := env.fleet.Admit(ctx, name, task.New("t1", "1", "5", "5", 2)); err != nil {
+			t.Fatal(err)
+		}
+		res, err := env.fleet.Resident(ctx, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Count != 1 {
+			t.Fatalf("controller %q resident count = %d, want 1", name, res.Count)
+		}
+	}
+	infos, err := env.fleet.Controllers(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 3 {
+		t.Fatalf("fleet listing has %d controllers, want 3", len(infos))
+	}
+	if err := env.fleet.DeleteController(ctx, "tenant-b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := env.fleet.Resident(ctx, "tenant-b"); err == nil {
+		t.Fatal("deleted controller still resolves")
+	}
+}
+
+// TestFleetHedgeRacesSlowMember stalls one member and checks a hedged
+// read is answered by the other well before the stall ends.
+func TestFleetHedgeRacesSlowMember(t *testing.T) {
+	srv := server.New(server.Config{EngineConfig: engine.Config{Workers: 1, CacheSize: 16}})
+	defer srv.Close()
+	release := make(chan struct{})
+	var stallOnce sync.Once
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release
+		srv.ServeHTTP(w, r)
+	}))
+	fast := httptest.NewServer(srv)
+	defer func() {
+		stallOnce.Do(func() { close(release) })
+		slow.Close()
+		fast.Close()
+	}()
+
+	f, err := NewFleet(map[string]string{"slow": slow.URL, "fast": fast.URL},
+		WithHedgeDelay(30*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Route reads at both members round-robin: whichever one the pick
+	// lands on, the hedge must produce an answer quickly.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for i := 0; i < 2; i++ {
+		start := time.Now()
+		if _, err := f.Tests(ctx); err != nil {
+			t.Fatalf("hedged read %d failed: %v", i, err)
+		}
+		if elapsed := time.Since(start); elapsed > 5*time.Second {
+			t.Fatalf("hedged read %d took %v — hedge never fired", i, elapsed)
+		}
+	}
+}
+
+// TestFleetHealthNamesFailingMember kills a node and checks the fleet
+// health probe names it.
+func TestFleetHealthNamesFailingMember(t *testing.T) {
+	env := newFleetEnv(t, 2)
+	ctx := context.Background()
+	if err := env.fleet.Health(ctx); err != nil {
+		t.Fatalf("healthy fleet reported %v", err)
+	}
+	if err := env.fleet.Ready(ctx); err != nil {
+		t.Fatalf("ready fleet reported %v", err)
+	}
+	env.servers["node1"].SetDraining()
+	err := env.fleet.Ready(ctx)
+	if err == nil {
+		t.Fatal("fleet with a draining member reported ready")
+	}
+	if want := `member "node1"`; !contains(err.Error(), want) {
+		t.Fatalf("error %q does not name the draining member", err)
+	}
+	// Liveness is still fine: draining is readiness-only.
+	if err := env.fleet.Health(ctx); err != nil {
+		t.Fatalf("draining must not fail liveness: %v", err)
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestNewFleetValidation(t *testing.T) {
+	if _, err := NewFleet(nil); err == nil {
+		t.Fatal("empty fleet must be rejected")
+	}
+	if _, err := NewFleet(map[string]string{"": "http://h:1"}); err == nil {
+		t.Fatal("empty member name must be rejected")
+	}
+	if _, err := NewFleet(map[string]string{"a": "ftp://h:1"}); err == nil {
+		t.Fatal("bad member URL must be rejected")
+	}
+}

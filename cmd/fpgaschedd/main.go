@@ -4,12 +4,23 @@
 // Usage:
 //
 //	fpgaschedd [-addr :8080] [-workers 8] [-cache 4096] [-max-body 1048576]
+//	fpgaschedd -self a -peers a=http://h1:8080,b=http://h2:8080 [-peer-timeout 2s]
+//
+// The second form starts the daemon as one shard of a static fleet:
+// verdict-cache ownership is consistent-hashed over the peer names
+// (DESIGN.md "Cluster topology"), non-owners fetch memoized verdicts
+// from the owner over POST /v1/cache/lookup, and dead or slow peers
+// degrade each node to its single-node behaviour. Every fleet member
+// must be started with the same -peers list (URLs may differ in
+// spelling, the names are what must agree).
 //
 // Endpoints (the wire contract lives in the api package; see DESIGN.md
 // "API v1 contract" for payload shapes and error codes):
 //
 //	GET    /healthz
+//	GET    /readyz
 //	GET    /metrics
+//	POST   /v1/cache/lookup
 //	GET    /v1/tests
 //	POST   /v1/analyze
 //	POST   /v1/analyze/stream
@@ -31,10 +42,12 @@
 // NDJSON progress streaming; `experiments -remote` is the CLI front
 // end. The official Go SDK for this API is the client package.
 //
-// The daemon shuts down gracefully on SIGINT/SIGTERM, draining in-flight
-// requests for up to the -drain timeout. Per-request cancellation is
-// separate: a client that disconnects mid-request abandons its queued
-// analyses inside the engine.
+// The daemon shuts down gracefully on SIGINT/SIGTERM: /readyz flips to
+// 503 not_ready first (so load balancers and fleet peers stop routing
+// new work here), then in-flight requests drain for up to the -drain
+// timeout. Per-request cancellation is separate: a client that
+// disconnects mid-request abandons its queued analyses inside the
+// engine.
 package main
 
 import (
@@ -50,6 +63,7 @@ import (
 	"syscall"
 	"time"
 
+	"fpgasched/internal/cluster"
 	"fpgasched/internal/engine"
 	"fpgasched/internal/jobs"
 	"fpgasched/internal/server"
@@ -76,6 +90,11 @@ func run(args []string, ready chan<- string) int {
 	maxExpJobs := fs.Int("max-experiment-jobs", jobs.DefaultMaxJobs, "retained experiment jobs (live + finished)")
 	maxExpSamples := fs.Int("max-experiment-samples", server.DefaultMaxExperimentSamples, "per-bin samples per experiment job (negative disables)")
 	drain := fs.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
+	self := fs.String("self", "", "this node's name in the fleet (requires -peers)")
+	peersFlag := fs.String("peers", "", "fleet members as name=url,... including self (requires -self)")
+	peerTimeout := fs.Duration("peer-timeout", cluster.DefaultFetchTimeout, "per-peer cache fetch timeout")
+	breakerThreshold := fs.Int("peer-breaker-threshold", cluster.DefaultBreakerThreshold, "consecutive peer failures before the breaker opens")
+	breakerCooldown := fs.Duration("peer-breaker-cooldown", cluster.DefaultBreakerCooldown, "breaker cooldown before re-probing a failed peer")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -86,8 +105,31 @@ func run(args []string, ready chan<- string) int {
 		fmt.Fprintln(os.Stderr, "fpgaschedd: -workers must be at least 1")
 		return 2
 	}
+	var fleet *cluster.Fleet
+	if (*self == "") != (*peersFlag == "") {
+		fmt.Fprintln(os.Stderr, "fpgaschedd: -self and -peers must be given together")
+		return 2
+	}
+	if *peersFlag != "" {
+		peers, err := cluster.ParsePeers(*peersFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fpgaschedd: -peers: %v\n", err)
+			return 2
+		}
+		if fleet, err = cluster.New(cluster.Config{
+			Self:             *self,
+			Peers:            peers,
+			FetchTimeout:     *peerTimeout,
+			BreakerThreshold: *breakerThreshold,
+			BreakerCooldown:  *breakerCooldown,
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "fpgaschedd: %v\n", err)
+			return 2
+		}
+	}
 
 	srv := server.New(server.Config{
+		Fleet:                fleet,
 		EngineConfig:         engine.Config{Workers: *workers, CacheSize: *cache, SweepWorkers: *sweepWorkers},
 		MaxBodyBytes:         *maxBody,
 		MaxTasks:             *maxTasks,
@@ -126,7 +168,12 @@ func run(args []string, ready chan<- string) int {
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	defer signal.Stop(stop)
 
-	log.Printf("fpgaschedd: serving on %s (workers=%d cache=%d)", ln.Addr(), *workers, *cache)
+	if fleet != nil {
+		log.Printf("fpgaschedd: serving on %s as fleet member %q of %v (workers=%d cache=%d)",
+			ln.Addr(), fleet.Self(), fleet.Members(), *workers, *cache)
+	} else {
+		log.Printf("fpgaschedd: serving on %s (workers=%d cache=%d)", ln.Addr(), *workers, *cache)
+	}
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}
@@ -137,6 +184,10 @@ func run(args []string, ready chan<- string) int {
 	select {
 	case sig := <-stop:
 		log.Printf("fpgaschedd: %v, draining", sig)
+		// Flip readiness before draining so probes and fleet clients
+		// stop routing new work here while Shutdown waits out the
+		// in-flight requests.
+		srv.SetDraining()
 		ctx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		if err := httpSrv.Shutdown(ctx); err != nil {

@@ -1,0 +1,386 @@
+// Command loadgen replays a configurable mix of analyze, admit and
+// stream traffic against a fpgaschedd fleet and reports throughput and
+// latency percentiles per operation type. It is the serving-path
+// counterpart of the analysis benchmarks under `make bench`: those
+// measure the engine, loadgen measures the daemon — HTTP, routing,
+// cache sharding and the fleet client — end to end.
+//
+// Targets come in two forms:
+//
+//	loadgen -targets a=http://h1:8080,b=http://h2:8080   # a running fleet
+//	loadgen -inprocess 2                                 # self-contained
+//
+// -inprocess N spins up N daemons inside the process, wired as a
+// static fleet over loopback listeners — no ports, no setup, which is
+// what CI runs. -targets names must match the daemons' -peers names:
+// the fleet client owner-routes by hashing those names, and routing
+// only lines up with the servers' sharding when both sides agree.
+//
+// Output is `go test -bench` formatted text on stdout, one line per
+// operation type, with p50/p95/p99 latencies and throughput attached
+// as custom metrics — pipe it through cmd/benchjson to archive it as
+// BENCH_serve.json:
+//
+//	loadgen -inprocess 2 -requests 400 | benchjson -out bench-results/BENCH_serve.json
+//
+// The traffic is deterministic from -seed: the taskset pool, the
+// per-worker operation sequence and the admitted tasks all derive from
+// it, so two runs against equal fleets replay identical request
+// streams (timings of course still vary).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"iter"
+	"math/rand/v2"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"fpgasched/api"
+	"fpgasched/client"
+	"fpgasched/internal/cluster"
+	"fpgasched/internal/engine"
+	"fpgasched/internal/server"
+	"fpgasched/internal/task"
+	"fpgasched/internal/workload"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// op is one weighted operation type of the mix.
+type op struct {
+	name   string
+	weight int
+}
+
+// sample is one completed operation's latency.
+type sample struct {
+	op      string
+	latency time.Duration
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	targets := fs.String("targets", "", "fleet members as name=url,... (names must match the daemons' -peers names)")
+	inprocess := fs.Int("inprocess", 0, "spin up N in-process fleet members instead of -targets")
+	requests := fs.Int("requests", 400, "total operations to issue")
+	concurrency := fs.Int("concurrency", 8, "concurrent workers")
+	mixFlag := fs.String("mix", "analyze=8,admit=1,stream=1", "operation mix as weights")
+	seed := fs.Uint64("seed", 1, "deterministic traffic seed")
+	columns := fs.Int("columns", workload.FigureDeviceColumns, "device area for generated tasksets")
+	setsN := fs.Int("sets", 32, "taskset pool size (smaller pools hit caches harder)")
+	tasksN := fs.Int("tasks", 5, "tasks per generated set")
+	streamLines := fs.Int("stream-lines", 4, "tasksets per stream operation")
+	label := fs.String("label", "", "benchmark label (default fleet=N)")
+	hedge := fs.Duration("hedge", 0, "fleet client hedge delay for idempotent reads (0 disables)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	if (*targets == "") == (*inprocess == 0) {
+		fmt.Fprintln(stderr, "loadgen: exactly one of -targets and -inprocess is required")
+		return 2
+	}
+	if *requests < 1 || *concurrency < 1 || *setsN < 1 || *tasksN < 1 || *streamLines < 1 {
+		fmt.Fprintln(stderr, "loadgen: -requests, -concurrency, -sets, -tasks and -stream-lines must be positive")
+		return 2
+	}
+	mix, err := parseMix(*mixFlag)
+	if err != nil {
+		fmt.Fprintf(stderr, "loadgen: %v\n", err)
+		return 2
+	}
+
+	var peers map[string]string
+	if *inprocess > 0 {
+		nodes, shutdown, err := startInProcessFleet(*inprocess)
+		if err != nil {
+			fmt.Fprintf(stderr, "loadgen: %v\n", err)
+			return 1
+		}
+		defer shutdown()
+		peers = nodes
+	} else {
+		if peers, err = cluster.ParsePeers(*targets); err != nil {
+			fmt.Fprintf(stderr, "loadgen: -targets: %v\n", err)
+			return 2
+		}
+	}
+	fleet, err := client.NewFleet(peers, client.WithHedgeDelay(*hedge))
+	if err != nil {
+		fmt.Fprintf(stderr, "loadgen: %v\n", err)
+		return 1
+	}
+	ctx := context.Background()
+	if err := fleet.Health(ctx); err != nil {
+		fmt.Fprintf(stderr, "loadgen: fleet unhealthy: %v\n", err)
+		return 1
+	}
+	if *label == "" {
+		*label = fmt.Sprintf("fleet=%d", len(peers))
+	}
+
+	// Deterministic workload pools. Admission tasks are deliberately
+	// small relative to the device so admits mostly succeed and the
+	// resident sets keep a few tasks to re-analyse.
+	r := workload.Rand(*seed)
+	sets := make([]*api.TaskSet, *setsN)
+	for i := range sets {
+		sets[i] = workload.Unconstrained(*tasksN).Generate(r)
+	}
+	prof := workload.Unconstrained(1)
+	admitTasks := make([]task.Task, *setsN)
+	for i := range admitTasks {
+		t := prof.Generate(r).Tasks[0]
+		t.Name = "lg-" + strconv.Itoa(i)
+		admitTasks[i] = t
+	}
+
+	// One admission controller per worker: admits within a worker are
+	// serialised, so each controller's resident set stays bounded by
+	// the admit/release pairing below.
+	for w := 0; w < *concurrency; w++ {
+		name := "loadgen-w" + strconv.Itoa(w)
+		if _, err := fleet.CreateController(ctx, name, api.ControllerRequest{Columns: *columns, Tests: []string{"GN2"}}); err != nil {
+			fmt.Fprintf(stderr, "loadgen: creating controller %s: %v\n", name, err)
+			return 1
+		}
+		defer fleet.DeleteController(ctx, name)
+	}
+
+	samples := make(chan sample, *requests)
+	errCh := make(chan error, *concurrency)
+	ops := make(chan string, *requests)
+	for i := 0; i < *requests; i++ {
+		ops <- mix.pick(r)
+	}
+	close(ops)
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Per-worker rand: workers race for ops, but each worker's
+			// own draws stay deterministic.
+			wr := workload.Rand(*seed + uint64(w) + 1)
+			ctrl := "loadgen-w" + strconv.Itoa(w)
+			for o := range ops {
+				t0 := time.Now()
+				var err error
+				switch o {
+				case "analyze":
+					_, err = fleet.Analyze(ctx, api.AnalyzeRequest{
+						Columns: *columns,
+						Tests:   []string{"GN2"},
+						Taskset: sets[wr.IntN(len(sets))],
+					})
+				case "admit":
+					tk := admitTasks[wr.IntN(len(admitTasks))]
+					var resp *api.AdmitResponse
+					resp, err = fleet.Admit(ctx, ctrl, tk)
+					if err == nil && resp.Admitted {
+						// Release so resident sets stay small; the admit
+						// analysis over the residents is the point, not
+						// unbounded growth.
+						err = fleet.Release(ctx, ctrl, tk.Name)
+					}
+				case "stream":
+					err = fleet.AnalyzeStream(ctx, streamOf(sets, wr, *columns, *streamLines),
+						func(res api.StreamResult) error {
+							if res.Error != nil {
+								return res.Error
+							}
+							return nil
+						})
+				}
+				if err != nil {
+					errCh <- fmt.Errorf("%s: %w", o, err)
+					return
+				}
+				samples <- sample{op: o, latency: time.Since(t0)}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(samples)
+	close(errCh)
+	if err := <-errCh; err != nil {
+		fmt.Fprintf(stderr, "loadgen: %v\n", err)
+		return 1
+	}
+
+	byOp := make(map[string][]time.Duration)
+	for s := range samples {
+		byOp[s.op] = append(byOp[s.op], s.latency)
+	}
+	report(stdout, *label, byOp, elapsed)
+	return 0
+}
+
+// streamOf yields n random-pool stream lines.
+func streamOf(sets []*api.TaskSet, r *rand.Rand, columns, n int) iter.Seq[api.StreamRequest] {
+	picks := make([]*api.TaskSet, n)
+	for i := range picks {
+		picks[i] = sets[r.IntN(len(sets))]
+	}
+	return func(yield func(api.StreamRequest) bool) {
+		for _, s := range picks {
+			if !yield(api.StreamRequest{Columns: columns, Tests: []string{"GN2"}, Taskset: s}) {
+				return
+			}
+		}
+	}
+}
+
+// report prints one `go test -bench` formatted line per operation type,
+// so the output pipes straight into cmd/benchjson. Latency percentiles
+// ride along as custom metrics (µs units keep the numbers readable).
+func report(w io.Writer, label string, byOp map[string][]time.Duration, elapsed time.Duration) {
+	names := make([]string, 0, len(byOp))
+	for name := range byOp {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		lat := byOp[name]
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		var total time.Duration
+		for _, d := range lat {
+			total += d
+		}
+		mean := total / time.Duration(len(lat))
+		// Throughput counts this op's completions over the whole run's
+		// wall clock: the mixed ops share the fleet, so per-op isolated
+		// rates would overstate what the mix actually sustained.
+		rate := float64(len(lat)) / elapsed.Seconds()
+		fmt.Fprintf(w, "BenchmarkServe/%s/%s \t%8d\t%12.0f ns/op\t%10.1f p50-us\t%10.1f p95-us\t%10.1f p99-us\t%8.1f req/s\n",
+			label, name, len(lat), float64(mean.Nanoseconds()),
+			us(percentile(lat, 50)), us(percentile(lat, 95)), us(percentile(lat, 99)), rate)
+	}
+}
+
+func us(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+// percentile returns the nearest-rank p-th percentile of sorted
+// latencies.
+func percentile(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := (p*len(sorted) + 99) / 100
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// mixTable is a parsed -mix: weighted operation names.
+type mixTable struct {
+	ops   []op
+	total int
+}
+
+func parseMix(s string) (mixTable, error) {
+	var m mixTable
+	known := map[string]bool{"analyze": true, "admit": true, "stream": true}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, w, ok := strings.Cut(part, "=")
+		if !ok || !known[name] {
+			return m, fmt.Errorf("mix entry %q must be analyze|admit|stream=weight", part)
+		}
+		weight, err := strconv.Atoi(w)
+		if err != nil || weight < 0 {
+			return m, fmt.Errorf("mix entry %q: weight must be a non-negative integer", part)
+		}
+		if weight == 0 {
+			continue
+		}
+		m.ops = append(m.ops, op{name: name, weight: weight})
+		m.total += weight
+	}
+	if m.total == 0 {
+		return m, fmt.Errorf("mix %q selects no operations", s)
+	}
+	return m, nil
+}
+
+// pick draws one operation name by weight.
+func (m mixTable) pick(r *rand.Rand) string {
+	n := r.IntN(m.total)
+	for _, o := range m.ops {
+		if n < o.weight {
+			return o.name
+		}
+		n -= o.weight
+	}
+	return m.ops[len(m.ops)-1].name
+}
+
+// startInProcessFleet boots n servers wired as a static fleet over
+// loopback listeners, returning the member map and a shutdown func.
+// Engines are sized modestly: loadgen measures the serving path, and a
+// fleet of daemons each defaulting to NumCPU workers would oversubscribe
+// the host it shares with the load generator itself.
+func startInProcessFleet(n int) (map[string]string, func(), error) {
+	type node struct {
+		srv *server.Server
+		ts  *httptest.Server
+	}
+	nodes := make([]*node, n)
+	peers := make(map[string]string, n)
+	names := make([]string, n)
+	for i := range nodes {
+		nd := &node{}
+		nd.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			nd.srv.ServeHTTP(w, r)
+		}))
+		nodes[i] = nd
+		names[i] = "node" + strconv.Itoa(i)
+		peers[names[i]] = nd.ts.URL
+	}
+	shutdown := func() {
+		for _, nd := range nodes {
+			nd.ts.Close()
+			if nd.srv != nil {
+				nd.srv.Close()
+			}
+		}
+	}
+	for i, nd := range nodes {
+		fl, err := cluster.New(cluster.Config{Self: names[i], Peers: peers})
+		if err != nil {
+			shutdown()
+			return nil, nil, err
+		}
+		nd.srv = server.New(server.Config{
+			EngineConfig: engine.Config{Workers: 4, CacheSize: 4096},
+			Fleet:        fl,
+		})
+	}
+	return peers, shutdown, nil
+}

@@ -1,0 +1,131 @@
+package main
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRunInProcessFleetSmoke is the CI smoke: a 2-peer in-process fleet
+// under a small mixed load must complete cleanly and report one
+// benchjson-parsable line per operation type.
+func TestRunInProcessFleetSmoke(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-inprocess", "2", "-requests", "60", "-concurrency", "4",
+		"-sets", "8", "-tasks", "4", "-seed", "7",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("run = %d, want 0; stderr:\n%s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, op := range []string{"analyze", "admit", "stream"} {
+		if !strings.Contains(out, "BenchmarkServe/fleet=2/"+op+" ") {
+			t.Errorf("output missing %s line:\n%s", op, out)
+		}
+	}
+	// Every line must be `go test -bench` shaped: name, iterations, then
+	// value/unit pairs — the exact grammar cmd/benchjson parses.
+	total := 0
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			t.Fatalf("line not bench-formatted: %q", line)
+		}
+		if (len(fields)-2)%2 != 0 {
+			t.Fatalf("line has dangling value without unit: %q", line)
+		}
+		n, err := strconv.Atoi(fields[1])
+		if err != nil {
+			t.Fatalf("iterations %q not an integer: %v", fields[1], err)
+		}
+		total += n
+	}
+	if total != 60 {
+		t.Fatalf("reported %d completed ops, want 60", total)
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	cases := [][]string{
+		{}, // neither targets nor inprocess
+		{"-targets", "a=http://x", "-inprocess", "1"}, // both
+		{"-inprocess", "1", "-requests", "0"},
+		{"-inprocess", "1", "-mix", "bogus=1"},
+		{"-inprocess", "1", "-mix", "analyze=0"},
+		{"-targets", "not-a-pair"},
+	}
+	for _, args := range cases {
+		var stdout, stderr bytes.Buffer
+		if code := run(args, &stdout, &stderr); code != 2 {
+			t.Errorf("run(%v) = %d, want 2; stderr: %s", args, code, stderr.String())
+		}
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	m, err := parseMix("analyze=8,admit=1,stream=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.total != 10 || len(m.ops) != 3 {
+		t.Fatalf("mix = %+v, want total 10 over 3 ops", m)
+	}
+	// Zero-weight entries are dropped, not errors: a mix of only
+	// analyzes is a legitimate cache-focused run.
+	m, err = parseMix("analyze=1,admit=0,stream=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.ops) != 1 || m.ops[0].name != "analyze" {
+		t.Fatalf("mix = %+v, want analyze only", m)
+	}
+	r := rand.New(rand.NewPCG(1, 2))
+	for i := 0; i < 20; i++ {
+		if got := m.pick(r); got != "analyze" {
+			t.Fatalf("pick = %q from single-op mix", got)
+		}
+	}
+	for _, bad := range []string{"", "analyze", "analyze=-1", "simulate=1", "analyze=0,admit=0"} {
+		if _, err := parseMix(bad); err == nil {
+			t.Errorf("parseMix(%q) accepted", bad)
+		}
+	}
+}
+
+func TestMixPickIsWeighted(t *testing.T) {
+	m, err := parseMix("analyze=9,admit=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewPCG(3, 4))
+	counts := map[string]int{}
+	for i := 0; i < 5000; i++ {
+		counts[m.pick(r)]++
+	}
+	if counts["analyze"] < 4000 || counts["admit"] == 0 {
+		t.Fatalf("picks badly weighted: %v", counts)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	lat := []time.Duration{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct {
+		p    int
+		want time.Duration
+	}{{50, 5}, {95, 10}, {99, 10}, {100, 10}, {1, 1}}
+	for _, c := range cases {
+		if got := percentile(lat, c.p); got != c.want {
+			t.Errorf("percentile(p=%d) = %d, want %d", c.p, got, c.want)
+		}
+	}
+	if got := percentile(nil, 50); got != 0 {
+		t.Errorf("percentile(nil) = %d, want 0", got)
+	}
+	if got := percentile([]time.Duration{42}, 99); got != 42 {
+		t.Errorf("percentile(single) = %d, want 42", got)
+	}
+}

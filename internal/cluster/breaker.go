@@ -1,0 +1,90 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// Breaker is a per-peer circuit breaker for the fetch path. After
+// Threshold consecutive failures it opens: Allow reports false (the
+// peer is skipped, the caller degrades to local analysis immediately
+// instead of waiting out another timeout) until Cooldown has elapsed,
+// at which point probes are allowed again — a success closes the
+// breaker, another failure re-opens it for a fresh cooldown.
+//
+// The zero value is not usable; create with NewBreaker. Safe for
+// concurrent use.
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // injectable clock for tests
+
+	mu       sync.Mutex
+	failures int       // consecutive failures
+	openedAt time.Time // zero while closed
+}
+
+// Breaker defaults: open after DefaultBreakerThreshold consecutive
+// failures, retry after DefaultBreakerCooldown.
+const (
+	DefaultBreakerThreshold = 5
+	DefaultBreakerCooldown  = 10 * time.Second
+)
+
+// NewBreaker returns a closed breaker. Non-positive threshold or
+// cooldown select the defaults.
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold <= 0 {
+		threshold = DefaultBreakerThreshold
+	}
+	if cooldown <= 0 {
+		cooldown = DefaultBreakerCooldown
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// Allow reports whether a fetch attempt may proceed. While open it
+// returns false until the cooldown elapses; the first post-cooldown
+// call re-arms the cooldown window, so a still-dead peer is probed once
+// per cooldown rather than by every request at once.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.openedAt.IsZero() {
+		return true
+	}
+	if b.now().Sub(b.openedAt) < b.cooldown {
+		return false
+	}
+	b.openedAt = b.now() // half-open: this caller probes, others wait
+	return true
+}
+
+// Success records a completed fetch (hit or miss — the peer answered),
+// closing the breaker and resetting the failure streak.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	b.failures = 0
+	b.openedAt = time.Time{}
+	b.mu.Unlock()
+}
+
+// Failure records a failed fetch; the Threshold-th consecutive failure
+// opens the breaker.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	b.failures++
+	if b.failures >= b.threshold && b.openedAt.IsZero() {
+		b.openedAt = b.now()
+	}
+	b.mu.Unlock()
+}
+
+// Snapshot returns the current consecutive-failure streak and whether
+// the breaker is open (cooldown not yet elapsed).
+func (b *Breaker) Snapshot() (failures int, open bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	open = !b.openedAt.IsZero() && b.now().Sub(b.openedAt) < b.cooldown
+	return b.failures, open
+}

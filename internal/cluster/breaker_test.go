@@ -1,0 +1,73 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerOpensProbesAndCloses(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := NewBreaker(3, time.Minute)
+	b.now = func() time.Time { return now }
+
+	for i := 0; i < 3; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker must allow (failure %d)", i)
+		}
+		b.Failure()
+	}
+	if b.Allow() {
+		t.Fatal("breaker must be open after 3 consecutive failures")
+	}
+	if f, open := b.Snapshot(); f != 3 || !open {
+		t.Fatalf("Snapshot = (%d, %v), want (3, true)", f, open)
+	}
+
+	now = now.Add(59 * time.Second)
+	if b.Allow() {
+		t.Fatal("cooldown not elapsed — must stay open")
+	}
+	now = now.Add(2 * time.Second)
+	if !b.Allow() {
+		t.Fatal("post-cooldown probe must be allowed")
+	}
+	if b.Allow() {
+		t.Fatal("only one probe per cooldown window")
+	}
+
+	b.Success()
+	if f, open := b.Snapshot(); f != 0 || open {
+		t.Fatalf("after Success: Snapshot = (%d, %v), want (0, false)", f, open)
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker must allow")
+	}
+}
+
+func TestBreakerReopensOnFailedProbe(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := NewBreaker(2, time.Minute)
+	b.now = func() time.Time { return now }
+
+	b.Failure()
+	b.Failure()
+	now = now.Add(2 * time.Minute)
+	if !b.Allow() {
+		t.Fatal("probe must be allowed after cooldown")
+	}
+	b.Failure() // probe failed: stays open for a fresh cooldown
+	if b.Allow() {
+		t.Fatal("failed probe must leave the breaker open")
+	}
+	now = now.Add(61 * time.Second)
+	if !b.Allow() {
+		t.Fatal("fresh cooldown must expire a minute after the probe")
+	}
+}
+
+func TestBreakerDefaults(t *testing.T) {
+	b := NewBreaker(0, 0)
+	if b.threshold != DefaultBreakerThreshold || b.cooldown != DefaultBreakerCooldown {
+		t.Fatalf("defaults not applied: threshold=%d cooldown=%v", b.threshold, b.cooldown)
+	}
+}

@@ -1,0 +1,166 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fpgasched/api"
+	"fpgasched/internal/workload"
+)
+
+func TestFleetFetch(t *testing.T) {
+	fp := workload.Table1().Fingerprint()
+	cert := api.Verdict{Test: "GN2", Schedulable: true}
+	var mode atomic.Value
+	mode.Store("hit")
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost || r.URL.Path != "/v1/cache/lookup" {
+			t.Errorf("unexpected request: %s %s", r.Method, r.URL.Path)
+		}
+		var req api.CacheLookupRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			t.Errorf("bad lookup body: %v", err)
+		}
+		if req.Columns != 10 || req.Test != "GN2" || req.Fingerprint != fp.String() {
+			t.Errorf("lookup request drifted: %+v", req)
+		}
+		switch mode.Load() {
+		case "hit":
+			_ = json.NewEncoder(w).Encode(api.CacheLookupResponse{Hit: true, Verdict: &cert})
+		case "miss":
+			_ = json.NewEncoder(w).Encode(api.CacheLookupResponse{Hit: false})
+		default:
+			http.Error(w, "boom", http.StatusInternalServerError)
+		}
+	}))
+	defer ts.Close()
+
+	f, err := New(Config{
+		Self:             "a",
+		Peers:            map[string]string{"a": "http://unused.invalid", "b": ts.URL},
+		BreakerThreshold: 2,
+		BreakerCooldown:  time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	got, ok := f.Fetch(ctx, "b", 10, "GN2", fp)
+	if !ok || got.Test != "GN2" || !got.Schedulable {
+		t.Fatalf("hit fetch = (%+v, %v), want the served certificate", got, ok)
+	}
+	mode.Store("miss")
+	if _, ok := f.Fetch(ctx, "b", 10, "GN2", fp); ok {
+		t.Fatal("miss must report no verdict")
+	}
+	mode.Store("err")
+	for i := 0; i < 2; i++ {
+		if _, ok := f.Fetch(ctx, "b", 10, "GN2", fp); ok {
+			t.Fatal("5xx must report no verdict")
+		}
+	}
+	// Threshold reached: the breaker is open and fetches short-circuit
+	// without touching the network (error count stays at 2).
+	if _, ok := f.Fetch(ctx, "b", 10, "GN2", fp); ok {
+		t.Fatal("open breaker must short-circuit")
+	}
+	if _, ok := f.Fetch(ctx, "nosuchpeer", 10, "GN2", fp); ok {
+		t.Fatal("unknown peer must report no verdict")
+	}
+
+	f.RecordRemote(true)
+	f.RecordRemote(false)
+	f.RecordLookupServed(true)
+
+	m := f.Metrics()
+	if m.Self != "a" || m.RemoteHits != 1 || m.RemoteFallbacks != 1 || m.LookupHits != 1 || m.LookupMisses != 0 {
+		t.Fatalf("cluster counters drifted: %+v", m)
+	}
+	pm := m.Peers["b"]
+	if pm.FetchHits != 1 || pm.FetchMisses != 1 || pm.FetchErrors != 2 {
+		t.Fatalf("peer counters = %+v, want 1 hit / 1 miss / 2 errors", pm)
+	}
+	if !pm.BreakerOpen || pm.ConsecutiveFailures != 2 {
+		t.Fatalf("breaker state = %+v, want open with 2 consecutive failures", pm)
+	}
+}
+
+func TestFleetFetchTimeout(t *testing.T) {
+	stall := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-stall
+	}))
+	defer ts.Close()
+	defer close(stall)
+
+	f, err := New(Config{
+		Self:         "a",
+		Peers:        map[string]string{"a": "http://unused.invalid", "b": ts.URL},
+		FetchTimeout: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, ok := f.Fetch(context.Background(), "b", 10, "GN2", workload.Table1().Fingerprint()); ok {
+		t.Fatal("stalled peer must report no verdict")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("fetch took %v — timeout not applied", elapsed)
+	}
+	if pm := f.Metrics().Peers["b"]; pm.FetchErrors != 1 {
+		t.Fatalf("timeout must count as a fetch error: %+v", pm)
+	}
+}
+
+func TestFleetOwnerCoversMembers(t *testing.T) {
+	f, err := New(Config{
+		Self: "b",
+		Peers: map[string]string{
+			"a": "http://h1:1", "b": "http://h2:1", "c": "http://h3:1",
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Members(); len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("Members() = %v, want sorted [a b c]", got)
+	}
+	owner := f.Owner(workload.Table2().Fingerprint())
+	if owner != "a" && owner != "b" && owner != "c" {
+		t.Fatalf("owner %q is not a member", owner)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Self: "", Peers: map[string]string{"a": "http://h:1"}}); err == nil {
+		t.Fatal("empty self must be rejected")
+	}
+	if _, err := New(Config{Self: "x", Peers: map[string]string{"a": "http://h:1"}}); err == nil {
+		t.Fatal("self outside the peer list must be rejected")
+	}
+	if _, err := New(Config{Self: "a", Peers: map[string]string{"a": "http://h:1", "b": "ftp://h:1"}}); err == nil {
+		t.Fatal("non-http peer URL must be rejected")
+	}
+}
+
+func TestParsePeers(t *testing.T) {
+	peers, err := ParsePeers("a=http://h1:8080, b=http://h2:8080 ,c=http://h3:8080")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peers) != 3 || peers["b"] != "http://h2:8080" {
+		t.Fatalf("ParsePeers = %v", peers)
+	}
+	for _, bad := range []string{"", "a=http://h:1,a=http://h:2", "nameonly", "=http://h:1", "a="} {
+		if _, err := ParsePeers(bad); err == nil {
+			t.Fatalf("ParsePeers(%q) must fail", bad)
+		}
+	}
+}

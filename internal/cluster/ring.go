@@ -1,0 +1,75 @@
+// Package cluster implements the sharded multi-node peer mode of
+// fpgaschedd: N daemons shard verdict-cache ownership by
+// consistent-hashing the canonical taskset fingerprint, and a non-owner
+// fetches an owner's memoized verdict over the additive wire-v1
+// endpoint POST /v1/cache/lookup before falling back to local cold
+// analysis.
+//
+// The design rests on one fact established by the single-node engine:
+// the memoization key (test name, device columns, taskset fingerprint)
+// is node-invariant. The fingerprint (internal/task) is a
+// sort-normalized, name-free SHA-256 of the exact tick values, and
+// every test is a pure function of (columns, fingerprint), so a verdict
+// computed on any node is valid on every node — sharding the cache
+// cannot change any verdict, only where it is warm.
+//
+// Ownership is rendezvous (highest-random-weight) hashing over the
+// static peer-name list: owner(key) is the peer whose
+// SHA-256(name || key) scores highest. Every node (and every fleet
+// client) computes the same owner independently with no coordination,
+// and removing a peer reassigns only that peer's keys. The peer-fetch
+// path is strictly best-effort: a lookup is cache-hit-or-miss and never
+// triggers remote analysis, a fetch failure counts against a per-peer
+// circuit breaker, and a dead, slow or broken peer degrades the node to
+// exactly its single-node behaviour (local LRU, then local analysis).
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+
+	"fpgasched/internal/task"
+)
+
+// Owner returns the member of peers that owns the taskset fingerprint
+// under rendezvous hashing. Every node and client computes ownership
+// from the same (peers, fingerprint) inputs, so routing needs no
+// coordination; peers order is irrelevant. Empty peers returns "".
+//
+// The routing key is the fingerprint's canonical hex form — the same
+// string the wire protocol carries — so any consumer holding only the
+// wire form (a fleet client, a debugging curl) computes the identical
+// owner without re-decoding.
+func Owner(peers []string, fp task.Fingerprint) string {
+	return OwnerOfKey(peers, fp.String())
+}
+
+// OwnerOfKey is Owner over an arbitrary routing key. The client fleet
+// uses it to pin non-fingerprint resources that live on a single node —
+// admission controllers, keyed by controller name — to a stable member.
+func OwnerOfKey(peers []string, key string) string {
+	var best string
+	var bestScore uint64
+	for _, p := range peers {
+		s := score(p, key)
+		// Ties (SHA-256 collisions aside, impossible) break toward the
+		// lexicographically larger name so the choice stays total.
+		if best == "" || s > bestScore || (s == bestScore && p > best) {
+			best, bestScore = p, s
+		}
+	}
+	return best
+}
+
+// score is the highest-random-weight of one (peer, key) pair: the first
+// 8 bytes of SHA-256(peer || 0x00 || key) as a big-endian integer. The
+// 0x00 separator keeps (peer, key) framing unambiguous.
+func score(peer, key string) uint64 {
+	h := sha256.New()
+	h.Write([]byte(peer))
+	h.Write([]byte{0})
+	h.Write([]byte(key))
+	var sum [sha256.Size]byte
+	h.Sum(sum[:0])
+	return binary.BigEndian.Uint64(sum[:8])
+}

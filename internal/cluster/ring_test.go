@@ -1,0 +1,88 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"fpgasched/internal/workload"
+)
+
+func TestOwnerDeterministicAndOrderInvariant(t *testing.T) {
+	peers := []string{"a", "b", "c", "d"}
+	shuffled := []string{"d", "b", "a", "c"}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		owner := OwnerOfKey(peers, key)
+		if got := OwnerOfKey(shuffled, key); got != owner {
+			t.Fatalf("key %q: owner depends on peer-list order: %q vs %q", key, owner, got)
+		}
+		found := false
+		for _, p := range peers {
+			found = found || p == owner
+		}
+		if !found {
+			t.Fatalf("key %q: owner %q is not a member", key, owner)
+		}
+	}
+}
+
+func TestOwnerDistribution(t *testing.T) {
+	peers := []string{"a", "b", "c", "d"}
+	counts := make(map[string]int)
+	const n = 4000
+	for i := 0; i < n; i++ {
+		counts[OwnerOfKey(peers, fmt.Sprintf("key-%d", i))]++
+	}
+	// Perfect balance is n/4 = 1000 per peer; n/8 is a loose floor that
+	// only a broken hash would miss.
+	for _, p := range peers {
+		if counts[p] < n/8 {
+			t.Errorf("peer %q owns %d of %d keys — badly unbalanced", p, counts[p], n)
+		}
+	}
+}
+
+// Rendezvous hashing's defining property: removing one member reassigns
+// only that member's keys. This is what makes a dead peer cost exactly
+// its own shard in cold re-analyses, not a fleet-wide reshuffle.
+func TestOwnerMinimalReassignment(t *testing.T) {
+	peers := []string{"a", "b", "c", "d"}
+	without := []string{"a", "b", "d"}
+	moved := 0
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		before := OwnerOfKey(peers, key)
+		after := OwnerOfKey(without, key)
+		if before != "c" && after != before {
+			t.Fatalf("key %q moved from live peer %q to %q", key, before, after)
+		}
+		if before == "c" {
+			if after == "c" {
+				t.Fatalf("key %q still owned by removed peer", key)
+			}
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("removed peer owned no keys — distribution test should have caught this")
+	}
+}
+
+// TestOwnerOfFingerprint pins the routing key to the fingerprint's hex
+// wire form: fleet clients route from fp.String() and servers from the
+// Fingerprint value, and those MUST agree for every fingerprint or the
+// two sides shard differently (checked across many fingerprints so an
+// encoding mismatch cannot pass by coincidence).
+func TestOwnerOfFingerprint(t *testing.T) {
+	peers := []string{"a", "b", "c"}
+	r := workload.Rand(3)
+	for i := 0; i < 100; i++ {
+		fp := workload.Unconstrained(4).Generate(r).Fingerprint()
+		if got, want := Owner(peers, fp), OwnerOfKey(peers, fp.String()); got != want {
+			t.Fatalf("fp %s: Owner = %q, OwnerOfKey(hex) = %q", fp, got, want)
+		}
+	}
+	if OwnerOfKey([]string{"solo"}, "anykey") != "solo" {
+		t.Fatal("single-member fleet must own everything")
+	}
+}

@@ -438,6 +438,64 @@ func (e *Engine) own(ctx context.Context, r Request, perm []int, k cacheKey, c *
 	return remapVerdict(v, perm, r.OmitChecks), nil
 }
 
+// PeekCanonical returns the cached verdict for the memoization key
+// (testName, columns, fp) in CANONICAL task order, without triggering,
+// queueing or waiting for any analysis — a strict cache-hit-or-miss
+// probe. It is the engine half of the cluster peer-fetch protocol: a
+// node serving POST /v1/cache/lookup for a peer answers from here, so a
+// lookup can never transfer analysis load; and a peer-mode node checks
+// its own cache through it before routing to the fingerprint owner.
+// A found verdict counts as a cache hit (it is served without running a
+// test); a miss counts nothing, mirroring Analyze's rule that misses
+// are only counted when an analysis actually claims a worker slot.
+// The returned verdict is shared and must be treated as read-only.
+func (e *Engine) PeekCanonical(testName string, columns int, fp task.Fingerprint) (core.Verdict, bool) {
+	k := cacheKey{test: testName, columns: columns, fp: fp}
+	e.mu.Lock()
+	if e.cache != nil {
+		if v, ok := e.cache.get(k); ok {
+			e.mu.Unlock()
+			e.countHit()
+			return v, true
+		}
+	}
+	e.mu.Unlock()
+	return core.Verdict{}, false
+}
+
+// InsertCanonical seeds the cache with a verdict obtained elsewhere —
+// in practice a certificate fetched from the fingerprint owner's cache
+// in peer mode, reconstructed into canonical task order. The verdict
+// must be in canonical (fingerprint) order and complete (Err == nil);
+// aborted verdicts are dropped, matching Analyze's never-cache-aborted
+// rule. Insertion is sound for the same reason memoization is: every
+// test is a pure function of (columns, fingerprint), so a verdict is
+// valid wherever it was computed — cache keys are node-invariant.
+func (e *Engine) InsertCanonical(testName string, columns int, fp task.Fingerprint, v core.Verdict) {
+	if v.Err != nil {
+		return
+	}
+	k := cacheKey{test: testName, columns: columns, fp: fp}
+	e.mu.Lock()
+	if e.cache != nil {
+		if e.cache.add(k, v) {
+			e.stats.Lock()
+			e.stats.evictions++
+			e.stats.Unlock()
+		}
+	}
+	e.mu.Unlock()
+}
+
+// RemapVerdict translates a canonical-order verdict into the caller's
+// task order (see remapVerdict). Exported for the server's peer-mode
+// analyze path, which obtains canonical-order verdicts from
+// PeekCanonical and from peer fetches and must remap them exactly as
+// Analyze remaps local cache hits.
+func RemapVerdict(v core.Verdict, perm []int, omitChecks bool) core.Verdict {
+	return remapVerdict(v, perm, omitChecks)
+}
+
 // AnalyzeAll fans a batch of requests across the worker pool and returns
 // the verdicts in request order. At most Workers goroutines are spawned
 // regardless of batch size (a huge batch must not allocate a goroutine

@@ -12,10 +12,20 @@
 // or times out abandons its queued analyses instead of leaking worker
 // slots.
 //
+// In peer mode (Config.Fleet set) the daemon is one shard of a static
+// fleet: verdict ownership is consistent-hashed over the fingerprint
+// (internal/cluster), non-owners try a bounded cache fetch from the
+// owner before analysing locally, and POST /v1/cache/lookup serves this
+// node's cache to its peers with strict hit-or-miss semantics — a
+// lookup can never trigger an analysis here, because it carries only
+// the fingerprint, from which no taskset can be reconstructed.
+//
 // Endpoints:
 //
 //	GET    /healthz                              liveness probe
-//	GET    /metrics                              engine + HTTP counters (JSON)
+//	GET    /readyz                               readiness (503 not_ready while draining)
+//	GET    /metrics                              engine + HTTP + cluster counters (JSON)
+//	POST   /v1/cache/lookup                      peer verdict-cache lookup (hit-or-miss)
 //	GET    /v1/tests                             test-name registry
 //	POST   /v1/analyze                           single or batch analysis
 //	POST   /v1/analyze/stream                    NDJSON streaming batch analysis
@@ -47,10 +57,12 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fpgasched/api"
 	"fpgasched/internal/admission"
+	"fpgasched/internal/cluster"
 	"fpgasched/internal/core"
 	"fpgasched/internal/engine"
 	"fpgasched/internal/jobs"
@@ -123,6 +135,12 @@ type Config struct {
 	// MaxExperimentJobs bounds retained experiment jobs (live +
 	// finished); 0 means jobs.DefaultMaxJobs.
 	MaxExperimentJobs int
+	// Fleet enables peer mode: this node becomes one shard of the
+	// fleet, owner-routing its analyze path through the distributed
+	// verdict cache. Nil (the default) is single-node operation; every
+	// endpoint behaves identically either way, peer mode only changes
+	// where cache hits come from.
+	Fleet *cluster.Fleet
 }
 
 // Server is the HTTP API. Create with New; it implements http.Handler.
@@ -139,6 +157,8 @@ type Server struct {
 	jobs           *jobs.Manager
 	simSem         chan struct{} // bounds concurrent simulations
 	mux            *http.ServeMux
+	fleet          *cluster.Fleet // nil in single-node mode
+	draining       atomic.Bool    // flips once; /readyz turns 503
 
 	cmu         sync.RWMutex
 	controllers map[string]*tenant
@@ -162,6 +182,7 @@ func New(cfg Config) *Server {
 		maxBodyBytes: cfg.MaxBodyBytes,
 		controllers:  make(map[string]*tenant),
 		metrics:      make(map[string]*api.RouteMetrics),
+		fleet:        cfg.Fleet,
 	}
 	if s.engine == nil {
 		s.engine = engine.New(cfg.EngineConfig)
@@ -212,7 +233,12 @@ func New(cfg Config) *Server {
 	s.simSem = make(chan struct{}, s.engine.Stats().Workers)
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.instrument("healthz", true, s.handleHealthz))
+	mux.HandleFunc("GET /readyz", s.instrument("readyz", true, s.handleReadyz))
 	mux.HandleFunc("GET /metrics", s.instrument("metrics", true, s.handleMetrics))
+	// Registered unconditionally (not just in peer mode): the lookup is
+	// a read-only cache probe, useful for debugging any node, and a
+	// fleet may include nodes that were started without -peers.
+	mux.HandleFunc("POST /v1/cache/lookup", s.instrument("cache.lookup", true, s.handleCacheLookup))
 	mux.HandleFunc("GET /v1/tests", s.instrument("tests", true, s.handleTests))
 	mux.HandleFunc("POST /v1/analyze", s.instrument("analyze", true, s.handleAnalyze))
 	// The streaming endpoint's body is unbounded by design (the line
@@ -322,7 +348,7 @@ func statusFor(code api.ErrorCode) int {
 		return http.StatusNotFound
 	case api.CodeConflict:
 		return http.StatusConflict
-	case api.CodeCancelled, api.CodeUnavailable:
+	case api.CodeCancelled, api.CodeUnavailable, api.CodeNotReady, api.CodePeerUnavailable:
 		return http.StatusServiceUnavailable
 	case api.CodeInternal:
 		return http.StatusInternalServerError
@@ -426,10 +452,72 @@ func resolveTests(names []string) ([]core.Test, []string, *api.Error) {
 	return tests, clean, nil
 }
 
-// ---- /healthz ----
+// ---- /healthz, /readyz ----
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, api.HealthResponse{Status: "ok"})
+}
+
+// SetDraining flips the readiness probe to 503 not_ready. fpgaschedd
+// calls it on shutdown before http.Server.Shutdown, so load balancers
+// and fleet clients stop routing new work here while in-flight requests
+// drain. Liveness (/healthz) is unaffected — the process is still
+// healthy, just leaving.
+func (s *Server) SetDraining() {
+	s.draining.Store(true)
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, api.Errorf(api.CodeNotReady, "draining for shutdown"))
+		return
+	}
+	writeJSON(w, http.StatusOK, api.HealthResponse{Status: "ok"})
+}
+
+// ---- /v1/cache/lookup ----
+
+// handleCacheLookup answers a peer's verdict-cache probe under the
+// node-invariant memoization key (test, columns, fingerprint). The
+// semantics are strictly hit-or-miss: a miss is a well-formed 200, and
+// no code path here can start an analysis — the request carries only
+// the fingerprint, from which no taskset can be reconstructed. That
+// structural property is what keeps a fleet free of fetch-triggered
+// analysis storms: cold work always runs on the node whose client asked
+// for it.
+func (s *Server) handleCacheLookup(w http.ResponseWriter, r *http.Request) {
+	var req api.CacheLookupRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, decodeErr(err))
+		return
+	}
+	if e := checkColumns(req.Columns); e != nil {
+		writeError(w, e)
+		return
+	}
+	// Resolve the test name so the probe keys the cache exactly as the
+	// analyze path does (and so unknown names fail loudly rather than
+	// miss forever).
+	t, err := core.TestByName(strings.TrimSpace(req.Test))
+	if err != nil {
+		writeError(w, api.Errorf(api.CodeUnknownTest, "%v", err).WithDetail("test", req.Test))
+		return
+	}
+	fp, err := task.ParseFingerprint(req.Fingerprint)
+	if err != nil {
+		writeError(w, api.Errorf(api.CodeInvalidRequest, "%v", err))
+		return
+	}
+	v, ok := s.engine.PeekCanonical(t.Name(), req.Columns, fp)
+	if s.fleet != nil {
+		s.fleet.RecordLookupServed(ok)
+	}
+	resp := api.CacheLookupResponse{Hit: ok}
+	if ok {
+		cert := api.VerdictFromCore(v, true)
+		resp.Verdict = &cert
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // ---- /metrics ----
@@ -441,10 +529,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		httpStats[k] = *v
 	}
 	s.mmu.Unlock()
-	writeJSON(w, http.StatusOK, api.MetricsResponse{
+	resp := api.MetricsResponse{
 		Engine: api.EngineStatsFrom(s.engine.Stats()),
 		HTTP:   httpStats,
-	})
+	}
+	if s.fleet != nil {
+		resp.Cluster = s.fleet.Metrics()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // ---- /v1/tests ----
@@ -460,6 +552,13 @@ func (s *Server) handleTests(w http.ResponseWriter, r *http.Request) {
 // carry their full certificates (per-task checks, composite
 // sub-verdicts). It is shared by the unary and streaming analysis
 // endpoints.
+//
+// In peer mode each (set, test) pair first tries the distributed cache:
+// the local LRU, then — when another node owns the fingerprint — a
+// bounded fetch from that owner. Anything unresolved falls through to
+// local analysis exactly as in single-node mode, so a dead or slow
+// owner costs one bounded fetch attempt (or none, once its breaker
+// opens), never a client-visible error.
 func (s *Server) analyzeSets(ctx context.Context, columns int, sets []*task.Set, tests []core.Test, explain bool) ([]api.AnalyzeResult, *api.Error) {
 	reqs := make([]engine.Request, 0, len(sets)*len(tests))
 	for _, set := range sets {
@@ -467,26 +566,86 @@ func (s *Server) analyzeSets(ctx context.Context, columns int, sets []*task.Set,
 			reqs = append(reqs, engine.Request{Columns: columns, Set: set, Test: t, OmitChecks: !explain})
 		}
 	}
-	verdicts, err := s.engine.AnalyzeAll(ctx, reqs)
+	wire := make([]api.Verdict, len(reqs))
+	schedulable := make([]bool, len(reqs))
+	coldIdx := make([]int, 0, len(reqs))
+	if s.fleet == nil {
+		for i := range reqs {
+			coldIdx = append(coldIdx, i)
+		}
+	} else {
+		for i, r := range reqs {
+			if v, sched, ok := s.clusterVerdict(ctx, r, explain); ok {
+				wire[i], schedulable[i] = v, sched
+			} else {
+				coldIdx = append(coldIdx, i)
+			}
+		}
+	}
+	cold := make([]engine.Request, len(coldIdx))
+	for j, i := range coldIdx {
+		cold[j] = reqs[i]
+	}
+	verdicts, err := s.engine.AnalyzeAll(ctx, cold)
 	if err != nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			return nil, api.Errorf(api.CodeCancelled, "request cancelled while analyses were queued or running")
 		}
 		return nil, api.Errorf(api.CodeUnavailable, "engine: %v", err)
 	}
+	for j, i := range coldIdx {
+		wire[i] = api.VerdictFromCore(verdicts[j], explain)
+		schedulable[i] = verdicts[j].Schedulable
+	}
 	results := make([]api.AnalyzeResult, len(sets))
 	for i := range sets {
 		res := api.AnalyzeResult{}
 		for j := range tests {
-			v := verdicts[i*len(tests)+j]
-			res.Verdicts = append(res.Verdicts, api.VerdictFromCore(v, explain))
-			if v.Schedulable {
+			k := i*len(tests) + j
+			res.Verdicts = append(res.Verdicts, wire[k])
+			if schedulable[k] {
 				res.Schedulable = true
 			}
 		}
 		results[i] = res
 	}
 	return results, nil
+}
+
+// clusterVerdict resolves one analysis through the distributed cache:
+// local LRU first (free, and peer writebacks land there), then a fetch
+// from the owning peer when that is someone else. It returns ok=false
+// when the request must be analysed locally — because this node owns
+// the fingerprint and has no cached verdict (the normal cold case), or
+// because the owner was unreachable, slow, breaker-open, or simply
+// missed (the degraded case; RecordRemote tallies which). The returned
+// wire verdict is byte-identical to what the local path would produce:
+// RemapCertificate mirrors engine.RemapVerdict exactly (pinned by
+// TestRemapCertificateMatchesEngine).
+func (s *Server) clusterVerdict(ctx context.Context, r engine.Request, explain bool) (api.Verdict, bool, bool) {
+	perm := r.Set.CanonicalPerm()
+	fp := r.Set.FingerprintFromPerm(perm)
+	if v, ok := s.engine.PeekCanonical(r.Test.Name(), r.Columns, fp); ok {
+		v = engine.RemapVerdict(v, perm, !explain)
+		return api.VerdictFromCore(v, explain), v.Schedulable, true
+	}
+	owner := s.fleet.Owner(fp)
+	if owner == s.fleet.Self() {
+		return api.Verdict{}, false, false
+	}
+	cert, ok := s.fleet.Fetch(ctx, owner, r.Columns, r.Test.Name(), fp)
+	s.fleet.RecordRemote(ok)
+	if !ok {
+		return api.Verdict{}, false, false
+	}
+	// Seed the local LRU so repeats of this hot set skip the network;
+	// a certificate that does not reconstruct cleanly is served to this
+	// request but never cached.
+	if v, err := cluster.VerdictFromCertificate(cert); err == nil {
+		s.engine.InsertCanonical(r.Test.Name(), r.Columns, fp, v)
+	}
+	out := cluster.RemapCertificate(cert, perm, explain)
+	return out, cert.Schedulable, true
 }
 
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {

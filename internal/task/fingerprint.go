@@ -4,6 +4,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
+	"fmt"
 	"sort"
 )
 
@@ -22,6 +23,21 @@ type Fingerprint [sha256.Size]byte
 
 // String returns the fingerprint as lowercase hex.
 func (f Fingerprint) String() string { return hex.EncodeToString(f[:]) }
+
+// ParseFingerprint parses the hex form produced by String. It is the
+// wire decoding used by the peer cache-lookup endpoint.
+func ParseFingerprint(s string) (Fingerprint, error) {
+	var f Fingerprint
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		return f, fmt.Errorf("fingerprint: %w", err)
+	}
+	if len(b) != len(f) {
+		return f, fmt.Errorf("fingerprint: %d hex bytes, want %d", len(b), len(f))
+	}
+	copy(f[:], b)
+	return f, nil
+}
 
 // ParamLess is the canonical name-free ordering of tasks: lexicographic
 // on the exact (C, D, T, A) tick tuples. It is the single comparator
