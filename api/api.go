@@ -25,6 +25,14 @@
 //	POST   /v1/analyze                           AnalyzeRequest -> AnalyzeResponse
 //	POST   /v1/analyze/stream                    NDJSON StreamRequest lines -> NDJSON StreamResult lines
 //	POST   /v1/simulate                          SimulateRequest -> SimulateResponse
+//	POST   /v1/simulate/trace                    TraceRequest -> NDJSON TraceEvent lines
+//	POST   /v1/placement/check                   PlacementCheckRequest -> PlacementCheckResponse
+//	GET    /v1/placement/controllers             PlacementControllerList
+//	PUT    /v1/placement/controllers/{name}      PlacementControllerRequest -> PlacementControllerInfo
+//	DELETE /v1/placement/controllers/{name}      204
+//	POST   /v1/placement/controllers/{name}/admit Task2D -> PlacementAdmitResponse
+//	DELETE /v1/placement/controllers/{name}/tasks/{task} 204
+//	GET    /v1/placement/controllers/{name}/resident PlacementResidentResponse
 //	GET    /v1/controllers                       ControllerList
 //	PUT    /v1/controllers/{name}                ControllerRequest -> ControllerInfo
 //	DELETE /v1/controllers/{name}                204

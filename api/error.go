@@ -31,6 +31,10 @@ const (
 	CodeUnknownTest ErrorCode = "unknown_test"
 	// CodeUnknownScheduler: a simulate scheduler other than nf/fkf.
 	CodeUnknownScheduler ErrorCode = "unknown_scheduler"
+	// CodeUnknownHeuristic: a placement heuristic other than bottom-left,
+	// best-short-side or best-area; Detail["heuristic"] names the
+	// offender.
+	CodeUnknownHeuristic ErrorCode = "unknown_heuristic"
 	// CodeUnknownExperiment: an experiment ID not in the evaluation
 	// registry; Detail["experiment"] names the offender.
 	CodeUnknownExperiment ErrorCode = "unknown_experiment"

@@ -185,7 +185,7 @@ func fixtures() map[string]any {
 			Preemptions: 2,
 		},
 		"tests_response": TestsResponse{
-			Tests: []string{"DP", "DP-real", "GN1", "GN1-Dk", "GN2", "GN2x", "any-fkf", "any-nf"},
+			Tests: []string{"DP", "DP-real", "GN1", "GN1-Dk", "GN2", "GN2x", "MP-BAK2", "MP-BCL", "MP-GFB", "any-fkf", "any-nf", "partition"},
 			Details: []TestInfo{
 				{Name: "DP", Description: "Theorem 1: corrected integer-area Danne–Platzner utilization bound", Validity: "both"},
 				{Name: "DP-real", Description: "Theorem 1 with the original real-valued-area bound A(H)−Amax", Validity: "both"},
@@ -193,8 +193,12 @@ func fixtures() map[string]any {
 				{Name: "GN1-Dk", Description: "Theorem 2 with BCL window normalisation (βi = Wi/Dk)", Validity: "nf"},
 				{Name: "GN2", Description: "Theorem 3: BAK2-style busy-interval test with λ-parameterised workload bound", Validity: "both"},
 				{Name: "GN2x", Description: "Theorem 3 with the extended λ candidate search (accepts a superset of GN2)", Validity: "both"},
+				{Name: "MP-BAK2", Description: "Baker's λ-parameterised busy-interval test for global EDF on m = A(H) processors (unit-area sets only)", Validity: "both"},
+				{Name: "MP-BCL", Description: "Bertogna–Cirinei–Lipari interference test for global EDF on m = A(H) processors (unit-area sets only)", Validity: "both"},
+				{Name: "MP-GFB", Description: "Goossens–Funk–Baruah utilization bound for global EDF on m = A(H) processors (unit-area sets only)", Validity: "both"},
 				{Name: "any-fkf", Description: "any-of composite of the tests valid under EDF-FkF (DP, GN2)", Validity: "fkf"},
 				{Name: "any-nf", Description: "any-of composite of all tests valid under EDF-NF (DP, GN1, GN2)", Validity: "nf"},
+				{Name: "partition", Description: "first-fit-decreasing static partitioning with per-partition uniprocessor EDF (certifies partitioned EDF, not global)", Validity: "partitioned"},
 			},
 		},
 		"controller_request": ControllerRequest{Columns: 10, Tests: []string{"DP", "GN1", "GN2"}},
@@ -296,7 +300,13 @@ func fixtures() map[string]any {
 			},
 		},
 		"metrics_response": MetricsResponse{
-			Engine: EngineStats{Hits: 12, Misses: 3, Evictions: 1, Analyses: 3, AnalysisNanos: 41_000_000, CacheLen: 2, CacheCap: 4096, Workers: 8},
+			Engine: EngineStats{
+				Hits: 12, Misses: 3, Evictions: 1, Analyses: 3, AnalysisNanos: 41_000_000, CacheLen: 2, CacheCap: 4096, Workers: 8,
+				Tests: map[string]TestCounters{
+					"GN2":     {Hits: 9, Misses: 2, Analyses: 2},
+					"MP-BAK2": {Hits: 3, Misses: 1, Analyses: 1},
+				},
+			},
 			HTTP: map[string]RouteMetrics{
 				"analyze": {Requests: 15, Errors: 1, TotalNanos: 52_000_000},
 			},
@@ -338,7 +348,108 @@ func fixtures() map[string]any {
 			},
 		},
 		"error_peer_unavailable": Errorf(CodePeerUnavailable, `no live fleet member could serve the request`).WithDetail("peer", "b"),
+		"trace_request": TraceRequest{
+			Columns:   10,
+			Scheduler: "nf",
+			Taskset:   fixtureSet(),
+			Horizon:   "35",
+		},
+		"trace_event_interval": TraceEvent{
+			Type: TraceEventInterval,
+			Interval: &TraceInterval{
+				From: "0",
+				To:   "2.1",
+				Running: []TraceJob{
+					{ID: 1, Task: 0, Job: 0, Area: 7, Release: "0", Deadline: "5", Remaining: "2.1"},
+				},
+				Waiting: []TraceJob{
+					{ID: 2, Task: 1, Job: 0, Area: 7, Release: "0", Deadline: "7", Remaining: "2"},
+				},
+			},
+		},
+		"trace_event_miss": TraceEvent{
+			Type: TraceEventMiss,
+			Miss: &TraceMiss{At: "12.6", Task: 1, Job: 2},
+		},
+		"trace_event_result": TraceEvent{
+			Type: TraceEventResult,
+			Result: &SimulateResponse{
+				Policy:      "EDF-NF",
+				Horizon:     "35",
+				End:         "35",
+				Events:      40,
+				Released:    12,
+				Completed:   12,
+				Preemptions: 2,
+			},
+		},
+		"trace_event_error": TraceEvent{
+			Type:  TraceEventError,
+			Error: Errorf(CodeLimitExceeded, "simulation exceeded 100000 events"),
+		},
+		"task2d":    fixture2DSet().Tasks[0],
+		"taskset2d": fixture2DSet(),
+		"placement_check_request": PlacementCheckRequest{
+			Width:     8,
+			Height:    6,
+			Heuristic: "bottom-left",
+			Taskset:   fixture2DSet(),
+		},
+		"placement_check_response_feasible": PlacementCheckResponse{
+			Width:     8,
+			Height:    6,
+			Heuristic: "bottom-left",
+			Feasible:  true,
+			Placements: []PlacementWitness{
+				{TaskIndex: 0, Rect: Rect{X: 0, Y: 0, W: 3, H: 2}},
+				{TaskIndex: 1, Rect: Rect{X: 3, Y: 0, W: 4, H: 3}},
+			},
+		},
+		"placement_check_response_infeasible": PlacementCheckResponse{
+			Width:       8,
+			Height:      6,
+			Heuristic:   "best-area",
+			Reason:      "a 4x3 rectangle cannot be placed (18 cells free, largest free rectangle 10)",
+			FailingTask: intp(1),
+		},
+		"placement_controller_request": PlacementControllerRequest{Width: 8, Height: 6, Heuristic: "best-short-side"},
+		"placement_controller_info":    PlacementControllerInfo{Name: "grid0", Width: 8, Height: 6, Heuristic: "best-short-side", Resident: 2, FreeArea: 30},
+		"placement_controller_list": PlacementControllerList{
+			Controllers: []PlacementControllerInfo{
+				{Name: "grid0", Width: 8, Height: 6, Heuristic: "bottom-left", Resident: 1, FreeArea: 42},
+				{Name: "grid1", Width: 16, Height: 16, Heuristic: "best-area", Resident: 0, FreeArea: 256},
+			},
+		},
+		"placement_admit_response_accept": PlacementAdmitResponse{
+			Admitted: true,
+			Rect:     &Rect{X: 0, Y: 2, W: 3, H: 2},
+		},
+		"placement_admit_response_reject": PlacementAdmitResponse{
+			Reason: "no free region fits a 4x3 rectangle",
+		},
+		"placement_resident_response": PlacementResidentResponse{
+			Name:          "grid0",
+			Width:         8,
+			Height:        6,
+			Count:         2,
+			FreeArea:      30,
+			Fragmentation: "0.1667",
+			Tasks: []PlacementResident{
+				{Task: fixture2DSet().Tasks[0], Rect: Rect{X: 0, Y: 0, W: 3, H: 2}},
+				{Task: fixture2DSet().Tasks[1], Rect: Rect{X: 3, Y: 0, W: 4, H: 3}},
+			},
+		},
+		"error_unknown_heuristic": Errorf(CodeUnknownHeuristic, `unknown heuristic "worst-fit"`).WithDetail("heuristic", "worst-fit"),
 	}
+}
+
+// fixture2DSet is the canonical 2-D pair used across the placement
+// fixtures.
+func fixture2DSet() *TaskSet2D {
+	return &TaskSet2D{Tasks: []Task2D{
+		{Name: "u1", C: "2.10", D: "5", T: "5", W: 3, H: 2},
+		{Name: "u2", C: "2.00", D: "7", T: "7", W: 4, H: 3},
+	}}
 }
 
 // marshal renders a fixture the way the server does: indented JSON plus

@@ -20,11 +20,24 @@ type EngineStats struct {
 	CacheLen int `json:"cache_len"`
 	CacheCap int `json:"cache_cap"`
 	Workers  int `json:"workers"`
+	// Tests breaks the cache and analysis counters down by test name, so
+	// operators can see which registry entries are hot and how well each
+	// memoizes. Keys are canonical registry identifiers. Absent until the
+	// engine has served at least one analysis (additive v1 field).
+	Tests map[string]TestCounters `json:"tests,omitempty"`
+}
+
+// TestCounters is the per-test-name slice of the engine counters: cache
+// hits, misses and analyses actually executed for one registry entry.
+type TestCounters struct {
+	Hits     uint64 `json:"hits"`
+	Misses   uint64 `json:"misses"`
+	Analyses uint64 `json:"analyses"`
 }
 
 // EngineStatsFrom converts an engine snapshot to its wire form.
 func EngineStatsFrom(s engine.Stats) EngineStats {
-	return EngineStats{
+	out := EngineStats{
 		Hits:          s.Hits,
 		Misses:        s.Misses,
 		Evictions:     s.Evictions,
@@ -35,6 +48,13 @@ func EngineStatsFrom(s engine.Stats) EngineStats {
 		CacheCap:      s.CacheCap,
 		Workers:       s.Workers,
 	}
+	if len(s.Tests) > 0 {
+		out.Tests = make(map[string]TestCounters, len(s.Tests))
+		for name, c := range s.Tests {
+			out.Tests[name] = TestCounters{Hits: c.Hits, Misses: c.Misses, Analyses: c.Analyses}
+		}
+	}
+	return out
 }
 
 // RouteMetrics accumulates per-route HTTP counters.

@@ -1,0 +1,199 @@
+package api
+
+import (
+	"fmt"
+
+	"fpgasched/internal/timeunit"
+	"fpgasched/internal/twod"
+)
+
+// ---- /v1/placement ----
+//
+// The 2-D placement surface serves internal/twod: a layout-feasibility
+// check (POST /v1/placement/check) whose accepting verdict carries a
+// placement witness, and region-aware admission controllers that hold a
+// live maximal-rectangles layout. Heuristic names are the twod.Heuristic
+// String() values: "bottom-left" (default), "best-short-side",
+// "best-area".
+
+// Task2D is the wire form of one 2-D hardware task: durations as decimal
+// strings, footprint as a w×h cell rectangle.
+type Task2D struct {
+	Name string `json:"name"`
+	C    string `json:"c"`
+	D    string `json:"d"`
+	T    string `json:"t"`
+	W    int    `json:"w"`
+	H    int    `json:"h"`
+}
+
+// TaskSet2D is the wire form of a 2-D taskset: {"tasks":[...]}.
+type TaskSet2D struct {
+	Tasks []Task2D `json:"tasks"`
+}
+
+// Task2DFrom converts a model task to its wire form.
+func Task2DFrom(t twod.Task) Task2D {
+	return Task2D{Name: t.Name, C: t.C.String(), D: t.D.String(), T: t.T.String(), W: t.W, H: t.H}
+}
+
+// Model parses the wire task back to the model type. Intrinsic
+// validation (positive timings, C ≤ D, non-empty rectangle) is the
+// caller's job via twod.Task.Validate.
+func (t Task2D) Model() (twod.Task, error) {
+	out := twod.Task{Name: t.Name, W: t.W, H: t.H}
+	var err error
+	if out.C, err = timeunit.Parse(t.C); err != nil {
+		return twod.Task{}, fmt.Errorf("task %q c: %w", t.Name, err)
+	}
+	if out.D, err = timeunit.Parse(t.D); err != nil {
+		return twod.Task{}, fmt.Errorf("task %q d: %w", t.Name, err)
+	}
+	if out.T, err = timeunit.Parse(t.T); err != nil {
+		return twod.Task{}, fmt.Errorf("task %q t: %w", t.Name, err)
+	}
+	return out, nil
+}
+
+// Model converts the wire set to the model type.
+func (s *TaskSet2D) Model() (*twod.Set, error) {
+	out := &twod.Set{Tasks: make([]twod.Task, len(s.Tasks))}
+	for i, t := range s.Tasks {
+		m, err := t.Model()
+		if err != nil {
+			return nil, err
+		}
+		out.Tasks[i] = m
+	}
+	return out, nil
+}
+
+// Rect is the wire form of a placed rectangle: origin (x, y), extent
+// w×h, in cells.
+type Rect struct {
+	X int `json:"x"`
+	Y int `json:"y"`
+	W int `json:"w"`
+	H int `json:"h"`
+}
+
+// RectFrom converts a model rectangle to its wire form.
+func RectFrom(r twod.Rect) Rect { return Rect{X: r.X, Y: r.Y, W: r.W, H: r.H} }
+
+// Model converts the wire rectangle back.
+func (r Rect) Model() twod.Rect { return twod.Rect{X: r.X, Y: r.Y, W: r.W, H: r.H} }
+
+// PlacementCheckRequest asks whether every task of a 2-D set can
+// simultaneously hold a dedicated rectangle on a width×height device —
+// POST /v1/placement/check.
+type PlacementCheckRequest struct {
+	Width  int `json:"width"`
+	Height int `json:"height"`
+	// Heuristic selects the free-rectangle choice; empty means
+	// bottom-left.
+	Heuristic string     `json:"heuristic,omitempty"`
+	Taskset   *TaskSet2D `json:"taskset"`
+}
+
+// PlacementWitness assigns one task (by index into the request's task
+// array) its rectangle.
+type PlacementWitness struct {
+	TaskIndex int  `json:"task_index"`
+	Rect      Rect `json:"rect"`
+}
+
+// PlacementCheckResponse is the layout-feasibility verdict. On
+// acceptance, Placements is the certificate: one rectangle per task, in
+// task order, pairwise disjoint and within the device — re-checkable
+// without trusting the heuristic. The check is deterministic, so this
+// document is byte-identical to a direct twod.CheckFeasibility call on
+// the same inputs.
+type PlacementCheckResponse struct {
+	Width     int    `json:"width"`
+	Height    int    `json:"height"`
+	Heuristic string `json:"heuristic"`
+	Feasible  bool   `json:"feasible"`
+	// Reason explains a rejection; it never embeds task indices (trust
+	// failing_task).
+	Reason      string             `json:"reason,omitempty"`
+	FailingTask *int               `json:"failing_task,omitempty"`
+	Placements  []PlacementWitness `json:"placements,omitempty"`
+}
+
+// PlacementCheckResponseFrom converts a feasibility verdict to its wire
+// form.
+func PlacementCheckResponseFrom(f twod.Feasibility) PlacementCheckResponse {
+	out := PlacementCheckResponse{
+		Width:     f.Width,
+		Height:    f.Height,
+		Heuristic: f.Heuristic.String(),
+		Feasible:  f.Feasible,
+		Reason:    f.Reason,
+	}
+	if f.FailingTask >= 0 {
+		ft := f.FailingTask
+		out.FailingTask = &ft
+	}
+	for _, p := range f.Placements {
+		out.Placements = append(out.Placements, PlacementWitness{TaskIndex: p.Task, Rect: RectFrom(p.Rect)})
+	}
+	return out
+}
+
+// PlacementControllerRequest creates a named 2-D placement controller —
+// PUT /v1/placement/controllers/{name}.
+type PlacementControllerRequest struct {
+	Width  int `json:"width"`
+	Height int `json:"height"`
+	// Heuristic is fixed at creation; empty means bottom-left.
+	Heuristic string `json:"heuristic,omitempty"`
+}
+
+// PlacementControllerInfo describes one placement controller.
+type PlacementControllerInfo struct {
+	Name      string `json:"name"`
+	Width     int    `json:"width"`
+	Height    int    `json:"height"`
+	Heuristic string `json:"heuristic"`
+	Resident  int    `json:"resident"`
+	FreeArea  int    `json:"free_area"`
+}
+
+// PlacementControllerList answers GET /v1/placement/controllers, sorted
+// by name.
+type PlacementControllerList struct {
+	Controllers []PlacementControllerInfo `json:"controllers"`
+}
+
+// PlacementAdmitResponse is the outcome of one region-aware admission —
+// POST /v1/placement/controllers/{name}/admit with a Task2D body. A
+// rejection is a 200 with admitted false. An admission carries the
+// assigned rectangle: the task owns that region until released, which is
+// itself the schedulability certificate (dedicated-region execution,
+// C ≤ D enforced on entry).
+type PlacementAdmitResponse struct {
+	Admitted bool   `json:"admitted"`
+	Reason   string `json:"reason,omitempty"`
+	Rect     *Rect  `json:"rect,omitempty"`
+}
+
+// PlacementResident pairs a resident task with its rectangle.
+type PlacementResident struct {
+	Task Task2D `json:"task"`
+	Rect Rect   `json:"rect"`
+}
+
+// PlacementResidentResponse snapshots a placement controller's resident
+// set — GET /v1/placement/controllers/{name}/resident. Tasks is sorted
+// by task name.
+type PlacementResidentResponse struct {
+	Name     string `json:"name"`
+	Width    int    `json:"width"`
+	Height   int    `json:"height"`
+	Count    int    `json:"count"`
+	FreeArea int    `json:"free_area"`
+	// Fragmentation is the layout's external fragmentation
+	// (1 − largestFreeRect/freeArea) as a decimal string.
+	Fragmentation string              `json:"fragmentation"`
+	Tasks         []PlacementResident `json:"tasks"`
+}

@@ -1,0 +1,124 @@
+package api
+
+import (
+	"fmt"
+
+	"fpgasched/internal/sim"
+	"fpgasched/internal/timeunit"
+)
+
+// ---- POST /v1/simulate/trace ----
+
+// TraceRequest configures one streamed simulation trace. It carries
+// exactly the fields of SimulateRequest — the trace endpoint runs the
+// same simulation under the same validation and horizon caps; it only
+// changes how the outcome travels (an NDJSON event stream instead of a
+// single summary document).
+type TraceRequest struct {
+	Columns   int      `json:"columns"`
+	Scheduler string   `json:"scheduler,omitempty"` // "nf" (default) or "fkf"
+	Taskset   *TaskSet `json:"taskset"`
+	// Horizon stops releases at this time; empty means automatic
+	// (min(hyperperiod, horizon_cap)).
+	Horizon string `json:"horizon,omitempty"`
+	// HorizonCap bounds the automatic horizon.
+	HorizonCap string `json:"horizon_cap,omitempty"`
+	// ContinueAfterMiss keeps simulating past the first miss.
+	ContinueAfterMiss bool `json:"continue_after_miss,omitempty"`
+}
+
+// TraceEvent type discriminators. Every NDJSON line of the trace stream
+// is a TraceEvent; the stream is a sequence of interval and miss events
+// in simulation-time order, terminated by exactly one result or error
+// event.
+const (
+	// TraceEventInterval reports one maximal interval of constant
+	// schedule: the jobs running and waiting between two scheduler
+	// decision points.
+	TraceEventInterval = "interval"
+	// TraceEventMiss reports a deadline miss.
+	TraceEventMiss = "miss"
+	// TraceEventResult is the terminal event of a completed run, carrying
+	// the same summary document POST /v1/simulate would have returned.
+	TraceEventResult = "result"
+	// TraceEventError is the terminal event of a failed run.
+	TraceEventError = "error"
+)
+
+// TraceEvent is one line of the POST /v1/simulate/trace NDJSON response.
+// Type selects which pointer field is populated.
+type TraceEvent struct {
+	Type     string            `json:"type"`
+	Interval *TraceInterval    `json:"interval,omitempty"`
+	Miss     *TraceMiss        `json:"miss,omitempty"`
+	Result   *SimulateResponse `json:"result,omitempty"`
+	Error    *Error            `json:"error,omitempty"`
+}
+
+// TraceInterval is one maximal constant-schedule interval [from, to):
+// the running and waiting job snapshots the simulator's Recorder sees,
+// with times as decimal strings. It carries everything the library-side
+// trace consumers (Gantt rendering, EDF-invariant checking) need, so a
+// remote client can reconstruct them byte-identically.
+type TraceInterval struct {
+	From    string     `json:"from"`
+	To      string     `json:"to"`
+	Running []TraceJob `json:"running,omitempty"`
+	Waiting []TraceJob `json:"waiting,omitempty"`
+}
+
+// TraceJob is the wire snapshot of one active job.
+type TraceJob struct {
+	// ID is the simulator's unique job identifier.
+	ID int64 `json:"id"`
+	// Task and Job are the task index and per-task job ordinal.
+	Task int `json:"task"`
+	Job  int `json:"job"`
+	// Area is the task's column footprint.
+	Area int `json:"area"`
+	// Release, Deadline and Remaining are decimal-string times; Remaining
+	// is the execution left at the interval's start.
+	Release   string `json:"release"`
+	Deadline  string `json:"deadline"`
+	Remaining string `json:"remaining"`
+}
+
+// TraceMiss reports one deadline miss at time At.
+type TraceMiss struct {
+	At   string `json:"at"`
+	Task int    `json:"task"`
+	Job  int    `json:"job"`
+}
+
+// TraceJobFrom snapshots a simulator job into its wire form. It copies
+// every field immediately, honouring the sim.Recorder contract that job
+// pointers must not be retained past the callback.
+func TraceJobFrom(j *sim.Job) TraceJob {
+	return TraceJob{
+		ID:        j.ID,
+		Task:      j.TaskIndex,
+		Job:       j.JobIndex,
+		Area:      j.Area,
+		Release:   j.Release.String(),
+		Deadline:  j.Deadline.String(),
+		Remaining: j.Remaining.String(),
+	}
+}
+
+// Model reconstructs the simulator-side job snapshot, parsing the
+// decimal times. The inverse of TraceJobFrom (PendingConfig is not
+// carried on the wire and stays zero).
+func (j TraceJob) Model() (*sim.Job, error) {
+	out := &sim.Job{ID: j.ID, TaskIndex: j.Task, JobIndex: j.Job, Area: j.Area}
+	var err error
+	if out.Release, err = timeunit.Parse(j.Release); err != nil {
+		return nil, fmt.Errorf("trace job release: %w", err)
+	}
+	if out.Deadline, err = timeunit.Parse(j.Deadline); err != nil {
+		return nil, fmt.Errorf("trace job deadline: %w", err)
+	}
+	if out.Remaining, err = timeunit.Parse(j.Remaining); err != nil {
+		return nil, fmt.Errorf("trace job remaining: %w", err)
+	}
+	return out, nil
+}

@@ -247,6 +247,14 @@ func (f *Fleet) Simulate(ctx context.Context, req api.SimulateRequest) (*api.Sim
 	})
 }
 
+// SimulateTrace streams one simulation's scheduler events from a
+// round-robin member. Streams are never hedged or retried: a second
+// copy started mid-stream would replay already-seen events, and the
+// bounded run on the routed node completes regardless.
+func (f *Fleet) SimulateTrace(ctx context.Context, req api.TraceRequest) iter.Seq2[api.TraceEvent, error] {
+	return f.members[f.pick()].SimulateTrace(ctx, req)
+}
+
 // Analyze routes an analysis to the owning member. A single-set request
 // goes to the owner of its fingerprint; a batch is split by owner and
 // the per-owner batches run concurrently, with results reassembled in
@@ -465,6 +473,84 @@ func (f *Fleet) Controllers(ctx context.Context) ([]api.ControllerInfo, error) {
 	for _, name := range f.names {
 		go func() {
 			infos, err := f.members[name].Controllers(ctx)
+			if err != nil {
+				errs <- fmt.Errorf("member %q: %w", name, err)
+				return
+			}
+			mu.Lock()
+			all = append(all, infos...)
+			mu.Unlock()
+			errs <- nil
+		}()
+	}
+	for range f.names {
+		if err := <-errs; err != nil {
+			return nil, err
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Name < all[j].Name })
+	return all, nil
+}
+
+// placementNode pins a 2-D placement controller to one member by name.
+// The key namespace is distinct from the 1-D controllers', so a 1-D and
+// a 2-D controller sharing a name can land on different nodes without
+// interfering.
+func (f *Fleet) placementNode(name string) *Client {
+	return f.members[cluster.OwnerOfKey(f.names, "placement\x00"+name)]
+}
+
+// PlacementCheck runs the stateless 2-D feasibility check on a
+// round-robin member (hedged: the check is pure and deterministic, so
+// any member returns the identical document).
+func (f *Fleet) PlacementCheck(ctx context.Context, req api.PlacementCheckRequest) (*api.PlacementCheckResponse, error) {
+	return hedged(ctx, f, f.pick(), func(ctx context.Context, c *Client) (*api.PlacementCheckResponse, error) {
+		return c.PlacementCheck(ctx, req)
+	})
+}
+
+// CreatePlacementController creates a 2-D placement controller on its
+// pinned member. Never hedged or failed over: creation mutates node
+// state.
+func (f *Fleet) CreatePlacementController(ctx context.Context, name string, req api.PlacementControllerRequest) (*api.PlacementControllerInfo, error) {
+	return f.placementNode(name).CreatePlacementController(ctx, name, req)
+}
+
+// DeletePlacementController drops a 2-D placement controller on its
+// pinned member.
+func (f *Fleet) DeletePlacementController(ctx context.Context, name string) error {
+	return f.placementNode(name).DeletePlacementController(ctx, name)
+}
+
+// PlacementAdmit routes a 2-D admission to the controller's pinned
+// member. Never hedged or retried — admission mutates the layout.
+func (f *Fleet) PlacementAdmit(ctx context.Context, controller string, t api.Task2D) (*api.PlacementAdmitResponse, error) {
+	return f.placementNode(controller).PlacementAdmit(ctx, controller, t)
+}
+
+// PlacementRelease routes a region release to the controller's pinned
+// member.
+func (f *Fleet) PlacementRelease(ctx context.Context, controller, taskName string) error {
+	return f.placementNode(controller).PlacementRelease(ctx, controller, taskName)
+}
+
+// PlacementResident snapshots a 2-D placement controller from its
+// pinned member.
+func (f *Fleet) PlacementResident(ctx context.Context, controller string) (*api.PlacementResidentResponse, error) {
+	return f.placementNode(controller).PlacementResident(ctx, controller)
+}
+
+// PlacementControllers merges the 2-D placement controller listings of
+// every member, sorted by name.
+func (f *Fleet) PlacementControllers(ctx context.Context) ([]api.PlacementControllerInfo, error) {
+	var (
+		mu  sync.Mutex
+		all []api.PlacementControllerInfo
+	)
+	errs := make(chan error, len(f.names))
+	for _, name := range f.names {
+		go func() {
+			infos, err := f.members[name].PlacementControllers(ctx)
 			if err != nil {
 				errs <- fmt.Errorf("member %q: %w", name, err)
 				return

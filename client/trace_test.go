@@ -1,0 +1,106 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"fpgasched/api"
+	"fpgasched/internal/server"
+	"fpgasched/internal/workload"
+)
+
+func traceReq() api.TraceRequest {
+	return api.TraceRequest{
+		Columns: 10, Scheduler: "nf", Taskset: workload.Table3(), Horizon: "40",
+	}
+}
+
+func TestSimulateTraceEndToEnd(t *testing.T) {
+	c, _ := newEnv(t, server.Config{})
+	ctx := context.Background()
+	var events []api.TraceEvent
+	for ev, err := range c.SimulateTrace(ctx, traceReq()) {
+		if err != nil {
+			t.Fatalf("stream: %v", err)
+		}
+		events = append(events, ev)
+	}
+	if len(events) < 2 {
+		t.Fatalf("stream too short: %d events", len(events))
+	}
+	last := events[len(events)-1]
+	if last.Type != api.TraceEventResult || last.Result == nil {
+		t.Fatalf("terminal event = %+v, want result", last)
+	}
+	for _, ev := range events[:len(events)-1] {
+		if ev.Type != api.TraceEventInterval && ev.Type != api.TraceEventMiss {
+			t.Errorf("mid-stream event type %q", ev.Type)
+		}
+	}
+	// The terminal summary is the same document Simulate returns.
+	direct, err := c.Simulate(ctx, api.SimulateRequest{
+		Columns: 10, Scheduler: "nf", Taskset: workload.Table3(), Horizon: "40",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := json.Marshal(direct)
+	got, _ := json.Marshal(last.Result)
+	if string(want) != string(got) {
+		t.Errorf("trace result = %s\nsimulate     = %s", got, want)
+	}
+}
+
+func TestSimulateTraceTypedValidationError(t *testing.T) {
+	c, _ := newEnv(t, server.Config{})
+	count := 0
+	for _, err := range c.SimulateTrace(context.Background(), api.TraceRequest{Columns: 0, Taskset: workload.Table1()}) {
+		count++
+		var apiErr *api.Error
+		if !errors.As(err, &apiErr) || apiErr.Code != api.CodeInvalidDevice {
+			t.Errorf("err = %v, want typed invalid_device", err)
+		}
+	}
+	if count != 1 {
+		t.Errorf("stream yielded %d times, want exactly 1 error", count)
+	}
+}
+
+// TestSimulateTraceEarlyBreak proves breaking out of the iterator closes
+// the stream cleanly and leaves the client usable.
+func TestSimulateTraceEarlyBreak(t *testing.T) {
+	c, _ := newEnv(t, server.Config{})
+	ctx := context.Background()
+	seen := 0
+	for _, err := range c.SimulateTrace(ctx, traceReq()) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen++
+		break
+	}
+	if seen != 1 {
+		t.Fatalf("saw %d events before break", seen)
+	}
+	if _, err := c.Simulate(ctx, api.SimulateRequest{Columns: 10, Taskset: workload.Table1()}); err != nil {
+		t.Fatalf("client wedged after early break: %v", err)
+	}
+}
+
+func TestSimulateTraceCancelledContext(t *testing.T) {
+	c, _ := newEnv(t, server.Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	count := 0
+	for _, err := range c.SimulateTrace(ctx, traceReq()) {
+		count++
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("err = %v, want context.Canceled", err)
+		}
+	}
+	if count != 1 {
+		t.Errorf("cancelled stream yielded %d times, want 1", count)
+	}
+}

@@ -25,6 +25,14 @@
 //	POST   /v1/analyze
 //	POST   /v1/analyze/stream
 //	POST   /v1/simulate
+//	POST   /v1/simulate/trace
+//	POST   /v1/placement/check
+//	GET    /v1/placement/controllers
+//	PUT    /v1/placement/controllers/{name}
+//	DELETE /v1/placement/controllers/{name}
+//	POST   /v1/placement/controllers/{name}/admit
+//	DELETE /v1/placement/controllers/{name}/tasks/{task}
+//	GET    /v1/placement/controllers/{name}/resident
 //	GET    /v1/controllers
 //	PUT    /v1/controllers/{name}
 //	DELETE /v1/controllers/{name}
@@ -40,7 +48,11 @@
 // The /v1/experiments endpoints run the paper's Section 6 evaluation
 // (and the ablation catalogue) as cancellable background jobs with
 // NDJSON progress streaming; `experiments -remote` is the CLI front
-// end. The official Go SDK for this API is the client package.
+// end. /v1/simulate/trace streams one simulation's scheduler events as
+// NDJSON (`simtrace -remote` renders them); the /v1/placement
+// endpoints serve the 2-D extension's feasibility check and stateful
+// rectangle admission. The official Go SDK for this API is the client
+// package.
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: /readyz flips to
 // 503 not_ready first (so load balancers and fleet peers stop routing

@@ -1,6 +1,6 @@
-// Command loadgen replays a configurable mix of analyze, admit and
-// stream traffic against a fpgaschedd fleet and reports throughput and
-// latency percentiles per operation type. It is the serving-path
+// Command loadgen replays a configurable mix of analyze, simulate,
+// trace, admit and stream traffic against a fpgaschedd fleet and
+// reports throughput and latency percentiles per operation type. It is the serving-path
 // counterpart of the analysis benchmarks under `make bench`: those
 // measure the engine, loadgen measures the daemon — HTTP, routing,
 // cache sharding and the fleet client — end to end.
@@ -78,12 +78,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	inprocess := fs.Int("inprocess", 0, "spin up N in-process fleet members instead of -targets")
 	requests := fs.Int("requests", 400, "total operations to issue")
 	concurrency := fs.Int("concurrency", 8, "concurrent workers")
-	mixFlag := fs.String("mix", "analyze=8,admit=1,stream=1", "operation mix as weights")
+	mixFlag := fs.String("mix", "analyze=6,simulate=2,trace=1,admit=1,stream=1", "operation mix as weights")
 	seed := fs.Uint64("seed", 1, "deterministic traffic seed")
 	columns := fs.Int("columns", workload.FigureDeviceColumns, "device area for generated tasksets")
 	setsN := fs.Int("sets", 32, "taskset pool size (smaller pools hit caches harder)")
 	tasksN := fs.Int("tasks", 5, "tasks per generated set")
 	streamLines := fs.Int("stream-lines", 4, "tasksets per stream operation")
+	simHorizon := fs.Int64("sim-horizon", 30, "release horizon (time units) for simulate and trace operations")
 	label := fs.String("label", "", "benchmark label (default fleet=N)")
 	hedge := fs.Duration("hedge", 0, "fleet client hedge delay for idempotent reads (0 disables)")
 	if err := fs.Parse(args); err != nil {
@@ -96,8 +97,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "loadgen: exactly one of -targets and -inprocess is required")
 		return 2
 	}
-	if *requests < 1 || *concurrency < 1 || *setsN < 1 || *tasksN < 1 || *streamLines < 1 {
-		fmt.Fprintln(stderr, "loadgen: -requests, -concurrency, -sets, -tasks and -stream-lines must be positive")
+	if *requests < 1 || *concurrency < 1 || *setsN < 1 || *tasksN < 1 || *streamLines < 1 || *simHorizon < 1 {
+		fmt.Fprintln(stderr, "loadgen: -requests, -concurrency, -sets, -tasks, -stream-lines and -sim-horizon must be positive")
 		return 2
 	}
 	mix, err := parseMix(*mixFlag)
@@ -201,6 +202,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 						// unbounded growth.
 						err = fleet.Release(ctx, ctrl, tk.Name)
 					}
+				case "simulate":
+					_, err = fleet.Simulate(ctx, api.SimulateRequest{
+						Columns:   *columns,
+						Scheduler: "nf",
+						Taskset:   sets[wr.IntN(len(sets))],
+						Horizon:   strconv.FormatInt(*simHorizon, 10),
+					})
+				case "trace":
+					req := api.TraceRequest{
+						Columns:   *columns,
+						Scheduler: "nf",
+						Taskset:   sets[wr.IntN(len(sets))],
+						Horizon:   strconv.FormatInt(*simHorizon, 10),
+					}
+					for ev, terr := range fleet.SimulateTrace(ctx, req) {
+						if terr != nil {
+							err = terr
+							break
+						}
+						if ev.Type == api.TraceEventError {
+							err = ev.Error
+							break
+						}
+					}
 				case "stream":
 					err = fleet.AnalyzeStream(ctx, streamOf(sets, wr, *columns, *streamLines),
 						func(res api.StreamResult) error {
@@ -303,7 +328,7 @@ type mixTable struct {
 
 func parseMix(s string) (mixTable, error) {
 	var m mixTable
-	known := map[string]bool{"analyze": true, "admit": true, "stream": true}
+	known := map[string]bool{"analyze": true, "simulate": true, "trace": true, "admit": true, "stream": true}
 	for _, part := range strings.Split(s, ",") {
 		part = strings.TrimSpace(part)
 		if part == "" {
@@ -311,7 +336,7 @@ func parseMix(s string) (mixTable, error) {
 		}
 		name, w, ok := strings.Cut(part, "=")
 		if !ok || !known[name] {
-			return m, fmt.Errorf("mix entry %q must be analyze|admit|stream=weight", part)
+			return m, fmt.Errorf("mix entry %q must be analyze|simulate|trace|admit|stream=weight", part)
 		}
 		weight, err := strconv.Atoi(w)
 		if err != nil || weight < 0 {

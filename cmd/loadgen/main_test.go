@@ -22,7 +22,7 @@ func TestRunInProcessFleetSmoke(t *testing.T) {
 		t.Fatalf("run = %d, want 0; stderr:\n%s", code, stderr.String())
 	}
 	out := stdout.String()
-	for _, op := range []string{"analyze", "admit", "stream"} {
+	for _, op := range []string{"analyze", "simulate", "trace", "admit", "stream"} {
 		if !strings.Contains(out, "BenchmarkServe/fleet=2/"+op+" ") {
 			t.Errorf("output missing %s line:\n%s", op, out)
 		}
@@ -89,7 +89,7 @@ func TestParseMix(t *testing.T) {
 			t.Fatalf("pick = %q from single-op mix", got)
 		}
 	}
-	for _, bad := range []string{"", "analyze", "analyze=-1", "simulate=1", "analyze=0,admit=0"} {
+	for _, bad := range []string{"", "analyze", "analyze=-1", "bogus=1", "analyze=0,admit=0"} {
 		if _, err := parseMix(bad); err == nil {
 			t.Errorf("parseMix(%q) accepted", bad)
 		}

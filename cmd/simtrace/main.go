@@ -6,15 +6,24 @@
 //
 //	simtrace -columns 10 -file set.json [-scheduler nf|fkf]
 //	         [-horizon 50] [-check] [-quantum 1] [-continue]
+//	         [-remote http://host:8080]
+//
+// With -remote the simulation runs on a fpgaschedd daemon via the
+// streaming trace endpoint (POST /v1/simulate/trace); the events are
+// replayed into the same local Gantt renderer and invariant checker, so
+// the output is byte-identical to a local run of the same request.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 
+	"fpgasched/api"
+	"fpgasched/client"
 	"fpgasched/internal/sched"
 	"fpgasched/internal/sim"
 	"fpgasched/internal/task"
@@ -50,6 +59,7 @@ func run(args []string) int {
 	check := fs.Bool("check", false, "verify Lemma 1/2 invariants on the trace")
 	quantum := fs.Int64("quantum", 1, "gantt cell width in time units")
 	contAfterMiss := fs.Bool("continue", false, "keep simulating after a miss")
+	remote := fs.String("remote", "", "base URL of a fpgaschedd daemon; the simulation runs there via the trace stream")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -93,27 +103,37 @@ func run(args []string) int {
 		checker = trace.NewChecker(*columns, s.AMax(), mode)
 		recorders = append(recorders, checker)
 	}
-	opts := sim.Options{ContinueAfterMiss: *contAfterMiss, Recorder: recorders}
-	if *horizon > 0 {
-		opts.Horizon = timeunit.FromUnits(*horizon)
-	}
-	res, err := sim.Simulate(*columns, s, pol, opts)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "simtrace: %v\n", err)
-		return 2
+	var summary api.SimulateResponse
+	if *remote != "" {
+		resp, code := runRemote(*remote, *columns, s, *scheduler, *horizon, *contAfterMiss, recorders)
+		if code != 0 {
+			return code
+		}
+		summary = *resp
+	} else {
+		opts := sim.Options{ContinueAfterMiss: *contAfterMiss, Recorder: recorders}
+		if *horizon > 0 {
+			opts.Horizon = timeunit.FromUnits(*horizon)
+		}
+		res, err := sim.Simulate(*columns, s, pol, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "simtrace: %v\n", err)
+			return 2
+		}
+		summary = api.SimulateResponseFromResult(res)
 	}
 
-	fmt.Printf("%s on %d columns, horizon %v\n", res.Policy, *columns, res.Horizon)
+	fmt.Printf("%s on %d columns, horizon %v\n", summary.Policy, *columns, summary.Horizon)
 	for i, tk := range s.Tasks {
 		fmt.Printf("  task %2d: %v\n", i, tk)
 	}
 	fmt.Println()
 	fmt.Print(gantt.String())
 	fmt.Printf("\njobs: %d released, %d completed, %d preemptions\n",
-		res.Released, res.Completed, res.Preemptions)
-	if res.Missed {
+		summary.Released, summary.Completed, summary.Preemptions)
+	if summary.Missed {
 		fmt.Printf("MISS: first at %v (task %d job %d); %d total\n",
-			res.FirstMissTime, res.FirstMissTask, res.FirstMissJob, res.Misses)
+			summary.FirstMissTime, *summary.FirstMissTask, *summary.FirstMissJob, summary.Misses)
 	} else {
 		fmt.Println("all deadlines met")
 	}
@@ -128,8 +148,88 @@ func run(args []string) int {
 			return 1
 		}
 	}
-	if res.Missed {
+	if summary.Missed {
 		return 1
 	}
 	return 0
+}
+
+// runRemote streams the simulation from a fpgaschedd daemon, replaying
+// every interval and miss event into the local recorders (Gantt,
+// invariant checker) exactly as the in-process simulator would have
+// fired them. Returns the terminal summary, or a nonzero exit code on
+// stream or validation failure.
+func runRemote(base string, columns int, s *task.Set, scheduler string, horizon int64, contAfterMiss bool, rec sim.Recorder) (*api.SimulateResponse, int) {
+	c, err := client.New(base)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simtrace: %v\n", err)
+		return nil, 2
+	}
+	req := api.TraceRequest{
+		Columns:           columns,
+		Scheduler:         scheduler,
+		Taskset:           s,
+		ContinueAfterMiss: contAfterMiss,
+	}
+	if horizon > 0 {
+		req.Horizon = timeunit.FromUnits(horizon).String()
+	}
+	var summary *api.SimulateResponse
+	for ev, err := range c.SimulateTrace(context.Background(), req) {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "simtrace: remote: %v\n", err)
+			return nil, 2
+		}
+		switch ev.Type {
+		case api.TraceEventInterval:
+			from, to, running, waiting, err := replayInterval(ev.Interval)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "simtrace: remote: %v\n", err)
+				return nil, 2
+			}
+			rec.Interval(from, to, running, waiting)
+		case api.TraceEventMiss:
+			at, err := timeunit.Parse(ev.Miss.At)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "simtrace: remote: bad miss time: %v\n", err)
+				return nil, 2
+			}
+			rec.Miss(at, &sim.Job{TaskIndex: ev.Miss.Task, JobIndex: ev.Miss.Job})
+		case api.TraceEventResult:
+			summary = ev.Result
+		case api.TraceEventError:
+			fmt.Fprintf(os.Stderr, "simtrace: remote: %v\n", ev.Error)
+			return nil, 2
+		}
+	}
+	if summary == nil {
+		fmt.Fprintln(os.Stderr, "simtrace: remote: stream ended without a result event")
+		return nil, 2
+	}
+	return summary, 0
+}
+
+// replayInterval reconstructs one wire interval's jobs.
+func replayInterval(iv *api.TraceInterval) (from, to timeunit.Time, running, waiting []*sim.Job, err error) {
+	if from, err = timeunit.Parse(iv.From); err != nil {
+		return
+	}
+	if to, err = timeunit.Parse(iv.To); err != nil {
+		return
+	}
+	for _, wj := range iv.Running {
+		var j *sim.Job
+		if j, err = wj.Model(); err != nil {
+			return
+		}
+		running = append(running, j)
+	}
+	for _, wj := range iv.Waiting {
+		var j *sim.Job
+		if j, err = wj.Model(); err != nil {
+			return
+		}
+		waiting = append(waiting, j)
+	}
+	return
 }

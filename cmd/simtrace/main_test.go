@@ -1,9 +1,14 @@
 package main
 
 import (
+	"io"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"testing"
+
+	"fpgasched/internal/engine"
+	"fpgasched/internal/server"
 )
 
 func writeSet(t *testing.T, name, content string) string {
@@ -55,6 +60,86 @@ func TestSimtraceUsageErrors(t *testing.T) {
 	path := writeSet(t, "ok2.json", `{"tasks":[{"name":"a","c":"1","d":"5","t":"5","a":2}]}`)
 	if got := run([]string{"-file", path, "-scheduler", "nope"}); got != 2 {
 		t.Error("bad scheduler must exit 2")
+	}
+}
+
+// captureRun runs the CLI capturing stdout.
+func captureRun(t *testing.T, args []string) (int, string) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	code := run(args)
+	w.Close()
+	os.Stdout = old
+	data, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return code, string(data)
+}
+
+// TestRemoteParity proves the -remote path (through the trace stream of
+// a live fpgaschedd server) renders byte-identical output to the local
+// in-process simulation: same Gantt chart, same summary, same invariant
+// verdicts, same exit code.
+func TestRemoteParity(t *testing.T) {
+	srv := server.New(server.Config{EngineConfig: engine.Config{Workers: 1, CacheSize: 16}})
+	ts := httptest.NewServer(srv)
+	defer func() {
+		ts.Close()
+		srv.Close()
+	}()
+	clean := writeSet(t, "clean.json", `{"tasks":[
+		{"name":"a","c":"2","d":"5","t":"5","a":4},
+		{"name":"b","c":"2.50","d":"6","t":"6","a":4}
+	]}`)
+	missing := writeSet(t, "miss.json", `{"tasks":[
+		{"name":"a","c":"3","d":"5","t":"5","a":10},
+		{"name":"b","c":"3","d":"5","t":"5","a":10}
+	]}`)
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"clean checked", []string{"-columns", "10", "-file", clean, "-check", "-horizon", "30"}},
+		{"fkf", []string{"-columns", "10", "-file", clean, "-scheduler", "fkf", "-check", "-horizon", "30"}},
+		{"miss", []string{"-columns", "10", "-file", missing, "-horizon", "10"}},
+		{"miss continue", []string{"-columns", "10", "-file", missing, "-horizon", "10", "-continue", "-check"}},
+		{"auto horizon", []string{"-columns", "10", "-file", clean}},
+		{"coarse quantum", []string{"-columns", "10", "-file", clean, "-quantum", "2", "-horizon", "30"}},
+	}
+	for _, tc := range cases {
+		localCode, localOut := captureRun(t, tc.args)
+		remoteCode, remoteOut := captureRun(t, append(append([]string{}, tc.args...), "-remote", ts.URL))
+		if remoteCode != localCode {
+			t.Errorf("%s: remote exit = %d, local = %d", tc.name, remoteCode, localCode)
+		}
+		if localOut != remoteOut {
+			t.Errorf("%s: output mismatch\n--- local ---\n%s\n--- remote ---\n%s", tc.name, localOut, remoteOut)
+		}
+	}
+}
+
+func TestRemoteErrorsExitTwo(t *testing.T) {
+	path := writeSet(t, "ok3.json", `{"tasks":[{"name":"a","c":"1","d":"5","t":"5","a":2}]}`)
+	if got := run([]string{"-columns", "10", "-file", path, "-remote", "http://127.0.0.1:1"}); got != 2 {
+		t.Errorf("unreachable server exit = %d, want 2", got)
+	}
+	srv := server.New(server.Config{EngineConfig: engine.Config{Workers: 1}})
+	ts := httptest.NewServer(srv)
+	defer func() {
+		ts.Close()
+		srv.Close()
+	}()
+	// Task wider than the device: server-side validation error surfaces
+	// before any event.
+	wide := writeSet(t, "wide.json", `{"tasks":[{"name":"a","c":"1","d":"5","t":"5","a":20}]}`)
+	if got := run([]string{"-columns", "10", "-file", wide, "-remote", ts.URL}); got != 2 {
+		t.Errorf("invalid remote request exit = %d, want 2", got)
 	}
 }
 

@@ -64,6 +64,57 @@ func TestRemapCertificateMatchesEngine(t *testing.T) {
 	}
 }
 
+// TestRemapCertificateMatchesEngineUnitArea re-runs the mirror check on
+// unit-area sets. Unconstrained sets above only drive the mpsched
+// adapters through their unit-area-gate rejection; with every area 1
+// the MP tests analyze for real, so this covers the accept path's
+// certificates (per-processor partition witnesses included).
+func TestRemapCertificateMatchesEngineUnitArea(t *testing.T) {
+	const columns = 4
+	tests, err := core.TestsByName(core.TestNames())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := workload.Profile{
+		Name: "unit", N: 6, AreaMin: 1, AreaMax: 1,
+		PeriodMin: 5, PeriodMax: 20, UtilMin: 0.1, UtilMax: 0.9,
+	}
+	r := workload.Rand(11)
+	for i := 0; i < 25; i++ {
+		set := p.Generate(r)
+		perm := set.CanonicalPerm()
+		for _, tt := range tests {
+			v := canonicalVerdict(t, tt, columns, set, perm)
+			cert := api.VerdictFromCore(v, true)
+			for _, explain := range []bool{false, true} {
+				want, err := json.Marshal(api.VerdictFromCore(engine.RemapVerdict(v, perm, !explain), explain))
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := json.Marshal(RemapCertificate(cert, perm, explain))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if string(want) != string(got) {
+					t.Fatalf("set %d test %s explain=%v:\nengine: %s\nremap:  %s",
+						i, tt.Name(), explain, want, got)
+				}
+			}
+			// And the writeback round trip on the same certificates.
+			back, err := VerdictFromCertificate(cert)
+			if err != nil {
+				t.Fatalf("set %d test %s: reconstruct: %v", i, tt.Name(), err)
+			}
+			before, _ := json.Marshal(cert)
+			after, _ := json.Marshal(api.VerdictFromCore(back, true))
+			if string(before) != string(after) {
+				t.Fatalf("set %d test %s round trip drifted:\nbefore: %s\nafter:  %s",
+					i, tt.Name(), before, after)
+			}
+		}
+	}
+}
+
 // TestCertificateRoundTrip pins the losslessness that makes the
 // peer-fetch writeback sound: certificate → core.Verdict → certificate
 // is byte-identical, so a verdict seeded into the local cache from a

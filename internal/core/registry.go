@@ -10,11 +10,17 @@ import (
 // under the most permissive label it is sound for: "both" means valid
 // under EDF-NF and EDF-FkF (EDF-NF dominates EDF-FkF, so every FkF-valid
 // test is also NF-valid), "nf" means EDF-NF only, "fkf" marks the
-// FkF-oriented composite.
+// FkF-oriented composite. "partitioned" marks the static-partitioning
+// test: its acceptance certifies partitioned EDF (its own runtime
+// policy), NOT the global EDF-NF/FkF policies, so clients gating global
+// admission must never select it. The MP-* baselines carry "both":
+// they only accept unit-area sets, on which EDF-NF and EDF-FkF both
+// degenerate to global multiprocessor EDF.
 const (
-	ValidityBoth = "both"
-	ValidityNF   = "nf"
-	ValidityFkF  = "fkf"
+	ValidityBoth        = "both"
+	ValidityNF          = "nf"
+	ValidityFkF         = "fkf"
+	ValidityPartitioned = "partitioned"
 )
 
 // TestInfo describes one registry entry: the canonical identifier, a
@@ -59,6 +65,14 @@ var registry = []struct {
 		func() Test { return ForNF() }},
 	{"any-fkf", "any-of composite of the tests valid under EDF-FkF (DP, GN2)", ValidityFkF,
 		func() Test { return ForFkF() }},
+	{"MP-GFB", "Goossens–Funk–Baruah utilization bound for global EDF on m = A(H) processors (unit-area sets only)", ValidityBoth,
+		func() Test { return MPTest{Kind: MPGFB} }},
+	{"MP-BCL", "Bertogna–Cirinei–Lipari interference test for global EDF on m = A(H) processors (unit-area sets only)", ValidityBoth,
+		func() Test { return MPTest{Kind: MPBCL} }},
+	{"MP-BAK2", "Baker's λ-parameterised busy-interval test for global EDF on m = A(H) processors (unit-area sets only)", ValidityBoth,
+		func() Test { return MPTest{Kind: MPBAK2} }},
+	{"partition", "first-fit-decreasing static partitioning with per-partition uniprocessor EDF (certifies partitioned EDF, not global)", ValidityPartitioned,
+		func() Test { return PartitionTest{} }},
 }
 
 // TestByName resolves a test identifier to a Test. Identifiers are
@@ -72,6 +86,10 @@ var registry = []struct {
 //	GN2x    Theorem 3 with the extended λ candidate search
 //	any-nf  composite of all tests valid under EDF-NF
 //	any-fkf composite of the tests valid under EDF-FkF
+//	MP-GFB  Goossens–Funk–Baruah multiprocessor bound (unit areas)
+//	MP-BCL  Bertogna–Cirinei–Lipari multiprocessor test (unit areas)
+//	MP-BAK2 Baker's multiprocessor busy-interval test (unit areas)
+//	partition first-fit-decreasing partitioned EDF
 //
 // It is the single registry shared by the CLI and the analysis server, so
 // wire names stay in lockstep.

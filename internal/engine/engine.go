@@ -106,6 +106,17 @@ type Stats struct {
 	// SweepWorkers is the resolved per-analysis sweep parallelism
 	// (Config.SweepWorkers; 1 means serial sweeps).
 	SweepWorkers int
+	// Tests breaks hits, misses and executed analyses down by test name
+	// (the cache key's test component), so operators can see which
+	// registry entries are hot and how well each one's verdicts memoize.
+	// The map is a snapshot copy; nil when no analysis was ever requested.
+	Tests map[string]TestStats
+}
+
+// TestStats is the per-test-name slice of the engine counters. The
+// hit/miss/analysis semantics match the aggregate fields of Stats.
+type TestStats struct {
+	Hits, Misses, Analyses uint64
 }
 
 // Request names one analysis: a taskset against a device under a test.
@@ -151,6 +162,7 @@ type Engine struct {
 		sync.Mutex
 		hits, misses, evictions uint64
 		analyses, nanos         uint64
+		perTest                 map[string]*TestStats
 	}
 }
 
@@ -314,7 +326,7 @@ func (e *Engine) Analyze(ctx context.Context, r Request) (core.Verdict, error) {
 		if e.cache != nil {
 			if v, ok := e.cache.get(k); ok {
 				e.mu.Unlock()
-				e.countHit()
+				e.countHit(k.test)
 				return remapVerdict(v, perm, r.OmitChecks), nil
 			}
 		}
@@ -334,7 +346,7 @@ func (e *Engine) Analyze(ctx context.Context, r Request) (core.Verdict, error) {
 				}
 				return core.Verdict{}, c.err
 			}
-			e.countHit()
+			e.countHit(k.test)
 			return remapVerdict(c.verdict, perm, r.OmitChecks), nil
 		}
 		c := &call{done: make(chan struct{})}
@@ -381,7 +393,7 @@ func (e *Engine) own(ctx context.Context, r Request, perm []int, k cacheKey, c *
 	// The analysis is definitely running now: count the miss here, not
 	// at ownership registration, so abandoned (cancelled-while-queued)
 	// requests cannot inflate the miss rate with work that never ran.
-	e.countMiss()
+	e.countMiss(k.test)
 	// Analyze the canonically ordered copy so the cached verdict's
 	// indices mean the same thing to every permutation of this set.
 	canon := &task.Set{Tasks: make([]task.Task, len(perm))}
@@ -421,6 +433,7 @@ func (e *Engine) own(ctx context.Context, r Request, perm []int, k cacheKey, c *
 	e.stats.Lock()
 	e.stats.analyses++
 	e.stats.nanos += uint64(elapsed.Nanoseconds())
+	e.perTestLocked(k.test).Analyses++
 	e.stats.Unlock()
 
 	c.verdict = v
@@ -455,7 +468,7 @@ func (e *Engine) PeekCanonical(testName string, columns int, fp task.Fingerprint
 	if e.cache != nil {
 		if v, ok := e.cache.get(k); ok {
 			e.mu.Unlock()
-			e.countHit()
+			e.countHit(k.test)
 			return v, true
 		}
 	}
@@ -572,6 +585,12 @@ func (e *Engine) Stats() Stats {
 		Workers:       cap(e.sem),
 		SweepWorkers:  e.sweepWorkers,
 	}
+	if len(e.stats.perTest) > 0 {
+		s.Tests = make(map[string]TestStats, len(e.stats.perTest))
+		for name, ts := range e.stats.perTest {
+			s.Tests[name] = *ts
+		}
+	}
 	e.stats.Unlock()
 	e.mu.Lock()
 	s.InFlight = len(e.inflight)
@@ -583,16 +602,32 @@ func (e *Engine) Stats() Stats {
 	return s
 }
 
-func (e *Engine) countHit() {
+func (e *Engine) countHit(test string) {
 	e.stats.Lock()
 	e.stats.hits++
+	e.perTestLocked(test).Hits++
 	e.stats.Unlock()
 }
 
-func (e *Engine) countMiss() {
+func (e *Engine) countMiss(test string) {
 	e.stats.Lock()
 	e.stats.misses++
+	e.perTestLocked(test).Misses++
 	e.stats.Unlock()
+}
+
+// perTestLocked returns the mutable per-test counter row for a test
+// name, creating it on first touch. Callers hold e.stats.
+func (e *Engine) perTestLocked(test string) *TestStats {
+	if e.stats.perTest == nil {
+		e.stats.perTest = make(map[string]*TestStats)
+	}
+	ts := e.stats.perTest[test]
+	if ts == nil {
+		ts = &TestStats{}
+		e.stats.perTest[test] = ts
+	}
+	return ts
 }
 
 // lru is a fixed-capacity least-recently-used verdict cache. Not safe for

@@ -62,6 +62,46 @@ func TestCacheHitOnPermutedEqualSets(t *testing.T) {
 	}
 }
 
+// TestPerTestCounters pins the per-test-name slice of the cache
+// counters: each test accumulates its own hits/misses/analyses, their
+// sums match the aggregates, and the returned map is a snapshot the
+// caller can hold without racing the engine.
+func TestPerTestCounters(t *testing.T) {
+	e := New(Config{Workers: 2, CacheSize: 16})
+	defer e.Close()
+	s := table3()
+	for i := 0; i < 3; i++ {
+		if _, err := e.Analyze(context.Background(), Request{Columns: 10, Set: s, Test: core.GN2Test{}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := e.Analyze(context.Background(), Request{Columns: 10, Set: s, Test: core.DPTest{}}); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if got := st.Tests["GN2"]; got != (TestStats{Hits: 2, Misses: 1, Analyses: 1}) {
+		t.Errorf("GN2 counters = %+v, want 2 hits, 1 miss, 1 analysis", got)
+	}
+	if got := st.Tests["DP"]; got != (TestStats{Misses: 1, Analyses: 1}) {
+		t.Errorf("DP counters = %+v, want 1 miss, 1 analysis", got)
+	}
+	var hits, misses, analyses uint64
+	for _, ts := range st.Tests {
+		hits += ts.Hits
+		misses += ts.Misses
+		analyses += ts.Analyses
+	}
+	if hits != st.Hits || misses != st.Misses || analyses != st.Analyses {
+		t.Errorf("per-test sums (%d/%d/%d) != aggregates (%d/%d/%d)",
+			hits, misses, analyses, st.Hits, st.Misses, st.Analyses)
+	}
+	// The map is a snapshot: mutating it must not reach the engine.
+	st.Tests["GN2"] = TestStats{}
+	if again := e.Stats().Tests["GN2"]; again.Hits != 2 {
+		t.Error("Stats().Tests aliases the engine's live counters")
+	}
+}
+
 func TestCacheMissOnDifferentDeviceWidth(t *testing.T) {
 	e := New(Config{Workers: 2, CacheSize: 16})
 	defer e.Close()

@@ -26,6 +26,7 @@ func TestRegistryComplete(t *testing.T) {
 		"ablation-nf", "ablation-overhead", "ablation-partition",
 		"ablation-reserved", "ablation-ushybrid",
 		"fig3a", "fig3b", "fig4a", "fig4b",
+		"profile-bursty", "profile-hetero",
 		"table1", "table2", "table3",
 	}
 	defs := Registry()

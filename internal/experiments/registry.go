@@ -53,6 +53,8 @@ func Registry() []Definition {
 		{ID: "ablation-ushybrid", Title: "EDF-US[ξ] system-utilization hybrid vs plain EDF-NF on temporally heavy sets (Section 7)", Run: ablationUSHybrid},
 		{ID: "ablation-2d", Title: "2-D reconfiguration: area capacity vs rectangle placement heuristics (Section 7)", Run: ablation2D},
 		{ID: "ablation-reserved", Title: "Pre-configured (reserved) columns: capacity loss vs fabric splitting (Section 1 assumption 2)", Run: ablationReserved},
+		{ID: "profile-bursty", Title: "Acceptance ratio vs US: 10 bursty tasks (short periods, high utilization; serving-path stress)", Run: profileExperiment("profile-bursty", workload.Bursty(10))},
+		{ID: "profile-hetero", Title: "Acceptance ratio vs US: 10 heterogeneous tasks (bimodal light/heavy mix)", Run: profileExperiment("profile-hetero", workload.Heterogeneous(10))},
 	}
 	sort.Slice(defs, func(i, j int) bool { return defs[i].ID < defs[j].ID })
 	return defs
@@ -139,6 +141,30 @@ func figureExperiment(id string, profile workload.Profile, raw bool) func(contex
 	return func(ctx context.Context, opts RunOptions) (*Output, error) {
 		opts = opts.WithDefaults()
 		res, err := opts.sweep(id, workload.FigureDeviceColumns, profile, paperTests(), []PolicyFactory{simNF, simFkF}, raw).Run(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return &Output{
+			ID:       id,
+			Table:    res.Table,
+			Markdown: res.Table.Markdown(),
+			Counts:   res.Counts,
+		}, nil
+	}
+}
+
+// profileExperiment builds the figure-style sweep for the post-paper
+// workload profiles (bursty, heterogeneous), adding the partitioned
+// FFD+EDF test next to the paper's three. Both profiles constrain the
+// execution-factor distribution (that is their whole point), so they
+// use raw sampling: rescaling C to hit a bin target would destroy the
+// very property the profile encodes, exactly as with the Figure 4
+// profiles.
+func profileExperiment(id string, profile workload.Profile) func(context.Context, RunOptions) (*Output, error) {
+	return func(ctx context.Context, opts RunOptions) (*Output, error) {
+		opts = opts.WithDefaults()
+		tests := append(paperTests(), core.PartitionTest{})
+		res, err := opts.sweep(id, workload.FigureDeviceColumns, profile, tests, []PolicyFactory{simNF, simFkF}, true).Run(ctx)
 		if err != nil {
 			return nil, err
 		}

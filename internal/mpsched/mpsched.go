@@ -32,7 +32,15 @@ var ratOne = big.NewRat(1, 1)
 type Verdict struct {
 	Test        string
 	Schedulable bool
-	Reason      string
+	// Reason explains a rejection. It never embeds task indices: per-task
+	// failures are attributed through FailingTask, so a verdict's text is
+	// invariant under task reordering (the property the serving registry's
+	// canonical-order memoization relies on).
+	Reason string
+	// FailingTask is the index of the first task whose bound failed, or -1
+	// when the rejection is not attributable to one task (validation or
+	// scope failures, GFB's aggregate bound) and on acceptance.
+	FailingTask int
 }
 
 // GFB applies the Goossens–Funk–Baruah utilization bound for global EDF
@@ -45,10 +53,10 @@ type Verdict struct {
 func GFB(m int, s *task.Set) Verdict {
 	const name = "GFB"
 	if err := validate(m, s); err != nil {
-		return Verdict{Test: name, Reason: err.Error()}
+		return Verdict{Test: name, Reason: err.Error(), FailingTask: -1}
 	}
 	if !s.ImplicitDeadlines() {
-		return Verdict{Test: name, Reason: "GFB requires implicit deadlines"}
+		return Verdict{Test: name, Reason: "GFB requires implicit deadlines", FailingTask: -1}
 	}
 	umax := new(big.Rat)
 	total := new(big.Rat)
@@ -60,16 +68,16 @@ func GFB(m int, s *task.Set) Verdict {
 		}
 	}
 	if umax.Cmp(ratOne) > 0 {
-		return Verdict{Test: name, Reason: "a task has utilization above 1"}
+		return Verdict{Test: name, Reason: "a task has utilization above 1", FailingTask: -1}
 	}
 	// bound = m·(1−umax) + umax
 	bound := new(big.Rat).Sub(ratOne, umax)
 	bound.Mul(bound, new(big.Rat).SetInt64(int64(m)))
 	bound.Add(bound, umax)
 	if total.Cmp(bound) > 0 {
-		return Verdict{Test: name, Reason: fmt.Sprintf("U=%s exceeds bound %s", total.RatString(), bound.RatString())}
+		return Verdict{Test: name, Reason: fmt.Sprintf("U=%s exceeds bound %s", total.RatString(), bound.RatString()), FailingTask: -1}
 	}
-	return Verdict{Test: name, Schedulable: true}
+	return Verdict{Test: name, Schedulable: true, FailingTask: -1}
 }
 
 // BCL applies the Bertogna–Cirinei–Lipari test for global EDF on m
@@ -83,10 +91,10 @@ func GFB(m int, s *task.Set) Verdict {
 func BCL(m int, s *task.Set) Verdict {
 	const name = "BCL"
 	if err := validate(m, s); err != nil {
-		return Verdict{Test: name, Reason: err.Error()}
+		return Verdict{Test: name, Reason: err.Error(), FailingTask: -1}
 	}
 	if !s.ConstrainedDeadlines() {
-		return Verdict{Test: name, Reason: "BCL requires constrained deadlines"}
+		return Verdict{Test: name, Reason: "BCL requires constrained deadlines", FailingTask: -1}
 	}
 	mRat := new(big.Rat).SetInt64(int64(m))
 	for k, tk := range s.Tasks {
@@ -104,10 +112,10 @@ func BCL(m int, s *task.Set) Verdict {
 		}
 		rhs := new(big.Rat).Mul(mRat, slack)
 		if lhs.Cmp(rhs) >= 0 {
-			return Verdict{Test: name, Reason: fmt.Sprintf("task %d: Σ=%s not below %s", k, lhs.RatString(), rhs.RatString())}
+			return Verdict{Test: name, Reason: fmt.Sprintf("Σ=%s not below %s", lhs.RatString(), rhs.RatString()), FailingTask: k}
 		}
 	}
-	return Verdict{Test: name, Schedulable: true}
+	return Verdict{Test: name, Schedulable: true, FailingTask: -1}
 }
 
 // windowWorkloadRatio returns Wi/Dk for the deadline-aligned worst case.
@@ -145,7 +153,7 @@ type BAK2Options struct {
 func BAK2(m int, s *task.Set, opts BAK2Options) Verdict {
 	const name = "BAK2"
 	if err := validate(m, s); err != nil {
-		return Verdict{Test: name, Reason: err.Error()}
+		return Verdict{Test: name, Reason: err.Error(), FailingTask: -1}
 	}
 	mRat := new(big.Rat).SetInt64(int64(m))
 	mMinus1 := new(big.Rat).SetInt64(int64(m - 1))
@@ -189,10 +197,10 @@ func BAK2(m int, s *task.Set, opts BAK2Options) Verdict {
 			}
 		}
 		if !found {
-			return Verdict{Test: name, Reason: fmt.Sprintf("task %d: no λ satisfies condition 1 or 2", k)}
+			return Verdict{Test: name, Reason: "no λ satisfies condition 1 or 2", FailingTask: k}
 		}
 	}
-	return Verdict{Test: name, Schedulable: true}
+	return Verdict{Test: name, Schedulable: true, FailingTask: -1}
 }
 
 // bak2Beta is Lemma 7's βλk(i) with the printed middle case.

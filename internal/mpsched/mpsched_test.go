@@ -1,4 +1,4 @@
-package mpsched
+package mpsched_test
 
 import (
 	"context"
@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 
 	"fpgasched/internal/core"
+	"fpgasched/internal/mpsched"
 	"fpgasched/internal/task"
 	"fpgasched/internal/timeunit"
 )
@@ -29,13 +30,13 @@ func TestGFBBasics(t *testing.T) {
 	// Two half-utilization tasks on 2 processors: U = 1, bound =
 	// 2·0.5 + 0.5 = 1.5 — accepted.
 	s := implicitSet([2]int64{1, 2}, [2]int64{1, 2})
-	if v := GFB(2, s); !v.Schedulable {
+	if v := mpsched.GFB(2, s); !v.Schedulable {
 		t.Errorf("GFB should accept: %v", v)
 	}
 	// Dhall's effect: m light tasks plus one full task; GFB rejects when
 	// U exceeds m(1−umax)+umax. With umax=1, bound = 1.
 	dhall := implicitSet([2]int64{10, 10}, [2]int64{1, 10}, [2]int64{1, 10})
-	if v := GFB(2, dhall); v.Schedulable {
+	if v := mpsched.GFB(2, dhall); v.Schedulable {
 		t.Error("GFB must reject U=1.2 with umax=1 on 2 procs")
 	}
 }
@@ -44,56 +45,56 @@ func TestGFBBoundaryExact(t *testing.T) {
 	// U exactly at the bound is accepted (non-strict ≤): three tasks of
 	// u=0.5 on 2 procs: U=1.5 = 2·0.5+0.5.
 	s := implicitSet([2]int64{1, 2}, [2]int64{1, 2}, [2]int64{1, 2})
-	if v := GFB(2, s); !v.Schedulable {
+	if v := mpsched.GFB(2, s); !v.Schedulable {
 		t.Errorf("GFB must accept exact boundary: %v", v)
 	}
 	// One more tick of execution tips it over.
 	over := s.Clone()
 	over.Tasks[0].C++
-	if v := GFB(2, over); v.Schedulable {
+	if v := mpsched.GFB(2, over); v.Schedulable {
 		t.Error("GFB must reject one tick past the boundary")
 	}
 }
 
 func TestGFBScope(t *testing.T) {
 	constrained := task.NewSet(task.New("x", "1", "4", "5", 1))
-	if GFB(2, constrained).Schedulable {
+	if mpsched.GFB(2, constrained).Schedulable {
 		t.Error("GFB must refuse non-implicit deadlines")
 	}
-	if GFB(0, implicitSet([2]int64{1, 2})).Schedulable {
+	if mpsched.GFB(0, implicitSet([2]int64{1, 2})).Schedulable {
 		t.Error("GFB must refuse zero processors")
 	}
 	overU := task.NewSet(task.New("x", "6", "6", "5", 1)) // C>T, D=C? D must be ≥C: C=6,D=6,T=5 -> u=1.2
-	if GFB(2, overU).Schedulable {
+	if mpsched.GFB(2, overU).Schedulable {
 		t.Error("GFB must refuse a task with u > 1")
 	}
 }
 
 func TestBCLAcceptsLightRejectsHeavy(t *testing.T) {
 	light := implicitSet([2]int64{1, 10}, [2]int64{1, 10}, [2]int64{1, 10})
-	if v := BCL(2, light); !v.Schedulable {
+	if v := mpsched.BCL(2, light); !v.Schedulable {
 		t.Errorf("BCL should accept a light set: %v", v)
 	}
 	heavy := implicitSet([2]int64{9, 10}, [2]int64{9, 10}, [2]int64{9, 10})
-	if v := BCL(2, heavy); v.Schedulable {
+	if v := mpsched.BCL(2, heavy); v.Schedulable {
 		t.Error("BCL must reject three 0.9-utilization tasks on 2 procs")
 	}
 }
 
 func TestBCLScope(t *testing.T) {
 	post := task.NewSet(task.New("x", "1", "9", "5", 1))
-	if BCL(2, post).Schedulable {
+	if mpsched.BCL(2, post).Schedulable {
 		t.Error("BCL must refuse post-period deadlines")
 	}
 }
 
 func TestBAK2AcceptsLight(t *testing.T) {
 	light := implicitSet([2]int64{1, 10}, [2]int64{1, 10})
-	if v := BAK2(2, light, BAK2Options{}); !v.Schedulable {
+	if v := mpsched.BAK2(2, light, mpsched.BAK2Options{}); !v.Schedulable {
 		t.Errorf("BAK2 should accept a light set: %v", v)
 	}
 	heavy := implicitSet([2]int64{9, 10}, [2]int64{9, 10}, [2]int64{9, 10})
-	if v := BAK2(2, heavy, BAK2Options{}); v.Schedulable {
+	if v := mpsched.BAK2(2, heavy, mpsched.BAK2Options{}); v.Schedulable {
 		t.Error("BAK2 must reject three 0.9-utilization tasks on 2 procs")
 	}
 }
@@ -125,7 +126,7 @@ func TestDPDegeneratesToGFB(t *testing.T) {
 		m := 1 + int(mRaw)%8
 		s := unitAreaSet(r, n, false)
 		fpga := core.DPTest{}.Analyze(context.Background(), core.NewDevice(m), s).Schedulable
-		mp := GFB(m, s).Schedulable
+		mp := mpsched.GFB(m, s).Schedulable
 		if fpga != mp {
 			t.Logf("m=%d DP=%v GFB=%v\n%v", m, fpga, mp, s)
 		}
@@ -145,7 +146,7 @@ func TestGN1BCLVariantDegeneratesToBCL(t *testing.T) {
 		m := 1 + int(mRaw)%8
 		s := unitAreaSet(r, n, true)
 		fpga := core.GN1Test{Variant: core.GN1VariantBCL}.Analyze(context.Background(), core.NewDevice(m), s).Schedulable
-		mp := BCL(m, s).Schedulable
+		mp := mpsched.BCL(m, s).Schedulable
 		if fpga != mp {
 			t.Logf("m=%d GN1-Dk=%v BCL=%v\n%v", m, fpga, mp, s)
 		}
@@ -174,7 +175,7 @@ func TestGN2DegeneratesToBAK2(t *testing.T) {
 			}
 		}
 		fpga := core.GN2Test{}.Analyze(context.Background(), core.NewDevice(m), s).Schedulable
-		mp := BAK2(m, s, BAK2Options{}).Schedulable
+		mp := mpsched.BAK2(m, s, mpsched.BAK2Options{}).Schedulable
 		if fpga != mp {
 			t.Logf("m=%d GN2=%v BAK2=%v\n%v", m, fpga, mp, s)
 		}
@@ -196,8 +197,8 @@ func TestGFBBCLIncomparable(t *testing.T) {
 	for i := 0; i < 4000 && !(gfbOnly && bclOnly); i++ {
 		s := unitAreaSet(r, 2+r.IntN(5), false)
 		m := 2 + r.IntN(3)
-		g := GFB(m, s).Schedulable
-		b := BCL(m, s).Schedulable
+		g := mpsched.GFB(m, s).Schedulable
+		b := mpsched.BCL(m, s).Schedulable
 		if g && !b {
 			gfbOnly = true
 		}

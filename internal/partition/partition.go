@@ -51,15 +51,38 @@ func (p *Plan) UsedColumns() int {
 	return sum
 }
 
+// PlacementError is the typed failure of FirstFitDecreasing: the first
+// task that could not be placed, and why. Task is an index into the
+// planned set; Used and Columns describe the device occupancy at the
+// moment placement failed (Used is meaningful only when Alone is false).
+// Alone marks a task that is not EDF-schedulable even in a dedicated
+// partition.
+type PlacementError struct {
+	Task    int
+	Name    string
+	Used    int
+	Columns int
+	Alone   bool
+}
+
+// Error renders the failure exactly as the historical untyped errors did.
+func (e *PlacementError) Error() string {
+	if e.Alone {
+		return fmt.Sprintf("partition: task %d (%s) infeasible even alone", e.Task, e.Name)
+	}
+	return fmt.Sprintf("partition: no room for task %d (%s): %d columns used of %d",
+		e.Task, e.Name, e.Used, e.Columns)
+}
+
 // FirstFitDecreasing builds a partitioned plan: tasks are considered in
 // decreasing area order (ties: decreasing utilization) and placed into
 // the first existing partition that is wide enough and stays
 // EDF-schedulable as a serialized uniprocessor; otherwise a new partition
-// of exactly the task's width is opened if columns remain. It returns an
-// error naming the first unplaceable task when the set does not fit —
-// partitioned scheduling is not work-conserving across partitions, so
-// failure here says nothing about global schedulability (the comparison
-// the paper draws in Section 1).
+// of exactly the task's width is opened if columns remain. It returns a
+// *PlacementError naming the first unplaceable task when the set does not
+// fit — partitioned scheduling is not work-conserving across partitions,
+// so failure here says nothing about global schedulability (the
+// comparison the paper draws in Section 1).
 func FirstFitDecreasing(columns int, s *task.Set) (*Plan, error) {
 	if err := s.ValidateFor(columns); err != nil {
 		return nil, err
@@ -101,11 +124,10 @@ func FirstFitDecreasing(columns int, s *task.Set) (*Plan, error) {
 		}
 		width := s.Tasks[ti].A
 		if cursor+width > columns {
-			return nil, fmt.Errorf("partition: no room for task %d (%s): %d columns used of %d",
-				ti, s.Tasks[ti].Name, cursor, columns)
+			return nil, &PlacementError{Task: ti, Name: s.Tasks[ti].Name, Used: cursor, Columns: columns}
 		}
 		if !uniprocSchedulable(s, []int{ti}) {
-			return nil, fmt.Errorf("partition: task %d (%s) infeasible even alone", ti, s.Tasks[ti].Name)
+			return nil, &PlacementError{Task: ti, Name: s.Tasks[ti].Name, Columns: columns, Alone: true}
 		}
 		plan.Partitions = append(plan.Partitions, Partition{
 			Region:  fpga.Region{Lo: cursor, Hi: cursor + width},

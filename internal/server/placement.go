@@ -1,0 +1,302 @@
+package server
+
+// /v1/placement — the 2-D placement surface over internal/twod.
+//
+// POST /v1/placement/check is the stateless layout-feasibility test:
+// can every task of the set simultaneously hold a dedicated rectangle?
+// Its accepting verdict carries the placement witness, and because the
+// check is deterministic the served document is byte-identical to a
+// direct twod.CheckFeasibility call — the same explain/certificate
+// parity contract the 1-D registry tests keep.
+//
+// The placement controllers are the region-aware admission path: each
+// named controller owns a live maximal-rectangles layout; admitting a
+// task places its W×H rectangle (the response carries the assigned
+// region, which the task owns until released). Placement is stateful
+// and order-dependent by nature — unlike the 1-D registry tests there
+// is no canonical-order memoization here, and none would be sound.
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+
+	"fpgasched/api"
+	"fpgasched/internal/twod"
+)
+
+// tenant2D is one named placement controller: a live layout plus the
+// resident tasks by name.
+type tenant2D struct {
+	heuristic twod.Heuristic
+
+	mu     sync.Mutex
+	layout *twod.Layout
+	tasks  map[string]placed2D
+	nextID int64
+}
+
+// placed2D is one resident 2-D task and its assigned region.
+type placed2D struct {
+	task twod.Task
+	rect twod.Rect
+	id   int64
+}
+
+func (t *tenant2D) info(name string) api.PlacementControllerInfo {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return api.PlacementControllerInfo{
+		Name:      name,
+		Width:     t.layout.Width(),
+		Height:    t.layout.Height(),
+		Heuristic: t.heuristic.String(),
+		Resident:  t.layout.Resident(),
+		FreeArea:  t.layout.FreeArea(),
+	}
+}
+
+// checkDims validates a 2-D device description.
+func checkDims(width, height int) *api.Error {
+	if width < 1 || height < 1 {
+		return api.Errorf(api.CodeInvalidDevice, "device %dx%d must have positive dimensions", width, height).
+			WithDetail("width", strconv.Itoa(width)).WithDetail("height", strconv.Itoa(height))
+	}
+	return nil
+}
+
+// parseHeuristic resolves the wire heuristic name or reports
+// unknown_heuristic.
+func parseHeuristic(name string) (twod.Heuristic, *api.Error) {
+	h, err := twod.ParseHeuristic(name)
+	if err != nil {
+		return 0, api.Errorf(api.CodeUnknownHeuristic, "unknown heuristic %q (known: bottom-left, best-short-side, best-area)", name).
+			WithDetail("heuristic", name)
+	}
+	return h, nil
+}
+
+// ---- POST /v1/placement/check ----
+
+func (s *Server) handlePlacementCheck(w http.ResponseWriter, r *http.Request) {
+	var req api.PlacementCheckRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, decodeErr(err))
+		return
+	}
+	if req.Taskset == nil {
+		writeError(w, api.Errorf(api.CodeInvalidRequest, "taskset is required"))
+		return
+	}
+	if e := checkDims(req.Width, req.Height); e != nil {
+		writeError(w, e)
+		return
+	}
+	heur, apiErr := parseHeuristic(req.Heuristic)
+	if apiErr != nil {
+		writeError(w, apiErr)
+		return
+	}
+	if s.maxTasks > 0 && len(req.Taskset.Tasks) > s.maxTasks {
+		writeError(w, api.Errorf(api.CodeLimitExceeded, "%d tasks exceeds the per-set limit of %d", len(req.Taskset.Tasks), s.maxTasks).
+			WithDetail("limit", strconv.Itoa(s.maxTasks)))
+		return
+	}
+	set, err := req.Taskset.Model()
+	if err != nil {
+		writeError(w, api.Errorf(api.CodeInvalidTaskset, "%v", err))
+		return
+	}
+	verdict, err := twod.CheckFeasibility(req.Width, req.Height, set, heur)
+	if err != nil {
+		writeError(w, api.Errorf(api.CodeInvalidTaskset, "%v", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, api.PlacementCheckResponseFrom(verdict))
+}
+
+// ---- /v1/placement/controllers ----
+
+func (s *Server) handlePlacementList(w http.ResponseWriter, r *http.Request) {
+	s.pmu.RLock()
+	type namedTenant struct {
+		name string
+		t    *tenant2D
+	}
+	snapshot := make([]namedTenant, 0, len(s.placements))
+	for name, t := range s.placements {
+		snapshot = append(snapshot, namedTenant{name, t})
+	}
+	s.pmu.RUnlock()
+	infos := make([]api.PlacementControllerInfo, 0, len(snapshot))
+	for _, nt := range snapshot {
+		infos = append(infos, nt.t.info(nt.name))
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	writeJSON(w, http.StatusOK, api.PlacementControllerList{Controllers: infos})
+}
+
+func (s *Server) handlePlacementCreate(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req api.PlacementControllerRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, decodeErr(err))
+		return
+	}
+	if e := checkDims(req.Width, req.Height); e != nil {
+		writeError(w, e)
+		return
+	}
+	heur, apiErr := parseHeuristic(req.Heuristic)
+	if apiErr != nil {
+		writeError(w, apiErr)
+		return
+	}
+	t := &tenant2D{
+		heuristic: heur,
+		layout:    twod.NewLayout(req.Width, req.Height),
+		tasks:     make(map[string]placed2D),
+	}
+	s.pmu.Lock()
+	if _, exists := s.placements[name]; exists {
+		s.pmu.Unlock()
+		writeError(w, api.Errorf(api.CodeConflict, "placement controller %q already exists (delete it first to change its configuration)", name))
+		return
+	}
+	if s.maxControllers > 0 && len(s.placements) >= s.maxControllers {
+		s.pmu.Unlock()
+		writeErrorStatus(w, http.StatusConflict,
+			api.Errorf(api.CodeLimitExceeded, "placement controller limit of %d reached", s.maxControllers).
+				WithDetail("limit", strconv.Itoa(s.maxControllers)))
+		return
+	}
+	s.placements[name] = t
+	s.pmu.Unlock()
+	writeJSON(w, http.StatusCreated, t.info(name))
+}
+
+func (s *Server) handlePlacementDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	s.pmu.Lock()
+	_, ok := s.placements[name]
+	delete(s.placements, name)
+	s.pmu.Unlock()
+	if !ok {
+		writeError(w, api.Errorf(api.CodeNotFound, "no placement controller %q", name))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// lookup2D fetches a placement tenant or writes a 404.
+func (s *Server) lookup2D(w http.ResponseWriter, name string) (*tenant2D, bool) {
+	s.pmu.RLock()
+	t, ok := s.placements[name]
+	s.pmu.RUnlock()
+	if !ok {
+		writeError(w, api.Errorf(api.CodeNotFound, "no placement controller %q", name))
+	}
+	return t, ok
+}
+
+func (s *Server) handlePlacementAdmit(w http.ResponseWriter, r *http.Request) {
+	t, ok := s.lookup2D(w, r.PathValue("name"))
+	if !ok {
+		return
+	}
+	var wt api.Task2D
+	if err := decodeJSON(r, &wt); err != nil {
+		writeError(w, decodeErr(err))
+		return
+	}
+	tk, err := wt.Model()
+	if err != nil {
+		writeError(w, api.Errorf(api.CodeInvalidTaskset, "%v", err))
+		return
+	}
+	if err := tk.Validate(); err != nil {
+		writeError(w, api.Errorf(api.CodeInvalidTaskset, "%v", err))
+		return
+	}
+	if tk.Name == "" {
+		writeError(w, api.Errorf(api.CodeInvalidTaskset, "task name is required (it keys release)"))
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, dup := t.tasks[tk.Name]; dup {
+		writeError(w, api.Errorf(api.CodeConflict, "task %q is already placed (release it first)", tk.Name))
+		return
+	}
+	if s.maxTasks > 0 && len(t.tasks) >= s.maxTasks {
+		writeErrorStatus(w, http.StatusConflict,
+			api.Errorf(api.CodeLimitExceeded, "placement controller %q is at the %d-task resident capacity", r.PathValue("name"), s.maxTasks).
+				WithDetail("limit", strconv.Itoa(s.maxTasks)))
+		return
+	}
+	if tk.W > t.layout.Width() || tk.H > t.layout.Height() {
+		// A task that can never fit is a client error, not a rejection: a
+		// rejection invites retry after other releases, which cannot help.
+		writeError(w, api.Errorf(api.CodeInvalidDevice, "task %dx%d exceeds device %dx%d",
+			tk.W, tk.H, t.layout.Width(), t.layout.Height()))
+		return
+	}
+	t.nextID++
+	rect, placed := t.layout.Place(t.nextID, tk.W, tk.H, t.heuristic)
+	if !placed {
+		t.nextID--
+		writeJSON(w, http.StatusOK, api.PlacementAdmitResponse{
+			Reason: fmt.Sprintf("no free region fits a %dx%d rectangle", tk.W, tk.H),
+		})
+		return
+	}
+	t.tasks[tk.Name] = placed2D{task: tk, rect: rect, id: t.nextID}
+	wr := api.RectFrom(rect)
+	writeJSON(w, http.StatusOK, api.PlacementAdmitResponse{Admitted: true, Rect: &wr})
+}
+
+func (s *Server) handlePlacementRelease(w http.ResponseWriter, r *http.Request) {
+	t, ok := s.lookup2D(w, r.PathValue("name"))
+	if !ok {
+		return
+	}
+	taskName := r.PathValue("task")
+	t.mu.Lock()
+	p, resident := t.tasks[taskName]
+	if resident {
+		t.layout.Remove(p.id)
+		delete(t.tasks, taskName)
+	}
+	t.mu.Unlock()
+	if !resident {
+		writeError(w, api.Errorf(api.CodeNotFound, "no placed task %q in placement controller %q", taskName, r.PathValue("name")))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handlePlacementResident(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	t, ok := s.lookup2D(w, name)
+	if !ok {
+		return
+	}
+	t.mu.Lock()
+	resp := api.PlacementResidentResponse{
+		Name:          name,
+		Width:         t.layout.Width(),
+		Height:        t.layout.Height(),
+		Count:         len(t.tasks),
+		FreeArea:      t.layout.FreeArea(),
+		Fragmentation: strconv.FormatFloat(t.layout.ExternalFragmentation(), 'f', 4, 64),
+		Tasks:         make([]api.PlacementResident, 0, len(t.tasks)),
+	}
+	for _, p := range t.tasks {
+		resp.Tasks = append(resp.Tasks, api.PlacementResident{Task: api.Task2DFrom(p.task), Rect: api.RectFrom(p.rect)})
+	}
+	t.mu.Unlock()
+	sort.Slice(resp.Tasks, func(i, j int) bool { return resp.Tasks[i].Task.Name < resp.Tasks[j].Task.Name })
+	writeJSON(w, http.StatusOK, resp)
+}

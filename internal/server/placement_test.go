@@ -1,0 +1,230 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"fpgasched/api"
+	"fpgasched/internal/twod"
+)
+
+// placement2DSet is a small 2-D set whose tasks all fit an 8x6 device
+// individually but cannot all hold dedicated regions at once on 4x4.
+func placement2DSet() string {
+	return `{"tasks":[
+		{"name":"u1","c":"2.10","d":"5","t":"5","w":3,"h":2},
+		{"name":"u2","c":"2.00","d":"7","t":"7","w":4,"h":3},
+		{"name":"u3","c":"1","d":"6","t":"6","w":2,"h":2}
+	]}`
+}
+
+// TestPlacementCheckLibraryParity pins the serving contract of the
+// stateless check: the served document is byte-identical to converting
+// a direct twod.CheckFeasibility call, witness included — the same
+// explain/certificate parity the 1-D registry tests keep.
+func TestPlacementCheckLibraryParity(t *testing.T) {
+	_, ts := newTestServer(t)
+	for _, tc := range []struct {
+		name          string
+		width, height int
+		heuristic     string
+	}{
+		{"feasible bottom-left", 8, 6, ""},
+		{"feasible best-short-side", 8, 6, "best-short-side"},
+		{"feasible best-area", 8, 6, "best-area"},
+		{"infeasible", 4, 4, "bottom-left"},
+	} {
+		body := fmt.Sprintf(`{"width":%d,"height":%d,"heuristic":%q,"taskset":%s}`,
+			tc.width, tc.height, tc.heuristic, placement2DSet())
+		var served api.PlacementCheckResponse
+		if r := doJSON(t, "POST", ts.URL+"/v1/placement/check", body, &served); r.StatusCode != 200 {
+			t.Fatalf("%s: status = %d", tc.name, r.StatusCode)
+		}
+
+		var wire api.PlacementCheckRequest
+		if err := json.Unmarshal([]byte(body), &wire); err != nil {
+			t.Fatal(err)
+		}
+		set, err := wire.Taskset.Model()
+		if err != nil {
+			t.Fatal(err)
+		}
+		heur, err := twod.ParseHeuristic(tc.heuristic)
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct, err := twod.CheckFeasibility(tc.width, tc.height, set, heur)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := json.Marshal(api.PlacementCheckResponseFrom(direct))
+		got, _ := json.Marshal(served)
+		if string(want) != string(got) {
+			t.Errorf("%s: served check != library:\nserved:  %s\nlibrary: %s", tc.name, got, want)
+		}
+
+		// The accepting witness must re-verify against the library.
+		if served.Feasible {
+			var f twod.Feasibility
+			f.Width, f.Height, f.Feasible = served.Width, served.Height, true
+			for _, p := range served.Placements {
+				f.Placements = append(f.Placements, twod.Placement{Task: p.TaskIndex, Rect: p.Rect.Model()})
+			}
+			if err := f.Verify(set); err != nil {
+				t.Errorf("%s: served witness fails verification: %v", tc.name, err)
+			}
+		}
+	}
+}
+
+func TestPlacementCheckValidation(t *testing.T) {
+	_, ts := newTestServer(t)
+	cases := []struct {
+		name string
+		body string
+		code api.ErrorCode
+	}{
+		{"missing taskset", `{"width":4,"height":4}`, api.CodeInvalidRequest},
+		{"bad dims", fmt.Sprintf(`{"width":0,"height":4,"taskset":%s}`, placement2DSet()), api.CodeInvalidDevice},
+		{"unknown heuristic", fmt.Sprintf(`{"width":4,"height":4,"heuristic":"guess","taskset":%s}`, placement2DSet()), api.CodeUnknownHeuristic},
+		{"bad task", `{"width":4,"height":4,"taskset":{"tasks":[{"name":"x","c":"9","d":"5","t":"5","w":1,"h":1}]}}`, api.CodeInvalidTaskset},
+	}
+	for _, tc := range cases {
+		var apiErr api.Error
+		resp := doJSON(t, "POST", ts.URL+"/v1/placement/check", tc.body, &apiErr)
+		if resp.StatusCode != 400 || apiErr.Code != tc.code {
+			t.Errorf("%s: status %d code %q, want 400 %q", tc.name, resp.StatusCode, apiErr.Code, tc.code)
+		}
+	}
+}
+
+func TestPlacementControllerLifecycle(t *testing.T) {
+	_, ts := newTestServer(t)
+	base := ts.URL + "/v1/placement/controllers"
+
+	// Create.
+	var info api.PlacementControllerInfo
+	resp := doJSON(t, "PUT", base+"/edge", `{"width":8,"height":6}`, &info)
+	if resp.StatusCode != 201 {
+		t.Fatalf("create = %d", resp.StatusCode)
+	}
+	if info.Name != "edge" || info.Width != 8 || info.Height != 6 || info.Heuristic != "bottom-left" || info.FreeArea != 48 {
+		t.Fatalf("created info = %+v", info)
+	}
+
+	// Duplicate create conflicts.
+	var apiErr api.Error
+	if resp := doJSON(t, "PUT", base+"/edge", `{"width":4,"height":4}`, &apiErr); resp.StatusCode != 409 || apiErr.Code != api.CodeConflict {
+		t.Errorf("duplicate create = %d %q", resp.StatusCode, apiErr.Code)
+	}
+
+	// Admit twice, then reject a task that no longer fits.
+	var adm api.PlacementAdmitResponse
+	if resp := doJSON(t, "POST", base+"/edge/admit", `{"name":"a","c":"1","d":"5","t":"5","w":8,"h":3}`, &adm); resp.StatusCode != 200 || !adm.Admitted || adm.Rect == nil {
+		t.Fatalf("admit a = %d %+v", resp.StatusCode, adm)
+	}
+	if resp := doJSON(t, "POST", base+"/edge/admit", `{"name":"b","c":"1","d":"5","t":"5","w":8,"h":3}`, &adm); resp.StatusCode != 200 || !adm.Admitted {
+		t.Fatalf("admit b = %d %+v", resp.StatusCode, adm)
+	}
+	if resp := doJSON(t, "POST", base+"/edge/admit", `{"name":"c","c":"1","d":"5","t":"5","w":2,"h":2}`, &adm); resp.StatusCode != 200 {
+		t.Fatalf("admit c = %d", resp.StatusCode)
+	}
+	if adm.Admitted || adm.Reason == "" {
+		t.Fatalf("full device admit = %+v, want rejection with reason", adm)
+	}
+
+	// Duplicate resident name conflicts; impossible task is a client error.
+	if resp := doJSON(t, "POST", base+"/edge/admit", `{"name":"a","c":"1","d":"5","t":"5","w":1,"h":1}`, &apiErr); resp.StatusCode != 409 || apiErr.Code != api.CodeConflict {
+		t.Errorf("duplicate admit = %d %q", resp.StatusCode, apiErr.Code)
+	}
+	if resp := doJSON(t, "POST", base+"/edge/admit", `{"name":"x","c":"1","d":"5","t":"5","w":9,"h":1}`, &apiErr); resp.StatusCode != 400 || apiErr.Code != api.CodeInvalidDevice {
+		t.Errorf("oversized admit = %d %q", resp.StatusCode, apiErr.Code)
+	}
+
+	// Resident snapshot: two tasks, disjoint rects, free area accounts.
+	var res api.PlacementResidentResponse
+	if resp := doJSON(t, "GET", base+"/edge/resident", "", &res); resp.StatusCode != 200 {
+		t.Fatalf("resident = %d", resp.StatusCode)
+	}
+	if res.Count != 2 || len(res.Tasks) != 2 || res.FreeArea != 0 {
+		t.Fatalf("resident = %+v", res)
+	}
+	if res.Tasks[0].Task.Name != "a" || res.Tasks[1].Task.Name != "b" {
+		t.Errorf("resident order = %s,%s, want a,b", res.Tasks[0].Task.Name, res.Tasks[1].Task.Name)
+	}
+
+	// Release frees the region; a re-admit of the same shape succeeds.
+	req, _ := http.NewRequest("DELETE", base+"/edge/tasks/a", nil)
+	if resp, err := http.DefaultClient.Do(req); err != nil || resp.StatusCode != 204 {
+		t.Fatalf("release: %v %v", err, resp)
+	}
+	if resp := doJSON(t, "DELETE", base+"/edge/tasks/a", "", &apiErr); resp.StatusCode != 404 || apiErr.Code != api.CodeNotFound {
+		t.Errorf("repeat release = %d %q", resp.StatusCode, apiErr.Code)
+	}
+	if resp := doJSON(t, "POST", base+"/edge/admit", `{"name":"c","c":"1","d":"5","t":"5","w":8,"h":3}`, &adm); resp.StatusCode != 200 || !adm.Admitted {
+		t.Errorf("re-admit after release = %d %+v", resp.StatusCode, adm)
+	}
+
+	// List includes the controller; delete removes it.
+	var list api.PlacementControllerList
+	if resp := doJSON(t, "GET", base, "", &list); resp.StatusCode != 200 || len(list.Controllers) != 1 || list.Controllers[0].Name != "edge" {
+		t.Fatalf("list = %d %+v", resp.StatusCode, list)
+	}
+	if resp := doJSON(t, "DELETE", base+"/edge", "", nil); resp.StatusCode != 204 {
+		t.Fatalf("delete = %d", resp.StatusCode)
+	}
+	if resp := doJSON(t, "DELETE", base+"/edge", "", &apiErr); resp.StatusCode != 404 {
+		t.Errorf("repeat delete = %d", resp.StatusCode)
+	}
+	if resp := doJSON(t, "GET", base+"/edge/resident", "", &apiErr); resp.StatusCode != 404 {
+		t.Errorf("resident after delete = %d", resp.StatusCode)
+	}
+}
+
+// TestPlacementAdmitDeterministic pins that a fresh controller assigns
+// the same rectangles for the same admission sequence — the property
+// that makes the admission answer auditable against the library.
+func TestPlacementAdmitDeterministic(t *testing.T) {
+	_, ts := newTestServer(t)
+	base := ts.URL + "/v1/placement/controllers"
+	admits := []string{
+		`{"name":"a","c":"1","d":"5","t":"5","w":3,"h":2}`,
+		`{"name":"b","c":"1","d":"5","t":"5","w":4,"h":3}`,
+		`{"name":"c","c":"1","d":"5","t":"5","w":2,"h":2}`,
+	}
+	run := func(name string) []api.Rect {
+		if resp := doJSON(t, "PUT", base+"/"+name, `{"width":8,"height":6,"heuristic":"best-area"}`, nil); resp.StatusCode != 201 {
+			t.Fatalf("create %s = %d", name, resp.StatusCode)
+		}
+		var rects []api.Rect
+		for _, a := range admits {
+			var adm api.PlacementAdmitResponse
+			if resp := doJSON(t, "POST", base+"/"+name+"/admit", a, &adm); resp.StatusCode != 200 || !adm.Admitted {
+				t.Fatalf("admit %s on %s failed: %+v", a, name, adm)
+			}
+			rects = append(rects, *adm.Rect)
+		}
+		return rects
+	}
+	first, second := run("p1"), run("p2")
+	for i := range first {
+		if first[i] != second[i] {
+			t.Errorf("admission %d drifted: %+v vs %+v", i, first[i], second[i])
+		}
+	}
+
+	// The served rectangles match the library's own layout replay.
+	layout := twod.NewLayout(8, 6)
+	shapes := []struct{ w, h int }{{3, 2}, {4, 3}, {2, 2}}
+	for i, sh := range shapes {
+		r, ok := layout.Place(int64(i+1), sh.w, sh.h, twod.BestAreaFit)
+		if !ok {
+			t.Fatalf("library replay: shape %d did not place", i)
+		}
+		if got := first[i].Model(); got != r {
+			t.Errorf("admission %d rect %+v != library %+v", i, got, r)
+		}
+	}
+}

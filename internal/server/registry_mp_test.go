@@ -1,0 +1,156 @@
+package server
+
+// Differential tests for the registry-served mpsched and partition
+// adapters: the engine path (canonical-order memoization + remap) must
+// be byte-identical to a direct library call, for any permutation of
+// the input set — the order-invariance contract internal/core/mp.go
+// documents. Plus the warm-cache property the issue's acceptance
+// criterion names: a repeat analysis performs zero new analyses.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand/v2"
+	"testing"
+
+	"fpgasched/api"
+	"fpgasched/internal/core"
+	"fpgasched/internal/task"
+	"fpgasched/internal/workload"
+)
+
+// unitAreaSet draws a seeded n-task set with every area 1 — the
+// multiprocessor embedding (m processors = m unit columns).
+func unitAreaSet(t testing.TB, n int, seed uint64) *task.Set {
+	t.Helper()
+	p := workload.Profile{
+		Name: "unit", N: n, AreaMin: 1, AreaMax: 1,
+		PeriodMin: 5, PeriodMax: 20, UtilMin: 0.1, UtilMax: 0.9,
+	}
+	return p.Generate(workload.Rand(seed))
+}
+
+// permuted returns a deterministic shuffle of the set's tasks.
+func permuted(s *task.Set, seed uint64) *task.Set {
+	out := &task.Set{Tasks: append([]task.Task(nil), s.Tasks...)}
+	r := rand.New(rand.NewPCG(seed, seed))
+	r.Shuffle(len(out.Tasks), func(i, j int) {
+		out.Tasks[i], out.Tasks[j] = out.Tasks[j], out.Tasks[i]
+	})
+	return out
+}
+
+// TestRegistryMPDifferential pins the byte identity between the served
+// verdict and the direct library call, for every adapter, both explain
+// modes, and a permuted task order. Reasons and certificates included:
+// the adapters analyse canonical order and keep their prose index-free,
+// which is what makes this exact.
+func TestRegistryMPDifferential(t *testing.T) {
+	_, ts := newTestServer(t)
+	sets := map[string]struct {
+		columns int
+		set     *task.Set
+	}{
+		"unit-a": {4, unitAreaSet(t, 6, 21)},
+		"unit-b": {4, unitAreaSet(t, 5, 22)},
+		// Non-unit areas: MP tests reject (out of scope), partition works.
+		"wide": {10, workload.Table3()},
+	}
+	for _, testName := range []string{"MP-GFB", "MP-BCL", "MP-BAK2", "partition"} {
+		tt, err := core.TestByName(testName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for setName, base := range sets {
+			for _, explain := range []bool{false, true} {
+				for permSeed := uint64(0); permSeed < 3; permSeed++ {
+					set := base.set
+					if permSeed > 0 {
+						set = permuted(base.set, permSeed)
+					}
+					direct := api.VerdictFromCore(tt.Analyze(context.Background(), core.NewDevice(base.columns), set), explain)
+					want, _ := json.Marshal(direct)
+
+					body := fmt.Sprintf(`{"columns":%d,"tests":[%q],"explain":%v,"taskset":%s}`,
+						base.columns, testName, explain, setJSON(t, set))
+					var out api.AnalyzeResponse
+					if resp := doJSON(t, "POST", ts.URL+"/v1/analyze", body, &out); resp.StatusCode != 200 {
+						t.Fatalf("%s/%s: status = %d", testName, setName, resp.StatusCode)
+					}
+					if out.Result == nil || len(out.Result.Verdicts) != 1 {
+						t.Fatalf("%s/%s: result = %+v", testName, setName, out)
+					}
+					got, _ := json.Marshal(out.Result.Verdicts[0])
+					if string(want) != string(got) {
+						t.Errorf("%s/%s explain=%v perm=%d: served != direct\nserved: %s\ndirect: %s",
+							testName, setName, explain, permSeed, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRegistryMPWarmCache is the issue's acceptance criterion: a repeat
+// of a registry-served mpsched analysis — same set or any permutation of
+// it — performs zero new analyses; only the per-test hit counter moves.
+func TestRegistryMPWarmCache(t *testing.T) {
+	srv, ts := newTestServer(t)
+	const columns = 4
+	set := unitAreaSet(t, 6, 31)
+	analyze := func(s *task.Set) {
+		body := fmt.Sprintf(`{"columns":%d,"tests":["MP-GFB","MP-BAK2","partition"],"taskset":%s}`, columns, setJSON(t, s))
+		var out api.AnalyzeResponse
+		if resp := doJSON(t, "POST", ts.URL+"/v1/analyze", body, &out); resp.StatusCode != 200 {
+			t.Fatalf("analyze = %d", resp.StatusCode)
+		}
+	}
+	analyze(set)
+	cold := srv.engine.Stats()
+	for _, name := range []string{"MP-GFB", "MP-BAK2", "partition"} {
+		if cold.Tests[name].Analyses != 1 {
+			t.Fatalf("cold analyses[%s] = %d, want 1", name, cold.Tests[name].Analyses)
+		}
+	}
+	analyze(set)
+	analyze(permuted(set, 1))
+	analyze(permuted(set, 2))
+	warm := srv.engine.Stats()
+	for _, name := range []string{"MP-GFB", "MP-BAK2", "partition"} {
+		if warm.Tests[name].Analyses != cold.Tests[name].Analyses {
+			t.Errorf("warm repeat re-analysed %s: %d -> %d", name, cold.Tests[name].Analyses, warm.Tests[name].Analyses)
+		}
+		if warm.Tests[name].Hits != cold.Tests[name].Hits+3 {
+			t.Errorf("warm hits[%s] = %d, want %d", name, warm.Tests[name].Hits, cold.Tests[name].Hits+3)
+		}
+	}
+}
+
+// TestMetricsPerTestCounters pins the /metrics surface of the per-test
+// engine counters: after a miss and a hit on one registry test, the
+// document carries that test's row with both movements.
+func TestMetricsPerTestCounters(t *testing.T) {
+	_, ts := newTestServer(t)
+	body := fmt.Sprintf(`{"columns":10,"tests":["GN2"],"taskset":%s}`, setJSON(t, workload.Table3()))
+	for i := 0; i < 2; i++ {
+		var out api.AnalyzeResponse
+		if resp := doJSON(t, "POST", ts.URL+"/v1/analyze", body, &out); resp.StatusCode != 200 {
+			t.Fatalf("analyze = %d", resp.StatusCode)
+		}
+	}
+	var m api.MetricsResponse
+	if resp := doJSON(t, "GET", ts.URL+"/metrics", "", &m); resp.StatusCode != 200 {
+		t.Fatalf("metrics = %d", resp.StatusCode)
+	}
+	row, ok := m.Engine.Tests["GN2"]
+	if !ok {
+		t.Fatalf("metrics engine.tests missing GN2: %+v", m.Engine.Tests)
+	}
+	if row.Analyses != 1 || row.Misses != 1 || row.Hits != 1 {
+		t.Errorf("GN2 counters = %+v, want 1 analysis, 1 miss, 1 hit", row)
+	}
+	if _, ok := m.Engine.Tests["DP"]; ok {
+		t.Error("metrics reports counters for a test that was never requested")
+	}
+}

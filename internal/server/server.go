@@ -30,6 +30,14 @@
 //	POST   /v1/analyze                           single or batch analysis
 //	POST   /v1/analyze/stream                    NDJSON streaming batch analysis
 //	POST   /v1/simulate                          discrete-event simulation
+//	POST   /v1/simulate/trace                    NDJSON scheduler-event stream of one run
+//	POST   /v1/placement/check                   2-D layout-feasibility check (placement witness)
+//	GET    /v1/placement/controllers             list 2-D placement controllers
+//	PUT    /v1/placement/controllers/{name}      create a placement controller
+//	DELETE /v1/placement/controllers/{name}      drop a placement controller
+//	POST   /v1/placement/controllers/{name}/admit       region-aware admission of one 2-D task
+//	DELETE /v1/placement/controllers/{name}/tasks/{task} release a placed task
+//	GET    /v1/placement/controllers/{name}/resident    snapshot the placed set
 //	GET    /v1/controllers                       list admission controllers
 //	PUT    /v1/controllers/{name}                create a controller
 //	DELETE /v1/controllers/{name}                drop a controller
@@ -163,6 +171,9 @@ type Server struct {
 	cmu         sync.RWMutex
 	controllers map[string]*tenant
 
+	pmu        sync.RWMutex
+	placements map[string]*tenant2D
+
 	mmu     sync.Mutex
 	metrics map[string]*api.RouteMetrics
 }
@@ -181,6 +192,7 @@ func New(cfg Config) *Server {
 		engine:       cfg.Engine,
 		maxBodyBytes: cfg.MaxBodyBytes,
 		controllers:  make(map[string]*tenant),
+		placements:   make(map[string]*tenant2D),
 		metrics:      make(map[string]*api.RouteMetrics),
 		fleet:        cfg.Fleet,
 	}
@@ -246,6 +258,16 @@ func New(cfg Config) *Server {
 	// it opts out of the whole-body MaxBytesReader.
 	mux.HandleFunc("POST /v1/analyze/stream", s.instrument("analyze.stream", false, s.handleAnalyzeStream))
 	mux.HandleFunc("POST /v1/simulate", s.instrument("simulate", true, s.handleSimulate))
+	// The trace stream has a small JSON request body (capped like
+	// /v1/simulate) but an unbounded NDJSON response.
+	mux.HandleFunc("POST /v1/simulate/trace", s.instrument("simulate.trace", true, s.handleSimulateTrace))
+	mux.HandleFunc("POST /v1/placement/check", s.instrument("placement.check", true, s.handlePlacementCheck))
+	mux.HandleFunc("GET /v1/placement/controllers", s.instrument("placement.list", true, s.handlePlacementList))
+	mux.HandleFunc("PUT /v1/placement/controllers/{name}", s.instrument("placement.create", true, s.handlePlacementCreate))
+	mux.HandleFunc("DELETE /v1/placement/controllers/{name}", s.instrument("placement.delete", true, s.handlePlacementDelete))
+	mux.HandleFunc("POST /v1/placement/controllers/{name}/admit", s.instrument("placement.admit", true, s.handlePlacementAdmit))
+	mux.HandleFunc("DELETE /v1/placement/controllers/{name}/tasks/{task}", s.instrument("placement.release", true, s.handlePlacementRelease))
+	mux.HandleFunc("GET /v1/placement/controllers/{name}/resident", s.instrument("placement.resident", true, s.handlePlacementResident))
 	mux.HandleFunc("GET /v1/controllers", s.instrument("controllers.list", true, s.handleControllerList))
 	mux.HandleFunc("PUT /v1/controllers/{name}", s.instrument("controllers.create", true, s.handleControllerCreate))
 	mux.HandleFunc("DELETE /v1/controllers/{name}", s.instrument("controllers.delete", true, s.handleControllerDelete))
@@ -709,69 +731,59 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 
 // ---- /v1/simulate ----
 
-func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
-	var req api.SimulateRequest
-	if err := decodeJSON(r, &req); err != nil {
-		writeError(w, decodeErr(err))
-		return
+// simConfig validates the request fields the unary and trace simulation
+// endpoints share (they accept the same shape by design) and builds the
+// policy and options: taskset presence and validity, scheduler
+// vocabulary, horizon parsing and the server horizon limits.
+func (s *Server) simConfig(columns int, set *task.Set, scheduler, horizon, horizonCap string, continueAfterMiss bool) (sim.Policy, sim.Options, *api.Error) {
+	var opts sim.Options
+	if set == nil {
+		return nil, opts, api.Errorf(api.CodeInvalidRequest, "taskset is required")
 	}
-	if req.Taskset == nil {
-		writeError(w, api.Errorf(api.CodeInvalidRequest, "taskset is required"))
-		return
+	if e := checkColumns(columns); e != nil {
+		return nil, opts, e
 	}
-	if e := checkColumns(req.Columns); e != nil {
-		writeError(w, e)
-		return
-	}
-	if e := s.checkSet(req.Taskset, req.Columns); e != nil {
-		writeError(w, e)
-		return
+	if e := s.checkSet(set, columns); e != nil {
+		return nil, opts, e
 	}
 	var pol sim.Policy
-	switch req.Scheduler {
+	switch scheduler {
 	case "", "nf":
 		pol = sched.NextFit{}
 	case "fkf":
 		pol = sched.FirstKFit{}
 	default:
-		writeError(w, api.Errorf(api.CodeUnknownScheduler, "unknown scheduler %q (known: nf, fkf)", req.Scheduler).
-			WithDetail("scheduler", req.Scheduler))
-		return
+		return nil, opts, api.Errorf(api.CodeUnknownScheduler, "unknown scheduler %q (known: nf, fkf)", scheduler).
+			WithDetail("scheduler", scheduler)
 	}
-	opts := sim.Options{ContinueAfterMiss: req.ContinueAfterMiss}
+	opts.ContinueAfterMiss = continueAfterMiss
 	var err error
-	if req.Horizon != "" {
-		if opts.Horizon, err = timeunit.Parse(req.Horizon); err != nil {
-			writeError(w, api.Errorf(api.CodeInvalidHorizon, "horizon: %v", err))
-			return
+	if horizon != "" {
+		if opts.Horizon, err = timeunit.Parse(horizon); err != nil {
+			return nil, opts, api.Errorf(api.CodeInvalidHorizon, "horizon: %v", err)
 		}
 		// An explicit non-positive horizon would silently mean "auto";
 		// reject it so clients learn about the fallback loudly.
 		if opts.Horizon <= 0 {
-			writeError(w, api.Errorf(api.CodeInvalidHorizon, "horizon: %q must be positive (omit it for the automatic horizon)", req.Horizon))
-			return
+			return nil, opts, api.Errorf(api.CodeInvalidHorizon, "horizon: %q must be positive (omit it for the automatic horizon)", horizon)
 		}
 	}
-	if req.HorizonCap != "" {
-		if opts.HorizonCap, err = timeunit.Parse(req.HorizonCap); err != nil {
-			writeError(w, api.Errorf(api.CodeInvalidHorizon, "horizon_cap: %v", err))
-			return
+	if horizonCap != "" {
+		if opts.HorizonCap, err = timeunit.Parse(horizonCap); err != nil {
+			return nil, opts, api.Errorf(api.CodeInvalidHorizon, "horizon_cap: %v", err)
 		}
 		if opts.HorizonCap <= 0 {
-			writeError(w, api.Errorf(api.CodeInvalidHorizon, "horizon_cap: %q must be positive (omit it for the default cap)", req.HorizonCap))
-			return
+			return nil, opts, api.Errorf(api.CodeInvalidHorizon, "horizon_cap: %q must be positive (omit it for the default cap)", horizonCap)
 		}
 	}
 	if s.maxSimHorizon > 0 {
 		if opts.Horizon > s.maxSimHorizon {
-			writeError(w, api.Errorf(api.CodeLimitExceeded, "horizon: %q exceeds the server limit of %v time units", req.Horizon, s.maxSimHorizon).
-				WithDetail("limit", s.maxSimHorizon.String()))
-			return
+			return nil, opts, api.Errorf(api.CodeLimitExceeded, "horizon: %q exceeds the server limit of %v time units", horizon, s.maxSimHorizon).
+				WithDetail("limit", s.maxSimHorizon.String())
 		}
 		if opts.HorizonCap > s.maxSimHorizon {
-			writeError(w, api.Errorf(api.CodeLimitExceeded, "horizon_cap: %q exceeds the server limit of %v time units", req.HorizonCap, s.maxSimHorizon).
-				WithDetail("limit", s.maxSimHorizon.String()))
-			return
+			return nil, opts, api.Errorf(api.CodeLimitExceeded, "horizon_cap: %q exceeds the server limit of %v time units", horizonCap, s.maxSimHorizon).
+				WithDetail("limit", s.maxSimHorizon.String())
 		}
 		if opts.HorizonCap == 0 {
 			// Bound the automatic horizon too; it otherwise defaults to
@@ -780,16 +792,41 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 			opts.HorizonCap = timeunit.Min(s.maxSimHorizon, sim.DefaultHorizonCap)
 		}
 	}
-	// Bound concurrent simulations: the engine pool protects analysis,
-	// and this semaphore keeps a simulate flood from pinning every
-	// connection goroutine. Queued waiters leave when the client does.
+	return pol, opts, nil
+}
+
+// acquireSimSlot bounds concurrent simulations: the engine pool protects
+// analysis, and this semaphore keeps a simulate flood from pinning every
+// connection goroutine. Queued waiters leave when the client does. The
+// caller must arrange for releaseSimSlot exactly once when it returns
+// true.
+func (s *Server) acquireSimSlot(ctx context.Context) bool {
 	select {
 	case s.simSem <- struct{}{}:
-		defer func() { <-s.simSem }()
-	case <-r.Context().Done():
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+func (s *Server) releaseSimSlot() { <-s.simSem }
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req api.SimulateRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, decodeErr(err))
+		return
+	}
+	pol, opts, apiErr := s.simConfig(req.Columns, req.Taskset, req.Scheduler, req.Horizon, req.HorizonCap, req.ContinueAfterMiss)
+	if apiErr != nil {
+		writeError(w, apiErr)
+		return
+	}
+	if !s.acquireSimSlot(r.Context()) {
 		writeError(w, api.Errorf(api.CodeCancelled, "client cancelled while waiting for a simulation slot"))
 		return
 	}
+	defer s.releaseSimSlot()
 	res, err := sim.Simulate(req.Columns, req.Taskset, pol, opts)
 	if err != nil {
 		writeError(w, api.Errorf(api.CodeInvalidRequest, "simulate: %v", err))

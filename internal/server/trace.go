@@ -1,0 +1,165 @@
+package server
+
+// POST /v1/simulate/trace — the streamed simulation trace.
+//
+// The request is a TraceRequest (the same shape /v1/simulate accepts,
+// validated identically); the response is NDJSON: interval and miss
+// TraceEvents in simulation-time order as the run produces them,
+// terminated by exactly one result (the /v1/simulate summary document)
+// or error event.
+//
+// The framing reuses the experiment event log's replay-then-follow
+// pattern: the simulation runs in its own goroutine appending events to
+// an in-memory log, and the handler drains the log to the client. That
+// decoupling means a slow reader never stalls the simulator (it holds a
+// simulation slot; backpressure would turn one slow client into a
+// stuck slot), and a client that disconnects mid-stream just stops
+// draining — the run completes at its bounded horizon and releases the
+// slot. Unlike analysis verdicts, trace events are NOT memoized: a
+// trace is a replayable function of its request (seeded, workers
+// irrelevant — the simulator is single-threaded), so caching would
+// spend memory to save nothing but the replay itself.
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+
+	"fpgasched/api"
+	"fpgasched/internal/sim"
+	"fpgasched/internal/timeunit"
+)
+
+// DefaultMaxTraceEvents bounds the scheduler events of one traced run.
+// It is far below sim.DefaultMaxEvents: every traced event is
+// materialised as a wire document in the in-memory log, so the trace
+// endpoint trades horizon headroom for bounded memory. Runs that
+// overrun terminate with a limit_exceeded error event.
+const DefaultMaxTraceEvents = 100_000
+
+// traceLog is the in-handler event log behind one trace stream: an
+// append-only event slice plus a broadcast channel that is closed and
+// replaced on every append, the same replay-then-follow contract the
+// experiment job log exposes through EventsSince.
+type traceLog struct {
+	mu       sync.Mutex
+	events   []api.TraceEvent
+	terminal bool
+	appended chan struct{}
+}
+
+func newTraceLog() *traceLog {
+	return &traceLog{appended: make(chan struct{})}
+}
+
+// append adds one event (marking the log terminal for the final result
+// or error event) and wakes the follower.
+func (l *traceLog) append(terminal bool, e api.TraceEvent) {
+	l.mu.Lock()
+	l.events = append(l.events, e)
+	if terminal {
+		l.terminal = true
+	}
+	close(l.appended)
+	l.appended = make(chan struct{})
+	l.mu.Unlock()
+}
+
+// eventsSince returns the events at index >= from, whether the log is
+// complete, and a channel that closes on the next append.
+func (l *traceLog) eventsSince(from int) ([]api.TraceEvent, bool, <-chan struct{}) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if from > len(l.events) {
+		from = len(l.events)
+	}
+	return l.events[from:len(l.events):len(l.events)], l.terminal, l.appended
+}
+
+// traceRecorder adapts the log to the sim.Recorder interface. Every job
+// field is copied into its wire form inside the callback — the recorder
+// contract forbids retaining the job pointers or slices.
+type traceRecorder struct {
+	log *traceLog
+}
+
+func (t traceRecorder) Interval(from, to timeunit.Time, running, waiting []*sim.Job) {
+	iv := &api.TraceInterval{From: from.String(), To: to.String()}
+	for _, j := range running {
+		iv.Running = append(iv.Running, api.TraceJobFrom(j))
+	}
+	for _, j := range waiting {
+		iv.Waiting = append(iv.Waiting, api.TraceJobFrom(j))
+	}
+	t.log.append(false, api.TraceEvent{Type: api.TraceEventInterval, Interval: iv})
+}
+
+func (t traceRecorder) Miss(at timeunit.Time, job *sim.Job) {
+	t.log.append(false, api.TraceEvent{
+		Type: api.TraceEventMiss,
+		Miss: &api.TraceMiss{At: at.String(), Task: job.TaskIndex, Job: job.JobIndex},
+	})
+}
+
+func (s *Server) handleSimulateTrace(w http.ResponseWriter, r *http.Request) {
+	var req api.TraceRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, decodeErr(err))
+		return
+	}
+	pol, opts, apiErr := s.simConfig(req.Columns, req.Taskset, req.Scheduler, req.Horizon, req.HorizonCap, req.ContinueAfterMiss)
+	if apiErr != nil {
+		writeError(w, apiErr)
+		return
+	}
+	if !s.acquireSimSlot(r.Context()) {
+		writeError(w, api.Errorf(api.CodeCancelled, "client cancelled while waiting for a simulation slot"))
+		return
+	}
+	log := newTraceLog()
+	opts.Recorder = traceRecorder{log: log}
+	opts.MaxEvents = DefaultMaxTraceEvents
+	// The run owns the slot, not the handler: a disconnected client must
+	// not strand a half-finished simulation's slot, and the simulator has
+	// no cancellation point anyway — it always reaches its (bounded)
+	// horizon or event cap.
+	go func() {
+		defer s.releaseSimSlot()
+		res, err := sim.Simulate(req.Columns, req.Taskset, pol, opts)
+		if err != nil {
+			log.append(true, api.TraceEvent{
+				Type:  api.TraceEventError,
+				Error: api.Errorf(api.CodeLimitExceeded, "simulate: %v", err),
+			})
+			return
+		}
+		resp := api.SimulateResponseFromResult(res)
+		log.append(true, api.TraceEvent{Type: api.TraceEventResult, Result: &resp})
+	}()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	from := 0
+	for {
+		evs, terminal, next := log.eventsSince(from)
+		for _, e := range evs {
+			if err := enc.Encode(e); err != nil {
+				return // client gone
+			}
+		}
+		if flusher != nil && len(evs) > 0 {
+			flusher.Flush()
+		}
+		from += len(evs)
+		if terminal {
+			return
+		}
+		select {
+		case <-next:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

@@ -1,0 +1,208 @@
+package server
+
+// Tests for POST /v1/simulate/trace. The golden below pins the complete
+// NDJSON stream of a seeded run: the simulator is single-threaded, so
+// with a fixed request the event sequence is deterministic regardless
+// of the engine's worker count — the worker:1 server config here is
+// belt-and-braces, matching the experiment stream golden's framing.
+//
+//	go test ./internal/server -run TestSimulateTraceGolden -update
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fpgasched/api"
+	"fpgasched/internal/engine"
+	"fpgasched/internal/workload"
+)
+
+// newServerAt serves an explicitly configured Server over httptest.
+func newServerAt(t testing.TB, srv *Server) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return ts
+}
+
+// ndjsonLines drains a streaming response's non-empty lines.
+func ndjsonLines(t testing.TB, resp *http.Response) []string {
+	t.Helper()
+	var lines []string
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<22)
+	for sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) > 0 {
+			lines = append(lines, sc.Text())
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("reading stream: %v", err)
+	}
+	return lines
+}
+
+// traceBody builds the standard deterministic trace request used across
+// these tests: a seeded bursty set (short periods: many events per time
+// unit) over a fixed horizon.
+func traceBody(t testing.TB) string {
+	t.Helper()
+	set := workload.Bursty(4).Generate(workload.Rand(3))
+	return fmt.Sprintf(`{"columns":20,"scheduler":"nf","taskset":%s,"horizon":"12","continue_after_miss":true}`, setJSON(t, set))
+}
+
+// traceLines POSTs a trace request and returns the raw NDJSON lines.
+func traceLines(t testing.TB, url, body string) []string {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/simulate/trace", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("trace = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("trace content-type = %q", ct)
+	}
+	return ndjsonLines(t, resp)
+}
+
+func TestSimulateTraceGolden(t *testing.T) {
+	srv := New(Config{EngineConfig: engine.Config{Workers: 1, CacheSize: 16}})
+	ts := newServerAt(t, srv)
+	body := traceBody(t)
+	got := strings.Join(traceLines(t, ts.URL, body), "\n") + "\n"
+
+	path := filepath.Join("testdata", "simulate_trace_bursty.golden.ndjson")
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with go test ./internal/server -run TestSimulateTraceGolden -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("trace stream drifted from %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+
+	// Same request again: the trace is a pure function of the request, so
+	// the replay must be byte-identical — the determinism rule the golden
+	// itself relies on.
+	again := strings.Join(traceLines(t, ts.URL, body), "\n") + "\n"
+	if again != got {
+		t.Error("second identical trace request produced a different stream")
+	}
+}
+
+func TestSimulateTraceStructure(t *testing.T) {
+	_, ts := newTestServer(t)
+	lines := traceLines(t, ts.URL, traceBody(t))
+	if len(lines) < 2 {
+		t.Fatalf("stream has %d lines, want at least one interval plus the result", len(lines))
+	}
+	var events []api.TraceEvent
+	for _, ln := range lines {
+		var ev api.TraceEvent
+		if err := json.Unmarshal([]byte(ln), &ev); err != nil {
+			t.Fatalf("bad stream line %q: %v", ln, err)
+		}
+		events = append(events, ev)
+	}
+	last := events[len(events)-1]
+	if last.Type != api.TraceEventResult || last.Result == nil {
+		t.Fatalf("terminal event = %+v, want result", last)
+	}
+	if last.Result.Horizon != "12" {
+		t.Errorf("result horizon = %q, want 12", last.Result.Horizon)
+	}
+	intervals, misses := 0, 0
+	prevTo := ""
+	for _, ev := range events[:len(events)-1] {
+		switch ev.Type {
+		case api.TraceEventInterval:
+			intervals++
+			if ev.Interval == nil {
+				t.Fatal("interval event without interval payload")
+			}
+			// Intervals tile the timeline: each starts where the last ended.
+			if prevTo != "" && ev.Interval.From != prevTo {
+				t.Errorf("interval gap: previous ended %q, next starts %q", prevTo, ev.Interval.From)
+			}
+			prevTo = ev.Interval.To
+		case api.TraceEventMiss:
+			misses++
+			if ev.Miss == nil {
+				t.Fatal("miss event without miss payload")
+			}
+		default:
+			t.Fatalf("unexpected mid-stream event type %q", ev.Type)
+		}
+	}
+	if intervals == 0 {
+		t.Error("stream carried no interval events")
+	}
+	if misses != last.Result.Misses {
+		t.Errorf("stream carried %d miss events, result reports %d", misses, last.Result.Misses)
+	}
+}
+
+// TestSimulateTraceResultMatchesSimulate pins the summary parity: the
+// terminal result event is the same document POST /v1/simulate returns
+// for the same request.
+func TestSimulateTraceResultMatchesSimulate(t *testing.T) {
+	_, ts := newTestServer(t)
+	body := traceBody(t)
+	lines := traceLines(t, ts.URL, body)
+	var terminal api.TraceEvent
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &terminal); err != nil {
+		t.Fatal(err)
+	}
+	var direct api.SimulateResponse
+	if resp := doJSON(t, "POST", ts.URL+"/v1/simulate", body, &direct); resp.StatusCode != 200 {
+		t.Fatalf("simulate = %d", resp.StatusCode)
+	}
+	want, _ := json.Marshal(direct)
+	got, _ := json.Marshal(terminal.Result)
+	if string(want) != string(got) {
+		t.Errorf("trace result != simulate response:\ntrace:    %s\nsimulate: %s", got, want)
+	}
+}
+
+func TestSimulateTraceValidationErrors(t *testing.T) {
+	_, ts := newTestServer(t)
+	set := setJSON(t, workload.Table3())
+	cases := []struct {
+		name   string
+		body   string
+		status int
+		code   api.ErrorCode
+	}{
+		{"missing taskset", `{"columns":10}`, 400, api.CodeInvalidRequest},
+		{"bad columns", fmt.Sprintf(`{"columns":0,"taskset":%s}`, set), 400, api.CodeInvalidDevice},
+		{"unknown scheduler", fmt.Sprintf(`{"columns":10,"scheduler":"rr","taskset":%s}`, set), 400, api.CodeUnknownScheduler},
+		{"bad horizon", fmt.Sprintf(`{"columns":10,"horizon":"-1","taskset":%s}`, set), 400, api.CodeInvalidHorizon},
+		{"unknown field", `{"columns":10,"bogus":1}`, 400, api.CodeInvalidJSON},
+	}
+	for _, tc := range cases {
+		var apiErr api.Error
+		resp := doJSON(t, "POST", ts.URL+"/v1/simulate/trace", tc.body, &apiErr)
+		if resp.StatusCode != tc.status || apiErr.Code != tc.code {
+			t.Errorf("%s: status %d code %q, want %d %q", tc.name, resp.StatusCode, apiErr.Code, tc.status, tc.code)
+		}
+	}
+}

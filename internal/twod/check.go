@@ -1,0 +1,106 @@
+package twod
+
+import "fmt"
+
+// ParseHeuristic resolves a heuristic's wire name — the String() values
+// "bottom-left", "best-short-side" and "best-area". The empty string
+// selects the default (bottom-left), so optional request fields parse
+// directly.
+func ParseHeuristic(name string) (Heuristic, error) {
+	switch name {
+	case "", "bottom-left":
+		return BottomLeft, nil
+	case "best-short-side":
+		return BestShortSideFit, nil
+	case "best-area":
+		return BestAreaFit, nil
+	}
+	return 0, fmt.Errorf("twod: unknown heuristic %q (known: bottom-left, best-short-side, best-area)", name)
+}
+
+// Placement binds a task (by index into the checked set) to its assigned
+// rectangle.
+type Placement struct {
+	Task int
+	Rect Rect
+}
+
+// Feasibility is the verdict of CheckFeasibility. On acceptance,
+// Placements is the certificate: one rectangle per task, in task order,
+// pairwise disjoint and within the device — Verify re-checks it from
+// scratch. On rejection, FailingTask is the index of the first
+// unplaceable task (the reason text never embeds the index; trust the
+// structured field).
+type Feasibility struct {
+	Width, Height int
+	Heuristic     Heuristic
+	Feasible      bool
+	Reason        string
+	// FailingTask is -1 on acceptance.
+	FailingTask int
+	Placements  []Placement
+}
+
+// CheckFeasibility decides whether every task of s can simultaneously
+// hold a dedicated rectangle on a width×height device, placing tasks in
+// set order with the given heuristic. It is deterministic: the same set,
+// device and heuristic always yield the same verdict and witness, which
+// is what lets the serving path and a direct library call compare
+// byte-identically.
+//
+// This is the static counterpart of the 2-D simulator's placement mode:
+// a feasible set admits a trivial schedule where each task runs alone on
+// its own region (C ≤ D is enforced by validation), so acceptance is a
+// sound schedulability certificate for dedicated-region execution. It is
+// deliberately conservative — tasks that could time-share cells are
+// still rejected when their rectangles cannot coexist.
+func CheckFeasibility(width, height int, s *Set, heur Heuristic) (Feasibility, error) {
+	if width < 1 || height < 1 {
+		return Feasibility{}, fmt.Errorf("twod: device %dx%d must have positive dimensions", width, height)
+	}
+	if err := s.ValidateFor(width, height); err != nil {
+		return Feasibility{}, err
+	}
+	out := Feasibility{Width: width, Height: height, Heuristic: heur, FailingTask: -1}
+	l := NewLayout(width, height)
+	for i, tk := range s.Tasks {
+		r, ok := l.Place(int64(i), tk.W, tk.H, heur)
+		if !ok {
+			return Feasibility{
+				Width: width, Height: height, Heuristic: heur,
+				Reason: fmt.Sprintf("a %dx%d rectangle cannot be placed (%d cells free, largest free rectangle %d)",
+					tk.W, tk.H, l.FreeArea(), l.LargestFreeRect()),
+				FailingTask: i,
+			}, nil
+		}
+		out.Placements = append(out.Placements, Placement{Task: i, Rect: r})
+	}
+	out.Feasible = true
+	return out, nil
+}
+
+// Verify re-checks an accepting verdict's witness against the set: one
+// placement per task, each at least the task's size, all within the
+// device and pairwise disjoint. It lets any consumer audit a served
+// certificate without trusting the placement heuristic.
+func (f Feasibility) Verify(s *Set) error {
+	if !f.Feasible {
+		return fmt.Errorf("twod: verdict is not accepting")
+	}
+	if len(f.Placements) != len(s.Tasks) {
+		return fmt.Errorf("twod: witness has %d placements for %d tasks", len(f.Placements), len(s.Tasks))
+	}
+	l := NewLayout(f.Width, f.Height)
+	for i, p := range f.Placements {
+		if p.Task != i {
+			return fmt.Errorf("twod: placement %d names task %d", i, p.Task)
+		}
+		if p.Rect.W < s.Tasks[i].W || p.Rect.H < s.Tasks[i].H {
+			return fmt.Errorf("twod: placement %v too small for task %d (%dx%d)", p.Rect, i, s.Tasks[i].W, s.Tasks[i].H)
+		}
+		if err := l.PlaceAt(int64(i), p.Rect); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -46,6 +46,17 @@ type Profile struct {
 	// UtilMin and UtilMax bound the uniform execution-factor draw:
 	// C = T · U(UtilMin, UtilMax).
 	UtilMin, UtilMax float64
+
+	// HeavyFraction makes the profile bimodal: each task is drawn from
+	// the heavy ranges below with this probability, and from the base
+	// ranges above otherwise. Zero (the default) disables the heavy
+	// mode entirely and the Heavy* fields are ignored.
+	HeavyFraction float64
+	// HeavyAreaMin and HeavyAreaMax bound the heavy-mode area draw.
+	HeavyAreaMin, HeavyAreaMax int
+	// HeavyUtilMin and HeavyUtilMax bound the heavy-mode execution
+	// factor draw.
+	HeavyUtilMin, HeavyUtilMax float64
 }
 
 // Unconstrained is the Figure 3 profile: areas and execution factors
@@ -97,6 +108,46 @@ func SpatiallyLightTemporallyHeavy(n int) Profile {
 	}
 }
 
+// Bursty is a serving-path stress profile beyond the paper's figures:
+// narrow tasks with short periods and high time utilization, the shape
+// interactive reconfiguration bursts take. Short periods mean many
+// scheduler events per simulated time unit, which is what makes this
+// the natural load profile for the trace endpoint.
+func Bursty(n int) Profile {
+	return Profile{
+		Name:      fmt.Sprintf("bursty-%d", n),
+		N:         n,
+		AreaMin:   1,
+		AreaMax:   20,
+		PeriodMin: 1,
+		PeriodMax: 4,
+		UtilMin:   0.6,
+		UtilMax:   0.95,
+	}
+}
+
+// Heterogeneous is a bimodal profile beyond the paper's figures: mostly
+// light narrow tasks with an occasional wide, compute-hungry one — the
+// mix a shared device sees when batch reconfigurations ride on top of
+// small periodic kernels. One task in four draws from the heavy ranges.
+func Heterogeneous(n int) Profile {
+	return Profile{
+		Name:          fmt.Sprintf("heterogeneous-%d", n),
+		N:             n,
+		AreaMin:       1,
+		AreaMax:       15,
+		PeriodMin:     5,
+		PeriodMax:     20,
+		UtilMin:       0.05,
+		UtilMax:       0.3,
+		HeavyFraction: 0.25,
+		HeavyAreaMin:  40,
+		HeavyAreaMax:  90,
+		HeavyUtilMin:  0.4,
+		HeavyUtilMax:  0.8,
+	}
+}
+
 // Validate checks the profile's internal consistency.
 func (p Profile) Validate() error {
 	switch {
@@ -108,6 +159,16 @@ func (p Profile) Validate() error {
 		return fmt.Errorf("workload %q: bad period range (%g,%g)", p.Name, p.PeriodMin, p.PeriodMax)
 	case p.UtilMin < 0 || p.UtilMax > 1 || p.UtilMax < p.UtilMin:
 		return fmt.Errorf("workload %q: bad utilization range (%g,%g)", p.Name, p.UtilMin, p.UtilMax)
+	case p.HeavyFraction < 0 || p.HeavyFraction > 1:
+		return fmt.Errorf("workload %q: bad heavy fraction %g", p.Name, p.HeavyFraction)
+	}
+	if p.HeavyFraction > 0 {
+		switch {
+		case p.HeavyAreaMin < 1 || p.HeavyAreaMax < p.HeavyAreaMin:
+			return fmt.Errorf("workload %q: bad heavy area range [%d,%d]", p.Name, p.HeavyAreaMin, p.HeavyAreaMax)
+		case p.HeavyUtilMin < 0 || p.HeavyUtilMax > 1 || p.HeavyUtilMax < p.HeavyUtilMin:
+			return fmt.Errorf("workload %q: bad heavy utilization range (%g,%g)", p.Name, p.HeavyUtilMin, p.HeavyUtilMax)
+		}
 	}
 	return nil
 }
@@ -121,7 +182,13 @@ func (p Profile) Generate(r *rand.Rand) *task.Set {
 		if period < 1 {
 			period = 1
 		}
-		factor := p.UtilMin + r.Float64()*(p.UtilMax-p.UtilMin)
+		utilMin, utilMax := p.UtilMin, p.UtilMax
+		areaMin, areaMax := p.AreaMin, p.AreaMax
+		if p.HeavyFraction > 0 && r.Float64() < p.HeavyFraction {
+			utilMin, utilMax = p.HeavyUtilMin, p.HeavyUtilMax
+			areaMin, areaMax = p.HeavyAreaMin, p.HeavyAreaMax
+		}
+		factor := utilMin + r.Float64()*(utilMax-utilMin)
 		c := timeunit.FromFloat(period.Float() * factor)
 		if c < 1 {
 			c = 1
@@ -129,7 +196,7 @@ func (p Profile) Generate(r *rand.Rand) *task.Set {
 		if c > period {
 			c = period
 		}
-		area := p.AreaMin + r.IntN(p.AreaMax-p.AreaMin+1)
+		area := areaMin + r.IntN(areaMax-areaMin+1)
 		s.Tasks = append(s.Tasks, task.Task{
 			Name: fmt.Sprintf("t%d", i+1),
 			C:    c,

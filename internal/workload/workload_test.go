@@ -15,6 +15,8 @@ func TestProfileValidate(t *testing.T) {
 		Unconstrained(10),
 		SpatiallyHeavyTemporallyLight(10),
 		SpatiallyLightTemporallyHeavy(10),
+		Bursty(10),
+		Heterogeneous(10),
 	}
 	for _, p := range good {
 		if err := p.Validate(); err != nil {
@@ -34,6 +36,87 @@ func TestProfileValidate(t *testing.T) {
 		if err := p.Validate(); err == nil {
 			t.Errorf("bad profile %d validated", i)
 		}
+	}
+	badHeavy := []Profile{
+		{N: 1, AreaMin: 1, AreaMax: 2, PeriodMin: 5, PeriodMax: 20, UtilMax: 1, HeavyFraction: -0.1},
+		{N: 1, AreaMin: 1, AreaMax: 2, PeriodMin: 5, PeriodMax: 20, UtilMax: 1, HeavyFraction: 1.5},
+		{N: 1, AreaMin: 1, AreaMax: 2, PeriodMin: 5, PeriodMax: 20, UtilMax: 1,
+			HeavyFraction: 0.5, HeavyAreaMin: 0, HeavyAreaMax: 2, HeavyUtilMax: 1},
+		{N: 1, AreaMin: 1, AreaMax: 2, PeriodMin: 5, PeriodMax: 20, UtilMax: 1,
+			HeavyFraction: 0.5, HeavyAreaMin: 1, HeavyAreaMax: 2, HeavyUtilMin: 0.8, HeavyUtilMax: 0.4},
+	}
+	for i, p := range badHeavy {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad heavy profile %d validated", i)
+		}
+	}
+}
+
+func TestBurstyRespectsRanges(t *testing.T) {
+	p := Bursty(10)
+	r := Rand(5)
+	for trial := 0; trial < 50; trial++ {
+		s := p.Generate(r)
+		if err := s.ValidateFor(FigureDeviceColumns); err != nil {
+			t.Fatalf("invalid set: %v", err)
+		}
+		for _, tk := range s.Tasks {
+			if tk.A < p.AreaMin || tk.A > p.AreaMax {
+				t.Errorf("area %d outside [%d,%d]", tk.A, p.AreaMin, p.AreaMax)
+			}
+			if tf := tk.T.Float(); tf < p.PeriodMin-0.001 || tf > p.PeriodMax+0.001 {
+				t.Errorf("period %v outside (%g,%g)", tk.T, p.PeriodMin, p.PeriodMax)
+			}
+		}
+	}
+}
+
+func TestHeterogeneousIsBimodal(t *testing.T) {
+	// Every draw must come from exactly one of the two modes, and across
+	// enough draws both modes must appear in roughly the configured
+	// proportion. The base and heavy area ranges are disjoint ([1,15] vs
+	// [40,90]), so the mode of each task is identifiable from its area.
+	p := Heterogeneous(10)
+	r := Rand(11)
+	var light, heavy int
+	for trial := 0; trial < 200; trial++ {
+		s := p.Generate(r)
+		if err := s.ValidateFor(FigureDeviceColumns); err != nil {
+			t.Fatalf("invalid set: %v", err)
+		}
+		for _, tk := range s.Tasks {
+			switch {
+			case tk.A >= p.AreaMin && tk.A <= p.AreaMax:
+				light++
+			case tk.A >= p.HeavyAreaMin && tk.A <= p.HeavyAreaMax:
+				heavy++
+			default:
+				t.Fatalf("area %d in neither mode range", tk.A)
+			}
+		}
+	}
+	frac := float64(heavy) / float64(light+heavy)
+	if frac < 0.18 || frac > 0.33 {
+		t.Errorf("heavy fraction = %g, expected ≈%g", frac, p.HeavyFraction)
+	}
+}
+
+func TestHeavyFractionZeroIgnoresHeavyRanges(t *testing.T) {
+	// HeavyFraction 0 must leave generation identical to a profile with
+	// no heavy fields at all, including the RNG draw sequence.
+	base := Unconstrained(10)
+	with := base
+	with.HeavyAreaMin, with.HeavyAreaMax = 40, 90
+	with.HeavyUtilMin, with.HeavyUtilMax = 0.4, 0.8
+	a := base.Generate(Rand(21))
+	b := with.Generate(Rand(21))
+	for i := range a.Tasks {
+		if a.Tasks[i] != b.Tasks[i] {
+			t.Fatalf("HeavyFraction=0 changed generation at task %d", i)
+		}
+	}
+	if err := with.Validate(); err != nil {
+		t.Errorf("HeavyFraction=0 with stray heavy fields must validate: %v", err)
 	}
 }
 
