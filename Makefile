@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-serve serve fmt vet check clean integration experiments-smoke
+.PHONY: build test race bench bench-serve crash-smoke serve fmt vet check clean integration experiments-smoke
 
 build:
 	$(GO) build ./...
@@ -37,11 +37,23 @@ bench-all:
 # analyze/admit/stream workload against a 1-node and a 2-node in-process
 # fleet (HTTP + routing + cache sharding, not just the engine), and the
 # throughput + p50/p95/p99 numbers join the BENCH_*.json trajectory.
+# The wal=* runs replay the same admit-heavy stream with the durable
+# store off, fsync-per-append and interval-flushed, so the WAL's cost on
+# admission p99 is re-measured (and the always-vs-interval comparison
+# reproducible) on every archive.
 bench-serve:
 	mkdir -p bench-results
 	$(GO) run ./cmd/loadgen -inprocess 1 -requests 400 -seed 1 -label fleet=1 | tee bench-results/BENCH_serve.txt
 	$(GO) run ./cmd/loadgen -inprocess 2 -requests 400 -seed 1 -label fleet=2 | tee -a bench-results/BENCH_serve.txt
+	$(GO) run ./cmd/loadgen -inprocess 1 -requests 400 -seed 1 -mix admit-heavy -label wal=off | tee -a bench-results/BENCH_serve.txt
+	waldir=$$(mktemp -d) && \
+	$(GO) run ./cmd/loadgen -inprocess 1 -requests 400 -seed 1 -mix admit-heavy -state-dir $$waldir/always -fsync always -label wal=always | tee -a bench-results/BENCH_serve.txt && \
+	$(GO) run ./cmd/loadgen -inprocess 1 -requests 400 -seed 1 -mix admit-heavy -state-dir $$waldir/interval -fsync interval -label wal=interval | tee -a bench-results/BENCH_serve.txt && \
+	rm -rf $$waldir
 	$(GO) run ./cmd/benchjson -in bench-results/BENCH_serve.txt -out bench-results/BENCH_serve.json
+
+crash-smoke: ## live-daemon kill -9 + WAL replay smoke, archives BENCH_recovery.json
+	bash scripts/crash_recovery_smoke.sh
 
 serve: ## run the analysis daemon on :8080
 	$(GO) run ./cmd/fpgaschedd -addr :8080

@@ -348,6 +348,28 @@ func fixtures() map[string]any {
 			},
 		},
 		"error_peer_unavailable": Errorf(CodePeerUnavailable, `no live fleet member could serve the request`).WithDetail("peer", "b"),
+		// GET /metrics on a daemon running with -state-dir: the wal
+		// section rides along (additive v1 field).
+		"metrics_response_wal": MetricsResponse{
+			Engine: EngineStats{Hits: 12, Misses: 3, Analyses: 3, CacheLen: 2, CacheCap: 4096, Workers: 8},
+			HTTP: map[string]RouteMetrics{
+				"controllers.admit": {Requests: 40, TotalNanos: 61_000_000},
+			},
+			WAL: &WALMetrics{
+				Records:         83,
+				Bytes:           11_302,
+				WALBytes:        2_168,
+				Fsyncs:          19,
+				Snapshots:       2,
+				ReplayedRecords: 41,
+				ReplaySkipped:   3,
+				TruncatedBytes:  17,
+				ReplayNanos:     1_850_000,
+			},
+		},
+		// A controller mutation whose WAL append failed: rolled back,
+		// 503, controllers read-only until restart.
+		"error_store_failed": Errorf(CodeStoreFailed, "durable store failed (controllers are read-only): write wal.log: no space left on device"),
 		"trace_request": TraceRequest{
 			Columns:   10,
 			Scheduler: "nf",

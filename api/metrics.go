@@ -1,6 +1,9 @@
 package api
 
-import "fpgasched/internal/engine"
+import (
+	"fpgasched/internal/durable"
+	"fpgasched/internal/engine"
+)
 
 // EngineStats is the wire form of the analysis engine's counters, as
 // published on GET /metrics.
@@ -74,6 +77,55 @@ type MetricsResponse struct {
 	// served-lookup counters. Absent on single-node daemons (additive
 	// v1 field).
 	Cluster *ClusterMetrics `json:"cluster,omitempty"`
+	// WAL is the durability section: write-ahead-log and snapshot
+	// counters plus what recovery replayed at startup. Absent when the
+	// daemon runs without -state-dir (additive v1 field).
+	WAL *WALMetrics `json:"wal,omitempty"`
+}
+
+// WALMetrics is the wire form of the durable store's counters.
+type WALMetrics struct {
+	// Records and Bytes count appended mutation records since startup
+	// (frame overhead included in Bytes); WALBytes is the current log
+	// file size, which snapshot compaction resets.
+	Records  uint64 `json:"records"`
+	Bytes    uint64 `json:"bytes"`
+	WALBytes uint64 `json:"wal_bytes"`
+	// Fsyncs counts explicit flushes under the configured -fsync
+	// policy; Snapshots counts compactions.
+	Fsyncs    uint64 `json:"fsyncs"`
+	Snapshots uint64 `json:"snapshots"`
+	// ReplayedRecords/ReplaySkipped/TruncatedBytes/ReplayNanos describe
+	// the startup recovery: log records applied, records skipped (below
+	// the snapshot's sequence or referencing since-deleted
+	// controllers), torn-tail bytes discarded via CRC, and wall clock
+	// spent replaying.
+	ReplayedRecords uint64 `json:"replayed_records"`
+	ReplaySkipped   uint64 `json:"replay_skipped,omitempty"`
+	TruncatedBytes  uint64 `json:"truncated_bytes,omitempty"`
+	ReplayNanos     uint64 `json:"replay_nanos"`
+	// Degraded reports that a disk write failed and the controllers are
+	// read-only (mutations return store_failed); LastError describes
+	// the failure.
+	Degraded  bool   `json:"degraded,omitempty"`
+	LastError string `json:"last_error,omitempty"`
+}
+
+// WALMetricsFrom converts a durable store snapshot to its wire form.
+func WALMetricsFrom(m durable.Metrics) WALMetrics {
+	return WALMetrics{
+		Records:         m.Records,
+		Bytes:           m.Bytes,
+		WALBytes:        m.WALBytes,
+		Fsyncs:          m.Fsyncs,
+		Snapshots:       m.Snapshots,
+		ReplayedRecords: m.ReplayedRecords,
+		ReplaySkipped:   m.ReplaySkipped,
+		TruncatedBytes:  m.ReplayTruncatedBytes,
+		ReplayNanos:     m.ReplayNanos,
+		Degraded:        m.Degraded,
+		LastError:       m.LastError,
+	}
 }
 
 // HealthResponse answers GET /healthz (liveness) and, on the ready

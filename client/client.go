@@ -188,6 +188,52 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any, retry
 	return fmt.Errorf("client: %s %s failed after %d attempts: %w", method, path, attempts, lastErr)
 }
 
+// doIdempotentDelete issues a DELETE under the configured retry policy
+// with delete semantics: a not_found answered to a RETRY attempt is
+// success, because the earlier attempt may have been delivered and its
+// 204 lost in transit — surfacing that 404 would report a completed
+// delete as a failure. A first-attempt 404 still surfaces (nothing was
+// there to delete), and a 503 store_failed retries like any 5xx: the
+// server rolled the delete back, so the resource genuinely still
+// exists.
+func (c *Client) doIdempotentDelete(ctx context.Context, path string) error {
+	attempts := 1 + c.retries
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-time.After(c.backoffFor(attempt)):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.base+path, nil)
+		if err != nil {
+			return fmt.Errorf("client: building request: %w", err)
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			lastErr = err
+			continue
+		}
+		if attempt > 0 && resp.StatusCode == http.StatusNotFound {
+			if e := readError(resp); e.Code != api.CodeNotFound {
+				return e
+			}
+			return nil
+		}
+		if retryable(resp.StatusCode, nil) && attempt+1 < attempts {
+			lastErr = readError(resp)
+			continue
+		}
+		return finish(resp, nil)
+	}
+	return fmt.Errorf("client: DELETE %s failed after %d attempts: %w", path, attempts, lastErr)
+}
+
 // finish consumes a response: decode out on 2xx, a typed error
 // otherwise. The body is always drained and closed so the connection
 // returns to the pool.
@@ -397,9 +443,11 @@ func (c *Client) CreateController(ctx context.Context, name string, req api.Cont
 }
 
 // DeleteController drops a controller (DELETE /v1/controllers/{name}).
-// Not retried: a repeat of a delivered delete reports not_found.
+// Retried with delete semantics: a not_found on a retry attempt means an
+// earlier delivery succeeded and is reported as success, so a delete
+// whose 204 was lost in transit does not surface a spurious failure.
 func (c *Client) DeleteController(ctx context.Context, name string) error {
-	return c.do(ctx, http.MethodDelete, "/v1/controllers/"+url.PathEscape(name), nil, nil, false)
+	return c.doIdempotentDelete(ctx, "/v1/controllers/"+url.PathEscape(name))
 }
 
 // Controllers lists the admission controllers (GET /v1/controllers).
@@ -424,11 +472,12 @@ func (c *Client) Admit(ctx context.Context, controller string, t api.Task) (*api
 }
 
 // Release removes a resident task from a controller
-// (DELETE /v1/controllers/{name}/tasks/{task}). Not retried: a repeat
-// of a delivered release reports not_found.
+// (DELETE /v1/controllers/{name}/tasks/{task}). Retried with delete
+// semantics (see DeleteController): a retry answered not_found reports
+// success.
 func (c *Client) Release(ctx context.Context, controller, taskName string) error {
-	return c.do(ctx, http.MethodDelete,
-		"/v1/controllers/"+url.PathEscape(controller)+"/tasks/"+url.PathEscape(taskName), nil, nil, false)
+	return c.doIdempotentDelete(ctx,
+		"/v1/controllers/"+url.PathEscape(controller)+"/tasks/"+url.PathEscape(taskName))
 }
 
 // Resident snapshots a controller's resident set

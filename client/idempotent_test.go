@@ -1,0 +1,129 @@
+package client
+
+// Idempotent-delete semantics: a delete whose 204 was lost in transit
+// must not surface a spurious not_found when the SDK retries it, while
+// a genuine first-attempt 404 still does.
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fpgasched/api"
+	"fpgasched/internal/engine"
+	"fpgasched/internal/server"
+	"fpgasched/internal/task"
+)
+
+// lossyDeleteProxy delivers DELETE requests to the real server but
+// loses the response to the client (answering a synthetic 503) for the
+// first `lose` deletes — the classic delivered-but-unacknowledged
+// mutation a retrying SDK must cope with.
+type lossyDeleteProxy struct {
+	inner   http.Handler
+	lose    atomic.Int32
+	deletes atomic.Int32
+}
+
+func (p *lossyDeleteProxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodDelete {
+		p.deletes.Add(1)
+		if p.lose.Add(-1) >= 0 {
+			rec := httptest.NewRecorder()
+			p.inner.ServeHTTP(rec, r) // the server DOES process the delete
+			http.Error(w, `{"code":"unavailable","error":"response lost"}`, http.StatusServiceUnavailable)
+			return
+		}
+	}
+	p.inner.ServeHTTP(w, r)
+}
+
+func TestDeleteRetriesSwallowDeliveredNotFound(t *testing.T) {
+	srv := server.New(server.Config{EngineConfig: engine.Config{Workers: 2, CacheSize: 128}})
+	defer srv.Close()
+	proxy := &lossyDeleteProxy{inner: srv}
+	ts := httptest.NewServer(proxy)
+	defer ts.Close()
+	c, err := New(ts.URL, WithRetries(3), WithRetryBackoff(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	if _, err := c.CreateController(ctx, "x", api.ControllerRequest{Columns: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Admit(ctx, "x", task.New("a", "1", "5", "5", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreatePlacementController(ctx, "g", api.PlacementControllerRequest{Width: 4, Height: 4, Heuristic: "bottom-left"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.PlacementAdmit(ctx, "g", api.Task2D{Name: "p", C: "1", D: "5", T: "5", W: 1, H: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Each delete's first response is lost; the retry sees the 404 left
+	// by the delivered first attempt and must report success.
+	for _, del := range []struct {
+		name string
+		call func() error
+	}{
+		{"Release", func() error { return c.Release(ctx, "x", "a") }},
+		{"DeleteController", func() error { return c.DeleteController(ctx, "x") }},
+		{"PlacementRelease", func() error { return c.PlacementRelease(ctx, "g", "p") }},
+		{"DeletePlacementController", func() error { return c.DeletePlacementController(ctx, "g") }},
+	} {
+		proxy.lose.Store(1)
+		if err := del.call(); err != nil {
+			t.Errorf("%s with lost first response: %v, want success", del.name, err)
+		}
+	}
+
+	// Everything is genuinely gone.
+	ctrls, err := c.Controllers(ctx)
+	if err != nil || len(ctrls) != 0 {
+		t.Errorf("controllers after deletes = %v, %v; want none", ctrls, err)
+	}
+	pcs, err := c.PlacementControllers(ctx)
+	if err != nil || len(pcs) != 0 {
+		t.Errorf("placement controllers after deletes = %v, %v; want none", pcs, err)
+	}
+}
+
+func TestDeleteFirstAttemptNotFoundSurfaces(t *testing.T) {
+	srv := server.New(server.Config{EngineConfig: engine.Config{Workers: 2, CacheSize: 128}})
+	defer srv.Close()
+	proxy := &lossyDeleteProxy{inner: srv}
+	ts := httptest.NewServer(proxy)
+	defer ts.Close()
+	c, err := New(ts.URL, WithRetries(3), WithRetryBackoff(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	for _, del := range []struct {
+		name string
+		call func() error
+	}{
+		{"DeleteController", func() error { return c.DeleteController(ctx, "ghost") }},
+		{"Release", func() error { return c.Release(ctx, "ghost", "a") }},
+		{"DeletePlacementController", func() error { return c.DeletePlacementController(ctx, "ghost") }},
+		{"PlacementRelease", func() error { return c.PlacementRelease(ctx, "ghost", "p") }},
+	} {
+		before := proxy.deletes.Load()
+		err := del.call()
+		var apiErr *api.Error
+		if !errors.As(err, &apiErr) || apiErr.Code != api.CodeNotFound {
+			t.Errorf("%s of absent resource: err = %v, want not_found", del.name, err)
+		}
+		if got := proxy.deletes.Load() - before; got != 1 {
+			t.Errorf("%s of absent resource used %d attempts, want 1 (404 is definitive first time)", del.name, got)
+		}
+	}
+}

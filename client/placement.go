@@ -34,10 +34,11 @@ func (c *Client) CreatePlacementController(ctx context.Context, name string, req
 }
 
 // DeletePlacementController drops a placement controller
-// (DELETE /v1/placement/controllers/{name}). Not retried: a repeat of a
-// delivered delete reports not_found.
+// (DELETE /v1/placement/controllers/{name}). Retried with delete
+// semantics (see DeleteController): a retry answered not_found reports
+// success.
 func (c *Client) DeletePlacementController(ctx context.Context, name string) error {
-	return c.do(ctx, http.MethodDelete, "/v1/placement/controllers/"+url.PathEscape(name), nil, nil, false)
+	return c.doIdempotentDelete(ctx, "/v1/placement/controllers/"+url.PathEscape(name))
 }
 
 // PlacementControllers lists the placement controllers
@@ -64,11 +65,12 @@ func (c *Client) PlacementAdmit(ctx context.Context, controller string, t api.Ta
 }
 
 // PlacementRelease frees a placed task's region
-// (DELETE /v1/placement/controllers/{name}/tasks/{task}). Not retried:
-// a repeat of a delivered release reports not_found.
+// (DELETE /v1/placement/controllers/{name}/tasks/{task}). Retried with
+// delete semantics (see DeleteController): a retry answered not_found
+// reports success.
 func (c *Client) PlacementRelease(ctx context.Context, controller, taskName string) error {
-	return c.do(ctx, http.MethodDelete,
-		"/v1/placement/controllers/"+url.PathEscape(controller)+"/tasks/"+url.PathEscape(taskName), nil, nil, false)
+	return c.doIdempotentDelete(ctx,
+		"/v1/placement/controllers/"+url.PathEscape(controller)+"/tasks/"+url.PathEscape(taskName))
 }
 
 // PlacementResident snapshots a placement controller's placed set

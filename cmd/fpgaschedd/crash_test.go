@@ -1,0 +1,191 @@
+package main
+
+// Crash-recovery end-to-end: a real fpgaschedd process (the test binary
+// re-exec'd) is killed with SIGKILL mid-service and restarted over the
+// same -state-dir; the recovered daemon must serve byte-identical
+// resident sets and admission certificates, discarding a torn WAL tail
+// injected between the kill and the restart.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestDaemonHelperProcess is not a test: re-exec'd by the crash tests
+// it becomes a real daemon process that SIGKILL can reach.
+func TestDaemonHelperProcess(t *testing.T) {
+	if os.Getenv("FPGASCHEDD_HELPER") != "1" {
+		t.Skip("helper process, skipped in normal runs")
+	}
+	args := os.Args
+	for i, a := range args {
+		if a == "--" {
+			args = args[i+1:]
+			break
+		}
+	}
+	ready := make(chan string, 1)
+	go func() { fmt.Println("ADDR", <-ready) }()
+	os.Exit(run(args, ready))
+}
+
+// startDaemon boots a daemon subprocess on an ephemeral port with the
+// given state directory and returns its handle plus base URL once the
+// listener reports up.
+func startDaemon(t *testing.T, dir string, extra ...string) (*exec.Cmd, string) {
+	t.Helper()
+	args := []string{"-test.run=^TestDaemonHelperProcess$", "--", "-addr", "127.0.0.1:0", "-state-dir", dir}
+	args = append(args, extra...)
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "FPGASCHEDD_HELPER=1")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = io.Discard
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if a, ok := strings.CutPrefix(sc.Text(), "ADDR "); ok {
+				addrCh <- a
+				break
+			}
+		}
+		// Keep draining so the child never blocks on a full pipe.
+		for sc.Scan() {
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		return cmd, "http://" + addr
+	case <-time.After(10 * time.Second):
+		_ = cmd.Process.Kill()
+		t.Fatal("daemon subprocess did not report its address")
+		return nil, ""
+	}
+}
+
+// awaitReady polls /readyz until it answers 200 (replay finished).
+func awaitReady(t *testing.T, base string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == 200 {
+				return
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatal("daemon did not become ready")
+}
+
+func crashDo(t *testing.T, method, url, body string, wantStatus int) []byte {
+	t.Helper()
+	var rdr io.Reader
+	if body != "" {
+		rdr = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("%s %s = %d, want %d: %s", method, url, resp.StatusCode, wantStatus, data)
+	}
+	return data
+}
+
+func TestCrashRecoveryEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess e2e, skipped with -short")
+	}
+	dir := t.TempDir()
+	cmd, base := startDaemon(t, dir, "-fsync", "always")
+	awaitReady(t, base)
+
+	// A seeded admit mix across both controller kinds.
+	crashDo(t, "PUT", base+"/v1/controllers/edge0", `{"columns":10}`, 201)
+	crashDo(t, "POST", base+"/v1/controllers/edge0/admit", `{"name":"a","c":"2","d":"5","t":"5","a":5}`, 200)
+	crashDo(t, "POST", base+"/v1/controllers/edge0/admit", `{"name":"b","c":"2","d":"5","t":"5","a":5}`, 200)
+	crashDo(t, "DELETE", base+"/v1/controllers/edge0/tasks/a", "", 204)
+	crashDo(t, "POST", base+"/v1/controllers/edge0/admit", `{"name":"c","c":"2","d":"5","t":"5","a":5}`, 200)
+	crashDo(t, "PUT", base+"/v1/placement/controllers/grid", `{"width":8,"height":8,"heuristic":"bottom-left"}`, 201)
+	crashDo(t, "POST", base+"/v1/placement/controllers/grid/admit", `{"name":"p1","c":"2","d":"9","t":"9","w":2,"h":3}`, 200)
+	crashDo(t, "POST", base+"/v1/placement/controllers/grid/admit", `{"name":"p2","c":"2","d":"9","t":"9","w":3,"h":3}`, 200)
+
+	// Capture what recovery must reproduce: the resident documents and
+	// a probe task's full admit response (certificate included; the
+	// analyses are deterministic, so the recovered daemon must serve
+	// identical bytes). The probe is released so it is absent from the
+	// persisted state.
+	probe := `{"name":"probe","c":"1","d":"6","t":"6","a":2}`
+	wantCert := crashDo(t, "POST", base+"/v1/controllers/edge0/admit", probe, 200)
+	crashDo(t, "DELETE", base+"/v1/controllers/edge0/tasks/probe", "", 204)
+	wantRes := crashDo(t, "GET", base+"/v1/controllers/edge0/resident", "", 200)
+	wantGrid := crashDo(t, "GET", base+"/v1/placement/controllers/grid/resident", "", 200)
+
+	// Crash: SIGKILL, no drain, no Close.
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_ = cmd.Wait()
+
+	// A torn final record: the crash interrupted an append mid-frame.
+	f, err := os.OpenFile(filepath.Join(dir, "wal.log"), os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x40, 0, 0, 0, 0xde, 0xad, 0xbe, 0xef, 'x', 'y'}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	cmd2, base2 := startDaemon(t, dir, "-fsync", "always")
+	defer func() {
+		_ = cmd2.Process.Signal(syscall.SIGTERM)
+		_ = cmd2.Wait()
+	}()
+	awaitReady(t, base2)
+
+	if got := crashDo(t, "GET", base2+"/v1/controllers/edge0/resident", "", 200); string(got) != string(wantRes) {
+		t.Errorf("recovered resident differs:\npre-crash: %s\nrecovered: %s", wantRes, got)
+	}
+	if got := crashDo(t, "GET", base2+"/v1/placement/controllers/grid/resident", "", 200); string(got) != string(wantGrid) {
+		t.Errorf("recovered placement resident differs:\npre-crash: %s\nrecovered: %s", wantGrid, got)
+	}
+	if got := crashDo(t, "POST", base2+"/v1/controllers/edge0/admit", probe, 200); string(got) != string(wantCert) {
+		t.Errorf("recovered probe certificate differs:\npre-crash: %s\nrecovered: %s", wantCert, got)
+	}
+	crashDo(t, "DELETE", base2+"/v1/controllers/edge0/tasks/probe", "", 204)
+
+	// The torn tail was discarded via CRC, and the daemon says so.
+	metrics := crashDo(t, "GET", base2+"/metrics", "", 200)
+	if !strings.Contains(string(metrics), `"truncated_bytes"`) || !strings.Contains(string(metrics), `"replayed_records"`) {
+		t.Errorf("metrics missing wal recovery counters: %s", metrics)
+	}
+}

@@ -4,7 +4,17 @@
 // Usage:
 //
 //	fpgaschedd [-addr :8080] [-workers 8] [-cache 4096] [-max-body 1048576]
+//	fpgaschedd -state-dir /var/lib/fpgasched [-fsync always|interval|never]
 //	fpgaschedd -self a -peers a=http://h1:8080,b=http://h2:8080 [-peer-timeout 2s]
+//
+// The second form adds durability: every controller mutation (create,
+// admit, release, delete, on both the 1-D and 2-D surfaces) is recorded
+// in a CRC-framed write-ahead log under -state-dir, compacted into
+// snapshots as it grows, and replayed on the next start — a crashed
+// daemon comes back with its resident sets byte-identical (DESIGN.md
+// "Durability"). /readyz reports 503 not_ready until replay finishes,
+// and a disk-write failure degrades the controllers to read-only
+// (mutations answer 503 store_failed) instead of crashing the daemon.
 //
 // The second form starts the daemon as one shard of a static fleet:
 // verdict-cache ownership is consistent-hashed over the peer names
@@ -76,6 +86,7 @@ import (
 	"time"
 
 	"fpgasched/internal/cluster"
+	"fpgasched/internal/durable"
 	"fpgasched/internal/engine"
 	"fpgasched/internal/jobs"
 	"fpgasched/internal/server"
@@ -107,6 +118,10 @@ func run(args []string, ready chan<- string) int {
 	peerTimeout := fs.Duration("peer-timeout", cluster.DefaultFetchTimeout, "per-peer cache fetch timeout")
 	breakerThreshold := fs.Int("peer-breaker-threshold", cluster.DefaultBreakerThreshold, "consecutive peer failures before the breaker opens")
 	breakerCooldown := fs.Duration("peer-breaker-cooldown", cluster.DefaultBreakerCooldown, "breaker cooldown before re-probing a failed peer")
+	stateDir := fs.String("state-dir", "", "directory for the durable controller store (empty disables persistence)")
+	fsyncFlag := fs.String("fsync", "interval", "WAL fsync policy: always, interval or never (requires -state-dir)")
+	fsyncInterval := fs.Duration("fsync-interval", durable.DefaultFsyncInterval, "flush period under -fsync interval")
+	snapshotBytes := fs.Int64("snapshot-bytes", durable.DefaultSnapshotBytes, "WAL size that triggers snapshot compaction")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -115,6 +130,11 @@ func run(args []string, ready chan<- string) int {
 	}
 	if *workers < 1 {
 		fmt.Fprintln(os.Stderr, "fpgaschedd: -workers must be at least 1")
+		return 2
+	}
+	fsync, err := durable.ParseFsyncPolicy(*fsyncFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fpgaschedd: -fsync: %v\n", err)
 		return 2
 	}
 	var fleet *cluster.Fleet
@@ -151,6 +171,10 @@ func run(args []string, ready chan<- string) int {
 		MaxExperimentSamples: *maxExpSamples,
 		ExperimentSlots:      *expSlots,
 		MaxExperimentJobs:    *maxExpJobs,
+		// With a state directory the daemon is born not-ready: the
+		// listener comes up first (so probes see an honest 503 while
+		// recovery replays) and MarkReady flips only after Restore.
+		StartNotReady: *stateDir != "",
 	})
 	defer srv.Close()
 
@@ -192,6 +216,32 @@ func run(args []string, ready chan<- string) int {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	// Recover controller state after the listener is up: /healthz and
+	// the stateless analysis surfaces serve during replay, /readyz and
+	// the controller surfaces answer 503 not_ready until MarkReady.
+	if *stateDir != "" {
+		store, err := durable.Open(durable.Options{
+			Dir:           *stateDir,
+			Fsync:         fsync,
+			FsyncInterval: *fsyncInterval,
+			SnapshotBytes: *snapshotBytes,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fpgaschedd: opening state dir %s: %v\n", *stateDir, err)
+			return 1
+		}
+		defer store.Close()
+		if err := srv.Restore(store.State()); err != nil {
+			fmt.Fprintf(os.Stderr, "fpgaschedd: restoring controllers: %v\n", err)
+			return 1
+		}
+		srv.AttachStore(store)
+		srv.MarkReady()
+		m := store.Metrics()
+		log.Printf("fpgaschedd: recovered state from %s (replayed=%d skipped=%d truncated_bytes=%d fsync=%s) in %s",
+			*stateDir, m.ReplayedRecords, m.ReplaySkipped, m.ReplayTruncatedBytes, fsync, time.Duration(m.ReplayNanos))
+	}
 
 	select {
 	case sig := <-stop:

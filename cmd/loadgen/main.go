@@ -27,6 +27,17 @@
 // per-worker operation sequence and the admitted tasks all derive from
 // it, so two runs against equal fleets replay identical request
 // streams (timings of course still vary).
+//
+// -mix accepts the preset name `admit-heavy` (admit=8,analyze=1,stream=1)
+// for the durability benchmarks: combined with -state-dir and -fsync it
+// measures what the write-ahead log costs on the admission path, e.g.
+//
+//	loadgen -inprocess 1 -mix admit-heavy -state-dir /tmp/lg -fsync always
+//	loadgen -inprocess 1 -mix admit-heavy -state-dir /tmp/lg -fsync interval
+//
+// -state-dir gives each in-process node its own subdirectory; it cannot
+// be combined with -targets (a remote daemon's durability is its own
+// -state-dir flag).
 package main
 
 import (
@@ -40,6 +51,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -49,6 +61,7 @@ import (
 	"fpgasched/api"
 	"fpgasched/client"
 	"fpgasched/internal/cluster"
+	"fpgasched/internal/durable"
 	"fpgasched/internal/engine"
 	"fpgasched/internal/server"
 	"fpgasched/internal/task"
@@ -78,7 +91,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	inprocess := fs.Int("inprocess", 0, "spin up N in-process fleet members instead of -targets")
 	requests := fs.Int("requests", 400, "total operations to issue")
 	concurrency := fs.Int("concurrency", 8, "concurrent workers")
-	mixFlag := fs.String("mix", "analyze=6,simulate=2,trace=1,admit=1,stream=1", "operation mix as weights")
+	mixFlag := fs.String("mix", "analyze=6,simulate=2,trace=1,admit=1,stream=1", "operation mix as weights, or the preset admit-heavy")
 	seed := fs.Uint64("seed", 1, "deterministic traffic seed")
 	columns := fs.Int("columns", workload.FigureDeviceColumns, "device area for generated tasksets")
 	setsN := fs.Int("sets", 32, "taskset pool size (smaller pools hit caches harder)")
@@ -87,6 +100,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	simHorizon := fs.Int64("sim-horizon", 30, "release horizon (time units) for simulate and trace operations")
 	label := fs.String("label", "", "benchmark label (default fleet=N)")
 	hedge := fs.Duration("hedge", 0, "fleet client hedge delay for idempotent reads (0 disables)")
+	stateDir := fs.String("state-dir", "", "durable store root for -inprocess nodes (one subdirectory per node; empty disables)")
+	fsyncFlag := fs.String("fsync", "interval", "WAL fsync policy for -inprocess nodes: always, interval or never")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -106,10 +121,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "loadgen: %v\n", err)
 		return 2
 	}
+	fsync, err := durable.ParseFsyncPolicy(*fsyncFlag)
+	if err != nil {
+		fmt.Fprintf(stderr, "loadgen: -fsync: %v\n", err)
+		return 2
+	}
+	if *stateDir != "" && *inprocess == 0 {
+		fmt.Fprintln(stderr, "loadgen: -state-dir requires -inprocess (a remote daemon's durability is its own -state-dir flag)")
+		return 2
+	}
 
 	var peers map[string]string
 	if *inprocess > 0 {
-		nodes, shutdown, err := startInProcessFleet(*inprocess)
+		nodes, shutdown, err := startInProcessFleet(*inprocess, *stateDir, fsync)
 		if err != nil {
 			fmt.Fprintf(stderr, "loadgen: %v\n", err)
 			return 1
@@ -327,6 +351,12 @@ type mixTable struct {
 }
 
 func parseMix(s string) (mixTable, error) {
+	// Presets keep benchmark invocations reproducible: `make bench-serve`
+	// and the WAL fsync comparison both name admit-heavy instead of
+	// restating the weights.
+	if s == "admit-heavy" {
+		s = "admit=8,analyze=1,stream=1"
+	}
 	var m mixTable
 	known := map[string]bool{"analyze": true, "simulate": true, "trace": true, "admit": true, "stream": true}
 	for _, part := range strings.Split(s, ",") {
@@ -370,11 +400,14 @@ func (m mixTable) pick(r *rand.Rand) string {
 // loopback listeners, returning the member map and a shutdown func.
 // Engines are sized modestly: loadgen measures the serving path, and a
 // fleet of daemons each defaulting to NumCPU workers would oversubscribe
-// the host it shares with the load generator itself.
-func startInProcessFleet(n int) (map[string]string, func(), error) {
+// the host it shares with the load generator itself. A non-empty
+// stateDir attaches a durable store per node (its own subdirectory), so
+// the admit mix exercises the WAL under the given fsync policy.
+func startInProcessFleet(n int, stateDir string, fsync durable.FsyncPolicy) (map[string]string, func(), error) {
 	type node struct {
-		srv *server.Server
-		ts  *httptest.Server
+		srv   *server.Server
+		ts    *httptest.Server
+		store *durable.Store
 	}
 	nodes := make([]*node, n)
 	peers := make(map[string]string, n)
@@ -394,6 +427,9 @@ func startInProcessFleet(n int) (map[string]string, func(), error) {
 			if nd.srv != nil {
 				nd.srv.Close()
 			}
+			if nd.store != nil {
+				nd.store.Close()
+			}
 		}
 	}
 	for i, nd := range nodes {
@@ -402,10 +438,20 @@ func startInProcessFleet(n int) (map[string]string, func(), error) {
 			shutdown()
 			return nil, nil, err
 		}
-		nd.srv = server.New(server.Config{
+		cfg := server.Config{
 			EngineConfig: engine.Config{Workers: 4, CacheSize: 4096},
 			Fleet:        fl,
-		})
+		}
+		if stateDir != "" {
+			st, err := durable.Open(durable.Options{Dir: filepath.Join(stateDir, names[i]), Fsync: fsync})
+			if err != nil {
+				shutdown()
+				return nil, nil, fmt.Errorf("opening state dir for %s: %w", names[i], err)
+			}
+			nd.store = st
+			cfg.Store = st
+		}
+		nd.srv = server.New(cfg)
 	}
 	return peers, shutdown, nil
 }

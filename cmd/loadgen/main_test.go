@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"math/rand/v2"
+	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"testing"
@@ -49,6 +51,34 @@ func TestRunInProcessFleetSmoke(t *testing.T) {
 	}
 }
 
+// TestRunDurableAdmitHeavy drives the admit-heavy preset against an
+// in-process node with a WAL attached — the configuration the fsync
+// benchmark comparison runs — and checks the log really recorded the
+// admit churn.
+func TestRunDurableAdmitHeavy(t *testing.T) {
+	dir := t.TempDir()
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-inprocess", "1", "-requests", "40", "-concurrency", "4",
+		"-sets", "8", "-tasks", "4", "-seed", "7",
+		"-mix", "admit-heavy", "-state-dir", dir, "-fsync", "always",
+		"-label", "wal=always",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("run = %d, want 0; stderr:\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "BenchmarkServe/wal=always/admit ") {
+		t.Errorf("output missing admit line:\n%s", stdout.String())
+	}
+	wal, err := os.ReadFile(filepath.Join(dir, "node0", "wal.log"))
+	if err != nil {
+		t.Fatalf("reading node WAL: %v", err)
+	}
+	if len(wal) <= 8 {
+		t.Errorf("WAL holds %d bytes, want records beyond the header", len(wal))
+	}
+}
+
 func TestRunFlagValidation(t *testing.T) {
 	cases := [][]string{
 		{}, // neither targets nor inprocess
@@ -57,6 +87,8 @@ func TestRunFlagValidation(t *testing.T) {
 		{"-inprocess", "1", "-mix", "bogus=1"},
 		{"-inprocess", "1", "-mix", "analyze=0"},
 		{"-targets", "not-a-pair"},
+		{"-inprocess", "1", "-fsync", "sometimes"},
+		{"-targets", "a=http://x", "-state-dir", "/tmp/x"},
 	}
 	for _, args := range cases {
 		var stdout, stderr bytes.Buffer
@@ -73,6 +105,14 @@ func TestParseMix(t *testing.T) {
 	}
 	if m.total != 10 || len(m.ops) != 3 {
 		t.Fatalf("mix = %+v, want total 10 over 3 ops", m)
+	}
+	// The admit-heavy preset expands to a fixed weighted table.
+	m, err = parseMix("admit-heavy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.total != 10 || len(m.ops) != 3 || m.ops[0].name != "admit" || m.ops[0].weight != 8 {
+		t.Fatalf("admit-heavy = %+v, want admit=8,analyze=1,stream=1", m)
 	}
 	// Zero-weight entries are dropped, not errors: a mix of only
 	// analyzes is a legitimate cache-focused run.

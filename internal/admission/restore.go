@@ -1,0 +1,84 @@
+package admission
+
+import (
+	"fmt"
+
+	"fpgasched/internal/task"
+)
+
+// The methods here serve the durability layer (internal/durable): WAL
+// replay rebuilds controllers without re-proving, and the server's
+// apply-then-log mutation order needs exact inverses to roll back a
+// mutation whose log append failed.
+
+// ForceAdmit inserts t without running the schedulability analysis. It
+// exists for WAL replay: t was proven schedulable when it was admitted
+// live and the analyses are deterministic, so re-proving on recovery
+// would spend an exact analysis per resident to learn a recorded fact.
+// Name, duplicate and intrinsic-validity checks still apply — a log
+// that fails them is corrupt, not merely stale.
+func (c *Controller) ForceAdmit(t task.Task) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t.Name == "" {
+		return fmt.Errorf("admission: replayed task must be named")
+	}
+	if _, dup := c.byName[t.Name]; dup {
+		return fmt.Errorf("admission: replayed task %q already resident", t.Name)
+	}
+	if err := t.Validate(); err != nil {
+		return fmt.Errorf("admission: replayed task: %w", err)
+	}
+	next := c.resident.Clone()
+	next.Tasks = append(next.Tasks, t)
+	c.resident = next
+	c.byName[t.Name] = c.resident.Len() - 1
+	return nil
+}
+
+// Remove removes a resident task by name, returning the removed task
+// and the index it occupied so Reinsert can restore it exactly. It is
+// Release with a rollback handle; ok is false if absent.
+func (c *Controller) Remove(name string) (t task.Task, idx int, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	idx, ok = c.byName[name]
+	if !ok {
+		return task.Task{}, 0, false
+	}
+	t = c.resident.Tasks[idx]
+	next := task.NewSet()
+	next.Tasks = append(next.Tasks, c.resident.Tasks[:idx]...)
+	next.Tasks = append(next.Tasks, c.resident.Tasks[idx+1:]...)
+	c.resident = next
+	c.byName = make(map[string]int, len(next.Tasks))
+	for i, rt := range next.Tasks {
+		c.byName[rt.Name] = i
+	}
+	return t, idx, true
+}
+
+// Reinsert restores t at index idx — the inverse of Remove, for
+// rolling back a release whose log append failed. The set it restores
+// was resident (and therefore proven) moments ago, so no re-analysis
+// is run.
+func (c *Controller) Reinsert(t task.Task, idx int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if idx < 0 || idx > c.resident.Len() {
+		return fmt.Errorf("admission: reinsert index %d outside resident set of %d", idx, c.resident.Len())
+	}
+	if _, dup := c.byName[t.Name]; dup {
+		return fmt.Errorf("admission: reinserted task %q already resident", t.Name)
+	}
+	next := task.NewSet()
+	next.Tasks = append(next.Tasks, c.resident.Tasks[:idx]...)
+	next.Tasks = append(next.Tasks, t)
+	next.Tasks = append(next.Tasks, c.resident.Tasks[idx:]...)
+	c.resident = next
+	c.byName = make(map[string]int, len(next.Tasks))
+	for i, rt := range next.Tasks {
+		c.byName[rt.Name] = i
+	}
+	return nil
+}

@@ -1,0 +1,177 @@
+// Package durable persists controller mutations so a restarted daemon
+// resumes with its tenants intact (ROADMAP item 2, DESIGN.md
+// "Durability"). It is a write-ahead log plus snapshot store:
+//
+//   - every successful mutation of the admission and 2-D placement
+//     registries (create/admit/release/drop) is appended to an
+//     append-only log of CRC32C-framed, length-prefixed JSON records,
+//     flushed under a configurable fsync policy;
+//   - once the log outgrows a size threshold it is compacted into a
+//     full resident-set snapshot (written atomically) and truncated;
+//   - Open replays snapshot-then-log into a deterministic state image
+//     that the server rebuilds live controllers from.
+//
+// The log records decisions, not requests: an admit record carries the
+// admitted task (and, for placements, the assigned rectangle), never
+// the analysis that justified it. Replay therefore reconstructs the
+// exact resident sets without re-running any schedulability test, and
+// certificates are re-derived on demand — the analyses are
+// deterministic functions of the resident set, so a re-requested
+// certificate is byte-identical to the pre-crash one.
+package durable
+
+import (
+	"fmt"
+
+	"fpgasched/internal/task"
+	"fpgasched/internal/timeunit"
+	"fpgasched/internal/twod"
+)
+
+// Op is a mutation record's type tag.
+type Op string
+
+// The mutation vocabulary. One record per acknowledged mutation; the
+// decision payload rides along so replay never re-analyses.
+const (
+	// OpCreateController creates a 1-D admission controller (Columns,
+	// Tests).
+	OpCreateController Op = "create_controller"
+	// OpDeleteController drops a 1-D controller and its residents.
+	OpDeleteController Op = "delete_controller"
+	// OpAdmit admits Task into a 1-D controller.
+	OpAdmit Op = "admit"
+	// OpRelease releases the resident TaskName from a 1-D controller.
+	OpRelease Op = "release"
+	// OpCreatePlacement creates a 2-D placement controller (Width,
+	// Height, Heuristic).
+	OpCreatePlacement Op = "create_placement"
+	// OpDeletePlacement drops a 2-D placement controller.
+	OpDeletePlacement Op = "delete_placement"
+	// OpPlace places Task2D at the assigned Rect under placement ID.
+	OpPlace Op = "place"
+	// OpUnplace releases the placed TaskName from a 2-D controller.
+	OpUnplace Op = "unplace"
+)
+
+// Rect is the durable form of a placed rectangle.
+type Rect struct {
+	X int `json:"x"`
+	Y int `json:"y"`
+	W int `json:"w"`
+	H int `json:"h"`
+}
+
+// RectFrom converts a layout rectangle to its durable form.
+func RectFrom(r twod.Rect) Rect { return Rect{X: r.X, Y: r.Y, W: r.W, H: r.H} }
+
+// Model converts back to the layout form.
+func (r Rect) Model() twod.Rect { return twod.Rect{X: r.X, Y: r.Y, W: r.W, H: r.H} }
+
+// Task2D is the durable form of a 2-D task: durations as decimal
+// strings, like the v1 wire form, so the log stays exact and
+// human-auditable.
+type Task2D struct {
+	Name string `json:"name"`
+	C    string `json:"c"`
+	D    string `json:"d"`
+	T    string `json:"t"`
+	W    int    `json:"w"`
+	H    int    `json:"h"`
+}
+
+// Task2DFrom converts a model task to its durable form.
+func Task2DFrom(t twod.Task) Task2D {
+	return Task2D{Name: t.Name, C: t.C.String(), D: t.D.String(), T: t.T.String(), W: t.W, H: t.H}
+}
+
+// Model parses the durable form back into a model task.
+func (t Task2D) Model() (twod.Task, error) {
+	out := twod.Task{Name: t.Name, W: t.W, H: t.H}
+	var err error
+	if out.C, err = timeunit.Parse(t.C); err != nil {
+		return out, fmt.Errorf("durable: task %q: field c: %w", t.Name, err)
+	}
+	if out.D, err = timeunit.Parse(t.D); err != nil {
+		return out, fmt.Errorf("durable: task %q: field d: %w", t.Name, err)
+	}
+	if out.T, err = timeunit.Parse(t.T); err != nil {
+		return out, fmt.Errorf("durable: task %q: field t: %w", t.Name, err)
+	}
+	return out, nil
+}
+
+// Record is one logged mutation. Seq is assigned by the store on
+// append, strictly increasing across the store's lifetime (snapshots
+// record the last sequence they cover, so replay can skip log records
+// a snapshot already absorbed). Which payload fields are meaningful
+// depends on Op; the rest stay at their zero values and are omitted
+// from the wire form.
+type Record struct {
+	Seq uint64 `json:"seq"`
+	Op  Op     `json:"op"`
+	// Controller names the registry entry the op applies to.
+	Controller string `json:"controller"`
+	// Columns and Tests configure a created 1-D controller.
+	Columns int      `json:"columns,omitempty"`
+	Tests   []string `json:"tests,omitempty"`
+	// Task is the admitted 1-D task.
+	Task *task.Task `json:"task,omitempty"`
+	// TaskName keys a release/unplace.
+	TaskName string `json:"task_name,omitempty"`
+	// Width, Height and Heuristic configure a created placement
+	// controller.
+	Width     int    `json:"width,omitempty"`
+	Height    int    `json:"height,omitempty"`
+	Heuristic string `json:"heuristic,omitempty"`
+	// Task2D, Rect and ID record a placement decision: the task, the
+	// rectangle the live heuristic assigned it, and the layout ID it
+	// occupies. Replay re-places at the recorded rectangle (twod's
+	// PlaceAt), never re-runs the heuristic, so a recovered layout is
+	// exact even where heuristic tie-breaking depends on history.
+	Task2D *Task2D `json:"task2d,omitempty"`
+	Rect   *Rect   `json:"rect,omitempty"`
+	ID     int64   `json:"id,omitempty"`
+}
+
+// ControllerState is one 1-D admission controller's full recovered
+// state: its configuration plus the resident tasks in admission order
+// (order matters — resident snapshots serve tasks in that order).
+type ControllerState struct {
+	Name    string      `json:"name"`
+	Columns int         `json:"columns"`
+	Tests   []string    `json:"tests"`
+	Tasks   []task.Task `json:"tasks,omitempty"`
+}
+
+// PlacedTask is one resident 2-D task with its assigned rectangle and
+// layout ID.
+type PlacedTask struct {
+	Task Task2D `json:"task"`
+	Rect Rect   `json:"rect"`
+	ID   int64  `json:"id"`
+}
+
+// PlacementState is one 2-D placement controller's full recovered
+// state. NextID preserves the layout ID counter so post-recovery
+// placements never collide with recovered ones.
+type PlacementState struct {
+	Name      string       `json:"name"`
+	Width     int          `json:"width"`
+	Height    int          `json:"height"`
+	Heuristic string       `json:"heuristic"`
+	NextID    int64        `json:"next_id"`
+	Tasks     []PlacedTask `json:"tasks,omitempty"`
+}
+
+// Snapshot is the full resident-set image: what compaction writes and
+// what Open hands the server to rebuild live controllers from.
+// Controllers and Placements are sorted by name, so a snapshot is a
+// deterministic function of the state it captures.
+type Snapshot struct {
+	// LastSeq is the highest record sequence this snapshot absorbs;
+	// replay skips log records at or below it.
+	LastSeq     uint64            `json:"last_seq"`
+	Controllers []ControllerState `json:"controllers,omitempty"`
+	Placements  []PlacementState  `json:"placements,omitempty"`
+}

@@ -1,0 +1,94 @@
+package durable
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// loadSnapshot reads the snapshot file, returning (nil, nil) when none
+// exists. Unlike a torn WAL tail, a corrupt snapshot is a hard error:
+// it is written atomically (tmp + rename), so damage means something
+// other than a crash-interrupted append went wrong, and silently
+// starting empty would drop every tenant the snapshot held.
+func loadSnapshot(dir string) (*Snapshot, error) {
+	data, err := os.ReadFile(filepath.Join(dir, snapFileName))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("durable: reading snapshot: %w", err)
+	}
+	if len(data) < magicLen+frameHeaderLen || !bytes.Equal(data[:magicLen], []byte(snapMagic)) {
+		return nil, fmt.Errorf("durable: snapshot: bad magic (not a %s snapshot file)", snapMagic)
+	}
+	body := data[magicLen:]
+	n := int(binary.LittleEndian.Uint32(body[0:4]))
+	sum := binary.LittleEndian.Uint32(body[4:8])
+	if n != len(body)-frameHeaderLen {
+		return nil, fmt.Errorf("durable: snapshot: framed length %d does not match file size", n)
+	}
+	payload := body[frameHeaderLen:]
+	if crc32.Checksum(payload, crcTable) != sum {
+		return nil, fmt.Errorf("durable: snapshot: CRC mismatch")
+	}
+	var snap Snapshot
+	dec := json.NewDecoder(bytes.NewReader(payload))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&snap); err != nil {
+		return nil, fmt.Errorf("durable: decoding snapshot: %w", err)
+	}
+	return &snap, nil
+}
+
+// writeSnapshot atomically replaces the snapshot file: write to a
+// temp file, fsync it, rename over the old snapshot, fsync the
+// directory. A crash at any point leaves either the old snapshot or
+// the new one, never a mix — which is why replay can trust LastSeq to
+// decide which WAL records the snapshot already absorbed.
+func writeSnapshot(dir string, snap *Snapshot) error {
+	payload, err := json.Marshal(snap)
+	if err != nil {
+		return fmt.Errorf("durable: encoding snapshot: %w", err)
+	}
+	data := frame(append([]byte(nil), snapMagic...), payload)
+	tmp := filepath.Join(dir, snapTmpFileName)
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("durable: creating snapshot: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("durable: writing snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("durable: syncing snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("durable: closing snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, snapFileName)); err != nil {
+		return fmt.Errorf("durable: installing snapshot: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a rename within it is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("durable: opening state dir: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("durable: syncing state dir: %w", err)
+	}
+	return nil
+}

@@ -120,6 +120,9 @@ func (s *Server) handlePlacementCheck(w http.ResponseWriter, r *http.Request) {
 // ---- /v1/placement/controllers ----
 
 func (s *Server) handlePlacementList(w http.ResponseWriter, r *http.Request) {
+	if !s.controllersReady(w) {
+		return
+	}
 	s.pmu.RLock()
 	type namedTenant struct {
 		name string
@@ -139,6 +142,9 @@ func (s *Server) handlePlacementList(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handlePlacementCreate(w http.ResponseWriter, r *http.Request) {
+	if !s.controllersReady(w) || !s.mutable(w) {
+		return
+	}
 	name := r.PathValue("name")
 	var req api.PlacementControllerRequest
 	if err := decodeJSON(r, &req); err != nil {
@@ -172,22 +178,73 @@ func (s *Server) handlePlacementCreate(w http.ResponseWriter, r *http.Request) {
 				WithDetail("limit", strconv.Itoa(s.maxControllers)))
 		return
 	}
+	// Hold the new tenant's lock across publish + record so a racing
+	// admit cannot append its record before the create's (the same
+	// ordering discipline handleControllerCreate keeps with wmu).
+	t.mu.Lock()
 	s.placements[name] = t
 	s.pmu.Unlock()
+	if err := s.record(recCreatePlacement(name, req.Width, req.Height, heur.String())); err != nil {
+		s.pmu.Lock()
+		if cur, ok := s.placements[name]; ok && cur == t {
+			delete(s.placements, name)
+		}
+		s.pmu.Unlock()
+		t.mu.Unlock()
+		writeError(w, storeFailed(err))
+		return
+	}
+	t.mu.Unlock()
 	writeJSON(w, http.StatusCreated, t.info(name))
 }
 
 func (s *Server) handlePlacementDelete(w http.ResponseWriter, r *http.Request) {
+	if !s.controllersReady(w) || !s.mutable(w) {
+		return
+	}
 	name := r.PathValue("name")
-	s.pmu.Lock()
-	_, ok := s.placements[name]
-	delete(s.placements, name)
-	s.pmu.Unlock()
+	s.pmu.RLock()
+	t, ok := s.placements[name]
+	s.pmu.RUnlock()
 	if !ok {
 		writeError(w, api.Errorf(api.CodeNotFound, "no placement controller %q", name))
 		return
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s.pmu.Lock()
+	if cur, ok := s.placements[name]; !ok || cur != t {
+		s.pmu.Unlock()
+		writeError(w, api.Errorf(api.CodeNotFound, "no placement controller %q", name))
+		return
+	}
+	delete(s.placements, name)
+	s.pmu.Unlock()
+	if err := s.record(recDeletePlacement(name)); err != nil {
+		s.pmu.Lock()
+		if _, taken := s.placements[name]; !taken {
+			s.placements[name] = t
+		}
+		s.pmu.Unlock()
+		writeError(w, storeFailed(err))
+		return
+	}
 	w.WriteHeader(http.StatusNoContent)
+}
+
+// stillRegistered2D is the placement twin of stillRegistered: after
+// taking t.mu a mutation re-checks that a concurrent delete has not
+// unregistered the tenant, so no record is appended for a controller
+// whose delete record already landed.
+func (s *Server) stillRegistered2D(w http.ResponseWriter, name string, t *tenant2D) bool {
+	s.pmu.RLock()
+	cur, ok := s.placements[name]
+	s.pmu.RUnlock()
+	if !ok || cur != t {
+		writeError(w, api.Errorf(api.CodeNotFound, "no placement controller %q", name))
+		return false
+	}
+	return true
 }
 
 // lookup2D fetches a placement tenant or writes a 404.
@@ -202,7 +259,11 @@ func (s *Server) lookup2D(w http.ResponseWriter, name string) (*tenant2D, bool) 
 }
 
 func (s *Server) handlePlacementAdmit(w http.ResponseWriter, r *http.Request) {
-	t, ok := s.lookup2D(w, r.PathValue("name"))
+	if !s.controllersReady(w) || !s.mutable(w) {
+		return
+	}
+	name := r.PathValue("name")
+	t, ok := s.lookup2D(w, name)
 	if !ok {
 		return
 	}
@@ -226,13 +287,16 @@ func (s *Server) handlePlacementAdmit(w http.ResponseWriter, r *http.Request) {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if !s.stillRegistered2D(w, name, t) {
+		return
+	}
 	if _, dup := t.tasks[tk.Name]; dup {
 		writeError(w, api.Errorf(api.CodeConflict, "task %q is already placed (release it first)", tk.Name))
 		return
 	}
 	if s.maxTasks > 0 && len(t.tasks) >= s.maxTasks {
 		writeErrorStatus(w, http.StatusConflict,
-			api.Errorf(api.CodeLimitExceeded, "placement controller %q is at the %d-task resident capacity", r.PathValue("name"), s.maxTasks).
+			api.Errorf(api.CodeLimitExceeded, "placement controller %q is at the %d-task resident capacity", name, s.maxTasks).
 				WithDetail("limit", strconv.Itoa(s.maxTasks)))
 		return
 	}
@@ -252,32 +316,58 @@ func (s *Server) handlePlacementAdmit(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
+	// The record carries the assigned rectangle and ID, not the
+	// heuristic inputs: replay re-places at exactly this region, so
+	// recovered layouts match even where heuristic tie-breaking depends
+	// on the full arrival history.
+	if err := s.record(recPlace(name, tk, rect, t.nextID)); err != nil {
+		t.layout.Remove(t.nextID)
+		t.nextID--
+		writeError(w, storeFailed(err))
+		return
+	}
 	t.tasks[tk.Name] = placed2D{task: tk, rect: rect, id: t.nextID}
 	wr := api.RectFrom(rect)
 	writeJSON(w, http.StatusOK, api.PlacementAdmitResponse{Admitted: true, Rect: &wr})
 }
 
 func (s *Server) handlePlacementRelease(w http.ResponseWriter, r *http.Request) {
-	t, ok := s.lookup2D(w, r.PathValue("name"))
+	if !s.controllersReady(w) || !s.mutable(w) {
+		return
+	}
+	name := r.PathValue("name")
+	t, ok := s.lookup2D(w, name)
 	if !ok {
 		return
 	}
 	taskName := r.PathValue("task")
 	t.mu.Lock()
-	p, resident := t.tasks[taskName]
-	if resident {
-		t.layout.Remove(p.id)
-		delete(t.tasks, taskName)
+	defer t.mu.Unlock()
+	if !s.stillRegistered2D(w, name, t) {
+		return
 	}
-	t.mu.Unlock()
+	p, resident := t.tasks[taskName]
 	if !resident {
-		writeError(w, api.Errorf(api.CodeNotFound, "no placed task %q in placement controller %q", taskName, r.PathValue("name")))
+		writeError(w, api.Errorf(api.CodeNotFound, "no placed task %q in placement controller %q", taskName, name))
+		return
+	}
+	t.layout.Remove(p.id)
+	delete(t.tasks, taskName)
+	if err := s.record(recUnplace(name, taskName)); err != nil {
+		// Exact inverse: the freed region cannot have been claimed —
+		// t.mu is still held.
+		_ = t.layout.PlaceAt(p.id, p.rect)
+		t.tasks[taskName] = p
+		writeError(w, storeFailed(err))
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
 }
 
 func (s *Server) handlePlacementResident(w http.ResponseWriter, r *http.Request) {
+	if !s.controllersReady(w) {
+		return
+	}
 	name := r.PathValue("name")
 	t, ok := s.lookup2D(w, name)
 	if !ok {

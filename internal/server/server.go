@@ -149,6 +149,17 @@ type Config struct {
 	// endpoint behaves identically either way, peer mode only changes
 	// where cache hits come from.
 	Fleet *cluster.Fleet
+	// Store persists controller mutations for crash recovery
+	// (internal/durable). Nil (the default) disables persistence
+	// entirely — zero behavior change on every endpoint. Tests wire it
+	// here; fpgaschedd uses AttachStore after replaying, so the
+	// listener can be up (and /readyz honestly 503) during recovery.
+	Store Store
+	// StartNotReady makes the controller and placement surfaces (and
+	// /readyz) answer 503 not_ready until MarkReady is called.
+	// fpgaschedd sets it when -state-dir is configured, holding
+	// readiness down for the replay window.
+	StartNotReady bool
 }
 
 // Server is the HTTP API. Create with New; it implements http.Handler.
@@ -168,6 +179,14 @@ type Server struct {
 	fleet          *cluster.Fleet // nil in single-node mode
 	draining       atomic.Bool    // flips once; /readyz turns 503
 
+	// Durability (see durable.go). store is an atomic pointer because
+	// AttachStore runs while the listener serves; degraded latches on
+	// the first failed WAL append; notReady holds the controller
+	// surfaces down until recovery finishes.
+	store    atomic.Pointer[storeRef]
+	degraded atomic.Bool
+	notReady atomic.Bool
+
 	cmu         sync.RWMutex
 	controllers map[string]*tenant
 
@@ -184,6 +203,12 @@ type tenant struct {
 	ctrl    *admission.Controller
 	columns int
 	tests   []string
+	// wmu serialises this tenant's mutations with their WAL appends
+	// (and with the tenant's registry membership): every mutation holds
+	// it across [apply + record], so the log order per controller
+	// equals the apply order, and a delete cannot interleave between a
+	// racing admit's apply and its append.
+	wmu sync.Mutex
 }
 
 // New returns a ready-to-serve Server.
@@ -196,6 +221,10 @@ func New(cfg Config) *Server {
 		metrics:      make(map[string]*api.RouteMetrics),
 		fleet:        cfg.Fleet,
 	}
+	if cfg.Store != nil {
+		s.store.Store(&storeRef{s: cfg.Store})
+	}
+	s.notReady.Store(cfg.StartNotReady)
 	if s.engine == nil {
 		s.engine = engine.New(cfg.EngineConfig)
 		s.ownedEngine = true
@@ -370,7 +399,7 @@ func statusFor(code api.ErrorCode) int {
 		return http.StatusNotFound
 	case api.CodeConflict:
 		return http.StatusConflict
-	case api.CodeCancelled, api.CodeUnavailable, api.CodeNotReady, api.CodePeerUnavailable:
+	case api.CodeCancelled, api.CodeUnavailable, api.CodeNotReady, api.CodePeerUnavailable, api.CodeStoreFailed:
 		return http.StatusServiceUnavailable
 	case api.CodeInternal:
 		return http.StatusInternalServerError
@@ -494,6 +523,10 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		writeError(w, api.Errorf(api.CodeNotReady, "draining for shutdown"))
 		return
 	}
+	if s.notReady.Load() {
+		writeError(w, api.Errorf(api.CodeNotReady, "recovering controller state from the durable store"))
+		return
+	}
 	writeJSON(w, http.StatusOK, api.HealthResponse{Status: "ok"})
 }
 
@@ -557,6 +590,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.fleet != nil {
 		resp.Cluster = s.fleet.Metrics()
+	}
+	if st := s.getStore(); st != nil {
+		wm := api.WALMetricsFrom(st.Metrics())
+		// The server's latch can trip before the store's (a rollback
+		// failure path), so report degraded if either side saw it.
+		wm.Degraded = wm.Degraded || s.degraded.Load()
+		resp.WAL = &wm
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -842,6 +882,9 @@ func (s *Server) tenantInfo(name string, t *tenant) api.ControllerInfo {
 }
 
 func (s *Server) handleControllerList(w http.ResponseWriter, r *http.Request) {
+	if !s.controllersReady(w) {
+		return
+	}
 	// Snapshot under the registry lock, then query each tenant after
 	// releasing it: ctrl.Len() takes the per-controller mutex, which an
 	// in-flight admission analysis can hold for a long time, and
@@ -865,6 +908,9 @@ func (s *Server) handleControllerList(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleControllerCreate(w http.ResponseWriter, r *http.Request) {
+	if !s.controllersReady(w) || !s.mutable(w) {
+		return
+	}
 	name := r.PathValue("name")
 	var req api.ControllerRequest
 	if err := decodeJSON(r, &req); err != nil {
@@ -906,19 +952,58 @@ func (s *Server) handleControllerCreate(w http.ResponseWriter, r *http.Request) 
 		return
 	}
 	t := &tenant{ctrl: ctrl, columns: req.Columns, tests: clean}
+	// Hold the new tenant's write lock across publish + record so a
+	// racing admit (which takes wmu after finding the tenant in the
+	// map) cannot append its record before the create's.
+	t.wmu.Lock()
 	s.controllers[name] = t
 	s.cmu.Unlock()
+	if err := s.record(recCreateController(name, req.Columns, clean)); err != nil {
+		s.cmu.Lock()
+		if cur, ok := s.controllers[name]; ok && cur == t {
+			delete(s.controllers, name)
+		}
+		s.cmu.Unlock()
+		t.wmu.Unlock()
+		writeError(w, storeFailed(err))
+		return
+	}
+	t.wmu.Unlock()
 	writeJSON(w, http.StatusCreated, s.tenantInfo(name, t))
 }
 
 func (s *Server) handleControllerDelete(w http.ResponseWriter, r *http.Request) {
+	if !s.controllersReady(w) || !s.mutable(w) {
+		return
+	}
 	name := r.PathValue("name")
-	s.cmu.Lock()
-	_, ok := s.controllers[name]
-	delete(s.controllers, name)
-	s.cmu.Unlock()
+	s.cmu.RLock()
+	t, ok := s.controllers[name]
+	s.cmu.RUnlock()
 	if !ok {
 		writeError(w, api.Errorf(api.CodeNotFound, "no controller %q", name))
+		return
+	}
+	// Serialise with in-flight admits/releases on this tenant so the
+	// delete record cannot land between a racing mutation's apply and
+	// its append.
+	t.wmu.Lock()
+	defer t.wmu.Unlock()
+	s.cmu.Lock()
+	if cur, ok := s.controllers[name]; !ok || cur != t {
+		s.cmu.Unlock()
+		writeError(w, api.Errorf(api.CodeNotFound, "no controller %q", name))
+		return
+	}
+	delete(s.controllers, name)
+	s.cmu.Unlock()
+	if err := s.record(recDeleteController(name)); err != nil {
+		s.cmu.Lock()
+		if _, taken := s.controllers[name]; !taken {
+			s.controllers[name] = t
+		}
+		s.cmu.Unlock()
+		writeError(w, storeFailed(err))
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -935,8 +1020,27 @@ func (s *Server) lookup(w http.ResponseWriter, name string) (*tenant, bool) {
 	return t, ok
 }
 
+// stillRegistered re-checks that t is the live tenant under name. A
+// mutation that took t.wmu after a lookup may have lost a race with a
+// delete; without this check its record would resurrect state for a
+// controller the log says is gone.
+func (s *Server) stillRegistered(w http.ResponseWriter, name string, t *tenant) bool {
+	s.cmu.RLock()
+	cur, ok := s.controllers[name]
+	s.cmu.RUnlock()
+	if !ok || cur != t {
+		writeError(w, api.Errorf(api.CodeNotFound, "no controller %q", name))
+		return false
+	}
+	return true
+}
+
 func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
-	t, ok := s.lookup(w, r.PathValue("name"))
+	if !s.controllersReady(w) || !s.mutable(w) {
+		return
+	}
+	name := r.PathValue("name")
+	t, ok := s.lookup(w, name)
 	if !ok {
 		return
 	}
@@ -952,8 +1056,13 @@ func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
 	// at most the in-flight request count.
 	if s.maxTasks > 0 && t.ctrl.Len() >= s.maxTasks {
 		writeErrorStatus(w, http.StatusConflict,
-			api.Errorf(api.CodeLimitExceeded, "controller %q is at the %d-task resident capacity", r.PathValue("name"), s.maxTasks).
+			api.Errorf(api.CodeLimitExceeded, "controller %q is at the %d-task resident capacity", name, s.maxTasks).
 				WithDetail("limit", strconv.Itoa(s.maxTasks)))
+		return
+	}
+	t.wmu.Lock()
+	defer t.wmu.Unlock()
+	if !s.stillRegistered(w, name, t) {
 		return
 	}
 	d := t.ctrl.Request(r.Context(), tk)
@@ -964,23 +1073,51 @@ func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, api.Errorf(api.CodeCancelled, "admission analysis aborted: %v", d.Err))
 		return
 	}
+	// Only admissions mutate state; a rejection has nothing to persist.
+	if d.Admitted {
+		if err := s.record(recAdmit(name, tk)); err != nil {
+			t.ctrl.Release(tk.Name)
+			writeError(w, storeFailed(err))
+			return
+		}
+	}
 	writeJSON(w, http.StatusOK, api.AdmitResponse{Admitted: d.Admitted, ProvedBy: d.ProvedBy, Reason: d.Reason, Certificate: d.Certificate})
 }
 
 func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
-	t, ok := s.lookup(w, r.PathValue("name"))
+	if !s.controllersReady(w) || !s.mutable(w) {
+		return
+	}
+	name := r.PathValue("name")
+	t, ok := s.lookup(w, name)
 	if !ok {
 		return
 	}
 	taskName := r.PathValue("task")
-	if !t.ctrl.Release(taskName) {
-		writeError(w, api.Errorf(api.CodeNotFound, "no resident task %q in controller %q", taskName, r.PathValue("name")))
+	t.wmu.Lock()
+	defer t.wmu.Unlock()
+	if !s.stillRegistered(w, name, t) {
+		return
+	}
+	// Remove keeps a rollback handle (the task and its slot) so a failed
+	// append restores the resident set exactly, order included.
+	tk, idx, ok := t.ctrl.Remove(taskName)
+	if !ok {
+		writeError(w, api.Errorf(api.CodeNotFound, "no resident task %q in controller %q", taskName, name))
+		return
+	}
+	if err := s.record(recRelease(name, taskName)); err != nil {
+		_ = t.ctrl.Reinsert(tk, idx)
+		writeError(w, storeFailed(err))
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
 }
 
 func (s *Server) handleResident(w http.ResponseWriter, r *http.Request) {
+	if !s.controllersReady(w) {
+		return
+	}
 	name := r.PathValue("name")
 	t, ok := s.lookup(w, name)
 	if !ok {

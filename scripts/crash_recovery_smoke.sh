@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Crash-recovery smoke: boot a real fpgaschedd with a state directory,
+# drive an admit mix over HTTP, kill -9 it, restart over the same
+# directory, and assert the recovered daemon reports ready and serves
+# byte-identical resident state. The restart-to-ready wall clock
+# (exec + listen + WAL replay) is archived in bench format as
+# bench-results/BENCH_recovery.json, alongside BENCH_serve.json.
+#
+# CI runs this; it is also a developer entry point: make crash-smoke.
+set -euo pipefail
+
+addr=127.0.0.1:18090
+base=http://$addr
+state=$(mktemp -d)
+bin=/tmp/fpgaschedd-crash-smoke
+out=bench-results
+daemon=
+trap 'kill -9 "$daemon" 2>/dev/null || true; rm -rf "$state"' EXIT
+
+go build -o "$bin" ./cmd/fpgaschedd
+mkdir -p "$out"
+
+await_ready() {
+  for _ in $(seq 1 100); do
+    curl -fsS "$base/readyz" >/dev/null 2>&1 && return 0
+    sleep 0.1
+  done
+  echo "daemon did not become ready" >&2
+  return 1
+}
+
+"$bin" -addr "$addr" -state-dir "$state" -fsync always &
+daemon=$!
+await_ready
+
+# Admit mix: a 1-D controller with admits and a release, plus a 2-D
+# placement grid — every durable record family the WAL persists.
+curl -fsS -X PUT -H 'Content-Type: application/json' \
+  -d '{"columns":10}' "$base/v1/controllers/edge0" >/dev/null
+for t in a b c d; do
+  curl -fsS -X POST -H 'Content-Type: application/json' \
+    -d "{\"name\":\"$t\",\"c\":\"1\",\"d\":\"6\",\"t\":\"6\",\"a\":2}" \
+    "$base/v1/controllers/edge0/admit" >/dev/null
+done
+curl -fsS -X DELETE "$base/v1/controllers/edge0/tasks/b" >/dev/null
+curl -fsS -X PUT -H 'Content-Type: application/json' \
+  -d '{"width":8,"height":8,"heuristic":"bottom-left"}' \
+  "$base/v1/placement/controllers/grid" >/dev/null
+curl -fsS -X POST -H 'Content-Type: application/json' \
+  -d '{"name":"p1","c":"2","d":"9","t":"9","w":2,"h":3}' \
+  "$base/v1/placement/controllers/grid/admit" >/dev/null
+
+curl -fsS "$base/v1/controllers/edge0/resident" > /tmp/crash-smoke.resident.before.json
+curl -fsS "$base/v1/placement/controllers/grid/resident" > /tmp/crash-smoke.grid.before.json
+
+kill -9 "$daemon"
+wait "$daemon" 2>/dev/null || true
+
+start_ns=$(date +%s%N)
+"$bin" -addr "$addr" -state-dir "$state" -fsync always &
+daemon=$!
+await_ready
+ready_ns=$(( $(date +%s%N) - start_ns ))
+
+curl -fsS "$base/v1/controllers/edge0/resident" > /tmp/crash-smoke.resident.after.json
+curl -fsS "$base/v1/placement/controllers/grid/resident" > /tmp/crash-smoke.grid.after.json
+diff /tmp/crash-smoke.resident.before.json /tmp/crash-smoke.resident.after.json
+diff /tmp/crash-smoke.grid.before.json /tmp/crash-smoke.grid.after.json
+curl -fsS "$base/metrics" | grep -q '"replayed_records"'
+echo "crash recovery: resident state byte-identical after kill -9 (ready in ${ready_ns}ns)"
+
+printf 'BenchmarkServe/recovery/restart-to-ready \t1\t%d ns/op\n' "$ready_ns" \
+  | tee "$out/BENCH_recovery.txt"
+go run ./cmd/benchjson -in "$out/BENCH_recovery.txt" -out "$out/BENCH_recovery.json"
