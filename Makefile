@@ -17,8 +17,11 @@ race:
 # (uploaded as a CI workflow artifact — the BENCH_*.json trajectory for
 # future perf PRs). BENCH_core.json tracks the numeric-layer kernels:
 # the production fast path next to its frozen big.Rat reference build
-# (internal/core/bigref) plus the internal/rat micro-benchmarks, so the
-# speedup and allocation reduction are re-measured on every archive.
+# (internal/core/bigref) plus the internal/rat and internal/interval
+# micro-benchmarks, so the speedup and allocation reduction are
+# re-measured on every archive. The GN2/GN1/DP patterns also match the
+# *Screened variants (interval pre-filter on, the serving default) next
+# to the screen-off baselines.
 # `make bench-all` runs every benchmark in the repo.
 bench:
 	mkdir -p bench-results
@@ -26,6 +29,7 @@ bench:
 	$(GO) test -bench 'BenchmarkTable|BenchmarkAnalysisScaling|BenchmarkCompositeVsSingle' -benchtime 100x -run XXX . | tee bench-results/BENCH_gn2.txt
 	$(GO) test -bench 'BenchmarkGN2Sweep|BenchmarkGN2xSweep|BenchmarkGN1|BenchmarkDP' -benchtime 10x -run XXX ./internal/core/ | tee bench-results/BENCH_core.txt
 	$(GO) test -bench 'BenchmarkRat' -run XXX ./internal/rat/ | tee -a bench-results/BENCH_core.txt
+	$(GO) test -bench 'BenchmarkInterval' -run XXX ./internal/interval/ | tee -a bench-results/BENCH_core.txt
 	$(GO) run ./cmd/benchjson -in bench-results/BENCH_engine.txt -out bench-results/BENCH_engine.json
 	$(GO) run ./cmd/benchjson -in bench-results/BENCH_gn2.txt -out bench-results/BENCH_gn2.json
 	$(GO) run ./cmd/benchjson -in bench-results/BENCH_core.txt -out bench-results/BENCH_core.json

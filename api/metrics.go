@@ -23,6 +23,15 @@ type EngineStats struct {
 	CacheLen int `json:"cache_len"`
 	CacheCap int `json:"cache_cap"`
 	Workers  int `json:"workers"`
+	// Screen reports whether the kernels' certified interval pre-filter
+	// is enabled; ScreenDecided/ScreenEscalated aggregate, over
+	// completed analyses, the bounds it disposed of without exact
+	// arithmetic vs the bounds escalated to the exact kernel. Both
+	// counters stay zero (and are omitted) when the screen is off
+	// (additive v1 fields).
+	Screen          bool   `json:"screen"`
+	ScreenDecided   uint64 `json:"screen_decided,omitempty"`
+	ScreenEscalated uint64 `json:"screen_escalated,omitempty"`
 	// Tests breaks the cache and analysis counters down by test name, so
 	// operators can see which registry entries are hot and how well each
 	// memoizes. Keys are canonical registry identifiers. Absent until the
@@ -31,30 +40,42 @@ type EngineStats struct {
 }
 
 // TestCounters is the per-test-name slice of the engine counters: cache
-// hits, misses and analyses actually executed for one registry entry.
+// hits, misses, analyses actually executed, and the interval screen's
+// decided/escalated bound counts for one registry entry.
 type TestCounters struct {
-	Hits     uint64 `json:"hits"`
-	Misses   uint64 `json:"misses"`
-	Analyses uint64 `json:"analyses"`
+	Hits            uint64 `json:"hits"`
+	Misses          uint64 `json:"misses"`
+	Analyses        uint64 `json:"analyses"`
+	ScreenDecided   uint64 `json:"screen_decided,omitempty"`
+	ScreenEscalated uint64 `json:"screen_escalated,omitempty"`
 }
 
 // EngineStatsFrom converts an engine snapshot to its wire form.
 func EngineStatsFrom(s engine.Stats) EngineStats {
 	out := EngineStats{
-		Hits:          s.Hits,
-		Misses:        s.Misses,
-		Evictions:     s.Evictions,
-		Analyses:      s.Analyses,
-		AnalysisNanos: s.AnalysisNanos,
-		InFlight:      s.InFlight,
-		CacheLen:      s.CacheLen,
-		CacheCap:      s.CacheCap,
-		Workers:       s.Workers,
+		Hits:            s.Hits,
+		Misses:          s.Misses,
+		Evictions:       s.Evictions,
+		Analyses:        s.Analyses,
+		AnalysisNanos:   s.AnalysisNanos,
+		InFlight:        s.InFlight,
+		CacheLen:        s.CacheLen,
+		CacheCap:        s.CacheCap,
+		Workers:         s.Workers,
+		Screen:          s.Screen,
+		ScreenDecided:   s.ScreenDecided,
+		ScreenEscalated: s.ScreenEscalated,
 	}
 	if len(s.Tests) > 0 {
 		out.Tests = make(map[string]TestCounters, len(s.Tests))
 		for name, c := range s.Tests {
-			out.Tests[name] = TestCounters{Hits: c.Hits, Misses: c.Misses, Analyses: c.Analyses}
+			out.Tests[name] = TestCounters{
+				Hits:            c.Hits,
+				Misses:          c.Misses,
+				Analyses:        c.Analyses,
+				ScreenDecided:   c.ScreenDecided,
+				ScreenEscalated: c.ScreenEscalated,
+			}
 		}
 	}
 	return out

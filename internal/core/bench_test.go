@@ -42,10 +42,26 @@ func benchAnalyze(b *testing.B, ctx context.Context, t core.Test, n int) {
 	}
 }
 
-// BenchmarkGN2Sweep is the acceptance benchmark: the production λ
-// sweep on a 100-task set (serial, as a request under full engine load
-// runs it).
+// noScreen pins a benchmark to the pure exact path so the pre-screen
+// numbers stay comparable across runs (the interval screen is on by
+// default everywhere else).
+func noScreen() context.Context {
+	return core.WithScreen(context.Background(), false)
+}
+
+// BenchmarkGN2Sweep is the pre-screen acceptance benchmark: the
+// production λ sweep on a 100-task set (serial, as a request under
+// full engine load runs it), interval screen off for baseline
+// continuity with earlier archives.
 func BenchmarkGN2Sweep(b *testing.B) {
+	benchAnalyze(b, noScreen(), core.GN2Test{}, 100)
+}
+
+// BenchmarkGN2SweepScreened is the same sweep with the certified
+// interval pre-filter on (the serving default): strictly-violated
+// candidates are discarded by directed-rounding float intervals and
+// only straddling ones reach the exact kernel.
+func BenchmarkGN2SweepScreened(b *testing.B) {
 	benchAnalyze(b, context.Background(), core.GN2Test{}, 100)
 }
 
@@ -60,6 +76,13 @@ func BenchmarkGN2SweepRef(b *testing.B) {
 // checks fanned across all CPUs (engine.Config.SweepWorkers < 0), the
 // single-large-analysis latency configuration.
 func BenchmarkGN2SweepParallel(b *testing.B) {
+	ctx := core.WithSweepWorkers(noScreen(), runtime.GOMAXPROCS(0))
+	benchAnalyze(b, ctx, core.GN2Test{}, 100)
+}
+
+// BenchmarkGN2SweepParallelScreened stacks both latency levers: the
+// interval screen plus the fanned per-task checks.
+func BenchmarkGN2SweepParallelScreened(b *testing.B) {
 	ctx := core.WithSweepWorkers(context.Background(), runtime.GOMAXPROCS(0))
 	benchAnalyze(b, ctx, core.GN2Test{}, 100)
 }
@@ -67,11 +90,23 @@ func BenchmarkGN2SweepParallel(b *testing.B) {
 // BenchmarkGN2xSweep covers the extended-λ variant (a superset
 // candidate list, so proportionally more per-candidate work).
 func BenchmarkGN2xSweep(b *testing.B) {
+	benchAnalyze(b, noScreen(), core.GN2Test{Options: core.GN2Options{ExtendedLambdaSearch: true}}, 100)
+}
+
+func BenchmarkGN2xSweepScreened(b *testing.B) {
 	benchAnalyze(b, context.Background(), core.GN2Test{Options: core.GN2Options{ExtendedLambdaSearch: true}}, 100)
 }
 
 // BenchmarkGN1 / BenchmarkGN1Ref measure the O(N²) interference test.
 func BenchmarkGN1(b *testing.B) {
+	benchAnalyze(b, noScreen(), core.GN1Test{}, 100)
+}
+
+// BenchmarkGN1Screened runs GN1 with the screen on. GN1 certificates
+// need the exact per-task sums regardless, so the screen only replaces
+// the final comparisons — expect parity with BenchmarkGN1, archived to
+// prove the screen costs nothing where it cannot win.
+func BenchmarkGN1Screened(b *testing.B) {
 	benchAnalyze(b, context.Background(), core.GN1Test{}, 100)
 }
 
@@ -81,6 +116,12 @@ func BenchmarkGN1Ref(b *testing.B) {
 
 // BenchmarkDP / BenchmarkDPRef measure the closed-form bound.
 func BenchmarkDP(b *testing.B) {
+	benchAnalyze(b, noScreen(), core.DPTest{}, 100)
+}
+
+// BenchmarkDPScreened: as with GN1, the DP certificate is exact either
+// way; the screened variant documents comparison-only screening parity.
+func BenchmarkDPScreened(b *testing.B) {
 	benchAnalyze(b, context.Background(), core.DPTest{}, 100)
 }
 

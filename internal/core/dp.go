@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"fpgasched/internal/interval"
 	"fpgasched/internal/rat"
 	"fpgasched/internal/task"
 )
@@ -78,12 +79,38 @@ func (dp DPTest) Analyze(ctx context.Context, dev Device, s *task.Set) Verdict {
 		usAcc.Add(rat.FromFrac(int64(t.C), int64(t.T)).Mul(rat.FromInt(int64(t.A))))
 	}
 	us := usAcc.R()
+	// The interval screen decides the per-task comparison when certain.
+	// As with GN1, every certificate carries the exact US(Γ) and bound,
+	// so the screen skips no exact value computation — only the
+	// (already cheap) exact comparison; its counters feed the
+	// escalation-rate metrics.
+	var sct *screenCounters
+	var ius interval.I
+	if ScreenOn(ctx) {
+		sct = new(screenCounters)
+		ius = interval.FromRat(us)
+	}
 	v := Verdict{Test: name, Schedulable: true, FailingTask: -1}
 	for k, tk := range s.Tasks {
 		// RHS = Abnd·(1 − UT(τk)) + US(τk)
 		ut := rat.FromFrac(int64(tk.C), int64(tk.T))
 		rhs := rat.One.Sub(ut).Mul(abnd).Add(ut.Mul(rat.FromInt(int64(tk.A))))
-		ok := us.Cmp(rhs) <= 0
+		var ok bool
+		if sct != nil {
+			// Non-strict "≤": satisfied ⇔ us ≤ rhs.
+			if irhs := interval.FromRat(rhs); ius.AllLessEq(irhs) {
+				sct.decided++
+				ok = true
+			} else if ius.AllGreater(irhs) {
+				sct.decided++
+				ok = false
+			} else {
+				sct.escalated++
+				ok = us.Cmp(rhs) <= 0
+			}
+		} else {
+			ok = us.Cmp(rhs) <= 0
+		}
 		v.Checks = append(v.Checks, BoundCheck{
 			TaskIndex: k,
 			LHS:       us.Rat(),
@@ -95,6 +122,9 @@ func (dp DPTest) Analyze(ctx context.Context, dev Device, s *task.Set) Verdict {
 			v.FailingTask = k
 			v.Reason = fmt.Sprintf("US(Γ)=%s exceeds bound %s at task %d", us.RatString(), rhs.RatString(), k)
 		}
+	}
+	if sct != nil {
+		screenStatsFrom(ctx).add(sct.decided, sct.escalated)
 	}
 	return v
 }

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"fpgasched/internal/interval"
 	"fpgasched/internal/rat"
 	"fpgasched/internal/task"
 )
@@ -121,6 +122,9 @@ func (g GN2Test) Analyze(ctx context.Context, dev Device, s *task.Set) Verdict {
 	abnd := rat.FromInt(int64(dev.Columns - s.AMax() + 1))
 	amin := rat.FromInt(int64(s.AMin()))
 	sw := g.newSweep(s, abnd, amin)
+	if ScreenOn(ctx) {
+		sw.initScreen(screenStatsFrom(ctx))
+	}
 	n := len(s.Tasks)
 	checks := make([]BoundCheck, n)
 
@@ -131,7 +135,7 @@ func (g GN2Test) Analyze(ctx context.Context, dev Device, s *task.Set) Verdict {
 	if workers <= 1 {
 		sc := sw.newScratch()
 		for k := 0; k < n; k++ {
-			chk, err := sw.checkTask(ctx, k, sc)
+			chk, err := sw.check(ctx, k, sc)
 			if err != nil {
 				return aborted(name, err)
 			}
@@ -155,7 +159,7 @@ func (g GN2Test) Analyze(ctx context.Context, dev Device, s *task.Set) Verdict {
 					if k >= n {
 						return
 					}
-					chk, err := sw.checkTask(ctx, k, sc)
+					chk, err := sw.check(ctx, k, sc)
 					if err != nil {
 						once.Do(func() { first = err })
 						stop.Store(true)
@@ -198,6 +202,21 @@ type gn2Sweep struct {
 	dens          []rat.R // Ci/Di
 	area          []rat.R // Ai
 	cands         []rat.R // sorted, deduplicated {Ci/Ti} ∪ {Ci/Di : Di > Ti}
+
+	// Interval-screen state (initScreen; nil/false when the screen is
+	// off): certified float64 enclosures of the sweep invariants, so the
+	// screened candidate loop touches no exact arithmetic beyond the λk
+	// range check until a candidate straddles a bound.
+	screen         bool
+	stats          *ScreenStats
+	fui            []interval.I // encloses ui
+	fdens          []interval.I // encloses dens
+	farea          []float64    // Ai exactly (small integers)
+	fC             []interval.I // encloses Ci (ticks)
+	fD             []interval.I // encloses Di (ticks)
+	fabnd          interval.I
+	famin          interval.I
+	fabndMinusAmin interval.I
 }
 
 // newSweep precomputes the sweep invariants: per-task rationals once
@@ -231,6 +250,30 @@ func (g GN2Test) newSweep(s *task.Set, abnd, amin rat.R) *gn2Sweep {
 	return sw
 }
 
+// initScreen switches the sweep onto the interval-screened path and
+// precomputes float64 enclosures of every sweep invariant. Counters are
+// flushed to stats (which may be nil) once per task check.
+func (sw *gn2Sweep) initScreen(stats *ScreenStats) {
+	sw.screen = true
+	sw.stats = stats
+	n := len(sw.s.Tasks)
+	sw.fui = make([]interval.I, n)
+	sw.fdens = make([]interval.I, n)
+	sw.farea = make([]float64, n)
+	sw.fC = make([]interval.I, n)
+	sw.fD = make([]interval.I, n)
+	for i, ti := range sw.s.Tasks {
+		sw.fui[i] = interval.FromRat(sw.ui[i])
+		sw.fdens[i] = interval.FromRat(sw.dens[i])
+		sw.farea[i] = float64(ti.A)
+		sw.fC[i] = interval.FromInt(int64(ti.C))
+		sw.fD[i] = interval.FromInt(int64(ti.D))
+	}
+	sw.fabnd = interval.FromRat(sw.abnd)
+	sw.famin = interval.FromRat(sw.amin)
+	sw.fabndMinusAmin = interval.FromRat(sw.abndMinusAmin)
+}
+
 // gn2Scratch is the per-worker reusable state: the λ-independent
 // case-1 βs of the task under analysis, the extended-search candidate
 // buffer, and the exact sum accumulators. Nothing in it survives a
@@ -240,15 +283,40 @@ type gn2Scratch struct {
 	cand       []rat.R // extended-search candidate merge buffer
 	sum1, sum2 *rat.Acc
 	last       *rat.Acc // condition-2 LHS of the last tried candidate
+
+	// Screened-path scratch: enclosures of the hoisted case-1 βs and,
+	// per interfering task, the first candidate index at which the β
+	// case switches (the candidate list is sorted, so the exact
+	// per-term case comparisons collapse to two index thresholds,
+	// resolved by binary search once per task instead of twice per
+	// (i, λ) pair).
+	fb1  []interval.I
+	thrU []int // first candidate index with λ >= Ci/Ti (case 1)
+	thrD []int // first candidate index with λ >= Ci/Di (middle case)
 }
 
 func (sw *gn2Sweep) newScratch() *gn2Scratch {
-	return &gn2Scratch{
+	sc := &gn2Scratch{
 		b1:   make([]rat.R, len(sw.s.Tasks)),
 		sum1: new(rat.Acc),
 		sum2: new(rat.Acc),
 		last: new(rat.Acc),
 	}
+	if sw.screen {
+		n := len(sw.s.Tasks)
+		sc.fb1 = make([]interval.I, n)
+		sc.thrU = make([]int, n)
+		sc.thrD = make([]int, n)
+	}
+	return sc
+}
+
+// check dispatches one task check to the screened or exact sweep.
+func (sw *gn2Sweep) check(ctx context.Context, k int, sc *gn2Scratch) (BoundCheck, error) {
+	if sw.screen {
+		return sw.checkTaskScreened(ctx, k, sc)
+	}
+	return sw.checkTask(ctx, k, sc)
 }
 
 // checkTask searches the finite λ candidate set for one that satisfies
@@ -259,7 +327,6 @@ func (sw *gn2Sweep) newScratch() *gn2Scratch {
 // sc or on the stack.
 func (sw *gn2Sweep) checkTask(ctx context.Context, k int, sc *gn2Scratch) (BoundCheck, error) {
 	tk := sw.s.Tasks[k]
-	uk := sw.ui[k]
 	dk := int64(tk.D)
 
 	// Hoisted per-candidate invariants: the case-1 β of every task i is
@@ -298,57 +365,213 @@ func (sw *gn2Sweep) checkTask(ctx context.Context, k int, sc *gn2Scratch) (Bound
 			// T3-RANGE, found by the dense-λ completeness test).
 			continue
 		}
-
-		// One pass accumulates both condition sums exactly; β is
-		// selected per task from the hoisted case-1 value or computed
-		// in-place for the λ-dependent cases.
-		sc.sum1.Reset()
-		sc.sum2.Reset()
-		for i := range sw.ui {
-			var beta rat.R
-			ui := sw.ui[i]
-			if ui.Cmp(lambda) <= 0 {
-				beta = sc.b1[i]
-			} else if lambda.Cmp(sw.dens[i]) >= 0 {
-				// Middle case: reachable only when Ci/Di < λ < Ci/Ti,
-				// i.e. Di > Ti. Printed value is Ck/Tk (L7-CASE2);
-				// Baker's TR uses a task-i quantity, approximated here
-				// by Ci/Di when selected.
-				if sw.g.Options.CaseTwoBaker {
-					beta = sw.dens[i]
-				} else {
-					beta = uk
-				}
-			} else {
-				// Ci/Ti + (Ci − λ·Di)/Dk.
-				ti := sw.s.Tasks[i]
-				carry := rat.FromInt(int64(ti.C)).Sub(lambda.Mul(rat.FromInt(int64(ti.D)))).Quo(rat.FromInt(dk))
-				beta = ui.Add(carry)
-			}
-			sc.sum1.Add(sw.area[i].Mul(rat.Min(beta, oneMinus)))
-			sc.sum2.Add(sw.area[i].Mul(rat.Min(beta, rat.One)))
+		chk, rhs2, accepted := sw.evalCandidate(k, lambda, oneMinus, sc)
+		if accepted {
+			return chk, nil
 		}
-
-		// Condition 1: Σ Ai·min(β, 1−λk) < Abnd·(1−λk), strict.
-		rhs1 := sw.abnd.Mul(oneMinus)
-		if sc.sum1.Cmp(rhs1) < 0 {
-			return BoundCheck{LHS: sc.sum1.Rat(), RHS: rhs1.Rat(), Satisfied: true, Lambda: lambda.Rat(), Condition: 1}, nil
-		}
-
-		// Condition 2: Σ Ai·min(β, 1) vs (Abnd−Amin)·(1−λk) + Amin.
-		rhs2 := sw.abndMinusAmin.Mul(oneMinus).Add(sw.amin)
-		cmp := sc.sum2.Cmp(rhs2)
-		if cmp < 0 || (sw.g.Options.CondTwoNonStrict && cmp == 0) {
-			return BoundCheck{LHS: sc.sum2.Rat(), RHS: rhs2.Rat(), Satisfied: true, Lambda: lambda.Rat(), Condition: 2}, nil
-		}
-		// Keep the failed condition-2 evidence without copying: swap
-		// the accumulator with the scratch's holding slot.
-		sc.sum2, sc.last = sc.last, sc.sum2
 		lastRHS = rhs2
 		lastValid = true
 	}
 	if !lastValid {
 		return BoundCheck{}, nil
+	}
+	return BoundCheck{LHS: sc.last.Rat(), RHS: lastRHS.Rat(), Satisfied: false}, nil
+}
+
+// evalCandidate evaluates conditions 1 and 2 exactly for one λ
+// candidate (whose λk ≤ 1 the caller has established). On acceptance it
+// returns the satisfied BoundCheck. Otherwise it parks the condition-2
+// LHS in sc.last and returns the condition-2 RHS, which together form
+// the failing certificate's evidence if this turns out to be the last
+// candidate. Both the exact and the screened sweep paths funnel through
+// here, so a candidate is evaluated identically no matter how it was
+// reached — the screen cannot perturb certificates.
+func (sw *gn2Sweep) evalCandidate(k int, lambda, oneMinus rat.R, sc *gn2Scratch) (BoundCheck, rat.R, bool) {
+	uk := sw.ui[k]
+	dk := int64(sw.s.Tasks[k].D)
+
+	// One pass accumulates both condition sums exactly; β is
+	// selected per task from the hoisted case-1 value or computed
+	// in-place for the λ-dependent cases.
+	sc.sum1.Reset()
+	sc.sum2.Reset()
+	for i := range sw.ui {
+		var beta rat.R
+		ui := sw.ui[i]
+		if ui.Cmp(lambda) <= 0 {
+			beta = sc.b1[i]
+		} else if lambda.Cmp(sw.dens[i]) >= 0 {
+			// Middle case: reachable only when Ci/Di < λ < Ci/Ti,
+			// i.e. Di > Ti. Printed value is Ck/Tk (L7-CASE2);
+			// Baker's TR uses a task-i quantity, approximated here
+			// by Ci/Di when selected.
+			if sw.g.Options.CaseTwoBaker {
+				beta = sw.dens[i]
+			} else {
+				beta = uk
+			}
+		} else {
+			// Ci/Ti + (Ci − λ·Di)/Dk.
+			ti := sw.s.Tasks[i]
+			carry := rat.FromInt(int64(ti.C)).Sub(lambda.Mul(rat.FromInt(int64(ti.D)))).Quo(rat.FromInt(dk))
+			beta = ui.Add(carry)
+		}
+		sc.sum1.Add(sw.area[i].Mul(rat.Min(beta, oneMinus)))
+		sc.sum2.Add(sw.area[i].Mul(rat.Min(beta, rat.One)))
+	}
+
+	// Condition 1: Σ Ai·min(β, 1−λk) < Abnd·(1−λk), strict.
+	rhs1 := sw.abnd.Mul(oneMinus)
+	if sc.sum1.Cmp(rhs1) < 0 {
+		return BoundCheck{LHS: sc.sum1.Rat(), RHS: rhs1.Rat(), Satisfied: true, Lambda: lambda.Rat(), Condition: 1}, rat.R{}, true
+	}
+
+	// Condition 2: Σ Ai·min(β, 1) vs (Abnd−Amin)·(1−λk) + Amin.
+	rhs2 := sw.abndMinusAmin.Mul(oneMinus).Add(sw.amin)
+	cmp := sc.sum2.Cmp(rhs2)
+	if cmp < 0 || (sw.g.Options.CondTwoNonStrict && cmp == 0) {
+		return BoundCheck{LHS: sc.sum2.Rat(), RHS: rhs2.Rat(), Satisfied: true, Lambda: lambda.Rat(), Condition: 2}, rat.R{}, true
+	}
+	// Keep the failed condition-2 evidence without copying: swap
+	// the accumulator with the scratch's holding slot.
+	sc.sum2, sc.last = sc.last, sc.sum2
+	return BoundCheck{}, rhs2, false
+}
+
+// oneIv is condition 2's constant cap as an exact interval.
+var oneIv = interval.Point(1)
+
+// checkTaskScreened is checkTask with the certified interval pre-filter
+// in front of the exact kernel. Every candidate's conditions are first
+// evaluated on float64 enclosures; a candidate whose condition-1 AND
+// condition-2 intervals certainly violate cannot be the accepting one
+// (the enclosure invariant makes "certainly violated" imply "exactly
+// violated"), so its exact evaluation is skipped. Any other candidate —
+// straddling, or certainly satisfied — escalates to evalCandidate, so
+// the first accepting candidate, its certificate values, and the
+// task-order failing attribution are byte-identical to the exact sweep
+// (enforced by the screen-on/screen-off/bigref differential suite).
+func (sw *gn2Sweep) checkTaskScreened(ctx context.Context, k int, sc *gn2Scratch) (BoundCheck, error) {
+	tk := sw.s.Tasks[k]
+	dk := int64(tk.D)
+	var decided, escalated uint64
+	defer func() { sw.stats.add(decided, escalated) }()
+
+	// Hoisted exactly as in checkTask — the exact case-1 βs also feed
+	// every escalated evaluation — plus their enclosures.
+	for i, ti := range sw.s.Tasks {
+		ui := sw.ui[i]
+		alt := rat.One.Sub(rat.FromFrac(int64(ti.D), dk)).Mul(ui).Add(rat.FromFrac(int64(ti.C), dk))
+		sc.b1[i] = rat.Max(ui, alt)
+		sc.fb1[i] = interval.FromRat(sc.b1[i])
+	}
+
+	scaled := tk.T > tk.D
+	var mK rat.R
+	if scaled {
+		mK = rat.FromFrac(int64(tk.T), int64(tk.D))
+	}
+
+	cands := sw.candidatesFor(k, sc)
+	// The candidate list is sorted ascending, so the exact per-term β
+	// case tests "λ ≥ Ci/Ti" and "λ ≥ Ci/Di" hold exactly for the
+	// candidates at or beyond a threshold index, found once per task by
+	// binary search. The screened inner loop then selects β cases by
+	// integer comparison — bit-identically to the exact comparisons.
+	for i := range sw.ui {
+		ui, di := sw.ui[i], sw.dens[i]
+		sc.thrU[i] = sort.Search(len(cands), func(j int) bool { return cands[j].Cmp(ui) >= 0 })
+		sc.thrD[i] = sort.Search(len(cands), func(j int) bool { return cands[j].Cmp(di) >= 0 })
+	}
+
+	fDk := sw.fD[k]
+	var lastRHS rat.R
+	lastIdx, lastExactIdx := -1, -1
+	for ci, lambda := range cands {
+		if err := ctx.Err(); err != nil {
+			return BoundCheck{}, err
+		}
+		// The λk range check stays exact: it is O(1) per candidate and
+		// gates which candidates are "tried" at all, which the failing
+		// certificate's last-candidate evidence depends on.
+		lambdaK := lambda
+		if scaled {
+			lambdaK = lambda.Mul(mK)
+		}
+		oneMinus := rat.One.Sub(lambdaK)
+		if oneMinus.Sign() < 0 {
+			continue
+		}
+		lastIdx = ci
+
+		fLambda := interval.FromRat(lambda)
+		fOneMinus := interval.FromRat(oneMinus)
+		var s1, s2 interval.Acc
+		for i := range sw.ui {
+			var fb interval.I
+			if ci >= sc.thrU[i] {
+				fb = sc.fb1[i]
+			} else if ci >= sc.thrD[i] {
+				if sw.g.Options.CaseTwoBaker {
+					fb = sw.fdens[i]
+				} else {
+					fb = sw.fui[k]
+				}
+			} else {
+				fb = sw.fui[i].Add(sw.fC[i].Sub(fLambda.Mul(sw.fD[i])).Quo(fDk))
+			}
+			s1.AddScaled(sw.farea[i], interval.Min(fb, fOneMinus))
+			s2.AddScaled(sw.farea[i], interval.Min(fb, oneIv))
+		}
+
+		// A candidate is screened out only when BOTH conditions are
+		// certainly violated on the enclosures; condition 1 is strict
+		// "<" (violated ⇔ ≥), condition 2's violation depends on the
+		// strictness option.
+		violated := s1.I().AllGreaterEq(sw.fabnd.Mul(fOneMinus))
+		if violated {
+			frhs2 := sw.fabndMinusAmin.Mul(fOneMinus).Add(sw.famin)
+			if sw.g.Options.CondTwoNonStrict {
+				violated = s2.I().AllGreater(frhs2)
+			} else {
+				violated = s2.I().AllGreaterEq(frhs2)
+			}
+		}
+		if violated {
+			decided++
+			continue
+		}
+		escalated++
+		chk, rhs2, accepted := sw.evalCandidate(k, lambda, oneMinus, sc)
+		if accepted {
+			return chk, nil
+		}
+		lastRHS = rhs2
+		lastExactIdx = ci
+	}
+	if lastIdx < 0 {
+		return BoundCheck{}, nil
+	}
+	if lastExactIdx != lastIdx {
+		// No candidate accepted and the last tried one was screened
+		// out — but the failing certificate carries exactly its
+		// condition-2 evidence. Re-derive it with the exact kernel (it
+		// migrates from decided to escalated: its exact values were
+		// needed after all). Acceptance here is impossible for a sound
+		// screen, but the exact kernel keeps authority if it happens.
+		decided--
+		escalated++
+		lambda := cands[lastIdx]
+		lambdaK := lambda
+		if scaled {
+			lambdaK = lambda.Mul(mK)
+		}
+		oneMinus := rat.One.Sub(lambdaK)
+		chk, rhs2, accepted := sw.evalCandidate(k, lambda, oneMinus, sc)
+		if accepted {
+			return chk, nil
+		}
+		lastRHS = rhs2
 	}
 	return BoundCheck{LHS: sc.last.Rat(), RHS: lastRHS.Rat(), Satisfied: false}, nil
 }

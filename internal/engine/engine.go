@@ -76,6 +76,14 @@ type Config struct {
 	// bit-for-bit identical for every setting — parallelism is
 	// deliberately excluded from the cache key.
 	SweepWorkers int
+	// DisableScreen turns off the kernels' certified interval pre-filter
+	// (core.WithScreen), forcing every bound through exact arithmetic.
+	// The screen is verdict-invariant — differential-tested to produce
+	// byte-identical certificates — so this is a debugging and
+	// benchmarking affordance, not a correctness knob, and like
+	// SweepWorkers it is excluded from the cache key. The zero value
+	// (screen on) is the production default.
+	DisableScreen bool
 }
 
 // Defaults for Config zero values.
@@ -106,6 +114,16 @@ type Stats struct {
 	// SweepWorkers is the resolved per-analysis sweep parallelism
 	// (Config.SweepWorkers; 1 means serial sweeps).
 	SweepWorkers int
+	// Screen reports whether the interval pre-filter is enabled
+	// (Config.DisableScreen inverted).
+	Screen bool
+	// ScreenDecided and ScreenEscalated aggregate the kernels' interval
+	// screen counters across completed analyses: bounds disposed of with
+	// no exact arithmetic vs bounds that escalated to the exact kernel
+	// (straddling enclosures and always-verified certificate values).
+	// Both stay zero when the screen is disabled. Aborted analyses
+	// contribute nothing, mirroring the Analyses counter.
+	ScreenDecided, ScreenEscalated uint64
 	// Tests breaks hits, misses and executed analyses down by test name
 	// (the cache key's test component), so operators can see which
 	// registry entries are hot and how well each one's verdicts memoize.
@@ -114,9 +132,11 @@ type Stats struct {
 }
 
 // TestStats is the per-test-name slice of the engine counters. The
-// hit/miss/analysis semantics match the aggregate fields of Stats.
+// hit/miss/analysis semantics match the aggregate fields of Stats, and
+// the screen counters the aggregate ScreenDecided/ScreenEscalated.
 type TestStats struct {
-	Hits, Misses, Analyses uint64
+	Hits, Misses, Analyses         uint64
+	ScreenDecided, ScreenEscalated uint64
 }
 
 // Request names one analysis: a taskset against a device under a test.
@@ -152,7 +172,8 @@ var errAbandoned = errors.New("engine: analysis abandoned by cancelled owner")
 type Engine struct {
 	sem          chan struct{} // worker pool: acquire to run an analysis
 	closed       chan struct{}
-	sweepWorkers int // resolved Config.SweepWorkers (>= 1)
+	sweepWorkers int  // resolved Config.SweepWorkers (>= 1)
+	screenOff    bool // Config.DisableScreen
 
 	mu       sync.Mutex
 	cache    *lru
@@ -160,9 +181,10 @@ type Engine struct {
 
 	stats struct {
 		sync.Mutex
-		hits, misses, evictions uint64
-		analyses, nanos         uint64
-		perTest                 map[string]*TestStats
+		hits, misses, evictions        uint64
+		analyses, nanos                uint64
+		screenDecided, screenEscalated uint64
+		perTest                        map[string]*TestStats
 	}
 }
 
@@ -197,6 +219,7 @@ func New(cfg Config) *Engine {
 		sem:          make(chan struct{}, cfg.Workers),
 		closed:       make(chan struct{}),
 		sweepWorkers: sweep,
+		screenOff:    cfg.DisableScreen,
 		cache:        cache,
 		inflight:     make(map[cacheKey]*call),
 	}
@@ -400,8 +423,15 @@ func (e *Engine) own(ctx context.Context, r Request, perm []int, k cacheKey, c *
 	for pos, orig := range perm {
 		canon.Tasks[pos] = r.Set.Tasks[orig]
 	}
+	// One counter sink per analysis: harvested only on successful
+	// completion (below), so aborted sweeps contribute no screen
+	// counters, mirroring the Analyses counter.
+	var ss *core.ScreenStats
+	if !e.screenOff {
+		ss = new(core.ScreenStats)
+	}
 	start := time.Now()
-	v, runErr := e.runAnalysis(ctx, r, canon)
+	v, runErr := e.runAnalysis(ctx, r, canon, ss)
 	elapsed := time.Since(start)
 	if runErr == nil && v.Err != nil {
 		// The test aborted mid-analysis (the owner's context was
@@ -433,7 +463,15 @@ func (e *Engine) own(ctx context.Context, r Request, perm []int, k cacheKey, c *
 	e.stats.Lock()
 	e.stats.analyses++
 	e.stats.nanos += uint64(elapsed.Nanoseconds())
-	e.perTestLocked(k.test).Analyses++
+	ts := e.perTestLocked(k.test)
+	ts.Analyses++
+	if ss != nil {
+		d, esc := ss.Decided.Load(), ss.Escalated.Load()
+		e.stats.screenDecided += d
+		e.stats.screenEscalated += esc
+		ts.ScreenDecided += d
+		ts.ScreenEscalated += esc
+	}
 	e.stats.Unlock()
 
 	c.verdict = v
@@ -559,7 +597,7 @@ func (e *Engine) AnalyzeAll(ctx context.Context, reqs []Request) ([]core.Verdict
 // owner's ctx reaches inside the test: GN2's λ sweep polls it, so a
 // disconnected client aborts a long analysis mid-run instead of
 // pinning the slot until the sweep finishes.
-func (e *Engine) runAnalysis(ctx context.Context, r Request, canon *task.Set) (v core.Verdict, err error) {
+func (e *Engine) runAnalysis(ctx context.Context, r Request, canon *task.Set, ss *core.ScreenStats) (v core.Verdict, err error) {
 	defer func() { <-e.sem }()
 	defer func() {
 		if p := recover(); p != nil {
@@ -570,6 +608,13 @@ func (e *Engine) runAnalysis(ctx context.Context, r Request, canon *task.Set) (v
 	// λ sweep fans its independent per-task checks across this many
 	// goroutines (verdict-invariant, so it stays out of the cache key).
 	ctx = core.WithSweepWorkers(ctx, e.sweepWorkers)
+	// The interval screen is equally verdict-invariant: disable it when
+	// configured off, otherwise attach this analysis's counter sink.
+	if e.screenOff {
+		ctx = core.WithScreen(ctx, false)
+	} else if ss != nil {
+		ctx = core.WithScreenStats(ctx, ss)
+	}
 	return r.Test.Analyze(ctx, core.NewDevice(r.Columns), canon), nil
 }
 
@@ -577,13 +622,16 @@ func (e *Engine) runAnalysis(ctx context.Context, r Request, canon *task.Set) (v
 func (e *Engine) Stats() Stats {
 	e.stats.Lock()
 	s := Stats{
-		Hits:          e.stats.hits,
-		Misses:        e.stats.misses,
-		Evictions:     e.stats.evictions,
-		Analyses:      e.stats.analyses,
-		AnalysisNanos: e.stats.nanos,
-		Workers:       cap(e.sem),
-		SweepWorkers:  e.sweepWorkers,
+		Hits:            e.stats.hits,
+		Misses:          e.stats.misses,
+		Evictions:       e.stats.evictions,
+		Analyses:        e.stats.analyses,
+		AnalysisNanos:   e.stats.nanos,
+		Workers:         cap(e.sem),
+		SweepWorkers:    e.sweepWorkers,
+		Screen:          !e.screenOff,
+		ScreenDecided:   e.stats.screenDecided,
+		ScreenEscalated: e.stats.screenEscalated,
 	}
 	if len(e.stats.perTest) > 0 {
 		s.Tests = make(map[string]TestStats, len(e.stats.perTest))

@@ -79,26 +79,89 @@ func TestPerTestCounters(t *testing.T) {
 		t.Fatal(err)
 	}
 	st := e.Stats()
-	if got := st.Tests["GN2"]; got != (TestStats{Hits: 2, Misses: 1, Analyses: 1}) {
+	got := st.Tests["GN2"]
+	if got.Hits != 2 || got.Misses != 1 || got.Analyses != 1 {
 		t.Errorf("GN2 counters = %+v, want 2 hits, 1 miss, 1 analysis", got)
 	}
-	if got := st.Tests["DP"]; got != (TestStats{Misses: 1, Analyses: 1}) {
-		t.Errorf("DP counters = %+v, want 1 miss, 1 analysis", got)
+	if got.ScreenDecided+got.ScreenEscalated == 0 {
+		t.Errorf("GN2 analysis recorded no interval-screen activity: %+v", got)
 	}
-	var hits, misses, analyses uint64
+	gotDP := st.Tests["DP"]
+	if gotDP.Hits != 0 || gotDP.Misses != 1 || gotDP.Analyses != 1 {
+		t.Errorf("DP counters = %+v, want 1 miss, 1 analysis", gotDP)
+	}
+	// DP's screen classifies exactly one bound per task per analysis.
+	if sum := gotDP.ScreenDecided + gotDP.ScreenEscalated; sum != uint64(s.Len()) {
+		t.Errorf("DP screen counters = %+v, want decided+escalated = one bound per task = %d", gotDP, s.Len())
+	}
+	var hits, misses, analyses, dec, esc uint64
 	for _, ts := range st.Tests {
 		hits += ts.Hits
 		misses += ts.Misses
 		analyses += ts.Analyses
+		dec += ts.ScreenDecided
+		esc += ts.ScreenEscalated
 	}
 	if hits != st.Hits || misses != st.Misses || analyses != st.Analyses {
 		t.Errorf("per-test sums (%d/%d/%d) != aggregates (%d/%d/%d)",
 			hits, misses, analyses, st.Hits, st.Misses, st.Analyses)
 	}
+	if dec != st.ScreenDecided || esc != st.ScreenEscalated {
+		t.Errorf("per-test screen sums (%d/%d) != aggregates (%d/%d)",
+			dec, esc, st.ScreenDecided, st.ScreenEscalated)
+	}
 	// The map is a snapshot: mutating it must not reach the engine.
 	st.Tests["GN2"] = TestStats{}
 	if again := e.Stats().Tests["GN2"]; again.Hits != 2 {
 		t.Error("Stats().Tests aliases the engine's live counters")
+	}
+}
+
+// TestScreenCounterHarvest pins the engine half of the interval-screen
+// contract: counters accumulate only when an analysis actually runs
+// (cache hits add nothing), they are attributed to the analysed test's
+// name, and Config.DisableScreen both reports Screen=false and keeps
+// every counter at zero while still producing the identical verdict.
+func TestScreenCounterHarvest(t *testing.T) {
+	s := table3()
+	on := New(Config{Workers: 2, CacheSize: 16})
+	defer on.Close()
+	von, err := on.Analyze(context.Background(), Request{Columns: 10, Set: s, Test: core.GN2Test{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := on.Stats()
+	if !st.Screen {
+		t.Error("Stats.Screen = false on a default engine")
+	}
+	if st.ScreenDecided+st.ScreenEscalated == 0 {
+		t.Fatalf("no screen counters harvested: %+v", st)
+	}
+	// A cache hit runs no kernel: the counters must not move.
+	if _, err := on.Analyze(context.Background(), Request{Columns: 10, Set: s, Test: core.GN2Test{}}); err != nil {
+		t.Fatal(err)
+	}
+	st2 := on.Stats()
+	if st2.ScreenDecided != st.ScreenDecided || st2.ScreenEscalated != st.ScreenEscalated {
+		t.Errorf("cache hit moved screen counters: %+v -> %+v", st, st2)
+	}
+
+	off := New(Config{Workers: 2, CacheSize: 16, DisableScreen: true})
+	defer off.Close()
+	voff, err := off.Analyze(context.Background(), Request{Columns: 10, Set: s, Test: core.GN2Test{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stOff := off.Stats()
+	if stOff.Screen {
+		t.Error("Stats.Screen = true with DisableScreen")
+	}
+	if stOff.ScreenDecided != 0 || stOff.ScreenEscalated != 0 || stOff.Tests["GN2"].ScreenDecided != 0 {
+		t.Errorf("disabled screen accumulated counters: %+v", stOff)
+	}
+	// The screen is verdict-invariant through the engine too.
+	if von.Schedulable != voff.Schedulable || von.FailingTask != voff.FailingTask || von.Reason != voff.Reason {
+		t.Errorf("screen changed an engine verdict: on=%+v off=%+v", von, voff)
 	}
 }
 

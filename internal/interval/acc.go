@@ -1,0 +1,38 @@
+package interval
+
+// Acc is the interval mirror of rat.Acc: a running enclosure of an
+// exact sum for the screen's O(N)-term condition sums. Each Add widens
+// both bounds one ulp outward after the round-to-nearest addition, so
+// the accumulated interval encloses the exact rational sum after any
+// number of terms (an N-term sum is at most ~N ulps wider than
+// optimal — at float64 precision that is far below any boundary the
+// screen needs to resolve; genuinely near-boundary sums escalate to
+// rat.Acc, which is the point).
+//
+// The zero value is an accumulator holding the exact point 0. Acc is
+// not safe for concurrent use; kernels keep one per sweep worker,
+// exactly like rat.Acc.
+type Acc struct {
+	lo, hi float64
+}
+
+// Reset sets the accumulator to the exact point 0.
+func (a *Acc) Reset() { a.lo, a.hi = 0, 0 }
+
+// Add adds an enclosure x to the running sum.
+func (a *Acc) Add(x I) {
+	a.lo = dn(a.lo + x.Lo)
+	a.hi = up(a.hi + x.Hi)
+}
+
+// AddScaled adds c·x for an exact scalar c >= 0 (the kernels' task
+// areas), fusing MulPos and Add: one widening per rounding step.
+func (a *Acc) AddScaled(c float64, x I) {
+	a.lo = dn(a.lo + dn(c*x.Lo))
+	a.hi = up(a.hi + up(c*x.Hi))
+}
+
+// I returns the current enclosure of the sum. A NaN bound (possible
+// only if an Inf-degraded term was added) degrades to Whole, which
+// decides nothing.
+func (a *Acc) I() I { return fix(a.lo, a.hi) }

@@ -1,0 +1,63 @@
+package interval
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"fpgasched/internal/rat"
+)
+
+// benchIntervals mirrors internal/rat's benchOperands: tick-scale
+// rationals converted once, the operand profile the screened kernels
+// feed through the interval layer.
+func benchIntervals() []I {
+	r := rand.New(rand.NewPCG(42, 17))
+	vals := make([]I, 100)
+	for i := range vals {
+		vals[i] = FromRat(rat.FromFrac(1+r.Int64N(200000), 50000+r.Int64N(150000)))
+	}
+	return vals
+}
+
+// BenchmarkIntervalOps is the screened counterpart of BenchmarkRatOps:
+// the mul/min/add/compare mix a GN2 candidate check performs per term,
+// in directed-rounding interval arithmetic.
+func BenchmarkIntervalOps(b *testing.B) {
+	vals := benchIntervals()
+	seven := Point(7)
+	one := Point(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	sink := 0
+	for i := 0; i < b.N; i++ {
+		for j := 0; j+1 < len(vals); j++ {
+			term := vals[j].Mul(seven)
+			capped := Min(term, one)
+			s := vals[j].Add(vals[j+1])
+			if s.AllGreater(capped) {
+				sink++
+			}
+		}
+	}
+	_ = sink
+}
+
+// BenchmarkIntervalAccumulate is the screened counterpart of
+// BenchmarkRatAccumulate: a 100-term widened running sum.
+func BenchmarkIntervalAccumulate(b *testing.B) {
+	vals := benchIntervals()
+	var acc Acc
+	b.ReportAllocs()
+	b.ResetTimer()
+	sink := 0
+	for i := 0; i < b.N; i++ {
+		acc.Reset()
+		for _, v := range vals {
+			acc.Add(v)
+		}
+		if s, ok := acc.I().Sign(); ok {
+			sink += s
+		}
+	}
+	_ = sink
+}

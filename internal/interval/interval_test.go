@@ -1,0 +1,187 @@
+package interval
+
+import (
+	"math"
+	"math/big"
+	"testing"
+
+	"fpgasched/internal/rat"
+)
+
+// TestStepMatchesNextafter pins the hand-inlined directed-rounding
+// steppers to the library semantics they replace: up(v) must equal
+// math.Nextafter(v, +Inf) and dn(v) math.Nextafter(v, -Inf) for every
+// float64, including the load-bearing edge cases (zeros, subnormals,
+// MaxFloat64 stepping to Inf, and the infinities clamping back to
+// finite bounds). A drift here would silently break enclosure.
+func TestStepMatchesNextafter(t *testing.T) {
+	vals := []float64{
+		0, math.Copysign(0, -1),
+		minSubnormal, -minSubnormal,
+		1, -1, 0.1, -0.1,
+		1e300, -1e300,
+		math.MaxFloat64, -math.MaxFloat64,
+		math.SmallestNonzeroFloat64, -math.SmallestNonzeroFloat64,
+		posInf, negInf,
+	}
+	// A deterministic scatter of bit patterns across the exponent range.
+	for b := uint64(1); b != 0; b <<= 1 {
+		vals = append(vals, math.Float64frombits(b), math.Float64frombits(b|1<<63))
+		vals = append(vals, math.Float64frombits(b-1), math.Float64frombits((b-1)|1<<63))
+	}
+	for _, v := range vals {
+		if got, want := up(v), math.Nextafter(v, math.Inf(1)); got != want && !(math.IsNaN(got) && math.IsNaN(want)) {
+			t.Errorf("up(%g [%#x]) = %g, Nextafter = %g", v, math.Float64bits(v), got, want)
+		}
+		if got, want := dn(v), math.Nextafter(v, math.Inf(-1)); got != want && !(math.IsNaN(got) && math.IsNaN(want)) {
+			t.Errorf("dn(%g [%#x]) = %g, Nextafter = %g", v, math.Float64bits(v), got, want)
+		}
+	}
+	if got := up(math.NaN()); !math.IsNaN(got) {
+		t.Errorf("up(NaN) = %g, want NaN", got)
+	}
+	if got := dn(math.NaN()); !math.IsNaN(got) {
+		t.Errorf("dn(NaN) = %g, want NaN", got)
+	}
+}
+
+// ratOf converts a finite float64 bound to the exact rational it
+// represents (every finite float64 is a dyadic rational).
+func ratOf(t *testing.T, v float64) *big.Rat {
+	t.Helper()
+	if math.IsNaN(v) {
+		t.Fatal("NaN bound violates the package invariant")
+	}
+	r, _ := new(big.Float).SetFloat64(v).Rat(nil)
+	return r
+}
+
+// assertEncloses fails unless the interval contains the exact value.
+func assertEncloses(t *testing.T, label string, i I, exact *big.Rat) {
+	t.Helper()
+	if i.Lo > i.Hi {
+		t.Fatalf("%s: inverted interval [%g, %g]", label, i.Lo, i.Hi)
+	}
+	if !math.IsInf(i.Lo, -1) && ratOf(t, i.Lo).Cmp(exact) > 0 {
+		t.Fatalf("%s: Lo %g excludes exact %s", label, i.Lo, exact.RatString())
+	}
+	if !math.IsInf(i.Hi, 1) && ratOf(t, i.Hi).Cmp(exact) < 0 {
+		t.Fatalf("%s: Hi %g excludes exact %s", label, i.Hi, exact.RatString())
+	}
+}
+
+func TestFromFracEncloses(t *testing.T) {
+	cases := []struct{ n, d int64 }{
+		{0, 1}, {1, 1}, {-1, 1}, {1, 3}, {-1, 3}, {2, 6},
+		{19, 100}, {126, 700},
+		{1, math.MaxInt64}, {math.MaxInt64, 1}, {math.MaxInt64, math.MaxInt64 - 1},
+		{math.MinInt64, 3}, {3, math.MinInt64}, {math.MinInt64, math.MinInt64 + 1},
+		{1 << 53, 1}, {(1 << 53) + 1, 1}, {-(1 << 53) - 1, 1},
+		{7, -3}, {-7, -3},
+	}
+	for _, c := range cases {
+		exact := new(big.Rat).SetFrac(big.NewInt(c.n), big.NewInt(c.d))
+		assertEncloses(t, "FromFrac", FromFrac(c.n, c.d), exact)
+	}
+	if got := FromFrac(5, 0); got != Whole {
+		t.Fatalf("FromFrac(5, 0) = %+v, want Whole", got)
+	}
+	// Small exact quotients must be points or near-points; 1/2 is exact.
+	if got := FromFrac(1, 2); got.Lo > 0.5 || got.Hi < 0.5 {
+		t.Fatalf("FromFrac(1,2) = %+v does not contain 0.5", got)
+	}
+}
+
+func TestFromRatBigPath(t *testing.T) {
+	// A value that overflows the int64 fast path: (2^40)^2 / 3.
+	big1 := rat.FromFrac(1<<40, 3).Mul(rat.FromFrac(1<<40, 1))
+	if !big1.IsBig() {
+		t.Fatal("test value unexpectedly fits the fast path")
+	}
+	assertEncloses(t, "FromRat(big)", FromRat(big1), big1.Rat())
+}
+
+func TestQuoZeroDivisorDegrades(t *testing.T) {
+	for _, y := range []I{Point(0), {-1, 1}, {0, 2}, {-2, 0}} {
+		if got := Point(1).Quo(y); got != Whole {
+			t.Fatalf("Quo by %+v = %+v, want Whole", y, got)
+		}
+	}
+	// A certainly-nonzero divisor divides normally.
+	q := Point(1).Quo(Point(4))
+	assertEncloses(t, "Quo(1,4)", q, big.NewRat(1, 4))
+}
+
+func TestWholeDecidesNothing(t *testing.T) {
+	x := Point(1)
+	if Whole.AllLess(x) || Whole.AllGreaterEq(x) || Whole.AllGreater(x) || Whole.AllLessEq(x) {
+		t.Fatal("Whole decided a comparison")
+	}
+	if _, certain := Whole.Sign(); certain {
+		t.Fatal("Whole has a certain sign")
+	}
+}
+
+func TestOverflowClampsStayEnclosing(t *testing.T) {
+	// hi overflow: a sum beyond MaxFloat64 must clamp its upper bound to
+	// +Inf and keep a sound (finite or -Inf) lower bound.
+	huge := I{math.MaxFloat64, math.MaxFloat64}
+	s := huge.Add(huge)
+	if !math.IsInf(s.Hi, 1) {
+		t.Fatalf("overflowing Add.Hi = %g, want +Inf", s.Hi)
+	}
+	if math.IsInf(s.Lo, 1) || math.IsNaN(s.Lo) {
+		t.Fatalf("overflowing Add.Lo = %g", s.Lo)
+	}
+	// 0·Inf inside Mul must degrade to Whole, not NaN bounds.
+	if got := Point(0).Mul(Whole); got != Whole {
+		t.Fatalf("0·Whole = %+v, want Whole", got)
+	}
+}
+
+func TestSignCertainty(t *testing.T) {
+	cases := []struct {
+		i       I
+		sign    int
+		certain bool
+	}{
+		{Point(0), 0, true},
+		{Point(2), 1, true},
+		{Point(-2), -1, true},
+		{I{-1, 1}, 0, false},
+		{I{0, 1}, 0, false}, // touches zero: not certainly positive
+		{I{minSubnormal, 1}, 1, true},
+	}
+	for _, c := range cases {
+		s, certain := c.i.Sign()
+		if s != c.sign || certain != c.certain {
+			t.Errorf("Sign(%+v) = (%d, %v), want (%d, %v)", c.i, s, certain, c.sign, c.certain)
+		}
+	}
+}
+
+// TestAccMirrorsExactSum runs the accumulator against rat.Acc on a
+// mixed-magnitude sum with cancellation.
+func TestAccMirrorsExactSum(t *testing.T) {
+	terms := []rat.R{
+		rat.FromFrac(1, 3), rat.FromFrac(-1, 3), rat.FromFrac(19, 100),
+		rat.FromFrac(1<<40, 3).Mul(rat.FromFrac(1<<40, 1)),
+		rat.FromFrac(-(1 << 40), 3).Mul(rat.FromFrac(1<<40, 1)),
+		rat.FromFrac(7, 5),
+	}
+	var fa Acc
+	var exact rat.Acc
+	for _, term := range terms {
+		fa.Add(FromRat(term))
+		exact.Add(term)
+	}
+	assertEncloses(t, "Acc", fa.I(), exact.Rat())
+	var fs Acc
+	var es rat.Acc
+	for i, term := range terms {
+		c := float64(i * 3)
+		fs.AddScaled(c, FromRat(term))
+		es.Add(rat.FromInt(int64(i * 3)).Mul(term))
+	}
+	assertEncloses(t, "AccScaled", fs.I(), es.Rat())
+}

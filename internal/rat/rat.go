@@ -94,6 +94,19 @@ func (x R) norm() R {
 // regardless of representation.
 func (x R) IsBig() bool { return x.b != nil }
 
+// Frac64 returns the value as an int64 numerator/denominator pair in
+// lowest terms with d >= 1, reporting ok = false when the value is
+// carried by the big.Rat fallback (callers then go through Rat()).
+// It exists for internal/interval's certified float enclosure, which
+// needs the raw components without a heap allocation.
+func (x R) Frac64() (n, d int64, ok bool) {
+	if x.b != nil {
+		return 0, 0, false
+	}
+	x = x.norm()
+	return x.n, x.d, true
+}
+
 // Sign returns -1, 0 or +1.
 func (x R) Sign() int {
 	if x.b != nil {

@@ -150,6 +150,19 @@ func TestMetricsPerTestCounters(t *testing.T) {
 	if row.Analyses != 1 || row.Misses != 1 || row.Hits != 1 {
 		t.Errorf("GN2 counters = %+v, want 1 analysis, 1 miss, 1 hit", row)
 	}
+	// The interval screen is on by default, so the analysis must have
+	// accounted every checked bound as either decided or escalated, and
+	// the per-test rows must sum to the engine aggregates.
+	if !m.Engine.Screen {
+		t.Error("metrics engine.screen = false, want true by default")
+	}
+	if row.ScreenDecided+row.ScreenEscalated == 0 {
+		t.Errorf("GN2 screen counters both zero: %+v", row)
+	}
+	if row.ScreenDecided != m.Engine.ScreenDecided || row.ScreenEscalated != m.Engine.ScreenEscalated {
+		t.Errorf("per-test screen counters %+v disagree with aggregates decided=%d escalated=%d",
+			row, m.Engine.ScreenDecided, m.Engine.ScreenEscalated)
+	}
 	if _, ok := m.Engine.Tests["DP"]; ok {
 		t.Error("metrics reports counters for a test that was never requested")
 	}
