@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-serve crash-smoke serve fmt vet check clean integration experiments-smoke
+.PHONY: build test race bench bench-serve bench-admit crash-smoke serve fmt vet check clean integration experiments-smoke
 
 build:
 	$(GO) build ./...
@@ -55,6 +55,17 @@ bench-serve:
 	$(GO) run ./cmd/loadgen -inprocess 1 -requests 400 -seed 1 -mix admit-heavy -state-dir $$waldir/interval -fsync interval -label wal=interval | tee -a bench-results/BENCH_serve.txt && \
 	rm -rf $$waldir
 	$(GO) run ./cmd/benchjson -in bench-results/BENCH_serve.txt -out bench-results/BENCH_serve.json
+
+# Admission-path benchmark: one warm admit+release round trip against a
+# GN2 controller, incremental (persistent sweep state) vs scratch (full
+# re-analysis, the pre-incremental behavior), on paper-sized (10-task
+# Figure-3b profile) and 100/200-task resident sets, with and without a
+# durable-store append per mutation. The from-scratch serving baseline
+# is the wal=* admit-heavy series in BENCH_serve.json.
+bench-admit:
+	mkdir -p bench-results
+	$(GO) test -bench 'BenchmarkAdmitRelease' -benchtime 200x -run XXX ./internal/admission/ | tee bench-results/BENCH_admit.txt
+	$(GO) run ./cmd/benchjson -in bench-results/BENCH_admit.txt -out bench-results/BENCH_admit.json
 
 crash-smoke: ## live-daemon kill -9 + WAL replay smoke, archives BENCH_recovery.json
 	bash scripts/crash_recovery_smoke.sh

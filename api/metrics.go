@@ -1,6 +1,7 @@
 package api
 
 import (
+	"fpgasched/internal/admission"
 	"fpgasched/internal/durable"
 	"fpgasched/internal/engine"
 )
@@ -102,6 +103,39 @@ type MetricsResponse struct {
 	// counters plus what recovery replayed at startup. Absent when the
 	// daemon runs without -state-dir (additive v1 field).
 	WAL *WALMetrics `json:"wal,omitempty"`
+	// Admission aggregates the admission controllers' counters across
+	// all tenants, including how many analyses the persistent
+	// incremental states served versus full from-scratch runs. Absent
+	// until at least one controller exists (additive v1 field).
+	Admission *AdmissionMetrics `json:"admission,omitempty"`
+}
+
+// AdmissionMetrics is the wire form of the admission counters, summed
+// over every live controller. A request runs one or more test analyses;
+// IncrementalHits counts analyses served by a test's persistent
+// incremental state, FullRuns counts from-scratch analyses (no state,
+// cold state, or delta logic unable to certify the verdict).
+type AdmissionMetrics struct {
+	Controllers     int    `json:"controllers"`
+	Requests        uint64 `json:"requests"`
+	Admitted        uint64 `json:"admitted"`
+	Rejected        uint64 `json:"rejected"`
+	Aborted         uint64 `json:"aborted,omitempty"`
+	Releases        uint64 `json:"releases"`
+	IncrementalHits uint64 `json:"incremental_hits"`
+	FullRuns        uint64 `json:"full_runs"`
+}
+
+// Add folds one controller's counter snapshot into the aggregate.
+func (m *AdmissionMetrics) Add(s admission.Stats) {
+	m.Controllers++
+	m.Requests += s.Requests
+	m.Admitted += s.Admitted
+	m.Rejected += s.Rejected
+	m.Aborted += s.Aborted
+	m.Releases += s.Releases
+	m.IncrementalHits += s.IncrementalHits
+	m.FullRuns += s.FullRuns
 }
 
 // WALMetrics is the wire form of the durable store's counters.

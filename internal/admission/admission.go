@@ -44,14 +44,33 @@ type Decision struct {
 	Err error
 }
 
+// Stats is a snapshot of a controller's admission counters. A request
+// runs one or more test analyses; each analysis is served either by the
+// test's persistent incremental state (IncrementalHits) or by a full
+// from-scratch run (FullRuns) — the fallback whenever no state exists,
+// the state is cold, or its delta logic cannot certify the verdict.
+type Stats struct {
+	Requests uint64
+	Admitted uint64
+	Rejected uint64
+	// Aborted counts requests whose analysis was cancelled mid-flight
+	// (Decision.Err set): neither admitted nor definitively rejected.
+	Aborted         uint64
+	Releases        uint64
+	IncrementalHits uint64
+	FullRuns        uint64
+}
+
 // Controller hosts a mutable resident taskset behind a schedulability
 // gate.
 type Controller struct {
 	mu       sync.Mutex
 	device   core.Device
 	tests    []core.Test
+	states   []core.AdmitState // parallel to tests; nil entries use the full path
 	resident *task.Set
 	byName   map[string]int // name -> index in resident
+	stats    Stats
 }
 
 // NewController returns an empty controller for a device. The tests are
@@ -64,12 +83,36 @@ func NewController(columns int, tests ...core.Test) (*Controller, error) {
 	if len(tests) == 0 {
 		return nil, fmt.Errorf("admission: no tests configured")
 	}
-	return &Controller{
+	c := &Controller{
 		device:   core.NewDevice(columns),
 		tests:    tests,
 		resident: task.NewSet(),
 		byName:   make(map[string]int),
-	}, nil
+	}
+	c.states = make([]core.AdmitState, len(tests))
+	for i, test := range tests {
+		if it, ok := test.(core.IncrementalTest); ok {
+			c.states[i] = it.NewAdmitState(c.device)
+		}
+	}
+	return c, nil
+}
+
+// DisableIncremental drops every test's persistent analysis state, so
+// all requests take the full from-scratch path. It exists for the
+// differential suites and benchmarks that need a reference controller;
+// production callers should leave the states on.
+func (c *Controller) DisableIncremental() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.states = nil
+}
+
+// Stats returns a snapshot of the admission counters.
+func (c *Controller) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
 }
 
 // NewNFController is the standard configuration: the EDF-NF composite
@@ -100,30 +143,65 @@ func (c *Controller) Len() int {
 func (c *Controller) Request(ctx context.Context, t task.Task) Decision {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.stats.Requests++
 	if t.Name == "" {
+		c.stats.Rejected++
 		return Decision{Reason: "task must be named"}
 	}
 	if _, dup := c.byName[t.Name]; dup {
+		c.stats.Rejected++
 		return Decision{Reason: fmt.Sprintf("task %q already resident", t.Name)}
 	}
 	if err := t.Validate(); err != nil {
+		c.stats.Rejected++
 		return Decision{Reason: err.Error()}
 	}
 	trial := c.resident.Clone()
 	trial.Tasks = append(trial.Tasks, t)
-	for _, test := range c.tests {
-		v := test.Analyze(ctx, c.device, trial)
+	for i, test := range c.tests {
+		v := c.analyzeLocked(ctx, i, test, trial, t)
 		if v.Err != nil {
+			c.stats.Aborted++
 			return Decision{Reason: v.Reason, Err: v.Err}
 		}
 		if v.Schedulable {
 			c.resident = trial
 			c.byName[t.Name] = c.resident.Len() - 1
+			for _, st := range c.states {
+				if st != nil {
+					st.CommitAdd(t)
+				}
+			}
+			c.stats.Admitted++
 			cert := v.Certificate()
 			return Decision{Admitted: true, ProvedBy: test.Name(), Certificate: &cert}
 		}
 	}
+	c.stats.Rejected++
 	return Decision{Reason: "no configured test proves the resulting set schedulable"}
+}
+
+// analyzeLocked runs one test over the trial set, preferring the test's
+// persistent incremental state. A state that certifies its verdict is a
+// hit; otherwise the full analysis runs and the state observes its
+// verdict so an acceptance can re-warm it.
+func (c *Controller) analyzeLocked(ctx context.Context, i int, test core.Test, trial *task.Set, t task.Task) core.Verdict {
+	var st core.AdmitState
+	if i < len(c.states) {
+		st = c.states[i]
+	}
+	if st != nil {
+		if v, ok := st.TryAdd(ctx, trial, t); ok {
+			c.stats.IncrementalHits++
+			return v
+		}
+	}
+	v := test.Analyze(ctx, c.device, trial)
+	c.stats.FullRuns++
+	if st != nil {
+		st.ObserveFull(trial, &v)
+	}
+	return v
 }
 
 // Release removes a resident task by name, returning false if absent.
@@ -138,18 +216,37 @@ func (c *Controller) Release(name string) bool {
 	if !ok {
 		return false
 	}
-	next := task.NewSet()
-	next.Tasks = append(next.Tasks, c.resident.Tasks[:idx]...)
-	next.Tasks = append(next.Tasks, c.resident.Tasks[idx+1:]...)
-	c.resident = next
-	// Rebuild the name index from the surviving slice rather than
-	// decrementing entries in place: the index can then never drift from
-	// the slice, whatever sequence of admissions and releases preceded.
-	c.byName = make(map[string]int, len(next.Tasks))
-	for i, t := range next.Tasks {
-		c.byName[t.Name] = i
+	removed := c.removeAtLocked(idx)
+	for _, st := range c.states {
+		if st != nil {
+			st.CommitRemove(removed, idx)
+		}
 	}
+	c.stats.Releases++
 	return true
+}
+
+// removeAtLocked swap-deletes the resident task at idx: the last task
+// moves into idx and the slice shrinks by one. O(1), and the name
+// index never drifts because exactly one surviving task changes
+// position — the moved one — and its entry is rewritten in the same
+// step the slot changes. Resident order is an implementation detail
+// (certificates are derived per trial set, and every accessor clones),
+// so the permutation is unobservable except through task indices,
+// which are documented as unstable across releases.
+func (c *Controller) removeAtLocked(idx int) task.Task {
+	ts := c.resident.Tasks
+	last := len(ts) - 1
+	removed := ts[idx]
+	if idx != last {
+		moved := ts[last]
+		ts[idx] = moved
+		c.byName[moved.Name] = idx
+	}
+	ts[last] = task.Task{}
+	c.resident.Tasks = ts[:last]
+	delete(c.byName, removed.Name)
+	return removed
 }
 
 // Utilization returns the resident system utilization as a formatted

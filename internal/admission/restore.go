@@ -16,7 +16,10 @@ import (
 // live and the analyses are deterministic, so re-proving on recovery
 // would spend an exact analysis per resident to learn a recorded fact.
 // Name, duplicate and intrinsic-validity checks still apply — a log
-// that fails them is corrupt, not merely stale.
+// that fails them is corrupt, not merely stale. The append is in place
+// (no per-record clone): every accessor hands out copies, so the
+// resident slice is never aliased outside the lock, and replaying R
+// records costs O(R) instead of O(R²).
 func (c *Controller) ForceAdmit(t task.Task) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -29,16 +32,20 @@ func (c *Controller) ForceAdmit(t task.Task) error {
 	if err := t.Validate(); err != nil {
 		return fmt.Errorf("admission: replayed task: %w", err)
 	}
-	next := c.resident.Clone()
-	next.Tasks = append(next.Tasks, t)
-	c.resident = next
+	c.resident.Tasks = append(c.resident.Tasks, t)
 	c.byName[t.Name] = c.resident.Len() - 1
+	for _, st := range c.states {
+		if st != nil {
+			st.CommitReplay(t)
+		}
+	}
 	return nil
 }
 
 // Remove removes a resident task by name, returning the removed task
 // and the index it occupied so Reinsert can restore it exactly. It is
-// Release with a rollback handle; ok is false if absent.
+// Release with a rollback handle; ok is false if absent. Like Release
+// it swap-deletes: the last task moves into the vacated index.
 func (c *Controller) Remove(name string) (t task.Task, idx int, ok bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -46,22 +53,22 @@ func (c *Controller) Remove(name string) (t task.Task, idx int, ok bool) {
 	if !ok {
 		return task.Task{}, 0, false
 	}
-	t = c.resident.Tasks[idx]
-	next := task.NewSet()
-	next.Tasks = append(next.Tasks, c.resident.Tasks[:idx]...)
-	next.Tasks = append(next.Tasks, c.resident.Tasks[idx+1:]...)
-	c.resident = next
-	c.byName = make(map[string]int, len(next.Tasks))
-	for i, rt := range next.Tasks {
-		c.byName[rt.Name] = i
+	t = c.removeAtLocked(idx)
+	for _, st := range c.states {
+		if st != nil {
+			st.CommitRemove(t, idx)
+		}
 	}
+	c.stats.Releases++
 	return t, idx, true
 }
 
-// Reinsert restores t at index idx — the inverse of Remove, for
-// rolling back a release whose log append failed. The set it restores
-// was resident (and therefore proven) moments ago, so no re-analysis
-// is run.
+// Reinsert restores t at index idx — the exact inverse of the
+// swap-delete Remove, for rolling back a release whose log append
+// failed: the task currently occupying idx (the one Remove moved there
+// from the end) returns to the end, and t takes idx back. The set it
+// restores was resident (and therefore proven) moments ago, so no
+// re-analysis is run.
 func (c *Controller) Reinsert(t task.Task, idx int) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -71,14 +78,20 @@ func (c *Controller) Reinsert(t task.Task, idx int) error {
 	if _, dup := c.byName[t.Name]; dup {
 		return fmt.Errorf("admission: reinserted task %q already resident", t.Name)
 	}
-	next := task.NewSet()
-	next.Tasks = append(next.Tasks, c.resident.Tasks[:idx]...)
-	next.Tasks = append(next.Tasks, t)
-	next.Tasks = append(next.Tasks, c.resident.Tasks[idx:]...)
-	c.resident = next
-	c.byName = make(map[string]int, len(next.Tasks))
-	for i, rt := range next.Tasks {
-		c.byName[rt.Name] = i
+	ts := c.resident.Tasks
+	if idx == len(ts) {
+		c.resident.Tasks = append(ts, t)
+	} else {
+		moved := ts[idx]
+		c.resident.Tasks = append(ts, moved)
+		c.resident.Tasks[idx] = t
+		c.byName[moved.Name] = len(c.resident.Tasks) - 1
+	}
+	c.byName[t.Name] = idx
+	for _, st := range c.states {
+		if st != nil {
+			st.CommitReinsert(t, idx)
+		}
 	}
 	return nil
 }

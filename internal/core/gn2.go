@@ -485,70 +485,108 @@ func (sw *gn2Sweep) checkTaskScreened(ctx context.Context, k int, sc *gn2Scratch
 	}
 
 	fDk := sw.fD[k]
+
+	// The λk ≤ 1 range check is monotone — λk = λ·mK increases along the
+	// sorted candidate list — so the "tried" candidates form a prefix,
+	// found once by exact binary search instead of once per candidate
+	// (the predicate is the same exact comparison the per-candidate skip
+	// used: 1 − λ·mK < 0 ⇔ λ·mK > 1).
+	validEnd := len(cands)
+	if scaled {
+		validEnd = sort.Search(len(cands), func(j int) bool { return cands[j].Mul(mK).Cmp(rat.One) > 0 })
+	} else {
+		validEnd = sort.Search(len(cands), func(j int) bool { return cands[j].Cmp(rat.One) > 0 })
+	}
+
 	var lastRHS rat.R
-	lastIdx, lastExactIdx := -1, -1
-	for ci, lambda := range cands {
+	lastExactIdx := -1
+	// Range-level screen in front of the per-candidate screen: before
+	// building full interval sums candidate by candidate, try to certify
+	// that a whole block of consecutive candidates violates both
+	// conditions, using one interval evaluation over the block's λ hull.
+	// A certified block is disposed of in O(N) total instead of O(N) per
+	// candidate. Blocks grow while certification keeps succeeding and
+	// reset when it fails, so the overhead on never-certifiable sweeps is
+	// bounded by one range evaluation per blockMin candidates. The
+	// per-candidate path below is unchanged, so escalation order — and
+	// with it the first accepting candidate — is preserved.
+	ci := 0
+	block := gn2RangeBlockMin
+	for ci < validEnd {
 		if err := ctx.Err(); err != nil {
 			return BoundCheck{}, err
 		}
-		// The λk range check stays exact: it is O(1) per candidate and
-		// gates which candidates are "tried" at all, which the failing
-		// certificate's last-candidate evidence depends on.
-		lambdaK := lambda
-		if scaled {
-			lambdaK = lambda.Mul(mK)
-		}
-		oneMinus := rat.One.Sub(lambdaK)
-		if oneMinus.Sign() < 0 {
+		if validEnd-ci >= block && sw.rangeViolated(k, cands, ci, ci+block, scaled, mK, fDk, sc) {
+			decided += uint64(block)
+			ci += block
+			if block < gn2RangeBlockMax {
+				block *= 2
+			}
 			continue
 		}
-		lastIdx = ci
+		end := ci + block
+		if end > validEnd {
+			end = validEnd
+		}
+		block = gn2RangeBlockMin
+		for ; ci < end; ci++ {
+			if err := ctx.Err(); err != nil {
+				return BoundCheck{}, err
+			}
+			lambda := cands[ci]
+			lambdaK := lambda
+			if scaled {
+				lambdaK = lambda.Mul(mK)
+			}
+			oneMinus := rat.One.Sub(lambdaK)
 
-		fLambda := interval.FromRat(lambda)
-		fOneMinus := interval.FromRat(oneMinus)
-		var s1, s2 interval.Acc
-		for i := range sw.ui {
-			var fb interval.I
-			if ci >= sc.thrU[i] {
-				fb = sc.fb1[i]
-			} else if ci >= sc.thrD[i] {
-				if sw.g.Options.CaseTwoBaker {
-					fb = sw.fdens[i]
+			fLambda := interval.FromRat(lambda)
+			fOneMinus := interval.FromRat(oneMinus)
+			var s1, s2 interval.Acc
+			for i := range sw.ui {
+				var fb interval.I
+				if ci >= sc.thrU[i] {
+					fb = sc.fb1[i]
+				} else if ci >= sc.thrD[i] {
+					if sw.g.Options.CaseTwoBaker {
+						fb = sw.fdens[i]
+					} else {
+						fb = sw.fui[k]
+					}
 				} else {
-					fb = sw.fui[k]
+					fb = sw.fui[i].Add(sw.fC[i].Sub(fLambda.Mul(sw.fD[i])).Quo(fDk))
 				}
-			} else {
-				fb = sw.fui[i].Add(sw.fC[i].Sub(fLambda.Mul(sw.fD[i])).Quo(fDk))
+				s1.AddScaled(sw.farea[i], interval.Min(fb, fOneMinus))
+				s2.AddScaled(sw.farea[i], interval.Min(fb, oneIv))
 			}
-			s1.AddScaled(sw.farea[i], interval.Min(fb, fOneMinus))
-			s2.AddScaled(sw.farea[i], interval.Min(fb, oneIv))
-		}
 
-		// A candidate is screened out only when BOTH conditions are
-		// certainly violated on the enclosures; condition 1 is strict
-		// "<" (violated ⇔ ≥), condition 2's violation depends on the
-		// strictness option.
-		violated := s1.I().AllGreaterEq(sw.fabnd.Mul(fOneMinus))
-		if violated {
-			frhs2 := sw.fabndMinusAmin.Mul(fOneMinus).Add(sw.famin)
-			if sw.g.Options.CondTwoNonStrict {
-				violated = s2.I().AllGreater(frhs2)
-			} else {
-				violated = s2.I().AllGreaterEq(frhs2)
+			// A candidate is screened out only when BOTH conditions are
+			// certainly violated on the enclosures; condition 1 is strict
+			// "<" (violated ⇔ ≥), condition 2's violation depends on the
+			// strictness option.
+			violated := s1.I().AllGreaterEq(sw.fabnd.Mul(fOneMinus))
+			if violated {
+				frhs2 := sw.fabndMinusAmin.Mul(fOneMinus).Add(sw.famin)
+				if sw.g.Options.CondTwoNonStrict {
+					violated = s2.I().AllGreater(frhs2)
+				} else {
+					violated = s2.I().AllGreaterEq(frhs2)
+				}
 			}
+			if violated {
+				decided++
+				continue
+			}
+			escalated++
+			chk, rhs2, accepted := sw.evalCandidate(k, lambda, oneMinus, sc)
+			if accepted {
+				return chk, nil
+			}
+			lastRHS = rhs2
+			lastExactIdx = ci
 		}
-		if violated {
-			decided++
-			continue
-		}
-		escalated++
-		chk, rhs2, accepted := sw.evalCandidate(k, lambda, oneMinus, sc)
-		if accepted {
-			return chk, nil
-		}
-		lastRHS = rhs2
-		lastExactIdx = ci
 	}
+	lastIdx := validEnd - 1
 	if lastIdx < 0 {
 		return BoundCheck{}, nil
 	}
@@ -574,6 +612,112 @@ func (sw *gn2Sweep) checkTaskScreened(ctx context.Context, k int, sc *gn2Scratch
 		lastRHS = rhs2
 	}
 	return BoundCheck{LHS: sc.last.Rat(), RHS: lastRHS.Rat(), Satisfied: false}, nil
+}
+
+// gn2RangeBlockMin/Max bound the range screen's block sizes: blocks
+// start at Min (so a failed certification costs at most 1/Min of the
+// per-candidate work that follows), double on success, and cap at Max.
+const (
+	gn2RangeBlockMin = 8
+	gn2RangeBlockMax = 1024
+)
+
+// rangeViolated certifies, with one interval evaluation, that every
+// candidate in cands[lo:hi) violates both conditions for task k — in
+// which case the whole block can be counted decided without building
+// per-candidate sums. λ is enclosed by the hull of the block's
+// endpoints (the list is sorted), 1−λk by 1 − mK·λ over that hull, and
+// each task's β by the hull of every case value the block's indices can
+// select (the β case switches at the exact index thresholds already in
+// sc.thrU/thrD, so case selection per index stays exact). For any
+// specific λ in the block, each exact quantity lies inside its
+// enclosure, so LHS(λ) ≥ lo(sum) and RHS(λ) ≤ hi(rhs); lo(sum) ≥
+// hi(rhs) for both conditions therefore proves every candidate fails —
+// the same soundness argument as the per-candidate screen, lifted to a
+// range. It can only return false negatives (a violating block it
+// cannot certify), never screen out an accepting candidate.
+func (sw *gn2Sweep) rangeViolated(k int, cands []rat.R, lo, hi int, scaled bool, mK rat.R, fDk interval.I, sc *gn2Scratch) bool {
+	fLambda := interval.Hull(interval.FromRat(cands[lo]), interval.FromRat(cands[hi-1]))
+	fOneMinus := oneIv.Sub(fLambda)
+	if scaled {
+		fOneMinus = oneIv.Sub(interval.FromRat(mK).Mul(fLambda))
+	}
+
+	var fmid interval.I
+	if sw.g.Options.CaseTwoBaker {
+		fmid = interval.I{} // per-task, resolved below
+	} else {
+		fmid = sw.fui[k]
+	}
+
+	var s1, s2 interval.Acc
+	for i := range sw.ui {
+		thrU, thrD := sc.thrU[i], sc.thrD[i]
+		mid := fmid
+		if sw.g.Options.CaseTwoBaker {
+			mid = sw.fdens[i]
+		}
+		var fb interval.I
+		switch {
+		case lo >= thrU:
+			// Case 1 for the whole block.
+			fb = sc.fb1[i]
+		case hi <= thrU && lo >= thrD:
+			// Middle case for the whole block.
+			fb = mid
+		case hi <= thrU && hi <= thrD:
+			// Case 3 for the whole block: β(λ) = ui + (Ci − λ·Di)/Dk,
+			// evaluated over the block's λ hull.
+			fb = sw.fui[i].Add(sw.fC[i].Sub(fLambda.Mul(sw.fD[i])).Quo(fDk))
+		default:
+			// The block straddles a case threshold: hull every case any
+			// of its indices selects. The case-3 piece is evaluated over
+			// the full λ hull — a superset of its true subrange, which
+			// only widens the enclosure (sound).
+			first := true
+			add := func(p interval.I) {
+				if first {
+					fb, first = p, false
+				} else {
+					fb = interval.Hull(fb, p)
+				}
+			}
+			if hi > thrU {
+				add(sc.fb1[i])
+			}
+			mlo, mhi := lo, hi
+			if thrD > mlo {
+				mlo = thrD
+			}
+			if thrU < mhi {
+				mhi = thrU
+			}
+			if mlo < mhi {
+				add(mid)
+			}
+			c3hi := hi
+			if thrD < c3hi {
+				c3hi = thrD
+			}
+			if thrU < c3hi {
+				c3hi = thrU
+			}
+			if lo < c3hi {
+				add(sw.fui[i].Add(sw.fC[i].Sub(fLambda.Mul(sw.fD[i])).Quo(fDk)))
+			}
+		}
+		s1.AddScaled(sw.farea[i], interval.Min(fb, fOneMinus))
+		s2.AddScaled(sw.farea[i], interval.Min(fb, oneIv))
+	}
+
+	if !s1.I().AllGreaterEq(sw.fabnd.Mul(fOneMinus)) {
+		return false
+	}
+	frhs2 := sw.fabndMinusAmin.Mul(fOneMinus).Add(sw.famin)
+	if sw.g.Options.CondTwoNonStrict {
+		return s2.I().AllGreater(frhs2)
+	}
+	return s2.I().AllGreaterEq(frhs2)
 }
 
 // candidatesFor returns task k's λ candidates in ascending order: the

@@ -87,7 +87,12 @@ func (s *shadow) apply(r Record) {
 			s.skipped++
 			return
 		}
-		c.Tasks = append(c.Tasks[:i], c.Tasks[i+1:]...)
+		// Swap-delete, mirroring the admission controller's release: the
+		// recovered resident order must equal the live order, and the
+		// resident set is order-insensitive for analysis.
+		last := len(c.Tasks) - 1
+		c.Tasks[i] = c.Tasks[last]
+		c.Tasks = c.Tasks[:last]
 	case OpCreatePlacement:
 		if _, dup := s.placements[r.Controller]; dup {
 			s.skipped++

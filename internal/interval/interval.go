@@ -206,6 +206,23 @@ func Min(a, b I) I {
 	return I{lo, hi}
 }
 
+// Hull returns the smallest interval containing both x and y — the
+// interval join. It widens nothing: the bounds are copied, so Hull of
+// two enclosures encloses every value either of them encloses. The
+// kernels' range screen uses it to bound a quantity over a whole
+// candidate range (e.g. every β case a range can select) with one
+// interval.
+func Hull(x, y I) I {
+	lo, hi := x.Lo, x.Hi
+	if y.Lo < lo {
+		lo = y.Lo
+	}
+	if y.Hi > hi {
+		hi = y.Hi
+	}
+	return I{lo, hi}
+}
+
 // Max returns an enclosure of max(a, b).
 func Max(a, b I) I {
 	lo, hi := a.Lo, a.Hi

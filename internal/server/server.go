@@ -598,6 +598,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		wm.Degraded = wm.Degraded || s.degraded.Load()
 		resp.WAL = &wm
 	}
+	s.cmu.RLock()
+	if len(s.controllers) > 0 {
+		var am api.AdmissionMetrics
+		for _, tn := range s.controllers {
+			am.Add(tn.ctrl.Stats())
+		}
+		resp.Admission = &am
+	}
+	s.cmu.RUnlock()
 	writeJSON(w, http.StatusOK, resp)
 }
 

@@ -399,6 +399,48 @@ func TestMetrics(t *testing.T) {
 	if out.Engine.Misses != 1 || out.Engine.Workers == 0 {
 		t.Errorf("engine stats = %+v", out.Engine)
 	}
+	if out.Admission != nil {
+		t.Errorf("admission section present with no controllers: %+v", out.Admission)
+	}
+}
+
+// TestMetricsAdmissionSection drives admit/release traffic through a
+// tenant and checks the aggregated admission counters on /metrics,
+// including that the incremental analysis path actually served hits.
+func TestMetricsAdmissionSection(t *testing.T) {
+	_, ts := newTestServer(t)
+	base := ts.URL + "/v1/controllers/m"
+	doJSON(t, "PUT", base, `{"columns":100,"tests":["GN2"]}`, nil)
+	for i := 0; i < 6; i++ {
+		body := fmt.Sprintf(`{"name":"t%d","c":"1","d":"50","t":"50","a":2}`, i)
+		if resp := doJSON(t, "POST", base+"/admit", body, nil); resp.StatusCode != 200 {
+			t.Fatalf("admit %d = %d", i, resp.StatusCode)
+		}
+	}
+	// One rejection (oversized area) and one release.
+	doJSON(t, "POST", base+"/admit", `{"name":"big","c":"1","d":"50","t":"50","a":101}`, nil)
+	doJSON(t, "DELETE", base+"/tasks/t0", "", nil)
+
+	var out api.MetricsResponse
+	if resp := doJSON(t, "GET", ts.URL+"/metrics", "", &out); resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	am := out.Admission
+	if am == nil {
+		t.Fatal("admission section missing")
+	}
+	if am.Controllers != 1 || am.Requests != 7 || am.Admitted != 6 || am.Rejected != 1 || am.Releases != 1 {
+		t.Errorf("admission metrics = %+v", am)
+	}
+	if am.Requests != am.Admitted+am.Rejected+am.Aborted {
+		t.Errorf("admission counters don't balance: %+v", am)
+	}
+	if am.IncrementalHits == 0 {
+		t.Errorf("expected incremental hits on a warm GN2 controller: %+v", am)
+	}
+	if am.FullRuns == 0 {
+		t.Errorf("expected at least the cold first admit as a full run: %+v", am)
+	}
 }
 
 func TestBodyLimit(t *testing.T) {
